@@ -1,0 +1,42 @@
+"""E11: long-line ablation on large-bounding-box nets (Section 6)."""
+
+import pytest
+
+from repro.bench.experiments import run_e11
+from repro.bench.workloads import large_bbox_nets
+from repro.device.fabric import Device
+from repro.routers.maze import route_maze
+
+ARCH_PART = "XCV300"
+
+
+def _net(device, seed=31):
+    net = large_bbox_nets(device.arch, 1, seed=seed)[0]
+    src = device.resolve(net.source.row, net.source.col, net.source.wire)
+    sink = device.resolve(net.sinks[0].row, net.sinks[0].col, net.sinks[0].wire)
+    return src, sink
+
+
+@pytest.mark.parametrize("use_longs", [False, True],
+                         ids=["no_longs", "with_longs"])
+def test_large_bbox_route(benchmark, use_longs):
+    device = Device(ARCH_PART)
+    src, sink = _net(device)
+
+    def run():
+        return route_maze(device, [src], {sink}, use_longs=use_longs,
+                          heuristic_weight=0.8)
+
+    res = benchmark(run)
+    assert res.plan
+
+
+def test_shape_longs_improve_large_nets():
+    """Paper future work: longs 'would improve the routing of nets with
+    large bounding boxes' — fewer PIPs and lower cost with longs on."""
+    table = run_e11(n_nets=6)
+    no_longs = table.rows[0]
+    with_longs = table.rows[1]
+    assert with_longs[1] >= no_longs[1]      # routes at least as many nets
+    assert with_longs[3] < no_longs[3]       # at lower total cost
+    assert with_longs[2] <= no_longs[2]      # with fewer PIPs

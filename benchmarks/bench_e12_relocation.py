@@ -1,0 +1,49 @@
+"""E12: core relocation with remembered port connections (Section 3.3)."""
+
+import pytest
+
+from repro.bench.experiments import run_e12
+from repro.core.router import JRouter
+from repro.cores import CounterCore, RegisterCore, relocate_core
+from repro.jbits import write_bitstream
+
+
+def _design():
+    router = JRouter(part="XCV100")
+    ctr = CounterCore(router, "ctr", 2, 2, width=4)
+    reg = RegisterCore(router, "mon", 2, 8, width=4)
+    router.route(list(ctr.get_ports("q")), list(reg.get_ports("d")))
+    router.jbits.memory.clear_dirty()
+    return router, ctr, reg
+
+
+def test_relocate_counter(benchmark):
+    def setup():
+        return (_design(),), {}
+
+    def run(prep):
+        router, ctr, reg = prep
+        relocate_core(ctr, 8, 2)
+
+    benchmark.pedantic(run, setup=setup, rounds=3)
+
+
+def test_partial_vs_full_config(benchmark):
+    router, ctr, reg = _design()
+    relocate_core(ctr, 8, 2)
+    dirty = router.jbits.memory.dirty_frames
+
+    def run():
+        return write_bitstream(router.jbits.memory, dirty)
+
+    partial = benchmark(run)
+    full = write_bitstream(router.jbits.memory)
+    assert len(partial) * 5 < len(full)
+
+
+def test_shape_relocation_ships_few_frames():
+    table = run_e12(width=4)
+    initial = table.rows[0]
+    moved = table.rows[1]
+    assert moved[3] < initial[3] / 10  # dirty frames << all frames
+    assert moved[2] > 0                # design still routed after the move

@@ -1,0 +1,52 @@
+"""E14: IOB ring routing (paper §6 future work, implemented)."""
+
+import pytest
+
+from repro.bench.experiments import run_e14
+from repro.core.router import JRouter
+from repro.cores import RegisterCore
+from repro.io import IoRing, PadDirection, Side
+
+
+def _design(width=8):
+    router = JRouter(part="XCV100")
+    ring = IoRing(router.device.arch)
+    reg = RegisterCore(router, "reg", 8, 8, width=width)
+    in_bus = ring.bus(Side.WEST, PadDirection.IN, width, offset=18)
+    out_bus = ring.bus(Side.EAST, PadDirection.OUT, width, offset=18)
+    return router, reg, in_bus, out_bus
+
+
+def test_pad_enumeration(benchmark):
+    router = JRouter(part="XCV100")
+    ring = IoRing(router.device.arch)
+    assert benchmark(ring.pads) is not None
+
+
+def test_pads_to_register_bus(benchmark):
+    def setup():
+        return (_design(),), {}
+
+    def run(prep):
+        router, reg, in_bus, out_bus = prep
+        router.route(in_bus, list(reg.get_ports("d")))
+
+    benchmark.pedantic(run, setup=setup, rounds=3)
+
+
+def test_register_to_pads_bus(benchmark):
+    def setup():
+        router, reg, in_bus, out_bus = _design()
+        router.route(in_bus, list(reg.get_ports("d")))
+        return ((router, reg, out_bus),), {}
+
+    def run(prep):
+        router, reg, out_bus = prep
+        router.route(list(reg.get_ports("q")), out_bus)
+
+    benchmark.pedantic(run, setup=setup, rounds=3)
+
+
+def test_shape_loopback_is_functional():
+    t = run_e14(width=8)
+    assert "read 0xA5" in t.rows[3][3]

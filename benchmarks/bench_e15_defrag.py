@@ -1,0 +1,59 @@
+"""E15: floorplan defragmentation (an RTR tool built on the API)."""
+
+import pytest
+
+from repro.bench.experiments import run_e15
+from repro.core.router import JRouter
+from repro.cores import AccumulatorCore, ConstantCore, RegisterCore
+from repro.cores.core import Floorplan, Rect, _floorplan_of
+from repro.tools import defrag, find_fit, largest_free_rect
+
+
+def _fragmented():
+    router = JRouter(part="XCV100")
+    acc = AccumulatorCore(router, "acc", 8, 12, width=4)
+    k = ConstantCore(router, "k", 3, 22, width=4, value=3)
+    mon = RegisterCore(router, "mon", 14, 5, width=4)
+    router.route(list(k.get_ports("out")), list(acc.get_ports("in")))
+    router.route(list(acc.get_ports("q")), list(mon.get_ports("d")))
+    return router, [acc, k, mon]
+
+
+def test_defrag_pass(benchmark):
+    def setup():
+        return (_fragmented(),), {}
+
+    def run(prep):
+        router, cores = prep
+        defrag(router, cores)
+
+    benchmark.pedantic(run, setup=setup, rounds=3)
+
+
+def test_largest_free_rect_analysis(benchmark):
+    fp = Floorplan(64, 96)
+    for i in range(12):
+        fp.place(f"c{i}", Rect((i * 7) % 50, (i * 13) % 80, 4, 6))
+
+    def run():
+        return largest_free_rect(fp)
+
+    rect = benchmark(run)
+    assert rect.height * rect.width > 0
+
+
+def test_find_fit_scan(benchmark):
+    fp = Floorplan(64, 96)
+    for i in range(12):
+        fp.place(f"c{i}", Rect((i * 7) % 50, (i * 13) % 80, 4, 6))
+
+    def run():
+        return find_fit(fp, 10, 10)
+
+    assert benchmark(run) is not None
+
+
+def test_shape_defrag_recovers_space():
+    t = run_e15()
+    assert t.rows[0][2] is False  # did not fit
+    assert t.rows[1][2] is True   # fits after compaction

@@ -1,0 +1,52 @@
+"""E1 / Figure 1: architecture census and fabric construction cost."""
+
+import pytest
+
+from repro.arch import connectivity, wires
+from repro.arch.virtex import VirtexArch
+from repro.bench.experiments import run_e1
+from repro.device.fabric import Device
+
+
+def test_census_table():
+    """Regenerate the E1 table; Section 2's numbers and rules must hold."""
+    table = run_e1()
+    assert any(": 0" in n for n in table.notes)  # zero legality violations
+    by_part = {r[0]: r for r in table.rows}
+    assert by_part["XCV50"][1] == "16x24"
+    assert by_part["XCV1000"][1] == "64x96"
+
+
+def test_arch_construction(benchmark):
+    benchmark(VirtexArch, "XCV50")
+
+
+def test_device_construction(benchmark):
+    benchmark(Device, "XCV50")
+
+
+def test_device_construction_xcv1000(benchmark):
+    benchmark(Device, "XCV1000")
+
+
+def test_canonicalize_throughput(benchmark):
+    arch = VirtexArch("XCV50")
+
+    def run():
+        total = 0
+        for name in range(0, wires.N_NAMES, 3):
+            c = arch.canonicalize(8, 11, name)
+            if c is not None:
+                total += 1
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_fanout_enumeration(benchmark, device):
+    canon = device.resolve(8, 11, wires.SINGLE_E[5])
+
+    def run():
+        return sum(1 for _ in device.fanout_pips(canon))
+
+    assert benchmark(run) > 0

@@ -1,0 +1,74 @@
+"""E2: routing time vs level of control (Section 3.1's tradeoff).
+
+Each benchmark routes the paper's running example net and unroutes it so
+the measured call sequence is self-resetting.  The paper's claim: rising
+abstraction costs execution time but removes architecture knowledge.
+"""
+
+import pytest
+
+from repro.arch import wires
+from repro.arch.templates import TemplateValue as TV
+from repro.core import Path, Pin, Template
+
+SRC = Pin(5, 7, wires.S1_YQ)
+SINK = Pin(6, 8, wires.S0F[3])
+
+
+def test_level1_explicit_pips(benchmark, router):
+    def run():
+        router.route(5, 7, wires.S1_YQ, wires.OUT[1])
+        router.route(5, 7, wires.OUT[1], wires.SINGLE_E[5])
+        router.route(5, 8, wires.SINGLE_W[5], wires.SINGLE_N[0])
+        router.route(6, 8, wires.SINGLE_S[0], wires.S0F[3])
+        router.unroute(SRC)
+
+    benchmark(run)
+
+
+def test_level2_path(benchmark, router):
+    path = Path(5, 7, [wires.S1_YQ, wires.OUT[1], wires.SINGLE_E[5],
+                       wires.SINGLE_N[0], wires.S0F[3]])
+
+    def run():
+        router.route(path)
+        router.unroute(SRC)
+
+    benchmark(run)
+
+
+def test_level3_template(benchmark, router):
+    tmpl = Template([TV.OUTMUX, TV.EAST1, TV.NORTH1, TV.CLBIN])
+
+    def run():
+        router.route(SRC, wires.S0F[3], tmpl)
+        router.unroute(SRC)
+
+    benchmark(run)
+
+
+def test_level4_auto_templates(benchmark, router):
+    def run():
+        router.route(SRC, SINK)
+        router.unroute(SRC)
+
+    benchmark(run)
+
+
+def test_level4_auto_maze_only(benchmark, router):
+    router.try_templates = False
+
+    def run():
+        router.route(SRC, SINK)
+        router.unroute(SRC)
+
+    benchmark(run)
+
+
+def test_shape_levels_get_slower(router):
+    """Pin the paper's qualitative ordering: level 1 < path < template."""
+    from repro.bench.experiments import run_e2
+
+    table = run_e2(repeats=5)
+    times = {r[0]: r[2] for r in table.rows}
+    assert times["1"] < times["3"] < times["4b"]

@@ -1,0 +1,57 @@
+"""E4: port-to-port bus routing between cores (multiplier -> adder)."""
+
+import pytest
+
+from repro.bench.experiments import run_e4
+from repro.core.router import JRouter
+from repro.cores import AdderCore, ConstantMultiplierCore
+
+
+def _cores():
+    router = JRouter(part="XCV100")
+    kcm = ConstantMultiplierCore(router, "mult", 2, 2, width=8, constant=11)
+    adder = AdderCore(router, "acc", 2, 6, width=8)
+    outs = list(kcm.get_ports("out"))[:8]
+    ins = list(adder.get_ports("a"))
+    return router, outs, ins
+
+
+def test_bus_call(benchmark):
+    def setup():
+        return (_cores(),), {}
+
+    def run(prep):
+        router, outs, ins = prep
+        router.route(outs, ins)
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+
+
+def test_per_bit_loop(benchmark):
+    def setup():
+        return (_cores(),), {}
+
+    def run(prep):
+        router, outs, ins = prep
+        for o, i in zip(outs, ins):
+            router.route(o, i)
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+
+
+def test_port_translation_overhead(benchmark):
+    """Resolving a port to pins is cheap relative to routing."""
+    router, outs, ins = _cores()
+
+    def run():
+        return sum(len(router.sink_pins_of(p)) for p in ins)
+
+    assert benchmark(run) == 16  # adder 'a' ports bind 2 pins each
+
+
+def test_shape_bus_is_one_call():
+    table = run_e4(width=8)
+    rows = {r[0]: r for r in table.rows}
+    assert rows["bus call"][1] == 1
+    assert rows["per-bit loop"][1] == 8
+    assert rows["bus call"][2] == rows["per-bit loop"][2]  # same pips

@@ -1,0 +1,65 @@
+"""E5: the constant-multiplier swap (Section 3.3's RTR showcase)."""
+
+import pytest
+
+from repro.bench.experiments import run_e5
+from repro.core.router import JRouter
+from repro.cores import ConstantMultiplierCore, RegisterCore, replace_core
+from repro.jbits import write_bitstream
+
+
+def _design(constant=5):
+    router = JRouter(part="XCV100")
+    kcm = ConstantMultiplierCore(router, "kcm", 2, 2, width=4, constant=constant)
+    reg = RegisterCore(router, "reg", 2, 6, width=kcm.out_width)
+    router.route(list(kcm.get_ports("out")), list(reg.get_ports("d")))
+    router.jbits.memory.clear_dirty()
+    return router, kcm, reg
+
+
+def test_replace_and_reconnect(benchmark):
+    def setup():
+        return (_design(),), {}
+
+    def run(prep):
+        router, kcm, reg = prep
+        replace_core(kcm, constant=7)
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+
+
+def test_full_rebuild(benchmark):
+    def run():
+        _design(constant=7)
+
+    benchmark(run)
+
+
+def test_lut_only_reparameterisation(benchmark):
+    """set_constant: same footprint, no unroute at all — the cheapest RTR."""
+    router, kcm, reg = _design()
+    toggle = [5, 7]
+
+    def run():
+        kcm.set_constant(toggle[0])
+        toggle.reverse()
+
+    benchmark(run)
+
+
+def test_partial_bitstream_generation(benchmark):
+    router, kcm, reg = _design()
+    replace_core(kcm, constant=7)
+    dirty = router.jbits.memory.dirty_frames
+
+    def run():
+        return write_bitstream(router.jbits.memory, dirty)
+
+    assert len(benchmark(run)) > 0
+
+
+def test_shape_partial_much_smaller_than_full():
+    table = run_e5(width=4)
+    partial_bytes = table.rows[0][4]
+    full_bytes = table.rows[1][4]
+    assert partial_bytes * 10 < full_bytes  # partial reconfig wins big

@@ -1,0 +1,71 @@
+"""E6: contention detection cost and coverage (Section 3.4)."""
+
+import pytest
+
+from repro import errors
+from repro.arch import connectivity, wires
+from repro.bench.experiments import run_e6
+from repro.bench.workloads import random_p2p_nets
+from repro.device.contention import would_contend
+from repro.routers.auto import route_point_to_point
+from repro.routers.base import apply_plan
+
+
+@pytest.fixture()
+def routed_device(device):
+    for net in random_p2p_nets(device.arch, 15, seed=3):
+        src = device.resolve(net.source.row, net.source.col, net.source.wire)
+        sink = device.resolve(net.sinks[0].row, net.sinks[0].col, net.sinks[0].wire)
+        res = route_point_to_point(device, src, sink, try_templates=False,
+                                   heuristic_weight=0.8)
+        apply_plan(device, res.plan)
+    return device
+
+
+def test_is_on_throughput(benchmark, routed_device):
+    used = [int(w) for w in routed_device.state.used_wires()][:200]
+    queries = [routed_device.arch.primary_name(w) for w in used]
+
+    def run():
+        return sum(routed_device.is_on(r, c, n) for r, c, n in queries)
+
+    assert benchmark(run) == len(queries)
+
+
+def test_would_contend_throughput(benchmark, routed_device):
+    def run():
+        return sum(
+            1
+            for w in list(routed_device.state.pip_of)[:100]
+            for row, col, fn, tn, cf in routed_device.fanin_pips(w)
+            if would_contend(routed_device, row, col, fn, tn)
+        )
+
+    assert benchmark(run) > 0
+
+
+def test_contention_exception_cost(benchmark, routed_device):
+    """Cost of the protective exception path itself."""
+    w = next(iter(routed_device.state.pip_of))
+    rec = routed_device.state.pip_of[w]
+    attack = None
+    for row, col, fn, tn, cf in routed_device.fanin_pips(w):
+        if cf != rec.canon_from:
+            attack = (row, col, fn, tn)
+            break
+    assert attack is not None
+
+    def run():
+        try:
+            routed_device.turn_on(*attack)
+        except errors.JRouteError:
+            return True
+        return False
+
+    assert benchmark(run)
+
+
+def test_shape_every_double_drive_detected():
+    table = run_e6(n_nets=15)
+    _, attempts, caught, corrupt = table.rows[0]
+    assert attempts == caught and corrupt == 0

@@ -1,0 +1,57 @@
+"""E7: JRoute port-level routing vs raw JBits PIP programming (Section 4)."""
+
+import pytest
+
+from repro.bench.experiments import run_e7
+from repro.core.router import JRouter
+from repro.cores import AdderCore, ConstantMultiplierCore
+from repro.debug.netlist import export_netlist
+
+
+def _design():
+    router = JRouter(part="XCV100")
+    kcm = ConstantMultiplierCore(router, "mult", 2, 2, width=8, constant=9)
+    adder = AdderCore(router, "add", 2, 6, width=8)
+    return router, kcm, adder
+
+
+def test_jroute_port_bus(benchmark):
+    def setup():
+        return (_design(),), {}
+
+    def run(prep):
+        router, kcm, adder = prep
+        router.route(list(kcm.get_ports("out"))[:8], list(adder.get_ports("a")))
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+
+
+def test_raw_jbits_replay(benchmark):
+    """Replaying the same connectivity PIP-by-PIP through JBits."""
+    router, kcm, adder = _design()
+    router.route(list(kcm.get_ports("out"))[:8], list(adder.get_ports("a")))
+    netlist = export_netlist(router.device)
+    pips = [(p["row"], p["col"], p["from"], p["to"])
+            for net in netlist for p in net["pips"]]
+
+    def setup():
+        return (_design()[0],), {}
+
+    def run(fresh):
+        for row, col, fn, tn in pips:
+            try:
+                fresh.jbits.set(row, col, fn, tn)
+            except Exception:
+                pass  # internal core pips may already exist
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+
+
+def test_shape_call_burden():
+    table = run_e7(width=8)
+    jroute = table.rows[0]
+    jbits = table.rows[1]
+    assert jroute[1] == 1              # one port-bus call
+    assert jbits[1] > 20               # dozens of PIP-level calls
+    assert jroute[2] == 0              # zero wire names typed
+    assert jbits[2] > 20               # full architecture vocabulary

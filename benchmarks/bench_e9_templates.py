@@ -1,0 +1,47 @@
+"""E9: predefined-template hit rate and speedup vs maze fallback."""
+
+import pytest
+
+from repro.bench.experiments import run_e9
+from repro.device.fabric import Device
+from repro.arch import wires
+from repro.routers.auto import route_point_to_point
+
+
+@pytest.mark.parametrize("span", [2, 8, 20])
+def test_template_route_by_span(benchmark, span):
+    device = Device("XCV50")
+    src = device.resolve(2, 1, wires.S0_X)
+    sink = device.resolve(2, 1 + span, wires.S0F[2])
+
+    def run():
+        return route_point_to_point(device, src, sink, try_templates=True)
+
+    res = benchmark(run)
+    assert res.method == "template"
+
+
+@pytest.mark.parametrize("span", [2, 8, 20])
+def test_maze_route_by_span(benchmark, span):
+    device = Device("XCV50")
+    src = device.resolve(2, 1, wires.S0_X)
+    sink = device.resolve(2, 1 + span, wires.S0F[2])
+
+    def run():
+        return route_point_to_point(device, src, sink, try_templates=False)
+
+    res = benchmark(run)
+    assert res.method == "maze"
+
+
+def test_shape_templates_hit_and_win():
+    """On an empty fabric the predefined set should almost always hit,
+    and be much faster than the maze fallback (the point of Section 3.1's
+    design)."""
+    table = run_e9(samples_per_bucket=4)
+    total_hits = sum(r[2] for r in table.rows)
+    total = sum(r[1] for r in table.rows)
+    assert total_hits >= total * 0.9
+    for bucket in table.rows:
+        if bucket[2]:  # bucket had template hits
+            assert bucket[4] < bucket[5]  # template time < maze time

@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_eN_*.py`` file regenerates one experiment of EXPERIMENTS.md:
+timing-sensitive pieces run under pytest-benchmark; shape assertions keep
+the paper's qualitative claims pinned (who wins, by roughly what factor).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.router import JRouter
+from repro.device.fabric import Device
+
+
+@pytest.fixture()
+def device():
+    return Device("XCV50")
+
+
+@pytest.fixture()
+def router():
+    return JRouter(part="XCV50")
+
+
+@pytest.fixture()
+def router100():
+    return JRouter(part="XCV100")

@@ -1,0 +1,72 @@
+"""Quickstart: the paper's Section 3.1 running example, at every level.
+
+Routes S1_YQ at CLB (5,7) to S0F3 at CLB (6,8) four ways — explicit PIPs,
+a Path, a Template, and full auto-routing — tracing and unrouting between
+attempts.  Run::
+
+    python examples/quickstart.py
+"""
+
+from repro import JRouter, Path, Pin, Template, wires
+from repro.arch.templates import TemplateValue as TV
+
+
+def main() -> None:
+    router = JRouter(part="XCV50")
+    src = Pin(5, 7, wires.S1_YQ)
+    sink = Pin(6, 8, wires.S0F[3])
+
+    # Level 1 — the user decides the path, one PIP at a time
+    print("== level 1: explicit PIPs ==")
+    router.route(5, 7, wires.S1_YQ, wires.OUT[1])
+    router.route(5, 7, wires.OUT[1], wires.SINGLE_E[5])
+    router.route(5, 8, wires.SINGLE_W[5], wires.SINGLE_N[0])
+    router.route(6, 8, wires.SINGLE_S[0], wires.S0F[3])
+    print(router.trace(src).describe(router.device))
+    router.unroute(src)
+
+    # Level 2 — a Path object names the resources; the router walks tiles
+    print("\n== level 2: Path ==")
+    path = Path(5, 7, [wires.S1_YQ, wires.OUT[1], wires.SINGLE_E[5],
+                       wires.SINGLE_N[0], wires.S0F[3]])
+    router.route(path)
+    print(router.trace(src).describe(router.device))
+    router.unroute(src)
+
+    # Level 3 — a Template names only direction/resource classes
+    print("\n== level 3: Template ==")
+    template = Template([TV.OUTMUX, TV.EAST1, TV.NORTH1, TV.CLBIN])
+    router.route(src, wires.S0F[3], template)
+    print(router.trace(src).describe(router.device))
+    router.unroute(src)
+
+    # Level 4 — auto-routing: predefined templates, maze fallback
+    print("\n== level 4: auto point-to-point ==")
+    router.route(src, sink)
+    print(router.trace(src).describe(router.device))
+    print(f"(template hits: {router.p2p_template_hits}, "
+          f"maze fallbacks: {router.p2p_maze_fallbacks})")
+
+    # Level 5 — one source, many sinks (greedy fanout with tree reuse)
+    print("\n== level 5: fanout ==")
+    router.unroute(src)
+    sinks = [sink, Pin(9, 12, wires.S0G[1]), Pin(3, 2, wires.S1F[2])]
+    router.route(src, sinks)
+    trace = router.trace(src)
+    print(f"net reaches {len(trace.sinks)} sinks through "
+          f"{len(trace.pips)} PIPs")
+
+    # reverse operations: trace a sink back, free one branch
+    print("\n== reverse trace / reverse unroute ==")
+    branch = router.reverse_trace(sinks[1])
+    print(f"branch to {sinks[1]}: {len(branch)} PIPs")
+    router.reverse_unroute(sinks[1])
+    print(f"after reverse_unroute: {len(router.trace(src).sinks)} sinks remain")
+
+    router.unroute(src)
+    assert router.device.state.n_pips_on == 0
+    print("\nall connections removed; device is clean")
+
+
+if __name__ == "__main__":
+    main()

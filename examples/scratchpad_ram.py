@@ -1,0 +1,51 @@
+"""Distributed LUT-RAM: a scratchpad memory with routed ports.
+
+Builds a 16x8 RAM from LUT memory (the CLB-fabric counterpart of the
+Block RAM the paper lists as future work), writes a pattern through
+routed data ports, reads it back, and shows that the memory contents
+live in the configuration bits — a partial readback captures them.
+Run::
+
+    python examples/scratchpad_ram.py
+"""
+
+from repro import JRouter
+from repro.cores import LutRamCore
+from repro.jbits import write_bitstream
+from repro.sim import Simulator
+
+
+def main() -> None:
+    router = JRouter(part="XCV100")
+    ram = LutRamCore(router, "scratch", 4, 4, width=8,
+                     init=(0xDE, 0xAD, 0xBE, 0xEF))
+    print("initial contents:",
+          " ".join(f"{v:02X}" for v in ram.read_contents()))
+
+    sim = Simulator(router.device, router.jbits)
+
+    # asynchronous reads of the init pattern
+    for addr in range(4):
+        sim.drive_bus(ram.get_ports("addr"), addr)
+        print(f"  read [{addr}] -> {sim.read_bus(ram.get_ports('dout')):02X}")
+
+    # write a counting pattern into the upper half
+    router.jbits.memory.clear_dirty()
+    sim.drive_bus(ram.get_ports("we"), 1)
+    for addr in range(8, 16):
+        sim.drive_bus(ram.get_ports("addr"), addr)
+        sim.drive_bus(ram.get_ports("din"), addr * 16 + addr)
+        sim.step()
+    sim.drive_bus(ram.get_ports("we"), 0)
+    print("after writes:   ",
+          " ".join(f"{v:02X}" for v in ram.read_contents()))
+
+    # the writes live in configuration bits: ship them as a partial stream
+    dirty = router.jbits.memory.dirty_frames
+    partial = write_bitstream(router.jbits.memory, dirty)
+    print(f"memory state captured by {len(dirty)} dirty frames "
+          f"({len(partial):,} bytes of partial bitstream)")
+
+
+if __name__ == "__main__":
+    main()

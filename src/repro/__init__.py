@@ -1,0 +1,47 @@
+"""JRoute reproduction: a run-time routing API over a simulated
+Virtex-class FPGA fabric.
+
+Reproduces Keller, *JRoute: A Run-Time Routing API for FPGA Hardware*
+(IPPS 2000): the JRoute API (:mod:`repro.core`) with its six levels of
+routing control, ports, unrouter, tracer and contention protection; the
+JBits-style bitstream substrate (:mod:`repro.jbits`); the simulated
+Virtex architecture and device (:mod:`repro.arch`, :mod:`repro.device`);
+swappable routing algorithms including a PathFinder baseline
+(:mod:`repro.routers`); a run-time parameterizable core library
+(:mod:`repro.cores`); BoardScope-style debugging (:mod:`repro.debug`);
+and the experiment harness (:mod:`repro.bench`).
+
+Quickstart::
+
+    from repro import JRouter, Pin, wires
+
+    router = JRouter(part="XCV50")
+    src = Pin(5, 7, wires.S1_YQ)
+    sink = Pin(6, 8, wires.S0F[3])
+    router.route(src, sink)          # auto point-to-point
+    print(router.trace(src).describe(router.device))
+    router.unroute(src)
+"""
+
+from . import errors
+from .arch import VirtexArch, wires
+from .core import JRouter, Path, Pin, Port, PortDirection, Template
+from .device import Device
+from .jbits import JBits
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "errors",
+    "VirtexArch",
+    "wires",
+    "JRouter",
+    "Path",
+    "Pin",
+    "Port",
+    "PortDirection",
+    "Template",
+    "Device",
+    "JBits",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Architecture description of the simulated Virtex-class fabric.
+
+This package is the reproduction of the paper's "architecture description
+file": wire name space (:mod:`~repro.arch.wires`), template classification
+(:mod:`~repro.arch.templates`), GRM connectivity tables
+(:mod:`~repro.arch.connectivity`, the proprietary-routing-database
+substitute), the device catalogue (:mod:`~repro.arch.devices`), and the
+:class:`~repro.arch.virtex.VirtexArch` facade that routers are written
+against.
+"""
+
+from . import connectivity, devices, templates, wires
+from .devices import PARTS, DevicePart, part, part_names
+from .templates import TemplateValue, template_value_of
+from .virtex import N_OWNED, VirtexArch
+from .wires import Direction, WireClass, WireInfo, wire_info, wire_name
+
+__all__ = [
+    "connectivity",
+    "devices",
+    "templates",
+    "wires",
+    "PARTS",
+    "DevicePart",
+    "part",
+    "part_names",
+    "TemplateValue",
+    "template_value_of",
+    "N_OWNED",
+    "VirtexArch",
+    "Direction",
+    "WireClass",
+    "WireInfo",
+    "wire_info",
+    "wire_name",
+]

@@ -1,0 +1,273 @@
+"""Name-level GRM connectivity tables (the routing-database substitute).
+
+The real Virtex general routing matrix (GRM) PIP patterns are part of
+Xilinx's proprietary routing database, which the original JRoute consumed
+through JBits.  This module *substitutes* that database with deterministic
+sparse index maps whose **class-level legality follows the paper's
+Section 2 verbatim**:
+
+* "Logic block outputs drive all length interconnects"  (via the OMUX)
+* "longs can drive hexes only"
+* "hexes drive singles and other hexes"
+* "singles drive logic block inputs, vertical long lines, and other singles"
+* global nets drive clock pins only
+* local resources: direct connections to the horizontally adjacent CLB and
+  feedback to inputs in the same block
+
+Within each legal class pair, the *index pattern* (which SINGLE_E index a
+given OUT wire reaches, etc.) is a fixed arithmetic spreading function.
+These functions were chosen to (a) be deterministic, (b) give fan-outs of
+the same order as the Virtex GRM, and (c) cover every index of the target
+class across the source class, so no wire is unreachable by construction.
+
+All tables here are *name-level*: they describe PIPs between two wire
+names at the same tile.  Whether a specific PIP exists at a specific tile
+additionally depends on the device bounds and drivability rules enforced
+by :mod:`repro.device`.
+"""
+
+from __future__ import annotations
+
+from . import wires
+from .wires import (
+    CTL_IN_BASE,
+    DIRECT_W_OUT,
+    GCLK,
+    IOB_IN,
+    IOB_OUT,
+    N_IOB_PER_TILE,
+    HEX_E,
+    HEX_N,
+    HEX_S,
+    HEX_W,
+    LONG_H,
+    LONG_V,
+    N_CTL_IN,
+    N_HEXES_PER_DIR,
+    N_LONGS,
+    N_NAMES,
+    N_OUT,
+    N_SINGLES_PER_DIR,
+    N_SLICE_IN,
+    N_SLICE_OUT,
+    OUT,
+    S0_CLK,
+    S1_CLK,
+    SINGLE_E,
+    SINGLE_N,
+    SINGLE_S,
+    SINGLE_W,
+    SLICE_IN_BASE,
+    SLICE_OUT_BASE,
+    Direction,
+)
+
+__all__ = [
+    "DRIVES",
+    "DRIVEN_BY",
+    "PIP_LIST",
+    "PIP_SLOT",
+    "N_PIP_SLOTS",
+    "drives",
+    "driven_by",
+    "pip_exists",
+    "pip_slot",
+]
+
+# Direction order used by the spreading formulas.
+_DIRS = (Direction.EAST, Direction.NORTH, Direction.SOUTH, Direction.WEST)
+_SINGLES = {
+    Direction.EAST: SINGLE_E,
+    Direction.NORTH: SINGLE_N,
+    Direction.SOUTH: SINGLE_S,
+    Direction.WEST: SINGLE_W,
+}
+_HEXES = {
+    Direction.EAST: HEX_E,
+    Direction.NORTH: HEX_N,
+    Direction.SOUTH: HEX_S,
+    Direction.WEST: HEX_W,
+}
+_DIR_INDEX = {d: i for i, d in enumerate(_DIRS)}
+
+#: Pool of CLB input names a general-purpose wire may terminate on
+#: (slice LUT/BX/BY inputs plus CE/SR control pins; CLK pins are reachable
+#: from general routing too, as on the device, and from the global nets).
+_INPUT_POOL = tuple(range(SLICE_IN_BASE, SLICE_IN_BASE + N_SLICE_IN)) + tuple(
+    range(CTL_IN_BASE, CTL_IN_BASE + N_CTL_IN)
+)
+_N_INPUT_POOL = len(_INPUT_POOL)
+
+#: Single-to-single turn strides, indexed [from_dir][to_dir] in E,N,S,W
+#: order.  Values avoid 12 (which would collapse the k=2 target onto the
+#: k=0 target) and include 19 for west->north so that SingleWest[5] drives
+#: SingleNorth[0], matching the paper's Section 3.1 example.
+_SINGLE_TURN_STRIDE = (
+    (1, 5, 7, 11),   # from EAST to E,N,S,W
+    (13, 1, 17, 7),  # from NORTH
+    (19, 23, 1, 5),  # from SOUTH
+    (7, 19, 11, 1),  # from WEST
+)
+
+
+def _build_tables() -> dict[int, tuple[int, ...]]:
+    drives: dict[int, set[int]] = {n: set() for n in range(N_NAMES)}
+
+    # -- slice outputs -> OMUX -------------------------------------------
+    # Each slice output reaches 4 of the 8 OUT wires; the offsets mix
+    # parities so every OUT is driven by 4 distinct slice outputs, and
+    # S1_YQ (o = 7) reaches Out[1] as in the paper's Section 3.1 example.
+    for o in range(N_SLICE_OUT):
+        src = SLICE_OUT_BASE + o
+        for k in (0, 2, 5, 7):
+            drives[src].add(OUT[(o + k) % N_OUT])
+
+    # -- OMUX -> all interconnect lengths (paper: outputs drive all) ------
+    for j in range(N_OUT):
+        src = OUT[j]
+        for d in _DIRS:
+            di = _DIR_INDEX[d]
+            # 6 singles per direction, spread over the 24 indices
+            # (Out[1] reaches SingleEast[5], per the paper's example)
+            for m in (0, 2, 8, 10, 16, 18):
+                drives[src].add(_SINGLES[d][(3 * j + 5 * di + m) % N_SINGLES_PER_DIR])
+            # 2 hexes per direction
+            for m in (0, 4):
+                drives[src].add(_HEXES[d][(j + 3 * di + m) % N_HEXES_PER_DIR])
+        # 2 horizontal + 2 vertical long-line taps
+        drives[src].add(LONG_H[j % N_LONGS])
+        drives[src].add(LONG_H[(j + 6) % N_LONGS])
+        drives[src].add(LONG_V[(j + 3) % N_LONGS])
+        drives[src].add(LONG_V[(j + 9) % N_LONGS])
+        # feedback to inputs in the same logic block (local resource)
+        for m in (0, 7, 13):
+            drives[src].add(_INPUT_POOL[(2 * j + m) % _N_INPUT_POOL])
+
+    # -- direct connections from the west neighbour's OMUX ----------------
+    for j in range(N_OUT):
+        src = DIRECT_W_OUT[j]
+        for m in (1, 6, 11):
+            drives[src].add(_INPUT_POOL[(2 * j + m) % _N_INPUT_POOL])
+
+    # -- singles -> inputs, vertical longs, singles ------------------------
+    for d in _DIRS:
+        di = _DIR_INDEX[d]
+        for i in range(N_SINGLES_PER_DIR):
+            src = _SINGLES[d][i]
+            # 3 CLB input taps (SingleSouth[0] reaches S0F3, per the paper)
+            for m in (0, 7, 20):
+                drives[src].add(_INPUT_POOL[(i + 4 * di + m) % _N_INPUT_POOL])
+            # 2 vertical long-line taps ("singles drive ... vertical longs")
+            drives[src].add(LONG_V[(i + di) % N_LONGS])
+            drives[src].add(LONG_V[(i + di + 6) % N_LONGS])
+            # 3 singles in every direction: straight-through (k = 0) plus
+            # two turns at a per-direction-pair stride
+            for d2 in _DIRS:
+                dj = _DIR_INDEX[d2]
+                stride = _SINGLE_TURN_STRIDE[di][dj]
+                for k in (0, 1, 2):
+                    tgt = _SINGLES[d2][(i + k * stride) % N_SINGLES_PER_DIR]
+                    if tgt != src:
+                        drives[src].add(tgt)
+
+    # -- hexes -> singles and other hexes ----------------------------------
+    for d in _DIRS:
+        di = _DIR_INDEX[d]
+        for i in range(N_HEXES_PER_DIR):
+            src = _HEXES[d][i]
+            for d2 in _DIRS:
+                dj = _DIR_INDEX[d2]
+                q = (3 * di + 5 * dj) % N_SINGLES_PER_DIR
+                drives[src].add(_SINGLES[d2][(2 * i + q) % N_SINGLES_PER_DIR])
+                drives[src].add(_SINGLES[d2][(2 * i + q + 12) % N_SINGLES_PER_DIR])
+                r = (di + 2 * dj + 1) % N_HEXES_PER_DIR
+                for rr in (r, r + 5):
+                    tgt = _HEXES[d2][(i + rr) % N_HEXES_PER_DIR]
+                    if tgt != src:
+                        drives[src].add(tgt)
+
+    # -- longs -> hexes only ------------------------------------------------
+    for i in range(N_LONGS):
+        for d in (Direction.EAST, Direction.WEST, Direction.NORTH, Direction.SOUTH):
+            drives[LONG_H[i]].add(_HEXES[d][i % N_HEXES_PER_DIR])
+            drives[LONG_H[i]].add(_HEXES[d][(i + 6) % N_HEXES_PER_DIR])
+            drives[LONG_V[i]].add(_HEXES[d][(i + 3) % N_HEXES_PER_DIR])
+            drives[LONG_V[i]].add(_HEXES[d][(i + 9) % N_HEXES_PER_DIR])
+
+    # -- global clock nets -> clock pins only -------------------------------
+    for g in GCLK:
+        drives[g].add(S0_CLK)
+        drives[g].add(S1_CLK)
+
+    # -- IOBs (Section 6 future work, implemented) ---------------------------
+    # An input pad drives into the general routing like a logic output:
+    # singles in every direction plus a pair of hexes (the perimeter tile
+    # filters which of these physically exist).
+    for k in range(N_IOB_PER_TILE):
+        src = IOB_IN[k]
+        for d in _DIRS:
+            di = _DIR_INDEX[d]
+            for m in (0, 6, 13, 19):
+                drives[src].add(_SINGLES[d][(7 * k + 5 * di + m) % N_SINGLES_PER_DIR])
+            drives[src].add(_HEXES[d][(3 * k + di) % N_HEXES_PER_DIR])
+    # An output pad is reached like a logic input: from singles (a third of
+    # them each) and from the OMUX for the registered fast-output path.
+    for d in _DIRS:
+        di = _DIR_INDEX[d]
+        for i in range(N_SINGLES_PER_DIR):
+            drives[_SINGLES[d][i]].add(IOB_OUT[(i + di) % N_IOB_PER_TILE])
+    for j in range(N_OUT):
+        drives[OUT[j]].add(IOB_OUT[j % N_IOB_PER_TILE])
+
+    # Hex wires must not drive the same physical wire they are (no
+    # self loops exist at name level because a hex name never appears in
+    # its own drive set by construction); sanity-check that here.
+    for n, ds in drives.items():
+        assert n not in ds, f"self-drive generated for {wires.wire_name(n)}"
+
+    return {n: tuple(sorted(ds)) for n, ds in drives.items()}
+
+
+#: ``DRIVES[name]`` -> tuple of names this wire can drive at a tile.
+DRIVES: dict[int, tuple[int, ...]] = _build_tables()
+
+#: ``DRIVEN_BY[name]`` -> tuple of names that can drive this wire at a tile.
+DRIVEN_BY: dict[int, tuple[int, ...]] = {}
+for _src, _targets in DRIVES.items():
+    for _t in _targets:
+        DRIVEN_BY.setdefault(_t, ())
+for _src, _targets in DRIVES.items():
+    for _t in _targets:
+        DRIVEN_BY[_t] = DRIVEN_BY[_t] + (_src,)
+for _n in range(N_NAMES):
+    DRIVEN_BY.setdefault(_n, ())
+DRIVEN_BY = {n: tuple(sorted(v)) for n, v in DRIVEN_BY.items()}
+
+#: Deterministic enumeration of every name-level PIP; its position is the
+#: PIP's configuration-bit slot inside a tile's config region (see
+#: :mod:`repro.jbits.bitstream`).
+PIP_LIST: tuple[tuple[int, int], ...] = tuple(
+    (src, dst) for src in sorted(DRIVES) for dst in DRIVES[src]
+)
+PIP_SLOT: dict[tuple[int, int], int] = {p: i for i, p in enumerate(PIP_LIST)}
+N_PIP_SLOTS = len(PIP_LIST)
+
+
+def drives(name: int) -> tuple[int, ...]:
+    """Names this wire can drive through same-tile PIPs."""
+    return DRIVES[name]
+
+
+def driven_by(name: int) -> tuple[int, ...]:
+    """Names that can drive this wire through same-tile PIPs."""
+    return DRIVEN_BY[name]
+
+
+def pip_exists(from_name: int, to_name: int) -> bool:
+    """True if a name-level PIP ``from_name -> to_name`` exists."""
+    return (from_name, to_name) in PIP_SLOT
+
+
+def pip_slot(from_name: int, to_name: int) -> int:
+    """Configuration-bit slot of a name-level PIP within a tile region."""
+    return PIP_SLOT[(from_name, to_name)]

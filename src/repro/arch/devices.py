@@ -1,0 +1,82 @@
+"""The device catalogue: Virtex and its fabric-compatible successors.
+
+The paper: "The array sizes for Virtex range from 16x24 CLBs to 64x96
+CLBs."  These are the real Virtex family CLB arrays (rows x columns) from
+the Programmable Logic Data Book the paper cites.
+
+Section 5 portability, realised: "it can be extended to support future
+Xilinx architectures.  The API would not need to change."  Spartan-II —
+released shortly after the paper — reused the Virtex routing fabric at
+smaller array sizes, so supporting it here is exactly the catalogue
+extension the paper predicts: new parts, same architecture class, zero
+router changes (see ``tests/test_portability.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DevicePart", "PARTS", "part", "part_names", "family_parts"]
+
+
+@dataclass(frozen=True, slots=True)
+class DevicePart:
+    """One catalogue member (Virtex or a fabric-compatible family)."""
+
+    name: str
+    rows: int  #: CLB rows
+    cols: int  #: CLB columns
+    family: str = "Virtex"
+
+    @property
+    def clbs(self) -> int:
+        return self.rows * self.cols
+
+
+PARTS: dict[str, DevicePart] = {
+    p.name: p
+    for p in (
+        DevicePart("XCV50", 16, 24),
+        DevicePart("XCV100", 20, 30),
+        DevicePart("XCV150", 24, 36),
+        DevicePart("XCV200", 28, 42),
+        DevicePart("XCV300", 32, 48),
+        DevicePart("XCV400", 40, 60),
+        DevicePart("XCV600", 48, 72),
+        DevicePart("XCV800", 56, 84),
+        DevicePart("XCV1000", 64, 96),
+        # Spartan-II: the Virtex fabric at commodity sizes (Section 5)
+        DevicePart("XC2S15", 8, 12, family="Spartan-II"),
+        DevicePart("XC2S30", 12, 18, family="Spartan-II"),
+        DevicePart("XC2S50", 16, 24, family="Spartan-II"),
+        DevicePart("XC2S100", 20, 30, family="Spartan-II"),
+        DevicePart("XC2S150", 24, 36, family="Spartan-II"),
+        DevicePart("XC2S200", 28, 42, family="Spartan-II"),
+    )
+}
+
+
+def part(name: str) -> DevicePart:
+    """Look up a family member by name (e.g. ``"XCV50"``)."""
+    try:
+        return PARTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown Virtex part {name!r}; known parts: {', '.join(PARTS)}"
+        ) from None
+
+
+def part_names(family: str | None = "Virtex") -> tuple[str, ...]:
+    """Catalogue part names, smallest array first.
+
+    Defaults to the Virtex family (what the paper covers); pass a family
+    name for others, or ``None`` for everything.
+    """
+    return tuple(
+        n for n, p in PARTS.items() if family is None or p.family == family
+    )
+
+
+def family_parts(family: str) -> tuple[DevicePart, ...]:
+    """All parts of one family."""
+    return tuple(p for p in PARTS.values() if p.family == family)

@@ -1,0 +1,96 @@
+"""Template values: direction + resource-type classification of wires.
+
+The paper (Section 3): "A template value is defined as a value describing a
+direction and a resource type.  For example, a template value of NORTH6
+describes any hex wire in the north direction, a template value of NORTH1
+describes any single wire in the north direction."
+
+The architecture description class records *which template value each wire
+can be classified under*; that classification is :func:`template_value_of`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from . import wires
+from .wires import Direction, WireClass
+
+__all__ = ["TemplateValue", "template_value_of", "names_with_template_value"]
+
+
+class TemplateValue(enum.IntEnum):
+    """The template vocabulary of the paper's Section 3.1 examples."""
+
+    OUTMUX = 0   #: an OMUX output wire
+    CLBOUT = 1   #: a logic-block output pin
+    CLBIN = 2    #: a logic-block input pin (incl. control pins)
+    EAST1 = 3    #: single heading east
+    NORTH1 = 4
+    SOUTH1 = 5
+    WEST1 = 6
+    EAST6 = 7    #: hex heading east
+    NORTH6 = 8
+    SOUTH6 = 9
+    WEST6 = 10
+    LONGH = 11   #: horizontal long line
+    LONGV = 12   #: vertical long line
+    GLOBAL = 13  #: dedicated global net
+    DIRECT = 14  #: direct connection from the adjacent CLB
+    PADIN = 15   #: input-pad wire driving into the fabric
+    PADOUT = 16  #: output-pad wire driven by the fabric
+
+
+_SINGLE_BY_DIR = {
+    Direction.EAST: TemplateValue.EAST1,
+    Direction.NORTH: TemplateValue.NORTH1,
+    Direction.SOUTH: TemplateValue.SOUTH1,
+    Direction.WEST: TemplateValue.WEST1,
+}
+
+_HEX_BY_DIR = {
+    Direction.EAST: TemplateValue.EAST6,
+    Direction.NORTH: TemplateValue.NORTH6,
+    Direction.SOUTH: TemplateValue.SOUTH6,
+    Direction.WEST: TemplateValue.WEST6,
+}
+
+
+def template_value_of(name: int) -> TemplateValue:
+    """Classify a wire name under its template value."""
+    info = wires.wire_info(name)
+    cls = info.wire_class
+    if cls is WireClass.OUT:
+        return TemplateValue.OUTMUX
+    if cls is WireClass.SLICE_OUT:
+        return TemplateValue.CLBOUT
+    if cls in (WireClass.SLICE_IN, WireClass.CTL_IN):
+        return TemplateValue.CLBIN
+    if cls is WireClass.SINGLE:
+        return _SINGLE_BY_DIR[info.direction]
+    if cls is WireClass.HEX:
+        return _HEX_BY_DIR[info.direction]
+    if cls is WireClass.LONG_H:
+        return TemplateValue.LONGH
+    if cls is WireClass.LONG_V:
+        return TemplateValue.LONGV
+    if cls is WireClass.GCLK:
+        return TemplateValue.GLOBAL
+    if cls is WireClass.DIRECT:
+        return TemplateValue.DIRECT
+    if cls is WireClass.IOB_IN:
+        return TemplateValue.PADIN
+    if cls is WireClass.IOB_OUT:
+        return TemplateValue.PADOUT
+    raise ValueError(f"unclassifiable wire name {name}")  # pragma: no cover
+
+
+_BY_VALUE: dict[TemplateValue, tuple[int, ...]] = {}
+for _n in range(wires.N_NAMES):
+    _BY_VALUE.setdefault(template_value_of(_n), tuple())
+    _BY_VALUE[template_value_of(_n)] = _BY_VALUE[template_value_of(_n)] + (_n,)
+
+
+def names_with_template_value(value: TemplateValue) -> tuple[int, ...]:
+    """All wire names classified under ``value``."""
+    return _BY_VALUE.get(value, ())

@@ -1,0 +1,384 @@
+"""Wire name space of the simulated Virtex-class tile.
+
+The paper describes a Java "architecture description" class in which *each
+wire is defined by a unique integer*.  This module is that class's name
+space: every routing resource a tile can refer to gets a small-integer
+*name id*, together with static metadata (resource class, direction,
+index within its class, and physical length in CLBs).
+
+Names versus canonical wires
+----------------------------
+A *name* is tile-relative: ``SINGLE_E[5]`` at tile ``(5, 7)`` and
+``SINGLE_W[5]`` at tile ``(5, 8)`` are two names for one physical wire
+(exactly the aliasing used in the paper's Section 3.1 routing example).
+Canonicalisation of names to physical wire instances lives in
+:mod:`repro.device.resource`; this module only defines the per-tile name
+ids and their classification.
+
+Per-tile name layout (``N_NAMES`` total)::
+
+    0   ..   7   OUT[0..7]          output multiplexer (OMUX) wires
+    8   ..  15   slice outputs      S0_X S0_Y S0_XQ S0_YQ S1_X S1_Y S1_XQ S1_YQ
+    16  ..  35   slice inputs       S0_F1..F4 S0_G1..G4 S0_BX S0_BY, then S1_*
+    36  ..  41   control inputs     S0_CLK S0_CE S0_SR S1_CLK S1_CE S1_SR
+    42  ..  65   SINGLE_E[0..23]    single-length lines heading east
+    66  ..  89   SINGLE_N[0..23]
+    90  .. 113   SINGLE_S[0..23]
+    114 .. 137   SINGLE_W[0..23]
+    138 .. 149   HEX_E[0..11]       hex-length lines (12 accessible per dir)
+    150 .. 161   HEX_N[0..11]
+    162 .. 173   HEX_S[0..11]
+    174 .. 185   HEX_W[0..11]
+    186 .. 197   LONG_H[0..11]      chip-spanning horizontal long lines
+    198 .. 209   LONG_V[0..11]      chip-spanning vertical long lines
+    210 .. 213   GCLK[0..3]         dedicated global (clock) nets
+    214 .. 221   DIRECT_W_OUT[0..7] west neighbour's OUT wires as seen here
+                                    (the "direct connection between
+                                    horizontally adjacent CLBs" of Sec. 2)
+    222 .. 224   IOB_IN[0..2]       pad-to-fabric wires (perimeter tiles only;
+                                    the paper's Section 6 IOB future work)
+    225 .. 227   IOB_OUT[0..2]      fabric-to-pad wires (perimeter tiles only)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "WireClass",
+    "Direction",
+    "WireInfo",
+    "N_NAMES",
+    "N_SINGLES_PER_DIR",
+    "N_HEXES_PER_DIR",
+    "N_LONGS",
+    "N_OUT",
+    "N_SLICE_OUT",
+    "N_SLICE_IN",
+    "N_CTL_IN",
+    "N_GCLK",
+    "OUT",
+    "SLICE_OUT_BASE",
+    "SLICE_IN_BASE",
+    "CTL_IN_BASE",
+    "SINGLE_E",
+    "SINGLE_N",
+    "SINGLE_S",
+    "SINGLE_W",
+    "HEX_E",
+    "HEX_N",
+    "HEX_S",
+    "HEX_W",
+    "LONG_H",
+    "LONG_V",
+    "GCLK",
+    "DIRECT_W_OUT",
+    "IOB_IN",
+    "IOB_OUT",
+    "N_IOB_PER_TILE",
+    "S0_X",
+    "S0_Y",
+    "S0_XQ",
+    "S0_YQ",
+    "S1_X",
+    "S1_Y",
+    "S1_XQ",
+    "S1_YQ",
+    "S0F",
+    "S0G",
+    "S1F",
+    "S1G",
+    "S0_BX",
+    "S0_BY",
+    "S1_BX",
+    "S1_BY",
+    "S0_CLK",
+    "S0_CE",
+    "S0_SR",
+    "S1_CLK",
+    "S1_CE",
+    "S1_SR",
+    "WIRE_INFO",
+    "wire_info",
+    "wire_name",
+    "parse_wire_name",
+    "is_source_name",
+    "is_sink_name",
+    "ALL_SINK_NAMES",
+    "ALL_SOURCE_NAMES",
+]
+
+
+class WireClass(enum.IntEnum):
+    """Resource classes of the Virtex routing fabric (paper Section 2)."""
+
+    OUT = 0        #: OMUX output wire; fans out of the CLB into the GRM
+    SLICE_OUT = 1  #: logic-block output pin (X/Y/XQ/YQ of a slice)
+    SLICE_IN = 2   #: logic-block input pin (LUT inputs, BX/BY)
+    CTL_IN = 3     #: control input pin (CLK/CE/SR)
+    SINGLE = 4     #: single-length general-purpose line
+    HEX = 5        #: hex-length general-purpose line
+    LONG_H = 6     #: horizontal long line
+    LONG_V = 7     #: vertical long line
+    GCLK = 8       #: dedicated global clock net
+    DIRECT = 9     #: direct connection from the west neighbour's OMUX
+    IOB_IN = 10    #: input-buffer output: a pad driving into the fabric
+    IOB_OUT = 11   #: output-buffer input: the fabric driving a pad
+
+
+class Direction(enum.IntEnum):
+    """Signal directions.  NORTH increases ``row``, EAST increases ``col``.
+
+    This matches the coordinate walk of the paper's running example:
+    ``(5,7) --east--> (5,8) --north--> (6,8)``.
+    """
+
+    NONE = 0
+    EAST = 1
+    NORTH = 2
+    SOUTH = 3
+    WEST = 4
+    HORIZONTAL = 5  #: long lines spanning a row
+    VERTICAL = 6    #: long lines spanning a column
+
+    @property
+    def delta(self) -> tuple[int, int]:
+        """(drow, dcol) step of one unit of travel in this direction."""
+        return _DELTAS[self]
+
+    @property
+    def opposite(self) -> "Direction":
+        return _OPPOSITES[self]
+
+
+_DELTAS = {
+    Direction.NONE: (0, 0),
+    Direction.EAST: (0, 1),
+    Direction.NORTH: (1, 0),
+    Direction.SOUTH: (-1, 0),
+    Direction.WEST: (0, -1),
+    Direction.HORIZONTAL: (0, 0),
+    Direction.VERTICAL: (0, 0),
+}
+
+_OPPOSITES = {
+    Direction.NONE: Direction.NONE,
+    Direction.EAST: Direction.WEST,
+    Direction.WEST: Direction.EAST,
+    Direction.NORTH: Direction.SOUTH,
+    Direction.SOUTH: Direction.NORTH,
+    Direction.HORIZONTAL: Direction.HORIZONTAL,
+    Direction.VERTICAL: Direction.VERTICAL,
+}
+
+
+# ---------------------------------------------------------------------------
+# Class sizes (paper Section 2 / Virtex data book numbers quoted there)
+# ---------------------------------------------------------------------------
+
+N_OUT = 8              #: OMUX width
+N_SLICE_OUT = 8        #: two slices x (X, Y, XQ, YQ)
+N_SLICE_IN = 20        #: two slices x (F1-4, G1-4, BX, BY)
+N_CTL_IN = 6           #: two slices x (CLK, CE, SR)
+N_SINGLES_PER_DIR = 24  #: "24 single length lines in each of the four directions"
+N_HEXES_PER_DIR = 12    #: "only 12 in each direction can be accessed"
+N_LONGS = 12            #: "12 long lines that run horizontal, or vertical"
+N_GCLK = 4              #: "four dedicated global nets"
+N_IOB_PER_TILE = 3      #: pads per perimeter CLB (Virtex pads per edge CLB)
+
+# --- name id bases ---------------------------------------------------------
+
+_base = 0
+
+
+def _alloc(n: int) -> int:
+    global _base
+    b = _base
+    _base += n
+    return b
+
+
+_OUT_BASE = _alloc(N_OUT)
+SLICE_OUT_BASE = _alloc(N_SLICE_OUT)
+SLICE_IN_BASE = _alloc(N_SLICE_IN)
+CTL_IN_BASE = _alloc(N_CTL_IN)
+_SINGLE_E_BASE = _alloc(N_SINGLES_PER_DIR)
+_SINGLE_N_BASE = _alloc(N_SINGLES_PER_DIR)
+_SINGLE_S_BASE = _alloc(N_SINGLES_PER_DIR)
+_SINGLE_W_BASE = _alloc(N_SINGLES_PER_DIR)
+_HEX_E_BASE = _alloc(N_HEXES_PER_DIR)
+_HEX_N_BASE = _alloc(N_HEXES_PER_DIR)
+_HEX_S_BASE = _alloc(N_HEXES_PER_DIR)
+_HEX_W_BASE = _alloc(N_HEXES_PER_DIR)
+_LONG_H_BASE = _alloc(N_LONGS)
+_LONG_V_BASE = _alloc(N_LONGS)
+_GCLK_BASE = _alloc(N_GCLK)
+_DIRECT_BASE = _alloc(N_OUT)
+_IOB_IN_BASE = _alloc(N_IOB_PER_TILE)
+_IOB_OUT_BASE = _alloc(N_IOB_PER_TILE)
+N_NAMES = _base
+
+# --- name arrays, indexable like the paper's examples ----------------------
+
+OUT = tuple(range(_OUT_BASE, _OUT_BASE + N_OUT))
+SINGLE_E = tuple(range(_SINGLE_E_BASE, _SINGLE_E_BASE + N_SINGLES_PER_DIR))
+SINGLE_N = tuple(range(_SINGLE_N_BASE, _SINGLE_N_BASE + N_SINGLES_PER_DIR))
+SINGLE_S = tuple(range(_SINGLE_S_BASE, _SINGLE_S_BASE + N_SINGLES_PER_DIR))
+SINGLE_W = tuple(range(_SINGLE_W_BASE, _SINGLE_W_BASE + N_SINGLES_PER_DIR))
+HEX_E = tuple(range(_HEX_E_BASE, _HEX_E_BASE + N_HEXES_PER_DIR))
+HEX_N = tuple(range(_HEX_N_BASE, _HEX_N_BASE + N_HEXES_PER_DIR))
+HEX_S = tuple(range(_HEX_S_BASE, _HEX_S_BASE + N_HEXES_PER_DIR))
+HEX_W = tuple(range(_HEX_W_BASE, _HEX_W_BASE + N_HEXES_PER_DIR))
+LONG_H = tuple(range(_LONG_H_BASE, _LONG_H_BASE + N_LONGS))
+LONG_V = tuple(range(_LONG_V_BASE, _LONG_V_BASE + N_LONGS))
+GCLK = tuple(range(_GCLK_BASE, _GCLK_BASE + N_GCLK))
+DIRECT_W_OUT = tuple(range(_DIRECT_BASE, _DIRECT_BASE + N_OUT))
+IOB_IN = tuple(range(_IOB_IN_BASE, _IOB_IN_BASE + N_IOB_PER_TILE))
+IOB_OUT = tuple(range(_IOB_OUT_BASE, _IOB_OUT_BASE + N_IOB_PER_TILE))
+
+# --- slice pin names -------------------------------------------------------
+
+S0_X, S0_Y, S0_XQ, S0_YQ, S1_X, S1_Y, S1_XQ, S1_YQ = range(
+    SLICE_OUT_BASE, SLICE_OUT_BASE + N_SLICE_OUT
+)
+
+#: LUT input pins: S0F[k] is the paper's ``S0F1`` .. ``S0F4`` for k = 1..4.
+S0F = (None,) + tuple(range(SLICE_IN_BASE, SLICE_IN_BASE + 4))
+S0G = (None,) + tuple(range(SLICE_IN_BASE + 4, SLICE_IN_BASE + 8))
+S0_BX = SLICE_IN_BASE + 8
+S0_BY = SLICE_IN_BASE + 9
+S1F = (None,) + tuple(range(SLICE_IN_BASE + 10, SLICE_IN_BASE + 14))
+S1G = (None,) + tuple(range(SLICE_IN_BASE + 14, SLICE_IN_BASE + 18))
+S1_BX = SLICE_IN_BASE + 18
+S1_BY = SLICE_IN_BASE + 19
+
+S0_CLK, S0_CE, S0_SR, S1_CLK, S1_CE, S1_SR = range(CTL_IN_BASE, CTL_IN_BASE + N_CTL_IN)
+
+
+@dataclass(frozen=True, slots=True)
+class WireInfo:
+    """Static description of one wire name (the paper's per-wire record:
+    "a description of each wire, including how long it is, its direction,
+    which wires can drive it, and which wires it can drive").
+
+    Connectivity (drives / driven-by) is kept separately in
+    :mod:`repro.arch.connectivity` because it is shared, table-driven data.
+    """
+
+    name: int             #: the unique integer naming this wire at a tile
+    wire_class: WireClass
+    direction: Direction
+    index: int            #: index within its class (e.g. 5 of SINGLE_E[5])
+    length: int           #: span in CLBs (0 for tile-local resources)
+    label: str            #: human-readable name, e.g. ``"SingleEast[5]"``
+
+
+def _build_wire_info() -> tuple[WireInfo, ...]:
+    info: list[WireInfo] = []
+
+    def add(name, cls, direction, index, length, label):
+        info.append(WireInfo(name, cls, direction, index, length, label))
+
+    for i, n in enumerate(OUT):
+        add(n, WireClass.OUT, Direction.NONE, i, 0, f"Out[{i}]")
+
+    slice_out_labels = ("S0_X", "S0_Y", "S0_XQ", "S0_YQ", "S1_X", "S1_Y", "S1_XQ", "S1_YQ")
+    for i, lab in enumerate(slice_out_labels):
+        add(SLICE_OUT_BASE + i, WireClass.SLICE_OUT, Direction.NONE, i, 0, lab)
+
+    slice_in_labels = (
+        ["S0F" + str(k) for k in range(1, 5)]
+        + ["S0G" + str(k) for k in range(1, 5)]
+        + ["S0_BX", "S0_BY"]
+        + ["S1F" + str(k) for k in range(1, 5)]
+        + ["S1G" + str(k) for k in range(1, 5)]
+        + ["S1_BX", "S1_BY"]
+    )
+    for i, lab in enumerate(slice_in_labels):
+        add(SLICE_IN_BASE + i, WireClass.SLICE_IN, Direction.NONE, i, 0, lab)
+
+    ctl_labels = ("S0_CLK", "S0_CE", "S0_SR", "S1_CLK", "S1_CE", "S1_SR")
+    for i, lab in enumerate(ctl_labels):
+        add(CTL_IN_BASE + i, WireClass.CTL_IN, Direction.NONE, i, 0, lab)
+
+    for direction, base, word in (
+        (Direction.EAST, _SINGLE_E_BASE, "East"),
+        (Direction.NORTH, _SINGLE_N_BASE, "North"),
+        (Direction.SOUTH, _SINGLE_S_BASE, "South"),
+        (Direction.WEST, _SINGLE_W_BASE, "West"),
+    ):
+        for i in range(N_SINGLES_PER_DIR):
+            add(base + i, WireClass.SINGLE, direction, i, 1, f"Single{word}[{i}]")
+
+    for direction, base, word in (
+        (Direction.EAST, _HEX_E_BASE, "East"),
+        (Direction.NORTH, _HEX_N_BASE, "North"),
+        (Direction.SOUTH, _HEX_S_BASE, "South"),
+        (Direction.WEST, _HEX_W_BASE, "West"),
+    ):
+        for i in range(N_HEXES_PER_DIR):
+            add(base + i, WireClass.HEX, direction, i, 6, f"Hex{word}[{i}]")
+
+    for i in range(N_LONGS):
+        add(_LONG_H_BASE + i, WireClass.LONG_H, Direction.HORIZONTAL, i, -1, f"LongHorizontal[{i}]")
+    for i in range(N_LONGS):
+        add(_LONG_V_BASE + i, WireClass.LONG_V, Direction.VERTICAL, i, -1, f"LongVertical[{i}]")
+    for i in range(N_GCLK):
+        add(_GCLK_BASE + i, WireClass.GCLK, Direction.NONE, i, -1, f"GlobalClk[{i}]")
+    for i in range(N_OUT):
+        add(_DIRECT_BASE + i, WireClass.DIRECT, Direction.WEST, i, 1, f"DirectWestOut[{i}]")
+    for i in range(N_IOB_PER_TILE):
+        add(_IOB_IN_BASE + i, WireClass.IOB_IN, Direction.NONE, i, 0, f"IobIn[{i}]")
+    for i in range(N_IOB_PER_TILE):
+        add(_IOB_OUT_BASE + i, WireClass.IOB_OUT, Direction.NONE, i, 0, f"IobOut[{i}]")
+
+    info.sort(key=lambda w: w.name)
+    assert [w.name for w in info] == list(range(N_NAMES))
+    return tuple(info)
+
+
+WIRE_INFO: tuple[WireInfo, ...] = _build_wire_info()
+
+_LABEL_TO_NAME = {w.label: w.name for w in WIRE_INFO}
+
+
+def wire_info(name: int) -> WireInfo:
+    """Return the static metadata record for a wire name."""
+    return WIRE_INFO[name]
+
+
+def wire_name(name: int) -> str:
+    """Human-readable label of a wire name, e.g. ``SingleEast[5]``."""
+    return WIRE_INFO[name].label
+
+
+def parse_wire_name(label: str) -> int:
+    """Inverse of :func:`wire_name`.  Raises ``KeyError`` for unknown labels."""
+    return _LABEL_TO_NAME[label]
+
+
+def is_source_name(name: int) -> bool:
+    """True if this name is a pure signal source (slice output, global,
+    or an input pad driving into the fabric)."""
+    cls = WIRE_INFO[name].wire_class
+    return cls in (WireClass.SLICE_OUT, WireClass.GCLK, WireClass.IOB_IN)
+
+
+def is_sink_name(name: int) -> bool:
+    """True if this name is a pure signal sink (slice/control input or an
+    output pad)."""
+    cls = WIRE_INFO[name].wire_class
+    return cls in (WireClass.SLICE_IN, WireClass.CTL_IN, WireClass.IOB_OUT)
+
+
+#: CLB-internal sinks (inputs/controls) — excludes pads, which exist only
+#: on perimeter tiles
+ALL_SINK_NAMES = tuple(
+    n
+    for n in range(N_NAMES)
+    if WIRE_INFO[n].wire_class in (WireClass.SLICE_IN, WireClass.CTL_IN)
+)
+ALL_SOURCE_NAMES = tuple(
+    n for n in range(N_NAMES) if WIRE_INFO[n].wire_class is WireClass.SLICE_OUT
+)

@@ -1,0 +1,24 @@
+"""Benchmark harness: workloads, metrics and the experiment runners."""
+
+from .experiments import EXPERIMENTS, run_all
+from .metrics import Table, best_of, time_call
+from .workloads import (
+    NetWorkload,
+    dataflow_buses,
+    high_fanout_net,
+    large_bbox_nets,
+    random_p2p_nets,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_all",
+    "Table",
+    "best_of",
+    "time_call",
+    "NetWorkload",
+    "dataflow_buses",
+    "high_fanout_net",
+    "large_bbox_nets",
+    "random_p2p_nets",
+]

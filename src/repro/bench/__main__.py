@@ -1,0 +1,28 @@
+"""CLI: regenerate the experiment tables of EXPERIMENTS.md.
+
+Usage::
+
+    python -m repro.bench            # all experiments
+    python -m repro.bench e3 e11     # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .experiments import EXPERIMENTS, run_all
+
+
+def main(argv: list[str]) -> int:
+    names = tuple(a.lower() for a in argv) or None
+    unknown = [n for n in (names or ()) if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}")
+        print(f"known: {', '.join(EXPERIMENTS)}")
+        return 2
+    run_all(names)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,86 @@
+"""Measurement and table-formatting utilities for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+__all__ = ["Table", "time_call", "best_of"]
+
+
+@dataclass(slots=True)
+class Table:
+    """A printable experiment-result table (one per table/figure)."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *row: Any) -> None:
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(self.headers)}"
+            )
+        self.rows.append(row)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def _formatted(self) -> list[list[str]]:
+        def fmt(v: Any) -> str:
+            if isinstance(v, float):
+                if v == 0:
+                    return "0"
+                if abs(v) >= 1000:
+                    return f"{v:,.0f}"
+                if abs(v) >= 1:
+                    return f"{v:.2f}"
+                return f"{v:.4f}"
+            return str(v)
+
+        return [[fmt(v) for v in row] for row in self.rows]
+
+    def render(self) -> str:
+        body = self._formatted()
+        widths = [
+            max(len(str(h)), *(len(r[i]) for r in body)) if body else len(str(h))
+            for i, h in enumerate(self.headers)
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(" | ".join(str(h).ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in body:
+            lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+        for n in self.notes:
+            lines.append(f"note: {n}")
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.render())
+        print()
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.headers, row)) for row in self.rows]
+
+
+def time_call(fn: Callable[[], Any]) -> tuple[float, Any]:
+    """Wall-clock one call: returns (seconds, result)."""
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def best_of(fn: Callable[[], Any], *, repeats: int = 3) -> tuple[float, Any]:
+    """Minimum wall-clock over ``repeats`` calls (noise suppression).
+
+    The callable must be idempotent or self-resetting.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        dt, result = time_call(fn)
+        best = min(best, dt)
+    return best, result

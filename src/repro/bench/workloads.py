@@ -1,0 +1,189 @@
+"""Workload generators for the experiment harness.
+
+All generators are deterministic given a seed, and produce pin-level nets
+over a device's CLB array: random point-to-point sets, structured
+dataflow buses (the paper's motivating design style), high-fanout nets
+and large-bounding-box nets for the long-line study.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..arch import wires
+from ..arch.virtex import VirtexArch
+from ..core.endpoints import Pin
+
+__all__ = [
+    "NetWorkload",
+    "random_p2p_nets",
+    "high_fanout_net",
+    "dataflow_buses",
+    "large_bbox_nets",
+    "SINK_WIRES",
+    "SOURCE_WIRES",
+]
+
+#: All slice-output names usable as net sources.
+SOURCE_WIRES = tuple(wires.ALL_SOURCE_NAMES)
+#: All LUT-input names usable as net sinks (excludes control pins, which
+#: global nets also target).
+SINK_WIRES = tuple(
+    n for n in wires.ALL_SINK_NAMES
+    if wires.wire_info(n).wire_class is wires.WireClass.SLICE_IN
+)
+
+
+@dataclass(slots=True)
+class NetWorkload:
+    """One net: a source pin and its sink pins."""
+
+    source: Pin
+    sinks: list[Pin]
+
+    @property
+    def fanout(self) -> int:
+        return len(self.sinks)
+
+    def bbox(self) -> tuple[int, int]:
+        """(height, width) of the net's bounding box in CLBs."""
+        rows = [self.source.row] + [s.row for s in self.sinks]
+        cols = [self.source.col] + [s.col for s in self.sinks]
+        return max(rows) - min(rows) + 1, max(cols) - min(cols) + 1
+
+
+class _PinPool:
+    """Hands out source/sink pins without reusing a physical pin."""
+
+    def __init__(self, arch: VirtexArch, rng: random.Random) -> None:
+        self.arch = arch
+        self.rng = rng
+        self._used_sources: set[tuple[int, int, int]] = set()
+        self._used_sinks: set[tuple[int, int, int]] = set()
+
+    def source_at(self, row: int, col: int) -> Pin:
+        names = list(SOURCE_WIRES)
+        self.rng.shuffle(names)
+        for n in names:
+            key = (row, col, n)
+            if key not in self._used_sources:
+                self._used_sources.add(key)
+                return Pin(row, col, n)
+        raise RuntimeError(f"tile ({row},{col}) has no free source pins")
+
+    def sink_at(self, row: int, col: int) -> Pin:
+        names = list(SINK_WIRES)
+        self.rng.shuffle(names)
+        for n in names:
+            key = (row, col, n)
+            if key not in self._used_sinks:
+                self._used_sinks.add(key)
+                return Pin(row, col, n)
+        raise RuntimeError(f"tile ({row},{col}) has no free sink pins")
+
+    def random_tile(self) -> tuple[int, int]:
+        return (
+            self.rng.randrange(self.arch.rows),
+            self.rng.randrange(self.arch.cols),
+        )
+
+
+def random_p2p_nets(
+    arch: VirtexArch,
+    n: int,
+    *,
+    seed: int = 0,
+    min_span: int = 1,
+    max_span: int | None = None,
+) -> list[NetWorkload]:
+    """``n`` random point-to-point nets with manhattan span in range."""
+    rng = random.Random(seed)
+    pool = _PinPool(arch, rng)
+    max_span = max_span if max_span is not None else arch.rows + arch.cols
+    nets: list[NetWorkload] = []
+    attempts = 0
+    while len(nets) < n:
+        attempts += 1
+        if attempts > 100 * n:
+            raise RuntimeError("could not generate requested workload")
+        sr, sc = pool.random_tile()
+        tr, tc = pool.random_tile()
+        span = abs(sr - tr) + abs(sc - tc)
+        if not min_span <= span <= max_span:
+            continue
+        nets.append(NetWorkload(pool.source_at(sr, sc), [pool.sink_at(tr, tc)]))
+    return nets
+
+
+def high_fanout_net(
+    arch: VirtexArch, fanout: int, *, seed: int = 0, radius: int | None = None
+) -> NetWorkload:
+    """One net with ``fanout`` sinks scattered around a central source."""
+    rng = random.Random(seed)
+    pool = _PinPool(arch, rng)
+    cr, cc = arch.rows // 2, arch.cols // 2
+    radius = radius if radius is not None else max(arch.rows, arch.cols) // 2 - 1
+    source = pool.source_at(cr, cc)
+    sinks: list[Pin] = []
+    seen_tiles: set[tuple[int, int]] = set()
+    attempts = 0
+    while len(sinks) < fanout:
+        attempts += 1
+        if attempts > 1000 * fanout:
+            raise RuntimeError("could not scatter fanout sinks")
+        r = cr + rng.randint(-radius, radius)
+        c = cc + rng.randint(-radius, radius)
+        if not arch.in_bounds(r, c) or (r, c) == (cr, cc):
+            continue
+        if (r, c) in seen_tiles and rng.random() < 0.7:
+            continue  # prefer spreading over clustering
+        seen_tiles.add((r, c))
+        sinks.append(pool.sink_at(r, c))
+    return NetWorkload(source, sinks)
+
+
+def dataflow_buses(
+    arch: VirtexArch,
+    *,
+    stages: int,
+    width: int,
+    stage_gap: int = 3,
+    origin: tuple[int, int] = (1, 1),
+    seed: int = 0,
+) -> list[list[tuple[Pin, Pin]]]:
+    """Stage-to-stage buses of a pipeline (the paper's dataflow motif).
+
+    Returns one list of (source, sink) pin pairs per stage boundary:
+    stage ``i`` column drives stage ``i+1`` column, ``width`` bits each.
+    """
+    rng = random.Random(seed)
+    pool = _PinPool(arch, rng)
+    r0, c0 = origin
+    rows_needed = -(-width // 4)
+    if r0 + rows_needed > arch.rows or c0 + stages * stage_gap > arch.cols:
+        raise RuntimeError("pipeline does not fit on the device")
+    buses: list[list[tuple[Pin, Pin]]] = []
+    for s in range(stages - 1):
+        src_col = c0 + s * stage_gap
+        dst_col = c0 + (s + 1) * stage_gap
+        pairs: list[tuple[Pin, Pin]] = []
+        for bit in range(width):
+            row = r0 + bit // 4
+            pairs.append((pool.source_at(row, src_col), pool.sink_at(row, dst_col)))
+        buses.append(pairs)
+    return buses
+
+
+def large_bbox_nets(
+    arch: VirtexArch,
+    n: int,
+    *,
+    seed: int = 0,
+    min_span: int | None = None,
+) -> list[NetWorkload]:
+    """Nets whose bounding boxes cover most of the chip (long-line study)."""
+    min_span = (
+        min_span if min_span is not None else (arch.rows + arch.cols) * 2 // 3
+    )
+    return random_p2p_nets(arch, n, seed=seed, min_span=min_span)

@@ -1,0 +1,188 @@
+"""Command-line tools built on the JRoute API.
+
+The paper's Section 1: "Since JRoute is an API, it allows users to build
+tools based on it.  These can range from debugging tools to extensions
+that increase functionality."  This module is such a tool: a small CLI
+over the library for poking at the simulated fabric without writing a
+script.
+
+Usage (``python -m repro <command> ...``)::
+
+    parts                         list the Virtex family catalogue
+    census [PART]                 fabric statistics of one part
+    wires [SUBSTRING]             list wire names (optionally filtered)
+    route PART R1 C1 WIRE1 R2 C2 WIRE2
+                                  auto-route between two named pins and
+                                  print the resulting trace
+    pads PART                     IOB ring inventory
+    demo                          the paper's Section 3.1 walkthrough
+    report                        markdown report of a small demo design
+    run FILE                      execute a routing script (see
+                                  repro.tools.script for the grammar)
+    experiments [E1 E2 ...]       regenerate EXPERIMENTS.md tables
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import errors
+from .arch import devices, wires
+from .arch.virtex import VirtexArch
+from .core import JRouter, Pin
+
+__all__ = ["main"]
+
+
+def _cmd_parts(args: list[str]) -> int:
+    print(f"{'part':10s} {'family':11s} {'rows':>5s} {'cols':>5s} {'CLBs':>6s}")
+    for name in devices.part_names(None):
+        p = devices.part(name)
+        print(f"{p.name:10s} {p.family:11s} {p.rows:5d} {p.cols:5d} {p.clbs:6d}")
+    return 0
+
+
+def _cmd_census(args: list[str]) -> int:
+    part = args[0] if args else "XCV50"
+    arch = VirtexArch(part)
+    existing = sum(arch.wire_exists(c) for c in range(arch.n_wires))
+    from .arch import connectivity
+    from .io import IoRing
+
+    print(f"{arch.part.name}: {arch.rows}x{arch.cols} CLBs")
+    print(f"  singles/direction : {wires.N_SINGLES_PER_DIR}")
+    print(f"  hexes/direction   : {wires.N_HEXES_PER_DIR} (accessible)")
+    print(f"  long lines        : {wires.N_LONGS} horizontal + {wires.N_LONGS} vertical")
+    print(f"  global nets       : {wires.N_GCLK}")
+    print(f"  pads              : {IoRing(arch).n_pads()}")
+    print(f"  wire instances    : {existing:,} ({arch.n_wires:,} ids)")
+    print(f"  PIP names/tile    : {connectivity.N_PIP_SLOTS:,}")
+    return 0
+
+
+def _cmd_wires(args: list[str]) -> int:
+    needle = args[0].lower() if args else ""
+    for n in range(wires.N_NAMES):
+        label = wires.wire_name(n)
+        if needle in label.lower():
+            info = wires.wire_info(n)
+            print(f"{n:4d}  {label:22s} {info.wire_class.name}")
+    return 0
+
+
+def _cmd_route(args: list[str]) -> int:
+    if len(args) != 7:
+        print("usage: route PART R1 C1 WIRE1 R2 C2 WIRE2", file=sys.stderr)
+        return 2
+    part, r1, c1, w1, r2, c2, w2 = args
+    try:
+        src = Pin(int(r1), int(c1), wires.parse_wire_name(w1))
+        sink = Pin(int(r2), int(c2), wires.parse_wire_name(w2))
+    except KeyError as e:
+        print(f"unknown wire name: {e}", file=sys.stderr)
+        return 2
+    router = JRouter(part=part)
+    try:
+        n = router.route(src, sink)
+    except errors.JRouteError as e:
+        print(f"unroutable: {e}", file=sys.stderr)
+        return 1
+    print(f"routed with {n} PIPs "
+          f"(template hits {router.p2p_template_hits}, "
+          f"maze fallbacks {router.p2p_maze_fallbacks})")
+    print(router.trace(src).describe(router.device))
+    return 0
+
+
+def _cmd_pads(args: list[str]) -> int:
+    from .io import IoRing, PadDirection, Side
+
+    part = args[0] if args else "XCV50"
+    ring = IoRing(VirtexArch(part))
+    print(f"{part}: {ring.n_pads()} pads")
+    for side in Side:
+        ins = len(ring.pads(side, PadDirection.IN))
+        outs = len(ring.pads(side, PadDirection.OUT))
+        print(f"  {side.value:5s}: {ins} in, {outs} out")
+    return 0
+
+
+def _cmd_demo(args: list[str]) -> int:
+    router = JRouter(part="XCV50")
+    print("paper Section 3.1 example: S1_YQ@(5,7) -> S0F3@(6,8)\n")
+    router.route(5, 7, wires.S1_YQ, wires.OUT[1])
+    router.route(5, 7, wires.OUT[1], wires.SINGLE_E[5])
+    router.route(5, 8, wires.SINGLE_W[5], wires.SINGLE_N[0])
+    router.route(6, 8, wires.SINGLE_S[0], wires.S0F[3])
+    print(router.trace(Pin(5, 7, wires.S1_YQ)).describe(router.device))
+    return 0
+
+
+def _cmd_report(args: list[str]) -> int:
+    from .cores import AccumulatorCore, ConstantCore
+    from .tools import design_report
+
+    router = JRouter(part="XCV100")
+    acc = AccumulatorCore(router, "acc", 2, 2, width=4)
+    k = ConstantCore(router, "k", 2, 4, width=4, value=3)
+    router.route(list(k.get_ports("out")), list(acc.get_ports("in")))
+    print(design_report(router, title="Demo design report"))
+    return 0
+
+
+def _cmd_run(args: list[str]) -> int:
+    from .tools.script import ScriptError, run_script
+
+    if len(args) != 1:
+        print("usage: run FILE", file=sys.stderr)
+        return 2
+    try:
+        with open(args[0]) as fh:
+            text = fh.read()
+    except OSError as e:
+        print(f"cannot read {args[0]}: {e}", file=sys.stderr)
+        return 2
+    try:
+        result = run_script(text)
+    except ScriptError as e:
+        print(f"script failed: {e}", file=sys.stderr)
+        return 1
+    print(f"{result.statements} statement(s), {result.pips_added} PIPs added "
+          f"on {result.router.device.arch.part.name}")
+    return 0
+
+
+def _cmd_experiments(args: list[str]) -> int:
+    from .bench.__main__ import main as bench_main
+
+    return bench_main(args)
+
+
+_COMMANDS = {
+    "parts": _cmd_parts,
+    "census": _cmd_census,
+    "wires": _cmd_wires,
+    "route": _cmd_route,
+    "pads": _cmd_pads,
+    "demo": _cmd_demo,
+    "report": _cmd_report,
+    "run": _cmd_run,
+    "experiments": _cmd_experiments,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help", "help"):
+        print(__doc__)
+        return 0
+    cmd = argv[0].lower()
+    fn = _COMMANDS.get(cmd)
+    if fn is None:
+        print(f"unknown command {cmd!r}; try: {', '.join(_COMMANDS)}",
+              file=sys.stderr)
+        return 2
+    try:
+        return fn(argv[1:])
+    except BrokenPipeError:  # e.g. `python -m repro parts | head`
+        return 0

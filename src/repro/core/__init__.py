@@ -1,0 +1,33 @@
+"""The JRoute API: the paper's primary contribution.
+
+Exposes the endpoint model (:class:`Pin`, :class:`Port`), the explicit
+:class:`Path` and :class:`Template` route descriptions, and the
+:class:`JRouter` facade with the six route levels, the unrouter, tracing
+and the port-connection memory.
+"""
+
+from .endpoints import EndPoint, Pin, Port, PortDirection, PortGroup
+from .netdb import NetDB, PortMemory
+from .path import Path
+from .router import JRouter
+from .template import Template
+from .tracer import NetTrace, reverse_trace_net, trace_net
+from .unroute import unroute_forward, unroute_reverse
+
+__all__ = [
+    "EndPoint",
+    "Pin",
+    "Port",
+    "PortDirection",
+    "PortGroup",
+    "NetDB",
+    "PortMemory",
+    "Path",
+    "JRouter",
+    "Template",
+    "NetTrace",
+    "trace_net",
+    "reverse_trace_net",
+    "unroute_forward",
+    "unroute_reverse",
+]

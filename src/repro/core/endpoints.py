@@ -1,0 +1,186 @@
+"""EndPoints: physical Pins and logical Ports.
+
+Paper, Section 3.1: "An EndPoint is either a Pin, defined by a row,
+column, and wire, or a Port".  Section 3.2: "Ports are virtual pins that
+provide input or output points to the core. ... To the user there is no
+distinction between a physical pin ... and a logical port as they are
+both derived from the EndPoint class."
+
+A Port resolves to physical pins, possibly through nested ports of
+internal cores ("it can also specify connections from ports of internal
+cores to its own ports"); the router performs that translation whenever a
+Port appears in a routing call.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from .. import errors
+from ..arch import wires
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cores.core import Core
+
+__all__ = ["EndPoint", "Pin", "Port", "PortDirection", "PortGroup"]
+
+
+class EndPoint:
+    """Common base of :class:`Pin` and :class:`Port`."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Pin(EndPoint):
+    """A physical pin: a wire at a specific row and column."""
+
+    row: int
+    col: int
+    wire: int
+
+    def __str__(self) -> str:
+        return f"{wires.wire_name(self.wire)}@({self.row},{self.col})"
+
+    @property
+    def key(self) -> tuple[str, int, int, int]:
+        """Stable identity used by the port-connection memory."""
+        return ("pin", self.row, self.col, self.wire)
+
+
+class PortDirection(enum.Enum):
+    """Signal direction of a port, from the owning core's point of view."""
+
+    IN = "in"    #: external signal enters the core (resolves to sink pins)
+    OUT = "out"  #: the core drives an external signal (resolves to one source pin)
+
+
+class Port(EndPoint):
+    """A virtual pin of a core.
+
+    A port is *bound* to what realises it inside the core: one or more
+    physical pins, or a port of an internal core.  ``resolve_pins``
+    flattens those bindings to physical pins for the router.
+    """
+
+    __slots__ = ("name", "direction", "group", "index", "owner", "_bindings")
+
+    def __init__(
+        self,
+        name: str,
+        direction: PortDirection,
+        *,
+        group: str | None = None,
+        index: int = 0,
+        owner: "Core | None" = None,
+    ) -> None:
+        self.name = name
+        self.direction = direction
+        self.group = group
+        self.index = index
+        self.owner = owner
+        self._bindings: list[EndPoint] = []
+
+    # -- binding ---------------------------------------------------------------
+
+    def bind(self, target: EndPoint) -> None:
+        """Bind this port to an internal pin or an internal core's port."""
+        if isinstance(target, Port):
+            if target.direction is not self.direction:
+                raise errors.PortError(
+                    f"cannot bind {self.direction.value}-port {self.name} to "
+                    f"{target.direction.value}-port {target.name}"
+                )
+        elif not isinstance(target, Pin):
+            raise errors.PortError(f"cannot bind port to {target!r}")
+        if self.direction is PortDirection.OUT and self._bindings:
+            raise errors.PortError(
+                f"output port {self.name} already has a source binding"
+            )
+        self._bindings.append(target)
+
+    @property
+    def bindings(self) -> tuple[EndPoint, ...]:
+        return tuple(self._bindings)
+
+    def resolve_pins(self) -> list[Pin]:
+        """Flatten to physical pins (the router's translation step)."""
+        out: list[Pin] = []
+        seen: set[int] = {id(self)}
+        stack: list[EndPoint] = list(self._bindings)
+        while stack:
+            ep = stack.pop()
+            if isinstance(ep, Pin):
+                out.append(ep)
+            else:
+                assert isinstance(ep, Port)
+                if id(ep) in seen:
+                    raise errors.PortError(
+                        f"port binding cycle through {ep.name}"
+                    )
+                seen.add(id(ep))
+                stack.extend(ep._bindings)
+        if not out:
+            raise errors.PortError(
+                f"port {self.name} has no pin bindings; call the router for "
+                f"each port when building the core (Section 3.2 guidelines)"
+            )
+        if self.direction is PortDirection.OUT and len(out) != 1:
+            raise errors.PortError(
+                f"output port {self.name} must resolve to exactly one source "
+                f"pin, got {len(out)}"
+            )
+        return out
+
+    @property
+    def key(self) -> tuple:
+        """Stable identity for the port-connection memory: survives core
+        replacement because it names the *position* in the design, not the
+        object ("if the ports are reused, then they will be automatically
+        connected to the new core")."""
+        owner_name = self.owner.instance_name if self.owner is not None else None
+        return ("port", owner_name, self.group, self.index, self.name)
+
+    def __str__(self) -> str:
+        owner = self.owner.instance_name if self.owner is not None else "?"
+        return f"Port({owner}.{self.name})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"Port({self.name!r}, {self.direction.value}, group={self.group!r}, "
+            f"index={self.index})"
+        )
+
+
+class PortGroup:
+    """An ordered group of ports (paper: "each port needs to be in a
+    group ... a getports() method must be defined for each group")."""
+
+    __slots__ = ("name", "_ports")
+
+    def __init__(self, name: str, ports: Iterable[Port] = ()) -> None:
+        self.name = name
+        self._ports: list[Port] = list(ports)
+        for i, p in enumerate(self._ports):
+            p.group = name
+            p.index = i
+
+    def add(self, port: Port) -> None:
+        port.group = self.name
+        port.index = len(self._ports)
+        self._ports.append(port)
+
+    @property
+    def ports(self) -> tuple[Port, ...]:
+        return tuple(self._ports)
+
+    def __len__(self) -> int:
+        return len(self._ports)
+
+    def __getitem__(self, i: int) -> Port:
+        return self._ports[i]
+
+    def __iter__(self):
+        return iter(self._ports)

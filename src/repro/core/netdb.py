@@ -1,0 +1,133 @@
+"""Net database: routed-net records and the port-connection memory.
+
+Paper, Section 3.2: "When a port gets routed, the source and sinks
+connected to the port are saved.  This information is useful for the
+unrouter and the debugging features."  Section 3.3: "The port connections
+are removed, but are remembered.  If the ports are reused, then they will
+be automatically connected to the new core."
+
+Connections are remembered by *stable keys* (a pin's coordinates, or a
+port's (core instance, group, index, name) position) rather than object
+identity, so a replaced core's fresh Port objects pick up the old
+connections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import errors
+from .endpoints import EndPoint, Pin, Port
+
+__all__ = ["EndPointRef", "PortMemory", "NetDB"]
+
+#: Stable reference to an endpoint: ``Pin.key`` or ``Port.key``.
+EndPointRef = tuple
+
+
+@dataclass(slots=True)
+class PortMemory:
+    """Remembered connections of one port position."""
+
+    sources: list[EndPointRef] = field(default_factory=list)
+    sinks: list[EndPointRef] = field(default_factory=list)
+
+
+def endpoint_ref(ep: EndPoint) -> EndPointRef:
+    """Stable reference of any endpoint."""
+    if isinstance(ep, (Pin, Port)):
+        return ep.key
+    raise errors.PortError(f"not an endpoint: {ep!r}")
+
+
+class NetDB:
+    """Router-side registry of nets, ports and remembered connections."""
+
+    def __init__(self) -> None:
+        #: live port objects by stable key (updated on core registration)
+        self.port_registry: dict[EndPointRef, Port] = {}
+        #: remembered connections by port key
+        self.port_memory: dict[EndPointRef, PortMemory] = {}
+        #: intended sinks of each routed net, by source wire canonical id
+        self.net_sinks: dict[int, set[int]] = {}
+        #: the user-facing source endpoint of each net
+        self.net_source_ep: dict[int, EndPoint] = {}
+
+    # -- port registry ------------------------------------------------------
+
+    def register_port(self, port: Port) -> None:
+        """(Re)bind a port key to a live Port object.
+
+        Called when a core is placed or replaced; route calls that later
+        resolve remembered references find the *new* core's ports.
+        """
+        self.port_registry[port.key] = port
+
+    def register_core_ports(self, ports) -> None:
+        for p in ports:
+            self.register_port(p)
+
+    def resolve_ref(self, ref: EndPointRef) -> EndPoint:
+        """Turn a stable reference back into a live endpoint."""
+        if ref and ref[0] == "pin":
+            _, row, col, wire = ref
+            return Pin(row, col, wire)
+        port = self.port_registry.get(ref)
+        if port is None:
+            raise errors.PortError(f"no live port registered for {ref!r}")
+        return port
+
+    # -- connection memory -----------------------------------------------------
+
+    def remember_connection(self, source: EndPoint, sink: EndPoint) -> None:
+        """Record a routed source->sink endpoint pair on any ports involved."""
+        if isinstance(source, Port):
+            mem = self.port_memory.setdefault(source.key, PortMemory())
+            ref = endpoint_ref(sink)
+            if ref not in mem.sinks:
+                mem.sinks.append(ref)
+        if isinstance(sink, Port):
+            mem = self.port_memory.setdefault(sink.key, PortMemory())
+            ref = endpoint_ref(source)
+            if ref not in mem.sources:
+                mem.sources.append(ref)
+
+    def forget_connection(self, source: EndPoint, sink: EndPoint) -> None:
+        """Erase a remembered pair (when the user wants no auto-reconnect)."""
+        if isinstance(source, Port):
+            mem = self.port_memory.get(source.key)
+            if mem is not None:
+                ref = endpoint_ref(sink)
+                if ref in mem.sinks:
+                    mem.sinks.remove(ref)
+        if isinstance(sink, Port):
+            mem = self.port_memory.get(sink.key)
+            if mem is not None:
+                ref = endpoint_ref(source)
+                if ref in mem.sources:
+                    mem.sources.remove(ref)
+
+    def memory_of(self, port: Port) -> PortMemory:
+        """Remembered connections of a port (empty record if none)."""
+        return self.port_memory.get(port.key, PortMemory())
+
+    # -- net records ----------------------------------------------------------------
+
+    def record_net(self, source_canon: int, source_ep: EndPoint, sink_canons) -> None:
+        self.net_sinks.setdefault(source_canon, set()).update(sink_canons)
+        self.net_source_ep.setdefault(source_canon, source_ep)
+
+    def drop_net(self, source_canon: int) -> None:
+        self.net_sinks.pop(source_canon, None)
+        self.net_source_ep.pop(source_canon, None)
+
+    def drop_sink(self, source_canon: int, sink_canon: int) -> None:
+        sinks = self.net_sinks.get(source_canon)
+        if sinks is not None:
+            sinks.discard(sink_canon)
+            if not sinks:
+                self.drop_net(source_canon)
+
+    def nets(self) -> dict[int, set[int]]:
+        """Snapshot of all recorded nets (source canon -> sink canons)."""
+        return {src: set(sinks) for src, sinks in self.net_sinks.items()}

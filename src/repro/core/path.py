@@ -1,0 +1,93 @@
+"""Path: an explicit sequence of routing resources (route level 2).
+
+Paper, Section 3.1: "A path is an array of specific resources, for
+example HexNorth[4], that are to be connected.  The path also requires a
+starting location, defined by a row and column.  The router turns on all
+of the connections defined in the path."
+
+Resolving a path walks the device: after driving a directional wire the
+location advances to its far end, where the wire carries the opposite
+name (driving ``SingleEast[5]`` at (5,7) leaves the signal on
+``SingleWest[5]`` at (5,8), as in the paper's example).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .. import errors
+from ..arch import wires
+from ..device.fabric import Device
+from ..routers.base import PlanPip
+
+__all__ = ["Path"]
+
+
+class Path:
+    """An array of specific resources starting at ``(row, col)``."""
+
+    __slots__ = ("row", "col", "wires")
+
+    def __init__(self, row: int, col: int, path_wires: Sequence[int]) -> None:
+        if len(path_wires) < 2:
+            raise errors.JRouteError("a path needs at least two wires")
+        self.row = row
+        self.col = col
+        self.wires = tuple(path_wires)
+
+    def __len__(self) -> int:
+        return len(self.wires)
+
+    def __str__(self) -> str:
+        names = ", ".join(wires.wire_name(w) for w in self.wires)
+        return f"Path@({self.row},{self.col})[{names}]"
+
+    def resolve(self, device: Device) -> list[PlanPip]:
+        """Compute the PIP sequence realising this path on ``device``.
+
+        Each consecutive wire pair must share a tile where the PIP exists;
+        the walk follows the driven wire to whichever of its presence
+        points admits the next connection (preferring to stay at the
+        current tile).  Raises :class:`~repro.errors.InvalidPipError` when
+        the path is not realisable.
+        """
+        arch = device.arch
+        plan: list[PlanPip] = []
+        # presence points of the signal after the previous step
+        here = [(self.row, self.col, self.wires[0])]
+        canon0 = arch.canonicalize(self.row, self.col, self.wires[0])
+        if canon0 is None:
+            raise errors.InvalidResourceError(
+                f"{wires.wire_name(self.wires[0])} does not exist at "
+                f"({self.row},{self.col})"
+            )
+        here = [
+            (r, c, n)
+            for r, c, n in arch.presences(canon0)
+        ]
+        # prefer the user's stated start tile
+        here.sort(key=lambda p: (p[0], p[1]) != (self.row, self.col))
+
+        for step, to_wire in enumerate(self.wires[1:], start=1):
+            placed = None
+            for r, c, from_name in here:
+                if not arch.pip_exists(from_name, to_wire):
+                    continue
+                canon_to = arch.canonicalize(r, c, to_wire)
+                if canon_to is None:
+                    continue
+                placed = (r, c, from_name, to_wire, canon_to)
+                break
+            if placed is None:
+                raise errors.InvalidPipError(
+                    f"path step {step}: cannot drive "
+                    f"{wires.wire_name(to_wire)} from "
+                    f"{wires.wire_name(here[0][2])} near "
+                    f"({here[0][0]},{here[0][1]})"
+                )
+            r, c, from_name, to_wire, canon_to = placed
+            plan.append((r, c, from_name, to_wire))
+            here = arch.presences(canon_to)
+            # prefer continuing away from the tile we just used
+            here.sort(key=lambda p: (p[0], p[1]) == (r, c))
+        return plan

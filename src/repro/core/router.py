@@ -1,0 +1,407 @@
+"""The JRoute API: run-time routing at various levels of control.
+
+:class:`JRouter` reproduces the paper's router object.  One ``route``
+method dispatches across the six call forms of Section 3.1:
+
+====  ========================================================  =============
+lvl   call                                                      paper section
+====  ========================================================  =============
+1     ``route(row, col, from_wire, to_wire)``                   single PIP
+2     ``route(path)``                                           user path
+3     ``route(pin, end_wire, template)``                        template
+4     ``route(source_ep, sink_ep)``                             auto, 1-to-1
+5     ``route(source_ep, [sink_ep, ...])``                      auto, fanout
+6     ``route([source_ep, ...], [sink_ep, ...])``               bus
+====  ========================================================  =============
+
+plus the unrouter (``unroute`` / ``reverse_unroute``), the debug tracer
+(``trace`` / ``reverse_trace``), the contention query ``is_on``, global
+clock distribution, and the port machinery used by run-time
+parameterizable cores (registration, remembered connections, automatic
+reconnection after core replacement).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .. import errors
+from ..arch import wires
+from ..arch.wires import WireClass
+from ..device.fabric import Device
+from ..device.state import PipRecord
+from ..jbits.jbits import JBits
+from ..routers.auto import route_point_to_point
+from ..routers.base import PlanPip, apply_plan
+from ..routers.maze import route_maze
+from ..routers.template_router import route_template
+from .endpoints import EndPoint, Pin, Port, PortDirection
+from .netdb import NetDB
+from .path import Path
+from .template import Template
+from .tracer import NetTrace, reverse_trace_net, trace_net
+from .unroute import unroute_forward, unroute_reverse
+
+__all__ = ["JRouter"]
+
+
+class JRouter:
+    """Run-time router for one simulated Virtex device.
+
+    Parameters
+    ----------
+    device:
+        The device to route; created from ``part`` when omitted.
+    part:
+        Virtex part name used when no device is given.
+    attach_jbits:
+        Mirror all configuration into a JBits bitstream (default True,
+        preserving the paper's JRoute-on-JBits layering).  Access it as
+        :attr:`jbits`.
+    fanout_use_longs:
+        Whether the greedy fanout router may use long lines.  Defaults to
+        False, the state of the paper's initial implementation
+        ("currently long lines are not supported; only hexes and singles
+        are used"); set True for the paper's future-work behaviour.
+    p2p_use_longs:
+        Whether point-to-point maze fallback may use long lines.
+    try_templates:
+        Use the predefined-template fast path for point-to-point routes
+        before falling back to the maze router.
+    heuristic_weight:
+        A* bias for maze searches (0 = plain Dijkstra; the 0.8 default
+        cuts node expansions by ~10x at equal plan cost on this fabric).
+    """
+
+    def __init__(
+        self,
+        device: Device | None = None,
+        *,
+        part: str = "XCV50",
+        attach_jbits: bool = True,
+        fanout_use_longs: bool = False,
+        p2p_use_longs: bool = True,
+        try_templates: bool = True,
+        heuristic_weight: float = 0.8,
+        max_nodes: int = 200_000,
+    ) -> None:
+        self.device = device if device is not None else Device(part)
+        self.jbits: JBits | None = JBits(self.device) if attach_jbits else None
+        self.netdb = NetDB()
+        self.fanout_use_longs = fanout_use_longs
+        self.p2p_use_longs = p2p_use_longs
+        self.try_templates = try_templates
+        self.heuristic_weight = heuristic_weight
+        self.max_nodes = max_nodes
+        #: user-facing route() invocations (Section 4 comparison metric)
+        self.call_count = 0
+        #: counters for the template-vs-maze statistics (experiment E9)
+        self.p2p_template_hits = 0
+        self.p2p_maze_fallbacks = 0
+
+    # ------------------------------------------------------------------ dispatch
+
+    def route(self, *args) -> int:
+        """Route at any of the six levels of control; returns PIPs added."""
+        self.call_count += 1
+        if len(args) == 4 and all(isinstance(a, int) for a in args):
+            row, col, from_wire, to_wire = args
+            self.device.turn_on(row, col, from_wire, to_wire)
+            return 1
+        if len(args) == 1 and isinstance(args[0], Path):
+            return self._route_path(args[0])
+        if (
+            len(args) == 3
+            and isinstance(args[0], Pin)
+            and isinstance(args[1], int)
+            and isinstance(args[2], Template)
+        ):
+            return self._route_template(args[0], args[1], args[2])
+        if len(args) == 2:
+            a, b = args
+            if isinstance(a, EndPoint) and isinstance(b, EndPoint):
+                applied, _ = self._route_net(a, [b])
+                return len(applied)
+            if isinstance(a, EndPoint) and _is_endpoint_seq(b):
+                applied, _ = self._route_net(a, list(b))
+                return len(applied)
+            if _is_endpoint_seq(a) and _is_endpoint_seq(b):
+                return self._route_bus(list(a), list(b))
+        raise TypeError(
+            "route() accepts (row, col, from, to) | (Path) | "
+            "(Pin, end_wire, Template) | (EndPoint, EndPoint) | "
+            "(EndPoint, [EndPoint]) | ([EndPoint], [EndPoint])"
+        )
+
+    # ------------------------------------------------------------- level 2 and 3
+
+    def _route_path(self, path: Path) -> int:
+        plan = path.resolve(self.device)
+        return apply_plan(self.device, plan)
+
+    def _route_template(self, pin: Pin, end_wire: int, template: Template) -> int:
+        start = self.device.resolve(pin.row, pin.col, pin.wire)
+        plan = route_template(
+            self.device, start, template.values, end_wire=end_wire
+        )
+        return apply_plan(self.device, plan)
+
+    # ------------------------------------------------------- endpoint resolution
+
+    def source_pin_of(self, ep: EndPoint) -> Pin:
+        """Resolve an endpoint used as a route source to its physical pin."""
+        if isinstance(ep, Pin):
+            return ep
+        if isinstance(ep, Port):
+            if ep.direction is not PortDirection.OUT:
+                raise errors.PortError(
+                    f"{ep} is an input port and cannot source a route"
+                )
+            return ep.resolve_pins()[0]
+        raise errors.PortError(f"not an endpoint: {ep!r}")
+
+    def sink_pins_of(self, ep: EndPoint) -> list[Pin]:
+        """Resolve an endpoint used as a route sink to its physical pins."""
+        if isinstance(ep, Pin):
+            return [ep]
+        if isinstance(ep, Port):
+            if ep.direction is not PortDirection.IN:
+                raise errors.PortError(
+                    f"{ep} is an output port and cannot sink a route"
+                )
+            return ep.resolve_pins()
+        raise errors.PortError(f"not an endpoint: {ep!r}")
+
+    def _source_canon(self, ep: EndPoint) -> int:
+        pin = self.source_pin_of(ep)
+        return self.device.resolve(pin.row, pin.col, pin.wire)
+
+    def _sink_canons(self, ep: EndPoint) -> list[int]:
+        return [
+            self.device.resolve(p.row, p.col, p.wire) for p in self.sink_pins_of(ep)
+        ]
+
+    # --------------------------------------------------------------- levels 4, 5
+
+    def _route_net(
+        self, source_ep: EndPoint, sink_eps: Sequence[EndPoint], record: bool = True
+    ) -> tuple[list[PlanPip], list[int]]:
+        """Route one source endpoint to sink endpoints (fanout-aware).
+
+        Returns ``(applied_pips, sink_canons)``.  Atomic: on failure,
+        everything this call turned on is off again.
+        """
+        device = self.device
+        state = device.state
+        source = self._source_canon(source_ep)
+        sink_canons: list[int] = []
+        for ep in sink_eps:
+            sink_canons.extend(self._sink_canons(ep))
+
+        tree = set(state.subtree(source))
+        todo: list[int] = []
+        for canon in sink_canons:
+            if canon in tree:
+                continue  # already part of this net
+            if state.is_driven(canon):
+                raise errors.ContentionError(
+                    f"sink wire {wires.wire_name(device.arch.primary_name(canon)[2])} "
+                    f"is already driven by another net"
+                )
+            todo.append(canon)
+
+        applied: list[PlanPip] = []
+        try:
+            # sinks in increasing distance from the source (Section 3.1)
+            sr, sc, _ = device.arch.primary_name(source)
+
+            def dist(canon: int) -> tuple[int, int]:
+                r, c, _ = device.arch.primary_name(canon)
+                return (abs(r - sr) + abs(c - sc), canon)
+
+            for canon in sorted(set(todo), key=dist):
+                if len(tree) == 1 and not applied:
+                    # fresh net, first sink: template fast path applies
+                    res = route_point_to_point(
+                        device,
+                        source,
+                        canon,
+                        try_templates=self.try_templates,
+                        use_longs=self.p2p_use_longs,
+                        heuristic_weight=self.heuristic_weight,
+                        max_nodes=self.max_nodes,
+                    )
+                    if res.method == "template":
+                        self.p2p_template_hits += 1
+                    else:
+                        self.p2p_maze_fallbacks += 1
+                    plan = res.plan
+                else:
+                    use_longs = self.fanout_use_longs if len(todo) > 1 else self.p2p_use_longs
+                    plan = route_maze(
+                        device,
+                        [source],
+                        {canon},
+                        reuse=tree,
+                        use_longs=use_longs,
+                        heuristic_weight=self.heuristic_weight,
+                        max_nodes=self.max_nodes,
+                    ).plan
+                apply_plan(device, plan)
+                applied.extend(plan)
+                for row, col, _fn, to_name in plan:
+                    w = device.arch.canonicalize(row, col, to_name)
+                    assert w is not None
+                    tree.add(w)
+        except errors.JRouteError:
+            for row, col, from_name, to_name in reversed(applied):
+                device.turn_off(row, col, from_name, to_name)
+            raise
+
+        if record:
+            self.netdb.record_net(source, source_ep, sink_canons)
+            for ep in sink_eps:
+                self.netdb.remember_connection(source_ep, ep)
+        return applied, sink_canons
+
+    # -------------------------------------------------------------------- level 6
+
+    def _route_bus(
+        self, source_eps: Sequence[EndPoint], sink_eps: Sequence[EndPoint]
+    ) -> int:
+        """Bus routing: sources[i] -> sinks[i], atomic across the bus."""
+        if len(source_eps) != len(sink_eps):
+            raise errors.JRouteError(
+                f"bus width mismatch: {len(source_eps)} sources, "
+                f"{len(sink_eps)} sinks"
+            )
+        done: list[tuple[EndPoint, EndPoint, list[PlanPip]]] = []
+        try:
+            for src_ep, sink_ep in zip(source_eps, sink_eps):
+                applied, _ = self._route_net(src_ep, [sink_ep], record=False)
+                done.append((src_ep, sink_ep, applied))
+        except errors.JRouteError:
+            for _, _, applied in reversed(done):
+                for row, col, from_name, to_name in reversed(applied):
+                    self.device.turn_off(row, col, from_name, to_name)
+            raise
+        total = 0
+        for src_ep, sink_ep, applied in done:
+            total += len(applied)
+            source = self._source_canon(src_ep)
+            self.netdb.record_net(source, src_ep, self._sink_canons(sink_ep))
+            self.netdb.remember_connection(src_ep, sink_ep)
+        return total
+
+    # ------------------------------------------------------------------- globals
+
+    def route_clock(self, index: int, sink_eps: Sequence[EndPoint]) -> int:
+        """Distribute global net ``index`` to clock pins (dedicated nets).
+
+        The four global nets "distribute high-fanout clock signals" with
+        dedicated pins; sinks must be CLK control inputs.
+        """
+        if not 0 <= index < wires.N_GCLK:
+            raise errors.JRouteError(f"no global net {index}")
+        sinks: list[Pin] = []
+        for ep in sink_eps:
+            sinks.extend(self.sink_pins_of(ep))
+        for pin in sinks:
+            if pin.wire not in (wires.S0_CLK, wires.S1_CLK):
+                raise errors.InvalidPipError(
+                    f"global nets drive clock pins only, not "
+                    f"{wires.wire_name(pin.wire)}"
+                )
+        if self.jbits is not None:
+            self.jbits.set_global_buffer(index, True)
+        applied: list[PlanPip] = []
+        try:
+            for pin in sinks:
+                if self.device.pip_is_on(pin.row, pin.col, wires.GCLK[index], pin.wire):
+                    continue
+                self.device.turn_on(pin.row, pin.col, wires.GCLK[index], pin.wire)
+                applied.append((pin.row, pin.col, wires.GCLK[index], pin.wire))
+        except errors.JRouteError:
+            for row, col, from_name, to_name in reversed(applied):
+                self.device.turn_off(row, col, from_name, to_name)
+            raise
+        return len(applied)
+
+    # ------------------------------------------------------------------ unrouting
+
+    def unroute(self, source_ep: EndPoint) -> int:
+        """Remove the whole net driven from ``source_ep`` (forward).
+
+        Port connections are *remembered* (Section 3.3): re-routing the
+        port later reconnects automatically via :meth:`reconnect`.
+        """
+        source = self._source_canon(source_ep)
+        removed = unroute_forward(self.device, source)
+        self.netdb.drop_net(source)
+        return removed
+
+    def reverse_unroute(self, sink_ep: EndPoint) -> int:
+        """Remove only the branch(es) leading to ``sink_ep``."""
+        removed = 0
+        for canon in self._sink_canons(sink_ep):
+            root = self.device.state.root_of(canon)
+            removed += unroute_reverse(self.device, canon)
+            if root != canon:
+                self.netdb.drop_sink(root, canon)
+        return removed
+
+    # ------------------------------------------------------------------- tracing
+
+    def trace(self, source_ep: EndPoint) -> NetTrace:
+        """Trace a source to all of its sinks (whole net)."""
+        return trace_net(self.device, self._source_canon(source_ep))
+
+    def reverse_trace(self, sink_ep: EndPoint) -> list[PipRecord]:
+        """Trace a sink back to its source (only that branch)."""
+        canons = self._sink_canons(sink_ep)
+        if len(canons) != 1:
+            raise errors.PortError(
+                "reverse_trace needs a single-pin endpoint; trace each pin"
+            )
+        return reverse_trace_net(self.device, canons[0])
+
+    # ----------------------------------------------------------------- contention
+
+    def is_on(self, row: int, col: int, wire: int) -> bool:
+        """Is the wire at CLB (row, col) currently in use? (Section 3.4)"""
+        return self.device.is_on(row, col, wire)
+
+    # ---------------------------------------------------------------- core support
+
+    def register_core(self, core) -> None:
+        """Register a core's ports so remembered connections can resolve
+        to it (called by core placement; see :mod:`repro.cores`)."""
+        self.netdb.register_core_ports(core.all_ports())
+
+    def reconnect(self, core) -> int:
+        """Re-route the remembered connections of a (replaced) core's ports.
+
+        The paper's constant-multiplier scenario: "the core can be
+        removed, unrouted, and replaced with a new constant multiplier
+        without having to specify connections again."
+        """
+        total = 0
+        for port in core.all_ports():
+            mem = self.netdb.memory_of(port)
+            for src_ref in mem.sources:
+                src = self.netdb.resolve_ref(src_ref)
+                applied, _ = self._route_net(src, [port])
+                total += len(applied)
+            for sink_ref in mem.sinks:
+                sink = self.netdb.resolve_ref(sink_ref)
+                applied, _ = self._route_net(port, [sink])
+                total += len(applied)
+        return total
+
+
+def _is_endpoint_seq(obj) -> bool:
+    return (
+        isinstance(obj, (list, tuple))
+        and len(obj) > 0
+        and all(isinstance(e, EndPoint) for e in obj)
+    )

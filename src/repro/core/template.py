@@ -1,0 +1,78 @@
+"""Template: a sequence of template values guiding the router (level 3).
+
+Paper, Section 3.1: "A template is defined as an array of template
+values ... The user does not have to know the wire connections and the
+resources in use. ... The cost is longer execution time, and there is no
+guarantee that an unused path even exists."
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .. import errors
+from ..arch.templates import TemplateValue
+
+__all__ = ["Template"]
+
+
+class Template:
+    """An array of :class:`~repro.arch.templates.TemplateValue`."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Sequence[TemplateValue | int] | Iterable[int]) -> None:
+        vals = tuple(TemplateValue(v) for v in values)
+        if not vals:
+            raise errors.JRouteError("a template needs at least one value")
+        self.values = vals
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __getitem__(self, i: int) -> TemplateValue:
+        return self.values[i]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Template):
+            return NotImplemented
+        return self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash(self.values)
+
+    def __str__(self) -> str:
+        return "Template[" + ", ".join(v.name for v in self.values) + "]"
+
+    def displacement(self) -> tuple[int, int]:
+        """Net (drow, dcol) a route following this template travels.
+
+        Long-line and global values contribute an unknown displacement and
+        make this raise ``ValueError``; callers use it for the fixed-step
+        templates of the auto-router's predefined sets.
+        """
+        dr = dc = 0
+        for v in self.values:
+            if v in (TemplateValue.LONGH, TemplateValue.LONGV, TemplateValue.GLOBAL):
+                raise ValueError(f"{v.name} has data-dependent displacement")
+            dr += _DROW.get(v, 0)
+            dc += _DCOL.get(v, 0)
+        return dr, dc
+
+
+_DROW = {
+    TemplateValue.NORTH1: 1,
+    TemplateValue.SOUTH1: -1,
+    TemplateValue.NORTH6: 6,
+    TemplateValue.SOUTH6: -6,
+}
+_DCOL = {
+    TemplateValue.EAST1: 1,
+    TemplateValue.WEST1: -1,
+    TemplateValue.EAST6: 6,
+    TemplateValue.WEST6: -6,
+    TemplateValue.DIRECT: 1,
+}

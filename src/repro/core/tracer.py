@@ -1,0 +1,78 @@
+"""Net tracing (the paper's debugging features, Section 3.5).
+
+``trace(source)`` "traces a source to all of its sinks.  The entire net
+is returned for the trace.  Debugging tools, such as BoardScope, can use
+this to view each sink."  ``reverse_trace(sink)`` traces "a sink ... back
+to its source.  Only the net that leads to the sink is returned."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import errors
+from ..arch import wires
+from ..arch.wires import WireClass
+from ..device.fabric import Device
+from ..device.state import PipRecord
+
+__all__ = ["NetTrace", "trace_net", "reverse_trace_net"]
+
+
+@dataclass(slots=True)
+class NetTrace:
+    """A traced net: every wire and PIP reachable from the source."""
+
+    source: int                                   #: source wire canonical id
+    wires: list[int] = field(default_factory=list)  #: all wires, preorder
+    pips: list[PipRecord] = field(default_factory=list)
+    sinks: list[int] = field(default_factory=list)  #: logic-input wires reached
+
+    def describe(self, device: Device) -> str:
+        """Human-readable rendering (what a debug tool would display)."""
+        arch = device.arch
+        lines = []
+        r, c, n = arch.primary_name(self.source)
+        lines.append(f"net from {wires.wire_name(n)}@({r},{c}):")
+        for rec in self.pips:
+            lines.append(
+                f"  ({rec.row},{rec.col}) {wires.wire_name(rec.from_name)}"
+                f" -> {wires.wire_name(rec.to_name)}"
+            )
+        for s in self.sinks:
+            r, c, n = arch.primary_name(s)
+            lines.append(f"  sink {wires.wire_name(n)}@({r},{c})")
+        return "\n".join(lines)
+
+
+def trace_net(device: Device, source_canon: int) -> NetTrace:
+    """Trace a source wire to all of its sinks (forward trace)."""
+    arch = device.arch
+    out = NetTrace(source=source_canon)
+    for w in device.state.subtree(source_canon):
+        out.wires.append(w)
+        if w != source_canon:
+            out.pips.append(device.state.pip_of[w])
+        cls = arch.wire_class_of(w)
+        if cls in (WireClass.SLICE_IN, WireClass.CTL_IN):
+            out.sinks.append(w)
+    return out
+
+
+def reverse_trace_net(device: Device, sink_canon: int) -> list[PipRecord]:
+    """Trace a sink back to its source: only that branch, source first."""
+    state = device.state
+    path: list[PipRecord] = []
+    w = sink_canon
+    guard = 0
+    while True:
+        rec = state.pip_of.get(w)
+        if rec is None:
+            break
+        path.append(rec)
+        w = rec.canon_from
+        guard += 1
+        if guard > state.n_pips_on:  # pragma: no cover - loop protection
+            raise errors.JRouteError("driver chain does not terminate")
+    path.reverse()
+    return path

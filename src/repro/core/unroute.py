@@ -1,0 +1,59 @@
+"""The unrouter (paper Section 3.3).
+
+"Run-time reconfiguration requires an unrouter. ... Unrouting the nets
+free up resources."
+
+Forward (``unroute(EndPoint source)``): "a source pin is specified.  The
+unrouter then follows each of the wires the pin drives and turns it off.
+This continues until all of the sinks are found."
+
+Reverse (``reverseunroute(EndPoint sink)``): "the entire net, starting
+from the source, is not removed.  Only the branch that leads to the
+specified pin is turned off, and freed up for reuse.  The unrouter starts
+at the sink pin and works backwards, turning off wires along the way,
+until it comes to a point where a wire is driving multiple wires."
+"""
+
+from __future__ import annotations
+
+from ..device.fabric import Device
+
+__all__ = ["unroute_forward", "unroute_reverse"]
+
+
+def unroute_forward(device: Device, source_canon: int) -> int:
+    """Turn off the whole net driven by ``source_canon``.
+
+    Returns the number of PIPs removed (0 when the wire drives nothing).
+    """
+    removed = 0
+    # Collect first: turning PIPs off while iterating would mutate the
+    # children lists the walk depends on.
+    targets = [w for w in device.state.subtree(source_canon) if w != source_canon]
+    for w in targets:
+        device.turn_off_driver(w)
+        removed += 1
+    return removed
+
+
+def unroute_reverse(device: Device, sink_canon: int) -> int:
+    """Turn off only the branch leading to ``sink_canon``.
+
+    Walks from the sink toward the source, removing PIPs, and stops at
+    the first wire that still drives other wires (a fanout point) or at
+    the net's source.  Returns the number of PIPs removed.
+    """
+    state = device.state
+    removed = 0
+    w = sink_canon
+    while True:
+        rec = state.pip_of.get(w)
+        if rec is None:
+            break  # reached the source (or the wire was never driven)
+        parent = rec.canon_from
+        device.turn_off_driver(w)
+        removed += 1
+        if state.children_of(parent):
+            break  # the parent still feeds other branches
+        w = parent
+    return removed

@@ -1,0 +1,52 @@
+"""Run-time parameterizable cores: the paper's Section 3.2/3.3 machinery.
+
+:class:`~repro.cores.core.Core` (port groups, hierarchical placement,
+removal with remembered connections), :class:`~repro.cores.core.Floorplan`,
+the replace/relocate flows of :mod:`~repro.cores.relocate`, and the
+library in :mod:`~repro.cores.library`.
+"""
+
+from .core import Core, Floorplan, Rect
+from .library import (
+    AccumulatorCore,
+    AdderCore,
+    And2Core,
+    ComparatorCore,
+    ConstantCore,
+    ConstantMultiplierCore,
+    CounterCore,
+    InverterCore,
+    LutGateCore,
+    LutRamCore,
+    Mux2Core,
+    Or2Core,
+    RegisterCore,
+    ShiftRegisterCore,
+    Xor2Core,
+    kcm_truth,
+)
+from .relocate import relocate_core, replace_core
+
+__all__ = [
+    "Core",
+    "Floorplan",
+    "Rect",
+    "AccumulatorCore",
+    "AdderCore",
+    "And2Core",
+    "ComparatorCore",
+    "ConstantCore",
+    "ConstantMultiplierCore",
+    "CounterCore",
+    "InverterCore",
+    "LutGateCore",
+    "LutRamCore",
+    "Mux2Core",
+    "Or2Core",
+    "RegisterCore",
+    "ShiftRegisterCore",
+    "Xor2Core",
+    "kcm_truth",
+    "relocate_core",
+    "replace_core",
+]

@@ -1,0 +1,31 @@
+"""The run-time parameterizable core library."""
+
+from .accumulator import AccumulatorCore
+from .adder import AdderCore
+from .comparator import ComparatorCore
+from .constant import ConstantCore
+from .constmult import ConstantMultiplierCore, kcm_truth
+from .counter import CounterCore
+from .lutram import LutRamCore
+from .gates import And2Core, InverterCore, LutGateCore, Mux2Core, Or2Core, Xor2Core
+from .register import RegisterCore
+from .shiftreg import ShiftRegisterCore
+
+__all__ = [
+    "AccumulatorCore",
+    "AdderCore",
+    "ComparatorCore",
+    "ConstantCore",
+    "ConstantMultiplierCore",
+    "kcm_truth",
+    "CounterCore",
+    "LutRamCore",
+    "And2Core",
+    "InverterCore",
+    "LutGateCore",
+    "Mux2Core",
+    "Or2Core",
+    "Xor2Core",
+    "RegisterCore",
+    "ShiftRegisterCore",
+]

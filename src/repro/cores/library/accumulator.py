@@ -1,0 +1,65 @@
+"""Accumulator core: adder + register with feedback (DSP building block).
+
+The paper's Section 4 sketches composition from a small set of cores;
+the accumulator is the counter's data-input sibling — ``acc <= acc + in``
+every clock — and the heart of the multiply-accumulate datapaths its
+introduction motivates.
+"""
+
+from __future__ import annotations
+
+from ... import errors
+from ...core.endpoints import Port, PortDirection
+from ..core import Core, Rect
+from .adder import AdderCore
+from .register import RegisterCore
+
+__all__ = ["AccumulatorCore"]
+
+
+class AccumulatorCore(Core):
+    """``width``-bit accumulator (adder + feedback register).
+
+    Port groups: ``in`` (IN, width — the addend), ``q`` (OUT, width —
+    the accumulated value), ``clk`` (IN, 1).
+    """
+
+    PARAM_ATTRS = ("width",)
+
+    def __init__(self, router, instance_name, row, col, *, width: int, parent=None):
+        if width < 1:
+            raise errors.PlacementError("accumulator width must be >= 1")
+        self.width = width
+        super().__init__(router, instance_name, row, col, parent=parent)
+
+    def footprint(self):
+        height = max(-(-self.width // 2), -(-self.width // 4))
+        return Rect(self.row, self.col, height, 2)
+
+    def build(self) -> None:
+        w = self.width
+        adder = AdderCore(self.router, "add", self.row, self.col, width=w, parent=self)
+        reg = RegisterCore(
+            self.router, "reg", self.row, self.col + 1, width=w, parent=self
+        )
+        self.router.route(list(adder.get_ports("sum")), list(reg.get_ports("d")))
+        self.router.route(list(reg.get_ports("q")), list(adder.get_ports("a")))
+        for p in adder.get_ports("sum"):
+            self._internal_net_sources.append(p.resolve_pins()[0])
+        for p in reg.get_ports("q"):
+            self._internal_net_sources.append(p.resolve_pins()[0])
+        in_ports = []
+        for i, child_b in enumerate(adder.get_ports("b")):
+            port = Port(f"in{i}", PortDirection.IN, owner=self)
+            port.bind(child_b)
+            in_ports.append(port)
+        q_ports = []
+        for i, child_q in enumerate(reg.get_ports("q")):
+            port = Port(f"q{i}", PortDirection.OUT, owner=self)
+            port.bind(child_q)
+            q_ports.append(port)
+        clk = Port("clk", PortDirection.IN, owner=self)
+        clk.bind(reg.get_ports("clk")[0])
+        self.define_group("in", in_ports)
+        self.define_group("q", q_ports)
+        self.define_group("clk", [clk])

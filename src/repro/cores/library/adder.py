@@ -1,0 +1,84 @@
+"""Ripple-carry adder core.
+
+Each bit occupies one slice: the F LUT computes the sum (XOR3), the G LUT
+the carry (MAJ3); the carry net between adjacent bits is real routed
+interconnect (exercising the router inside the core, as JBits-era cores
+did — the simulated fabric has no dedicated carry chain).
+"""
+
+from __future__ import annotations
+
+from ... import errors
+from ...core.endpoints import Pin, Port, PortDirection
+from ..core import Core
+from .primitives import TRUTH_MAJ3, TRUTH_XOR3, g_site_of, site_of_bit
+
+__all__ = ["AdderCore"]
+
+
+class AdderCore(Core):
+    """``width``-bit ripple-carry adder.
+
+    Port groups: ``a``/``b`` (IN, width — each bit binds the sum *and*
+    carry LUT inputs), ``sum`` (OUT, width), ``cin`` (IN, 1),
+    ``cout`` (OUT, 1).
+    """
+
+    PARAM_ATTRS = ("width",)
+
+    def __init__(self, router, instance_name, row, col, *, width: int, parent=None):
+        if width < 1:
+            raise errors.PlacementError("adder width must be >= 1")
+        self.width = width
+        super().__init__(router, instance_name, row, col, parent=parent)
+
+    def footprint(self):
+        from ..core import Rect
+
+        return Rect(self.row, self.col, -(-self.width // 2), 1)
+
+    def build(self) -> None:
+        a_ports, b_ports, sum_ports = [], [], []
+        carry_out_pins: list[Pin] = []
+        carry_in_pins: list[tuple[Pin, Pin]] = []
+        for bit in range(self.width):
+            fsite = site_of_bit(bit, sites_per_clb=2)
+            gsite = g_site_of(fsite)
+            row = self.row + fsite.drow
+            self.set_lut(fsite.drow, 0, fsite.lut_index, TRUTH_XOR3)
+            self.set_lut(gsite.drow, 0, gsite.lut_index, TRUTH_MAJ3)
+            # a feeds input 1 of both LUTs; b input 2; carry input 3
+            a = Port(f"a{bit}", PortDirection.IN, owner=self)
+            a.bind(Pin(row, self.col, fsite.inputs[0]))
+            a.bind(Pin(row, self.col, gsite.inputs[0]))
+            b = Port(f"b{bit}", PortDirection.IN, owner=self)
+            b.bind(Pin(row, self.col, fsite.inputs[1]))
+            b.bind(Pin(row, self.col, gsite.inputs[1]))
+            a_ports.append(a)
+            b_ports.append(b)
+            sum_ports.append(
+                self.new_port(
+                    f"sum{bit}", PortDirection.OUT, Pin(row, self.col, fsite.comb_out)
+                )
+            )
+            carry_out_pins.append(Pin(row, self.col, gsite.comb_out))
+            carry_in_pins.append(
+                (
+                    Pin(row, self.col, fsite.inputs[2]),
+                    Pin(row, self.col, gsite.inputs[2]),
+                )
+            )
+        # ripple the carries: bit i's carry-out feeds bit i+1's carry-ins
+        for bit in range(self.width - 1):
+            self.route_internal(
+                carry_out_pins[bit], list(carry_in_pins[bit + 1])
+            )
+        cin = Port("cin0", PortDirection.IN, owner=self)
+        for pin in carry_in_pins[0]:
+            cin.bind(pin)
+        cout = self.new_port("cout0", PortDirection.OUT, carry_out_pins[-1])
+        self.define_group("a", a_ports)
+        self.define_group("b", b_ports)
+        self.define_group("sum", sum_ports)
+        self.define_group("cin", [cin])
+        self.define_group("cout", [cout])

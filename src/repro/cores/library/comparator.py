@@ -1,0 +1,89 @@
+"""Equality comparator core: per-bit XNOR stage + AND reduction tree.
+
+A two-column core whose reduction nets are real routed interconnect —
+a denser internal-routing workload than the adder's carry chain.
+"""
+
+from __future__ import annotations
+
+from ... import errors
+from ...core.endpoints import Pin, Port, PortDirection
+from ..core import Core, Rect
+from .primitives import TRUTH_XNOR2, site_of_bit, truth_of
+
+__all__ = ["ComparatorCore"]
+
+
+class ComparatorCore(Core):
+    """``width``-bit equality comparator (``a == b``).
+
+    Port groups: ``a``/``b`` (IN, width), ``eq`` (OUT, 1).
+    Column 0 holds the XNOR bits, column 1 the AND reduction tree.
+    """
+
+    PARAM_ATTRS = ("width",)
+
+    MAX_WIDTH = 16  # one reduction level of 4-input ANDs + a final AND
+
+    def __init__(self, router, instance_name, row, col, *, width: int, parent=None):
+        if not 1 <= width <= self.MAX_WIDTH:
+            raise errors.PlacementError(
+                f"comparator width must be 1..{self.MAX_WIDTH}"
+            )
+        self.width = width
+        super().__init__(router, instance_name, row, col, parent=parent)
+
+    def footprint(self):
+        return Rect(self.row, self.col, -(-self.width // 4), 2)
+
+    def build(self) -> None:
+        w = self.width
+        a_ports, b_ports = [], []
+        xnor_outs: list[Pin] = []
+        for bit in range(w):
+            site = site_of_bit(bit)
+            self.set_lut(site.drow, 0, site.lut_index, TRUTH_XNOR2)
+            row = self.row + site.drow
+            a = Port(f"a{bit}", PortDirection.IN, owner=self)
+            a.bind(Pin(row, self.col, site.inputs[0]))
+            b = Port(f"b{bit}", PortDirection.IN, owner=self)
+            b.bind(Pin(row, self.col, site.inputs[1]))
+            a_ports.append(a)
+            b_ports.append(b)
+            xnor_outs.append(Pin(row, self.col, site.comb_out))
+
+        # reduction tree in column 1: groups of up to 4 XNOR outputs
+        n_groups = -(-w // 4)
+        group_outs: list[Pin] = []
+        for g in range(n_groups):
+            site = site_of_bit(g)
+            members = xnor_outs[4 * g : 4 * g + 4]
+            # unused AND inputs must read 1: restrict the truth table to
+            # the populated inputs
+            truth = truth_of(
+                lambda *bits, k=len(members): all(bits[:k]) if k else 1
+            )
+            self.set_lut(site.drow, 1, site.lut_index, truth)
+            row = self.row + site.drow
+            for i, src in enumerate(members):
+                self.route_internal(src, Pin(row, self.col + 1, site.inputs[i]))
+            group_outs.append(Pin(row, self.col + 1, site.comb_out))
+
+        if n_groups == 1:
+            eq_pin = group_outs[0]
+        else:
+            # final AND of the group outputs, in the last site of column 1
+            site = site_of_bit(n_groups)
+            truth = truth_of(
+                lambda *bits, k=n_groups: all(bits[:k])
+            )
+            self.set_lut(site.drow, 1, site.lut_index, truth)
+            row = self.row + site.drow
+            for i, src in enumerate(group_outs):
+                self.route_internal(src, Pin(row, self.col + 1, site.inputs[i]))
+            eq_pin = Pin(row, self.col + 1, site.comb_out)
+
+        eq = self.new_port("eq0", PortDirection.OUT, eq_pin)
+        self.define_group("a", a_ports)
+        self.define_group("b", b_ports)
+        self.define_group("eq", [eq])

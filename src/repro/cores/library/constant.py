@@ -1,0 +1,58 @@
+"""Constant source core: drives a fixed bit pattern.
+
+The paper's Section 4 counter example sets one adder input "to a value of
+one"; this core provides such values.  Each output bit is a LUT
+configured all-ones or all-zeros, so changing the value at run time is a
+pure LUT rewrite — no re-routing.
+"""
+
+from __future__ import annotations
+
+from ... import errors
+from ...core.endpoints import Pin, PortDirection
+from ..core import Core
+from .primitives import TRUTH_ONE, TRUTH_ZERO, site_of_bit
+
+__all__ = ["ConstantCore"]
+
+
+class ConstantCore(Core):
+    """Drives ``width`` constant bits (port group ``out``)."""
+
+    PARAM_ATTRS = ("width", "value")
+
+    def __init__(self, router, instance_name, row, col, *, width: int, value: int, parent=None):
+        if width < 1:
+            raise errors.PlacementError("constant width must be >= 1")
+        if not 0 <= value < (1 << width):
+            raise errors.PortError(
+                f"value {value} does not fit in {width} bits"
+            )
+        self.width = width
+        self.value = value
+        super().__init__(router, instance_name, row, col, parent=parent)
+
+    def footprint(self):
+        from ..core import Rect
+
+        return Rect(self.row, self.col, -(-self.width // 4), 1)
+
+    def build(self) -> None:
+        out_ports = []
+        for bit in range(self.width):
+            site = site_of_bit(bit)
+            truth = TRUTH_ONE if (self.value >> bit) & 1 else TRUTH_ZERO
+            self.set_lut(site.drow, 0, site.lut_index, truth)
+            pin = Pin(self.row + site.drow, self.col, site.comb_out)
+            out_ports.append(self.new_port(f"out{bit}", PortDirection.OUT, pin))
+        self.define_group("out", out_ports)
+
+    def set_value(self, value: int) -> None:
+        """Run-time parameterisation: rewrite the LUTs, keep the routing."""
+        if not 0 <= value < (1 << self.width):
+            raise errors.PortError(f"value {value} does not fit in {self.width} bits")
+        self.value = value
+        for bit in range(self.width):
+            site = site_of_bit(bit)
+            truth = TRUTH_ONE if (value >> bit) & 1 else TRUTH_ZERO
+            self.set_lut(site.drow, 0, site.lut_index, truth)

@@ -1,0 +1,106 @@
+"""Constant-coefficient multiplier core (the paper's RTR showcase).
+
+Section 3.3: "consider a constant multiplier.  The system connects it to
+the circuit and later requires a new constant.  The core can be removed,
+unrouted, and replaced with a new constant multiplier without having to
+specify connections again."
+
+This KCM-style core stores the constant in LUT truth tables, one LUT per
+output bit, fed by the input nibbles.  (Each truth table is the partial
+product slice of the constant for that output bit — derived
+deterministically from the constant, so two cores with different
+constants have identical footprint and ports but different logic, which
+is exactly what the replace/reconnect experiment needs.)
+"""
+
+from __future__ import annotations
+
+from ... import errors
+from ...core.endpoints import Pin, Port, PortDirection
+from ..core import Core
+from .primitives import site_of_bit
+
+__all__ = ["ConstantMultiplierCore", "kcm_truth"]
+
+
+def kcm_truth(constant: int, out_bit: int) -> int:
+    """Truth table of output bit ``out_bit``: bit of ``nibble * constant``.
+
+    The LUT's 4 inputs hold one input nibble; entry ``n`` is bit
+    ``out_bit`` of ``n * constant`` — the classic LUT-based constant
+    multiplier (partial products are then summed; the summation network
+    is abstracted into the same LUT array here).
+    """
+    truth = 0
+    for n in range(16):
+        if (n * constant >> out_bit) & 1:
+            truth |= 1 << n
+    return truth
+
+
+class ConstantMultiplierCore(Core):
+    """Multiplies a ``width``-bit input by a run-time constant.
+
+    Port groups: ``in`` (IN, width), ``out`` (OUT, width + constant bits).
+    """
+
+    PARAM_ATTRS = ("width", "constant")
+
+    def __init__(
+        self, router, instance_name, row, col, *, width: int, constant: int, parent=None
+    ):
+        if width < 1:
+            raise errors.PlacementError("multiplier width must be >= 1")
+        if constant < 1:
+            raise errors.PortError("constant must be >= 1")
+        self.width = width
+        self.constant = constant
+        self.out_width = width + max(1, constant.bit_length())
+        super().__init__(router, instance_name, row, col, parent=parent)
+
+    def footprint(self):
+        from ..core import Rect
+
+        return Rect(self.row, self.col, -(-self.out_width // 4), 1)
+
+    def build(self) -> None:
+        out_ports = []
+        in_ports = [Port(f"in{i}", PortDirection.IN, owner=self) for i in range(self.width)]
+        for ob in range(self.out_width):
+            site = site_of_bit(ob)
+            self.set_lut(site.drow, 0, site.lut_index, kcm_truth(self.constant, ob))
+            out_ports.append(
+                self.new_port(
+                    f"out{ob}",
+                    PortDirection.OUT,
+                    Pin(self.row + site.drow, self.col, site.comb_out),
+                )
+            )
+            # input bit (ob mod width) feeds this LUT's nibble inputs: bind
+            # one LUT input pin per output LUT so every input bit lands on
+            # real sink pins distributed over the array
+            in_ports[ob % self.width].bind(
+                Pin(self.row + site.drow, self.col, site.inputs[ob % 4])
+            )
+        self.define_group("in", in_ports)
+        self.define_group("out", out_ports)
+
+    def set_constant(self, constant: int) -> None:
+        """In-place run-time reparameterisation (LUT rewrite only).
+
+        Only legal when the new constant needs no more output bits than
+        the current one; otherwise remove + replace the core (Section
+        3.3's flow, exercised in experiment E5).
+        """
+        if constant < 1:
+            raise errors.PortError("constant must be >= 1")
+        new_out = self.width + max(1, constant.bit_length())
+        if new_out > self.out_width:
+            raise errors.PlacementError(
+                f"constant {constant} needs {new_out} output bits > "
+                f"{self.out_width}; replace the core instead"
+            )
+        self.constant = constant
+        for ob in range(self.out_width):
+            site = site_of_bit(ob)
+            self.set_lut(site.drow, 0, site.lut_index, kcm_truth(constant, ob))

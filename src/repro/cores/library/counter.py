@@ -1,0 +1,76 @@
+"""Counter core — the paper's Section 4 composition example.
+
+"For example, a counter can be made from a constant adder with the
+output fed back to one input ports and the other input set to a value of
+one."
+
+This core demonstrates the full hierarchy story: three child cores
+(adder, register, constant one), port-to-port bus routing between them,
+and outer ports defined by *binding to the children's ports* ("it can
+also specify connections from ports of internal cores to its own
+ports").
+"""
+
+from __future__ import annotations
+
+from ... import errors
+from ...core.endpoints import Port, PortDirection
+from ..core import Core
+from .adder import AdderCore
+from .constant import ConstantCore
+from .register import RegisterCore
+
+__all__ = ["CounterCore"]
+
+
+class CounterCore(Core):
+    """``width``-bit up counter (adder + feedback register + constant 1).
+
+    Port groups: ``q`` (OUT, width — the register outputs), ``clk``
+    (IN, 1).
+    """
+
+    PARAM_ATTRS = ("width",)
+
+    def __init__(self, router, instance_name, row, col, *, width: int, parent=None):
+        if width < 1:
+            raise errors.PlacementError("counter width must be >= 1")
+        self.width = width
+        super().__init__(router, instance_name, row, col, parent=parent)
+
+    def footprint(self):
+        from ..core import Rect
+
+        height = max(-(-self.width // 2), -(-self.width // 4))
+        return Rect(self.row, self.col, height, 3)
+
+    def build(self) -> None:
+        w = self.width
+        adder = AdderCore(self.router, "add", self.row, self.col, width=w, parent=self)
+        reg = RegisterCore(
+            self.router, "reg", self.row, self.col + 1, width=w, parent=self
+        )
+        one = ConstantCore(
+            self.router, "one", self.row, self.col + 2, width=w, value=1, parent=self
+        )
+        # dataflow: sum -> d (bus), q -> a (feedback bus), one -> b (bus)
+        self.router.route(list(adder.get_ports("sum")), list(reg.get_ports("d")))
+        self.router.route(list(reg.get_ports("q")), list(adder.get_ports("a")))
+        self.router.route(list(one.get_ports("out")), list(adder.get_ports("b")))
+        # remember the internal net sources so removal can unroute them
+        for p in adder.get_ports("sum"):
+            self._internal_net_sources.append(p.resolve_pins()[0])
+        for p in reg.get_ports("q"):
+            self._internal_net_sources.append(p.resolve_pins()[0])
+        for p in one.get_ports("out"):
+            self._internal_net_sources.append(p.resolve_pins()[0])
+        # outer ports delegate to children's ports (hierarchy)
+        q_ports = []
+        for i, child_q in enumerate(reg.get_ports("q")):
+            port = Port(f"q{i}", PortDirection.OUT, owner=self)
+            port.bind(child_q)
+            q_ports.append(port)
+        clk = Port("clk", PortDirection.IN, owner=self)
+        clk.bind(reg.get_ports("clk")[0])
+        self.define_group("q", q_ports)
+        self.define_group("clk", [clk])

@@ -1,0 +1,70 @@
+"""Single-LUT gate cores (AND, OR, XOR, NOT) and a 2:1 mux."""
+
+from __future__ import annotations
+
+from ...core.endpoints import Pin, Port, PortDirection
+from ..core import Core, Rect
+from .primitives import (
+    TRUTH_AND,
+    TRUTH_MUX2,
+    TRUTH_NOT_A,
+    TRUTH_OR,
+    TRUTH_XOR2,
+    site_of_bit,
+)
+
+__all__ = ["LutGateCore", "And2Core", "Or2Core", "Xor2Core", "InverterCore", "Mux2Core"]
+
+
+class LutGateCore(Core):
+    """One LUT computing a fixed function of up to 4 inputs.
+
+    Port groups: ``in`` (IN, n_inputs), ``out`` (OUT, 1).
+    """
+
+    TRUTH = TRUTH_AND
+    N_INPUTS = 2
+
+    def footprint(self):
+        return Rect(self.row, self.col, 1, 1)
+
+    def build(self) -> None:
+        site = site_of_bit(0)
+        self.set_lut(0, 0, site.lut_index, self.TRUTH)
+        in_ports = []
+        for i in range(self.N_INPUTS):
+            p = Port(f"in{i}", PortDirection.IN, owner=self)
+            p.bind(Pin(self.row, self.col, site.inputs[i]))
+            in_ports.append(p)
+        out = self.new_port(
+            "out0", PortDirection.OUT, Pin(self.row, self.col, site.comb_out)
+        )
+        self.define_group("in", in_ports)
+        self.define_group("out", [out])
+
+
+class And2Core(LutGateCore):
+    TRUTH = TRUTH_AND
+    N_INPUTS = 2
+
+
+class Or2Core(LutGateCore):
+    TRUTH = TRUTH_OR
+    N_INPUTS = 2
+
+
+class Xor2Core(LutGateCore):
+    TRUTH = TRUTH_XOR2
+    N_INPUTS = 2
+
+
+class InverterCore(LutGateCore):
+    TRUTH = TRUTH_NOT_A
+    N_INPUTS = 1
+
+
+class Mux2Core(LutGateCore):
+    """2:1 multiplexer: in0, in1 data, in2 select."""
+
+    TRUTH = TRUTH_MUX2
+    N_INPUTS = 3

@@ -1,0 +1,119 @@
+"""Distributed LUT-RAM core: a 16-entry memory built from LUTs.
+
+Virtex LUTs double as 16x1 synchronous RAMs — the distributed-memory
+feature of the family, and the closest CLB-fabric substitute for the
+Block RAM the paper lists as future work.  Each data bit occupies one
+LUT site: the four LUT inputs are the read/write address, the BX/BY pin
+is the write data, the CE pin is the write enable, and the combinational
+output reads the addressed entry asynchronously.
+
+Writes land in the configuration bits (the LUT truth table *is* the
+memory), so readback and partial bitstreams capture memory contents —
+exactly how JBits-era designs snapshotted state.
+"""
+
+from __future__ import annotations
+
+from ... import errors
+from ...core.endpoints import Pin, Port, PortDirection
+from ..core import Core, Rect
+from .primitives import site_of_bit
+
+__all__ = ["LutRamCore"]
+
+#: slice-mode bit offset marking a site as LUT-RAM (see repro.sim)
+RAM_MODE_BIT_BASE = 4
+
+DEPTH = 16  #: entries per LUT (4 address bits)
+
+
+class LutRamCore(Core):
+    """A 16 x ``width`` single-port RAM in distributed LUT memory.
+
+    Port groups: ``addr`` (IN, 4 — each address bit fans out to every
+    data bit's LUT), ``din`` (IN, width), ``dout`` (OUT, width,
+    asynchronous read), ``we`` (IN, 1), ``clk`` (IN, 1).
+    """
+
+    PARAM_ATTRS = ("width", "init")
+
+    def __init__(self, router, instance_name, row, col, *, width: int,
+                 init: tuple[int, ...] = (), parent=None):
+        if width < 1:
+            raise errors.PlacementError("RAM width must be >= 1")
+        init = tuple(init)
+        if len(init) > DEPTH:
+            raise errors.PortError(f"init has {len(init)} entries > {DEPTH}")
+        for v in init:
+            if not 0 <= v < (1 << width):
+                raise errors.PortError(f"init value {v} does not fit in {width} bits")
+        self.width = width
+        self.init = init
+        super().__init__(router, instance_name, row, col, parent=parent)
+
+    def footprint(self):
+        return Rect(self.row, self.col, -(-self.width // 4), 1)
+
+    def _truth_of_bit(self, bit: int) -> int:
+        truth = 0
+        for a, v in enumerate(self.init):
+            if (v >> bit) & 1:
+                truth |= 1 << a
+        return truth
+
+    def build(self) -> None:
+        addr_ports = [Port(f"addr{i}", PortDirection.IN, owner=self) for i in range(4)]
+        din_ports, dout_ports = [], []
+        we = Port("we0", PortDirection.IN, owner=self)
+        clk = Port("clk", PortDirection.IN, owner=self)
+        we_pins: set[Pin] = set()
+        clk_pins: set[Pin] = set()
+        assert self.jbits is not None
+        for bit in range(self.width):
+            site = site_of_bit(bit)
+            row = self.row + site.drow
+            self.set_lut(site.drow, 0, site.lut_index, self._truth_of_bit(bit))
+            self.jbits.set_mode_bit(
+                row, self.col, RAM_MODE_BIT_BASE + site.lut_index, True
+            )
+            self._configured_modes.append(
+                (row, self.col, RAM_MODE_BIT_BASE + site.lut_index)
+            )
+            for i in range(4):
+                addr_ports[i].bind(Pin(row, self.col, site.inputs[i]))
+            din = Port(f"din{bit}", PortDirection.IN, owner=self)
+            din.bind(Pin(row, self.col, site.data_in))
+            din_ports.append(din)
+            dout_ports.append(
+                self.new_port(
+                    f"dout{bit}", PortDirection.OUT, Pin(row, self.col, site.comb_out)
+                )
+            )
+            we_pins.add(Pin(row, self.col, site.ce))
+            clk_pins.add(Pin(row, self.col, site.clk))
+        for pin in sorted(we_pins, key=lambda p: (p.row, p.col, p.wire)):
+            we.bind(pin)
+        for pin in sorted(clk_pins, key=lambda p: (p.row, p.col, p.wire)):
+            clk.bind(pin)
+        self.define_group("addr", addr_ports)
+        self.define_group("din", din_ports)
+        self.define_group("dout", dout_ports)
+        self.define_group("we", [we])
+        self.define_group("clk", [clk])
+
+    def read_contents(self) -> list[int]:
+        """Current memory contents, decoded from the configuration bits."""
+        assert self.jbits is not None
+        out = []
+        truths = []
+        for bit in range(self.width):
+            site = site_of_bit(bit)
+            truths.append(
+                self.jbits.get_lut(self.row + site.drow, self.col, site.lut_index)
+            )
+        for a in range(DEPTH):
+            v = 0
+            for bit, truth in enumerate(truths):
+                v |= ((truth >> a) & 1) << bit
+            out.append(v)
+        return out

@@ -1,0 +1,111 @@
+"""Slice/LUT site helpers shared by the core library.
+
+A Virtex CLB holds two slices; each slice has an F and a G 4-input LUT
+with a combinational output (X / Y) and a registered output (XQ / YQ).
+Bit-sliced cores lay one logical bit onto one LUT *site*; this module
+maps a bit index to its site's pins.
+
+Site order within a CLB: (S0,F), (S0,G), (S1,F), (S1,G) — four sites per
+CLB, matching the JBits LUT indices ``LUT_S0F .. LUT_S1G``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...arch import wires
+
+__all__ = [
+    "LutSite",
+    "site_of_bit",
+    "g_site_of",
+    "SITES_PER_CLB",
+    "TRUTH_PASS_A",
+    "TRUTH_XOR3",
+    "TRUTH_MAJ3",
+    "TRUTH_AND",
+    "TRUTH_OR",
+    "TRUTH_XOR2",
+    "TRUTH_XNOR2",
+    "TRUTH_NOT_A",
+    "TRUTH_MUX2",
+    "TRUTH_ZERO",
+    "TRUTH_ONE",
+    "truth_of",
+]
+
+SITES_PER_CLB = 4
+
+
+@dataclass(frozen=True, slots=True)
+class LutSite:
+    """One LUT site: its pins and its JBits LUT index."""
+
+    drow: int          #: CLB row offset within the core footprint
+    lut_index: int     #: JBits LUT index (0..3)
+    inputs: tuple[int, int, int, int]  #: F1..F4 / G1..G4 pin names
+    comb_out: int      #: X or Y pin name
+    reg_out: int       #: XQ or YQ pin name
+    clk: int           #: slice clock pin name
+    ce: int            #: slice clock-enable pin name (WE in LUT-RAM mode)
+    sr: int            #: slice set/reset pin name
+    data_in: int       #: BX/BY pin: the LUT-RAM write-data input
+
+
+_SITE_TABLE = (
+    # (lut_index, inputs, comb, reg, clk, ce, sr, data_in)
+    (0, tuple(wires.S0F[1:5]), wires.S0_X, wires.S0_XQ, wires.S0_CLK, wires.S0_CE, wires.S0_SR, wires.S0_BX),
+    (1, tuple(wires.S0G[1:5]), wires.S0_Y, wires.S0_YQ, wires.S0_CLK, wires.S0_CE, wires.S0_SR, wires.S0_BY),
+    (2, tuple(wires.S1F[1:5]), wires.S1_X, wires.S1_XQ, wires.S1_CLK, wires.S1_CE, wires.S1_SR, wires.S1_BX),
+    (3, tuple(wires.S1G[1:5]), wires.S1_Y, wires.S1_YQ, wires.S1_CLK, wires.S1_CE, wires.S1_SR, wires.S1_BY),
+)
+
+
+def site_of_bit(bit: int, *, sites_per_clb: int = SITES_PER_CLB) -> LutSite:
+    """Site of logical bit ``bit`` when packing ``sites_per_clb`` per CLB.
+
+    ``sites_per_clb=4`` packs densely (registers, constants);
+    ``sites_per_clb=2`` gives each bit a whole slice (adders use F for
+    sum and G for carry, so the bit occupies both LUTs of its slice).
+    """
+    if sites_per_clb == 4:
+        drow, idx = divmod(bit, 4)
+    elif sites_per_clb == 2:
+        drow, slice_idx = divmod(bit, 2)
+        idx = slice_idx * 2  # the F LUT of slice 0 or 1
+    else:
+        raise ValueError("sites_per_clb must be 2 or 4")
+    lut_index, inputs, comb, reg, clk, ce, sr, din = _SITE_TABLE[idx]
+    return LutSite(drow, lut_index, inputs, comb, reg, clk, ce, sr, din)
+
+
+def g_site_of(site: LutSite) -> LutSite:
+    """The G LUT of the same slice as an F-LUT site (adder carry LUT)."""
+    lut_index, inputs, comb, reg, clk, ce, sr, din = _SITE_TABLE[site.lut_index + 1]
+    return LutSite(site.drow, lut_index, inputs, comb, reg, clk, ce, sr, din)
+
+
+# -- common truth tables (addressed by input combination; F1 is bit 0) -----
+
+def truth_of(fn) -> int:
+    """Build a 16-bit truth table from a function of 4 input bits."""
+    return sum(
+        int(bool(fn((i >> 0) & 1, (i >> 1) & 1, (i >> 2) & 1, (i >> 3) & 1))) << i
+        for i in range(16)
+    )
+
+
+_truth = truth_of
+
+
+TRUTH_PASS_A = _truth(lambda a, b, c, d: a)          #: route-through LUT
+TRUTH_NOT_A = _truth(lambda a, b, c, d: a ^ 1)
+TRUTH_XOR3 = _truth(lambda a, b, c, d: a ^ b ^ c)    #: full-adder sum
+TRUTH_MAJ3 = _truth(lambda a, b, c, d: (a + b + c) >> 1)  #: full-adder carry
+TRUTH_AND = _truth(lambda a, b, c, d: a & b)
+TRUTH_OR = _truth(lambda a, b, c, d: a | b)
+TRUTH_XOR2 = _truth(lambda a, b, c, d: a ^ b)
+TRUTH_XNOR2 = _truth(lambda a, b, c, d: (a ^ b) ^ 1)
+TRUTH_MUX2 = _truth(lambda a, b, s, d: b if s else a)
+TRUTH_ZERO = 0x0000
+TRUTH_ONE = 0xFFFF

@@ -1,0 +1,55 @@
+"""Register core: ``width`` D flip-flops behind route-through LUTs."""
+
+from __future__ import annotations
+
+from ... import errors
+from ...core.endpoints import Pin, Port, PortDirection
+from ..core import Core
+from .primitives import TRUTH_PASS_A, site_of_bit
+
+__all__ = ["RegisterCore"]
+
+
+class RegisterCore(Core):
+    """``width``-bit register.
+
+    Port groups: ``d`` (IN, width), ``q`` (OUT, width), ``clk`` (IN, one
+    port bound to every involved slice clock pin).
+    """
+
+    PARAM_ATTRS = ("width",)
+
+    def __init__(self, router, instance_name, row, col, *, width: int, parent=None):
+        if width < 1:
+            raise errors.PlacementError("register width must be >= 1")
+        self.width = width
+        super().__init__(router, instance_name, row, col, parent=parent)
+
+    def footprint(self):
+        from ..core import Rect
+
+        return Rect(self.row, self.col, -(-self.width // 4), 1)
+
+    def build(self) -> None:
+        d_ports, q_ports = [], []
+        clk = Port("clk", PortDirection.IN, owner=self)
+        clk_pins: set[Pin] = set()
+        for bit in range(self.width):
+            site = site_of_bit(bit)
+            self.set_lut(site.drow, 0, site.lut_index, TRUTH_PASS_A)
+            # FF enable mode bit for this site
+            assert self.jbits is not None
+            self.jbits.set_mode_bit(self.row + site.drow, self.col, site.lut_index, True)
+            self._configured_modes.append(
+                (self.row + site.drow, self.col, site.lut_index)
+            )
+            d_pin = Pin(self.row + site.drow, self.col, site.inputs[0])
+            q_pin = Pin(self.row + site.drow, self.col, site.reg_out)
+            d_ports.append(self.new_port(f"d{bit}", PortDirection.IN, d_pin))
+            q_ports.append(self.new_port(f"q{bit}", PortDirection.OUT, q_pin))
+            clk_pins.add(Pin(self.row + site.drow, self.col, site.clk))
+        for pin in sorted(clk_pins, key=lambda p: (p.row, p.col, p.wire)):
+            clk.bind(pin)
+        self.define_group("d", d_ports)
+        self.define_group("q", q_ports)
+        self.define_group("clk", [clk])

@@ -1,0 +1,64 @@
+"""Shift-register core: a chain of flip-flops with routed stage links."""
+
+from __future__ import annotations
+
+from ... import errors
+from ...core.endpoints import Pin, Port, PortDirection
+from ..core import Core, Rect
+from .primitives import TRUTH_PASS_A, site_of_bit
+
+__all__ = ["ShiftRegisterCore"]
+
+
+class ShiftRegisterCore(Core):
+    """``depth``-stage 1-bit shift register.
+
+    Each stage is a route-through LUT + FF; stage q feeds the next
+    stage's d through real routed interconnect.  Port groups: ``d`` (IN,
+    1), ``q`` (OUT, 1, the last stage), ``taps`` (OUT, depth — every
+    stage, for delay-line uses), ``clk`` (IN, 1).
+    """
+
+    PARAM_ATTRS = ("depth",)
+
+    def __init__(self, router, instance_name, row, col, *, depth: int, parent=None):
+        if depth < 1:
+            raise errors.PlacementError("shift register depth must be >= 1")
+        self.depth = depth
+        super().__init__(router, instance_name, row, col, parent=parent)
+
+    def footprint(self):
+        return Rect(self.row, self.col, -(-self.depth // 4), 1)
+
+    def build(self) -> None:
+        taps = []
+        clk = Port("clk", PortDirection.IN, owner=self)
+        clk_pins: set[Pin] = set()
+        d_pins: list[Pin] = []
+        q_pins: list[Pin] = []
+        for stage in range(self.depth):
+            site = site_of_bit(stage)
+            self.set_lut(site.drow, 0, site.lut_index, TRUTH_PASS_A)
+            assert self.jbits is not None
+            self.jbits.set_mode_bit(self.row + site.drow, self.col, site.lut_index, True)
+            self._configured_modes.append(
+                (self.row + site.drow, self.col, site.lut_index)
+            )
+            d_pins.append(Pin(self.row + site.drow, self.col, site.inputs[0]))
+            q_pins.append(Pin(self.row + site.drow, self.col, site.reg_out))
+            clk_pins.add(Pin(self.row + site.drow, self.col, site.clk))
+            taps.append(
+                self.new_port(f"tap{stage}", PortDirection.OUT, q_pins[-1])
+            )
+        for stage in range(self.depth - 1):
+            self.route_internal(q_pins[stage], d_pins[stage + 1])
+        for pin in sorted(clk_pins, key=lambda p: (p.row, p.col, p.wire)):
+            clk.bind(pin)
+        d = Port("d0", PortDirection.IN, owner=self)
+        d.bind(d_pins[0])
+        q = Port("q0", PortDirection.OUT, owner=self)
+        q.bind(q_pins[-1])
+        self.define_group("d", [d])
+        self.define_group("q", [q])
+        self.define_group("taps", taps)
+        self.define_group("clk", [clk])

@@ -1,0 +1,70 @@
+"""Core replacement and relocation (paper Section 3.3).
+
+"A core may be replaced with the same type of core having different
+parameters.  In this case the user can unroute the core then replace it.
+The port connections are removed, but are remembered.  If the ports are
+reused, then they will be automatically connected to the new core. ...
+Core relocation is handled in a similar way."
+"""
+
+from __future__ import annotations
+
+from .. import errors
+from .core import Core
+
+__all__ = ["replace_core", "relocate_core"]
+
+
+def replace_core(core: Core, core_cls: type[Core] | None = None, **new_params) -> Core:
+    """Replace a core in place with different parameters.
+
+    Removes the old core (its nets are unrouted, its port connections
+    remembered), builds a new core of ``core_cls`` (default: same class)
+    at the same position with the same instance name, and automatically
+    re-routes the remembered connections.  Returns the new core.
+
+    Reconnection is interface-driven: connections are restored for the
+    ports the *new* core defines.  If the new parameters shrink a port
+    group (e.g. a constant multiplier whose new constant needs fewer
+    output bits), the vanished ports' connections stay remembered but
+    unrouted until a core with those ports returns.
+    """
+    if core.parent is not None:
+        raise errors.PlacementError(
+            "replace the top-level core; children are rebuilt by their parent"
+        )
+    router = core.router
+    name = core.instance_name
+    row, col = core.row, core.col
+    params = {**core.parameters(), **new_params}
+    cls = core_cls if core_cls is not None else type(core)
+    core.remove()
+    new_core = cls(router, name, row, col, **params)
+    router.reconnect(new_core)
+    return new_core
+
+
+def relocate_core(core: Core, new_row: int, new_col: int) -> Core:
+    """Move a core to a new position, reconnecting its remembered nets.
+
+    The new placement must be free (checked by the floorplan).  Returns
+    the new core instance.
+    """
+    if core.parent is not None:
+        raise errors.PlacementError(
+            "relocate the top-level core; children move with their parent"
+        )
+    router = core.router
+    name = core.instance_name
+    params = core.parameters()
+    cls = type(core)
+    core.remove()
+    try:
+        new_core = cls(router, name, new_row, new_col, **params)
+    except errors.PlacementError:
+        # placement failed: put the core back where it was and re-route
+        restored = cls(router, name, core.row, core.col, **params)
+        router.reconnect(restored)
+        raise
+    router.reconnect(new_core)
+    return new_core

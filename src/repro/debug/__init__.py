@@ -1,0 +1,17 @@
+"""Debug tooling: the BoardScope-equivalent views of a live device."""
+
+from .boardscope import BoardScope, StateSummary
+from .netlist import export_netlist, netlist_stats, replay_netlist
+from .visualize import congestion_stats, occupancy_grid, render_net, render_occupancy
+
+__all__ = [
+    "BoardScope",
+    "StateSummary",
+    "export_netlist",
+    "netlist_stats",
+    "replay_netlist",
+    "congestion_stats",
+    "occupancy_grid",
+    "render_net",
+    "render_occupancy",
+]

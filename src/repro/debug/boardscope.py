@@ -1,0 +1,159 @@
+"""BoardScope-style debug facilities (paper Sections 1, 3.5).
+
+"Debugging tools, such as BoardScope, can use this to view each sink."
+
+:class:`BoardScope` inspects a live device the way the original tool
+inspected hardware: through readback.  It can enumerate nets, trace from
+the *bitstream* (independently of the router's in-memory bookkeeping) and
+cross-check the two views — the routing-state equivalent of comparing a
+readback against the design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch import connectivity, wires
+from ..arch.wires import WireClass
+from ..core.tracer import NetTrace, trace_net
+from ..device.contention import audit_no_contention
+from ..device.fabric import Device
+from ..jbits.jbits import JBits
+from ..jbits.readback import decode_pips, verify_against_device
+
+__all__ = ["BoardScope", "StateSummary"]
+
+
+@dataclass(slots=True)
+class StateSummary:
+    """Aggregate routing-state statistics of a device."""
+
+    pips_on: int
+    nets: int
+    wires_in_use: int
+    by_class: dict[str, int]
+
+    def __str__(self) -> str:
+        per_class = ", ".join(f"{k}={v}" for k, v in sorted(self.by_class.items()))
+        return (
+            f"{self.pips_on} PIPs on, {self.nets} nets, "
+            f"{self.wires_in_use} wires in use ({per_class})"
+        )
+
+
+class BoardScope:
+    """Debug viewer over a device (and optionally its JBits bitstream)."""
+
+    def __init__(self, device: Device, jbits: JBits | None = None) -> None:
+        self.device = device
+        self.jbits = jbits
+
+    # -- net enumeration ---------------------------------------------------------
+
+    def net_sources(self) -> list[int]:
+        """Canonical ids of all net roots (driving wires with no driver)."""
+        state = self.device.state
+        return sorted(
+            w for w in state.children if not state.is_driven(w)
+        )
+
+    def nets(self) -> list[NetTrace]:
+        """Trace of every net on the device."""
+        return [trace_net(self.device, src) for src in self.net_sources()]
+
+    def show(self, source_canon: int) -> str:
+        """Human-readable trace of one net."""
+        return trace_net(self.device, source_canon).describe(self.device)
+
+    # -- summaries -----------------------------------------------------------------
+
+    def summary(self) -> StateSummary:
+        arch = self.device.arch
+        state = self.device.state
+        by_class: dict[str, int] = {}
+        for w in state.used_wires():
+            cls = arch.wire_class_of(int(w))
+            by_class[cls.name] = by_class.get(cls.name, 0) + 1
+        return StateSummary(
+            pips_on=state.n_pips_on,
+            nets=len(self.net_sources()),
+            wires_in_use=int(state.occupied.sum()),
+            by_class=by_class,
+        )
+
+    # -- bitstream-level views (readback) -----------------------------------------------
+
+    def trace_from_bitstream(self, source_canon: int) -> NetTrace:
+        """Trace a net using only configuration bits (true readback path).
+
+        Decodes the bitstream into PIPs, rebuilds the connectivity forest
+        and walks it — no use of the router's in-memory state.  Requires
+        an attached JBits.
+        """
+        if self.jbits is None:
+            raise ValueError("no JBits attached; bitstream views unavailable")
+        arch = self.device.arch
+        children: dict[int, list[tuple[int, int, int, int, int]]] = {}
+        for row, col, from_name, to_name in decode_pips(self.jbits.memory):
+            cf = arch.canonicalize(row, col, from_name)
+            ct = arch.canonicalize(row, col, to_name)
+            assert cf is not None and ct is not None
+            children.setdefault(cf, []).append((row, col, from_name, to_name, ct))
+        out = NetTrace(source=source_canon)
+        stack = [source_canon]
+        seen = {source_canon}
+        from ..device.state import PipRecord
+
+        while stack:
+            w = stack.pop()
+            out.wires.append(w)
+            cls = arch.wire_class_of(w)
+            if cls in (WireClass.SLICE_IN, WireClass.CTL_IN):
+                out.sinks.append(w)
+            for row, col, fn, tn, ct in children.get(w, ()):
+                if ct in seen:  # pragma: no cover - defensive
+                    continue
+                seen.add(ct)
+                out.pips.append(PipRecord(row, col, fn, tn, w, ct))
+                stack.append(ct)
+        return out
+
+    def crosscheck(self) -> list[str]:
+        """Verify state invariants and bitstream/state coherence.
+
+        Returns a list of problems (empty when healthy).
+        """
+        problems = list(audit_no_contention(self.device))
+        if self.jbits is not None:
+            problems.extend(verify_against_device(self.jbits.memory, self.device))
+        return problems
+
+    # -- wire-level poking -----------------------------------------------------------------
+
+    def wire_report(self, row: int, col: int, name: int) -> str:
+        """Everything known about one wire at one tile."""
+        arch = self.device.arch
+        canon = arch.canonicalize(row, col, name)
+        if canon is None:
+            return f"{wires.wire_name(name)}@({row},{col}): does not exist"
+        state = self.device.state
+        lines = [f"{wires.wire_name(name)}@({row},{col}): canonical {canon}"]
+        info = wires.wire_info(name)
+        lines.append(
+            f"  class={info.wire_class.name} dir={info.direction.name} "
+            f"len={arch.wire_length(name)}"
+        )
+        rec = state.pip_of.get(canon)
+        if rec is not None:
+            lines.append(
+                f"  driven by {wires.wire_name(rec.from_name)} at "
+                f"({rec.row},{rec.col})"
+            )
+        else:
+            lines.append("  not driven")
+        kids = state.children_of(canon)
+        lines.append(f"  drives {len(kids)} wire(s)")
+        lines.append(
+            f"  fanout candidates: {len(connectivity.DRIVES[name])} names"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""ASCII visualisation of fabric occupancy and nets.
+
+Terminal-friendly equivalents of BoardScope's graphical views: an
+occupancy heat map of the CLB array, and per-net overlays showing the
+source, route and sinks of a traced net.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..arch.virtex import N_OWNED
+from ..arch.wires import WireClass
+from ..core.tracer import NetTrace
+from ..device.fabric import Device
+
+__all__ = ["occupancy_grid", "render_occupancy", "render_net", "congestion_stats"]
+
+_HEAT = " .:-=+*#%@"
+
+
+def occupancy_grid(device: Device) -> np.ndarray:
+    """Used-wire count per CLB tile (rows x cols array).
+
+    Long lines and globals are charged to their primary tile.
+    """
+    arch = device.arch
+    grid = np.zeros((arch.rows, arch.cols), dtype=np.int32)
+    tile_wires = arch.n_tiles * N_OWNED
+    used = device.state.used_wires()
+    tiles = used[used < tile_wires] // N_OWNED
+    np.add.at(grid, (tiles // arch.cols, tiles % arch.cols), 1)
+    for w in used[used >= tile_wires]:
+        r, c, _ = arch.primary_name(int(w))
+        grid[r, c] += 1
+    return grid
+
+
+def render_occupancy(device: Device, *, max_scale: int | None = None) -> str:
+    """Heat-map rendering of tile occupancy, row 0 at the bottom
+    (NORTH = increasing row, so north is up)."""
+    grid = occupancy_grid(device)
+    scale = max_scale if max_scale is not None else max(1, int(grid.max()))
+    lines = []
+    for r in range(device.rows - 1, -1, -1):
+        chars = []
+        for c in range(device.cols):
+            level = min(len(_HEAT) - 1, grid[r, c] * (len(_HEAT) - 1) // scale)
+            chars.append(_HEAT[level])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def render_net(device: Device, trace: NetTrace) -> str:
+    """Overlay of one net on the CLB array: S = source tile, x = sink
+    tile, o = routed-through tile."""
+    arch = device.arch
+    grid = [["." for _ in range(device.cols)] for _ in range(device.rows)]
+    for w in trace.wires:
+        r, c, _ = arch.primary_name(w)
+        if grid[r][c] == ".":
+            grid[r][c] = "o"
+    for s in trace.sinks:
+        r, c, _ = arch.primary_name(s)
+        grid[r][c] = "x"
+    r, c, _ = arch.primary_name(trace.source)
+    grid[r][c] = "S"
+    return "\n".join("".join(row) for row in reversed(grid))
+
+
+_TOTALS_CACHE: dict[str, dict[WireClass, int]] = {}
+
+
+def _class_totals(device: Device) -> dict[WireClass, int]:
+    """Existing-wire counts per resource class, cached per part."""
+    arch = device.arch
+    cached = _TOTALS_CACHE.get(arch.part.name)
+    if cached is not None:
+        return cached
+    totals: dict[WireClass, int] = {}
+    for canon in range(arch.n_wires):
+        if not arch.wire_exists(canon):
+            continue
+        cls = arch.wire_class_of(canon)
+        totals[cls] = totals.get(cls, 0) + 1
+    _TOTALS_CACHE[arch.part.name] = totals
+    return totals
+
+
+def congestion_stats(device: Device) -> dict[str, float]:
+    """Utilisation statistics per resource class (fraction of wires used)."""
+    arch = device.arch
+    counts: dict[WireClass, int] = {}
+    for w in device.state.used_wires():
+        cls = arch.wire_class_of(int(w))
+        counts[cls] = counts.get(cls, 0) + 1
+    out: dict[str, float] = {}
+    for cls, total in _class_totals(device).items():
+        out[cls.name] = counts.get(cls, 0) / total if total else 0.0
+    return out

@@ -1,0 +1,21 @@
+"""Device resource model: instantiated fabric + live routing state.
+
+:class:`~repro.device.fabric.Device` is the behavioural simulation of a
+Virtex part; :class:`~repro.device.state.RoutingState` tracks on-PIPs as
+a driver/children forest; :mod:`~repro.device.contention` provides the
+Section 3.4 contention analysis.
+"""
+
+from .contention import audit_no_contention, path_conflicts, would_contend
+from .fabric import Device, PipEvent
+from .state import PipRecord, RoutingState
+
+__all__ = [
+    "Device",
+    "PipEvent",
+    "PipRecord",
+    "RoutingState",
+    "audit_no_contention",
+    "path_conflicts",
+    "would_contend",
+]

@@ -1,0 +1,96 @@
+"""Contention analysis helpers (paper Section 3.4).
+
+The hard contention *enforcement* lives in
+:meth:`repro.device.fabric.Device.turn_on` — a wire never gets two
+drivers.  This module adds the advisory queries routers and user tools
+use to avoid tripping that enforcement: dry-run checks for a single PIP
+or for a whole planned path, and an audit that verifies the invariant
+over a device's entire state (used by tests and the debug tools).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..arch import connectivity, wires
+from .fabric import Device, _NAME_DRIVABLE
+
+__all__ = ["would_contend", "path_conflicts", "audit_no_contention"]
+
+
+def would_contend(device: Device, row: int, col: int, from_name: int, to_name: int) -> bool:
+    """True if turning on this PIP would raise
+    :class:`~repro.errors.ContentionError` (the target wire already has a
+    different driver).  Nonexistent resources/PIPs also report True —
+    they cannot be turned on."""
+    if not connectivity.pip_exists(from_name, to_name) or not _NAME_DRIVABLE[to_name]:
+        return True
+    canon_from = device.arch.canonicalize(row, col, from_name)
+    canon_to = device.arch.canonicalize(row, col, to_name)
+    if canon_from is None or canon_to is None or canon_from == canon_to:
+        return True
+    rec = device.state.pip_of.get(canon_to)
+    return rec is not None and rec.canon_from != canon_from
+
+
+def path_conflicts(
+    device: Device, pips: Iterable[tuple[int, int, int, int]]
+) -> list[tuple[int, int, int, int]]:
+    """Dry-run a planned sequence of PIPs ``(row, col, from, to)``.
+
+    Returns the subset that would conflict, considering both the current
+    device state and conflicts *within* the plan (two planned PIPs driving
+    the same wire).  An empty result means the plan can be applied.
+    """
+    conflicts: list[tuple[int, int, int, int]] = []
+    planned_targets: dict[int, int] = {}
+    for row, col, from_name, to_name in pips:
+        canon_to = device.arch.canonicalize(row, col, to_name)
+        canon_from = device.arch.canonicalize(row, col, from_name)
+        if would_contend(device, row, col, from_name, to_name):
+            conflicts.append((row, col, from_name, to_name))
+            continue
+        assert canon_to is not None and canon_from is not None
+        prev = planned_targets.get(canon_to)
+        if prev is not None and prev != canon_from:
+            conflicts.append((row, col, from_name, to_name))
+            continue
+        planned_targets[canon_to] = canon_from
+    return conflicts
+
+
+def audit_no_contention(device: Device) -> Sequence[str]:
+    """Verify the no-two-drivers invariant over the whole device state.
+
+    Returns a list of human-readable violations (empty when healthy).
+    Because :meth:`Device.turn_on` enforces the invariant, violations
+    indicate state corruption; tests call this after every scenario.
+    """
+    problems: list[str] = []
+    seen_targets: set[int] = set()
+    for canon_to, rec in device.state.pip_of.items():
+        if canon_to in seen_targets:  # pragma: no cover - defensive
+            problems.append(f"wire {canon_to} recorded twice as a PIP target")
+        seen_targets.add(canon_to)
+        if rec.canon_to != canon_to:
+            problems.append(
+                f"pip_of key {canon_to} disagrees with record target {rec.canon_to}"
+            )
+        if device.state.driver_of(canon_to) != rec.canon_from:
+            problems.append(
+                f"driver array for {canon_to} disagrees with PIP record"
+            )
+        if not connectivity.pip_exists(rec.from_name, rec.to_name):
+            problems.append(
+                f"on-PIP {wires.wire_name(rec.from_name)} -> "
+                f"{wires.wire_name(rec.to_name)} does not exist in the arch"
+            )
+    for canon_from, kids in device.state.children.items():
+        for kid in kids:
+            rec = device.state.pip_of.get(kid)
+            if rec is None or rec.canon_from != canon_from:
+                problems.append(
+                    f"children list of {canon_from} contains {kid} without a "
+                    f"matching PIP record"
+                )
+    return problems

@@ -1,0 +1,240 @@
+"""The simulated device: fabric geometry + live routing state.
+
+:class:`Device` is the behavioural model of one Virtex part.  It owns the
+architecture description and the :class:`~repro.device.state.RoutingState`,
+validates and applies PIP changes (including the contention protection of
+the paper's Section 3.4), and exposes the wire-graph neighbourhood queries
+that every routing algorithm is built on.
+
+Configuration listeners (e.g. the JBits bitstream mirror) are notified of
+every PIP change, keeping the bit-level view coherent with the
+behavioural state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from .. import errors
+from ..arch import connectivity, wires
+from ..arch.virtex import VirtexArch
+from ..arch.wires import WireClass
+from .state import PipRecord, RoutingState
+
+__all__ = ["Device", "PipEvent"]
+
+#: (on: bool, record) passed to configuration listeners.
+PipEvent = tuple[bool, PipRecord]
+
+# Name-level drivability: pure sources, globals and the direct-connect
+# alias of a neighbour's OMUX can never be the target of a PIP; odd hexes
+# cannot be driven through their far-end (south/west) alias names.
+_HS0 = wires.HEX_S[0]
+_LH0 = wires.LONG_H[0]
+
+
+def _name_drivable(name: int) -> bool:
+    info = wires.wire_info(name)
+    cls = info.wire_class
+    if cls in (
+        WireClass.SLICE_OUT,
+        WireClass.GCLK,
+        WireClass.DIRECT,
+        WireClass.IOB_IN,
+    ):
+        return False
+    if cls is WireClass.HEX and name >= _HS0 and info.index % 2 == 1:
+        return False
+    return True
+
+
+_NAME_DRIVABLE: tuple[bool, ...] = tuple(
+    _name_drivable(n) for n in range(wires.N_NAMES)
+)
+
+#: Name-level fan-out restricted to drivable targets, precomputed once.
+_DRIVES_DRIVABLE: tuple[tuple[int, ...], ...] = tuple(
+    tuple(t for t in connectivity.DRIVES[n] if _NAME_DRIVABLE[t])
+    for n in range(wires.N_NAMES)
+)
+
+
+class Device:
+    """One simulated Virtex part with live routing state.
+
+    Parameters
+    ----------
+    part:
+        Virtex part name ("XCV50" .. "XCV1000") or a
+        :class:`~repro.arch.devices.DevicePart`.
+    """
+
+    def __init__(self, part: str = "XCV50") -> None:
+        self.arch = VirtexArch(part)
+        self.state = RoutingState(self.arch)
+        self._listeners: list[Callable[[PipEvent], None]] = []
+
+    @property
+    def rows(self) -> int:
+        return self.arch.rows
+
+    @property
+    def cols(self) -> int:
+        return self.arch.cols
+
+    # -- listeners -------------------------------------------------------------
+
+    def add_listener(self, fn: Callable[[PipEvent], None]) -> None:
+        """Register a configuration listener (called on every PIP change)."""
+        self._listeners.append(fn)
+
+    def remove_listener(self, fn: Callable[[PipEvent], None]) -> None:
+        self._listeners.remove(fn)
+
+    def _emit(self, on: bool, rec: PipRecord) -> None:
+        for fn in self._listeners:
+            fn((on, rec))
+
+    # -- resolution helpers ------------------------------------------------------
+
+    def resolve(self, row: int, col: int, name: int) -> int:
+        """Canonicalize a wire name at a tile, raising if it doesn't exist."""
+        canon = self.arch.canonicalize(row, col, name)
+        if canon is None:
+            raise errors.InvalidResourceError(
+                f"{wires.wire_name(name)} does not exist at CLB ({row},{col}) "
+                f"on {self.arch.part.name}"
+            )
+        return canon
+
+    # -- PIP mutation --------------------------------------------------------------
+
+    def turn_on(self, row: int, col: int, from_name: int, to_name: int) -> PipRecord:
+        """Turn on the PIP ``from_name -> to_name`` at CLB ``(row, col)``.
+
+        Validates that the PIP exists in the architecture, that both wires
+        exist at this tile, that the target is drivable here, and that the
+        connection creates neither contention (two drivers on one wire) nor
+        a combinational routing loop.  Idempotent for an already-on PIP.
+        """
+        if not connectivity.pip_exists(from_name, to_name):
+            raise errors.InvalidPipError(
+                f"no PIP {wires.wire_name(from_name)} -> "
+                f"{wires.wire_name(to_name)} in the architecture"
+            )
+        canon_from = self.resolve(row, col, from_name)
+        canon_to = self.resolve(row, col, to_name)
+        if not _NAME_DRIVABLE[to_name]:
+            raise errors.InvalidPipError(
+                f"{wires.wire_name(to_name)} cannot be driven at ({row},{col})"
+            )
+        if canon_from == canon_to:
+            raise errors.InvalidPipError(
+                f"{wires.wire_name(from_name)} and {wires.wire_name(to_name)} "
+                f"are the same physical wire at ({row},{col})"
+            )
+        existing = self.state.driver_of(canon_to)
+        if existing != -1:
+            prev = self.state.pip_of[canon_to]
+            if prev.canon_from == canon_from:
+                return prev  # identical connection, idempotent
+            raise errors.ContentionError(
+                f"{wires.wire_name(to_name)} at ({row},{col}) is already "
+                f"driven by {wires.wire_name(prev.from_name)} at "
+                f"({prev.row},{prev.col}); driving it from "
+                f"{wires.wire_name(from_name)} would create contention"
+            )
+        if self.state.is_ancestor(canon_to, canon_from):
+            raise errors.RoutingLoopError(
+                f"connecting {wires.wire_name(from_name)} -> "
+                f"{wires.wire_name(to_name)} at ({row},{col}) closes a loop"
+            )
+        rec = PipRecord(row, col, from_name, to_name, canon_from, canon_to)
+        self.state.add_pip(rec)
+        self._emit(True, rec)
+        return rec
+
+    def turn_off(self, row: int, col: int, from_name: int, to_name: int) -> None:
+        """Turn off a previously-on PIP.  Raises if it is not on."""
+        canon_to = self.resolve(row, col, to_name)
+        rec = self.state.pip_of.get(canon_to)
+        canon_from = self.resolve(row, col, from_name)
+        if rec is None or rec.canon_from != canon_from:
+            raise errors.InvalidPipError(
+                f"PIP {wires.wire_name(from_name)} -> {wires.wire_name(to_name)} "
+                f"at ({row},{col}) is not on"
+            )
+        self.state.remove_pip(canon_to)
+        self._emit(False, rec)
+
+    def turn_off_driver(self, canon_to: int) -> PipRecord:
+        """Turn off whatever PIP drives ``canon_to`` (unrouter primitive)."""
+        rec = self.state.remove_pip(canon_to)
+        self._emit(False, rec)
+        return rec
+
+    def clear(self) -> None:
+        """Remove every routed connection (full-device unroute)."""
+        for canon_to in list(self.state.pip_of):
+            self.turn_off_driver(canon_to)
+
+    # -- queries ------------------------------------------------------------------
+
+    def is_on(self, row: int, col: int, name: int) -> bool:
+        """The paper's ``isOn(row, col, wire)``: is the wire in use?"""
+        return self.state.is_used(self.resolve(row, col, name))
+
+    def pip_is_on(self, row: int, col: int, from_name: int, to_name: int) -> bool:
+        canon_to = self.arch.canonicalize(row, col, to_name)
+        if canon_to is None:
+            return False
+        rec = self.state.pip_of.get(canon_to)
+        if rec is None:
+            return False
+        canon_from = self.arch.canonicalize(row, col, from_name)
+        return canon_from is not None and rec.canon_from == canon_from
+
+    # -- wire-graph neighbourhood (what routers expand) ---------------------------
+
+    def fanout_pips(self, canon: int) -> Iterator[tuple[int, int, int, int, int]]:
+        """All PIPs through which wire ``canon`` could drive another wire.
+
+        Yields ``(row, col, from_name, to_name, canon_to)`` for every
+        presence point of the wire and every architecture-legal, drivable
+        target there.  Availability (target not in use) is *not* filtered
+        here — algorithms decide how to treat used wires (e.g. reuse of
+        the same net's tree in fanout routing).
+        """
+        arch = self.arch
+        for row, col, name in arch.presences(canon):
+            for to_name in _DRIVES_DRIVABLE[name]:
+                canon_to = arch.canonicalize(row, col, to_name)
+                if canon_to is not None:
+                    yield row, col, name, to_name, canon_to
+
+    def fanin_pips(self, canon: int) -> Iterator[tuple[int, int, int, int, int]]:
+        """All PIPs through which wire ``canon`` could be driven.
+
+        Yields ``(row, col, from_name, to_name, canon_from)``.  Empty for
+        wires that are not drivable anywhere (slice outputs, globals).
+        """
+        arch = self.arch
+        for row, col, name in arch.presences(canon):
+            if not _NAME_DRIVABLE[name]:
+                continue
+            for from_name in connectivity.DRIVEN_BY[name]:
+                canon_from = arch.canonicalize(row, col, from_name)
+                if canon_from is not None:
+                    yield row, col, from_name, name, canon_from
+
+    # -- convenience ---------------------------------------------------------------
+
+    def wire_at(self, row: int, col: int, name: int) -> int | None:
+        """Canonical id of a name at a tile, or None if nonexistent."""
+        return self.arch.canonicalize(row, col, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"Device({self.arch.part.name}: {self.rows}x{self.cols} CLBs, "
+            f"{self.state.n_pips_on} PIPs on)"
+        )

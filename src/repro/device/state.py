@@ -1,0 +1,147 @@
+"""Routing state of a device: which PIPs are on, who drives what.
+
+The state is a forest over canonical wire ids: every driven wire records
+its driver and the tile at which the driving PIP sits; every wire records
+the wires it currently drives.  This is exactly the information the
+paper's unrouter and tracer need ("the unrouter then follows each of the
+wires the pin drives and turns it off").
+
+A numpy ``occupied`` array mirrors "wire is in use" for the routers'
+availability checks (vectorised masking in the maze router).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..arch.virtex import VirtexArch
+
+__all__ = ["PipRecord", "RoutingState"]
+
+
+@dataclass(frozen=True, slots=True)
+class PipRecord:
+    """One turned-on PIP: at tile (row, col), ``from_name`` drives
+    ``to_name``; ``canon_from``/``canon_to`` are the resolved wires."""
+
+    row: int
+    col: int
+    from_name: int
+    to_name: int
+    canon_from: int
+    canon_to: int
+
+
+class RoutingState:
+    """Mutable routing state over a device's canonical wire space."""
+
+    def __init__(self, arch: VirtexArch) -> None:
+        self.arch = arch
+        #: driver[w] = canonical id of the wire driving w, or -1
+        self.driver = np.full(arch.n_wires, -1, dtype=np.int64)
+        #: children[w] = list of canonical ids w currently drives
+        self.children: dict[int, list[int]] = {}
+        #: pip_of[w] = the PipRecord that drives w
+        self.pip_of: dict[int, PipRecord] = {}
+        #: occupied[w] = wire participates in some net (driven or driving)
+        self.occupied = np.zeros(arch.n_wires, dtype=bool)
+        self.n_pips_on = 0
+
+    # -- mutation ------------------------------------------------------------
+
+    def add_pip(self, rec: PipRecord) -> None:
+        """Record a turned-on PIP.  Caller has validated legality."""
+        self.driver[rec.canon_to] = rec.canon_from
+        self.pip_of[rec.canon_to] = rec
+        self.children.setdefault(rec.canon_from, []).append(rec.canon_to)
+        self.occupied[rec.canon_to] = True
+        self.occupied[rec.canon_from] = True
+        self.n_pips_on += 1
+
+    def remove_pip(self, canon_to: int) -> PipRecord:
+        """Remove the PIP driving ``canon_to`` and return its record."""
+        rec = self.pip_of.pop(canon_to)
+        self.driver[canon_to] = -1
+        kids = self.children[rec.canon_from]
+        kids.remove(canon_to)
+        if not kids:
+            del self.children[rec.canon_from]
+        self.n_pips_on -= 1
+        self._refresh_occupied(rec.canon_from)
+        self._refresh_occupied(canon_to)
+        return rec
+
+    def _refresh_occupied(self, canon: int) -> None:
+        self.occupied[canon] = (
+            self.driver[canon] != -1 or bool(self.children.get(canon))
+        )
+
+    def clear(self) -> None:
+        """Return to the unconfigured state (all PIPs off)."""
+        self.driver.fill(-1)
+        self.children.clear()
+        self.pip_of.clear()
+        self.occupied.fill(False)
+        self.n_pips_on = 0
+
+    # -- queries ---------------------------------------------------------------
+
+    def driver_of(self, canon: int) -> int:
+        """Canonical id of the driver of ``canon``, or -1."""
+        return int(self.driver[canon])
+
+    def children_of(self, canon: int) -> tuple[int, ...]:
+        """Wires currently driven by ``canon``."""
+        return tuple(self.children.get(canon, ()))
+
+    def is_used(self, canon: int) -> bool:
+        """Paper's ``isOn`` semantics: the wire participates in a net."""
+        return bool(self.occupied[canon])
+
+    def is_driven(self, canon: int) -> bool:
+        return self.driver[canon] != -1
+
+    def root_of(self, canon: int) -> int:
+        """Walk drivers up to the net's source wire."""
+        w = canon
+        d = self.driver[w]
+        while d != -1:
+            w = int(d)
+            d = self.driver[w]
+        return w
+
+    def is_ancestor(self, maybe_ancestor: int, canon: int) -> bool:
+        """True if ``maybe_ancestor`` appears on the driver chain of
+        ``canon`` (inclusive of ``canon`` itself)."""
+        w = canon
+        while w != -1:
+            if w == maybe_ancestor:
+                return True
+            w = int(self.driver[w])
+        return False
+
+    def subtree(self, canon: int) -> Iterator[int]:
+        """Yield ``canon`` and every wire reachable through on-PIPs."""
+        stack = [canon]
+        while stack:
+            w = stack.pop()
+            yield w
+            stack.extend(self.children.get(w, ()))
+
+    def net_pips(self, source: int) -> list[PipRecord]:
+        """All PIP records of the net rooted at ``source`` (preorder)."""
+        out: list[PipRecord] = []
+        stack = [source]
+        while stack:
+            w = stack.pop()
+            for kid in self.children.get(w, ()):
+                out.append(self.pip_of[kid])
+                stack.append(kid)
+        return out
+
+    def used_wires(self) -> np.ndarray:
+        """Canonical ids of all wires currently in use (sorted)."""
+        return np.flatnonzero(self.occupied)

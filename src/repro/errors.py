@@ -1,0 +1,64 @@
+"""Exception hierarchy of the JRoute reproduction.
+
+The paper specifies exception behaviour in Section 3.4: "An exception is
+thrown in cases where the user tries to make connections that create
+contention."  Route failures (template/auto-routing finding no free
+resources) are likewise surfaced as exceptions requiring user action
+("The call would fail ... In this case a user action is required").
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "JRouteError",
+    "InvalidResourceError",
+    "InvalidPipError",
+    "ContentionError",
+    "RoutingLoopError",
+    "UnroutableError",
+    "PortError",
+    "PlacementError",
+    "BitstreamError",
+]
+
+
+class JRouteError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidResourceError(JRouteError):
+    """A wire name does not exist at the given tile (out of bounds, edge
+    wire, or no long-line access point there)."""
+
+
+class InvalidPipError(JRouteError):
+    """No programmable interconnect point exists between the two wires."""
+
+
+class ContentionError(JRouteError):
+    """A connection would drive a wire that is already driven.
+
+    Virtex has bi-directional routing resources which can be driven from
+    either end; the router refuses configurations where a wire has two
+    drivers, protecting the (simulated) device.
+    """
+
+
+class RoutingLoopError(JRouteError):
+    """A connection would close a combinational loop of routing PIPs."""
+
+
+class UnroutableError(JRouteError):
+    """No combination of free resources realises the requested route."""
+
+
+class PortError(JRouteError):
+    """Misuse of core ports (unknown group, unconnected port, arity)."""
+
+
+class PlacementError(JRouteError):
+    """A core does not fit at the requested location or overlaps another."""
+
+
+class BitstreamError(JRouteError):
+    """Malformed configuration packet or bad frame address."""

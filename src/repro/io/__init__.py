@@ -1,0 +1,6 @@
+"""I/O pad support: the IOB ring of the simulated device (the paper's
+Section 6 IOB future work, implemented)."""
+
+from .pads import IoRing, Pad, PadDirection, Side
+
+__all__ = ["IoRing", "Pad", "PadDirection", "Side"]

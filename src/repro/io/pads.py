@@ -1,0 +1,130 @@
+"""I/O pads: the IOB ring (paper Section 6 future work, implemented).
+
+"Virtex features such as IOBs ... will be supported in a future release
+of JRoute."  This module provides that support over the simulated
+fabric: every perimeter CLB carries :data:`~repro.arch.wires.N_IOB_PER_TILE`
+input pads (``IobIn`` wires, sources driving into the general routing)
+and as many output pads (``IobOut`` wires, sinks reached from singles or
+the OMUX fast path).
+
+:class:`IoRing` enumerates the pads of a device and hands out
+:class:`~repro.core.endpoints.Pin` objects, so pads participate in every
+JRoute call exactly like logic pins — including port bindings, which is
+how cores export off-chip interfaces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .. import errors
+from ..arch import wires
+from ..arch.virtex import VirtexArch
+from ..core.endpoints import Pin
+
+__all__ = ["PadDirection", "Side", "Pad", "IoRing"]
+
+
+class PadDirection(enum.Enum):
+    IN = "in"    #: pad drives into the fabric
+    OUT = "out"  #: fabric drives the pad
+
+
+class Side(enum.Enum):
+    """Device edges.  NORTH is the highest row (row index increases north)."""
+
+    SOUTH = "south"  #: row 0
+    NORTH = "north"  #: row rows-1
+    WEST = "west"    #: col 0
+    EAST = "east"    #: col cols-1
+
+
+@dataclass(frozen=True, slots=True)
+class Pad:
+    """One I/O pad: a perimeter tile position plus a pad index."""
+
+    row: int
+    col: int
+    index: int
+    direction: PadDirection
+
+    @property
+    def pin(self) -> Pin:
+        """The routing pin of this pad."""
+        name = (
+            wires.IOB_IN[self.index]
+            if self.direction is PadDirection.IN
+            else wires.IOB_OUT[self.index]
+        )
+        return Pin(self.row, self.col, name)
+
+    def __str__(self) -> str:
+        return f"Pad[{self.direction.value}]{self.index}@({self.row},{self.col})"
+
+
+class IoRing:
+    """The device's ring of I/O pads."""
+
+    def __init__(self, arch: VirtexArch) -> None:
+        self.arch = arch
+
+    # -- enumeration ------------------------------------------------------------
+
+    def side_tiles(self, side: Side) -> list[tuple[int, int]]:
+        """Perimeter tiles of one side, in increasing coordinate order."""
+        rows, cols = self.arch.rows, self.arch.cols
+        if side is Side.SOUTH:
+            return [(0, c) for c in range(cols)]
+        if side is Side.NORTH:
+            return [(rows - 1, c) for c in range(cols)]
+        if side is Side.WEST:
+            return [(r, 0) for r in range(rows)]
+        return [(r, cols - 1) for r in range(rows)]
+
+    def pads(
+        self, side: Side | None = None, direction: PadDirection | None = None
+    ) -> list[Pad]:
+        """All pads, optionally filtered by side and direction.
+
+        Corner tiles belong to two sides; they are reported for both, but
+        carry one physical set of pads (enumerating without a side filter
+        deduplicates them).
+        """
+        if side is not None:
+            tiles = self.side_tiles(side)
+        else:
+            tiles = sorted(
+                {t for s in Side for t in self.side_tiles(s)}
+            )
+        dirs = (direction,) if direction is not None else tuple(PadDirection)
+        out: list[Pad] = []
+        for row, col in tiles:
+            for d in dirs:
+                for i in range(wires.N_IOB_PER_TILE):
+                    out.append(Pad(row, col, i, d))
+        return out
+
+    def n_pads(self) -> int:
+        """Total physical pads of the device (both directions)."""
+        perimeter_tiles = 2 * self.arch.rows + 2 * self.arch.cols - 4
+        return perimeter_tiles * wires.N_IOB_PER_TILE * 2
+
+    # -- bus helpers ---------------------------------------------------------------
+
+    def bus(
+        self, side: Side, direction: PadDirection, width: int, *, offset: int = 0
+    ) -> list[Pin]:
+        """``width`` consecutive pad pins along a side (little-endian).
+
+        Pads are ordered tile-by-tile along the side, ``N_IOB_PER_TILE``
+        per tile, starting ``offset`` pads in.  Raises when the side does
+        not have enough pads.
+        """
+        pads = self.pads(side, direction)
+        if offset < 0 or offset + width > len(pads):
+            raise errors.PlacementError(
+                f"side {side.value} has {len(pads)} {direction.value}-pads; "
+                f"cannot take {width} at offset {offset}"
+            )
+        return [p.pin for p in pads[offset : offset + width]]

@@ -1,0 +1,42 @@
+"""JBits substrate: bit-level configuration of the simulated device.
+
+The original JRoute is "built on JBits", a Java interface to Xilinx
+configuration bitstreams.  This package reproduces that substrate:
+:class:`~repro.jbits.jbits.JBits` (get/set of PIP, LUT, mode and global
+bits, mirrored from the behavioural device), the frame-organised
+:class:`~repro.jbits.bitstream.ConfigMemory`, the packet serialisation of
+:mod:`~repro.jbits.packets` (full + partial reconfiguration), and
+:mod:`~repro.jbits.readback` decoding.
+"""
+
+from .bitstream import (
+    FRAMES_PER_COLUMN,
+    LUT_BITS,
+    MODE_BITS,
+    PIP_BITS,
+    TILE_BITS,
+    ConfigMemory,
+)
+from .jbits import LUT_S0F, LUT_S0G, LUT_S1F, LUT_S1G, JBits
+from .packets import apply_bitstream, parse_packets, write_bitstream
+from .readback import decode_global_buffers, decode_pips, verify_against_device
+
+__all__ = [
+    "ConfigMemory",
+    "FRAMES_PER_COLUMN",
+    "PIP_BITS",
+    "LUT_BITS",
+    "MODE_BITS",
+    "TILE_BITS",
+    "JBits",
+    "LUT_S0F",
+    "LUT_S0G",
+    "LUT_S1F",
+    "LUT_S1G",
+    "write_bitstream",
+    "apply_bitstream",
+    "parse_packets",
+    "decode_pips",
+    "decode_global_buffers",
+    "verify_against_device",
+]

@@ -1,0 +1,168 @@
+"""Configuration memory model: tiles, bits, and column-major frames.
+
+Virtex configuration memory is organised in vertical *frames*; a column of
+CLBs is configured by a group of frames, and partial reconfiguration
+rewrites only the frames that changed.  This module models that layout:
+
+* every CLB tile owns a fixed-size bit region: one bit per name-level PIP
+  (see :data:`repro.arch.connectivity.PIP_LIST`), 16 bits per LUT (4 LUTs)
+  and 16 slice-mode bits;
+* a device column's bits are split into :data:`FRAMES_PER_COLUMN` equal
+  frames (48, as on Virtex);
+* a small *global region* (one extra frame) holds the 4 global-buffer
+  enables;
+* the memory tracks which frames were touched since the last sync, which
+  is what gives partial reconfiguration its frame-proportional cost.
+
+Bits are stored one-per-byte in a numpy array — simple, fast to slice,
+and trivially serialisable by the packet layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import errors
+from ..arch import connectivity, wires
+from ..arch.virtex import VirtexArch
+
+__all__ = [
+    "ConfigMemory",
+    "FRAMES_PER_COLUMN",
+    "PIP_BITS",
+    "LUT_BITS",
+    "MODE_BITS",
+    "TILE_BITS",
+    "N_GLOBAL_BITS",
+]
+
+FRAMES_PER_COLUMN = 48  #: as on Virtex
+
+PIP_BITS = connectivity.N_PIP_SLOTS
+LUT_BITS = 4 * 16   #: four 4-input LUTs per CLB (two slices x F,G)
+MODE_BITS = 16      #: slice mode bits (FF enables, mux selects, ...)
+TILE_BITS = PIP_BITS + LUT_BITS + MODE_BITS
+N_GLOBAL_BITS = wires.N_GCLK  #: global-buffer enables
+
+
+class ConfigMemory:
+    """Bit-addressable configuration memory for one device."""
+
+    def __init__(self, arch: VirtexArch) -> None:
+        self.arch = arch
+        self.rows = arch.rows
+        self.cols = arch.cols
+        #: bits of one CLB column
+        self.column_bits = self.rows * TILE_BITS
+        #: bits of one frame (columns are padded up to a whole number)
+        self.frame_bits = -(-self.column_bits // FRAMES_PER_COLUMN)
+        #: total frames: per-column frames plus one global frame
+        self.n_frames = self.cols * FRAMES_PER_COLUMN + 1
+        self._global_frame = self.n_frames - 1
+        self.bits = np.zeros(self.n_frames * self.frame_bits, dtype=np.uint8)
+        self._dirty: set[int] = set()
+
+    # -- addressing -----------------------------------------------------------
+
+    def tile_bit_address(self, row: int, col: int, local_bit: int) -> int:
+        """Absolute bit address of a tile-local configuration bit."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise errors.BitstreamError(f"tile ({row},{col}) out of range")
+        if not 0 <= local_bit < TILE_BITS:
+            raise errors.BitstreamError(f"local bit {local_bit} out of range")
+        within_column = row * TILE_BITS + local_bit
+        frame, offset = divmod(within_column, self.frame_bits)
+        return (col * FRAMES_PER_COLUMN + frame) * self.frame_bits + offset
+
+    def global_bit_address(self, idx: int) -> int:
+        """Absolute address of a global-region bit (global-buffer enables)."""
+        if not 0 <= idx < self.frame_bits:
+            raise errors.BitstreamError(f"global bit {idx} out of range")
+        return self._global_frame * self.frame_bits + idx
+
+    def frame_of_address(self, address: int) -> int:
+        return address // self.frame_bits
+
+    # -- bit access --------------------------------------------------------------
+
+    def set_bit(self, address: int, value: bool) -> None:
+        if self.bits[address] != value:
+            self.bits[address] = value
+            self._dirty.add(self.frame_of_address(address))
+
+    def get_bit(self, address: int) -> bool:
+        return bool(self.bits[address])
+
+    def set_bits(self, address: int, values: np.ndarray) -> None:
+        """Write a contiguous run of bits starting at ``address``."""
+        end = address + len(values)
+        region = self.bits[address:end]
+        if not np.array_equal(region, values):
+            self.bits[address:end] = values
+            for f in range(self.frame_of_address(address), self.frame_of_address(end - 1) + 1):
+                self._dirty.add(f)
+
+    def get_bits(self, address: int, count: int) -> np.ndarray:
+        return self.bits[address : address + count].copy()
+
+    # -- frames ---------------------------------------------------------------------
+
+    def get_frame(self, frame: int) -> np.ndarray:
+        """Copy of one frame's bits (the readback primitive)."""
+        if not 0 <= frame < self.n_frames:
+            raise errors.BitstreamError(f"frame {frame} out of range")
+        start = frame * self.frame_bits
+        return self.bits[start : start + self.frame_bits].copy()
+
+    def set_frame(self, frame: int, data: np.ndarray) -> None:
+        """Overwrite one frame (the configuration-write primitive)."""
+        if not 0 <= frame < self.n_frames:
+            raise errors.BitstreamError(f"frame {frame} out of range")
+        if len(data) != self.frame_bits:
+            raise errors.BitstreamError(
+                f"frame data length {len(data)} != frame size {self.frame_bits}"
+            )
+        start = frame * self.frame_bits
+        if not np.array_equal(self.bits[start : start + self.frame_bits], data):
+            self.bits[start : start + self.frame_bits] = data
+            self._dirty.add(frame)
+
+    def frames_of_column(self, col: int) -> range:
+        """Frame numbers configuring CLB column ``col``."""
+        return range(col * FRAMES_PER_COLUMN, (col + 1) * FRAMES_PER_COLUMN)
+
+    # -- dirty tracking ------------------------------------------------------------------
+
+    @property
+    def dirty_frames(self) -> frozenset[int]:
+        """Frames modified since the last :meth:`clear_dirty`."""
+        return frozenset(self._dirty)
+
+    def clear_dirty(self) -> None:
+        self._dirty.clear()
+
+    # -- convenience ------------------------------------------------------------------
+
+    def copy(self) -> "ConfigMemory":
+        other = ConfigMemory(self.arch)
+        other.bits = self.bits.copy()
+        other._dirty = set(self._dirty)
+        return other
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConfigMemory):
+            return NotImplemented
+        return self.arch.part == other.arch.part and np.array_equal(
+            self.bits, other.bits
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - not hashable in practice
+        raise TypeError("ConfigMemory is mutable and unhashable")
+
+    def diff_frames(self, other: "ConfigMemory") -> list[int]:
+        """Frames whose contents differ between two memories."""
+        if self.n_frames != other.n_frames:
+            raise errors.BitstreamError("memories are for different devices")
+        a = self.bits.reshape(self.n_frames, self.frame_bits)
+        b = other.bits.reshape(self.n_frames, self.frame_bits)
+        return [int(f) for f in np.flatnonzero((a != b).any(axis=1))]

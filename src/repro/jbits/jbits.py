@@ -1,0 +1,130 @@
+"""The JBits-style low-level configuration interface.
+
+The original JBits "provides access to Xilinx FPGA configuration
+bitstreams" — get/set of configuration resources addressed by CLB row,
+column and resource.  This class is that interface over the simulated
+device: it mirrors every behavioural PIP change into the configuration
+memory, provides direct LUT/mode configuration for cores, and supports
+the *manual routing* workflow the paper contrasts JRoute against in
+Section 4 (the user programs each PIP individually, and must know the
+architecture to do so).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import errors
+from ..arch import connectivity, wires
+from ..device.fabric import Device, PipEvent
+from .bitstream import LUT_BITS, MODE_BITS, PIP_BITS, ConfigMemory
+
+__all__ = ["JBits"]
+
+#: LUT selector constants: (slice, F/G) -> lut index 0..3
+LUT_S0F, LUT_S0G, LUT_S1F, LUT_S1G = range(4)
+
+
+class JBits:
+    """Bit-level configuration access bound to one :class:`Device`.
+
+    Every PIP turned on/off through the device (by JRoute or by manual
+    calls) is mirrored into :attr:`memory`; LUT truth tables and slice
+    modes are configured directly here, as cores do.
+    """
+
+    def __init__(self, device: Device) -> None:
+        self.device = device
+        self.memory = ConfigMemory(device.arch)
+        device.add_listener(self._on_pip_event)
+        #: API-call counter, used by the Section 4 comparison experiment
+        self.call_count = 0
+
+    # -- event mirror -----------------------------------------------------------
+
+    def _on_pip_event(self, event: PipEvent) -> None:
+        on, rec = event
+        addr = self.memory.tile_bit_address(
+            rec.row, rec.col, connectivity.pip_slot(rec.from_name, rec.to_name)
+        )
+        self.memory.set_bit(addr, on)
+
+    # -- manual PIP interface (what routing with raw JBits looks like) -----------
+
+    def set(self, row: int, col: int, from_wire: int, to_wire: int, on: bool = True) -> None:
+        """Program one PIP, as a raw JBits user would.
+
+        The caller must know the architecture: which wires exist at the
+        tile, which PIPs exist, and which wires are already in use —
+        exactly the burden Section 4 says JRoute removes.
+        """
+        self.call_count += 1
+        if on:
+            self.device.turn_on(row, col, from_wire, to_wire)
+        else:
+            self.device.turn_off(row, col, from_wire, to_wire)
+
+    def get(self, row: int, col: int, from_wire: int, to_wire: int) -> bool:
+        """Read one PIP's configuration bit."""
+        self.call_count += 1
+        try:
+            slot = connectivity.pip_slot(from_wire, to_wire)
+        except KeyError:
+            raise errors.InvalidPipError(
+                f"no PIP {wires.wire_name(from_wire)} -> "
+                f"{wires.wire_name(to_wire)} in the architecture"
+            ) from None
+        return self.memory.get_bit(self.memory.tile_bit_address(row, col, slot))
+
+    # -- LUT and slice-mode configuration -----------------------------------------
+
+    def set_lut(self, row: int, col: int, lut: int, truth: int) -> None:
+        """Write a 16-entry LUT truth table (an int bitmask over inputs).
+
+        ``truth`` bit ``i`` is the output for input combination ``i``
+        (F1/G1 is the least-significant address bit).
+        """
+        if not 0 <= lut < 4:
+            raise errors.BitstreamError(f"lut index {lut} out of range")
+        if not 0 <= truth < (1 << 16):
+            raise errors.BitstreamError("truth table must be a 16-bit value")
+        bits = np.array([(truth >> i) & 1 for i in range(16)], dtype=np.uint8)
+        base = PIP_BITS + lut * 16
+        self.memory.set_bits(self.memory.tile_bit_address(row, col, base), bits)
+
+    def get_lut(self, row: int, col: int, lut: int) -> int:
+        if not 0 <= lut < 4:
+            raise errors.BitstreamError(f"lut index {lut} out of range")
+        base = PIP_BITS + lut * 16
+        bits = self.memory.get_bits(self.memory.tile_bit_address(row, col, base), 16)
+        return int(sum(int(b) << i for i, b in enumerate(bits)))
+
+    def set_mode_bit(self, row: int, col: int, bit: int, value: bool) -> None:
+        """Set one slice-mode bit (FF enables, output mux selects, ...)."""
+        if not 0 <= bit < MODE_BITS:
+            raise errors.BitstreamError(f"mode bit {bit} out of range")
+        base = PIP_BITS + LUT_BITS + bit
+        self.memory.set_bit(self.memory.tile_bit_address(row, col, base), value)
+
+    def get_mode_bit(self, row: int, col: int, bit: int) -> bool:
+        base = PIP_BITS + LUT_BITS + bit
+        return self.memory.get_bit(self.memory.tile_bit_address(row, col, base))
+
+    # -- global buffers ---------------------------------------------------------------
+
+    def set_global_buffer(self, idx: int, on: bool) -> None:
+        """Enable/disable one of the four dedicated global-net buffers."""
+        if not 0 <= idx < wires.N_GCLK:
+            raise errors.BitstreamError(f"global buffer {idx} out of range")
+        self.memory.set_bit(self.memory.global_bit_address(idx), on)
+
+    def get_global_buffer(self, idx: int) -> bool:
+        if not 0 <= idx < wires.N_GCLK:
+            raise errors.BitstreamError(f"global buffer {idx} out of range")
+        return self.memory.get_bit(self.memory.global_bit_address(idx))
+
+    # -- readback ------------------------------------------------------------------------
+
+    def readback(self) -> ConfigMemory:
+        """Snapshot of the full configuration memory (device readback)."""
+        return self.memory.copy()

@@ -1,0 +1,206 @@
+"""Configuration packet stream: a simplified Virtex bitstream format.
+
+Virtex devices are configured by a stream of 32-bit words: dummy words, a
+sync word, then type-1 packets writing configuration registers — FAR (the
+frame address), FDRI (frame data input), CRC and CMD.  This module
+implements that shape over :class:`~repro.jbits.bitstream.ConfigMemory`:
+
+* :func:`write_bitstream` serialises a memory (all frames, or a chosen
+  subset — which is what a *partial reconfiguration* bitstream is);
+* :func:`apply_bitstream` parses a stream and writes its frames into a
+  memory, verifying sync and CRC.
+
+The word-level encoding is simplified (single type-1 packet form, additive
+CRC) but preserves what matters for run-time reconfiguration studies:
+cost is proportional to the number of frames shipped, and partial streams
+compose onto an existing configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .. import errors
+from .bitstream import ConfigMemory
+
+__all__ = [
+    "DUMMY_WORD",
+    "SYNC_WORD",
+    "REG_CRC",
+    "REG_FAR",
+    "REG_FDRI",
+    "REG_CMD",
+    "CMD_WCFG",
+    "CMD_DESYNC",
+    "write_bitstream",
+    "apply_bitstream",
+    "parse_packets",
+    "Packet",
+]
+
+DUMMY_WORD = 0xFFFFFFFF
+SYNC_WORD = 0xAA995566
+
+REG_CRC = 0
+REG_FAR = 1
+REG_FDRI = 2
+REG_CMD = 4
+
+CMD_WCFG = 1
+CMD_DESYNC = 13
+
+_TYPE1 = 0b001
+
+
+def _header(reg: int, count: int) -> int:
+    if count >= (1 << 11):
+        raise errors.BitstreamError(f"packet too long ({count} words)")
+    return (_TYPE1 << 29) | (0b10 << 27) | (reg << 13) | count
+
+
+def _words_per_frame(mem: ConfigMemory) -> int:
+    return -(-mem.frame_bits // 32)
+
+
+def _pack_frame(frame_bits: np.ndarray) -> list[int]:
+    """Pack a frame's bits into 32-bit words, bit i at word i//32, lsb-first."""
+    n_words = -(-len(frame_bits) // 32)
+    padded = np.zeros(n_words * 32, dtype=np.uint8)
+    padded[: len(frame_bits)] = frame_bits
+    lanes = padded.reshape(n_words, 32)
+    weights = (1 << np.arange(32, dtype=np.uint64))
+    return [int(w) for w in (lanes.astype(np.uint64) * weights).sum(axis=1)]
+
+
+def _unpack_frame(words: Sequence[int], frame_bits: int) -> np.ndarray:
+    arr = np.zeros(len(words) * 32, dtype=np.uint8)
+    for i, w in enumerate(words):
+        for b in range(32):
+            arr[i * 32 + b] = (w >> b) & 1
+    return arr[:frame_bits]
+
+
+class Packet:
+    """One parsed type-1 write packet."""
+
+    __slots__ = ("register", "payload")
+
+    def __init__(self, register: int, payload: list[int]) -> None:
+        self.register = register
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"Packet(reg={self.register}, words={len(self.payload)})"
+
+
+def write_bitstream(
+    mem: ConfigMemory, frames: Iterable[int] | None = None
+) -> bytes:
+    """Serialise configuration frames into a packet stream.
+
+    ``frames=None`` produces a full bitstream; passing a frame subset
+    produces a partial-reconfiguration bitstream (e.g.
+    ``mem.dirty_frames`` after a run-time change).
+    """
+    frame_list = sorted(range(mem.n_frames) if frames is None else set(frames))
+    for f in frame_list:
+        if not 0 <= f < mem.n_frames:
+            raise errors.BitstreamError(f"frame {f} out of range")
+    wpf = _words_per_frame(mem)
+    words: list[int] = [DUMMY_WORD, SYNC_WORD]
+    words.append(_header(REG_CMD, 1))
+    words.append(CMD_WCFG)
+    crc = 0
+    for f in frame_list:
+        words.append(_header(REG_FAR, 1))
+        words.append(f)
+        payload = _pack_frame(mem.get_frame(f))
+        assert len(payload) == wpf
+        words.append(_header(REG_FDRI, wpf))
+        words.extend(payload)
+        crc = (crc + f + sum(payload)) & 0xFFFFFFFF
+    words.append(_header(REG_CRC, 1))
+    words.append(crc)
+    words.append(_header(REG_CMD, 1))
+    words.append(CMD_DESYNC)
+    return b"".join(w.to_bytes(4, "big") for w in words)
+
+
+def parse_packets(stream: bytes) -> list[Packet]:
+    """Parse a packet stream into write packets (after sync detection)."""
+    if len(stream) % 4:
+        raise errors.BitstreamError("bitstream length is not word aligned")
+    words = [int.from_bytes(stream[i : i + 4], "big") for i in range(0, len(stream), 4)]
+    # scan for sync
+    try:
+        pos = words.index(SYNC_WORD) + 1
+    except ValueError:
+        raise errors.BitstreamError("no sync word in bitstream") from None
+    packets: list[Packet] = []
+    while pos < len(words):
+        header = words[pos]
+        pos += 1
+        if header == DUMMY_WORD:
+            continue
+        if (header >> 29) != _TYPE1:
+            raise errors.BitstreamError(f"unsupported packet header {header:#010x}")
+        reg = (header >> 13) & 0x3FFF
+        count = header & 0x7FF
+        if pos + count > len(words):
+            raise errors.BitstreamError("truncated packet payload")
+        packets.append(Packet(reg, words[pos : pos + count]))
+        pos += count
+    return packets
+
+
+def apply_bitstream(stream: bytes, mem: ConfigMemory) -> list[int]:
+    """Apply a (full or partial) bitstream to a configuration memory.
+
+    Returns the list of frames written.  Verifies the CRC and requires a
+    terminating DESYNC command, as the device's configuration logic does.
+    """
+    packets = parse_packets(stream)
+    far: int | None = None
+    crc = 0
+    claimed_crc: int | None = None
+    desynced = False
+    written: list[int] = []
+    wpf = _words_per_frame(mem)
+    for pkt in packets:
+        if desynced:
+            raise errors.BitstreamError("data after DESYNC")
+        if pkt.register == REG_CMD:
+            if pkt.payload == [CMD_DESYNC]:
+                desynced = True
+            elif pkt.payload == [CMD_WCFG]:
+                pass
+            else:
+                raise errors.BitstreamError(f"unknown command {pkt.payload}")
+        elif pkt.register == REG_FAR:
+            if len(pkt.payload) != 1:
+                raise errors.BitstreamError("FAR packet must carry one word")
+            far = pkt.payload[0]
+        elif pkt.register == REG_FDRI:
+            if far is None:
+                raise errors.BitstreamError("FDRI before any FAR")
+            if len(pkt.payload) != wpf:
+                raise errors.BitstreamError(
+                    f"FDRI payload {len(pkt.payload)} words, expected {wpf}"
+                )
+            mem.set_frame(far, _unpack_frame(pkt.payload, mem.frame_bits))
+            written.append(far)
+            crc = (crc + far + sum(pkt.payload)) & 0xFFFFFFFF
+            far = None
+        elif pkt.register == REG_CRC:
+            claimed_crc = pkt.payload[0]
+        else:
+            raise errors.BitstreamError(f"write to unknown register {pkt.register}")
+    if not desynced:
+        raise errors.BitstreamError("bitstream missing DESYNC")
+    if claimed_crc is None or claimed_crc != crc:
+        raise errors.BitstreamError(
+            f"CRC mismatch: stream claims {claimed_crc}, computed {crc}"
+        )
+    return written

@@ -1,0 +1,74 @@
+"""Readback decoding: recover routing from configuration bits.
+
+Debug tools like BoardScope work from the *device's* configuration, not
+from the router's bookkeeping.  This module decodes a
+:class:`~repro.jbits.bitstream.ConfigMemory` back into the set of on-PIPs
+(and LUT/global state), which lets tests and the debug layer cross-check
+that the bit-level view and the behavioural routing state never diverge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..arch import connectivity, wires
+from ..device.fabric import Device
+from .bitstream import FRAMES_PER_COLUMN, PIP_BITS, TILE_BITS, ConfigMemory
+
+__all__ = ["decode_pips", "decode_global_buffers", "verify_against_device"]
+
+
+def decode_pips(mem: ConfigMemory) -> set[tuple[int, int, int, int]]:
+    """All on-PIPs ``(row, col, from_name, to_name)`` encoded in the memory.
+
+    Vectorised per CLB column: a column's bits occupy a contiguous region
+    at the start of its frame group, so one reshape exposes a
+    ``rows x TILE_BITS`` matrix per column.
+    """
+    pips: set[tuple[int, int, int, int]] = set()
+    col_region = FRAMES_PER_COLUMN * mem.frame_bits
+    for col in range(mem.cols):
+        start = col * col_region
+        tiles = mem.bits[start : start + mem.rows * TILE_BITS].reshape(
+            mem.rows, TILE_BITS
+        )
+        rows_idx, slots = np.nonzero(tiles[:, :PIP_BITS])
+        for row, slot in zip(rows_idx.tolist(), slots.tolist()):
+            from_name, to_name = connectivity.PIP_LIST[slot]
+            pips.add((row, col, from_name, to_name))
+    return pips
+
+
+def decode_global_buffers(mem: ConfigMemory) -> tuple[bool, ...]:
+    """States of the four global-buffer enables."""
+    return tuple(
+        mem.get_bit(mem.global_bit_address(i)) for i in range(wires.N_GCLK)
+    )
+
+
+def verify_against_device(mem: ConfigMemory, device: Device) -> list[str]:
+    """Compare bit-level routing with the device's behavioural state.
+
+    Returns human-readable discrepancies (empty when coherent).  Used by
+    the test suite after every routing scenario and by the debug tools'
+    self-check.
+    """
+    problems: list[str] = []
+    bit_pips = decode_pips(mem)
+    state_pips = {
+        (rec.row, rec.col, rec.from_name, rec.to_name)
+        for rec in device.state.pip_of.values()
+    }
+    for p in sorted(bit_pips - state_pips):
+        row, col, f, t = p
+        problems.append(
+            f"bitstream has PIP {wires.wire_name(f)} -> {wires.wire_name(t)} "
+            f"at ({row},{col}) but the device state does not"
+        )
+    for p in sorted(state_pips - bit_pips):
+        row, col, f, t = p
+        problems.append(
+            f"device state has PIP {wires.wire_name(f)} -> {wires.wire_name(t)} "
+            f"at ({row},{col}) but the bitstream does not"
+        )
+    return problems

@@ -1,0 +1,43 @@
+"""Routing algorithms behind the JRoute API.
+
+The paper is explicit that "the JRoute API is independent of the
+algorithms used to implement it"; this package keeps them separate and
+swappable: template DFS (:mod:`~repro.routers.template_router`),
+predefined template sets (:mod:`~repro.routers.template_sets`), maze /
+A* search (:mod:`~repro.routers.maze`), bidirectional search
+(:mod:`~repro.routers.bidir`), the greedy increasing-distance
+fanout router (:mod:`~repro.routers.greedy_fanout`), pairwise bus routing
+(:mod:`~repro.routers.bus`), and the PathFinder negotiated-congestion
+baseline (:mod:`~repro.routers.pathfinder`).
+"""
+
+from .auto import P2PResult, route_point_to_point
+from .bidir import route_bidirectional
+from .base import PlanPip, apply_plan, plan_cost, plan_wirelength
+from .bus import BusResult, route_bus
+from .greedy_fanout import FanoutResult, route_fanout
+from .maze import MazeResult, route_maze
+from .pathfinder import NetSpec, PathFinderResult, route_pathfinder
+from .template_router import route_template
+from .template_sets import predefined_templates
+
+__all__ = [
+    "P2PResult",
+    "route_point_to_point",
+    "route_bidirectional",
+    "PlanPip",
+    "apply_plan",
+    "plan_cost",
+    "plan_wirelength",
+    "BusResult",
+    "route_bus",
+    "FanoutResult",
+    "route_fanout",
+    "MazeResult",
+    "route_maze",
+    "NetSpec",
+    "PathFinderResult",
+    "route_pathfinder",
+    "route_template",
+    "predefined_templates",
+]

@@ -1,0 +1,91 @@
+"""Auto point-to-point routing: predefined templates, then maze fallback.
+
+This is the paper's suggested implementation of
+``route(EndPoint source, EndPoint sink)``: try a set of predefined
+templates reducing the search space; fall back on a maze algorithm when
+they all fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import errors
+from ..arch.templates import TemplateValue as TV
+from ..arch.wires import WireClass
+from ..device.fabric import Device
+from .base import PlanPip
+from .maze import route_maze
+from .template_router import route_template
+from .template_sets import predefined_templates
+
+__all__ = ["route_point_to_point", "P2PResult"]
+
+
+@dataclass(slots=True)
+class P2PResult:
+    """Outcome of a point-to-point route."""
+
+    plan: list[PlanPip]
+    method: str               #: "template" or "maze"
+    templates_tried: int      #: how many predefined templates were attempted
+    template_used: object | None = None  #: set when method == "template"
+
+
+def route_point_to_point(
+    device: Device,
+    source: int,
+    sink: int,
+    *,
+    reuse: tuple[int, ...] = (),
+    try_templates: bool = True,
+    use_longs: bool = True,
+    template_budget: int = 4_000,
+    heuristic_weight: float = 0.0,
+    max_nodes: int = 200_000,
+) -> P2PResult:
+    """Plan a route from wire ``source`` to wire ``sink``.
+
+    Templates are only attempted for the common CLB-output to CLB-input
+    case with no tree reuse; everything else (odd endpoint classes, net
+    extension) goes straight to the maze router.
+    """
+    arch = device.arch
+    if device.state.occupied[sink]:
+        raise errors.ContentionError(
+            "sink wire is already in use; unroute it first"
+        )
+    templates_tried = 0
+    if try_templates and not reuse:
+        src_cls = arch.wire_class_of(source)
+        sink_cls = arch.wire_class_of(sink)
+        if src_cls is WireClass.SLICE_OUT and sink_cls in (
+            WireClass.SLICE_IN,
+            WireClass.CTL_IN,
+        ):
+            sr, sc, _ = arch.primary_name(source)
+            tr, tc, _ = arch.primary_name(sink)
+            candidates = predefined_templates(tr - sr, tc - sc)
+            for tmpl in candidates:
+                templates_tried += 1
+                try:
+                    plan = route_template(
+                        device,
+                        source,
+                        tmpl.values,
+                        end_canon=sink,
+                        max_nodes=template_budget,
+                    )
+                except errors.UnroutableError:
+                    continue
+                return P2PResult(plan, "template", templates_tried, tmpl)
+    result = route_maze(
+        device,
+        [source],
+        {sink},
+        reuse=reuse,
+        use_longs=use_longs,
+        heuristic_weight=heuristic_weight,
+        max_nodes=max_nodes,
+    )
+    return P2PResult(result.plan, "maze", templates_tried, None)

@@ -1,0 +1,54 @@
+"""Shared routing-algorithm infrastructure.
+
+The paper stresses that "the JRoute API is independent of the algorithms
+used to implement it".  Algorithms in this package therefore share one
+contract: they *plan* — produce an ordered list of PIPs
+``(row, col, from_name, to_name)`` — and the caller applies the plan
+transactionally.  A failed application (e.g. a contention race with
+another tool holding the device) rolls back every PIP it turned on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .. import errors
+from ..device.fabric import Device
+
+__all__ = ["PlanPip", "apply_plan", "plan_cost", "plan_wirelength"]
+
+#: One planned PIP: (row, col, from_name, to_name).
+PlanPip = tuple[int, int, int, int]
+
+
+def apply_plan(device: Device, plan: Sequence[PlanPip]) -> int:
+    """Turn on every PIP of a plan, rolling back on failure.
+
+    Already-on PIPs (same driver) are skipped — plans may legitimately
+    overlap an existing net when extending it.  Returns the number of
+    PIPs newly turned on.
+    """
+    applied: list[PlanPip] = []
+    try:
+        for row, col, from_name, to_name in plan:
+            if device.pip_is_on(row, col, from_name, to_name):
+                continue
+            device.turn_on(row, col, from_name, to_name)
+            applied.append((row, col, from_name, to_name))
+    except errors.JRouteError:
+        for row, col, from_name, to_name in reversed(applied):
+            device.turn_off(row, col, from_name, to_name)
+        raise
+    return len(applied)
+
+
+def plan_cost(device: Device, plan: Sequence[PlanPip]) -> float:
+    """Router cost of a plan (sum of target-wire base costs)."""
+    arch = device.arch
+    return sum(arch.wire_cost(to_name) for _, _, _, to_name in plan)
+
+
+def plan_wirelength(device: Device, plan: Sequence[PlanPip]) -> int:
+    """Physical wirelength of a plan in CLB spans."""
+    arch = device.arch
+    return sum(arch.wire_length(to_name) for _, _, _, to_name in plan)

@@ -1,0 +1,76 @@
+"""Bus routing (route level 6).
+
+Paper, Section 3.1, on ``route(EndPoint[] source, EndPoint[] sink)``:
+"This is a call for bus connections.  In a data flow design, the outputs
+of one stage go to the inputs of the next stage.  As a convenience, the
+user does not need to write a Java loop to connect each one."
+
+Bits are connected pairwise; a repeated source is treated as a fanout
+extension of its existing net (its routed tree is reused).  The call is
+atomic: any bit failing rolls back the whole bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .. import errors
+from ..device.fabric import Device
+from .auto import P2PResult, route_point_to_point
+from .base import PlanPip, apply_plan
+
+__all__ = ["route_bus", "BusResult"]
+
+
+@dataclass(slots=True)
+class BusResult:
+    """Outcome of a bus route, one entry per bit in call order."""
+
+    results: list[P2PResult] = field(default_factory=list)
+    pips_added: int = 0
+
+
+def route_bus(
+    device: Device,
+    sources: Sequence[int],
+    sinks: Sequence[int],
+    *,
+    try_templates: bool = True,
+    use_longs: bool = True,
+    heuristic_weight: float = 0.0,
+    max_nodes: int = 200_000,
+) -> BusResult:
+    """Connect ``sources[i]`` to ``sinks[i]`` for every bit of the bus."""
+    if len(sources) != len(sinks):
+        raise errors.JRouteError(
+            f"bus width mismatch: {len(sources)} sources, {len(sinks)} sinks"
+        )
+    arch = device.arch
+    out = BusResult()
+    applied: list[PlanPip] = []
+    try:
+        for bit, (src, sink) in enumerate(zip(sources, sinks)):
+            reuse = tuple(device.state.subtree(src))
+            try:
+                res = route_point_to_point(
+                    device,
+                    src,
+                    sink,
+                    reuse=reuse if len(reuse) > 1 else (),
+                    try_templates=try_templates,
+                    use_longs=use_longs,
+                    heuristic_weight=heuristic_weight,
+                    max_nodes=max_nodes,
+                )
+            except errors.JRouteError as e:
+                raise errors.UnroutableError(f"bus bit {bit}: {e}") from e
+            apply_plan(device, res.plan)
+            applied.extend(res.plan)
+            out.results.append(res)
+            out.pips_added += len(res.plan)
+    except errors.JRouteError:
+        for row, col, from_name, to_name in reversed(applied):
+            device.turn_off(row, col, from_name, to_name)
+        raise
+    return out

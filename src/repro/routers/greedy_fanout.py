@@ -1,0 +1,104 @@
+"""Greedy fanout routing (route level 5).
+
+Paper, Section 3.1, on ``route(EndPoint source, EndPoint[] sink)``:
+"It decides the best path for the entire collection of sinks.  This call
+should be used instead of connecting each sink individually, since it
+minimizes the routing resources used.  Each sink gets routed in order of
+increasing distance from the source.  For each sink, the router attempts
+to reuse the previous paths as much as possible.  Because it is not
+timing driven, this algorithm is suitable only for non-critical nets. ...
+Currently long lines are not supported; only hexes and singles are used."
+
+Long lines are therefore **off by default** here (matching the paper's
+initial implementation) and can be enabled (`use_longs=True`) to study
+the paper's future-work claim that they "would improve the routing of
+nets with large bounding boxes" — experiment E11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .. import errors
+from ..device.fabric import Device
+from .base import PlanPip, apply_plan
+from .maze import route_maze
+
+__all__ = ["route_fanout", "FanoutResult"]
+
+
+@dataclass(slots=True)
+class FanoutResult:
+    """Outcome of a fanout route: per-sink plans, in routing order."""
+
+    order: list[int] = field(default_factory=list)   #: sinks, as routed
+    plans: list[list[PlanPip]] = field(default_factory=list)
+    pips_added: int = 0
+
+
+def route_fanout(
+    device: Device,
+    source: int,
+    sinks: Sequence[int],
+    *,
+    use_longs: bool = False,
+    heuristic_weight: float = 0.0,
+    max_nodes: int = 200_000,
+) -> FanoutResult:
+    """Route one source to many sinks, reusing the growing tree.
+
+    Applies connections to the device as it goes (each sink's search must
+    see the previous sinks' wires as reusable tree); on failure for any
+    sink the entire call is rolled back and
+    :class:`~repro.errors.UnroutableError` is raised — the net is either
+    fully routed or untouched.
+    """
+    arch = device.arch
+    sr, sc, _ = arch.primary_name(source)
+
+    def dist(sink: int) -> int:
+        r, c, _ = arch.primary_name(sink)
+        return abs(r - sr) + abs(c - sc)
+
+    order = sorted(set(sinks), key=lambda s: (dist(s), s))
+    result = FanoutResult()
+    applied: list[PlanPip] = []
+    # wires of this net, reusable at zero cost by later sinks
+    tree: set[int] = set(device.state.subtree(source))
+    try:
+        for sink in order:
+            if sink in tree:
+                # already reached (e.g. caller listed a sink twice)
+                result.order.append(sink)
+                result.plans.append([])
+                continue
+            try:
+                res = route_maze(
+                    device,
+                    [source],
+                    {sink},
+                    reuse=tree,
+                    use_longs=use_longs,
+                    heuristic_weight=heuristic_weight,
+                    max_nodes=max_nodes,
+                )
+            except errors.UnroutableError as e:
+                raise errors.UnroutableError(
+                    f"fanout sink {sink} unroutable after "
+                    f"{len(result.order)} sinks: {e}"
+                ) from e
+            apply_plan(device, res.plan)
+            applied.extend(res.plan)
+            for row, col, from_name, to_name in res.plan:
+                canon = arch.canonicalize(row, col, to_name)
+                assert canon is not None
+                tree.add(canon)
+            result.order.append(sink)
+            result.plans.append(res.plan)
+            result.pips_added += len(res.plan)
+    except errors.JRouteError:
+        for row, col, from_name, to_name in reversed(applied):
+            device.turn_off(row, col, from_name, to_name)
+        raise
+    return result

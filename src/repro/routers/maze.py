@@ -1,0 +1,210 @@
+"""Maze routing: Dijkstra/A* search over the device wire graph.
+
+The paper names the maze router (Lee; Sherwani [4], Brown et al. [5]) as
+the fallback implementation for the auto-routing calls.  This one is a
+cost-driven wavefront over *canonical wires*: nodes are wire instances,
+edges are architecture-legal PIPs at any presence point of a wire, and
+wires already in use by other nets are impassable.
+
+``reuse`` makes a set of wires free starting points at zero cost — that
+is how fanout routing reuses the already-routed tree of the same net
+("for each sink, the router attempts to reuse the previous paths as much
+as possible").
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Collection, Iterable
+
+from .. import errors
+from ..arch import wires
+from ..arch.wires import WireClass
+from ..device.fabric import Device
+from .base import PlanPip
+
+__all__ = ["route_maze", "MazeResult"]
+
+
+class MazeResult:
+    """Outcome of a maze search: the plan and the target it reached."""
+
+    __slots__ = ("plan", "target", "cost", "nodes_expanded")
+
+    def __init__(self, plan: list[PlanPip], target: int, cost: float, nodes: int):
+        self.plan = plan
+        self.target = target
+        self.cost = cost
+        self.nodes_expanded = nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"MazeResult({len(self.plan)} pips, cost={self.cost:.2f}, "
+            f"expanded={self.nodes_expanded})"
+        )
+
+
+def _target_tiles(device: Device, targets: Collection[int]) -> list[tuple[int, int]]:
+    return [device.arch.primary_name(t)[:2] for t in targets]
+
+
+def route_maze(
+    device: Device,
+    sources: Iterable[int],
+    targets: Collection[int],
+    *,
+    reuse: Collection[int] = (),
+    use_longs: bool = True,
+    avoid_classes: Collection[WireClass] = (),
+    heuristic_weight: float = 0.0,
+    max_nodes: int = 200_000,
+) -> MazeResult:
+    """Find a cheapest free path from any source wire to any target wire.
+
+    Parameters
+    ----------
+    sources:
+        Canonical wire ids the signal is already on (the net source, or
+        the whole routed tree when extending a net).
+    targets:
+        Canonical wire ids to reach (typically one sink pin; several when
+        any of a port's pins would do).
+    reuse:
+        Additional zero-cost start wires (same-net resources).
+    use_longs:
+        When False, long lines are not considered — the state of the
+        paper's initial fanout implementation ("currently long lines are
+        not supported"); True enables them (the paper's future work).
+    avoid_classes:
+        Additional wire classes the search must not use (e.g. hexes, to
+        deliberately slow a branch for skew equalisation).
+    heuristic_weight:
+        0 gives plain Dijkstra; > 0 adds an A* distance-to-target bias
+        (per-CLB rate of the cheapest wire class, scaled by the weight;
+        weights <= 1 keep the bias conservative).
+    max_nodes:
+        Expansion budget before giving up with
+        :class:`~repro.errors.UnroutableError`.
+
+    Returns a :class:`MazeResult` whose plan drives wires in source-to-
+    sink order.  Raises :class:`~repro.errors.UnroutableError` when no
+    free path exists.
+    """
+    arch = device.arch
+    occupied = device.state.occupied
+    target_set = set(targets)
+    if not target_set:
+        raise errors.UnroutableError("no targets given")
+    reuse_set = set(reuse)
+    start_set = set(sources) | reuse_set
+    if not start_set:
+        raise errors.UnroutableError("no sources given")
+    hit = target_set & start_set
+    if hit:
+        return MazeResult([], hit.pop(), 0.0, 0)
+
+    if heuristic_weight > 0.0:
+        goal_tiles = _target_tiles(device, target_set)
+        # Cheapest possible per-CLB rate: hexes cover 6 CLBs at their cost;
+        # long lines can beat that on big spans, so the bias is scaled down.
+        rate = heuristic_weight * min(
+            arch.wire_cost(wires.HEX_E[0]) / 6.0,
+            1.0,
+        )
+        hex_n0 = wires.HEX_N[0]
+        single_n0 = wires.SINGLE_N[0]
+
+        def h(canon: int, to_name: int, row: int, col: int) -> float:
+            # estimate from the point of the driven wire nearest a goal:
+            # a hex driven toward the goal should look 6 tiles closer
+            info = wires.wire_info(to_name)
+            cls = info.wire_class
+            if cls is WireClass.SINGLE or cls is WireClass.HEX:
+                r0, c0, n0 = arch.primary_name(canon)
+                length = info.length
+                vertical = n0 >= (hex_n0 if cls is WireClass.HEX else single_n0)
+                if vertical:
+                    ends = ((r0, c0), (r0 + length, c0))  # north-going
+                else:
+                    ends = ((r0, c0), (r0, c0 + length))  # east-going
+                return rate * min(
+                    abs(er - tr) + abs(ec - tc)
+                    for er, ec in ends
+                    for tr, tc in goal_tiles
+                )
+            if cls is WireClass.LONG_H:
+                r0, _, _ = arch.primary_name(canon)
+                return rate * min(abs(r0 - tr) for tr, _ in goal_tiles)
+            if cls is WireClass.LONG_V:
+                _, c0, _ = arch.primary_name(canon)
+                return rate * min(abs(c0 - tc) for _, tc in goal_tiles)
+            return rate * min(
+                abs(row - tr) + abs(col - tc) for tr, tc in goal_tiles
+            )
+
+    else:
+
+        def h(canon: int, to_name: int, row: int, col: int) -> float:
+            return 0.0
+
+    dist: dict[int, float] = {}
+    prev: dict[int, PlanPip] = {}
+    heap: list[tuple[float, float, int]] = []
+    for s in start_set:
+        dist[s] = 0.0
+        r0, c0, n0 = arch.primary_name(s)
+        heapq.heappush(heap, (h(s, n0, r0, c0), 0.0, s))
+
+    expanded = 0
+    goal: int | None = None
+    goal_cost = 0.0
+    long_lo = wires.LONG_H[0]
+    long_hi = wires.LONG_V[-1]
+    avoid = frozenset(avoid_classes)
+
+    while heap:
+        f, g, canon = heapq.heappop(heap)
+        if g > dist.get(canon, float("inf")):
+            continue
+        if canon in target_set:
+            goal = canon
+            goal_cost = g
+            break
+        expanded += 1
+        if expanded > max_nodes:
+            raise errors.UnroutableError(
+                f"maze search exceeded {max_nodes} node expansions"
+            )
+        for row, col, from_name, to_name, canon_to in device.fanout_pips(canon):
+            if not use_longs and long_lo <= to_name <= long_hi:
+                continue
+            if avoid and wires.wire_info(to_name).wire_class in avoid:
+                continue
+            if occupied[canon_to] and canon_to not in reuse_set:
+                continue
+            ng = g + arch.wire_cost(to_name)
+            if ng < dist.get(canon_to, float("inf")):
+                dist[canon_to] = ng
+                prev[canon_to] = (row, col, from_name, to_name)
+                heapq.heappush(
+                    heap, (ng + h(canon_to, to_name, row, col), ng, canon_to)
+                )
+
+    if goal is None:
+        raise errors.UnroutableError(
+            "no free path from sources to targets"
+            + ("" if use_longs else " (long lines disabled)")
+        )
+
+    # Walk predecessors back to a start wire.
+    plan: list[PlanPip] = []
+    w = goal
+    while w not in start_set:
+        pip = prev[w]
+        plan.append(pip)
+        row, col, from_name, _ = pip
+        canon_from = arch.canonicalize(row, col, from_name)
+        assert canon_from is not None
+        w = canon_from
+    plan.reverse()
+    return MazeResult(plan, goal, goal_cost, expanded)

@@ -1,0 +1,190 @@
+"""PathFinder-style negotiated-congestion router (baseline comparator).
+
+The paper's Section 6 points at timing/routability-driven routers (Swartz,
+Betz & Rose [6]) as the direction for better algorithms, and Section 3.1
+argues that "in an RTR environment traditional routing algorithms require
+too much time".  This module implements the traditional algorithm that
+claim is about: a PathFinder negotiated-congestion router (the core of
+VPR and of ref [6]) — every net is routed allowing overuse, and present-
+and history-congestion costs are escalated until no wire is shared.
+
+It serves as the quality/time baseline for experiment E8: slower than
+JRoute's greedy one-shot calls, but able to resolve congestion that
+defeats greedy ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .. import errors
+from ..device.fabric import Device
+from .base import PlanPip, apply_plan
+
+__all__ = ["NetSpec", "PathFinderResult", "route_pathfinder"]
+
+
+@dataclass(frozen=True, slots=True)
+class NetSpec:
+    """One net to route: a source wire and its sink wires."""
+
+    source: int
+    sinks: tuple[int, ...]
+
+    @staticmethod
+    def of(source: int, sinks: Sequence[int]) -> "NetSpec":
+        return NetSpec(source, tuple(sinks))
+
+
+@dataclass(slots=True)
+class PathFinderResult:
+    """Outcome of a negotiated-congestion run."""
+
+    iterations: int
+    converged: bool
+    plans: dict[int, list[PlanPip]] = field(default_factory=dict)  #: per net index
+    pips_added: int = 0
+
+
+def route_pathfinder(
+    device: Device,
+    nets: Sequence[NetSpec],
+    *,
+    use_longs: bool = True,
+    max_iterations: int = 30,
+    present_factor_init: float = 0.5,
+    present_factor_mult: float = 1.6,
+    history_increment: float = 0.4,
+    max_nodes_per_net: int = 400_000,
+    apply: bool = True,
+) -> PathFinderResult:
+    """Route ``nets`` with negotiated congestion, then apply to the device.
+
+    Wires already used on the device (foreign nets) are impassable;
+    congestion is negotiated only among the given nets.  Raises
+    :class:`~repro.errors.UnroutableError` if any single net has no path
+    at all, and reports ``converged=False`` when sharing remains after
+    ``max_iterations`` (in which case nothing is applied).
+    """
+    arch = device.arch
+    blocked = device.state.occupied
+    endpoint_ok: set[int] = set()
+    for net in nets:
+        endpoint_ok.add(net.source)
+        endpoint_ok.update(net.sinks)
+
+    from ..arch import wires as _w
+
+    long_name_lo = _w.LONG_H[0]
+    long_name_hi = _w.LONG_V[-1]
+
+    history: dict[int, float] = {}
+    #: wire -> set of net indices using it in the current solution
+    usage: dict[int, set[int]] = {}
+    #: per net: wires used and plan
+    net_wires: list[set[int]] = [set() for _ in nets]
+    plans: list[list[PlanPip]] = [[] for _ in nets]
+    present_factor = present_factor_init
+
+    def wire_cost(canon: int, to_name: int, net_idx: int) -> float:
+        base = arch.wire_cost(to_name)
+        users = usage.get(canon)
+        others = len(users - {net_idx}) if users else 0
+        return base * (1.0 + present_factor * others) + history.get(canon, 0.0)
+
+    def route_net(idx: int, net: NetSpec) -> None:
+        """Fanout-route one net under current congestion costs."""
+        # rip up
+        for w in net_wires[idx]:
+            users = usage.get(w)
+            if users:
+                users.discard(idx)
+                if not users:
+                    del usage[w]
+        net_wires[idx] = set()
+        plans[idx] = []
+        tree: set[int] = {net.source}
+        sr, sc, _ = arch.primary_name(net.source)
+        order = sorted(
+            set(net.sinks),
+            key=lambda s: (
+                abs(arch.primary_name(s)[0] - sr) + abs(arch.primary_name(s)[1] - sc),
+                s,
+            ),
+        )
+        for sink in order:
+            dist: dict[int, float] = {w: 0.0 for w in tree}
+            prev: dict[int, PlanPip] = {}
+            heap = [(0.0, w) for w in tree]
+            heapq.heapify(heap)
+            expanded = 0
+            found = False
+            while heap:
+                g, canon = heapq.heappop(heap)
+                if g > dist.get(canon, float("inf")):
+                    continue
+                if canon == sink:
+                    found = True
+                    break
+                expanded += 1
+                if expanded > max_nodes_per_net:
+                    raise errors.UnroutableError(
+                        f"pathfinder net {idx}: node budget exhausted"
+                    )
+                for row, col, from_name, to_name, canon_to in device.fanout_pips(canon):
+                    if not use_longs and long_name_lo <= to_name <= long_name_hi:
+                        continue
+                    if blocked[canon_to] and canon_to not in endpoint_ok:
+                        continue  # foreign net
+                    ng = g + wire_cost(canon_to, to_name, idx)
+                    if ng < dist.get(canon_to, float("inf")):
+                        dist[canon_to] = ng
+                        prev[canon_to] = (row, col, from_name, to_name)
+                        heapq.heappush(heap, (ng, canon_to))
+            if not found:
+                raise errors.UnroutableError(
+                    f"pathfinder net {idx}: sink {sink} unreachable"
+                )
+            # back-walk, add to tree and plan
+            path: list[PlanPip] = []
+            w = sink
+            while w not in tree:
+                pip = prev[w]
+                path.append(pip)
+                cf = arch.canonicalize(pip[0], pip[1], pip[2])
+                assert cf is not None
+                w = cf
+            path.reverse()
+            plans[idx].extend(path)
+            for row, col, from_name, to_name in path:
+                canon = arch.canonicalize(row, col, to_name)
+                assert canon is not None
+                tree.add(canon)
+        # commit usage (sources are exempt from sharing accounting)
+        net_wires[idx] = tree - {net.source}
+        for w in net_wires[idx]:
+            usage.setdefault(w, set()).add(idx)
+
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        for idx, net in enumerate(nets):
+            route_net(idx, net)
+        shared = [w for w, users in usage.items() if len(users) > 1]
+        if not shared:
+            converged = True
+            break
+        for w in shared:
+            history[w] = history.get(w, 0.0) + history_increment
+        present_factor *= present_factor_mult
+
+    result = PathFinderResult(iterations=iteration, converged=converged)
+    if converged:
+        for idx in range(len(nets)):
+            result.plans[idx] = plans[idx]
+        if apply:
+            for idx in range(len(nets)):
+                result.pips_added += apply_plan(device, plans[idx])
+    return result

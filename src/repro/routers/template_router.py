@@ -1,0 +1,117 @@
+"""Template-guided routing (route level 3).
+
+Paper, Section 3.1: "The router begins at the start wire, then goes
+through each wire that it drives, as defined in the architecture class,
+and checks first if the wire's template value matches the template value
+specified by the user.  If so, then it checks to make sure the wire is
+not already in use.  A recursive call is made with the new wire as the
+starting point and the first element of the template removed.  The call
+would fail if there is no combination of resources that are available
+that follow the template."
+
+This implementation is that recursion as an explicit DFS.  The goal can
+be given two ways: as an ``end_wire`` *name* (the paper's signature — the
+end tile is implied by the template) or as an ``end_canon`` wire instance
+(used internally by the auto-router, which must land on a specific pin).
+"""
+
+from __future__ import annotations
+
+from .. import errors
+from ..arch.templates import TemplateValue, template_value_of
+from ..arch.wires import WireClass
+from ..device.fabric import Device
+from .base import PlanPip
+
+__all__ = ["route_template"]
+
+#: wire classes whose template value implies movement: once driven at one
+#: end, the search must continue from the *other* end, so EAST1 really
+#: travels one tile east
+_DIRECTIONAL = frozenset(
+    (WireClass.SINGLE, WireClass.HEX, WireClass.LONG_H, WireClass.LONG_V)
+)
+
+
+def route_template(
+    device: Device,
+    start_canon: int,
+    template_values: tuple[TemplateValue, ...],
+    *,
+    end_wire: int | None = None,
+    end_canon: int | None = None,
+    max_nodes: int = 100_000,
+) -> list[PlanPip]:
+    """Find a free path from ``start_canon`` following the template.
+
+    Exactly one of ``end_wire`` (a wire *name*; paper semantics) or
+    ``end_canon`` (a canonical wire instance) must be given.  Returns the
+    PIP plan in drive order; raises
+    :class:`~repro.errors.UnroutableError` when no combination of
+    available resources follows the template.
+    """
+    if (end_wire is None) == (end_canon is None):
+        raise errors.JRouteError("give exactly one of end_wire / end_canon")
+    if not template_values:
+        raise errors.JRouteError("empty template")
+
+    occupied = device.state.occupied
+    last = len(template_values) - 1
+    budget = max_nodes
+    # visited states (wire, depth, drive tile) that already failed
+    dead: set[tuple] = set()
+    plan: list[PlanPip] = []
+    in_plan: set[int] = set()  # wires already driven by this plan
+
+    arch = device.arch
+
+    def dfs(canon: int, depth: int, drive_tile: tuple[int, int] | None) -> bool:
+        nonlocal budget
+        if (canon, depth, drive_tile) in dead:
+            return False
+        budget -= 1
+        if budget < 0:
+            raise errors.UnroutableError(
+                "template search budget exhausted"
+            )
+        directional = (
+            drive_tile is not None
+            and arch.wire_class_of(canon) in _DIRECTIONAL
+        )
+        want = template_values[depth]
+        blocked_by_plan = False
+        for row, col, from_name, to_name, canon_to in device.fanout_pips(canon):
+            if directional and (row, col) == drive_tile:
+                # a driven directional wire continues from its far end only
+                continue
+            if template_value_of(to_name) is not want:
+                continue
+            if depth == last:
+                if end_wire is not None and to_name != end_wire:
+                    continue
+                if end_canon is not None and canon_to != end_canon:
+                    continue
+            if occupied[canon_to]:
+                continue
+            if canon_to in in_plan:
+                blocked_by_plan = True
+                continue
+            plan.append((row, col, from_name, to_name))
+            in_plan.add(canon_to)
+            if depth == last:
+                return True
+            if dfs(canon_to, depth + 1, (row, col)):
+                return True
+            plan.pop()
+            in_plan.remove(canon_to)
+        if not blocked_by_plan:
+            # memoise only plan-independent failures, so backtracking with a
+            # different prefix can revisit states that failed due to in_plan
+            dead.add((canon, depth, drive_tile))
+        return False
+
+    if dfs(start_canon, 0, None):
+        return plan
+    raise errors.UnroutableError(
+        "no combination of available resources follows the template"
+    )

@@ -1,0 +1,102 @@
+"""Predefined template sets for auto point-to-point routing.
+
+Paper, Section 3.1, on ``route(EndPoint, EndPoint)``: "Another possibility
+that would potentially be faster is to define a set of unique and
+predefined templates that would get from the source to the sink and try
+each one.  If all of them fail then the router could fall back on a maze
+algorithm.  The benefit of defining the template would be to reduce the
+search space."
+
+Given a (drow, dcol) displacement this module enumerates candidate
+templates: hex-decomposed routes in both axis orders, all-singles routes
+for short nets, under- and over-shooting hex counts, always arranged so
+the wire before the CLBIN suffix is a single (hexes cannot drive logic
+block inputs — Section 2's drive rules).
+"""
+
+from __future__ import annotations
+
+from ..arch.templates import TemplateValue as TV
+from ..core.template import Template
+
+__all__ = ["predefined_templates", "MAX_ALL_SINGLES"]
+
+#: Nets at most this many CLBs long also get an all-singles variant.
+MAX_ALL_SINGLES = 10
+
+_HEX_SINGLE = {
+    "N": (TV.NORTH6, TV.NORTH1, TV.SOUTH6, TV.SOUTH1),
+    "E": (TV.EAST6, TV.EAST1, TV.WEST6, TV.WEST1),
+}
+
+
+def _axis_variants(d: int, axis: str) -> list[tuple[list[TV], list[TV]]]:
+    """Hex/single decompositions of a displacement along one axis.
+
+    Returns ``(hex_moves, single_moves)`` variants; concatenated they
+    travel exactly ``d`` CLBs along the axis.
+    """
+    pos6, pos1, neg6, neg1 = _HEX_SINGLE[axis]
+    if d == 0:
+        return [([], [])]
+    if d > 0:
+        six, one, anti = pos6, pos1, neg1
+    else:
+        six, one, anti = neg6, neg1, pos1
+    n = abs(d)
+    n6, rem = divmod(n, 6)
+    variants: list[tuple[list[TV], list[TV]]] = [([six] * n6, [one] * rem)]
+    if 0 < n <= MAX_ALL_SINGLES and n6 > 0:
+        variants.append(([], [one] * n))
+    if rem == 0 and n6 > 0:
+        # trade the last hex for six singles (gives a single before CLBIN)
+        variants.append(([six] * (n6 - 1), [one] * 6))
+    if rem >= 4:
+        # overshoot by one hex and come back with a few singles
+        variants.append(([six] * (n6 + 1), [anti] * (6 - rem)))
+    return variants
+
+
+_HEX_VALUES = frozenset((TV.EAST6, TV.WEST6, TV.NORTH6, TV.SOUTH6))
+
+
+def predefined_templates(
+    drow: int,
+    dcol: int,
+    *,
+    prefix: tuple[TV, ...] = (TV.OUTMUX,),
+    suffix: tuple[TV, ...] = (TV.CLBIN,),
+    max_templates: int = 12,
+) -> list[Template]:
+    """Candidate templates travelling ``(drow, dcol)``, cheapest first.
+
+    The default prefix/suffix frame a CLB-output to CLB-input route; pass
+    empty tuples to generate bare movement templates.  Variants whose
+    movement would end on a hex directly before a CLBIN suffix are
+    dropped (no such PIP exists).
+    """
+    seen: set[tuple[TV, ...]] = set()
+    out: list[Template] = []
+    needs_single_tail = bool(suffix) and suffix[0] is TV.CLBIN
+    for vh, vs in _axis_variants(drow, "N"):
+        for hh, hs in _axis_variants(dcol, "E"):
+            orders = (
+                hh + vh + hs + vs,  # all hexes, then all singles (H first)
+                vh + hh + vs + hs,  # all hexes, then all singles (V first)
+                hh + hs + vh + vs,  # finish one axis, then the other
+                vh + vs + hh + hs,
+            )
+            for movement in orders:
+                if (
+                    needs_single_tail
+                    and movement
+                    and movement[-1] in _HEX_VALUES
+                ):
+                    continue
+                values = tuple(prefix) + tuple(movement) + tuple(suffix)
+                if values in seen:
+                    continue
+                seen.add(values)
+                out.append(Template(values))
+    out.sort(key=len)
+    return out[:max_templates]

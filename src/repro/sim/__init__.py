@@ -1,0 +1,10 @@
+"""Functional LUT-level simulation of a configured device.
+
+An extension beyond the paper's scope (its BoardScope observed real
+hardware): lets tests and examples verify that a routed, configured
+design actually computes — see :class:`~repro.sim.model.Simulator`.
+"""
+
+from .model import CombinationalLoopError, Simulator
+
+__all__ = ["Simulator", "CombinationalLoopError"]

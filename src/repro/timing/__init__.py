@@ -1,0 +1,17 @@
+"""Timing analysis and skew-aware routing (the paper's Section 6 future
+work, implemented): lumped interconnect delay model, per-net delay/skew
+reports, balanced fanout routing and post-route skew equalisation.
+"""
+
+from .delay import DEFAULT_DELAY_MODEL, DelayModel, NetTiming, net_delays, net_timing
+from .skew import equalize_skew, route_balanced_fanout
+
+__all__ = [
+    "DEFAULT_DELAY_MODEL",
+    "DelayModel",
+    "NetTiming",
+    "net_delays",
+    "net_timing",
+    "equalize_skew",
+    "route_balanced_fanout",
+]

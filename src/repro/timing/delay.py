@@ -1,0 +1,126 @@
+"""Interconnect delay estimation.
+
+The paper defers timing ("Because it is not timing driven, this
+algorithm is suitable only for non-critical nets", §3.1) and lists skew
+minimization as future work (§6).  This module supplies the missing
+analysis: a lumped per-resource delay model (one constant per wire class
+plus a per-PIP switch delay, in arbitrary nanosecond-like units) and
+net-level delay/skew reports computed over the routing forest.
+
+The constants are *model* numbers chosen to preserve the relevant
+ordering on Virtex-class fabrics — local hops fastest, singles per-CLB
+slowest, hexes amortising their span, buffered longs fast across the
+chip — not datasheet values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch.wires import WireClass
+from ..core.tracer import reverse_trace_net
+from ..device.fabric import Device
+
+__all__ = ["DelayModel", "DEFAULT_DELAY_MODEL", "net_delays", "NetTiming", "net_timing"]
+
+
+@dataclass(frozen=True, slots=True)
+class DelayModel:
+    """Lumped delays per resource class (ns) plus a per-PIP switch delay."""
+
+    pip_switch: float = 0.3
+    by_class: dict = field(
+        default_factory=lambda: {
+            WireClass.OUT: 0.4,
+            WireClass.SLICE_OUT: 0.0,
+            WireClass.SLICE_IN: 0.2,
+            WireClass.CTL_IN: 0.2,
+            WireClass.SINGLE: 1.0,
+            WireClass.HEX: 2.2,     # 6 CLBs, buffered: far less than 6 singles
+            WireClass.LONG_H: 3.0,  # chip-spanning, buffered
+            WireClass.LONG_V: 3.0,
+            WireClass.GCLK: 0.8,    # dedicated low-skew network
+            WireClass.DIRECT: 0.3,
+            WireClass.IOB_IN: 0.9,   # input buffer
+            WireClass.IOB_OUT: 1.1,  # output buffer + pad
+        }
+    )
+
+    def wire_delay(self, device: Device, canon: int) -> float:
+        """Delay contributed by one wire instance."""
+        return self.by_class[device.arch.wire_class_of(canon)]
+
+
+DEFAULT_DELAY_MODEL = DelayModel()
+
+
+def net_delays(
+    device: Device, source_canon: int, model: DelayModel = DEFAULT_DELAY_MODEL
+) -> dict[int, float]:
+    """Arrival delay at every wire of a net, keyed by canonical id.
+
+    The source arrives at t=0; each hop adds the switch delay plus the
+    driven wire's lumped delay.
+    """
+    arrivals: dict[int, float] = {source_canon: 0.0}
+    stack = [source_canon]
+    while stack:
+        w = stack.pop()
+        base = arrivals[w]
+        for kid in device.state.children_of(w):
+            arrivals[kid] = base + model.pip_switch + model.wire_delay(device, kid)
+            stack.append(kid)
+    return arrivals
+
+
+@dataclass(slots=True)
+class NetTiming:
+    """Delay/skew summary of one routed net."""
+
+    source: int
+    sink_delays: dict[int, float]
+
+    @property
+    def max_delay(self) -> float:
+        return max(self.sink_delays.values(), default=0.0)
+
+    @property
+    def min_delay(self) -> float:
+        return min(self.sink_delays.values(), default=0.0)
+
+    @property
+    def skew(self) -> float:
+        """Spread between the earliest and latest arriving sink."""
+        return self.max_delay - self.min_delay
+
+    def critical_sink(self) -> int | None:
+        """The sink with the largest arrival delay."""
+        if not self.sink_delays:
+            return None
+        return max(self.sink_delays, key=self.sink_delays.get)
+
+    def critical_path(self, device: Device):
+        """PIP records from the source to the critical sink."""
+        sink = self.critical_sink()
+        if sink is None:
+            return []
+        return reverse_trace_net(device, sink)
+
+
+def net_timing(
+    device: Device, source_canon: int, model: DelayModel = DEFAULT_DELAY_MODEL
+) -> NetTiming:
+    """Timing summary of the net rooted at ``source_canon``.
+
+    Sinks are the logic-input wires reached by the net (the places a
+    signal is consumed); pass-through interconnect is not counted.
+    """
+    from ..arch.wires import WireClass as WC
+
+    arrivals = net_delays(device, source_canon, model)
+    sink_delays = {
+        w: t
+        for w, t in arrivals.items()
+        if device.arch.wire_class_of(w) in (WC.SLICE_IN, WC.CTL_IN)
+    }
+    return NetTiming(source_canon, sink_delays)

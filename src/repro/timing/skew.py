@@ -1,0 +1,127 @@
+"""Skew-aware fanout routing (the paper's Section 6 future work).
+
+Two mechanisms:
+
+* :func:`route_balanced_fanout` — a fanout router that trades wirelength
+  for skew: every sink gets an independent branch from the source's OMUX
+  stage (no deep tree reuse), so arrival paths have similar composition.
+* :func:`equalize_skew` — post-route skew reduction: while the net's
+  skew exceeds a tolerance, the *earliest* sink's branch is ripped up
+  and re-routed with fast wire classes (hexes, longs) disabled for that
+  branch, lengthening it toward the critical delay.
+
+Both are measured against the greedy router in experiment E13.
+"""
+
+from __future__ import annotations
+
+from .. import errors
+from ..arch.wires import WireClass
+from ..core.unroute import unroute_reverse
+from ..device.fabric import Device
+from ..routers.base import PlanPip, apply_plan
+from ..routers.maze import route_maze
+from .delay import DEFAULT_DELAY_MODEL, DelayModel, net_timing
+
+__all__ = ["route_balanced_fanout", "equalize_skew"]
+
+
+def route_balanced_fanout(
+    device: Device,
+    source: int,
+    sinks,
+    *,
+    use_longs: bool = False,
+    heuristic_weight: float = 0.8,
+    max_nodes: int = 200_000,
+) -> int:
+    """Route a fanout net with per-sink independent branches.
+
+    Only the source wire and its already-driven OMUX stage are shared;
+    each sink's branch is otherwise disjoint, which keeps arrival-path
+    composition (and therefore delay) similar across sinks.  Costs more
+    wire than greedy tree reuse — that is the trade.
+
+    Returns the number of PIPs added; atomic on failure.
+    """
+    applied: list[PlanPip] = []
+    try:
+        for sink in sinks:
+            reuse = {source} | set(device.state.children_of(source))
+            res = route_maze(
+                device,
+                [source],
+                {sink},
+                reuse=reuse,
+                use_longs=use_longs,
+                heuristic_weight=heuristic_weight,
+                max_nodes=max_nodes,
+            )
+            apply_plan(device, res.plan)
+            applied.extend(res.plan)
+    except errors.JRouteError:
+        for row, col, fn, tn in reversed(applied):
+            device.turn_off(row, col, fn, tn)
+        raise
+    return len(applied)
+
+
+def equalize_skew(
+    device: Device,
+    source: int,
+    *,
+    tolerance: float = 1.0,
+    max_iterations: int = 10,
+    model: DelayModel = DEFAULT_DELAY_MODEL,
+    heuristic_weight: float = 0.8,
+) -> float:
+    """Reduce a routed net's skew by re-routing early-arriving branches.
+
+    While skew exceeds ``tolerance``: rip up the earliest sink's branch
+    and re-route it through singles only (no hexes/longs), which slows
+    that branch toward the critical delay.  Stops when within tolerance,
+    when re-routing stops helping, or after ``max_iterations``.
+
+    Returns the final skew.  The net is never left partially routed: a
+    failed re-route restores the previous branch.
+    """
+    timing = net_timing(device, source, model)
+    if len(timing.sink_delays) < 2:
+        return 0.0
+    best = timing.skew
+    for _ in range(max_iterations):
+        if best <= tolerance:
+            break
+        timing = net_timing(device, source, model)
+        early = min(timing.sink_delays, key=timing.sink_delays.get)
+        # remember the branch in case the re-route is worse
+        from ..core.tracer import reverse_trace_net
+
+        old_branch = [
+            (r.row, r.col, r.from_name, r.to_name)
+            for r in reverse_trace_net(device, early)
+        ]
+        unroute_reverse(device, early)
+        tree = set(device.state.subtree(source))
+        try:
+            res = route_maze(
+                device,
+                [source],
+                {early},
+                reuse=tree,
+                use_longs=False,
+                avoid_classes=(WireClass.HEX,),
+                heuristic_weight=heuristic_weight,
+            )
+            apply_plan(device, res.plan)
+        except errors.JRouteError:
+            apply_plan(device, old_branch)  # restore
+            break
+        new_skew = net_timing(device, source, model).skew
+        if new_skew >= best:
+            # undo: the slower branch did not help (overshoot)
+            unroute_reverse(device, early)
+            apply_plan(device, old_branch)
+            break
+        best = new_skew
+    return best

@@ -1,0 +1,16 @@
+"""Tools built over the JRoute API (the paper's Section 1 promise)."""
+
+from .defrag import DefragResult, defrag, find_fit, largest_free_rect
+from .report import design_report
+from .script import ScriptError, ScriptResult, run_script
+
+__all__ = [
+    "DefragResult",
+    "defrag",
+    "find_fit",
+    "largest_free_rect",
+    "design_report",
+    "ScriptError",
+    "ScriptResult",
+    "run_script",
+]

@@ -1,0 +1,151 @@
+"""Floorplan defragmentation: an RTR tool built on core relocation.
+
+A long-running run-time-reconfigurable system places and removes cores
+continuously; the free area fragments, until a new core fits in total
+free CLBs but in no contiguous rectangle.  This tool compacts the
+floorplan by relocating live cores toward the south-west corner, one at
+a time — each move is the paper's Section 3.3 relocation (unroute,
+move, auto-reconnect from remembered port connections), so the design
+stays fully routed between moves.
+
+This is exactly the kind of tool the paper's Section 1 anticipates being
+built over the API ("these can range from debugging tools to extensions
+that increase functionality").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import errors
+from ..core.router import JRouter
+from ..cores.core import Core, Floorplan, Rect, _floorplan_of
+from ..cores.relocate import relocate_core
+
+__all__ = ["DefragResult", "defrag", "largest_free_rect", "find_fit"]
+
+
+def _free_map(floorplan: Floorplan):
+    """Boolean occupancy grid of the floorplan (True = free)."""
+    import numpy as np
+
+    free = np.ones((floorplan.rows, floorplan.cols), dtype=bool)
+    for rect in floorplan.placed().values():
+        free[rect.row : rect.row + rect.height, rect.col : rect.col + rect.width] = False
+    return free
+
+
+def largest_free_rect(floorplan: Floorplan) -> Rect:
+    """The largest free axis-aligned rectangle of the floorplan.
+
+    Classic largest-rectangle-in-histogram sweep over the free map.
+    """
+    import numpy as np
+
+    free = _free_map(floorplan)
+    rows, cols = free.shape
+    heights = np.zeros(cols, dtype=np.int64)
+    best = Rect(0, 0, 0, 0)
+    best_area = 0
+    for r in range(rows):
+        heights = np.where(free[r], heights + 1, 0)
+        # classic largest-rectangle-in-histogram stack sweep
+        stack: list[int] = []
+        for c in range(cols + 1):
+            h = int(heights[c]) if c < cols else 0
+            while stack and int(heights[stack[-1]]) >= h:
+                top = stack.pop()
+                rect_h = int(heights[top])
+                left = stack[-1] + 1 if stack else 0
+                width = c - left
+                if rect_h * width > best_area:
+                    best_area = rect_h * width
+                    best = Rect(r - rect_h + 1, left, rect_h, width)
+            stack.append(c)
+    return best
+
+
+def find_fit(floorplan: Floorplan, height: int, width: int) -> tuple[int, int] | None:
+    """South-west-most free position where a height x width core fits."""
+    import numpy as np
+
+    free = _free_map(floorplan)
+    rows, cols = free.shape
+    if height > rows or width > cols:
+        return None
+    # 2D summed-area over the free map for O(1) window checks
+    cum = np.zeros((rows + 1, cols + 1), dtype=np.int64)
+    cum[1:, 1:] = np.cumsum(np.cumsum(free, axis=0), axis=1)
+    for r in range(rows - height + 1):
+        for c in range(cols - width + 1):
+            total = (
+                cum[r + height, c + width]
+                - cum[r, c + width]
+                - cum[r + height, c]
+                + cum[r, c]
+            )
+            if total == height * width:
+                return r, c
+    return None
+
+
+@dataclass(slots=True)
+class DefragResult:
+    """Outcome of a defragmentation pass."""
+
+    moves: list[tuple[str, tuple[int, int], tuple[int, int]]] = field(
+        default_factory=list
+    )
+    largest_free_before: Rect = Rect(0, 0, 0, 0)
+    largest_free_after: Rect = Rect(0, 0, 0, 0)
+
+    @property
+    def improved(self) -> bool:
+        return (
+            self.largest_free_after.height * self.largest_free_after.width
+            > self.largest_free_before.height * self.largest_free_before.width
+        )
+
+
+def defrag(router: JRouter, cores: list[Core], *, max_passes: int = 3) -> DefragResult:
+    """Compact live cores toward the south-west corner.
+
+    ``cores`` are the live top-level core objects (the floorplan alone
+    does not know the objects).  Cores are processed nearest-the-corner
+    first; each is moved to the south-west-most free position that
+    improves its corner distance.  Relocation re-routes remembered
+    connections, so the design remains functional after every move.
+
+    Returns the move list and the largest free rectangle before/after.
+    Cores whose relocation fails (e.g. congestion at the new spot) are
+    left in place — relocate_core restores them.
+    """
+    floorplan = _floorplan_of(router)
+    result = DefragResult(largest_free_before=largest_free_rect(floorplan))
+    live = {c.instance_name: c for c in cores if c.parent is None}
+    for _ in range(max_passes):
+        moved_any = False
+        order = sorted(live.values(), key=lambda c: (c.row + c.col, c.instance_name))
+        for core in order:
+            rect = core.footprint()
+            # temporarily ignore this core's own area when searching
+            floorplan.remove(core.instance_name)
+            spot = find_fit(floorplan, rect.height, rect.width)
+            floorplan.place(core.instance_name, rect)
+            if spot is None:
+                continue
+            r, c = spot
+            if (r + c) >= (core.row + core.col):
+                continue  # no improvement toward the corner
+            old_pos = (core.row, core.col)
+            try:
+                new_core = relocate_core(core, r, c)
+            except errors.JRouteError:
+                continue  # restored in place by relocate_core
+            live[new_core.instance_name] = new_core
+            result.moves.append((new_core.instance_name, old_pos, (r, c)))
+            moved_any = True
+        if not moved_any:
+            break
+    result.largest_free_after = largest_free_rect(floorplan)
+    return result

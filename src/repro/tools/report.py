@@ -1,0 +1,104 @@
+"""Design report generator: a human-readable snapshot of a live system.
+
+Another Section 1 tool: given a router, produce a markdown report of
+everything on the device — floorplan, nets with timing, resource
+utilisation, configuration statistics and health checks — the kind of
+artefact an RTR control program would log between reconfigurations.
+"""
+
+from __future__ import annotations
+
+from ..arch import wires
+from ..core.router import JRouter
+from ..core.tracer import trace_net
+from ..debug.boardscope import BoardScope
+from ..debug.visualize import congestion_stats
+from ..timing import DEFAULT_DELAY_MODEL, DelayModel, net_timing
+
+__all__ = ["design_report"]
+
+
+def design_report(
+    router: JRouter, *, model: DelayModel = DEFAULT_DELAY_MODEL, title: str = "Design report"
+) -> str:
+    """Render a markdown report of the router's current design state."""
+    device = router.device
+    arch = device.arch
+    scope = BoardScope(device, router.jbits)
+    lines: list[str] = [f"# {title}", ""]
+
+    # -- device -----------------------------------------------------------
+    lines += [
+        f"- device: **{arch.part.name}** ({arch.rows}x{arch.cols} CLBs)",
+        f"- PIPs on: **{device.state.n_pips_on}**",
+        f"- wires in use: **{int(device.state.occupied.sum())}**",
+    ]
+    if router.jbits is not None:
+        mem = router.jbits.memory
+        lines.append(
+            f"- configuration: {mem.n_frames} frames, "
+            f"{len(mem.dirty_frames)} dirty since last sync"
+        )
+    lines.append("")
+
+    # -- floorplan ----------------------------------------------------------
+    floorplan = getattr(router, "_floorplan", None)
+    lines.append("## Floorplan")
+    lines.append("")
+    if floorplan is None or not floorplan.placed():
+        lines.append("(no cores placed)")
+    else:
+        lines.append("| core | position | size |")
+        lines.append("|---|---|---|")
+        for name, rect in sorted(floorplan.placed().items()):
+            lines.append(
+                f"| {name} | ({rect.row},{rect.col}) | "
+                f"{rect.height}x{rect.width} |"
+            )
+    lines.append("")
+
+    # -- nets ------------------------------------------------------------------
+    lines.append("## Nets")
+    lines.append("")
+    roots = scope.net_sources()
+    if not roots:
+        lines.append("(no nets routed)")
+    else:
+        lines.append("| source | sinks | pips | max delay (ns) | skew (ns) |")
+        lines.append("|---|---|---|---|---|")
+        for root in roots:
+            trace = trace_net(device, root)
+            timing = net_timing(device, root, model)
+            r, c, n = arch.primary_name(root)
+            lines.append(
+                f"| {wires.wire_name(n)}@({r},{c}) | {len(trace.sinks)} | "
+                f"{len(trace.pips)} | {timing.max_delay:.1f} | "
+                f"{timing.skew:.1f} |"
+            )
+    lines.append("")
+
+    # -- utilisation ---------------------------------------------------------------
+    lines.append("## Resource utilisation")
+    lines.append("")
+    stats = congestion_stats(device)
+    used_classes = {k: v for k, v in sorted(stats.items()) if v > 0}
+    if not used_classes:
+        lines.append("(fabric unused)")
+    else:
+        lines.append("| class | used |")
+        lines.append("|---|---|")
+        for cls, frac in used_classes.items():
+            lines.append(f"| {cls} | {frac:.2%} |")
+    lines.append("")
+
+    # -- health ------------------------------------------------------------------------
+    lines.append("## Health")
+    lines.append("")
+    problems = scope.crosscheck()
+    if problems:
+        lines.append(f"**{len(problems)} problem(s):**")
+        lines.extend(f"- {p}" for p in problems)
+    else:
+        lines.append("state/bitstream coherent; no contention. OK.")
+    lines.append("")
+    return "\n".join(lines)

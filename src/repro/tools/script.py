@@ -1,0 +1,146 @@
+"""A small routing-script language over the JRoute API.
+
+JBits-era designs were often driven from scripts; this module provides
+the equivalent for this library: a line-oriented text format that maps
+one-to-one onto JRoute calls, so workloads can be written, versioned and
+replayed without Python.  The CLI exposes it as ``python -m repro run``.
+
+Grammar (one statement per line; ``#`` starts a comment)::
+
+    device XCV50                         # must appear first
+    pip     R C FROM_WIRE TO_WIRE        # route level 1
+    route   WIRE@R,C -> WIRE@R,C [...]   # auto route, 1 source, N sinks
+    clock   INDEX WIRE@R,C [...]         # global net to clock pins
+    unroute WIRE@R,C                     # forward unroute from a source
+    assert_on  R C WIRE                  # isOn() must be true
+    assert_off R C WIRE                  # isOn() must be false
+
+Wire names are the human-readable labels (``SingleEast[5]``, ``S1_YQ``);
+pins are ``NAME@row,col``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import errors
+from ..arch import wires
+from ..core.endpoints import Pin
+from ..core.router import JRouter
+
+__all__ = ["ScriptError", "ScriptResult", "run_script"]
+
+
+class ScriptError(errors.JRouteError):
+    """A routing script failed to parse or execute."""
+
+
+@dataclass(slots=True)
+class ScriptResult:
+    """Outcome of one script run."""
+
+    router: JRouter
+    statements: int = 0
+    pips_added: int = 0
+    log: list[str] = field(default_factory=list)
+
+
+def _parse_pin(token: str, lineno: int) -> Pin:
+    try:
+        name_part, pos = token.split("@")
+        row_s, col_s = pos.split(",")
+        return Pin(int(row_s), int(col_s), wires.parse_wire_name(name_part))
+    except (ValueError, KeyError) as e:
+        raise ScriptError(f"line {lineno}: bad pin {token!r} ({e})") from None
+
+
+def _parse_wire(token: str, lineno: int) -> int:
+    try:
+        return wires.parse_wire_name(token)
+    except KeyError:
+        raise ScriptError(f"line {lineno}: unknown wire {token!r}") from None
+
+
+def run_script(
+    text: str, *, router: JRouter | None = None, attach_jbits: bool = True
+) -> ScriptResult:
+    """Execute a routing script; returns the router and a statement log.
+
+    A fresh router is created by the script's ``device`` statement unless
+    one is passed in (in which case ``device`` lines must match its part).
+    Execution stops at the first failing statement with
+    :class:`ScriptError`; statements already executed remain applied
+    (scripts are imperative, like the API they wrap).
+    """
+    result = ScriptResult(router=router)  # router may still be None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        op = tokens[0].lower()
+        args = tokens[1:]
+        try:
+            if op == "device":
+                if len(args) != 1:
+                    raise ScriptError(f"line {lineno}: device takes one part name")
+                if result.router is None:
+                    result.router = JRouter(part=args[0], attach_jbits=attach_jbits)
+                elif result.router.device.arch.part.name != args[0]:
+                    raise ScriptError(
+                        f"line {lineno}: script wants {args[0]}, router is "
+                        f"{result.router.device.arch.part.name}"
+                    )
+            elif result.router is None:
+                raise ScriptError(
+                    f"line {lineno}: 'device PART' must come before {op!r}"
+                )
+            elif op == "pip":
+                if len(args) != 4:
+                    raise ScriptError(f"line {lineno}: pip R C FROM TO")
+                row, col = int(args[0]), int(args[1])
+                fn = _parse_wire(args[2], lineno)
+                tn = _parse_wire(args[3], lineno)
+                result.pips_added += result.router.route(row, col, fn, tn)
+            elif op == "route":
+                if "->" not in args:
+                    raise ScriptError(f"line {lineno}: route SRC -> SINK [...]")
+                arrow = args.index("->")
+                if arrow != 1 or len(args) < 3:
+                    raise ScriptError(f"line {lineno}: route SRC -> SINK [...]")
+                src = _parse_pin(args[0], lineno)
+                sinks = [_parse_pin(t, lineno) for t in args[arrow + 1 :]]
+                result.pips_added += result.router.route(src, sinks)
+            elif op == "clock":
+                if len(args) < 2:
+                    raise ScriptError(f"line {lineno}: clock INDEX PIN [...]")
+                idx = int(args[0])
+                sinks = [_parse_pin(t, lineno) for t in args[1:]]
+                result.pips_added += result.router.route_clock(idx, sinks)
+            elif op == "unroute":
+                if len(args) != 1:
+                    raise ScriptError(f"line {lineno}: unroute PIN")
+                result.router.unroute(_parse_pin(args[0], lineno))
+            elif op in ("assert_on", "assert_off"):
+                if len(args) != 3:
+                    raise ScriptError(f"line {lineno}: {op} R C WIRE")
+                row, col = int(args[0]), int(args[1])
+                wire = _parse_wire(args[2], lineno)
+                is_on = result.router.is_on(row, col, wire)
+                want = op == "assert_on"
+                if is_on != want:
+                    raise ScriptError(
+                        f"line {lineno}: {op} failed for "
+                        f"{wires.wire_name(wire)}@({row},{col})"
+                    )
+            else:
+                raise ScriptError(f"line {lineno}: unknown statement {op!r}")
+        except ScriptError:
+            raise
+        except (errors.JRouteError, ValueError) as e:
+            raise ScriptError(f"line {lineno}: {e}") from e
+        result.statements += 1
+        result.log.append(line)
+    if result.router is None:
+        raise ScriptError("script has no 'device' statement")
+    return result

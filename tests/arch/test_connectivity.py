@@ -1,0 +1,179 @@
+"""Unit tests of the GRM connectivity tables (routing-database substitute)."""
+
+import pytest
+
+from repro.arch import connectivity, wires
+from repro.arch.wires import WireClass
+
+
+def cls_of(name: int) -> WireClass:
+    return wires.wire_info(name).wire_class
+
+
+class TestDriveLegality:
+    """Section 2's drive rules, verbatim."""
+
+    def test_no_self_drive(self):
+        for src, targets in connectivity.DRIVES.items():
+            assert src not in targets
+
+    def test_slice_outputs_drive_only_omux(self):
+        for o in range(8):
+            src = wires.SLICE_OUT_BASE + o
+            assert all(cls_of(t) is WireClass.OUT for t in connectivity.DRIVES[src])
+            assert len(connectivity.DRIVES[src]) == 4
+
+    def test_outputs_drive_all_interconnect_lengths(self):
+        """'Logic block outputs drive all length interconnects' (via OMUX)."""
+        for j in range(8):
+            classes = {cls_of(t) for t in connectivity.DRIVES[wires.OUT[j]]}
+            assert WireClass.SINGLE in classes
+            assert WireClass.HEX in classes
+            assert WireClass.LONG_H in classes
+            assert WireClass.LONG_V in classes
+
+    def test_longs_drive_hexes_only(self):
+        for name in list(wires.LONG_H) + list(wires.LONG_V):
+            targets = connectivity.DRIVES[name]
+            assert targets, "long lines must drive something"
+            assert all(cls_of(t) is WireClass.HEX for t in targets)
+
+    def test_hexes_drive_singles_and_hexes_only(self):
+        for name in (
+            list(wires.HEX_E) + list(wires.HEX_N) + list(wires.HEX_S) + list(wires.HEX_W)
+        ):
+            classes = {cls_of(t) for t in connectivity.DRIVES[name]}
+            assert classes <= {WireClass.SINGLE, WireClass.HEX}
+            assert WireClass.SINGLE in classes
+
+    def test_singles_drive_inputs_vlongs_singles_only(self):
+        allowed = {WireClass.SLICE_IN, WireClass.CTL_IN, WireClass.LONG_V,
+                   WireClass.SINGLE, WireClass.IOB_OUT}
+        for name in (
+            list(wires.SINGLE_E) + list(wires.SINGLE_N)
+            + list(wires.SINGLE_S) + list(wires.SINGLE_W)
+        ):
+            classes = {cls_of(t) for t in connectivity.DRIVES[name]}
+            assert classes <= allowed
+            # never a horizontal long ("singles drive ... vertical long lines")
+            assert WireClass.LONG_H not in classes
+
+    def test_globals_drive_clock_pins_only(self):
+        for g in wires.GCLK:
+            assert set(connectivity.DRIVES[g]) == {wires.S0_CLK, wires.S1_CLK}
+
+    def test_direct_drives_inputs_only(self):
+        for d in wires.DIRECT_W_OUT:
+            assert all(
+                cls_of(t) in (WireClass.SLICE_IN, WireClass.CTL_IN)
+                for t in connectivity.DRIVES[d]
+            )
+
+    def test_sinks_drive_nothing(self):
+        for n in wires.ALL_SINK_NAMES:
+            assert connectivity.DRIVES[n] == ()
+
+
+class TestCoverage:
+    """No wire class is unreachable by construction."""
+
+    def test_every_out_driven(self):
+        for j in range(8):
+            assert len(connectivity.DRIVEN_BY[wires.OUT[j]]) == 4
+
+    def test_every_single_drivable(self):
+        for group in (wires.SINGLE_E, wires.SINGLE_N, wires.SINGLE_S, wires.SINGLE_W):
+            for name in group:
+                assert connectivity.DRIVEN_BY[name], wires.wire_name(name)
+
+    def test_every_hex_drivable(self):
+        for group in (wires.HEX_E, wires.HEX_N, wires.HEX_S, wires.HEX_W):
+            for name in group:
+                assert connectivity.DRIVEN_BY[name], wires.wire_name(name)
+
+    def test_every_input_reachable(self):
+        for name in wires.ALL_SINK_NAMES:
+            drivers = connectivity.DRIVEN_BY[name]
+            assert drivers, wires.wire_name(name)
+            # every input must be reachable from a single (the only general
+            # route into a CLB per Section 2)
+            if name not in (wires.S0_CLK, wires.S1_CLK):
+                assert any(cls_of(d) is WireClass.SINGLE for d in drivers)
+
+    def test_every_long_drivable(self):
+        for name in list(wires.LONG_H) + list(wires.LONG_V):
+            assert connectivity.DRIVEN_BY[name]
+
+    def test_vertical_longs_driven_by_singles(self):
+        for name in wires.LONG_V:
+            assert any(
+                cls_of(d) is WireClass.SINGLE for d in connectivity.DRIVEN_BY[name]
+            )
+
+    def test_horizontal_longs_not_driven_by_singles(self):
+        for name in wires.LONG_H:
+            assert not any(
+                cls_of(d) is WireClass.SINGLE for d in connectivity.DRIVEN_BY[name]
+            )
+
+
+class TestInverse:
+    def test_driven_by_is_exact_inverse(self):
+        forward = {(s, t) for s, ts in connectivity.DRIVES.items() for t in ts}
+        backward = {(s, t) for t, ss in connectivity.DRIVEN_BY.items() for s in ss}
+        assert forward == backward
+
+
+class TestPipEnumeration:
+    def test_pip_list_complete_and_unique(self):
+        assert len(set(connectivity.PIP_LIST)) == len(connectivity.PIP_LIST)
+        assert connectivity.N_PIP_SLOTS == len(connectivity.PIP_LIST)
+
+    def test_pip_slot_roundtrip(self):
+        for i, p in enumerate(connectivity.PIP_LIST):
+            assert connectivity.pip_slot(*p) == i
+
+    def test_pip_exists(self):
+        src, dst = connectivity.PIP_LIST[0]
+        assert connectivity.pip_exists(src, dst)
+        assert not connectivity.pip_exists(dst, src) or (dst, src) in connectivity.PIP_SLOT
+
+    def test_slot_count_is_stable(self):
+        """The tile config layout depends on this; breaking it breaks
+        every serialised bitstream."""
+        assert connectivity.N_PIP_SLOTS == 3024
+
+
+class TestPaperExamplePips:
+    """The exact PIPs of the Section 3.1 example exist."""
+
+    def test_s1yq_to_out1(self):
+        assert connectivity.pip_exists(wires.S1_YQ, wires.OUT[1])
+
+    def test_out1_to_single_east5(self):
+        assert connectivity.pip_exists(wires.OUT[1], wires.SINGLE_E[5])
+
+    def test_single_west5_to_single_north0(self):
+        assert connectivity.pip_exists(wires.SINGLE_W[5], wires.SINGLE_N[0])
+
+    def test_single_south0_to_s0f3(self):
+        assert connectivity.pip_exists(wires.SINGLE_S[0], wires.S0F[3])
+
+
+class TestFanoutMagnitudes:
+    """Fan-outs stay in the same ballpark as a real GRM (sanity bounds)."""
+
+    @pytest.mark.parametrize("j", range(8))
+    def test_omux_fanout(self, j):
+        n = len(connectivity.DRIVES[wires.OUT[j]])
+        assert 20 <= n <= 60
+
+    def test_single_fanout(self):
+        for name in wires.SINGLE_E:
+            n = len(connectivity.DRIVES[name])
+            assert 10 <= n <= 30
+
+    def test_hex_fanout(self):
+        for name in wires.HEX_N:
+            n = len(connectivity.DRIVES[name])
+            assert 8 <= n <= 24

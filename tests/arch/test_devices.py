@@ -1,0 +1,62 @@
+"""Unit tests of the Virtex part catalogue."""
+
+import pytest
+
+from repro.arch import devices
+
+
+class TestCatalogue:
+    def test_family_range_matches_paper(self):
+        """'The array sizes for Virtex range from 16x24 CLBs to 64x96 CLBs.'"""
+        parts = [devices.part(n) for n in devices.part_names()]
+        smallest = min(parts, key=lambda p: p.clbs)
+        largest = max(parts, key=lambda p: p.clbs)
+        assert (smallest.rows, smallest.cols) == (16, 24)
+        assert (largest.rows, largest.cols) == (64, 96)
+
+    def test_known_parts(self):
+        assert devices.part("XCV50").clbs == 384
+        assert devices.part("XCV300").cols == 48
+        assert devices.part("XCV1000").rows == 64
+
+    def test_unknown_part(self):
+        with pytest.raises(KeyError, match="XCV9999"):
+            devices.part("XCV9999")
+
+    def test_ordering_small_to_large(self):
+        sizes = [devices.part(n).clbs for n in devices.part_names()]
+        assert sizes == sorted(sizes)
+
+    def test_all_aspect_ratios(self):
+        """Virtex arrays are 2:3 (rows:cols)."""
+        for name in devices.part_names():
+            p = devices.part(name)
+            assert p.cols * 2 == p.rows * 3
+
+
+class TestSpartanII:
+    """Section 5 portability: the fabric-compatible successor family."""
+
+    def test_family_filter(self):
+        assert all(
+            devices.part(n).family == "Spartan-II"
+            for n in devices.part_names("Spartan-II")
+        )
+        assert len(devices.part_names("Spartan-II")) == 6
+
+    def test_default_catalogue_stays_virtex(self):
+        """The paper's family bounds still hold for the default listing."""
+        names = devices.part_names()
+        assert all(devices.part(n).family == "Virtex" for n in names)
+
+    def test_all_families_listed_with_none(self):
+        assert len(devices.part_names(None)) == 15
+
+    def test_shared_array_sizes(self):
+        """XC2S50 == XCV50's array: same fabric, same geometry."""
+        a, b = devices.part("XC2S50"), devices.part("XCV50")
+        assert (a.rows, a.cols) == (b.rows, b.cols)
+
+    def test_smallest_member(self):
+        p = devices.part("XC2S15")
+        assert (p.rows, p.cols) == (8, 12)

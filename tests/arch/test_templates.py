@@ -1,0 +1,63 @@
+"""Unit tests of template-value classification."""
+
+import pytest
+
+from repro.arch import templates, wires
+from repro.arch.templates import TemplateValue, names_with_template_value
+
+
+class TestClassification:
+    def test_paper_examples(self):
+        # "NORTH6 describes any hex wire in the north direction"
+        for i in range(12):
+            assert templates.template_value_of(wires.HEX_N[i]) is TemplateValue.NORTH6
+        # "NORTH1 describes any single wire in the north direction"
+        for i in range(24):
+            assert templates.template_value_of(wires.SINGLE_N[i]) is TemplateValue.NORTH1
+
+    @pytest.mark.parametrize(
+        "name,value",
+        [
+            (wires.OUT[0], TemplateValue.OUTMUX),
+            (wires.S0_X, TemplateValue.CLBOUT),
+            (wires.S0F[1], TemplateValue.CLBIN),
+            (wires.S0_CLK, TemplateValue.CLBIN),
+            (wires.SINGLE_E[3], TemplateValue.EAST1),
+            (wires.SINGLE_S[3], TemplateValue.SOUTH1),
+            (wires.SINGLE_W[3], TemplateValue.WEST1),
+            (wires.HEX_E[3], TemplateValue.EAST6),
+            (wires.HEX_S[3], TemplateValue.SOUTH6),
+            (wires.HEX_W[3], TemplateValue.WEST6),
+            (wires.LONG_H[0], TemplateValue.LONGH),
+            (wires.LONG_V[0], TemplateValue.LONGV),
+            (wires.GCLK[0], TemplateValue.GLOBAL),
+            (wires.DIRECT_W_OUT[0], TemplateValue.DIRECT),
+        ],
+    )
+    def test_each_class(self, name, value):
+        assert templates.template_value_of(name) is value
+
+    def test_every_name_classifies(self):
+        for n in range(wires.N_NAMES):
+            assert isinstance(templates.template_value_of(n), TemplateValue)
+
+
+class TestReverseLookup:
+    def test_counts(self):
+        assert len(names_with_template_value(TemplateValue.EAST1)) == 24
+        assert len(names_with_template_value(TemplateValue.NORTH6)) == 12
+        assert len(names_with_template_value(TemplateValue.OUTMUX)) == 8
+        assert len(names_with_template_value(TemplateValue.CLBIN)) == 26
+        assert len(names_with_template_value(TemplateValue.GLOBAL)) == 4
+
+    def test_partition(self):
+        """Every name appears under exactly one template value."""
+        seen = []
+        for v in TemplateValue:
+            seen.extend(names_with_template_value(v))
+        assert sorted(seen) == list(range(wires.N_NAMES))
+
+    def test_consistency_with_forward(self):
+        for v in TemplateValue:
+            for n in names_with_template_value(v):
+                assert templates.template_value_of(n) is v

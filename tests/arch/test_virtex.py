@@ -1,0 +1,224 @@
+"""Unit tests of the VirtexArch canonicalisation and queries."""
+
+import pytest
+
+from repro.arch import wires
+from repro.arch.virtex import N_OWNED, VirtexArch
+from repro.arch.wires import WireClass
+
+
+class TestGeometry:
+    def test_in_bounds(self, arch):
+        assert arch.in_bounds(0, 0)
+        assert arch.in_bounds(15, 23)
+        assert not arch.in_bounds(16, 0)
+        assert not arch.in_bounds(0, 24)
+        assert not arch.in_bounds(-1, 0)
+
+    def test_tiles_iteration(self, arch):
+        tiles = list(arch.tiles())
+        assert len(tiles) == 384
+        assert tiles[0] == (0, 0)
+        assert tiles[-1] == (15, 23)
+
+    def test_wire_space_size(self, arch):
+        expected = 384 * N_OWNED + 16 * 12 + 24 * 12 + 4
+        assert arch.n_wires == expected
+
+
+class TestAliasing:
+    """The paper's Section 3.1 naming equivalences."""
+
+    def test_single_east_west(self, arch):
+        assert arch.canonicalize(5, 7, wires.SINGLE_E[5]) == arch.canonicalize(
+            5, 8, wires.SINGLE_W[5]
+        )
+
+    def test_single_north_south(self, arch):
+        assert arch.canonicalize(5, 8, wires.SINGLE_N[0]) == arch.canonicalize(
+            6, 8, wires.SINGLE_S[0]
+        )
+
+    @pytest.mark.parametrize("i", [0, 7, 11])
+    def test_hex_east_west(self, arch, i):
+        assert arch.canonicalize(3, 4, wires.HEX_E[i]) == arch.canonicalize(
+            3, 10, wires.HEX_W[i]
+        )
+
+    @pytest.mark.parametrize("i", [0, 5, 11])
+    def test_hex_north_south(self, arch, i):
+        assert arch.canonicalize(2, 9, wires.HEX_N[i]) == arch.canonicalize(
+            8, 9, wires.HEX_S[i]
+        )
+
+    def test_direct_aliases_west_neighbours_out(self, arch):
+        assert arch.canonicalize(4, 5, wires.DIRECT_W_OUT[3]) == arch.canonicalize(
+            4, 4, wires.OUT[3]
+        )
+
+    def test_different_indices_different_wires(self, arch):
+        a = arch.canonicalize(5, 7, wires.SINGLE_E[5])
+        b = arch.canonicalize(5, 7, wires.SINGLE_E[6])
+        assert a != b
+
+
+class TestEdgeBehaviour:
+    def test_east_single_missing_at_last_column(self, arch):
+        assert arch.canonicalize(0, arch.cols - 1, wires.SINGLE_E[0]) is None
+
+    def test_north_single_missing_at_top_row(self, arch):
+        assert arch.canonicalize(arch.rows - 1, 0, wires.SINGLE_N[0]) is None
+
+    def test_west_single_missing_at_first_column(self, arch):
+        assert arch.canonicalize(0, 0, wires.SINGLE_W[0]) is None
+
+    def test_hex_missing_near_edge(self, arch):
+        assert arch.canonicalize(0, arch.cols - 6, wires.HEX_E[0]) is None
+        assert arch.canonicalize(0, arch.cols - 7, wires.HEX_E[0]) is not None
+        assert arch.canonicalize(arch.rows - 6, 0, wires.HEX_N[0]) is None
+
+    def test_out_of_bounds_tile(self, arch):
+        assert arch.canonicalize(-1, 0, wires.OUT[0]) is None
+        assert arch.canonicalize(0, 99, wires.OUT[0]) is None
+
+    def test_direct_missing_at_first_column(self, arch):
+        assert arch.canonicalize(0, 0, wires.DIRECT_W_OUT[0]) is None
+
+
+class TestLongLineAccess:
+    """'Long lines can be accessed every 6 blocks', staggered by index."""
+
+    def test_access_pattern_horizontal(self, arch):
+        for i in range(12):
+            for c in range(arch.cols):
+                canon = arch.canonicalize(3, c, wires.LONG_H[i])
+                if c % 6 == i % 6:
+                    assert canon is not None
+                else:
+                    assert canon is None
+
+    def test_same_long_from_all_access_points(self, arch):
+        canons = {
+            arch.canonicalize(3, c, wires.LONG_H[2])
+            for c in range(arch.cols)
+            if c % 6 == 2
+        }
+        assert len(canons) == 1
+
+    def test_vertical_long_per_column(self, arch):
+        a = arch.canonicalize(0, 3, wires.LONG_V[0])
+        b = arch.canonicalize(0, 4, wires.LONG_V[0])
+        assert a is not None and b is not None and a != b
+
+    def test_gclk_everywhere(self, arch):
+        canons = {
+            arch.canonicalize(r, c, wires.GCLK[1])
+            for r in range(0, arch.rows, 5)
+            for c in range(0, arch.cols, 5)
+        }
+        assert len(canons) == 1
+
+
+class TestRoundtrips:
+    def test_primary_name_roundtrip_all_existing(self, arch):
+        for canon in range(arch.n_wires):
+            if arch.wire_exists(canon):
+                r, c, n = arch.primary_name(canon)
+                assert arch.canonicalize(r, c, n) == canon
+
+    def test_presences_all_resolve(self, arch):
+        for canon in range(0, arch.n_wires, 7):
+            if not arch.wire_exists(canon):
+                continue
+            pres = arch.presences(canon)
+            assert pres
+            for r, c, n in pres:
+                assert arch.canonicalize(r, c, n) == canon
+
+    def test_single_has_two_presences(self, arch):
+        canon = arch.canonicalize(5, 7, wires.SINGLE_E[5])
+        assert len(arch.presences(canon)) == 2
+
+    def test_out_presence_includes_direct(self, arch):
+        canon = arch.canonicalize(5, 7, wires.OUT[2])
+        pres = arch.presences(canon)
+        assert (5, 7, wires.OUT[2]) in pres
+        assert (5, 8, wires.DIRECT_W_OUT[2]) in pres
+
+    def test_long_presences_count(self, arch):
+        canon = arch.canonicalize(3, 0, wires.LONG_H[0])
+        assert len(arch.presences(canon)) == 4  # cols 0,6,12,18 on 24 cols
+
+    def test_wire_exists_bounds(self, arch):
+        assert not arch.wire_exists(-1)
+        assert not arch.wire_exists(arch.n_wires)
+
+
+class TestDrivability:
+    def test_sources_never_drivable(self, arch):
+        assert not arch.drivable(5, 5, wires.S0_X)
+        assert not arch.drivable(5, 5, wires.GCLK[0])
+        assert not arch.drivable(5, 5, wires.DIRECT_W_OUT[0])
+
+    def test_singles_bidirectional(self, arch):
+        assert arch.drivable(5, 7, wires.SINGLE_E[5])
+        assert arch.drivable(5, 8, wires.SINGLE_W[5])  # far end, still drivable
+
+    def test_even_hexes_bidirectional(self, arch):
+        assert arch.drivable(3, 4, wires.HEX_E[4])
+        assert arch.drivable(3, 10, wires.HEX_W[4])
+
+    def test_odd_hexes_unidirectional(self, arch):
+        assert arch.drivable(3, 4, wires.HEX_E[5])
+        assert not arch.drivable(3, 10, wires.HEX_W[5])  # far-end alias
+
+    def test_is_bidirectional(self, arch):
+        assert arch.is_bidirectional(wires.SINGLE_N[0])
+        assert arch.is_bidirectional(wires.HEX_E[2])
+        assert not arch.is_bidirectional(wires.HEX_E[3])
+        assert arch.is_bidirectional(wires.LONG_H[0])
+        assert not arch.is_bidirectional(wires.OUT[0])
+
+
+class TestCostsAndClasses:
+    def test_wire_length(self, arch):
+        assert arch.wire_length(wires.SINGLE_E[0]) == 1
+        assert arch.wire_length(wires.HEX_N[0]) == 6
+        assert arch.wire_length(wires.LONG_H[0]) == arch.cols
+        assert arch.wire_length(wires.LONG_V[0]) == arch.rows
+
+    def test_wire_cost_ordering(self, arch):
+        assert arch.wire_cost(wires.OUT[0]) < arch.wire_cost(wires.SINGLE_E[0])
+        assert arch.wire_cost(wires.SINGLE_E[0]) < arch.wire_cost(wires.HEX_E[0])
+        assert arch.wire_cost(wires.HEX_E[0]) < arch.wire_cost(wires.LONG_H[0])
+
+    def test_wire_class_of(self, arch):
+        assert (
+            arch.wire_class_of(arch.canonicalize(1, 1, wires.SINGLE_E[0]))
+            is WireClass.SINGLE
+        )
+        assert (
+            arch.wire_class_of(arch.canonicalize(0, 0, wires.LONG_H[0]))
+            is WireClass.LONG_H
+        )
+        assert (
+            arch.wire_class_of(arch.canonicalize(0, 0, wires.GCLK[0]))
+            is WireClass.GCLK
+        )
+
+    def test_invalid_name_raises(self, arch):
+        with pytest.raises(ValueError):
+            arch.canonicalize(0, 0, wires.N_NAMES)
+
+
+class TestPartIndependence:
+    def test_same_wire_different_parts(self):
+        a = VirtexArch("XCV50")
+        b = VirtexArch("XCV1000")
+        # name-level data identical, canonical spaces differ
+        assert a.wire_name(wires.SINGLE_E[5]) == b.wire_name(wires.SINGLE_E[5])
+        assert a.n_wires < b.n_wires
+
+    def test_hexes_exist_deep_in_large_part(self):
+        b = VirtexArch("XCV1000")
+        assert b.canonicalize(50, 80, wires.HEX_E[0]) is not None

@@ -1,0 +1,130 @@
+"""Unit tests of the per-tile wire name space."""
+
+import pytest
+
+from repro.arch import wires
+from repro.arch.wires import Direction, WireClass
+
+
+class TestLayout:
+    def test_total_names(self):
+        assert wires.N_NAMES == 228
+
+    def test_class_sizes_match_paper(self):
+        # Section 2: 24 singles/dir, 12 accessible hexes/dir, 12 longs, 4 globals
+        assert wires.N_SINGLES_PER_DIR == 24
+        assert wires.N_HEXES_PER_DIR == 12
+        assert wires.N_LONGS == 12
+        assert wires.N_GCLK == 4
+
+    def test_name_ranges_disjoint_and_complete(self):
+        all_names = (
+            list(wires.OUT)
+            + list(range(wires.SLICE_OUT_BASE, wires.SLICE_OUT_BASE + 8))
+            + list(range(wires.SLICE_IN_BASE, wires.SLICE_IN_BASE + 20))
+            + list(range(wires.CTL_IN_BASE, wires.CTL_IN_BASE + 6))
+            + list(wires.SINGLE_E) + list(wires.SINGLE_N)
+            + list(wires.SINGLE_S) + list(wires.SINGLE_W)
+            + list(wires.HEX_E) + list(wires.HEX_N)
+            + list(wires.HEX_S) + list(wires.HEX_W)
+            + list(wires.LONG_H) + list(wires.LONG_V)
+            + list(wires.GCLK) + list(wires.DIRECT_W_OUT)
+            + list(wires.IOB_IN) + list(wires.IOB_OUT)
+        )
+        assert sorted(all_names) == list(range(wires.N_NAMES))
+
+    def test_slice_pin_constants(self):
+        assert wires.S0F[1] == wires.SLICE_IN_BASE
+        assert wires.S0F[4] == wires.SLICE_IN_BASE + 3
+        assert wires.S1G[4] == wires.SLICE_IN_BASE + 17
+        assert wires.S0F[0] is None  # 1-indexed like the paper's S0F1..F4
+
+    def test_wire_info_covers_every_name(self):
+        assert len(wires.WIRE_INFO) == wires.N_NAMES
+        for n in range(wires.N_NAMES):
+            assert wires.wire_info(n).name == n
+
+
+class TestMetadata:
+    @pytest.mark.parametrize("i", range(24))
+    def test_single_directions(self, i):
+        assert wires.wire_info(wires.SINGLE_E[i]).direction is Direction.EAST
+        assert wires.wire_info(wires.SINGLE_N[i]).direction is Direction.NORTH
+        assert wires.wire_info(wires.SINGLE_S[i]).direction is Direction.SOUTH
+        assert wires.wire_info(wires.SINGLE_W[i]).direction is Direction.WEST
+
+    def test_lengths(self):
+        assert wires.wire_info(wires.SINGLE_E[0]).length == 1
+        assert wires.wire_info(wires.HEX_N[3]).length == 6
+        assert wires.wire_info(wires.OUT[0]).length == 0
+        assert wires.wire_info(wires.LONG_H[0]).length == -1  # chip-spanning
+
+    def test_classes(self):
+        assert wires.wire_info(wires.OUT[7]).wire_class is WireClass.OUT
+        assert wires.wire_info(wires.S0_XQ).wire_class is WireClass.SLICE_OUT
+        assert wires.wire_info(wires.S1_BY).wire_class is WireClass.SLICE_IN
+        assert wires.wire_info(wires.S0_CLK).wire_class is WireClass.CTL_IN
+        assert wires.wire_info(wires.GCLK[3]).wire_class is WireClass.GCLK
+        assert wires.wire_info(wires.DIRECT_W_OUT[0]).wire_class is WireClass.DIRECT
+
+    def test_labels_roundtrip(self):
+        for n in range(wires.N_NAMES):
+            assert wires.parse_wire_name(wires.wire_name(n)) == n
+
+    def test_label_examples_match_paper_spelling(self):
+        assert wires.wire_name(wires.SINGLE_E[5]) == "SingleEast[5]"
+        assert wires.wire_name(wires.HEX_N[4]) == "HexNorth[4]"
+        assert wires.wire_name(wires.OUT[1]) == "Out[1]"
+        assert wires.wire_name(wires.S0F[3]) == "S0F3"
+        assert wires.wire_name(wires.S1_YQ) == "S1_YQ"
+
+    def test_parse_unknown_label(self):
+        with pytest.raises(KeyError):
+            wires.parse_wire_name("NoSuchWire[0]")
+
+
+class TestDirections:
+    def test_deltas_match_paper_walk(self):
+        # (5,7) --east--> (5,8): EAST is col+1; (5,8) --north--> (6,8): NORTH row+1
+        assert Direction.EAST.delta == (0, 1)
+        assert Direction.NORTH.delta == (1, 0)
+        assert Direction.SOUTH.delta == (-1, 0)
+        assert Direction.WEST.delta == (0, -1)
+
+    @pytest.mark.parametrize(
+        "d", [Direction.EAST, Direction.NORTH, Direction.SOUTH, Direction.WEST]
+    )
+    def test_opposites_involutive(self, d):
+        assert d.opposite.opposite is d
+
+    def test_opposite_pairs(self):
+        assert Direction.EAST.opposite is Direction.WEST
+        assert Direction.NORTH.opposite is Direction.SOUTH
+
+
+class TestSourceSinkClassification:
+    def test_slice_outputs_are_sources(self):
+        for n in range(wires.SLICE_OUT_BASE, wires.SLICE_OUT_BASE + 8):
+            assert wires.is_source_name(n)
+            assert not wires.is_sink_name(n)
+
+    def test_inputs_are_sinks(self):
+        for n in range(wires.SLICE_IN_BASE, wires.SLICE_IN_BASE + 20):
+            assert wires.is_sink_name(n)
+        for n in range(wires.CTL_IN_BASE, wires.CTL_IN_BASE + 6):
+            assert wires.is_sink_name(n)
+
+    def test_interconnect_is_neither(self):
+        for n in (wires.SINGLE_E[0], wires.HEX_W[5], wires.LONG_H[2], wires.OUT[3]):
+            assert not wires.is_source_name(n)
+            assert not wires.is_sink_name(n)
+
+    def test_all_lists(self):
+        assert len(wires.ALL_SOURCE_NAMES) == 8
+        assert len(wires.ALL_SINK_NAMES) == 26  # CLB sinks only (no pads)
+
+    def test_iob_classification(self):
+        for n in wires.IOB_IN:
+            assert wires.is_source_name(n)
+        for n in wires.IOB_OUT:
+            assert wires.is_sink_name(n)

@@ -1,0 +1,58 @@
+"""Unit tests of the bench metrics utilities."""
+
+import pytest
+
+from repro.bench.metrics import Table, best_of, time_call
+
+
+class TestTable:
+    def test_add_and_render(self):
+        t = Table("T", ["a", "b"])
+        t.add(1, 2.5)
+        t.add("x", 1234.0)
+        text = t.render()
+        assert "T" in text
+        assert "2.50" in text
+        assert "1,234" in text
+
+    def test_row_width_checked(self):
+        t = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_notes(self):
+        t = Table("T", ["a"])
+        t.add(1)
+        t.note("hello")
+        assert "note: hello" in t.render()
+
+    def test_as_dicts(self):
+        t = Table("T", ["a", "b"])
+        t.add(1, 2)
+        assert t.as_dicts() == [{"a": 1, "b": 2}]
+
+    def test_empty_table_renders(self):
+        t = Table("T", ["col"])
+        assert "col" in t.render()
+
+    def test_float_formats(self):
+        t = Table("T", ["v"])
+        for v in (0.0, 0.0001, 0.5, 2.0, 999.0, 1e6):
+            t.add(v)
+        text = t.render()
+        assert "0.0001" in text
+        assert "1,000,000" in text
+
+
+class TestTiming:
+    def test_time_call(self):
+        dt, result = time_call(lambda: 42)
+        assert result == 42
+        assert dt >= 0
+
+    def test_best_of(self):
+        calls = []
+        dt, result = best_of(lambda: calls.append(1) or len(calls), repeats=3)
+        assert len(calls) == 3
+        assert result == 3
+        assert dt >= 0

@@ -1,0 +1,83 @@
+"""Unit tests of the workload generators."""
+
+import pytest
+
+from repro.bench.workloads import (
+    dataflow_buses,
+    high_fanout_net,
+    large_bbox_nets,
+    random_p2p_nets,
+)
+
+
+class TestRandomP2P:
+    def test_count_and_span(self, arch):
+        nets = random_p2p_nets(arch, 20, seed=1, min_span=3, max_span=10)
+        assert len(nets) == 20
+        for net in nets:
+            h, w = net.bbox()
+            span = (h - 1) + (w - 1)
+            assert 3 <= span <= 10
+
+    def test_deterministic(self, arch):
+        a = random_p2p_nets(arch, 10, seed=5)
+        b = random_p2p_nets(arch, 10, seed=5)
+        assert [(n.source, n.sinks) for n in a] == [(n.source, n.sinks) for n in b]
+
+    def test_seeds_differ(self, arch):
+        a = random_p2p_nets(arch, 10, seed=5)
+        b = random_p2p_nets(arch, 10, seed=6)
+        assert [(n.source, n.sinks) for n in a] != [(n.source, n.sinks) for n in b]
+
+    def test_no_pin_reuse(self, arch):
+        nets = random_p2p_nets(arch, 50, seed=2)
+        sources = [(n.source.row, n.source.col, n.source.wire) for n in nets]
+        sinks = [(s.row, s.col, s.wire) for n in nets for s in n.sinks]
+        assert len(set(sources)) == len(sources)
+        assert len(set(sinks)) == len(sinks)
+
+    def test_impossible_span(self, arch):
+        with pytest.raises(RuntimeError):
+            random_p2p_nets(arch, 5, seed=0, min_span=1000)
+
+
+class TestHighFanout:
+    def test_fanout_count(self, arch):
+        net = high_fanout_net(arch, 12, seed=3)
+        assert net.fanout == 12
+
+    def test_source_centred(self, arch):
+        net = high_fanout_net(arch, 4, seed=3)
+        assert (net.source.row, net.source.col) == (arch.rows // 2, arch.cols // 2)
+
+    def test_all_in_bounds(self, arch):
+        net = high_fanout_net(arch, 20, seed=4)
+        for s in net.sinks:
+            assert arch.in_bounds(s.row, s.col)
+
+
+class TestDataflow:
+    def test_shape(self, arch):
+        buses = dataflow_buses(arch, stages=4, width=8, seed=0)
+        assert len(buses) == 3
+        for bus in buses:
+            assert len(bus) == 8
+
+    def test_stage_columns(self, arch):
+        buses = dataflow_buses(arch, stages=3, width=4, stage_gap=5, origin=(2, 1))
+        for s, bus in enumerate(buses):
+            for src, sink in bus:
+                assert src.col == 1 + s * 5
+                assert sink.col == 1 + (s + 1) * 5
+
+    def test_does_not_fit(self, arch):
+        with pytest.raises(RuntimeError):
+            dataflow_buses(arch, stages=20, width=8, stage_gap=3)
+
+
+class TestLargeBbox:
+    def test_spans_are_large(self, arch):
+        nets = large_bbox_nets(arch, 5, seed=9)
+        for net in nets:
+            h, w = net.bbox()
+            assert (h - 1) + (w - 1) >= (arch.rows + arch.cols) * 2 // 3

@@ -1,0 +1,33 @@
+"""Shared fixtures: one session-scoped architecture, fresh devices/routers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.virtex import VirtexArch
+from repro.core.router import JRouter
+from repro.device.fabric import Device
+
+
+@pytest.fixture(scope="session")
+def arch() -> VirtexArch:
+    """Session-wide XCV50 architecture (immutable)."""
+    return VirtexArch("XCV50")
+
+
+@pytest.fixture()
+def device() -> Device:
+    """A fresh, unconfigured XCV50 device."""
+    return Device("XCV50")
+
+
+@pytest.fixture()
+def router() -> JRouter:
+    """A fresh JRouter with attached JBits on XCV50."""
+    return JRouter(part="XCV50")
+
+
+@pytest.fixture()
+def router100() -> JRouter:
+    """A fresh JRouter on the larger XCV100 (for core placements)."""
+    return JRouter(part="XCV100")

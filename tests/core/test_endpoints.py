@@ -1,0 +1,124 @@
+"""Unit tests of Pin/Port endpoints and port groups."""
+
+import pytest
+
+from repro import errors
+from repro.arch import wires
+from repro.core.endpoints import Pin, Port, PortDirection, PortGroup
+
+
+class TestPin:
+    def test_fields(self):
+        p = Pin(5, 7, wires.S1_YQ)
+        assert (p.row, p.col, p.wire) == (5, 7, wires.S1_YQ)
+
+    def test_str(self):
+        assert str(Pin(5, 7, wires.S1_YQ)) == "S1_YQ@(5,7)"
+
+    def test_hashable_and_eq(self):
+        assert Pin(1, 2, 3) == Pin(1, 2, 3)
+        assert len({Pin(1, 2, 3), Pin(1, 2, 3), Pin(1, 2, 4)}) == 2
+
+    def test_key(self):
+        assert Pin(1, 2, 3).key == ("pin", 1, 2, 3)
+
+    def test_immutable(self):
+        with pytest.raises(Exception):
+            Pin(1, 2, 3).row = 9
+
+
+class TestPortBinding:
+    def test_bind_pin(self):
+        port = Port("d0", PortDirection.IN)
+        port.bind(Pin(1, 1, wires.S0F[1]))
+        assert port.resolve_pins() == [Pin(1, 1, wires.S0F[1])]
+
+    def test_in_port_multiple_pins(self):
+        port = Port("a0", PortDirection.IN)
+        port.bind(Pin(1, 1, wires.S0F[1]))
+        port.bind(Pin(1, 1, wires.S0G[1]))
+        assert len(port.resolve_pins()) == 2
+
+    def test_out_port_single_pin_only(self):
+        port = Port("q0", PortDirection.OUT)
+        port.bind(Pin(1, 1, wires.S0_XQ))
+        with pytest.raises(errors.PortError, match="already has a source"):
+            port.bind(Pin(1, 1, wires.S0_YQ))
+
+    def test_unbound_port_rejected(self):
+        port = Port("d0", PortDirection.IN)
+        with pytest.raises(errors.PortError, match="no pin bindings"):
+            port.resolve_pins()
+
+    def test_direction_mismatch(self):
+        inp = Port("i", PortDirection.IN)
+        outp = Port("o", PortDirection.OUT)
+        with pytest.raises(errors.PortError, match="cannot bind"):
+            inp.bind(outp)
+
+    def test_bind_garbage(self):
+        port = Port("d0", PortDirection.IN)
+        with pytest.raises(errors.PortError):
+            port.bind("not an endpoint")
+
+
+class TestPortNesting:
+    def test_nested_resolution(self):
+        inner = Port("q0", PortDirection.OUT)
+        inner.bind(Pin(3, 3, wires.S0_XQ))
+        outer = Port("q0", PortDirection.OUT)
+        outer.bind(inner)
+        assert outer.resolve_pins() == [Pin(3, 3, wires.S0_XQ)]
+
+    def test_two_level_nesting(self):
+        leaf = Port("x", PortDirection.IN)
+        leaf.bind(Pin(0, 0, wires.S0F[1]))
+        leaf.bind(Pin(0, 0, wires.S0F[2]))
+        mid = Port("y", PortDirection.IN)
+        mid.bind(leaf)
+        top = Port("z", PortDirection.IN)
+        top.bind(mid)
+        assert len(top.resolve_pins()) == 2
+
+    def test_cycle_detected(self):
+        a = Port("a", PortDirection.IN)
+        b = Port("b", PortDirection.IN)
+        a.bind(b)
+        b._bindings.append(a)  # force a cycle behind the API
+        with pytest.raises(errors.PortError, match="cycle"):
+            a.resolve_pins()
+
+
+class TestPortKey:
+    def test_key_without_owner(self):
+        p = Port("q0", PortDirection.OUT, group="q", index=0)
+        assert p.key == ("port", None, "q", 0, "q0")
+
+    def test_keys_differ_by_index(self):
+        a = Port("q0", PortDirection.OUT, group="q", index=0)
+        b = Port("q1", PortDirection.OUT, group="q", index=1)
+        assert a.key != b.key
+
+
+class TestPortGroup:
+    def make_ports(self, n):
+        return [Port(f"p{i}", PortDirection.IN) for i in range(n)]
+
+    def test_group_assigns_indices(self):
+        g = PortGroup("d", self.make_ports(3))
+        for i, p in enumerate(g):
+            assert p.group == "d"
+            assert p.index == i
+
+    def test_add(self):
+        g = PortGroup("d")
+        p = Port("x", PortDirection.IN)
+        g.add(p)
+        assert p.index == 0
+        assert len(g) == 1
+        assert g[0] is p
+
+    def test_ports_tuple(self):
+        g = PortGroup("d", self.make_ports(2))
+        assert isinstance(g.ports, tuple)
+        assert len(g.ports) == 2

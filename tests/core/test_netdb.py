@@ -1,0 +1,116 @@
+"""Unit tests of the net database and port-connection memory."""
+
+import pytest
+
+from repro import errors
+from repro.arch import wires
+from repro.core.endpoints import Pin, Port, PortDirection
+from repro.core.netdb import NetDB, endpoint_ref
+
+
+def out_port(name="q0", row=2, col=2):
+    p = Port(name, PortDirection.OUT, group="q", index=0)
+    p.bind(Pin(row, col, wires.S0_XQ))
+    return p
+
+
+def in_port(name="d0", row=5, col=5):
+    p = Port(name, PortDirection.IN, group="d", index=0)
+    p.bind(Pin(row, col, wires.S0F[1]))
+    return p
+
+
+class TestRefs:
+    def test_pin_ref_roundtrip(self):
+        db = NetDB()
+        pin = Pin(3, 4, wires.S0F[2])
+        assert db.resolve_ref(endpoint_ref(pin)) == pin
+
+    def test_port_ref_requires_registration(self):
+        db = NetDB()
+        p = out_port()
+        with pytest.raises(errors.PortError, match="no live port"):
+            db.resolve_ref(p.key)
+        db.register_port(p)
+        assert db.resolve_ref(p.key) is p
+
+    def test_reregistration_replaces(self):
+        db = NetDB()
+        old = out_port()
+        new = out_port()
+        db.register_port(old)
+        db.register_port(new)  # same key (no owner): the new object wins
+        assert db.resolve_ref(old.key) is new
+
+    def test_bad_ref(self):
+        db = NetDB()
+        with pytest.raises(errors.PortError):
+            endpoint_ref("garbage")
+
+
+class TestMemory:
+    def test_remember_both_sides(self):
+        db = NetDB()
+        src = out_port()
+        sink = in_port()
+        db.remember_connection(src, sink)
+        assert db.memory_of(src).sinks == [sink.key]
+        assert db.memory_of(sink).sources == [src.key]
+
+    def test_pin_counterparts_stored_directly(self):
+        db = NetDB()
+        src = out_port()
+        pin = Pin(9, 9, wires.S1F[3])
+        db.remember_connection(src, pin)
+        assert db.memory_of(src).sinks == [pin.key]
+
+    def test_pin_to_pin_remembers_nothing(self):
+        db = NetDB()
+        db.remember_connection(Pin(1, 1, wires.S0_X), Pin(2, 2, wires.S0F[1]))
+        assert db.port_memory == {}
+
+    def test_no_duplicates(self):
+        db = NetDB()
+        src, sink = out_port(), in_port()
+        db.remember_connection(src, sink)
+        db.remember_connection(src, sink)
+        assert db.memory_of(src).sinks == [sink.key]
+
+    def test_forget(self):
+        db = NetDB()
+        src, sink = out_port(), in_port()
+        db.remember_connection(src, sink)
+        db.forget_connection(src, sink)
+        assert db.memory_of(src).sinks == []
+        assert db.memory_of(sink).sources == []
+
+    def test_memory_of_unknown_port_is_empty(self):
+        db = NetDB()
+        mem = db.memory_of(out_port())
+        assert mem.sources == [] and mem.sinks == []
+
+
+class TestNetRecords:
+    def test_record_and_drop(self):
+        db = NetDB()
+        src_ep = Pin(1, 1, wires.S0_X)
+        db.record_net(100, src_ep, [200, 300])
+        db.record_net(100, src_ep, [400])
+        assert db.net_sinks[100] == {200, 300, 400}
+        db.drop_sink(100, 200)
+        assert db.net_sinks[100] == {300, 400}
+        db.drop_net(100)
+        assert 100 not in db.net_sinks
+
+    def test_drop_last_sink_drops_net(self):
+        db = NetDB()
+        db.record_net(100, Pin(1, 1, wires.S0_X), [200])
+        db.drop_sink(100, 200)
+        assert 100 not in db.net_sinks
+
+    def test_nets_snapshot_is_copy(self):
+        db = NetDB()
+        db.record_net(100, Pin(1, 1, wires.S0_X), [200])
+        snap = db.nets()
+        snap[100].add(999)
+        assert db.net_sinks[100] == {200}

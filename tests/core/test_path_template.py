@@ -1,0 +1,86 @@
+"""Unit tests of Path and Template route descriptions."""
+
+import pytest
+
+from repro import errors
+from repro.arch import wires
+from repro.arch.templates import TemplateValue as TV
+from repro.core.path import Path
+from repro.core.template import Template
+
+
+class TestPathResolution:
+    def test_paper_example(self, device):
+        p = Path(5, 7, [wires.S1_YQ, wires.OUT[1], wires.SINGLE_E[5],
+                        wires.SINGLE_N[0], wires.S0F[3]])
+        plan = p.resolve(device)
+        assert plan == [
+            (5, 7, wires.S1_YQ, wires.OUT[1]),
+            (5, 7, wires.OUT[1], wires.SINGLE_E[5]),
+            (5, 8, wires.SINGLE_W[5], wires.SINGLE_N[0]),
+            (6, 8, wires.SINGLE_S[0], wires.S0F[3]),
+        ]
+
+    def test_too_short(self):
+        with pytest.raises(errors.JRouteError):
+            Path(0, 0, [wires.S1_YQ])
+
+    def test_unrealizable_step(self, device):
+        p = Path(5, 7, [wires.S1_YQ, wires.S0F[1]])  # no such PIP
+        with pytest.raises(errors.InvalidPipError, match="path step 1"):
+            p.resolve(device)
+
+    def test_bad_start(self, device):
+        p = Path(0, device.cols - 1, [wires.SINGLE_E[0], wires.SINGLE_N[0]])
+        with pytest.raises(errors.InvalidResourceError):
+            p.resolve(device)
+
+    def test_hex_advances_six_tiles(self, device):
+        # OUT[1] drives HEX_E[1] (j + 3*0 + 0 = 1); its far end is col+6
+        p = Path(5, 2, [wires.OUT[1], wires.HEX_E[1]])
+        plan = p.resolve(device)
+        assert plan == [(5, 2, wires.OUT[1], wires.HEX_E[1])]
+
+    def test_len_and_str(self):
+        p = Path(5, 7, [wires.S1_YQ, wires.OUT[1]])
+        assert len(p) == 2
+        assert "S1_YQ" in str(p) and "(5,7)" in str(p)
+
+    def test_resolution_is_pure(self, device):
+        """resolve() must not mutate the device."""
+        p = Path(5, 7, [wires.S1_YQ, wires.OUT[1], wires.SINGLE_E[5]])
+        p.resolve(device)
+        assert device.state.n_pips_on == 0
+
+
+class TestTemplate:
+    def test_construction_from_ints(self):
+        t = Template([int(TV.OUTMUX), int(TV.EAST1), int(TV.CLBIN)])
+        assert t[0] is TV.OUTMUX
+        assert len(t) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(errors.JRouteError):
+            Template([])
+
+    def test_eq_hash(self):
+        a = Template([TV.OUTMUX, TV.CLBIN])
+        b = Template([TV.OUTMUX, TV.CLBIN])
+        c = Template([TV.OUTMUX, TV.EAST1, TV.CLBIN])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_str(self):
+        assert str(Template([TV.NORTH6])) == "Template[NORTH6]"
+
+    def test_displacement(self):
+        t = Template([TV.OUTMUX, TV.EAST6, TV.EAST1, TV.NORTH1, TV.SOUTH6, TV.CLBIN])
+        assert t.displacement() == (1 - 6, 6 + 1)
+
+    def test_displacement_rejects_longs(self):
+        with pytest.raises(ValueError):
+            Template([TV.LONGH]).displacement()
+
+    def test_iteration(self):
+        vals = [TV.OUTMUX, TV.WEST1, TV.CLBIN]
+        assert list(Template(vals)) == vals

@@ -1,0 +1,102 @@
+"""Port-system integration: memory across call forms, hierarchy, errors."""
+
+import pytest
+
+from repro import errors
+from repro.arch import wires
+from repro.core import Pin, Port, PortDirection
+from repro.cores import AdderCore, ConstantCore, CounterCore, RegisterCore
+
+
+class TestPortDirectionEnforcement:
+    def test_in_port_cannot_source(self, router100):
+        reg = RegisterCore(router100, "reg", 2, 2, width=2)
+        with pytest.raises(errors.PortError, match="cannot source"):
+            router100.route(reg.get_ports("d")[0], Pin(5, 5, wires.S0F[1]))
+
+    def test_out_port_cannot_sink(self, router100):
+        reg = RegisterCore(router100, "reg", 2, 2, width=2)
+        with pytest.raises(errors.PortError, match="cannot sink"):
+            router100.route(Pin(5, 5, wires.S0_X), reg.get_ports("q")[0])
+
+    def test_non_endpoint_rejected(self, router):
+        with pytest.raises(errors.PortError):
+            router.source_pin_of("garbage")
+        with pytest.raises(errors.PortError):
+            router.sink_pins_of(42)
+
+
+class TestMemoryAcrossCallForms:
+    def test_bus_call_remembers_per_port(self, router100):
+        k = ConstantCore(router100, "k", 2, 2, width=4, value=9)
+        reg = RegisterCore(router100, "reg", 2, 4, width=4)
+        router100.route(list(k.get_ports("out")), list(reg.get_ports("d")))
+        for i in range(4):
+            mem = router100.netdb.memory_of(reg.get_ports("d")[i])
+            assert mem.sources == [k.get_ports("out")[i].key]
+            mem = router100.netdb.memory_of(k.get_ports("out")[i])
+            assert mem.sinks == [reg.get_ports("d")[i].key]
+
+    def test_fanout_call_remembers_each_sink(self, router100):
+        k = ConstantCore(router100, "k", 2, 2, width=1, value=1)
+        r1 = RegisterCore(router100, "r1", 2, 4, width=1)
+        r2 = RegisterCore(router100, "r2", 2, 6, width=1)
+        src = k.get_ports("out")[0]
+        router100.route(src, [r1.get_ports("d")[0], r2.get_ports("d")[0]])
+        mem = router100.netdb.memory_of(src)
+        assert set(mem.sinks) == {
+            r1.get_ports("d")[0].key, r2.get_ports("d")[0].key
+        }
+
+    def test_port_to_pin_remembers_on_port_side(self, router100):
+        k = ConstantCore(router100, "k", 2, 2, width=1, value=1)
+        sink = Pin(8, 8, wires.S0F[1])
+        router100.route(k.get_ports("out")[0], sink)
+        mem = router100.netdb.memory_of(k.get_ports("out")[0])
+        assert mem.sinks == [sink.key]
+
+
+class TestHierarchyRouting:
+    def test_route_into_counter_clk_through_nested_port(self, router100):
+        ctr = CounterCore(router100, "ctr", 2, 2, width=2)
+        router100.route_clock(0, [ctr.get_ports("clk")[0]])
+        # the nested binding resolved to the register's physical clk pins
+        reg = next(c for c in ctr.children if c.instance_name.endswith("/reg"))
+        for pin in reg.get_ports("clk")[0].resolve_pins():
+            assert router100.is_on(pin.row, pin.col, pin.wire)
+
+    def test_counter_q_sources_external_route(self, router100):
+        ctr = CounterCore(router100, "ctr", 2, 2, width=2)
+        sink = Pin(10, 10, wires.S0F[1])
+        router100.route(ctr.get_ports("q")[0], sink)
+        src_pin = router100.source_pin_of(ctr.get_ports("q")[0])
+        canon = router100.device.resolve(sink.row, sink.col, sink.wire)
+        root = router100.device.state.root_of(canon)
+        assert root == router100.device.resolve(
+            src_pin.row, src_pin.col, src_pin.wire
+        )
+
+
+class TestAdderCinCout:
+    def test_chained_adders_via_carry_ports(self, router100):
+        """Two 4-bit adders chained into an 8-bit one via cout -> cin."""
+        lo = AdderCore(router100, "lo", 2, 2, width=4)
+        hi = AdderCore(router100, "hi", 2, 4, width=4)
+        router100.route(lo.get_ports("cout")[0], hi.get_ports("cin")[0])
+        from repro.cores import ConstantCore as K
+        from repro.sim import Simulator
+
+        a = K(router100, "a", 2, 6, width=4, value=0xF)
+        b = K(router100, "b", 2, 8, width=4, value=0x1)
+        router100.route(list(a.get_ports("out")), list(lo.get_ports("a")))
+        router100.route(list(b.get_ports("out")), list(lo.get_ports("b")))
+        zero_a = K(router100, "za", 2, 10, width=4, value=0)
+        zero_b = K(router100, "zb", 2, 12, width=4, value=0)
+        router100.route(list(zero_a.get_ports("out")), list(hi.get_ports("a")))
+        router100.route(list(zero_b.get_ports("out")), list(hi.get_ports("b")))
+        sim = Simulator(router100.device, router100.jbits)
+        total = (
+            sim.read_bus(lo.get_ports("sum"))
+            | (sim.read_bus(hi.get_ports("sum")) << 4)
+        )
+        assert total == 0xF + 0x1  # the carry crossed the core boundary

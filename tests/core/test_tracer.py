@@ -1,0 +1,71 @@
+"""Debugging features (Section 3.5): trace and reverseTrace."""
+
+import pytest
+
+from repro.arch import wires
+from repro.core import Pin
+
+SRC = Pin(5, 7, wires.S1_YQ)
+
+
+class TestTrace:
+    def test_whole_net_returned(self, router):
+        sinks = [Pin(6, 8, wires.S0F[3]), Pin(9, 12, wires.S0G[1])]
+        router.route(SRC, sinks)
+        trace = router.trace(SRC)
+        assert len(trace.sinks) == 2
+        assert len(trace.wires) == len(trace.pips) + 1
+        # wires list is preorder: first is the source
+        assert trace.wires[0] == router.device.resolve(5, 7, wires.S1_YQ)
+
+    def test_empty_net(self, router):
+        trace = router.trace(SRC)
+        assert trace.sinks == []
+        assert trace.pips == []
+        assert len(trace.wires) == 1
+
+    def test_describe(self, router):
+        router.route(SRC, Pin(6, 8, wires.S0F[3]))
+        text = router.trace(SRC).describe(router.device)
+        assert "S1_YQ@(5,7)" in text
+        assert "S0F3" in text
+        assert "sink" in text
+
+    def test_trace_pips_match_state(self, router):
+        router.route(SRC, Pin(6, 8, wires.S0F[3]))
+        trace = router.trace(SRC)
+        for rec in trace.pips:
+            assert router.device.pip_is_on(rec.row, rec.col, rec.from_name, rec.to_name)
+
+
+class TestReverseTrace:
+    def test_branch_only(self, router):
+        sinks = [Pin(6, 8, wires.S0F[3]), Pin(9, 12, wires.S0G[1])]
+        router.route(SRC, sinks)
+        path = router.reverse_trace(sinks[0])
+        assert path[0].canon_from == router.device.resolve(5, 7, wires.S1_YQ)
+        assert path[-1].canon_to == router.device.resolve(6, 8, wires.S0F[3])
+        # a reverse trace is a simple chain: each pip drives the next's from
+        for a, b in zip(path, path[1:]):
+            assert a.canon_to == b.canon_from
+
+    def test_reverse_trace_shorter_than_net(self, router):
+        sinks = [Pin(6, 8, wires.S0F[3]), Pin(12, 20, wires.S0G[1])]
+        router.route(SRC, sinks)
+        whole = router.trace(SRC)
+        branch = router.reverse_trace(sinks[0])
+        assert len(branch) < len(whole.pips)
+
+    def test_undriven_sink(self, router):
+        assert router.reverse_trace(Pin(6, 8, wires.S0F[3])) == []
+
+    def test_consistency_with_forward(self, router):
+        """Every sink's reverse trace is a subset of the forward trace."""
+        sinks = [Pin(6, 8, wires.S0F[3]), Pin(9, 12, wires.S0G[1]),
+                 Pin(3, 2, wires.S1F[2])]
+        router.route(SRC, sinks)
+        forward = {(p.row, p.col, p.from_name, p.to_name)
+                   for p in router.trace(SRC).pips}
+        for s in sinks:
+            for rec in router.reverse_trace(s):
+                assert (rec.row, rec.col, rec.from_name, rec.to_name) in forward

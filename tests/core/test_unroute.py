@@ -1,0 +1,109 @@
+"""The unrouter (Section 3.3): forward and reverse semantics."""
+
+import pytest
+
+from repro import errors
+from repro.arch import wires
+from repro.core import Pin
+
+
+SRC = Pin(5, 7, wires.S1_YQ)
+
+
+class TestForwardUnroute:
+    def test_removes_whole_net(self, router):
+        router.route(SRC, Pin(6, 8, wires.S0F[3]))
+        assert router.unroute(SRC) > 0
+        assert router.device.state.n_pips_on == 0
+        assert not router.device.state.occupied.any()
+
+    def test_frees_exact_resources(self, router):
+        """Unrouting restores the exact prior free-resource set."""
+        router.route(Pin(2, 2, wires.S0_X), Pin(10, 15, wires.S1F[1]))
+        snapshot = router.device.state.occupied.copy()
+        router.route(SRC, [Pin(6, 8, wires.S0F[3]), Pin(9, 12, wires.S0G[1])])
+        router.unroute(SRC)
+        assert (router.device.state.occupied == snapshot).all()
+
+    def test_unroute_empty_net(self, router):
+        assert router.unroute(SRC) == 0
+
+    def test_drops_net_record(self, router):
+        router.route(SRC, Pin(6, 8, wires.S0F[3]))
+        src = router.device.resolve(5, 7, wires.S1_YQ)
+        assert src in router.netdb.net_sinks
+        router.unroute(SRC)
+        assert src not in router.netdb.net_sinks
+
+    def test_bitstream_cleared(self, router):
+        router.route(SRC, Pin(6, 8, wires.S0F[3]))
+        router.unroute(SRC)
+        from repro.jbits.readback import decode_pips
+
+        assert decode_pips(router.jbits.memory) == set()
+
+
+class TestReverseUnroute:
+    def setup_fanout(self, router):
+        sinks = [Pin(6, 8, wires.S0F[3]), Pin(9, 12, wires.S0G[1]),
+                 Pin(3, 2, wires.S1F[2])]
+        router.route(SRC, sinks)
+        return sinks
+
+    def test_removes_only_branch(self, router):
+        sinks = self.setup_fanout(router)
+        before = router.device.state.n_pips_on
+        removed = router.reverse_unroute(sinks[1])
+        assert 0 < removed < before
+        trace = router.trace(SRC)
+        assert len(trace.sinks) == 2
+        remaining = {
+            router.device.resolve(p.row, p.col, p.wire) for p in (sinks[0], sinks[2])
+        }
+        assert set(trace.sinks) == remaining
+
+    def test_stops_at_fanout_point(self, router):
+        """'It stops there because only the branch to the given sink is to
+        be unrouted.'"""
+        sinks = self.setup_fanout(router)
+        router.reverse_unroute(sinks[0])
+        # the other two sinks still trace back to the source
+        for s in (sinks[1], sinks[2]):
+            path = router.reverse_trace(s)
+            assert path
+            assert path[0].canon_from == router.device.resolve(5, 7, wires.S1_YQ)
+
+    def test_reverse_unroute_single_sink_net(self, router):
+        sink = Pin(6, 8, wires.S0F[3])
+        router.route(SRC, sink)
+        router.reverse_unroute(sink)
+        # whole net gone (no fanout point to stop at)
+        assert router.device.state.n_pips_on == 0
+
+    def test_reverse_then_forward_free(self, router):
+        sinks = self.setup_fanout(router)
+        router.reverse_unroute(sinks[0])
+        # freed resources are reusable: route another net through there
+        router.route(Pin(7, 7, wires.S0_X), Pin(6, 8, wires.S0F[3]))
+
+    def test_undriven_sink_is_noop(self, router):
+        assert router.reverse_unroute(Pin(6, 8, wires.S0F[3])) == 0
+
+    def test_drops_sink_record(self, router):
+        sinks = self.setup_fanout(router)
+        src = router.device.resolve(5, 7, wires.S1_YQ)
+        gone = router.device.resolve(sinks[1].row, sinks[1].col, sinks[1].wire)
+        router.reverse_unroute(sinks[1])
+        assert gone not in router.netdb.net_sinks[src]
+
+
+class TestUnrouteReRoute:
+    def test_cycle(self, router):
+        """Route / unroute / route again, many times, no leaks."""
+        sink = Pin(6, 8, wires.S0F[3])
+        for _ in range(5):
+            router.route(SRC, sink)
+            router.unroute(SRC)
+        assert router.device.state.n_pips_on == 0
+        assert not router.device.state.occupied.any()
+        assert router.device.state.children == {}

@@ -1,0 +1,158 @@
+"""Unit tests of the Core base class and the floorplan."""
+
+import pytest
+
+from repro import errors
+from repro.core import JRouter, Pin, PortDirection
+from repro.cores import AdderCore, ConstantCore, Floorplan, Rect, RegisterCore
+from repro.cores.core import Core
+
+
+class TestRect:
+    def test_overlap(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.overlaps(Rect(1, 1, 2, 2))
+        assert not a.overlaps(Rect(2, 0, 1, 1))
+        assert not a.overlaps(Rect(0, 2, 1, 1))
+        assert a.overlaps(a)
+
+    def test_contains_tile(self):
+        r = Rect(2, 3, 2, 4)
+        assert r.contains_tile(2, 3)
+        assert r.contains_tile(3, 6)
+        assert not r.contains_tile(4, 3)
+        assert not r.contains_tile(2, 7)
+
+
+class TestFloorplan:
+    def test_place_and_remove(self):
+        fp = Floorplan(16, 24)
+        fp.place("a", Rect(0, 0, 2, 2))
+        assert fp.rect_of("a") == Rect(0, 0, 2, 2)
+        fp.remove("a")
+        assert fp.rect_of("a") is None
+
+    def test_overlap_rejected(self):
+        fp = Floorplan(16, 24)
+        fp.place("a", Rect(0, 0, 4, 4))
+        with pytest.raises(errors.PlacementError, match="overlaps"):
+            fp.place("b", Rect(2, 2, 4, 4))
+
+    def test_out_of_bounds(self):
+        fp = Floorplan(16, 24)
+        with pytest.raises(errors.PlacementError, match="does not fit"):
+            fp.place("a", Rect(14, 0, 4, 1))
+        with pytest.raises(errors.PlacementError):
+            fp.place("a", Rect(-1, 0, 1, 1))
+
+    def test_duplicate_name(self):
+        fp = Floorplan(16, 24)
+        fp.place("a", Rect(0, 0, 1, 1))
+        with pytest.raises(errors.PlacementError, match="already placed"):
+            fp.place("a", Rect(5, 5, 1, 1))
+
+    def test_placed_snapshot(self):
+        fp = Floorplan(16, 24)
+        fp.place("a", Rect(0, 0, 1, 1))
+        snap = fp.placed()
+        snap["b"] = Rect(1, 1, 1, 1)
+        assert "b" not in fp.placed()
+
+
+class TestCoreLifecycle:
+    def test_requires_jbits(self):
+        router = JRouter(part="XCV50", attach_jbits=False)
+        with pytest.raises(errors.PlacementError, match="JBits"):
+            ConstantCore(router, "c", 0, 0, width=1, value=1)
+
+    def test_overlapping_cores_rejected(self, router):
+        ConstantCore(router, "a", 0, 0, width=8, value=3)
+        with pytest.raises(errors.PlacementError):
+            ConstantCore(router, "b", 1, 0, width=4, value=1)
+
+    def test_failed_build_releases_area(self, router):
+        with pytest.raises(errors.PortError):
+            ConstantCore(router, "a", 0, 0, width=2, value=9)  # value too wide
+        # area is free again
+        ConstantCore(router, "a", 0, 0, width=2, value=3)
+
+    def test_remove_clears_luts_and_area(self, router):
+        c = ConstantCore(router, "a", 0, 0, width=4, value=0xF)
+        assert router.jbits.get_lut(0, 0, 0) != 0
+        c.remove()
+        assert router.jbits.get_lut(0, 0, 0) == 0
+        ConstantCore(router, "a2", 0, 0, width=4, value=1)  # area reusable
+
+    def test_remove_unroutes_internal_nets(self, router):
+        add = AdderCore(router, "add", 0, 0, width=4)
+        assert router.device.state.n_pips_on > 0
+        add.remove()
+        assert router.device.state.n_pips_on == 0
+
+    def test_remove_idempotent(self, router):
+        c = ConstantCore(router, "a", 0, 0, width=1, value=1)
+        c.remove()
+        c.remove()
+
+    def test_lut_outside_footprint_rejected(self, router):
+        class BadCore(Core):
+            def footprint(self):
+                return Rect(self.row, self.col, 1, 1)
+
+            def build(self):
+                self.set_lut(3, 0, 0, 0xFFFF)  # outside 1x1
+
+        with pytest.raises(errors.PlacementError, match="outside its"):
+            BadCore(router, "bad", 0, 0)
+
+    def test_get_ports_unknown_group(self, router):
+        c = ConstantCore(router, "a", 0, 0, width=1, value=1)
+        with pytest.raises(errors.PortError, match="no port group"):
+            c.get_ports("nope")
+
+    def test_parameters(self, router):
+        c = ConstantCore(router, "a", 0, 0, width=4, value=5)
+        assert c.parameters() == {"width": 4, "value": 5}
+
+
+class TestHierarchy:
+    def test_child_outside_parent_rejected(self, router100):
+        from repro.cores import CounterCore
+
+        class Bad(CounterCore):
+            def build(self):
+                # place the adder outside the counter's footprint
+                AdderCore(self.router, "add", self.row + 50, self.col,
+                          width=self.width, parent=self)
+
+        with pytest.raises(errors.PlacementError, match="parent"):
+            Bad(router100, "b", 2, 2, width=4)
+
+    def test_sibling_overlap_rejected(self, router100):
+        class Bad(Core):
+            HEIGHT, WIDTH = 4, 2
+
+            def build(self):
+                ConstantCore(self.router, "k1", self.row, self.col,
+                             width=4, value=1, parent=self)
+                ConstantCore(self.router, "k2", self.row, self.col,
+                             width=4, value=2, parent=self)
+
+        with pytest.raises(errors.PlacementError, match="sibling"):
+            Bad(router100, "b", 2, 2)
+
+    def test_child_names_are_qualified(self, router100):
+        from repro.cores import CounterCore
+
+        ctr = CounterCore(router100, "ctr", 2, 2, width=4)
+        names = {c.instance_name for c in ctr.children}
+        assert names == {"ctr/add", "ctr/reg", "ctr/one"}
+
+    def test_children_not_in_global_floorplan(self, router100):
+        from repro.cores import CounterCore
+        from repro.cores.core import _floorplan_of
+
+        ctr = CounterCore(router100, "ctr", 2, 2, width=4)
+        placed = _floorplan_of(router100).placed()
+        assert "ctr" in placed
+        assert "ctr/add" not in placed

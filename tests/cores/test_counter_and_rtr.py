@@ -1,0 +1,150 @@
+"""Counter composition (Section 4) and the RTR replace/relocate flows
+(Section 3.3)."""
+
+import pytest
+
+from repro import errors
+from repro.arch import wires
+from repro.core import Pin, PortDirection
+from repro.cores import (
+    ConstantMultiplierCore,
+    CounterCore,
+    RegisterCore,
+    relocate_core,
+    replace_core,
+)
+from repro.device.contention import audit_no_contention
+from repro.jbits.readback import verify_against_device
+
+
+class TestCounter:
+    def test_structure(self, router100):
+        ctr = CounterCore(router100, "ctr", 2, 2, width=4)
+        assert len(ctr.children) == 3
+        assert len(ctr.get_ports("q")) == 4
+        assert len(ctr.get_ports("clk")) == 1
+
+    def test_internal_buses_routed(self, router100):
+        router100_pips0 = router100.device.state.n_pips_on
+        CounterCore(router100, "ctr", 2, 2, width=4)
+        # sum->d, q->a (x2 sinks per a-port... a ports bind 2 pins), one->b
+        assert router100.device.state.n_pips_on > router100_pips0 + 20
+        assert audit_no_contention(router100.device) == []
+
+    def test_outer_q_delegates_to_register(self, router100):
+        ctr = CounterCore(router100, "ctr", 2, 2, width=4)
+        reg = next(c for c in ctr.children if c.instance_name.endswith("/reg"))
+        assert (
+            ctr.get_ports("q")[0].resolve_pins()
+            == reg.get_ports("q")[0].resolve_pins()
+        )
+
+    def test_external_connection_from_counter(self, router100):
+        ctr = CounterCore(router100, "ctr", 2, 2, width=4)
+        mon = RegisterCore(router100, "mon", 2, 8, width=4)
+        router100.route(list(ctr.get_ports("q")), list(mon.get_ports("d")))
+        trace = router100.trace(ctr.get_ports("q")[0])
+        # the q net reaches both the internal feedback and the monitor
+        assert len(trace.sinks) >= 2
+
+    def test_remove_counter_cleans_everything(self, router100):
+        ctr = CounterCore(router100, "ctr", 2, 2, width=4)
+        ctr.remove()
+        assert router100.device.state.n_pips_on == 0
+        assert verify_against_device(router100.jbits.memory, router100.device) == []
+
+
+class TestReplace:
+    def build(self, router):
+        kcm = ConstantMultiplierCore(router, "kcm", 2, 2, width=4, constant=5)
+        reg = RegisterCore(router, "reg", 2, 6, width=kcm.out_width)
+        router.route(list(kcm.get_ports("out")), list(reg.get_ports("d")))
+        return kcm, reg
+
+    def test_replace_reconnects(self, router100):
+        kcm, reg = self.build(router100)
+        pips = router100.device.state.n_pips_on
+        new = replace_core(kcm, constant=7)
+        assert new.constant == 7
+        assert router100.device.state.n_pips_on == pips
+        # every register input is driven again
+        for p in reg.get_ports("d"):
+            pin = p.resolve_pins()[0]
+            assert router100.device.state.is_driven(
+                router100.device.resolve(pin.row, pin.col, pin.wire)
+            )
+        assert audit_no_contention(router100.device) == []
+
+    def test_replace_updates_luts(self, router100):
+        kcm, _ = self.build(router100)
+        from repro.cores import kcm_truth
+
+        replace_core(kcm, constant=7)
+        assert router100.jbits.get_lut(2, 2, 0) == kcm_truth(7, 0)
+
+    def test_replace_child_rejected(self, router100):
+        ctr = CounterCore(router100, "ctr", 8, 8, width=4)
+        with pytest.raises(errors.PlacementError):
+            replace_core(ctr.children[0])
+
+    def test_replace_different_class(self, router100):
+        from repro.cores import ConstantCore
+
+        k = ConstantCore(router100, "k", 2, 2, width=4, value=1)
+        reg = RegisterCore(router100, "reg", 2, 6, width=4)
+        router100.route(list(k.get_ports("out")), list(reg.get_ports("d")))
+        # same ports (out group), different class is allowed
+        new = replace_core(k, value=3)
+        assert new.value == 3
+
+
+class TestRelocate:
+    def test_relocate_reconnects(self, router100):
+        kcm = ConstantMultiplierCore(router100, "kcm", 2, 2, width=4, constant=5)
+        reg = RegisterCore(router100, "reg", 2, 8, width=kcm.out_width)
+        router100.route(list(kcm.get_ports("out")), list(reg.get_ports("d")))
+        new = relocate_core(kcm, 10, 2)
+        assert (new.row, new.col) == (10, 2)
+        for p in reg.get_ports("d"):
+            pin = p.resolve_pins()[0]
+            assert router100.device.state.is_driven(
+                router100.device.resolve(pin.row, pin.col, pin.wire)
+            )
+        assert audit_no_contention(router100.device) == []
+        assert verify_against_device(router100.jbits.memory, router100.device) == []
+
+    def test_relocate_to_occupied_spot_restores(self, router100):
+        kcm = ConstantMultiplierCore(router100, "kcm", 2, 2, width=4, constant=5)
+        blocker = RegisterCore(router100, "blk", 10, 2, width=4)
+        reg = RegisterCore(router100, "reg", 2, 8, width=kcm.out_width)
+        router100.route(list(kcm.get_ports("out")), list(reg.get_ports("d")))
+        with pytest.raises(errors.PlacementError):
+            relocate_core(kcm, 10, 2)
+        # the original placement is restored and reconnected
+        from repro.cores.core import _floorplan_of
+
+        assert _floorplan_of(router100).rect_of("kcm") is not None
+        for p in reg.get_ports("d"):
+            pin = p.resolve_pins()[0]
+            assert router100.device.state.is_driven(
+                router100.device.resolve(pin.row, pin.col, pin.wire)
+            )
+
+    def test_relocate_counter_with_children(self, router100):
+        ctr = CounterCore(router100, "ctr", 2, 2, width=4)
+        mon = RegisterCore(router100, "mon", 2, 8, width=4)
+        router100.route(list(ctr.get_ports("q")), list(mon.get_ports("d")))
+        new = relocate_core(ctr, 8, 2)
+        assert (new.row, new.col) == (8, 2)
+        assert len(new.children) == 3
+        for p in mon.get_ports("d"):
+            pin = p.resolve_pins()[0]
+            assert router100.device.state.is_driven(
+                router100.device.resolve(pin.row, pin.col, pin.wire)
+            )
+        assert audit_no_contention(router100.device) == []
+
+    def test_relocate_child_rejected(self, router100):
+        ctr = CounterCore(router100, "ctr", 2, 2, width=4)
+        with pytest.raises(errors.PlacementError):
+            relocate_core(ctr.children[0], 0, 0)

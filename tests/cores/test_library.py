@@ -1,0 +1,220 @@
+"""Unit tests of the run-time parameterizable core library."""
+
+import pytest
+
+from repro import errors
+from repro.arch import wires
+from repro.core import Pin, PortDirection
+from repro.cores import (
+    AdderCore,
+    And2Core,
+    ComparatorCore,
+    ConstantCore,
+    ConstantMultiplierCore,
+    InverterCore,
+    Mux2Core,
+    Or2Core,
+    RegisterCore,
+    ShiftRegisterCore,
+    Xor2Core,
+    kcm_truth,
+)
+from repro.cores.library.primitives import (
+    TRUTH_MAJ3,
+    TRUTH_PASS_A,
+    TRUTH_XOR3,
+    site_of_bit,
+    truth_of,
+)
+from repro.device.contention import audit_no_contention
+
+
+class TestPrimitives:
+    def test_site_packing_4(self):
+        assert site_of_bit(0).drow == 0
+        assert site_of_bit(3).drow == 0
+        assert site_of_bit(4).drow == 1
+        assert {site_of_bit(i).lut_index for i in range(4)} == {0, 1, 2, 3}
+
+    def test_site_packing_2(self):
+        s = site_of_bit(1, sites_per_clb=2)
+        assert s.drow == 0 and s.lut_index == 2  # S1 F LUT
+        assert site_of_bit(2, sites_per_clb=2).drow == 1
+
+    def test_bad_packing(self):
+        with pytest.raises(ValueError):
+            site_of_bit(0, sites_per_clb=3)
+
+    def test_truth_tables(self):
+        assert truth_of(lambda a, b, c, d: a) == 0xAAAA
+        assert TRUTH_PASS_A == 0xAAAA
+        # XOR3 truth: for each input check a few entries
+        assert (TRUTH_XOR3 >> 0b0000) & 1 == 0
+        assert (TRUTH_XOR3 >> 0b0001) & 1 == 1
+        assert (TRUTH_XOR3 >> 0b0011) & 1 == 0
+        assert (TRUTH_XOR3 >> 0b0111) & 1 == 1
+        assert (TRUTH_MAJ3 >> 0b0011) & 1 == 1
+        assert (TRUTH_MAJ3 >> 0b0001) & 1 == 0
+
+
+class TestConstantCore:
+    def test_luts_encode_value(self, router):
+        c = ConstantCore(router, "k", 0, 0, width=4, value=0b1010)
+        for bit in range(4):
+            s = site_of_bit(bit)
+            expect = 0xFFFF if (0b1010 >> bit) & 1 else 0x0000
+            assert router.jbits.get_lut(s.drow, 0, s.lut_index) == expect
+
+    def test_set_value_in_place(self, router):
+        c = ConstantCore(router, "k", 0, 0, width=4, value=0)
+        c.set_value(0b0110)
+        s = site_of_bit(1)
+        assert router.jbits.get_lut(s.drow, 0, s.lut_index) == 0xFFFF
+
+    def test_value_range_checked(self, router):
+        with pytest.raises(errors.PortError):
+            ConstantCore(router, "k", 0, 0, width=2, value=4)
+        c = ConstantCore(router, "k", 0, 0, width=2, value=3)
+        with pytest.raises(errors.PortError):
+            c.set_value(4)
+
+    def test_ports(self, router):
+        c = ConstantCore(router, "k", 0, 0, width=5, value=1)
+        outs = c.get_ports("out")
+        assert len(outs) == 5
+        assert all(p.direction is PortDirection.OUT for p in outs)
+
+    def test_footprint(self, router):
+        assert ConstantCore(router, "k", 0, 0, width=5, value=1).footprint().height == 2
+
+
+class TestRegisterCore:
+    def test_groups(self, router):
+        r = RegisterCore(router, "r", 0, 0, width=6)
+        assert len(r.get_ports("d")) == 6
+        assert len(r.get_ports("q")) == 6
+        assert len(r.get_ports("clk")) == 1
+
+    def test_route_through_luts(self, router):
+        RegisterCore(router, "r", 0, 0, width=2)
+        assert router.jbits.get_lut(0, 0, 0) == TRUTH_PASS_A
+
+    def test_ff_mode_bits(self, router):
+        RegisterCore(router, "r", 0, 0, width=2)
+        assert router.jbits.get_mode_bit(0, 0, 0)
+        assert router.jbits.get_mode_bit(0, 0, 1)
+        assert not router.jbits.get_mode_bit(0, 0, 2)
+
+    def test_clk_port_covers_all_slices(self, router):
+        r = RegisterCore(router, "r", 0, 0, width=8)
+        clk_pins = r.get_ports("clk")[0].resolve_pins()
+        # 8 bits = 2 CLBs = 4 slices = 4 clock pins
+        assert len(clk_pins) == 4
+
+
+class TestAdderCore:
+    def test_groups(self, router):
+        a = AdderCore(router, "a", 0, 0, width=4)
+        for g, n in (("a", 4), ("b", 4), ("sum", 4), ("cin", 1), ("cout", 1)):
+            assert len(a.get_ports(g)) == n
+
+    def test_carry_chain_routed(self, router):
+        a = AdderCore(router, "a", 0, 0, width=4)
+        # 3 internal carry nets, 2 sinks each
+        assert router.device.state.n_pips_on >= 6
+        assert audit_no_contention(router.device) == []
+
+    def test_luts(self, router):
+        AdderCore(router, "a", 0, 0, width=2)
+        assert router.jbits.get_lut(0, 0, 0) == TRUTH_XOR3  # S0F sum
+        assert router.jbits.get_lut(0, 0, 1) == TRUTH_MAJ3  # S0G carry
+
+    def test_a_port_feeds_both_luts(self, router):
+        a = AdderCore(router, "a", 0, 0, width=1)
+        pins = a.get_ports("a")[0].resolve_pins()
+        assert len(pins) == 2
+
+    def test_footprint_two_bits_per_clb(self, router):
+        assert AdderCore(router, "a", 0, 0, width=5).footprint().height == 3
+
+
+class TestKcm:
+    def test_truth_function(self):
+        # bit b of n*constant
+        for n in range(16):
+            v = n * 5
+            for ob in range(6):
+                assert ((kcm_truth(5, ob) >> n) & 1) == ((v >> ob) & 1)
+
+    def test_out_width(self, router):
+        k = ConstantMultiplierCore(router, "k", 0, 0, width=4, constant=5)
+        assert k.out_width == 4 + 3
+
+    def test_set_constant_rewrites_luts(self, router):
+        k = ConstantMultiplierCore(router, "k", 0, 0, width=4, constant=5)
+        before = [router.jbits.get_lut(site_of_bit(i).drow, 0, site_of_bit(i).lut_index)
+                  for i in range(k.out_width)]
+        k.set_constant(7)
+        after = [router.jbits.get_lut(site_of_bit(i).drow, 0, site_of_bit(i).lut_index)
+                 for i in range(k.out_width)]
+        assert before != after
+        assert after[0] == kcm_truth(7, 0)
+
+    def test_set_constant_too_wide(self, router):
+        k = ConstantMultiplierCore(router, "k", 0, 0, width=4, constant=5)
+        with pytest.raises(errors.PlacementError, match="replace"):
+            k.set_constant(100)
+
+    def test_ports(self, router):
+        k = ConstantMultiplierCore(router, "k", 0, 0, width=4, constant=3)
+        assert len(k.get_ports("in")) == 4
+        assert len(k.get_ports("out")) == k.out_width
+
+
+class TestGates:
+    @pytest.mark.parametrize(
+        "cls,n_in", [(And2Core, 2), (Or2Core, 2), (Xor2Core, 2),
+                     (InverterCore, 1), (Mux2Core, 3)]
+    )
+    def test_ports(self, router, cls, n_in):
+        g = cls(router, "g", 0, 0)
+        assert len(g.get_ports("in")) == n_in
+        assert len(g.get_ports("out")) == 1
+
+    def test_truth_loaded(self, router):
+        And2Core(router, "g", 0, 0)
+        assert router.jbits.get_lut(0, 0, 0) == truth_of(lambda a, b, c, d: a & b)
+
+
+class TestShiftRegister:
+    def test_stage_links_routed(self, router):
+        sr = ShiftRegisterCore(router, "s", 0, 0, depth=5)
+        assert router.device.state.n_pips_on >= 4  # 4 stage links
+        assert len(sr.get_ports("taps")) == 5
+
+    def test_q_is_last_tap(self, router):
+        sr = ShiftRegisterCore(router, "s", 0, 0, depth=3)
+        q = sr.get_ports("q")[0].resolve_pins()[0]
+        last = sr.get_ports("taps")[2].resolve_pins()[0]
+        assert q == last
+
+    def test_depth_one(self, router):
+        sr = ShiftRegisterCore(router, "s", 0, 0, depth=1)
+        assert router.device.state.n_pips_on == 0
+
+
+class TestComparator:
+    @pytest.mark.parametrize("width", [1, 4, 5, 8, 16])
+    def test_builds_and_is_clean(self, router, width):
+        c = ComparatorCore(router, "c", 0, 0, width=width)
+        assert len(c.get_ports("a")) == width
+        assert len(c.get_ports("eq")) == 1
+        assert audit_no_contention(router.device) == []
+
+    def test_reduction_nets(self, router):
+        ComparatorCore(router, "c", 0, 0, width=8)
+        assert router.device.state.n_pips_on >= 10
+
+    def test_width_limit(self, router):
+        with pytest.raises(errors.PlacementError):
+            ComparatorCore(router, "c", 0, 0, width=17)

@@ -1,0 +1,123 @@
+"""Distributed LUT-RAM core: structure and live read/write behaviour."""
+
+import pytest
+
+from repro import errors
+from repro.cores import ConstantCore, LutRamCore
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def r100():
+    from repro.core import JRouter
+
+    return JRouter(part="XCV100")
+
+
+def sim_of(router):
+    return Simulator(router.device, router.jbits)
+
+
+class TestStructure:
+    def test_ports(self, r100):
+        ram = LutRamCore(r100, "ram", 2, 2, width=4)
+        assert len(ram.get_ports("addr")) == 4
+        assert len(ram.get_ports("din")) == 4
+        assert len(ram.get_ports("dout")) == 4
+        assert len(ram.get_ports("we")) == 1
+        assert len(ram.get_ports("clk")) == 1
+
+    def test_addr_fans_out_to_every_bit(self, r100):
+        ram = LutRamCore(r100, "ram", 2, 2, width=4)
+        assert len(ram.get_ports("addr")[0].resolve_pins()) == 4
+
+    def test_init_contents(self, r100):
+        ram = LutRamCore(r100, "ram", 2, 2, width=8,
+                         init=(1, 2, 3, 250))
+        assert ram.read_contents()[:4] == [1, 2, 3, 250]
+        assert ram.read_contents()[4:] == [0] * 12
+
+    def test_init_validation(self, r100):
+        with pytest.raises(errors.PortError, match="does not fit"):
+            LutRamCore(r100, "ram", 2, 2, width=2, init=(4,))
+        with pytest.raises(errors.PortError, match="entries"):
+            LutRamCore(r100, "ram2", 8, 2, width=2, init=(0,) * 17)
+
+    def test_ram_mode_bits_set(self, r100):
+        from repro.cores.library.lutram import RAM_MODE_BIT_BASE
+
+        LutRamCore(r100, "ram", 2, 2, width=4)
+        for site in range(4):
+            assert r100.jbits.get_mode_bit(2, 2, RAM_MODE_BIT_BASE + site)
+
+    def test_remove_clears_modes_and_contents(self, r100):
+        from repro.cores.library.lutram import RAM_MODE_BIT_BASE
+
+        ram = LutRamCore(r100, "ram", 2, 2, width=4, init=(15,))
+        ram.remove()
+        for site in range(4):
+            assert not r100.jbits.get_mode_bit(2, 2, RAM_MODE_BIT_BASE + site)
+            assert r100.jbits.get_lut(2, 2, site) == 0
+
+
+class TestBehaviour:
+    def test_async_read_of_init(self, r100):
+        ram = LutRamCore(r100, "ram", 2, 2, width=4, init=(5, 9, 12))
+        sim = sim_of(r100)
+        for addr, expect in ((0, 5), (1, 9), (2, 12), (3, 0)):
+            sim.drive_bus(ram.get_ports("addr"), addr)
+            assert sim.read_bus(ram.get_ports("dout")) == expect
+
+    def test_write_then_read(self, r100):
+        ram = LutRamCore(r100, "ram", 2, 2, width=4)
+        sim = sim_of(r100)
+        sim.drive_bus(ram.get_ports("addr"), 7)
+        sim.drive_bus(ram.get_ports("din"), 0b1010)
+        sim.drive_bus(ram.get_ports("we"), 1)
+        sim.step()
+        sim.drive_bus(ram.get_ports("we"), 0)
+        assert sim.read_bus(ram.get_ports("dout")) == 0b1010
+        sim.drive_bus(ram.get_ports("addr"), 6)
+        assert sim.read_bus(ram.get_ports("dout")) == 0
+
+    def test_we_low_blocks_writes(self, r100):
+        ram = LutRamCore(r100, "ram", 2, 2, width=4, init=(3,))
+        sim = sim_of(r100)
+        sim.drive_bus(ram.get_ports("addr"), 0)
+        sim.drive_bus(ram.get_ports("din"), 0xF)
+        sim.drive_bus(ram.get_ports("we"), 0)
+        sim.step(3)
+        assert sim.read_bus(ram.get_ports("dout")) == 3
+
+    def test_fill_and_dump(self, r100):
+        ram = LutRamCore(r100, "ram", 2, 2, width=8)
+        sim = sim_of(r100)
+        sim.drive_bus(ram.get_ports("we"), 1)
+        for addr in range(16):
+            sim.drive_bus(ram.get_ports("addr"), addr)
+            sim.drive_bus(ram.get_ports("din"), (addr * 17) & 0xFF)
+            sim.step()
+        assert ram.read_contents() == [(a * 17) & 0xFF for a in range(16)]
+
+    def test_writes_visible_in_bitstream(self, r100):
+        """The memory lives in config bits: partial readback captures it."""
+        ram = LutRamCore(r100, "ram", 2, 2, width=4)
+        r100.jbits.memory.clear_dirty()
+        sim = sim_of(r100)
+        sim.drive_bus(ram.get_ports("addr"), 2)
+        sim.drive_bus(ram.get_ports("din"), 1)
+        sim.drive_bus(ram.get_ports("we"), 1)
+        sim.step()
+        assert r100.jbits.memory.dirty_frames  # the write dirtied frames
+
+    def test_routed_datapath_write(self, r100):
+        """Drive the RAM's write port from a routed constant, not a force."""
+        ram = LutRamCore(r100, "ram", 2, 2, width=4)
+        kdata = ConstantCore(r100, "kd", 2, 6, width=4, value=0b0110)
+        r100.route(list(kdata.get_ports("out")), list(ram.get_ports("din")))
+        sim = sim_of(r100)
+        sim.drive_bus(ram.get_ports("addr"), 5)
+        sim.drive_bus(ram.get_ports("we"), 1)
+        sim.step()
+        sim.drive_bus(ram.get_ports("we"), 0)
+        assert sim.read_bus(ram.get_ports("dout")) == 0b0110

@@ -1,0 +1,87 @@
+"""Unit tests of the BoardScope debug facilities."""
+
+import pytest
+
+from repro.arch import wires
+from repro.core import Pin
+from repro.debug.boardscope import BoardScope
+
+SRC = Pin(5, 7, wires.S1_YQ)
+
+
+@pytest.fixture()
+def scope(router):
+    sinks = [Pin(6, 8, wires.S0F[3]), Pin(9, 12, wires.S0G[1])]
+    router.route(SRC, sinks)
+    router.route(Pin(2, 2, wires.S0_X), Pin(12, 20, wires.S1F[1]))
+    return BoardScope(router.device, router.jbits)
+
+
+class TestNets:
+    def test_net_sources(self, scope, router):
+        roots = scope.net_sources()
+        assert router.device.resolve(5, 7, wires.S1_YQ) in roots
+        assert router.device.resolve(2, 2, wires.S0_X) in roots
+        assert len(roots) == 2
+
+    def test_nets_traces(self, scope):
+        nets = scope.nets()
+        assert len(nets) == 2
+        assert sum(len(n.sinks) for n in nets) == 3
+
+    def test_show(self, scope, router):
+        text = scope.show(router.device.resolve(5, 7, wires.S1_YQ))
+        assert "S1_YQ@(5,7)" in text
+
+
+class TestSummary:
+    def test_summary(self, scope, router):
+        s = scope.summary()
+        assert s.pips_on == router.device.state.n_pips_on
+        assert s.nets == 2
+        assert s.wires_in_use > s.pips_on  # sources are in use, undriven
+        assert "SLICE_OUT" in s.by_class
+        assert "nets" in str(s)
+
+    def test_empty_device(self, device):
+        s = BoardScope(device).summary()
+        assert s.pips_on == 0 and s.nets == 0 and s.wires_in_use == 0
+
+
+class TestBitstreamViews:
+    def test_trace_from_bitstream_matches_state(self, scope, router):
+        src = router.device.resolve(5, 7, wires.S1_YQ)
+        from repro.core.tracer import trace_net
+
+        state_trace = trace_net(router.device, src)
+        bit_trace = scope.trace_from_bitstream(src)
+        assert sorted(bit_trace.wires) == sorted(state_trace.wires)
+        assert sorted(bit_trace.sinks) == sorted(state_trace.sinks)
+        assert len(bit_trace.pips) == len(state_trace.pips)
+
+    def test_requires_jbits(self, device):
+        scope = BoardScope(device)
+        with pytest.raises(ValueError, match="no JBits"):
+            scope.trace_from_bitstream(0)
+
+    def test_crosscheck_clean(self, scope):
+        assert scope.crosscheck() == []
+
+    def test_crosscheck_detects_divergence(self, scope, router):
+        from repro.arch import connectivity
+
+        slot = connectivity.pip_slot(wires.S1_YQ, wires.OUT[7])
+        router.jbits.memory.set_bit(
+            router.jbits.memory.tile_bit_address(0, 0, slot), True
+        )
+        assert scope.crosscheck()
+
+
+class TestWireReport:
+    def test_driven_wire(self, scope):
+        text = scope.wire_report(5, 7, wires.OUT[1])
+        assert "canonical" in text
+        assert "driven by" in text or "not driven" in text
+
+    def test_nonexistent(self, scope):
+        assert "does not exist" in scope.wire_report(0, 23, wires.SINGLE_E[0])

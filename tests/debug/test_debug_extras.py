@@ -1,0 +1,81 @@
+"""Additional debug coverage: long-line rendering, big designs, reports."""
+
+import pytest
+
+from repro.arch import wires
+from repro.core import Pin
+from repro.debug.boardscope import BoardScope
+from repro.debug.visualize import occupancy_grid, render_net
+from repro.routers.base import apply_plan
+from repro.routers.maze import route_maze
+
+
+class TestLongLineViews:
+    def _route_with_long(self, device):
+        """Build a net that explicitly drives a horizontal long line."""
+        device.turn_on(8, 0, wires.S0_X, wires.OUT[0])
+        device.turn_on(8, 0, wires.OUT[0], wires.LONG_H[0])
+        src = device.resolve(8, 0, wires.S0_X)
+        # continue from a distant access point: long -> hex -> single -> pin
+        res = route_maze(device, [src],
+                         {device.resolve(8, 20, wires.S1F[2])},
+                         reuse=set(device.state.subtree(src)),
+                         heuristic_weight=0.8)
+        apply_plan(device, res.plan)
+        return src, device.resolve(8, 20, wires.S1F[2])
+
+    def test_long_charged_to_primary_tile(self, device):
+        src, sink = self._route_with_long(device)
+        grid = occupancy_grid(device)
+        assert grid.sum() == int(device.state.occupied.sum())
+
+    def test_render_net_with_long(self, device):
+        from repro.core.tracer import trace_net
+
+        src, sink = self._route_with_long(device)
+        trace = trace_net(device, src)
+        from repro.arch.wires import WireClass
+
+        assert any(
+            device.arch.wire_class_of(w) is WireClass.LONG_H
+            for w in trace.wires
+        )
+        text = render_net(device, trace)
+        assert text.count("S") == 1
+        assert "x" in text
+
+
+class TestScopeOnBusyDevice:
+    def test_many_nets_summary(self, router):
+        from repro.bench.workloads import random_p2p_nets
+        from repro import errors
+
+        nets = random_p2p_nets(router.device.arch, 15, seed=9)
+        routed = 0
+        for net in nets:
+            try:
+                router.route(net.source, net.sinks)
+                routed += 1
+            except errors.JRouteError:
+                pass
+        scope = BoardScope(router.device, router.jbits)
+        s = scope.summary()
+        assert s.nets == routed
+        assert scope.crosscheck() == []
+
+    def test_bitstream_trace_every_net(self, router):
+        from repro.bench.workloads import random_p2p_nets
+        from repro import errors
+        from repro.core.tracer import trace_net
+
+        nets = random_p2p_nets(router.device.arch, 8, seed=4)
+        for net in nets:
+            try:
+                router.route(net.source, net.sinks)
+            except errors.JRouteError:
+                pass
+        scope = BoardScope(router.device, router.jbits)
+        for root in scope.net_sources():
+            bit = scope.trace_from_bitstream(root)
+            state = trace_net(router.device, root)
+            assert sorted(bit.wires) == sorted(state.wires)

@@ -1,0 +1,92 @@
+"""Unit tests of ASCII visualisation and netlist export/replay."""
+
+import pytest
+
+from repro.arch import wires
+from repro.core import JRouter, Pin
+from repro.debug.netlist import export_netlist, netlist_stats, replay_netlist
+from repro.debug.visualize import (
+    congestion_stats,
+    occupancy_grid,
+    render_net,
+    render_occupancy,
+)
+
+SRC = Pin(5, 7, wires.S1_YQ)
+
+
+class TestOccupancy:
+    def test_empty_grid(self, device):
+        grid = occupancy_grid(device)
+        assert grid.shape == (16, 24)
+        assert grid.sum() == 0
+
+    def test_counts_follow_routing(self, router):
+        router.route(SRC, Pin(6, 8, wires.S0F[3]))
+        grid = occupancy_grid(router.device)
+        assert grid.sum() == int(router.device.state.occupied.sum())
+        assert grid[5, 7] > 0
+
+    def test_render_dimensions(self, router):
+        router.route(SRC, Pin(6, 8, wires.S0F[3]))
+        text = render_occupancy(router.device)
+        lines = text.split("\n")
+        assert len(lines) == 16
+        assert all(len(l) == 24 for l in lines)
+
+    def test_render_net_marks(self, router):
+        router.route(SRC, Pin(6, 8, wires.S0F[3]))
+        trace = router.trace(SRC)
+        text = render_net(router.device, trace)
+        assert text.count("S") == 1
+        assert text.count("x") == 1
+
+
+class TestCongestion:
+    def test_fractions(self, router):
+        router.route(SRC, Pin(6, 8, wires.S0F[3]))
+        stats = congestion_stats(router.device)
+        assert 0 < stats["SINGLE"] < 1
+        assert all(0.0 <= v <= 1.0 for v in stats.values())
+
+    def test_empty(self, device):
+        stats = congestion_stats(device)
+        assert all(v == 0.0 for v in stats.values())
+
+
+class TestNetlist:
+    def test_export_shape(self, router):
+        router.route(SRC, [Pin(6, 8, wires.S0F[3]), Pin(9, 12, wires.S0G[1])])
+        nets = export_netlist(router.device)
+        assert len(nets) == 1
+        assert nets[0]["source"]["label"] == "S1_YQ"
+        assert len(nets[0]["pips"]) == router.device.state.n_pips_on
+
+    def test_pips_parent_before_child(self, router):
+        router.route(SRC, [Pin(6, 8, wires.S0F[3]), Pin(9, 12, wires.S0G[1])])
+        net = export_netlist(router.device)[0]
+        seen = {router.device.resolve(5, 7, wires.S1_YQ)}
+        for pip in net["pips"]:
+            cf = router.device.arch.canonicalize(pip["row"], pip["col"], pip["from"])
+            ct = router.device.arch.canonicalize(pip["row"], pip["col"], pip["to"])
+            assert cf in seen
+            seen.add(ct)
+
+    def test_replay_reproduces_config(self, router):
+        router.route(SRC, [Pin(6, 8, wires.S0F[3]), Pin(9, 12, wires.S0G[1])])
+        router.route(Pin(2, 2, wires.S0_X), Pin(12, 20, wires.S1F[1]))
+        nets = export_netlist(router.device)
+        fresh = JRouter(part="XCV50")
+        count = replay_netlist(fresh, nets)
+        assert count == router.device.state.n_pips_on
+        assert fresh.jbits.memory == router.jbits.memory
+
+    def test_stats(self, router):
+        router.route(SRC, [Pin(6, 8, wires.S0F[3]), Pin(9, 12, wires.S0G[1])])
+        nets = export_netlist(router.device)
+        s = netlist_stats(nets)
+        assert s["nets"] == 1
+        assert s["pips"] == s["max_fanout_pips"]
+
+    def test_empty_stats(self):
+        assert netlist_stats([]) == {"nets": 0, "pips": 0, "max_fanout_pips": 0}

@@ -1,0 +1,78 @@
+"""Unit tests of contention analysis helpers."""
+
+from repro.arch import connectivity, wires
+from repro.device.contention import audit_no_contention, path_conflicts, would_contend
+
+
+def paper_pips():
+    return [
+        (5, 7, wires.S1_YQ, wires.OUT[1]),
+        (5, 7, wires.OUT[1], wires.SINGLE_E[5]),
+        (5, 8, wires.SINGLE_W[5], wires.SINGLE_N[0]),
+        (6, 8, wires.SINGLE_S[0], wires.S0F[3]),
+    ]
+
+
+class TestWouldContend:
+    def test_free_wire_no_contention(self, device):
+        assert not would_contend(device, 5, 7, wires.S1_YQ, wires.OUT[1])
+
+    def test_driven_wire_contends(self, device):
+        device.turn_on(5, 7, wires.S1_YQ, wires.OUT[1])
+        other = [s for s in connectivity.DRIVEN_BY[wires.OUT[1]] if s != wires.S1_YQ][0]
+        assert would_contend(device, 5, 7, other, wires.OUT[1])
+
+    def test_same_driver_is_fine(self, device):
+        device.turn_on(5, 7, wires.S1_YQ, wires.OUT[1])
+        assert not would_contend(device, 5, 7, wires.S1_YQ, wires.OUT[1])
+
+    def test_nonexistent_pip_reports_true(self, device):
+        assert would_contend(device, 5, 7, wires.S0F[1], wires.OUT[0])
+
+    def test_nonexistent_resource_reports_true(self, device):
+        assert would_contend(device, 0, device.cols - 1, wires.OUT[1], wires.SINGLE_E[5])
+
+
+class TestPathConflicts:
+    def test_clean_plan(self, device):
+        assert path_conflicts(device, paper_pips()) == []
+
+    def test_conflict_with_device_state(self, device):
+        for pip in paper_pips():
+            device.turn_on(*pip)
+        other = [s for s in connectivity.DRIVEN_BY[wires.OUT[1]] if s != wires.S1_YQ][0]
+        conflicts = path_conflicts(device, [(5, 7, other, wires.OUT[1])])
+        assert len(conflicts) == 1
+
+    def test_internal_plan_conflict(self, device):
+        other = [s for s in connectivity.DRIVEN_BY[wires.OUT[1]] if s != wires.S1_YQ][0]
+        plan = [
+            (5, 7, wires.S1_YQ, wires.OUT[1]),
+            (5, 7, other, wires.OUT[1]),  # second driver inside the plan
+        ]
+        conflicts = path_conflicts(device, plan)
+        assert conflicts == [plan[1]]
+
+    def test_repeated_identical_pip_ok(self, device):
+        pip = (5, 7, wires.S1_YQ, wires.OUT[1])
+        assert path_conflicts(device, [pip, pip]) == []
+
+
+class TestAudit:
+    def test_clean_device(self, device):
+        assert audit_no_contention(device) == []
+
+    def test_after_routing(self, device):
+        for pip in paper_pips():
+            device.turn_on(*pip)
+        assert audit_no_contention(device) == []
+
+    def test_detects_corruption(self, device):
+        for pip in paper_pips():
+            device.turn_on(*pip)
+        # corrupt the driver array behind the device's back
+        canon = device.resolve(5, 7, wires.OUT[1])
+        device.state.driver[canon] = canon + 1
+        problems = audit_no_contention(device)
+        assert problems
+        assert any("disagrees" in p for p in problems)

@@ -1,0 +1,218 @@
+"""Unit tests of Device PIP mutation, validation and neighbourhood queries."""
+
+import pytest
+
+from repro import errors
+from repro.arch import connectivity, wires
+from repro.device.fabric import Device
+
+
+def build_paper_example(device):
+    device.turn_on(5, 7, wires.S1_YQ, wires.OUT[1])
+    device.turn_on(5, 7, wires.OUT[1], wires.SINGLE_E[5])
+    device.turn_on(5, 8, wires.SINGLE_W[5], wires.SINGLE_N[0])
+    device.turn_on(6, 8, wires.SINGLE_S[0], wires.S0F[3])
+
+
+class TestTurnOn:
+    def test_paper_example(self, device):
+        build_paper_example(device)
+        assert device.state.n_pips_on == 4
+
+    def test_invalid_pip(self, device):
+        with pytest.raises(errors.InvalidPipError, match="no PIP"):
+            device.turn_on(5, 7, wires.S0F[1], wires.OUT[0])  # inputs drive nothing
+
+    def test_nonexistent_resource(self, device):
+        with pytest.raises(errors.InvalidResourceError):
+            device.turn_on(0, device.cols - 1, wires.OUT[1], wires.SINGLE_E[5])
+
+    def test_out_of_bounds(self, device):
+        with pytest.raises(errors.InvalidResourceError):
+            device.turn_on(99, 0, wires.S1_YQ, wires.OUT[1])
+
+    def test_idempotent_same_driver(self, device):
+        r1 = device.turn_on(5, 7, wires.S1_YQ, wires.OUT[1])
+        r2 = device.turn_on(5, 7, wires.S1_YQ, wires.OUT[1])
+        assert r1 == r2
+        assert device.state.n_pips_on == 1
+
+    def test_contention_second_driver(self, device):
+        device.turn_on(5, 7, wires.S1_YQ, wires.OUT[1])
+        # OUT[1] is also drivable from other slice outputs
+        other = [s for s in connectivity.DRIVEN_BY[wires.OUT[1]] if s != wires.S1_YQ][0]
+        with pytest.raises(errors.ContentionError, match="contention"):
+            device.turn_on(5, 7, other, wires.OUT[1])
+
+    def test_contention_from_far_end(self, device):
+        """Bidirectional single driven at both ends -> contention."""
+        build_paper_example(device)
+        # SINGLE_N[0]@(5,8) == SINGLE_S[0]@(6,8); try driving from (6,8) side
+        drivers = connectivity.DRIVEN_BY[wires.SINGLE_S[0]]
+        hit = False
+        for d in drivers:
+            try:
+                device.turn_on(6, 8, d, wires.SINGLE_S[0])
+            except errors.ContentionError:
+                hit = True
+                break
+            except errors.JRouteError:
+                continue
+        assert hit
+
+    def test_loop_detection(self, device):
+        """Find a short cycle in the wire graph and close it: the final PIP
+        must raise RoutingLoopError, not silently create an oscillator."""
+        start = device.resolve(5, 7, wires.SINGLE_E[3])
+        # BFS for a path of PIPs leading back to the start wire
+        from collections import deque
+
+        prev: dict[int, tuple] = {}
+        queue = deque([(start, 0)])
+        loop_pip = None
+        while queue and loop_pip is None:
+            canon, depth = queue.popleft()
+            if depth >= 3:
+                continue
+            for row, col, fn, tn, ct in device.fanout_pips(canon):
+                if ct == start:
+                    loop_pip = (row, col, fn, tn)
+                    closing_from = canon
+                    break
+                if ct not in prev:
+                    prev[ct] = (canon, (row, col, fn, tn))
+                    queue.append((ct, depth + 1))
+        assert loop_pip is not None, "wire graph should contain short cycles"
+        # apply the path leading to the wire that closes the loop
+        chain = []
+        w = closing_from
+        while w != start:
+            parent, pip = prev[w]
+            chain.append(pip)
+            w = parent
+        for pip in reversed(chain):
+            device.turn_on(*pip)
+        with pytest.raises(errors.RoutingLoopError):
+            device.turn_on(*loop_pip)
+
+    def test_undrivable_target(self, device):
+        # DIRECT alias cannot be driven
+        assert not connectivity.pip_exists(wires.OUT[0], wires.DIRECT_W_OUT[0])
+
+
+class TestTurnOff:
+    def test_turn_off(self, device):
+        device.turn_on(5, 7, wires.S1_YQ, wires.OUT[1])
+        device.turn_off(5, 7, wires.S1_YQ, wires.OUT[1])
+        assert device.state.n_pips_on == 0
+
+    def test_turn_off_not_on(self, device):
+        with pytest.raises(errors.InvalidPipError, match="not on"):
+            device.turn_off(5, 7, wires.S1_YQ, wires.OUT[1])
+
+    def test_turn_off_wrong_driver(self, device):
+        device.turn_on(5, 7, wires.S1_YQ, wires.OUT[1])
+        other = [s for s in connectivity.DRIVEN_BY[wires.OUT[1]] if s != wires.S1_YQ][0]
+        with pytest.raises(errors.InvalidPipError):
+            device.turn_off(5, 7, other, wires.OUT[1])
+
+    def test_clear(self, device):
+        build_paper_example(device)
+        device.clear()
+        assert device.state.n_pips_on == 0
+        assert not device.state.occupied.any()
+
+
+class TestQueries:
+    def test_is_on_via_alias(self, device):
+        build_paper_example(device)
+        assert device.is_on(5, 7, wires.SINGLE_E[5])
+        assert device.is_on(5, 8, wires.SINGLE_W[5])
+        assert not device.is_on(5, 7, wires.SINGLE_E[6])
+
+    def test_pip_is_on(self, device):
+        build_paper_example(device)
+        assert device.pip_is_on(5, 7, wires.OUT[1], wires.SINGLE_E[5])
+        assert not device.pip_is_on(5, 7, wires.OUT[1], wires.SINGLE_E[7])
+        assert not device.pip_is_on(0, 23, wires.OUT[1], wires.SINGLE_E[5])
+
+    def test_resolve_error_message(self, device):
+        with pytest.raises(errors.InvalidResourceError, match="SingleEast"):
+            device.resolve(0, 23, wires.SINGLE_E[0])
+
+
+class TestNeighbourhoods:
+    def test_fanout_pips_from_source(self, device):
+        src = device.resolve(5, 7, wires.S1_YQ)
+        outs = list(device.fanout_pips(src))
+        assert len(outs) == 4  # 4 OMUX taps
+        for row, col, fn, tn, ct in outs:
+            assert fn == wires.S1_YQ
+            assert wires.wire_info(tn).wire_class is wires.WireClass.OUT
+            assert device.arch.canonicalize(row, col, tn) == ct
+
+    def test_fanout_includes_far_end(self, device):
+        """A single's fanout includes PIPs at both of its endpoints."""
+        canon = device.resolve(5, 7, wires.SINGLE_E[5])
+        tiles = {(r, c) for r, c, *_ in device.fanout_pips(canon)}
+        assert (5, 7) in tiles and (5, 8) in tiles
+
+    def test_fanout_excludes_undrivable(self, device):
+        canon = device.resolve(5, 7, wires.SINGLE_E[5])
+        for _, _, _, tn, _ in device.fanout_pips(canon):
+            cls = wires.wire_info(tn).wire_class
+            assert cls not in (
+                wires.WireClass.SLICE_OUT,
+                wires.WireClass.GCLK,
+                wires.WireClass.DIRECT,
+            )
+
+    def test_fanin_pips_inverse_of_fanout(self, device):
+        src = device.resolve(5, 7, wires.OUT[1])
+        for row, col, fn, tn, ct in device.fanout_pips(src):
+            back = {
+                (r, c, f)
+                for r, c, f, t, cf in device.fanin_pips(ct)
+                if cf == src
+            }
+            assert (row, col, fn) in back
+
+    def test_fanin_of_source_is_empty(self, device):
+        src = device.resolve(5, 7, wires.S1_YQ)
+        assert list(device.fanin_pips(src)) == []
+
+    def test_direct_connection_in_fanout(self, device):
+        """OUT wires fan out into the east neighbour via direct connects."""
+        canon = device.resolve(5, 7, wires.OUT[2])
+        east_inputs = [
+            (r, c, tn)
+            for r, c, fn, tn, _ in device.fanout_pips(canon)
+            if (r, c) == (5, 8)
+        ]
+        assert east_inputs
+        for _, _, tn in east_inputs:
+            assert wires.is_sink_name(tn)
+
+
+class TestListeners:
+    def test_events_fire(self, device):
+        events = []
+        device.add_listener(events.append)
+        device.turn_on(5, 7, wires.S1_YQ, wires.OUT[1])
+        device.turn_off(5, 7, wires.S1_YQ, wires.OUT[1])
+        assert [on for on, _ in events] == [True, False]
+        assert events[0][1] == events[1][1]
+
+    def test_remove_listener(self, device):
+        events = []
+        device.add_listener(events.append)
+        device.remove_listener(events.append)
+        device.turn_on(5, 7, wires.S1_YQ, wires.OUT[1])
+        assert events == []
+
+    def test_no_event_on_failed_turn_on(self, device):
+        events = []
+        device.add_listener(events.append)
+        with pytest.raises(errors.InvalidPipError):
+            device.turn_on(5, 7, wires.S0F[1], wires.OUT[0])
+        assert events == []

@@ -1,0 +1,106 @@
+"""Unit tests of the RoutingState forest."""
+
+import numpy as np
+import pytest
+
+from repro.arch import wires
+from repro.device.state import PipRecord, RoutingState
+
+
+def rec(arch, row, col, from_name, to_name):
+    cf = arch.canonicalize(row, col, from_name)
+    ct = arch.canonicalize(row, col, to_name)
+    assert cf is not None and ct is not None
+    return PipRecord(row, col, from_name, to_name, cf, ct)
+
+
+@pytest.fixture()
+def state(arch):
+    return RoutingState(arch)
+
+
+class TestAddRemove:
+    def test_add_pip(self, arch, state):
+        r = rec(arch, 5, 7, wires.S1_YQ, wires.OUT[1])
+        state.add_pip(r)
+        assert state.driver_of(r.canon_to) == r.canon_from
+        assert state.children_of(r.canon_from) == (r.canon_to,)
+        assert state.is_used(r.canon_to)
+        assert state.is_used(r.canon_from)
+        assert state.n_pips_on == 1
+
+    def test_remove_pip(self, arch, state):
+        r = rec(arch, 5, 7, wires.S1_YQ, wires.OUT[1])
+        state.add_pip(r)
+        out = state.remove_pip(r.canon_to)
+        assert out == r
+        assert state.driver_of(r.canon_to) == -1
+        assert not state.is_used(r.canon_to)
+        assert not state.is_used(r.canon_from)
+        assert state.n_pips_on == 0
+
+    def test_remove_keeps_other_children(self, arch, state):
+        r1 = rec(arch, 5, 7, wires.OUT[1], wires.SINGLE_E[5])
+        r2 = rec(arch, 5, 7, wires.OUT[1], wires.SINGLE_E[21])
+        state.add_pip(r1)
+        state.add_pip(r2)
+        state.remove_pip(r1.canon_to)
+        assert state.children_of(r1.canon_from) == (r2.canon_to,)
+        assert state.is_used(r1.canon_from)
+
+    def test_remove_missing_raises(self, arch, state):
+        with pytest.raises(KeyError):
+            state.remove_pip(123)
+
+    def test_clear(self, arch, state):
+        state.add_pip(rec(arch, 5, 7, wires.S1_YQ, wires.OUT[1]))
+        state.clear()
+        assert state.n_pips_on == 0
+        assert not state.occupied.any()
+        assert state.children == {}
+        assert state.pip_of == {}
+
+
+class TestWalks:
+    def build_chain(self, arch, state):
+        """S1_YQ -> OUT1 -> SingleE5 -> SingleN0(at 5,8) -> S0F3(at 6,8)."""
+        r1 = rec(arch, 5, 7, wires.S1_YQ, wires.OUT[1])
+        r2 = rec(arch, 5, 7, wires.OUT[1], wires.SINGLE_E[5])
+        r3 = rec(arch, 5, 8, wires.SINGLE_W[5], wires.SINGLE_N[0])
+        r4 = rec(arch, 6, 8, wires.SINGLE_S[0], wires.S0F[3])
+        for r in (r1, r2, r3, r4):
+            state.add_pip(r)
+        return r1, r2, r3, r4
+
+    def test_root_of(self, arch, state):
+        r1, _, _, r4 = self.build_chain(arch, state)
+        assert state.root_of(r4.canon_to) == r1.canon_from
+        assert state.root_of(r1.canon_from) == r1.canon_from
+
+    def test_is_ancestor(self, arch, state):
+        r1, r2, r3, r4 = self.build_chain(arch, state)
+        assert state.is_ancestor(r1.canon_from, r4.canon_to)
+        assert state.is_ancestor(r4.canon_to, r4.canon_to)
+        assert not state.is_ancestor(r4.canon_to, r1.canon_from)
+
+    def test_subtree(self, arch, state):
+        r1, r2, r3, r4 = self.build_chain(arch, state)
+        sub = set(state.subtree(r1.canon_from))
+        assert sub == {r1.canon_from, r1.canon_to, r2.canon_to, r3.canon_to, r4.canon_to}
+
+    def test_net_pips_preorder(self, arch, state):
+        r1, r2, r3, r4 = self.build_chain(arch, state)
+        pips = state.net_pips(r1.canon_from)
+        assert len(pips) == 4
+        # parent PIP must come before its child's PIP
+        seen = {r1.canon_from}
+        for p in pips:
+            assert p.canon_from in seen
+            seen.add(p.canon_to)
+
+    def test_used_wires_sorted(self, arch, state):
+        self.build_chain(arch, state)
+        used = state.used_wires()
+        assert len(used) == 5
+        assert list(used) == sorted(used)
+        assert np.all(state.occupied[used])

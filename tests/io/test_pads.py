@@ -1,0 +1,144 @@
+"""Unit and integration tests of the IOB ring (paper §6 future work)."""
+
+import pytest
+
+from repro import errors
+from repro.arch import wires
+from repro.core import JRouter, Pin
+from repro.cores import RegisterCore
+from repro.device.contention import audit_no_contention
+from repro.io import IoRing, Pad, PadDirection, Side
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def ring(arch):
+    return IoRing(arch)
+
+
+class TestArchIntegration:
+    def test_pads_only_on_perimeter(self, arch):
+        assert arch.canonicalize(0, 5, wires.IOB_IN[0]) is not None
+        assert arch.canonicalize(arch.rows - 1, 5, wires.IOB_IN[1]) is not None
+        assert arch.canonicalize(5, 0, wires.IOB_OUT[2]) is not None
+        assert arch.canonicalize(5, arch.cols - 1, wires.IOB_OUT[0]) is not None
+        assert arch.canonicalize(5, 5, wires.IOB_IN[0]) is None
+        assert arch.canonicalize(5, 5, wires.IOB_OUT[0]) is None
+
+    def test_iob_in_not_drivable(self, arch):
+        assert not arch.drivable(0, 5, wires.IOB_IN[0])
+
+    def test_iob_out_drivable_on_perimeter_only(self, arch):
+        assert arch.drivable(0, 5, wires.IOB_OUT[0])
+        assert not arch.drivable(5, 5, wires.IOB_OUT[0])
+
+
+class TestRing:
+    def test_side_tiles(self, ring, arch):
+        assert len(ring.side_tiles(Side.SOUTH)) == arch.cols
+        assert len(ring.side_tiles(Side.WEST)) == arch.rows
+        assert ring.side_tiles(Side.NORTH)[0] == (arch.rows - 1, 0)
+        assert ring.side_tiles(Side.EAST)[0] == (0, arch.cols - 1)
+
+    def test_pad_count(self, ring, arch):
+        perimeter = 2 * arch.rows + 2 * arch.cols - 4
+        assert ring.n_pads() == perimeter * wires.N_IOB_PER_TILE * 2
+        all_pads = ring.pads()
+        assert len(all_pads) == ring.n_pads()
+        assert len(set(all_pads)) == len(all_pads)  # corners not doubled
+
+    def test_filtered_pads(self, ring, arch):
+        ins = ring.pads(Side.SOUTH, PadDirection.IN)
+        assert len(ins) == arch.cols * wires.N_IOB_PER_TILE
+        assert all(p.direction is PadDirection.IN and p.row == 0 for p in ins)
+
+    def test_pad_pin(self):
+        pad = Pad(0, 3, 1, PadDirection.IN)
+        assert pad.pin == Pin(0, 3, wires.IOB_IN[1])
+        pad = Pad(0, 3, 2, PadDirection.OUT)
+        assert pad.pin == Pin(0, 3, wires.IOB_OUT[2])
+
+    def test_bus(self, ring):
+        pins = ring.bus(Side.WEST, PadDirection.IN, 8, offset=6)
+        assert len(pins) == 8
+        assert len(set(pins)) == 8
+        assert all(p.col == 0 for p in pins)
+
+    def test_bus_overflow(self, ring):
+        with pytest.raises(errors.PlacementError, match="cannot take"):
+            ring.bus(Side.SOUTH, PadDirection.OUT, 10_000)
+
+
+class TestPadRouting:
+    def test_input_pad_to_logic(self, router):
+        ring = IoRing(router.device.arch)
+        pad = ring.pads(Side.WEST, PadDirection.IN)[10]
+        sink = Pin(8, 8, wires.S0F[2])
+        n = router.route(pad.pin, sink)
+        assert n > 0
+        assert router.device.state.root_of(
+            router.device.resolve(8, 8, wires.S0F[2])
+        ) == router.device.resolve(pad.row, pad.col, pad.pin.wire)
+
+    def test_logic_to_output_pad(self, router):
+        ring = IoRing(router.device.arch)
+        pad = ring.pads(Side.EAST, PadDirection.OUT)[4]
+        src = Pin(8, 8, wires.S0_X)
+        n = router.route(src, pad.pin)
+        assert n > 0
+        assert audit_no_contention(router.device) == []
+
+    def test_pad_to_pad_feedthrough(self, router):
+        ring = IoRing(router.device.arch)
+        inp = ring.pads(Side.WEST, PadDirection.IN)[0]
+        outp = ring.pads(Side.EAST, PadDirection.OUT)[0]
+        assert router.route(inp.pin, outp.pin) > 0
+
+    def test_output_pad_contention(self, router):
+        ring = IoRing(router.device.arch)
+        pad = ring.pads(Side.NORTH, PadDirection.OUT)[2]
+        router.route(Pin(8, 8, wires.S0_X), pad.pin)
+        with pytest.raises(errors.ContentionError):
+            router.route(Pin(9, 9, wires.S1_X), pad.pin)
+
+    def test_pad_bus_to_register(self, router):
+        ring = IoRing(router.device.arch)
+        reg = RegisterCore(router, "reg", 6, 6, width=4)
+        pins = ring.bus(Side.SOUTH, PadDirection.IN, 4)
+        router.route(pins, list(reg.get_ports("d")))
+        assert audit_no_contention(router.device) == []
+
+
+class TestPadSimulation:
+    def test_forced_pad_drives_logic(self, router):
+        ring = IoRing(router.device.arch)
+        pad = ring.pads(Side.WEST, PadDirection.IN)[3]
+        sink = Pin(8, 8, wires.S0F[1])
+        router.route(pad.pin, sink)
+        sim = Simulator(router.device, router.jbits)
+        assert sim.wire_value(8, 8, wires.S0F[1]) == 0
+        sim.force(pad.row, pad.col, pad.pin.wire, 1)
+        assert sim.wire_value(8, 8, wires.S0F[1]) == 1
+
+    def test_logic_observed_at_output_pad(self, router):
+        ring = IoRing(router.device.arch)
+        pad = ring.pads(Side.EAST, PadDirection.OUT)[7]
+        src = Pin(8, 8, wires.S1_Y)
+        router.route(src, pad.pin)
+        sim = Simulator(router.device, router.jbits)
+        sim.force(8, 8, wires.S1_Y, 1)
+        assert sim.wire_value(pad.row, pad.col, pad.pin.wire) == 1
+
+    def test_full_io_loopback(self, router100):
+        """pad in -> register -> pad out, clocked, end to end."""
+        ring = IoRing(router100.device.arch)
+        reg = RegisterCore(router100, "reg", 6, 6, width=1)
+        inp = ring.pads(Side.WEST, PadDirection.IN)[5]
+        outp = ring.pads(Side.EAST, PadDirection.OUT)[5]
+        router100.route(inp.pin, reg.get_ports("d")[0])
+        router100.route(reg.get_ports("q")[0], outp.pin)
+        sim = Simulator(router100.device, router100.jbits)
+        sim.force(inp.row, inp.col, inp.pin.wire, 1)
+        assert sim.wire_value(outp.row, outp.col, outp.pin.wire) == 0
+        sim.step()
+        assert sim.wire_value(outp.row, outp.col, outp.pin.wire) == 1

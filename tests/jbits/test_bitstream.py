@@ -1,0 +1,149 @@
+"""Unit tests of the frame-organised configuration memory."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.arch.virtex import VirtexArch
+from repro.jbits.bitstream import (
+    FRAMES_PER_COLUMN,
+    LUT_BITS,
+    MODE_BITS,
+    PIP_BITS,
+    TILE_BITS,
+    ConfigMemory,
+)
+
+
+@pytest.fixture()
+def mem(arch):
+    return ConfigMemory(arch)
+
+
+class TestLayout:
+    def test_tile_bits_composition(self):
+        assert TILE_BITS == PIP_BITS + LUT_BITS + MODE_BITS
+
+    def test_frames(self, mem):
+        assert mem.n_frames == mem.cols * FRAMES_PER_COLUMN + 1
+        assert mem.frame_bits * FRAMES_PER_COLUMN >= mem.column_bits
+
+    def test_total_size(self, mem):
+        assert len(mem.bits) == mem.n_frames * mem.frame_bits
+
+
+class TestAddressing:
+    def test_distinct_addresses(self, mem):
+        seen = set()
+        for row in (0, 7, 15):
+            for col in (0, 11, 23):
+                for bit in (0, 1, PIP_BITS, TILE_BITS - 1):
+                    a = mem.tile_bit_address(row, col, bit)
+                    assert a not in seen
+                    seen.add(a)
+
+    def test_column_contiguity(self, mem):
+        """A column's bits occupy a contiguous region (readback relies on it)."""
+        a0 = mem.tile_bit_address(0, 3, 0)
+        a_last = mem.tile_bit_address(mem.rows - 1, 3, TILE_BITS - 1)
+        assert a_last - a0 == mem.rows * TILE_BITS - 1
+        assert a0 == 3 * FRAMES_PER_COLUMN * mem.frame_bits
+
+    def test_bad_tile(self, mem):
+        with pytest.raises(errors.BitstreamError):
+            mem.tile_bit_address(99, 0, 0)
+        with pytest.raises(errors.BitstreamError):
+            mem.tile_bit_address(0, 0, TILE_BITS)
+
+    def test_global_region(self, mem):
+        a = mem.global_bit_address(0)
+        assert mem.frame_of_address(a) == mem.n_frames - 1
+        with pytest.raises(errors.BitstreamError):
+            mem.global_bit_address(mem.frame_bits)
+
+
+class TestBitsAndFrames:
+    def test_set_get_bit(self, mem):
+        a = mem.tile_bit_address(2, 3, 17)
+        mem.set_bit(a, True)
+        assert mem.get_bit(a)
+        mem.set_bit(a, False)
+        assert not mem.get_bit(a)
+
+    def test_set_bits_run(self, mem):
+        a = mem.tile_bit_address(2, 3, PIP_BITS)
+        vals = np.array([1, 0, 1, 1, 0, 1, 0, 0], dtype=np.uint8)
+        mem.set_bits(a, vals)
+        assert np.array_equal(mem.get_bits(a, 8), vals)
+
+    def test_frame_roundtrip(self, mem):
+        data = np.zeros(mem.frame_bits, dtype=np.uint8)
+        data[::7] = 1
+        mem.set_frame(5, data)
+        assert np.array_equal(mem.get_frame(5), data)
+
+    def test_frame_bad_args(self, mem):
+        with pytest.raises(errors.BitstreamError):
+            mem.get_frame(mem.n_frames)
+        with pytest.raises(errors.BitstreamError):
+            mem.set_frame(0, np.zeros(3, dtype=np.uint8))
+
+    def test_frames_of_column(self, mem):
+        f = mem.frames_of_column(2)
+        assert len(f) == FRAMES_PER_COLUMN
+        assert f[0] == 2 * FRAMES_PER_COLUMN
+
+
+class TestDirtyTracking:
+    def test_clean_initially(self, mem):
+        assert mem.dirty_frames == frozenset()
+
+    def test_set_bit_marks_frame(self, mem):
+        a = mem.tile_bit_address(0, 0, 0)
+        mem.set_bit(a, True)
+        assert mem.dirty_frames == {0}
+
+    def test_noop_write_stays_clean(self, mem):
+        a = mem.tile_bit_address(0, 0, 0)
+        mem.set_bit(a, False)  # already 0
+        assert mem.dirty_frames == frozenset()
+
+    def test_clear_dirty(self, mem):
+        mem.set_bit(mem.tile_bit_address(0, 0, 0), True)
+        mem.clear_dirty()
+        assert mem.dirty_frames == frozenset()
+
+    def test_run_spanning_frames(self, mem):
+        # write a run that crosses a frame boundary
+        a = mem.frame_bits - 2
+        mem.set_bits(a, np.ones(4, dtype=np.uint8))
+        assert mem.dirty_frames == {0, 1}
+
+
+class TestCopyDiff:
+    def test_copy_independent(self, mem):
+        other = mem.copy()
+        mem.set_bit(0, True)
+        assert not other.get_bit(0)
+        assert mem != other
+
+    def test_eq(self, mem):
+        assert mem == mem.copy()
+
+    def test_diff_frames(self, mem):
+        other = mem.copy()
+        other.set_bit(other.tile_bit_address(0, 2, 0), True)
+        other.set_bit(other.global_bit_address(1), True)
+        diff = mem.diff_frames(other)
+        assert len(diff) == 2
+        assert other.frame_of_address(other.tile_bit_address(0, 2, 0)) in diff
+        assert other.n_frames - 1 in diff
+
+    def test_diff_different_devices(self, mem):
+        big = ConfigMemory(VirtexArch("XCV100"))
+        with pytest.raises(errors.BitstreamError):
+            mem.diff_frames(big)
+
+    def test_unhashable(self, mem):
+        with pytest.raises(TypeError):
+            hash(mem)

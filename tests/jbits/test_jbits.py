@@ -1,0 +1,107 @@
+"""Unit tests of the JBits get/set interface and its device mirror."""
+
+import pytest
+
+from repro import errors
+from repro.arch import connectivity, wires
+from repro.device.fabric import Device
+from repro.jbits.jbits import JBits
+
+
+@pytest.fixture()
+def jb(device):
+    return JBits(device)
+
+
+class TestPipMirror:
+    def test_set_updates_device_and_bits(self, jb, device):
+        jb.set(5, 7, wires.S1_YQ, wires.OUT[1])
+        assert device.pip_is_on(5, 7, wires.S1_YQ, wires.OUT[1])
+        assert jb.get(5, 7, wires.S1_YQ, wires.OUT[1])
+
+    def test_set_off(self, jb, device):
+        jb.set(5, 7, wires.S1_YQ, wires.OUT[1])
+        jb.set(5, 7, wires.S1_YQ, wires.OUT[1], on=False)
+        assert not jb.get(5, 7, wires.S1_YQ, wires.OUT[1])
+        assert device.state.n_pips_on == 0
+
+    def test_device_side_changes_mirrored(self, jb, device):
+        """PIPs set directly on the device (e.g. by JRoute) land in bits."""
+        device.turn_on(5, 7, wires.OUT[1], wires.SINGLE_E[5])
+        assert jb.get(5, 7, wires.OUT[1], wires.SINGLE_E[5])
+        device.turn_off(5, 7, wires.OUT[1], wires.SINGLE_E[5])
+        assert not jb.get(5, 7, wires.OUT[1], wires.SINGLE_E[5])
+
+    def test_get_unknown_pip(self, jb):
+        with pytest.raises(errors.InvalidPipError):
+            jb.get(5, 7, wires.S0F[1], wires.OUT[0])
+
+    def test_invalid_set_raises_and_leaves_bits_clean(self, jb):
+        with pytest.raises(errors.JRouteError):
+            jb.set(5, 7, wires.S0F[1], wires.OUT[0])
+        assert not jb.memory.bits.any()
+
+    def test_call_count(self, jb):
+        before = jb.call_count
+        jb.set(5, 7, wires.S1_YQ, wires.OUT[1])
+        jb.get(5, 7, wires.S1_YQ, wires.OUT[1])
+        assert jb.call_count == before + 2
+
+
+class TestLuts:
+    @pytest.mark.parametrize("lut", range(4))
+    def test_lut_roundtrip(self, jb, lut):
+        jb.set_lut(3, 4, lut, 0xBEEF)
+        assert jb.get_lut(3, 4, lut) == 0xBEEF
+
+    def test_luts_independent(self, jb):
+        jb.set_lut(3, 4, 0, 0x1111)
+        jb.set_lut(3, 4, 1, 0x2222)
+        jb.set_lut(3, 5, 0, 0x3333)
+        assert jb.get_lut(3, 4, 0) == 0x1111
+        assert jb.get_lut(3, 4, 1) == 0x2222
+        assert jb.get_lut(3, 5, 0) == 0x3333
+
+    def test_lut_overwrite(self, jb):
+        jb.set_lut(0, 0, 2, 0xFFFF)
+        jb.set_lut(0, 0, 2, 0x0001)
+        assert jb.get_lut(0, 0, 2) == 0x0001
+
+    def test_bad_lut_args(self, jb):
+        with pytest.raises(errors.BitstreamError):
+            jb.set_lut(0, 0, 4, 0)
+        with pytest.raises(errors.BitstreamError):
+            jb.set_lut(0, 0, 0, 1 << 16)
+        with pytest.raises(errors.BitstreamError):
+            jb.get_lut(0, 0, -1)
+
+
+class TestModesAndGlobals:
+    def test_mode_bits(self, jb):
+        jb.set_mode_bit(1, 2, 3, True)
+        assert jb.get_mode_bit(1, 2, 3)
+        assert not jb.get_mode_bit(1, 2, 4)
+        with pytest.raises(errors.BitstreamError):
+            jb.set_mode_bit(1, 2, 99, True)
+
+    def test_global_buffers(self, jb):
+        jb.set_global_buffer(2, True)
+        assert jb.get_global_buffer(2)
+        assert not jb.get_global_buffer(0)
+        jb.set_global_buffer(2, False)
+        assert not jb.get_global_buffer(2)
+        with pytest.raises(errors.BitstreamError):
+            jb.set_global_buffer(4, True)
+
+
+class TestReadback:
+    def test_readback_snapshot(self, jb, device):
+        jb.set(5, 7, wires.S1_YQ, wires.OUT[1])
+        snap = jb.readback()
+        jb.set(5, 7, wires.OUT[1], wires.SINGLE_E[5])
+        assert snap != jb.memory  # snapshot is decoupled
+
+    def test_mirror_bit_position(self, jb, device):
+        device.turn_on(5, 7, wires.S1_YQ, wires.OUT[1])
+        slot = connectivity.pip_slot(wires.S1_YQ, wires.OUT[1])
+        assert jb.memory.get_bit(jb.memory.tile_bit_address(5, 7, slot))

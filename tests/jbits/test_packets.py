@@ -1,0 +1,121 @@
+"""Unit tests of the configuration packet stream (full + partial)."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.arch.virtex import VirtexArch
+from repro.jbits.bitstream import ConfigMemory
+from repro.jbits.packets import (
+    CMD_DESYNC,
+    DUMMY_WORD,
+    REG_CMD,
+    REG_FDRI,
+    SYNC_WORD,
+    apply_bitstream,
+    parse_packets,
+    write_bitstream,
+)
+
+
+@pytest.fixture()
+def mem(arch):
+    m = ConfigMemory(arch)
+    # sprinkle some configuration around
+    m.set_bit(m.tile_bit_address(0, 0, 0), True)
+    m.set_bit(m.tile_bit_address(7, 11, 100), True)
+    m.set_bit(m.tile_bit_address(15, 23, 2000), True)
+    m.set_bit(m.global_bit_address(2), True)
+    return m
+
+
+class TestRoundtrips:
+    def test_full_roundtrip(self, arch, mem):
+        stream = write_bitstream(mem)
+        fresh = ConfigMemory(arch)
+        written = apply_bitstream(stream, fresh)
+        assert fresh == mem
+        assert len(written) == mem.n_frames
+
+    def test_partial_roundtrip(self, arch, mem):
+        dirty = mem.dirty_frames
+        stream = write_bitstream(mem, dirty)
+        fresh = ConfigMemory(arch)
+        written = apply_bitstream(stream, fresh)
+        assert set(written) == dirty
+        for f in dirty:
+            assert np.array_equal(fresh.get_frame(f), mem.get_frame(f))
+
+    def test_partial_composes_onto_existing(self, arch, mem):
+        base = mem.copy()
+        mem.clear_dirty()
+        mem.set_bit(mem.tile_bit_address(3, 3, 50), True)
+        stream = write_bitstream(mem, mem.dirty_frames)
+        apply_bitstream(stream, base)
+        assert base == mem
+
+    def test_empty_partial(self, arch, mem):
+        stream = write_bitstream(mem, ())
+        fresh = ConfigMemory(arch)
+        assert apply_bitstream(stream, fresh) == []
+        assert not fresh.bits.any()
+
+    def test_size_proportional_to_frames(self, mem):
+        one = write_bitstream(mem, [0])
+        two = write_bitstream(mem, [0, 1])
+        full = write_bitstream(mem)
+        assert len(one) < len(two) < len(full)
+
+
+class TestStructure:
+    def test_starts_with_dummy_and_sync(self, mem):
+        stream = write_bitstream(mem, [0])
+        assert int.from_bytes(stream[0:4], "big") == DUMMY_WORD
+        assert int.from_bytes(stream[4:8], "big") == SYNC_WORD
+
+    def test_parse_packets(self, mem):
+        stream = write_bitstream(mem, [0, 5])
+        packets = parse_packets(stream)
+        fdri = [p for p in packets if p.register == REG_FDRI]
+        assert len(fdri) == 2
+        cmds = [p for p in packets if p.register == REG_CMD]
+        assert cmds[-1].payload == [CMD_DESYNC]
+
+    def test_bad_frame_request(self, mem):
+        with pytest.raises(errors.BitstreamError):
+            write_bitstream(mem, [mem.n_frames])
+
+
+class TestRobustness:
+    def test_unaligned_stream(self, mem):
+        stream = write_bitstream(mem, [0])
+        with pytest.raises(errors.BitstreamError, match="aligned"):
+            apply_bitstream(stream[:-2], ConfigMemory(mem.arch))
+
+    def test_missing_sync(self, mem):
+        with pytest.raises(errors.BitstreamError, match="sync"):
+            apply_bitstream(b"\x00\x00\x00\x00" * 4, ConfigMemory(mem.arch))
+
+    def test_crc_mismatch(self, arch, mem):
+        stream = bytearray(write_bitstream(mem, [0]))
+        # flip one payload bit (after the headers)
+        stream[40] ^= 0x01
+        with pytest.raises(errors.BitstreamError, match="CRC"):
+            apply_bitstream(bytes(stream), ConfigMemory(arch))
+
+    def test_missing_desync(self, arch, mem):
+        stream = write_bitstream(mem, [0])
+        truncated = stream[:-8]  # drop CMD DESYNC packet
+        with pytest.raises(errors.BitstreamError):
+            apply_bitstream(truncated, ConfigMemory(arch))
+
+    def test_truncated_payload(self, arch, mem):
+        stream = write_bitstream(mem, [0])
+        with pytest.raises(errors.BitstreamError):
+            apply_bitstream(stream[:20], ConfigMemory(arch))
+
+    def test_wrong_device_size(self, mem):
+        stream = write_bitstream(mem, [0])
+        small = ConfigMemory(VirtexArch("XCV100"))
+        with pytest.raises(errors.BitstreamError):
+            apply_bitstream(stream, small)

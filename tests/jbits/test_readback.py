@@ -1,0 +1,79 @@
+"""Unit tests of readback decoding and bit/state coherence checks."""
+
+import pytest
+
+from repro.arch import wires
+from repro.device.fabric import Device
+from repro.jbits.jbits import JBits
+from repro.jbits.readback import (
+    decode_global_buffers,
+    decode_pips,
+    verify_against_device,
+)
+
+
+@pytest.fixture()
+def jb(device):
+    return JBits(device)
+
+
+def route_example(device):
+    device.turn_on(5, 7, wires.S1_YQ, wires.OUT[1])
+    device.turn_on(5, 7, wires.OUT[1], wires.SINGLE_E[5])
+    device.turn_on(5, 8, wires.SINGLE_W[5], wires.SINGLE_N[0])
+    device.turn_on(6, 8, wires.SINGLE_S[0], wires.S0F[3])
+
+
+class TestDecode:
+    def test_empty(self, jb):
+        assert decode_pips(jb.memory) == set()
+
+    def test_decodes_exact_pips(self, jb, device):
+        route_example(device)
+        assert decode_pips(jb.memory) == {
+            (5, 7, wires.S1_YQ, wires.OUT[1]),
+            (5, 7, wires.OUT[1], wires.SINGLE_E[5]),
+            (5, 8, wires.SINGLE_W[5], wires.SINGLE_N[0]),
+            (6, 8, wires.SINGLE_S[0], wires.S0F[3]),
+        }
+
+    def test_decode_after_turn_off(self, jb, device):
+        route_example(device)
+        device.turn_off(6, 8, wires.SINGLE_S[0], wires.S0F[3])
+        assert len(decode_pips(jb.memory)) == 3
+
+    def test_global_buffers(self, jb):
+        assert decode_global_buffers(jb.memory) == (False,) * 4
+        jb.set_global_buffer(1, True)
+        assert decode_global_buffers(jb.memory) == (False, True, False, False)
+
+    def test_lut_bits_do_not_alias_pips(self, jb):
+        jb.set_lut(5, 7, 0, 0xFFFF)
+        jb.set_mode_bit(5, 7, 0, True)
+        assert decode_pips(jb.memory) == set()
+
+
+class TestVerify:
+    def test_coherent(self, jb, device):
+        route_example(device)
+        assert verify_against_device(jb.memory, device) == []
+
+    def test_extra_bit_detected(self, jb, device):
+        route_example(device)
+        from repro.arch import connectivity
+
+        slot = connectivity.pip_slot(wires.S1_YQ, wires.OUT[7])
+        jb.memory.set_bit(jb.memory.tile_bit_address(1, 1, slot), True)
+        problems = verify_against_device(jb.memory, device)
+        assert len(problems) == 1
+        assert "bitstream has PIP" in problems[0]
+
+    def test_missing_bit_detected(self, jb, device):
+        route_example(device)
+        from repro.arch import connectivity
+
+        slot = connectivity.pip_slot(wires.S1_YQ, wires.OUT[1])
+        jb.memory.set_bit(jb.memory.tile_bit_address(5, 7, slot), False)
+        problems = verify_against_device(jb.memory, device)
+        assert len(problems) == 1
+        assert "device state has PIP" in problems[0]

@@ -1,0 +1,96 @@
+"""Tests of the bidirectional meet-in-the-middle router."""
+
+import pytest
+
+from repro import errors
+from repro.arch import wires
+from repro.device.contention import audit_no_contention
+from repro.device.fabric import Device
+from repro.routers.base import apply_plan, plan_cost
+from repro.routers.bidir import route_bidirectional
+from repro.routers.maze import route_maze
+
+
+class TestCorrectness:
+    def test_finds_valid_path(self, device):
+        src = device.resolve(5, 7, wires.S1_YQ)
+        sink = device.resolve(6, 8, wires.S0F[3])
+        res = route_bidirectional(device, src, sink)
+        apply_plan(device, res.plan)
+        assert device.state.root_of(sink) == src
+        assert audit_no_contention(device) == []
+
+    def test_cost_matches_unidirectional(self, device):
+        """Bidirectional Dijkstra must be cost-optimal too."""
+        src = device.resolve(2, 2, wires.S0_X)
+        sink = device.resolve(12, 20, wires.S0F[1])
+        uni = route_maze(device, [src], {sink})
+        bi = route_bidirectional(device, src, sink)
+        assert bi.cost == pytest.approx(uni.cost)
+
+    def test_plan_cost_consistent(self, device):
+        src = device.resolve(2, 2, wires.S0_X)
+        sink = device.resolve(9, 14, wires.S1F[2])
+        res = route_bidirectional(device, src, sink)
+        assert res.cost == pytest.approx(plan_cost(device, res.plan))
+
+    def test_source_equals_sink(self, device):
+        src = device.resolve(5, 7, wires.S1_YQ)
+        res = route_bidirectional(device, src, src)
+        assert res.plan == []
+
+    def test_occupied_sink_rejected(self, device):
+        src = device.resolve(5, 7, wires.S1_YQ)
+        sink = device.resolve(6, 8, wires.S0F[3])
+        res = route_bidirectional(device, src, sink)
+        apply_plan(device, res.plan)
+        other = device.resolve(2, 2, wires.S0_X)
+        with pytest.raises(errors.UnroutableError):
+            route_bidirectional(device, other, sink)
+
+    def test_avoids_foreign_nets(self, device):
+        src = device.resolve(5, 7, wires.S1_YQ)
+        sink = device.resolve(6, 8, wires.S0F[3])
+        first = route_bidirectional(device, src, sink)
+        apply_plan(device, first.plan)
+        src2 = device.resolve(5, 7, wires.S0_X)
+        sink2 = device.resolve(6, 8, wires.S0F[2])
+        second = route_bidirectional(device, src2, sink2)
+        used1 = {device.arch.canonicalize(r, c, t) for r, c, _, t in first.plan}
+        used2 = {device.arch.canonicalize(r, c, t) for r, c, _, t in second.plan}
+        assert not used1 & used2
+
+    def test_reuse_tree(self, device):
+        src = device.resolve(2, 2, wires.S0_X)
+        sink1 = device.resolve(10, 16, wires.S0F[1])
+        res1 = route_bidirectional(device, src, sink1)
+        apply_plan(device, res1.plan)
+        tree = set(device.state.subtree(src))
+        sink2 = device.resolve(10, 16, wires.S0F[2])
+        res2 = route_bidirectional(device, src, sink2, reuse=tree)
+        assert len(res2.plan) < len(res1.plan)
+        apply_plan(device, res2.plan)
+        assert audit_no_contention(device) == []
+
+    def test_no_longs_mode(self, device):
+        src = device.resolve(1, 1, wires.S0_X)
+        sink = device.resolve(14, 22, wires.S1F[2])
+        res = route_bidirectional(device, src, sink, use_longs=False)
+        lo, hi = wires.LONG_H[0], wires.LONG_V[-1]
+        for _, _, _, tn in res.plan:
+            assert not lo <= tn <= hi
+
+    def test_budget(self, device):
+        src = device.resolve(1, 1, wires.S0_X)
+        sink = device.resolve(14, 22, wires.S1F[2])
+        with pytest.raises(errors.UnroutableError):
+            route_bidirectional(device, src, sink, max_nodes=3)
+
+
+class TestEfficiency:
+    def test_fewer_expansions_than_unidirectional(self, device):
+        src = device.resolve(1, 1, wires.S0_X)
+        sink = device.resolve(14, 22, wires.S1F[2])
+        uni = route_maze(device, [src], {sink})
+        bi = route_bidirectional(device, src, sink)
+        assert bi.nodes_expanded < uni.nodes_expanded

@@ -1,0 +1,120 @@
+"""Capacity-stress tests: behaviour at and beyond fabric saturation.
+
+The paper's contract for route failures (§3.1): "The call would fail if
+there is no combination of resources that are available ... In this case
+a user action is required."  These tests drive the fabric toward
+saturation and verify that failure is an exception, never corruption,
+and that the device remains fully usable afterwards.
+"""
+
+import pytest
+
+from repro import errors
+from repro.arch import wires
+from repro.device.contention import audit_no_contention
+from repro.device.fabric import Device
+from repro.routers.auto import route_point_to_point
+from repro.routers.base import apply_plan
+from repro.routers.maze import route_maze
+
+
+def saturating_nets(device, n):
+    """n nets between two small clusters (unique pins, heavy competition)."""
+    nets = []
+    for i in range(n):
+        sr, sc = 4 + i % 2, 4 + (i // 2) % 2
+        tr, tc = 10 + i % 2, 18 + (i // 2) % 2
+        src = device.resolve(sr, sc, wires.SLICE_OUT_BASE + (i // 4) % 8)
+        sink = device.resolve(tr, tc, wires.SLICE_IN_BASE + (i // 4) % 20)
+        nets.append((src, sink))
+    return nets
+
+
+class TestClusterSaturation:
+    def test_full_cluster_routes(self):
+        """All 32 source pins of a 2x2 cluster can leave simultaneously."""
+        device = Device("XCV50")
+        for src, sink in saturating_nets(device, 32):
+            res = route_point_to_point(device, src, sink, heuristic_weight=0.8)
+            apply_plan(device, res.plan)
+        assert audit_no_contention(device) == []
+
+    def test_omux_exhaustion_fails_cleanly(self):
+        """A source whose whole OMUX is foreign-occupied cannot route,
+        and says so with an exception (no partial state)."""
+        device = Device("XCV50")
+        from repro.arch import connectivity
+
+        # occupy every OUT wire of tile (5,5) with other slice outputs
+        for j in range(8):
+            for from_name in connectivity.DRIVEN_BY[wires.OUT[j]]:
+                if from_name == wires.S1_YQ:
+                    continue
+                try:
+                    device.turn_on(5, 5, from_name, wires.OUT[j])
+                    break
+                except errors.JRouteError:
+                    continue
+        pips_before = device.state.n_pips_on
+        src = device.resolve(5, 5, wires.S1_YQ)
+        sink = device.resolve(8, 8, wires.S0F[1])
+        with pytest.raises(errors.UnroutableError):
+            route_maze(device, [src], {sink}, heuristic_weight=0.8)
+        assert device.state.n_pips_on == pips_before
+        assert audit_no_contention(device) == []
+
+    def test_failure_then_unroute_then_success(self):
+        """After a clean failure, freeing resources makes the route work —
+        the 'user action' the paper prescribes."""
+        device = Device("XCV50")
+        from repro.arch import connectivity
+
+        blockers = []
+        for j in range(8):
+            for from_name in connectivity.DRIVEN_BY[wires.OUT[j]]:
+                if from_name == wires.S1_YQ:
+                    continue
+                try:
+                    device.turn_on(5, 5, from_name, wires.OUT[j])
+                    blockers.append((5, 5, from_name, wires.OUT[j]))
+                    break
+                except errors.JRouteError:
+                    continue
+        src = device.resolve(5, 5, wires.S1_YQ)
+        sink = device.resolve(8, 8, wires.S0F[1])
+        with pytest.raises(errors.UnroutableError):
+            route_maze(device, [src], {sink}, heuristic_weight=0.8)
+        # the user frees an OUT wire that S1_YQ can actually drive
+        from repro.arch import connectivity as conn
+
+        freeable = next(
+            b for b in blockers if conn.pip_exists(wires.S1_YQ, b[3])
+        )
+        device.turn_off(*freeable)
+        res = route_maze(device, [src], {sink}, heuristic_weight=0.8)
+        apply_plan(device, res.plan)
+        assert device.state.root_of(sink) == src
+
+
+class TestInputPoolSaturation:
+    def test_tile_input_saturation(self):
+        """Drive every input of one tile from distinct distant sources;
+        all 26 must be reachable (full input-pool coverage)."""
+        device = Device("XCV50")
+        target = (8, 12)
+        routed = 0
+        for k, sink_name in enumerate(wires.ALL_SINK_NAMES):
+            sr = 2 + (k % 12)
+            sc = 2 + (k % 20)
+            if (sr, sc) == target:
+                continue
+            src = device.resolve(sr, sc, wires.SLICE_OUT_BASE + k % 8)
+            if device.state.occupied[src]:
+                continue
+            sink = device.resolve(*target, sink_name)
+            res = route_point_to_point(device, src, sink, heuristic_weight=0.8,
+                                       try_templates=False)
+            apply_plan(device, res.plan)
+            routed += 1
+        assert routed == len(wires.ALL_SINK_NAMES)
+        assert audit_no_contention(device) == []

@@ -1,0 +1,140 @@
+"""Unit tests of the maze (Dijkstra/A*) router."""
+
+import pytest
+
+from repro import errors
+from repro.arch import wires
+from repro.routers.base import apply_plan, plan_cost
+from repro.routers.maze import route_maze
+
+
+def src_sink(device, sr=5, sc=7, tr=6, tc=8):
+    return (
+        device.resolve(sr, sc, wires.S1_YQ),
+        device.resolve(tr, tc, wires.S0F[3]),
+    )
+
+
+class TestBasics:
+    def test_finds_path(self, device):
+        src, sink = src_sink(device)
+        res = route_maze(device, [src], {sink})
+        assert res.plan
+        assert res.target == sink
+        apply_plan(device, res.plan)
+        assert device.state.root_of(sink) == src
+
+    def test_plan_is_connected_chain(self, device):
+        src, sink = src_sink(device, 2, 2, 12, 20)
+        res = route_maze(device, [src], {sink})
+        on_wires = {src}
+        for row, col, fn, tn in res.plan:
+            cf = device.arch.canonicalize(row, col, fn)
+            assert cf in on_wires
+            on_wires.add(device.arch.canonicalize(row, col, tn))
+        assert sink in on_wires
+
+    def test_source_equals_target(self, device):
+        src, _ = src_sink(device)
+        res = route_maze(device, [src], {src})
+        assert res.plan == [] and res.cost == 0.0
+
+    def test_no_targets(self, device):
+        src, _ = src_sink(device)
+        with pytest.raises(errors.UnroutableError):
+            route_maze(device, [src], set())
+
+    def test_no_sources(self, device):
+        _, sink = src_sink(device)
+        with pytest.raises(errors.UnroutableError):
+            route_maze(device, [], {sink})
+
+    def test_plan_does_not_mutate_device(self, device):
+        src, sink = src_sink(device)
+        route_maze(device, [src], {sink})
+        assert device.state.n_pips_on == 0
+
+
+class TestAvoidance:
+    def test_avoids_occupied_wires(self, device):
+        src, sink = src_sink(device)
+        res1 = route_maze(device, [src], {sink})
+        apply_plan(device, res1.plan)
+        # a second net to the neighbouring pin must not touch net 1's wires
+        src2 = device.resolve(5, 7, wires.S0_X)
+        sink2 = device.resolve(6, 8, wires.S0F[2])
+        res2 = route_maze(device, [src2], {sink2})
+        used1 = {device.arch.canonicalize(r, c, t) for r, c, _, t in res1.plan}
+        used2 = {device.arch.canonicalize(r, c, t) for r, c, _, t in res2.plan}
+        assert not used1 & used2
+
+    def test_reuse_set_is_free(self, device):
+        src, sink = src_sink(device)
+        res1 = route_maze(device, [src], {sink})
+        apply_plan(device, res1.plan)
+        tree = set(device.state.subtree(src))
+        sink2 = device.resolve(6, 8, wires.S0F[2])
+        res2 = route_maze(device, [src], {sink2}, reuse=tree)
+        # reuse makes the extension far cheaper than a fresh route
+        assert len(res2.plan) < len(res1.plan)
+
+    def test_unroutable_when_walled_off(self, device):
+        """Exhaust all four OMUX taps of a source; no path can leave."""
+        src = device.resolve(5, 7, wires.S1_YQ)
+        other_src = device.resolve(5, 7, wires.S0_X)
+        from repro.arch import connectivity
+
+        for j in range(8):
+            out = device.arch.canonicalize(5, 7, wires.OUT[j])
+            for from_name in connectivity.DRIVEN_BY[wires.OUT[j]]:
+                if from_name == wires.S1_YQ:
+                    continue
+                try:
+                    device.turn_on(5, 7, from_name, wires.OUT[j])
+                    break
+                except errors.JRouteError:
+                    continue
+        sink = device.resolve(6, 8, wires.S0F[3])
+        with pytest.raises(errors.UnroutableError):
+            route_maze(device, [src], {sink})
+
+    def test_max_nodes_budget(self, device):
+        src, sink = src_sink(device, 1, 1, 14, 22)
+        with pytest.raises(errors.UnroutableError, match="expansions"):
+            route_maze(device, [src], {sink}, max_nodes=5)
+
+
+class TestCostsAndModes:
+    def test_cost_matches_plan(self, device):
+        src, sink = src_sink(device, 2, 2, 9, 13)
+        res = route_maze(device, [src], {sink})
+        assert res.cost == pytest.approx(plan_cost(device, res.plan))
+
+    def test_no_longs_mode(self, device):
+        src = device.resolve(1, 1, wires.S0_X)
+        sink = device.resolve(14, 22, wires.S1F[2])
+        res = route_maze(device, [src], {sink}, use_longs=False)
+        long_lo, long_hi = wires.LONG_H[0], wires.LONG_V[-1]
+        for _, _, _, tn in res.plan:
+            assert not long_lo <= tn <= long_hi
+
+    def test_heuristic_expands_fewer_nodes(self, device):
+        src = device.resolve(1, 1, wires.S0_X)
+        sink = device.resolve(14, 22, wires.S1F[2])
+        plain = route_maze(device, [src], {sink})
+        astar = route_maze(device, [src], {sink}, heuristic_weight=0.9)
+        assert astar.nodes_expanded < plain.nodes_expanded
+
+    def test_heuristic_cost_not_much_worse(self, device):
+        src = device.resolve(1, 1, wires.S0_X)
+        sink = device.resolve(12, 18, wires.S1F[2])
+        plain = route_maze(device, [src], {sink})
+        astar = route_maze(device, [src], {sink}, heuristic_weight=0.5)
+        assert astar.cost <= plain.cost * 1.5
+
+    def test_multiple_targets_any_reached(self, device):
+        src = device.resolve(5, 7, wires.S1_YQ)
+        near = device.resolve(6, 8, wires.S0F[3])
+        far = device.resolve(14, 22, wires.S0F[3])
+        res = route_maze(device, [src], {near, far})
+        assert res.target == near  # cheaper one wins under Dijkstra

@@ -1,0 +1,132 @@
+"""Unit tests of the template DFS router and the predefined template sets."""
+
+import pytest
+
+from repro import errors
+from repro.arch import wires
+from repro.arch.templates import TemplateValue as TV, template_value_of
+from repro.routers.base import apply_plan
+from repro.routers.template_router import route_template
+from repro.routers.template_sets import MAX_ALL_SINGLES, predefined_templates
+
+
+class TestTemplateRouter:
+    def test_follows_values_exactly(self, device):
+        start = device.resolve(5, 7, wires.S1_YQ)
+        values = (TV.OUTMUX, TV.EAST1, TV.NORTH1, TV.CLBIN)
+        plan = route_template(device, start, values, end_wire=wires.S0F[3])
+        assert [template_value_of(t) for _, _, _, t in plan] == list(values)
+
+    def test_directional_values_move(self, device):
+        """EAST1 travels one tile east; the final pip is at (6,8)."""
+        start = device.resolve(5, 7, wires.S1_YQ)
+        values = (TV.OUTMUX, TV.EAST1, TV.NORTH1, TV.CLBIN)
+        plan = route_template(device, start, values, end_wire=wires.S0F[3])
+        assert plan[-1][:2] == (6, 8)
+
+    def test_end_canon_pins_the_tile(self, device):
+        start = device.resolve(5, 7, wires.S1_YQ)
+        sink = device.resolve(6, 8, wires.S0F[3])
+        values = (TV.OUTMUX, TV.EAST1, TV.NORTH1, TV.CLBIN)
+        plan = route_template(device, start, values, end_canon=sink)
+        assert device.arch.canonicalize(*plan[-1][:2], plan[-1][3]) == sink
+
+    def test_both_goals_rejected(self, device):
+        start = device.resolve(5, 7, wires.S1_YQ)
+        with pytest.raises(errors.JRouteError):
+            route_template(device, start, (TV.OUTMUX,), end_wire=1, end_canon=2)
+        with pytest.raises(errors.JRouteError):
+            route_template(device, start, (TV.OUTMUX,))
+
+    def test_empty_template_rejected(self, device):
+        start = device.resolve(5, 7, wires.S1_YQ)
+        with pytest.raises(errors.JRouteError):
+            route_template(device, start, (), end_wire=wires.S0F[3])
+
+    def test_avoids_used_wires(self, device):
+        """'it checks to make sure the wire is not already in use'"""
+        start = device.resolve(5, 7, wires.S1_YQ)
+        values = (TV.OUTMUX, TV.EAST1, TV.NORTH1, TV.CLBIN)
+        plan1 = route_template(device, start, values, end_wire=wires.S0F[3])
+        apply_plan(device, plan1)
+        start2 = device.resolve(5, 7, wires.S0_X)
+        plan2 = route_template(device, start2, values, end_wire=wires.S0F[2])
+        used1 = {device.arch.canonicalize(r, c, t) for r, c, _, t in plan1}
+        used2 = {device.arch.canonicalize(r, c, t) for r, c, _, t in plan2}
+        assert not used1 & used2
+
+    def test_impossible_template(self, device):
+        start = device.resolve(5, 0, wires.S0_X)
+        with pytest.raises(errors.UnroutableError):
+            route_template(device, start, (TV.OUTMUX, TV.WEST1, TV.CLBIN),
+                           end_wire=wires.S0F[1])
+
+    def test_budget_exhaustion(self, device):
+        start = device.resolve(5, 7, wires.S1_YQ)
+        long_values = (TV.OUTMUX,) + (TV.EAST1, TV.WEST1) * 6 + (TV.CLBIN,)
+        with pytest.raises(errors.UnroutableError):
+            route_template(device, start, long_values,
+                           end_wire=wires.S0F[3], max_nodes=3)
+
+    def test_plan_has_no_duplicate_targets(self, device):
+        start = device.resolve(5, 7, wires.S1_YQ)
+        values = (TV.OUTMUX, TV.EAST1, TV.EAST1, TV.WEST1, TV.CLBIN)
+        plan = route_template(device, start, values, end_wire=wires.S0F[1])
+        targets = [device.arch.canonicalize(r, c, t) for r, c, _, t in plan]
+        assert len(set(targets)) == len(targets)
+
+
+class TestTemplateSets:
+    def test_all_variants_travel_the_displacement(self):
+        for dr, dc in ((0, 0), (3, 0), (0, -4), (7, 7), (-13, 5), (12, -12)):
+            for tmpl in predefined_templates(dr, dc):
+                movement = [v for v in tmpl
+                            if v not in (TV.OUTMUX, TV.CLBIN)]
+                from repro.core.template import Template
+
+                assert Template(movement or [TV.OUTMUX]).displacement() == (
+                    (dr, dc) if movement else (0, 0)
+                )
+
+    def test_single_before_clbin(self):
+        """No variant ends its movement on a hex (hexes can't drive inputs)."""
+        for dr, dc in ((6, 0), (12, 12), (0, 18), (-6, 6)):
+            for tmpl in predefined_templates(dr, dc):
+                movement = [v for v in tmpl if v not in (TV.OUTMUX, TV.CLBIN)]
+                if movement:
+                    assert movement[-1] in (
+                        TV.EAST1, TV.WEST1, TV.NORTH1, TV.SOUTH1
+                    )
+
+    def test_prefix_suffix(self):
+        for tmpl in predefined_templates(2, 3):
+            assert tmpl[0] is TV.OUTMUX
+            assert tmpl[len(tmpl) - 1] is TV.CLBIN
+
+    def test_zero_displacement(self):
+        tmpls = predefined_templates(0, 0)
+        assert len(tmpls) == 1
+        assert list(tmpls[0]) == [TV.OUTMUX, TV.CLBIN]
+
+    def test_unique(self):
+        tmpls = predefined_templates(7, -9)
+        assert len({tuple(t.values) for t in tmpls}) == len(tmpls)
+
+    def test_sorted_by_length(self):
+        lengths = [len(t) for t in predefined_templates(10, 10)]
+        assert lengths == sorted(lengths)
+
+    def test_all_singles_variant_for_short_nets(self):
+        tmpls = predefined_templates(7, 0)
+        assert any(
+            all(v in (TV.NORTH1, TV.OUTMUX, TV.CLBIN) for v in t)
+            for t in tmpls
+        )
+
+    def test_max_templates_cap(self):
+        assert len(predefined_templates(11, -11, max_templates=5)) <= 5
+
+    def test_bare_movement(self):
+        tmpls = predefined_templates(6, 0, prefix=(), suffix=())
+        for t in tmpls:
+            assert t[0] not in (TV.OUTMUX, TV.CLBIN)

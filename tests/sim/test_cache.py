@@ -1,0 +1,40 @@
+"""Simulator site-cache behaviour."""
+
+import pytest
+
+from repro.core import JRouter
+from repro.cores import RegisterCore
+from repro.sim import Simulator
+
+
+class TestSiteCache:
+    def test_cache_reused_across_steps(self, router100=None):
+        router = JRouter(part="XCV100")
+        RegisterCore(router, "reg", 2, 2, width=4)
+        sim = Simulator(router.device, router.jbits)
+        a = sim.registered_sites()
+        sim.step(3)
+        assert sim.registered_sites() is a  # same cached list object
+
+    def test_invalidate_picks_up_new_sites(self):
+        router = JRouter(part="XCV100")
+        RegisterCore(router, "r1", 2, 2, width=4)
+        sim = Simulator(router.device, router.jbits)
+        assert len(sim.registered_sites()) == 4
+        RegisterCore(router, "r2", 2, 4, width=4)
+        assert len(sim.registered_sites()) == 4  # stale by design
+        sim.invalidate()
+        assert len(sim.registered_sites()) == 8
+
+    def test_lut_rewrites_do_not_need_invalidate(self):
+        from repro.cores import ConstantCore
+
+        router = JRouter(part="XCV100")
+        reg = RegisterCore(router, "reg", 2, 2, width=2)
+        k = ConstantCore(router, "k", 2, 4, width=2, value=0)
+        router.route(list(k.get_ports("out")), list(reg.get_ports("d")))
+        sim = Simulator(router.device, router.jbits)
+        sim.step()
+        k.set_value(3)  # LUT rewrite only
+        sim.step()
+        assert sim.read_bus(reg.get_ports("q")) == 3

@@ -1,0 +1,95 @@
+"""Additional simulator coverage: globals at pins, forced FFs, edge cases."""
+
+import pytest
+
+from repro.arch import wires
+from repro.core import JRouter, Pin
+from repro.cores import ConstantCore, RegisterCore
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def r100():
+    return JRouter(part="XCV100")
+
+
+class TestGlobalNets:
+    def test_global_value_seen_at_all_routed_pins(self, router):
+        sinks = [Pin(2, 3, wires.S0_CLK), Pin(10, 20, wires.S1_CLK),
+                 Pin(7, 7, wires.S0_CLK)]
+        router.route_clock(2, sinks)
+        sim = Simulator(router.device, router.jbits)
+        sim.set_global(2, 1)
+        for p in sinks:
+            assert sim.wire_value(p.row, p.col, p.wire) == 1
+        sim.set_global(2, 0)
+        for p in sinks:
+            assert sim.wire_value(p.row, p.col, p.wire) == 0
+
+    def test_globals_independent(self, router):
+        router.route_clock(0, [Pin(2, 3, wires.S0_CLK)])
+        router.route_clock(1, [Pin(2, 3, wires.S1_CLK)])
+        sim = Simulator(router.device, router.jbits)
+        sim.set_global(0, 1)
+        assert sim.wire_value(2, 3, wires.S0_CLK) == 1
+        assert sim.wire_value(2, 3, wires.S1_CLK) == 0
+
+
+class TestForcedRegisteredOutputs:
+    def test_force_overrides_ff_state(self, r100):
+        reg = RegisterCore(r100, "reg", 2, 2, width=1)
+        q = reg.get_ports("q")[0].resolve_pins()[0]
+        sim = Simulator(r100.device, r100.jbits)
+        assert sim.wire_value(q.row, q.col, q.wire) == 0
+        sim.force(q.row, q.col, q.wire, 1)
+        assert sim.wire_value(q.row, q.col, q.wire) == 1
+        sim.release(q.row, q.col, q.wire)
+        assert sim.wire_value(q.row, q.col, q.wire) == 0
+
+    def test_forced_input_pin_default_only_while_unrouted(self, r100):
+        """A force on an input pin acts as a default; a routed net wins."""
+        reg = RegisterCore(r100, "reg", 2, 2, width=1)
+        d = reg.get_ports("d")[0].resolve_pins()[0]
+        sim = Simulator(r100.device, r100.jbits)
+        sim.force(d.row, d.col, d.wire, 1)
+        sim.step()
+        assert sim.read_bus(reg.get_ports("q")) == 1
+        # now route a constant 0 into the pin: the net value dominates
+        k = ConstantCore(r100, "k", 2, 4, width=1, value=0)
+        r100.route(k.get_ports("out")[0], reg.get_ports("d")[0])
+        sim.step()
+        assert sim.read_bus(reg.get_ports("q")) == 0
+
+
+class TestCycleCounter:
+    def test_cycle_advances(self, r100):
+        RegisterCore(r100, "reg", 2, 2, width=1)
+        sim = Simulator(r100.device, r100.jbits)
+        assert sim.cycle == 0
+        sim.step(5)
+        assert sim.cycle == 5
+        sim.reset()
+        assert sim.cycle == 0
+
+    def test_step_zero_cycles(self, r100):
+        sim = Simulator(r100.device, r100.jbits)
+        sim.step(0)
+        assert sim.cycle == 0
+
+
+class TestInterconnectTransparency:
+    def test_long_line_carries_value(self, router):
+        """Values propagate across a long line like any other wire."""
+        from repro.routers.base import apply_plan
+        from repro.routers.maze import route_maze
+        from repro.arch.wires import WireClass
+
+        device = router.device
+        src = device.resolve(1, 1, wires.S0_X)
+        sink = device.resolve(14, 22, wires.S1F[2])
+        res = route_maze(device, [src], {sink}, heuristic_weight=0.9)
+        classes = {wires.wire_info(t).wire_class for _, _, _, t in res.plan}
+        apply_plan(device, res.plan)
+        sim = Simulator(device, router.jbits)
+        sim.force(1, 1, wires.S0_X, 1)
+        assert sim.wire_value(14, 22, wires.S1F[2]) == 1

@@ -1,0 +1,86 @@
+"""Tests of the CLI tool layer (paper §1: tools built on the API)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_help(self, capsys):
+        assert main([]) == 0
+        assert "census" in capsys.readouterr().out
+
+    def test_parts(self, capsys):
+        assert main(["parts"]) == 0
+        out = capsys.readouterr().out
+        assert "XCV50" in out and "XCV1000" in out
+
+    def test_census(self, capsys):
+        assert main(["census", "XCV50"]) == 0
+        out = capsys.readouterr().out
+        assert "16x24" in out
+        assert "singles/direction : 24" in out
+
+    def test_census_default_part(self, capsys):
+        assert main(["census"]) == 0
+        assert "XCV50" in capsys.readouterr().out
+
+    def test_wires_filter(self, capsys):
+        assert main(["wires", "SingleEast"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("SingleEast") == 24
+
+    def test_route(self, capsys):
+        rc = main(["route", "XCV50", "5", "7", "S1_YQ", "6", "8", "S0F3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "routed with" in out
+        assert "S0F3" in out
+
+    def test_route_bad_wire(self, capsys):
+        rc = main(["route", "XCV50", "5", "7", "NopeWire", "6", "8", "S0F3"])
+        assert rc == 2
+
+    def test_route_bad_arity(self):
+        assert main(["route", "XCV50"]) == 2
+
+    def test_route_unroutable(self, capsys):
+        # sink at a tile whose name doesn't exist there -> clean failure
+        rc = main(["route", "XCV50", "0", "23", "S1_YQ", "0", "23", "SingleEast[0]"])
+        assert rc in (1, 2)
+
+    def test_pads(self, capsys):
+        assert main(["pads", "XCV50"]) == 0
+        out = capsys.readouterr().out
+        assert "south" in out and "in" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        assert "S1_YQ@(5,7)" in capsys.readouterr().out
+
+    def test_report(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "# Demo design report" in out
+        assert "## Nets" in out
+
+    def test_run_script(self, capsys, tmp_path):
+        script = tmp_path / "t.route"
+        script.write_text("device XCV50\npip 5 7 S1_YQ Out[1]\n")
+        assert main(["run", str(script)]) == 0
+        assert "1 PIPs added" in capsys.readouterr().out
+
+    def test_run_script_failure(self, capsys, tmp_path):
+        script = tmp_path / "t.route"
+        script.write_text("device XCV50\npip 5 7 S0F1 Out[1]\n")
+        assert main(["run", str(script)]) == 1
+
+    def test_run_missing_file(self):
+        assert main(["run", "/nonexistent.route"]) == 2
+
+    def test_unknown_command(self, capsys):
+        assert main(["frobnicate"]) == 2
+
+    def test_experiments_passthrough(self, capsys):
+        assert main(["experiments", "e1"]) == 0
+        assert "E1" in capsys.readouterr().out

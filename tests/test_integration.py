@@ -1,0 +1,197 @@
+"""Integration scenarios spanning every subsystem.
+
+Each scenario drives the public API the way a JBits/JRoute user would,
+then audits all three views — routing state, port database, bitstream —
+for coherence.
+"""
+
+import pytest
+
+from repro import errors
+from repro.arch import wires
+from repro.arch.templates import TemplateValue as TV
+from repro.core import JRouter, Path, Pin, Template
+from repro.cores import (
+    AdderCore,
+    ConstantMultiplierCore,
+    CounterCore,
+    RegisterCore,
+    relocate_core,
+    replace_core,
+)
+from repro.debug.boardscope import BoardScope
+from repro.debug.netlist import export_netlist, replay_netlist
+from repro.device.contention import audit_no_contention
+from repro.jbits import apply_bitstream, write_bitstream
+from repro.jbits.readback import decode_pips, verify_against_device
+
+
+def audit(router):
+    assert audit_no_contention(router.device) == []
+    assert verify_against_device(router.jbits.memory, router.device) == []
+
+
+class TestPaperWalkthrough:
+    """The running example of Section 3.1, through all four mechanisms."""
+
+    def test_all_levels_reach_the_same_sink(self, router):
+        src = Pin(5, 7, wires.S1_YQ)
+        sink_canon = router.device.resolve(6, 8, wires.S0F[3])
+        results = {}
+
+        router.route(5, 7, wires.S1_YQ, wires.OUT[1])
+        router.route(5, 7, wires.OUT[1], wires.SINGLE_E[5])
+        router.route(5, 8, wires.SINGLE_W[5], wires.SINGLE_N[0])
+        router.route(6, 8, wires.SINGLE_S[0], wires.S0F[3])
+        results["level1"] = router.trace(src).sinks
+        router.unroute(src)
+
+        router.route(Path(5, 7, [wires.S1_YQ, wires.OUT[1], wires.SINGLE_E[5],
+                                 wires.SINGLE_N[0], wires.S0F[3]]))
+        results["path"] = router.trace(src).sinks
+        router.unroute(src)
+
+        router.route(src, wires.S0F[3],
+                     Template([TV.OUTMUX, TV.EAST1, TV.NORTH1, TV.CLBIN]))
+        results["template"] = router.trace(src).sinks
+        router.unroute(src)
+
+        router.route(src, Pin(6, 8, wires.S0F[3]))
+        results["auto"] = router.trace(src).sinks
+        router.unroute(src)
+
+        assert all(v == [sink_canon] for v in results.values())
+        assert router.device.state.n_pips_on == 0
+        audit(router)
+
+
+class TestDataflowDesign:
+    """The paper's motivating design style: cores wired port-to-port."""
+
+    def test_multiplier_into_adder_into_register(self, router100):
+        r = router100
+        kcm = ConstantMultiplierCore(r, "mult", 2, 2, width=4, constant=9)
+        adder = AdderCore(r, "acc", 2, 6, width=kcm.out_width)
+        reg = RegisterCore(r, "out", 2, 10, width=kcm.out_width)
+        r.route(list(kcm.get_ports("out")), list(adder.get_ports("a")))
+        r.route(list(adder.get_ports("sum")), list(reg.get_ports("d")))
+        r.route_clock(0, [reg.get_ports("clk")[0]])
+        audit(r)
+        # every adder 'a' pin is driven from the multiplier
+        for port in adder.get_ports("a"):
+            for pin in port.resolve_pins():
+                canon = r.device.resolve(pin.row, pin.col, pin.wire)
+                root = r.device.state.root_of(canon)
+                rr, cc, _ = r.device.arch.primary_name(root)
+                assert kcm.footprint().contains_tile(rr, cc)
+
+    def test_netlist_roundtrip_of_full_design(self, router100):
+        r = router100
+        ctr = CounterCore(r, "ctr", 2, 2, width=4)
+        mon = RegisterCore(r, "mon", 2, 8, width=4)
+        r.route(list(ctr.get_ports("q")), list(mon.get_ports("d")))
+        netlist = export_netlist(r.device)
+        fresh = JRouter(part="XCV100")
+        replay_netlist(fresh, netlist)
+        assert decode_pips(fresh.jbits.memory) == decode_pips(r.jbits.memory)
+
+
+class TestRtrScenario:
+    """Section 3.3's full story: swap, relocate, partial reconfig."""
+
+    def test_constant_swap_end_to_end(self, router100):
+        r = router100
+        kcm = ConstantMultiplierCore(r, "kcm", 2, 2, width=4, constant=5)
+        reg = RegisterCore(r, "reg", 2, 6, width=kcm.out_width)
+        r.route(list(kcm.get_ports("out")), list(reg.get_ports("d")))
+        golden_pips = decode_pips(r.jbits.memory)
+        r.jbits.memory.clear_dirty()
+
+        kcm = replace_core(kcm, constant=6)
+        audit(r)
+        # routing restored identically (same ports, same placements)
+        assert decode_pips(r.jbits.memory) == golden_pips
+
+        # ship the change as a partial bitstream to a 'deployed' device
+        deployed = JRouter(part="XCV100")
+        full = write_bitstream(r.jbits.memory)
+        apply_bitstream(full, deployed.jbits.memory)
+        assert deployed.jbits.memory == r.jbits.memory
+
+    def test_relocation_with_live_neighbours(self, router100):
+        r = router100
+        kcm = ConstantMultiplierCore(r, "kcm", 2, 2, width=4, constant=5)
+        reg = RegisterCore(r, "reg", 2, 6, width=kcm.out_width)
+        bystander = CounterCore(r, "ctr", 10, 10, width=4)
+        r.route(list(kcm.get_ports("out")), list(reg.get_ports("d")))
+        bystander_pips = {
+            p for p in decode_pips(r.jbits.memory)
+            if bystander.footprint().contains_tile(p[0], p[1])
+        }
+        relocate_core(kcm, 12, 2)
+        audit(r)
+        # the bystander's configuration was untouched
+        after = decode_pips(r.jbits.memory)
+        assert bystander_pips <= after
+
+    def test_unroute_then_manual_reroute(self, router):
+        src = Pin(5, 7, wires.S1_YQ)
+        router.route(src, Pin(6, 8, wires.S0F[3]))
+        router.unroute(src)
+        # freed resources are immediately reusable at level 1
+        router.route(5, 7, wires.S1_YQ, wires.OUT[1])
+        router.route(5, 7, wires.OUT[1], wires.SINGLE_E[5])
+        audit(router)
+
+
+class TestDebugViews:
+    def test_boardscope_sees_what_the_router_did(self, router100):
+        r = router100
+        ctr = CounterCore(r, "ctr", 2, 2, width=4)
+        scope = BoardScope(r.device, r.jbits)
+        assert scope.crosscheck() == []
+        summary = scope.summary()
+        assert summary.pips_on == r.device.state.n_pips_on
+        # bitstream-derived trace of the register's q net matches state
+        reg = next(c for c in ctr.children if c.instance_name.endswith("/reg"))
+        q0 = reg.get_ports("q")[0].resolve_pins()[0]
+        canon = r.device.resolve(q0.row, q0.col, q0.wire)
+        bit_trace = scope.trace_from_bitstream(canon)
+        state_sinks = set(r.trace(reg.get_ports("q")[0]).sinks)
+        assert set(bit_trace.sinks) == state_sinks
+
+
+class TestStress:
+    def test_many_nets_then_full_teardown(self, router):
+        from repro.bench.workloads import random_p2p_nets
+
+        nets = random_p2p_nets(router.device.arch, 25, seed=42)
+        routed = []
+        for net in nets:
+            try:
+                router.route(net.source, net.sinks)
+                routed.append(net)
+            except errors.JRouteError:
+                pass
+        assert len(routed) >= 20  # the fabric should absorb most of these
+        audit(router)
+        for net in routed:
+            router.unroute(net.source)
+        assert router.device.state.n_pips_on == 0
+        assert not router.device.state.occupied.any()
+        assert decode_pips(router.jbits.memory) == set()
+
+    def test_interleaved_route_unroute_churn(self, router):
+        from repro.bench.workloads import random_p2p_nets
+
+        nets = random_p2p_nets(router.device.arch, 12, seed=7)
+        live = []
+        for i, net in enumerate(nets):
+            try:
+                router.route(net.source, net.sinks)
+                live.append(net)
+            except errors.JRouteError:
+                continue
+            if i % 3 == 2 and live:
+                router.unroute(live.pop(0).source)
+        audit(router)

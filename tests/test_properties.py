@@ -1,0 +1,236 @@
+"""Property-based tests (hypothesis) of the core invariants.
+
+These exercise the fabric model and router over randomly drawn wires,
+tiles and workloads:
+
+* canonicalisation is consistent: names resolve to wires whose presence
+  list contains the name; primary names round-trip;
+* routed nets are trees: one driver per wire, acyclic, connected;
+* unroute restores exactly the prior resource state;
+* reverse-unroute removes only the branch;
+* maze plans obey the architecture's drive legality and availability;
+* bitstream serialisation round-trips arbitrary configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import errors
+from repro.arch import connectivity, wires
+from repro.arch.virtex import VirtexArch
+from repro.bench.workloads import SINK_WIRES, SOURCE_WIRES
+from repro.core import JRouter, Pin
+from repro.device.contention import audit_no_contention
+from repro.device.fabric import Device
+from repro.jbits import ConfigMemory, apply_bitstream, write_bitstream
+from repro.jbits.readback import verify_against_device
+from repro.routers.base import apply_plan
+from repro.routers.maze import route_maze
+
+ARCH = VirtexArch("XCV50")
+
+tiles = st.tuples(
+    st.integers(0, ARCH.rows - 1), st.integers(0, ARCH.cols - 1)
+)
+names = st.integers(0, wires.N_NAMES - 1)
+source_pins = st.builds(
+    lambda rc, w: Pin(rc[0], rc[1], w), tiles, st.sampled_from(SOURCE_WIRES)
+)
+sink_pins = st.builds(
+    lambda rc, w: Pin(rc[0], rc[1], w), tiles, st.sampled_from(SINK_WIRES)
+)
+
+common = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestCanonicalisation:
+    @given(tile=tiles, name=names)
+    @common
+    def test_canonicalize_presence_consistency(self, tile, name):
+        row, col = tile
+        canon = ARCH.canonicalize(row, col, name)
+        if canon is None:
+            return
+        assert 0 <= canon < ARCH.n_wires
+        assert (row, col, name) in ARCH.presences(canon) or name in wires.GCLK
+
+    @given(tile=tiles, name=names)
+    @common
+    def test_primary_roundtrip(self, tile, name):
+        row, col = tile
+        canon = ARCH.canonicalize(row, col, name)
+        if canon is None:
+            return
+        r, c, n = ARCH.primary_name(canon)
+        assert ARCH.canonicalize(r, c, n) == canon
+
+    @given(tile=tiles, name=names)
+    @common
+    def test_existing_wires_have_unique_canon_per_presence(self, tile, name):
+        row, col = tile
+        canon = ARCH.canonicalize(row, col, name)
+        if canon is None:
+            return
+        for r, c, n in ARCH.presences(canon):
+            assert ARCH.canonicalize(r, c, n) == canon
+
+
+class TestRoutedNetsAreTrees:
+    @given(src=source_pins, sinks=st.lists(sink_pins, min_size=1, max_size=4,
+                                           unique_by=lambda p: (p.row, p.col, p.wire)))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_fanout_net_is_tree(self, src, sinks):
+        router = JRouter(part="XCV50")
+        try:
+            router.route(src, sinks)
+        except errors.JRouteError:
+            return  # unroutable draws are fine; corruption is not
+        assert audit_no_contention(router.device) == []
+        state = router.device.state
+        root = router.device.resolve(src.row, src.col, src.wire)
+        # connected: every used wire reaches the root
+        for w in state.used_wires():
+            assert state.root_of(int(w)) == root
+        # acyclic: subtree enumeration terminates and visits each wire once
+        seen = list(state.subtree(root))
+        assert len(seen) == len(set(seen))
+        # bitstream mirror coherent
+        assert verify_against_device(router.jbits.memory, router.device) == []
+
+    @given(src=source_pins, sink=sink_pins)
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_maze_plan_obeys_architecture(self, src, sink):
+        device = Device("XCV50")
+        try:
+            s = device.resolve(src.row, src.col, src.wire)
+            t = device.resolve(sink.row, sink.col, sink.wire)
+        except errors.InvalidResourceError:
+            return
+        try:
+            res = route_maze(device, [s], {t}, heuristic_weight=0.8)
+        except errors.UnroutableError:
+            return
+        for row, col, fn, tn in res.plan:
+            assert connectivity.pip_exists(fn, tn)
+            assert device.arch.canonicalize(row, col, fn) is not None
+            assert device.arch.canonicalize(row, col, tn) is not None
+        apply_plan(device, res.plan)
+        assert device.state.root_of(t) == s
+
+
+class TestUnrouteRestoresState:
+    @given(src=source_pins,
+           sinks=st.lists(sink_pins, min_size=1, max_size=3,
+                          unique_by=lambda p: (p.row, p.col, p.wire)))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_route_unroute_identity(self, src, sinks):
+        router = JRouter(part="XCV50")
+        occupied_before = router.device.state.occupied.copy()
+        bits_before = router.jbits.memory.bits.copy()
+        try:
+            router.route(src, sinks)
+        except errors.JRouteError:
+            return
+        router.unroute(src)
+        assert (router.device.state.occupied == occupied_before).all()
+        assert np.array_equal(router.jbits.memory.bits, bits_before)
+
+    @given(src=source_pins,
+           sinks=st.lists(sink_pins, min_size=2, max_size=4,
+                          unique_by=lambda p: (p.row, p.col, p.wire)))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_reverse_unroute_removes_only_branch(self, src, sinks):
+        router = JRouter(part="XCV50")
+        try:
+            router.route(src, sinks)
+        except errors.JRouteError:
+            return
+        victim = sinks[0]
+        survivors = sinks[1:]
+        router.reverse_unroute(victim)
+        trace = router.trace(src)
+        expected = {
+            router.device.resolve(p.row, p.col, p.wire) for p in survivors
+        }
+        assert set(trace.sinks) == expected
+        assert audit_no_contention(router.device) == []
+
+
+class TestBitstreamRoundtrip:
+    @given(bit_positions=st.lists(
+        st.tuples(st.integers(0, ARCH.rows - 1), st.integers(0, ARCH.cols - 1),
+                  st.integers(0, 2939)),
+        min_size=0, max_size=30, unique=True))
+    @common
+    def test_arbitrary_config_roundtrips(self, bit_positions):
+        mem = ConfigMemory(ARCH)
+        for r, c, b in bit_positions:
+            mem.set_bit(mem.tile_bit_address(r, c, b), True)
+        stream = write_bitstream(mem)
+        fresh = ConfigMemory(ARCH)
+        apply_bitstream(stream, fresh)
+        assert fresh == mem
+
+    @given(bit_positions=st.lists(
+        st.tuples(st.integers(0, ARCH.rows - 1), st.integers(0, ARCH.cols - 1),
+                  st.integers(0, 2939)),
+        min_size=1, max_size=10, unique=True))
+    @common
+    def test_partial_equals_dirty_diff(self, bit_positions):
+        mem = ConfigMemory(ARCH)
+        for r, c, b in bit_positions:
+            mem.set_bit(mem.tile_bit_address(r, c, b), True)
+        base = ConfigMemory(ARCH)
+        assert sorted(mem.dirty_frames) == mem.diff_frames(base)
+        stream = write_bitstream(mem, mem.dirty_frames)
+        apply_bitstream(stream, base)
+        assert base == mem
+
+
+class TestTemplateSetsProperty:
+    @given(dr=st.integers(-15, 15), dc=st.integers(-23, 23))
+    @common
+    def test_generated_templates_travel_displacement(self, dr, dc):
+        from repro.arch.templates import TemplateValue as TV
+        from repro.core.template import Template
+        from repro.routers.template_sets import predefined_templates
+
+        for tmpl in predefined_templates(dr, dc):
+            movement = [v for v in tmpl if v not in (TV.OUTMUX, TV.CLBIN)]
+            if movement:
+                assert Template(movement).displacement() == (dr, dc)
+            else:
+                assert (dr, dc) == (0, 0)
+
+
+class TestContentionProperty:
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_no_silent_double_drive(self, data):
+        """Randomly turning on legal PIPs never yields two drivers."""
+        device = Device("XCV50")
+        rng_pips = data.draw(st.lists(
+            st.tuples(tiles, st.integers(0, connectivity.N_PIP_SLOTS - 1)),
+            min_size=1, max_size=25))
+        for (row, col), slot in rng_pips:
+            fn, tn = connectivity.PIP_LIST[slot]
+            try:
+                device.turn_on(row, col, fn, tn)
+            except errors.JRouteError:
+                continue
+        assert audit_no_contention(device) == []
+        # every driven wire has exactly one recorded driver
+        driven = [w for w in device.state.pip_of]
+        assert len(driven) == device.state.n_pips_on

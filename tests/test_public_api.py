@@ -1,0 +1,61 @@
+"""Public-API surface tests: exports, error hierarchy, version."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestTopLevelExports:
+    def test_quickstart_surface(self):
+        """Everything the README quickstart uses is importable from repro."""
+        for name in ("JRouter", "Pin", "Port", "Path", "Template",
+                     "Device", "JBits", "VirtexArch", "wires", "errors"):
+            assert hasattr(repro, name), name
+
+    def test_all_lists_resolve(self):
+        import importlib
+
+        for modname in (
+            "repro", "repro.arch", "repro.device", "repro.jbits",
+            "repro.core", "repro.routers", "repro.cores", "repro.debug",
+            "repro.bench", "repro.sim", "repro.timing", "repro.io",
+            "repro.tools",
+        ):
+            mod = importlib.import_module(modname)
+            for name in getattr(mod, "__all__", ()):
+                assert hasattr(mod, name), f"{modname}.{name}"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("cls", [
+        errors.InvalidResourceError, errors.InvalidPipError,
+        errors.ContentionError, errors.RoutingLoopError,
+        errors.UnroutableError, errors.PortError,
+        errors.PlacementError, errors.BitstreamError,
+    ])
+    def test_all_derive_from_jroute_error(self, cls):
+        assert issubclass(cls, errors.JRouteError)
+        assert issubclass(cls, Exception)
+
+    def test_one_except_catches_everything(self):
+        """Library users can catch errors.JRouteError for any failure."""
+        from repro.core import JRouter
+        from repro.arch import wires
+
+        router = JRouter(part="XCV50", attach_jbits=False)
+        with pytest.raises(errors.JRouteError):
+            router.route(0, 0, wires.S0F[1], wires.OUT[0])
+
+    def test_script_error_in_hierarchy(self):
+        from repro.tools import ScriptError
+
+        assert issubclass(ScriptError, errors.JRouteError)
+
+    def test_sim_loop_error_in_hierarchy(self):
+        from repro.sim import CombinationalLoopError
+
+        assert issubclass(CombinationalLoopError, errors.JRouteError)

@@ -1,0 +1,79 @@
+"""Property-based tests of the free-space analysis (hypothesis)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cores.core import Floorplan, Rect
+from repro.tools import find_fit, largest_free_rect
+
+rects = st.builds(
+    Rect,
+    row=st.integers(0, 12),
+    col=st.integers(0, 20),
+    height=st.integers(1, 4),
+    width=st.integers(1, 4),
+)
+
+common = settings(max_examples=60, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+def build_floorplan(rect_list):
+    fp = Floorplan(16, 24)
+    placed = 0
+    for r in rect_list:
+        try:
+            fp.place(f"c{placed}", r)
+            placed += 1
+        except Exception:
+            continue  # overlap or out of bounds: skip the draw
+    return fp
+
+
+class TestLargestFreeRect:
+    @given(rect_list=st.lists(rects, max_size=8))
+    @common
+    def test_result_is_actually_free(self, rect_list):
+        fp = build_floorplan(rect_list)
+        best = largest_free_rect(fp)
+        if best.height == 0:
+            return
+        for placed in fp.placed().values():
+            assert not best.overlaps(placed)
+
+    @given(rect_list=st.lists(rects, max_size=8))
+    @common
+    def test_area_bounded_by_total_free(self, rect_list):
+        fp = build_floorplan(rect_list)
+        best = largest_free_rect(fp)
+        used = sum(r.height * r.width for r in fp.placed().values())
+        assert best.height * best.width <= 16 * 24 - used
+
+    @given(rect_list=st.lists(rects, max_size=8))
+    @common
+    def test_find_fit_consistent_with_largest(self, rect_list):
+        """find_fit succeeds for the largest free rectangle's shape, and
+        its result does not overlap any placement."""
+        fp = build_floorplan(rect_list)
+        best = largest_free_rect(fp)
+        if best.height == 0:
+            return
+        spot = find_fit(fp, best.height, best.width)
+        assert spot is not None
+        candidate = Rect(spot[0], spot[1], best.height, best.width)
+        for placed in fp.placed().values():
+            assert not candidate.overlaps(placed)
+
+    @given(rect_list=st.lists(rects, max_size=8),
+           h=st.integers(1, 17), w=st.integers(1, 25))
+    @common
+    def test_find_fit_results_always_valid(self, rect_list, h, w):
+        fp = build_floorplan(rect_list)
+        spot = find_fit(fp, h, w)
+        if spot is None:
+            return
+        candidate = Rect(spot[0], spot[1], h, w)
+        assert spot[0] + h <= 16 and spot[1] + w <= 24
+        for placed in fp.placed().values():
+            assert not candidate.overlaps(placed)

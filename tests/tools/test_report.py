@@ -1,0 +1,61 @@
+"""Tests of the design-report generator."""
+
+import pytest
+
+from repro.arch import wires
+from repro.core import JRouter, Pin
+from repro.cores import AccumulatorCore, ConstantCore
+from repro.tools import design_report
+
+
+class TestReport:
+    def test_empty_device(self, router):
+        text = design_report(router)
+        assert "# Design report" in text
+        assert "PIPs on: **0**" in text
+        assert "(no cores placed)" in text
+        assert "(no nets routed)" in text
+        assert "OK." in text
+
+    def test_with_design(self, router100):
+        acc = AccumulatorCore(router100, "acc", 2, 2, width=4)
+        k = ConstantCore(router100, "k", 2, 4, width=4, value=3)
+        router100.route(list(k.get_ports("out")), list(acc.get_ports("in")))
+        text = design_report(router100, title="My system")
+        assert "# My system" in text
+        assert "| acc | (2,2) | 2x2 |" in text
+        assert "| k | (2,4) | 1x1 |" in text
+        assert "## Nets" in text
+        assert "S0_X@(2,2)" in text  # first adder sum net
+        assert "## Resource utilisation" in text
+        assert "OUT" in text
+        assert "OK." in text
+
+    def test_reports_problems(self, router):
+        router.route(Pin(5, 7, wires.S1_YQ), Pin(6, 8, wires.S0F[3]))
+        # corrupt a bit behind the router's back
+        from repro.arch import connectivity
+
+        slot = connectivity.pip_slot(wires.S1_YQ, wires.OUT[7])
+        router.jbits.memory.set_bit(
+            router.jbits.memory.tile_bit_address(0, 0, slot), True
+        )
+        text = design_report(router)
+        assert "problem(s):" in text
+
+    def test_without_jbits(self):
+        router = JRouter(part="XCV50", attach_jbits=False)
+        router.route(Pin(5, 7, wires.S1_YQ), Pin(6, 8, wires.S0F[3]))
+        text = design_report(router)
+        assert "configuration:" not in text
+        assert "## Nets" in text
+
+    def test_net_timing_columns(self, router):
+        router.route(Pin(5, 7, wires.S1_YQ),
+                     [Pin(6, 8, wires.S0F[3]), Pin(9, 12, wires.S0G[1])])
+        text = design_report(router)
+        row = [l for l in text.splitlines() if "S1_YQ@(5,7)" in l][0]
+        cells = [c.strip() for c in row.split("|")[1:-1]]
+        assert cells[1] == "2"          # sinks
+        assert float(cells[3]) > 0      # max delay
+        assert float(cells[4]) >= 0     # skew

@@ -1,0 +1,103 @@
+"""Tests of the routing-script language."""
+
+import pytest
+
+from repro.arch import wires
+from repro.core import JRouter
+from repro.tools import ScriptError, run_script
+
+PAPER = """
+device XCV50
+pip 5 7 S1_YQ Out[1]
+pip 5 7 Out[1] SingleEast[5]
+pip 5 8 SingleWest[5] SingleNorth[0]
+pip 6 8 SingleSouth[0] S0F3
+assert_on 6 8 S0F3
+"""
+
+
+class TestExecution:
+    def test_paper_example(self):
+        result = run_script(PAPER)
+        assert result.statements == 6
+        assert result.pips_added == 4
+        assert result.router.device.state.n_pips_on == 4
+
+    def test_comments_and_blanks(self):
+        result = run_script("""
+# a comment
+device XCV50   # trailing comment
+
+pip 5 7 S1_YQ Out[1]
+""")
+        assert result.statements == 2
+
+    def test_route_statement(self):
+        from repro.core import Pin
+
+        result = run_script("""
+device XCV50
+route S1_YQ@5,7 -> S0F3@6,8 S0G1@9,12
+""")
+        trace = result.router.trace(Pin(5, 7, wires.S1_YQ))
+        assert len(trace.sinks) == 2
+
+    def test_clock_statement(self):
+        result = run_script("""
+device XCV50
+clock 1 S0_CLK@2,3 S1_CLK@4,5
+""")
+        assert result.router.is_on(2, 3, wires.S0_CLK)
+        assert result.router.jbits.get_global_buffer(1)
+
+    def test_unroute_statement(self):
+        result = run_script(PAPER + "unroute S1_YQ@5,7\nassert_off 6 8 S0F3\n")
+        assert result.router.device.state.n_pips_on == 0
+
+    def test_existing_router(self):
+        router = JRouter(part="XCV50")
+        result = run_script("device XCV50\npip 5 7 S1_YQ Out[1]\n",
+                            router=router)
+        assert result.router is router
+        assert router.device.state.n_pips_on == 1
+
+
+class TestErrors:
+    def test_missing_device(self):
+        with pytest.raises(ScriptError, match="device"):
+            run_script("pip 5 7 S1_YQ Out[1]\n")
+
+    def test_empty_script(self):
+        with pytest.raises(ScriptError, match="no 'device'"):
+            run_script("# nothing\n")
+
+    def test_device_mismatch(self):
+        router = JRouter(part="XCV100")
+        with pytest.raises(ScriptError, match="XCV50"):
+            run_script("device XCV50\n", router=router)
+
+    def test_unknown_statement(self):
+        with pytest.raises(ScriptError, match="unknown statement"):
+            run_script("device XCV50\nfrobnicate 1 2 3\n")
+
+    def test_unknown_wire(self):
+        with pytest.raises(ScriptError, match="unknown wire"):
+            run_script("device XCV50\npip 5 7 NoWire Out[1]\n")
+
+    def test_bad_pin_syntax(self):
+        with pytest.raises(ScriptError, match="bad pin"):
+            run_script("device XCV50\nroute S1_YQ/5,7 -> S0F3@6,8\n")
+
+    def test_failed_assert_names_line(self):
+        with pytest.raises(ScriptError, match="line 3"):
+            run_script("device XCV50\npip 5 7 S1_YQ Out[1]\nassert_off 5 7 Out[1]\n")
+
+    def test_routing_error_wrapped(self):
+        with pytest.raises(ScriptError, match="line 2"):
+            run_script("device XCV50\npip 5 7 S0F1 Out[1]\n")
+
+    def test_arity_errors(self):
+        for bad in ("pip 5 7 S1_YQ", "route S1_YQ@5,7", "clock 0",
+                    "unroute", "assert_on 5 7", "device"):
+            with pytest.raises(ScriptError):
+                run_script(f"device XCV50\n{bad}\n")
