@@ -1,0 +1,100 @@
+"""E16: fault-injected routing, transaction rollback and rip-up/retry."""
+
+import pytest
+
+from repro import errors
+from repro.arch.virtex import VirtexArch
+from repro.bench.experiments import run_e16
+from repro.bench.workloads import random_p2p_nets
+from repro.core import JRouter, RetryPolicy, RouteTransaction
+from repro.device import Device, FaultModel
+
+
+def _workload(arch, n=20, seed=17):
+    return [(net.source, net.sinks[0])
+            for net in random_p2p_nets(arch, n, seed=seed)]
+
+
+def _reset(router):
+    router.device.clear()
+    router.netdb.net_sinks.clear()
+    router.netdb.net_source_ep.clear()
+
+
+@pytest.fixture()
+def faulty_router():
+    arch = VirtexArch("XCV50")
+    faults = FaultModel.random(arch, seed=5, stuck_open_rate=0.05)
+    return JRouter(part="XCV50", faults=faults,
+                   retry=RetryPolicy(max_attempts=4))
+
+
+def test_fault_masked_routing_throughput(benchmark, faulty_router):
+    """Routing cost with the 5% stuck-open mask active in every search."""
+    pairs = _workload(faulty_router.device.arch)
+
+    def run():
+        ok = 0
+        for src, sink in pairs:
+            try:
+                faulty_router.route(src, sink)
+                ok += 1
+            except errors.JRouteError:
+                pass
+        _reset(faulty_router)
+        return ok
+
+    assert benchmark(run) >= int(0.9 * len(pairs))
+
+
+def test_clean_routing_baseline(benchmark, router):
+    """Same workload with no fault model: the mask-off fast path."""
+    pairs = _workload(router.device.arch)
+
+    def run():
+        for src, sink in pairs:
+            router.route(src, sink)
+        _reset(router)
+        return len(pairs)
+
+    assert benchmark(run) == len(pairs)
+
+
+def test_transaction_journal_overhead(benchmark, router):
+    """Cost of routing a fanout net inside an explicit transaction."""
+    pairs = _workload(router.device.arch, n=8)
+
+    def run():
+        with RouteTransaction(router.device, netdb=router.netdb):
+            for src, sink in pairs:
+                router.route(src, sink)
+        _reset(router)
+        return True
+
+    assert benchmark(run)
+
+
+def test_rollback_cost(benchmark):
+    """Time to journal + roll back a multi-PIP route, with audit."""
+    router = JRouter(part="XCV50")
+    src, sink = _workload(router.device.arch, n=1)[0]
+
+    def run():
+        txn = RouteTransaction(router.device, netdb=router.netdb)
+        with txn:
+            router.route(src, sink)
+            txn_len = txn.journal_length
+            txn.rollback()
+        return txn_len
+
+    assert benchmark(run) > 0
+    assert router.device.state.n_pips_on == 0
+
+
+def test_shape_success_rate_under_faults():
+    table = run_e16(smoke=True)
+    by_key = {(rate, retry): row for rate, retry, *row in table.rows}
+    for retry in ("off", "on"):
+        routed = by_key[("5%", retry)][0]
+        ok, total = (int(x) for x in routed.split("/"))
+        assert ok >= 0.9 * total

@@ -1,0 +1,141 @@
+"""Fault-tolerant routing: defects, transactions, rip-up/retry.
+
+Injects defects into an XCV50 fabric, shows the routers steering around
+them, demonstrates atomic rollback of a failed multi-sink route, and
+runs a congested workload with the rip-up/retry recovery loop.  Run::
+
+    python examples/fault_tolerant_routing.py
+"""
+
+from repro import (
+    Device,
+    FaultModel,
+    JRouter,
+    Pin,
+    RetryPolicy,
+    RouteTransaction,
+    errors,
+    wires,
+)
+from repro.arch.virtex import VirtexArch
+from repro.bench.workloads import SINK_WIRES, SOURCE_WIRES
+
+
+def defective_fabric() -> None:
+    """Explicit defects: the device refuses them, the router avoids them."""
+    print("== 1. a defective fabric ==")
+    device = Device("XCV50")
+    sink = device.resolve(7, 7, wires.S0F[2])
+    # break every way into the sink but one
+    fanin = sorted({cf for *_r, cf in device.fanin_pips(sink)})
+    model = FaultModel(device.arch, dead_wires=tuple(fanin[1:]))
+    device.set_fault_model(model)
+    print(f"killed {len(fanin) - 1} of {len(fanin)} fan-in wires of "
+          f"S0F2@(7,7); {model}")
+
+    # level 1 (user-picked PIP) hits the backstop
+    try:
+        for row, col, fn, tn, ct in device.fanout_pips(fanin[1]):
+            device.turn_on(row, col, fn, tn)
+            break
+    except errors.FaultError as e:
+        print(f"level-1 turn_on refused: {e}")
+
+    # level 4 (auto) routes through the one survivor
+    router = JRouter(device)
+    router.route(Pin(6, 6, wires.S0_YQ), Pin(7, 7, wires.S0F[2]))
+    used = device.state.pip_of[sink].canon_from
+    print(f"auto-route entered the sink via the surviving wire: "
+          f"{used == fanin[0]}\n")
+
+
+def atomic_rollback() -> None:
+    """A failed fanout route leaves no trace behind."""
+    print("== 2. transactional sessions ==")
+    router = JRouter(part="XCV50")
+    dead = router.device.resolve(9, 9, wires.S0F[2])
+    router.device.set_fault_model(
+        FaultModel(router.device.arch, dead_wires=(dead,))
+    )
+    bits_before = router.jbits.memory.bits.copy()
+    try:
+        # second sink is dead: the whole level-5 call must roll back
+        router.route(Pin(5, 5, wires.S0_YQ),
+                     [Pin(7, 7, wires.S0F[1]), Pin(9, 9, wires.S0F[2])])
+    except errors.UnroutableError as e:
+        print(f"fanout failed as expected: {e}")
+    identical = bool((router.jbits.memory.bits == bits_before).all())
+    print(f"bitstream bit-identical after failure: {identical}")
+    print(f"PIPs on device: {router.device.state.n_pips_on}, "
+          f"invariant audit: {router.device.state.check_invariants() or 'clean'}")
+
+    # explicit transactions work for user-level blocks too
+    txn = RouteTransaction(router.device, netdb=router.netdb)
+    with txn:
+        router.route(Pin(5, 5, wires.S0_YQ), Pin(7, 7, wires.S0F[1]))
+        print(f"journal holds {txn.journal_length} PIP events; rolling back")
+        txn.rollback()
+    print(f"PIPs after explicit rollback: {router.device.state.n_pips_on}\n")
+
+
+def recovery_loop() -> None:
+    """Rip-up/retry on a congested block, with and without recovery."""
+    print("== 3. rip-up/retry on a congested block ==")
+
+    def pairs():
+        k = 0
+        for r in range(6, 9):
+            for c in range(6, 9):
+                for w in SOURCE_WIRES:
+                    yield (Pin(r, c, w),
+                           Pin(14 - r, 14 - c, SINK_WIRES[k % len(SINK_WIRES)]))
+                    k += 1
+
+    for label, retry in (("no recovery", None),
+                         ("retry x4", RetryPolicy(max_attempts=4))):
+        router = JRouter(part="XCV50", retry=retry,
+                         try_templates=False, p2p_use_longs=False)
+        ok = failed = ripped = 0
+        for src, sink in pairs():
+            try:
+                router.route(src, sink)
+                ok += 1
+            except errors.JRouteError:
+                failed += 1
+            ripped += len(router.last_report.ripped_nets)
+        print(f"{label:12s}: {ok} routed, {failed} failed, "
+              f"{ripped} net(s) ripped and re-routed")
+    print()
+
+
+def faulty_workload() -> None:
+    """Random workload at a 5% stuck-open rate, with a report per net."""
+    print("== 4. seeded random faults at 5% ==")
+    arch = VirtexArch("XCV50")
+    model = FaultModel.random(arch, seed=5, stuck_open_rate=0.05)
+    router = JRouter(part="XCV50", faults=model,
+                     retry=RetryPolicy(max_attempts=4))
+    from repro.bench.workloads import random_p2p_nets
+
+    nets = random_p2p_nets(arch, 20, seed=17)
+    ok = 0
+    for net in nets:
+        try:
+            router.route(net.source, net.sinks[0])
+            ok += 1
+        except errors.JRouteError:
+            pass
+    print(f"{model}")
+    print(f"routed {ok}/{len(nets)}; last report: "
+          f"{router.last_report.summary()}")
+
+
+def main() -> None:
+    defective_fabric()
+    atomic_rollback()
+    recovery_loop()
+    faulty_workload()
+
+
+if __name__ == "__main__":
+    main()

@@ -25,8 +25,19 @@ Quickstart::
 
 from . import errors
 from .arch import VirtexArch, wires
-from .core import JRouter, Path, Pin, Port, PortDirection, Template
-from .device import Device
+from .core import (
+    JRouter,
+    Path,
+    Pin,
+    Port,
+    PortDirection,
+    RetryPolicy,
+    RouteTransaction,
+    RoutingReport,
+    Template,
+)
+from .device import Device, FaultModel
+from .errors import FaultError, TransactionError
 from .jbits import JBits
 
 __version__ = "1.0.0"
@@ -40,8 +51,14 @@ __all__ = [
     "Pin",
     "Port",
     "PortDirection",
+    "RetryPolicy",
+    "RouteTransaction",
+    "RoutingReport",
     "Template",
     "Device",
+    "FaultModel",
+    "FaultError",
+    "TransactionError",
     "JBits",
     "__version__",
 ]

@@ -2,8 +2,10 @@
 
 Usage::
 
-    python -m repro.bench            # all experiments
-    python -m repro.bench e3 e11     # a subset
+    python -m repro.bench                      # all experiments
+    python -m repro.bench e3 e11               # a subset
+    python -m repro.bench --experiment faults  # one, by name or alias
+    python -m repro.bench --experiment faults --smoke   # CI smoke run
 """
 
 from __future__ import annotations
@@ -14,13 +16,30 @@ from .experiments import EXPERIMENTS, run_all
 
 
 def main(argv: list[str]) -> int:
-    names = tuple(a.lower() for a in argv) or None
-    unknown = [n for n in (names or ()) if n not in EXPERIMENTS]
+    names: list[str] = []
+    smoke = False
+    it = iter(argv)
+    for arg in it:
+        if arg == "--smoke":
+            smoke = True
+        elif arg == "--experiment":
+            name = next(it, None)
+            if name is None:
+                print("--experiment requires a name", file=sys.stderr)
+                return 2
+            names.append(name.lower())
+        elif arg.startswith("-"):
+            print(f"unknown option {arg!r}", file=sys.stderr)
+            print(__doc__)
+            return 2
+        else:
+            names.append(arg.lower())
+    unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}")
         print(f"known: {', '.join(EXPERIMENTS)}")
         return 2
-    run_all(names)
+    run_all(tuple(names) or None, smoke=smoke)
     return 0
 
 

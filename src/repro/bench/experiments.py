@@ -45,7 +45,7 @@ from .workloads import (
 __all__ = [
     "run_e1", "run_e2", "run_e3", "run_e4", "run_e5", "run_e6",
     "run_e7", "run_e8", "run_e9", "run_e10", "run_e11", "run_e12", "run_e13", "run_e14",
-    "run_e15",
+    "run_e15", "run_e16",
     "run_all", "EXPERIMENTS",
 ]
 
@@ -726,20 +726,89 @@ def run_e15() -> Table:
     return t
 
 
+# ---------------------------------------------------------------------------
+# E16: fault-injected fabrics + rip-up/retry (robustness extension)
+# ---------------------------------------------------------------------------
+
+def run_e16(
+    n_nets: int = 60,
+    seed: int = 17,
+    fault_seed: int = 5,
+    rates: tuple[float, ...] = (0.0, 0.01, 0.05),
+    smoke: bool = False,
+) -> Table:
+    """Route-success rate and retry overhead under injected PIP faults."""
+    from ..core import RetryPolicy
+    from ..device import FaultModel
+
+    if smoke:
+        n_nets = min(n_nets, 24)
+    t = Table(
+        "E16: fault-injected routing with rip-up/retry (XCV50)",
+        ["stuck-open rate", "retry", "routed", "success %", "ripped",
+         "faults avoided", "time (ms)"],
+    )
+    arch = VirtexArch("XCV50")
+    nets = random_p2p_nets(arch, n_nets, seed=seed)
+    for rate in rates:
+        for policy in (None, RetryPolicy(max_attempts=4)):
+            faults = (
+                FaultModel.random(arch, seed=fault_seed, stuck_open_rate=rate)
+                if rate else None
+            )
+            router = JRouter(part="XCV50", faults=faults, retry=policy)
+            ok = ripped = avoided = 0
+            t0 = time.perf_counter()
+            for net in nets:
+                try:
+                    router.route(net.source, net.sinks[0])
+                except errors.JRouteError:
+                    pass
+                rep = router.last_report
+                if rep is not None:
+                    ok += rep.success
+                    ripped += len(rep.ripped_nets)
+                    avoided += rep.faults_avoided
+            dt = (time.perf_counter() - t0) * 1e3
+            t.add(f"{rate:.0%}", "on" if policy else "off",
+                  f"{ok}/{n_nets}", f"{100 * ok / n_nets:.1f}",
+                  ripped, avoided, dt)
+    t.note("acceptance target: >= 90% success at a 5% stuck-open rate; the "
+           "retry rows show the recovery loop's cost on the same workload")
+    return t
+
+
 EXPERIMENTS = {
     "e1": run_e1, "e2": run_e2, "e3": run_e3, "e4": run_e4,
     "e5": run_e5, "e6": run_e6, "e7": run_e7, "e8": run_e8,
     "e9": run_e9, "e10": run_e10, "e11": run_e11, "e12": run_e12,
-    "e13": run_e13, "e14": run_e14, "e15": run_e15,
+    "e13": run_e13, "e14": run_e14, "e15": run_e15, "e16": run_e16,
+    # aliases for the CLI's --experiment flag
+    "faults": run_e16,
 }
 
 
-def run_all(names: tuple[str, ...] | None = None) -> list[Table]:
-    """Run the requested experiments (all by default), printing each."""
+def run_all(
+    names: tuple[str, ...] | None = None, *, smoke: bool = False
+) -> list[Table]:
+    """Run the requested experiments (all by default), printing each.
+
+    ``smoke=True`` asks each runner that supports it (currently E16) for
+    a reduced workload, for use as a CI smoke check.
+    """
+    import inspect
+
     tables = []
+    seen: set = set()
     for key in names if names is not None else tuple(EXPERIMENTS):
         fn = EXPERIMENTS[key.lower()]
-        table = fn()
+        if fn in seen:  # aliases ("faults" -> e16) run once
+            continue
+        seen.add(fn)
+        kwargs = {}
+        if smoke and "smoke" in inspect.signature(fn).parameters:
+            kwargs["smoke"] = True
+        table = fn(**kwargs)
         table.print()
         tables.append(table)
     return tables

@@ -11,9 +11,13 @@ Usage (``python -m repro <command> ...``)::
     parts                         list the Virtex family catalogue
     census [PART]                 fabric statistics of one part
     wires [SUBSTRING]             list wire names (optionally filtered)
-    route PART R1 C1 WIRE1 R2 C2 WIRE2
+    route PART R1 C1 WIRE1 R2 C2 WIRE2 [--fault-rate R] [--fault-seed N]
+          [--retry N]
                                   auto-route between two named pins and
-                                  print the resulting trace
+                                  print the resulting trace; --fault-rate
+                                  injects a seeded stuck-open PIP rate and
+                                  --retry enables rip-up/retry recovery
+                                  with N attempts
     pads PART                     IOB ring inventory
     demo                          the paper's Section 3.1 walkthrough
     report                        markdown report of a small demo design
@@ -71,25 +75,62 @@ def _cmd_wires(args: list[str]) -> int:
 
 
 def _cmd_route(args: list[str]) -> int:
-    if len(args) != 7:
-        print("usage: route PART R1 C1 WIRE1 R2 C2 WIRE2", file=sys.stderr)
+    usage = ("usage: route PART R1 C1 WIRE1 R2 C2 WIRE2 "
+             "[--fault-rate R] [--fault-seed N] [--retry N]")
+    fault_rate = 0.0
+    fault_seed = 0
+    retry_attempts = 0
+    pos: list[str] = []
+    it = iter(args)
+    try:
+        for a in it:
+            if a == "--fault-rate":
+                fault_rate = float(next(it))
+            elif a == "--fault-seed":
+                fault_seed = int(next(it))
+            elif a == "--retry":
+                retry_attempts = int(next(it))
+            else:
+                pos.append(a)
+    except (StopIteration, ValueError):
+        print(usage, file=sys.stderr)
         return 2
-    part, r1, c1, w1, r2, c2, w2 = args
+    if len(pos) != 7 or fault_rate < 0 or retry_attempts < 0:
+        print(usage, file=sys.stderr)
+        return 2
+    part, r1, c1, w1, r2, c2, w2 = pos
     try:
         src = Pin(int(r1), int(c1), wires.parse_wire_name(w1))
         sink = Pin(int(r2), int(c2), wires.parse_wire_name(w2))
     except KeyError as e:
         print(f"unknown wire name: {e}", file=sys.stderr)
         return 2
-    router = JRouter(part=part)
+    except ValueError:
+        print(usage, file=sys.stderr)
+        return 2
+    from .core import RetryPolicy
+    from .device import FaultModel
+
+    faults = None
+    if fault_rate > 0:
+        faults = FaultModel.random(
+            VirtexArch(part), seed=fault_seed, stuck_open_rate=fault_rate
+        )
+        print(f"injected faults: {faults}")
+    retry = RetryPolicy(max_attempts=retry_attempts) if retry_attempts else None
+    router = JRouter(part=part, faults=faults, retry=retry)
     try:
         n = router.route(src, sink)
     except errors.JRouteError as e:
         print(f"unroutable: {e}", file=sys.stderr)
+        if router.last_report is not None:
+            print(f"report: {router.last_report.summary()}", file=sys.stderr)
         return 1
     print(f"routed with {n} PIPs "
           f"(template hits {router.p2p_template_hits}, "
           f"maze fallbacks {router.p2p_maze_fallbacks})")
+    if router.last_report is not None and (faults or retry):
+        print(f"report: {router.last_report.summary()}")
     print(router.trace(src).describe(router.device))
     return 0
 

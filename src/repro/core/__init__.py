@@ -9,9 +9,11 @@ and the port-connection memory.
 from .endpoints import EndPoint, Pin, Port, PortDirection, PortGroup
 from .netdb import NetDB, PortMemory
 from .path import Path
+from .recovery import RetryPolicy, RoutingReport, select_victim
 from .router import JRouter
 from .template import Template
 from .tracer import NetTrace, reverse_trace_net, trace_net
+from .txn import RouteTransaction
 from .unroute import unroute_forward, unroute_reverse
 
 __all__ = [
@@ -24,6 +26,10 @@ __all__ = [
     "PortMemory",
     "Path",
     "JRouter",
+    "RetryPolicy",
+    "RouteTransaction",
+    "RoutingReport",
+    "select_victim",
     "Template",
     "NetTrace",
     "trace_net",

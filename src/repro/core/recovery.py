@@ -1,0 +1,124 @@
+"""Rip-up/retry recovery for failed routing requests.
+
+The paper stops at "a user action is required" when a route fails; this
+module supplies that action automatically, in the congestion-driven
+rip-up/retry tradition (cf. Zang et al., *An Open-Source Fast Parallel
+Routing Approach for Commercial FPGAs*): when a request is unroutable,
+rip up the cheapest net blocking its bounding box, route the original
+request through the freed resources, then re-route the victim — all
+inside a :class:`~repro.core.txn.RouteTransaction` so a failed recovery
+round leaves the device untouched.
+
+:class:`RetryPolicy` bounds the effort (attempts and search-budget
+growth); :class:`RoutingReport` records what happened (attempts, ripped
+nets, faults avoided) for observability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..device.fabric import Device
+
+__all__ = ["RetryPolicy", "RoutingReport", "select_victim"]
+
+
+@dataclass(slots=True, frozen=True)
+class RetryPolicy:
+    """Bounds for the rip-up/retry loop.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total route attempts, including the first (1 = no recovery).
+    expansion_factor:
+        Multiplier applied to the maze node budget on every retry, so
+        later attempts search harder as well as on a freer fabric.
+    bbox_margin:
+        CLBs added around the failed request's bounding box when looking
+        for blocking victim nets.
+    """
+
+    max_attempts: int = 3
+    expansion_factor: float = 2.0
+    bbox_margin: int = 2
+
+    def budget_for(self, attempt: int, base_nodes: int) -> int:
+        """Maze expansion budget for 1-based ``attempt``."""
+        return int(base_nodes * self.expansion_factor ** (attempt - 1))
+
+
+@dataclass(slots=True)
+class RoutingReport:
+    """Structured account of one recovered (or failed) route request.
+
+    Surfaced as :attr:`repro.core.router.JRouter.last_report` after every
+    level-4/5/6 call when a retry policy is active.
+    """
+
+    #: route attempts made, including the successful one
+    attempts: int = 0
+    #: source canonical ids of nets ripped up and re-routed
+    ripped_nets: list[int] = field(default_factory=list)
+    #: faulty edges the searches masked out across all attempts
+    faults_avoided: int = 0
+    #: PIPs on the device added by the final successful attempt
+    pips_added: int = 0
+    #: whether the original request was ultimately satisfied
+    success: bool = False
+    #: stringified error of each failed attempt, in order
+    failures: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line operator-facing rendering."""
+        state = "ok" if self.success else "FAILED"
+        return (
+            f"{state}: {self.attempts} attempt(s), "
+            f"{len(self.ripped_nets)} net(s) ripped, "
+            f"{self.faults_avoided} fault(s) avoided, "
+            f"{self.pips_added} PIPs added"
+        )
+
+
+def select_victim(
+    device: Device,
+    nets: dict[int, set[int]],
+    tiles: list[tuple[int, int]],
+    *,
+    margin: int = 2,
+    exclude: frozenset[int] = frozenset(),
+) -> int | None:
+    """Pick the net to rip up for a request spanning ``tiles``.
+
+    Scans the recorded ``nets`` (source canon -> sink canons) for nets
+    whose routed wires intersect the request's bounding box (grown by
+    ``margin``) and returns the source of the lowest-fanout one, with
+    the smallest routed tree as tie-break — the cheapest net to evict
+    and re-route.  Returns None when no recorded net blocks the box.
+    """
+    if not tiles:
+        return None
+    rmin = min(r for r, _ in tiles) - margin
+    rmax = max(r for r, _ in tiles) + margin
+    cmin = min(c for _, c in tiles) - margin
+    cmax = max(c for _, c in tiles) + margin
+    arch = device.arch
+    best: tuple[int, int, int] | None = None
+    for source, sinks in nets.items():
+        if source in exclude:
+            continue
+        tree = list(device.state.subtree(source))
+        if len(tree) <= 1:
+            continue  # nothing routed under this source
+        blocking = False
+        for w in tree:
+            r, c, _ = arch.primary_name(w)
+            if rmin <= r <= rmax and cmin <= c <= cmax:
+                blocking = True
+                break
+        if not blocking:
+            continue
+        key = (len(sinks), len(tree), source)
+        if best is None or key < best:
+            best = key
+    return best[2] if best is not None else None

@@ -38,8 +38,10 @@ from ..routers.template_router import route_template
 from .endpoints import EndPoint, Pin, Port, PortDirection
 from .netdb import NetDB
 from .path import Path
+from .recovery import RetryPolicy, RoutingReport, select_victim
 from .template import Template
 from .tracer import NetTrace, reverse_trace_net, trace_net
+from .txn import RouteTransaction
 from .unroute import unroute_forward, unroute_reverse
 
 __all__ = ["JRouter"]
@@ -71,6 +73,14 @@ class JRouter:
     heuristic_weight:
         A* bias for maze searches (0 = plain Dijkstra; the 0.8 default
         cuts node expansions by ~10x at equal plan cost on this fabric).
+    faults:
+        Optional :class:`~repro.device.faults.FaultModel` attached to the
+        device; fault-aware searches mask defective resources out.
+    retry:
+        Optional :class:`~repro.core.recovery.RetryPolicy` enabling the
+        rip-up/retry loop on :class:`~repro.errors.UnroutableError` for
+        the auto-routing levels (4, 5 and 6).  Each request's outcome is
+        surfaced as :attr:`last_report`.
     """
 
     def __init__(
@@ -84,8 +94,12 @@ class JRouter:
         try_templates: bool = True,
         heuristic_weight: float = 0.8,
         max_nodes: int = 200_000,
+        faults=None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.device = device if device is not None else Device(part)
+        if faults is not None:
+            self.device.set_fault_model(faults)
         self.jbits: JBits | None = JBits(self.device) if attach_jbits else None
         self.netdb = NetDB()
         self.fanout_use_longs = fanout_use_longs
@@ -93,11 +107,16 @@ class JRouter:
         self.try_templates = try_templates
         self.heuristic_weight = heuristic_weight
         self.max_nodes = max_nodes
+        self.retry = retry
+        #: RoutingReport of the latest level-4/5/6 request (None before any)
+        self.last_report: RoutingReport | None = None
         #: user-facing route() invocations (Section 4 comparison metric)
         self.call_count = 0
         #: counters for the template-vs-maze statistics (experiment E9)
         self.p2p_template_hits = 0
         self.p2p_maze_fallbacks = 0
+        # faulty edges masked out by searches, accumulated per request
+        self._faults_avoided = 0
 
     # ------------------------------------------------------------------ dispatch
 
@@ -120,13 +139,11 @@ class JRouter:
         if len(args) == 2:
             a, b = args
             if isinstance(a, EndPoint) and isinstance(b, EndPoint):
-                applied, _ = self._route_net(a, [b])
-                return len(applied)
+                return self._route_net_request(a, [b])
             if isinstance(a, EndPoint) and _is_endpoint_seq(b):
-                applied, _ = self._route_net(a, list(b))
-                return len(applied)
+                return self._route_net_request(a, list(b))
             if _is_endpoint_seq(a) and _is_endpoint_seq(b):
-                return self._route_bus(list(a), list(b))
+                return self._route_bus_request(list(a), list(b))
         raise TypeError(
             "route() accepts (row, col, from, to) | (Path) | "
             "(Pin, end_wire, Template) | (EndPoint, EndPoint) | "
@@ -181,10 +198,157 @@ class JRouter:
             self.device.resolve(p.row, p.col, p.wire) for p in self.sink_pins_of(ep)
         ]
 
+    # ------------------------------------------- request protection and recovery
+
+    def _request_tiles(self, eps: Sequence[EndPoint]) -> list[tuple[int, int]]:
+        """CLB tiles touched by a request's endpoints (victim-search bbox)."""
+        tiles: list[tuple[int, int]] = []
+        for ep in eps:
+            if isinstance(ep, Pin):
+                tiles.append((ep.row, ep.col))
+            elif isinstance(ep, Port):
+                tiles.extend((p.row, p.col) for p in ep.resolve_pins())
+        return tiles
+
+    def _route_net_request(
+        self, source_ep: EndPoint, sink_eps: list[EndPoint]
+    ) -> int:
+        """Level 4/5 entry: transactional, optionally with rip-up/retry."""
+        if self.retry is not None:
+            tiles = self._request_tiles([source_ep, *sink_eps])
+
+            def attempt(budget: int) -> int:
+                applied, _ = self._route_net(source_ep, sink_eps, max_nodes=budget)
+                return len(applied)
+
+            return self._run_with_recovery(attempt, tiles)
+        report = RoutingReport(attempts=1)
+        self.last_report = report
+        self._faults_avoided = 0
+        try:
+            if len(sink_eps) > 1:
+                # multi-step fanout: journal + roll back atomically
+                with RouteTransaction(self.device, netdb=self.netdb):
+                    applied, _ = self._route_net(source_ep, sink_eps)
+            else:
+                applied, _ = self._route_net(source_ep, sink_eps)
+        except errors.JRouteError as e:
+            report.failures.append(str(e))
+            self._faults_avoided += getattr(e, "faults_avoided", 0)
+            report.faults_avoided = self._faults_avoided
+            raise
+        report.success = True
+        report.pips_added = len(applied)
+        report.faults_avoided = self._faults_avoided
+        return len(applied)
+
+    def _route_bus_request(
+        self, source_eps: list[EndPoint], sink_eps: list[EndPoint]
+    ) -> int:
+        """Level 6 entry: transactional, optionally with rip-up/retry."""
+        if self.retry is not None:
+            tiles = self._request_tiles([*source_eps, *sink_eps])
+
+            def attempt(budget: int) -> int:
+                return self._route_bus(source_eps, sink_eps, max_nodes=budget)
+
+            return self._run_with_recovery(attempt, tiles)
+        report = RoutingReport(attempts=1)
+        self.last_report = report
+        self._faults_avoided = 0
+        try:
+            with RouteTransaction(self.device, netdb=self.netdb):
+                pips = self._route_bus(source_eps, sink_eps)
+        except errors.JRouteError as e:
+            report.failures.append(str(e))
+            self._faults_avoided += getattr(e, "faults_avoided", 0)
+            report.faults_avoided = self._faults_avoided
+            raise
+        report.success = True
+        report.pips_added = pips
+        report.faults_avoided = self._faults_avoided
+        return pips
+
+    def _run_with_recovery(self, attempt, tiles) -> int:
+        """Bounded rip-up/retry loop around one routing request.
+
+        Every round runs inside a :class:`RouteTransaction`: ripping the
+        victim, routing the request, and re-routing the victim either all
+        succeed or the device rolls back to the round's starting state.
+        """
+        policy = self.retry
+        report = RoutingReport()
+        self.last_report = report
+        self._faults_avoided = 0
+        exclude: set[int] = set()
+        last_exc: errors.JRouteError | None = None
+        for i in range(1, policy.max_attempts + 1):
+            report.attempts = i
+            budget = policy.budget_for(i, self.max_nodes)
+            victim_restore = None
+            try:
+                with RouteTransaction(self.device, netdb=self.netdb):
+                    if i > 1:
+                        victim = select_victim(
+                            self.device,
+                            self.netdb.nets(),
+                            tiles,
+                            margin=policy.bbox_margin,
+                            exclude=frozenset(exclude),
+                        )
+                        if victim is not None:
+                            victim_restore = self._rip_up(victim)
+                            exclude.add(victim)
+                    pips = attempt(budget)
+                    if victim_restore is not None:
+                        self._reroute_victim(*victim_restore, max_nodes=budget)
+            except (
+                errors.UnroutableError,
+                errors.ContentionError,
+                errors.FaultError,
+            ) as e:
+                report.failures.append(str(e))
+                self._faults_avoided += getattr(e, "faults_avoided", 0)
+                last_exc = e
+                continue
+            if victim_restore is not None:
+                report.ripped_nets.append(victim_restore[2])
+            report.success = True
+            report.pips_added = pips
+            report.faults_avoided = self._faults_avoided
+            return pips
+        report.faults_avoided = self._faults_avoided
+        assert last_exc is not None
+        raise last_exc
+
+    def _rip_up(self, source_canon: int):
+        """Unroute a victim net, returning what is needed to restore it."""
+        src_ep = self.netdb.net_source_ep.get(source_canon)
+        sink_canons = sorted(self.netdb.net_sinks.get(source_canon, ()))
+        unroute_forward(self.device, source_canon)
+        self.netdb.drop_net(source_canon)
+        if src_ep is None:
+            src_ep = Pin(*self.device.arch.primary_name(source_canon))
+        return src_ep, sink_canons, source_canon
+
+    def _reroute_victim(
+        self, src_ep: EndPoint, sink_canons: list[int], source_canon: int, *,
+        max_nodes: int,
+    ) -> None:
+        arch = self.device.arch
+        sink_eps = [Pin(*arch.primary_name(c)) for c in sink_canons]
+        if sink_eps:
+            self._route_net(src_ep, sink_eps, max_nodes=max_nodes)
+
     # --------------------------------------------------------------- levels 4, 5
 
     def _route_net(
-        self, source_ep: EndPoint, sink_eps: Sequence[EndPoint], record: bool = True
+        self,
+        source_ep: EndPoint,
+        sink_eps: Sequence[EndPoint],
+        record: bool = True,
+        *,
+        max_nodes: int | None = None,
     ) -> tuple[list[PlanPip], list[int]]:
         """Route one source endpoint to sink endpoints (fanout-aware).
 
@@ -193,6 +357,7 @@ class JRouter:
         """
         device = self.device
         state = device.state
+        budget = self.max_nodes if max_nodes is None else max_nodes
         source = self._source_canon(source_ep)
         sink_canons: list[int] = []
         for ep in sink_eps:
@@ -204,9 +369,14 @@ class JRouter:
             if canon in tree:
                 continue  # already part of this net
             if state.is_driven(canon):
+                r, c, n = device.arch.primary_name(canon)
                 raise errors.ContentionError(
-                    f"sink wire {wires.wire_name(device.arch.primary_name(canon)[2])} "
-                    f"is already driven by another net"
+                    f"sink wire {wires.wire_name(n)} is already driven by "
+                    f"another net",
+                    row=r,
+                    col=c,
+                    wire=wires.wire_name(n),
+                    net=state.root_of(canon),
                 )
             todo.append(canon)
 
@@ -229,24 +399,27 @@ class JRouter:
                         try_templates=self.try_templates,
                         use_longs=self.p2p_use_longs,
                         heuristic_weight=self.heuristic_weight,
-                        max_nodes=self.max_nodes,
+                        max_nodes=budget,
                     )
                     if res.method == "template":
                         self.p2p_template_hits += 1
                     else:
                         self.p2p_maze_fallbacks += 1
+                    self._faults_avoided += res.faults_avoided
                     plan = res.plan
                 else:
                     use_longs = self.fanout_use_longs if len(todo) > 1 else self.p2p_use_longs
-                    plan = route_maze(
+                    maze_res = route_maze(
                         device,
                         [source],
                         {canon},
                         reuse=tree,
                         use_longs=use_longs,
                         heuristic_weight=self.heuristic_weight,
-                        max_nodes=self.max_nodes,
-                    ).plan
+                        max_nodes=budget,
+                    )
+                    self._faults_avoided += maze_res.faults_avoided
+                    plan = maze_res.plan
                 apply_plan(device, plan)
                 applied.extend(plan)
                 for row, col, _fn, to_name in plan:
@@ -267,7 +440,11 @@ class JRouter:
     # -------------------------------------------------------------------- level 6
 
     def _route_bus(
-        self, source_eps: Sequence[EndPoint], sink_eps: Sequence[EndPoint]
+        self,
+        source_eps: Sequence[EndPoint],
+        sink_eps: Sequence[EndPoint],
+        *,
+        max_nodes: int | None = None,
     ) -> int:
         """Bus routing: sources[i] -> sinks[i], atomic across the bus."""
         if len(source_eps) != len(sink_eps):
@@ -278,7 +455,9 @@ class JRouter:
         done: list[tuple[EndPoint, EndPoint, list[PlanPip]]] = []
         try:
             for src_ep, sink_ep in zip(source_eps, sink_eps):
-                applied, _ = self._route_net(src_ep, [sink_ep], record=False)
+                applied, _ = self._route_net(
+                    src_ep, [sink_ep], record=False, max_nodes=max_nodes
+                )
                 done.append((src_ep, sink_ep, applied))
         except errors.JRouteError:
             for _, _, applied in reversed(done):

@@ -8,6 +8,7 @@ Section 3.4 contention analysis.
 
 from .contention import audit_no_contention, path_conflicts, would_contend
 from .fabric import Device, PipEvent
+from .faults import FaultModel
 from .state import PipRecord, RoutingState
 
 __all__ = [
@@ -15,6 +16,7 @@ __all__ = [
     "PipEvent",
     "PipRecord",
     "RoutingState",
+    "FaultModel",
     "audit_no_contention",
     "path_conflicts",
     "would_contend",

@@ -67,12 +67,27 @@ class Device:
     part:
         Virtex part name ("XCV50" .. "XCV1000") or a
         :class:`~repro.arch.devices.DevicePart`.
+    faults:
+        Optional :class:`~repro.device.faults.FaultModel` of permanent
+        defects; configuring a faulty resource raises
+        :class:`~repro.errors.FaultError`, and fault-aware routers mask
+        the resources out of their searches.
     """
 
-    def __init__(self, part: str = "XCV50") -> None:
+    def __init__(self, part: str = "XCV50", *, faults=None) -> None:
         self.arch = VirtexArch(part)
         self.state = RoutingState(self.arch)
+        self.faults = faults
         self._listeners: list[Callable[[PipEvent], None]] = []
+
+    def set_fault_model(self, faults) -> None:
+        """Attach (or clear, with None) the device's fault model.
+
+        Faults describe the physical fabric, not the configuration:
+        attaching a model does not disturb already-routed nets, it only
+        constrains future ``turn_on`` calls and fault-aware searches.
+        """
+        self.faults = faults
 
     @property
     def rows(self) -> int:
@@ -133,6 +148,21 @@ class Device:
                 f"{wires.wire_name(from_name)} and {wires.wire_name(to_name)} "
                 f"are the same physical wire at ({row},{col})"
             )
+        if self.faults is not None:
+            if self.faults.wire_blocked(canon_from) or self.faults.wire_blocked(
+                canon_to
+            ):
+                bad = canon_from if self.faults.wire_blocked(canon_from) else canon_to
+                kind = "dead" if self.faults.dead[bad] else "pre-driven"
+                raise errors.FaultError(
+                    f"wire {wires.wire_name(to_name if bad == canon_to else from_name)} "
+                    f"at ({row},{col}) is {kind} (fabric defect)"
+                )
+            if self.faults.pip_stuck_open(canon_from, canon_to):
+                raise errors.FaultError(
+                    f"PIP {wires.wire_name(from_name)} -> "
+                    f"{wires.wire_name(to_name)} at ({row},{col}) is stuck open"
+                )
         existing = self.state.driver_of(canon_to)
         if existing != -1:
             prev = self.state.pip_of[canon_to]
@@ -142,7 +172,11 @@ class Device:
                 f"{wires.wire_name(to_name)} at ({row},{col}) is already "
                 f"driven by {wires.wire_name(prev.from_name)} at "
                 f"({prev.row},{prev.col}); driving it from "
-                f"{wires.wire_name(from_name)} would create contention"
+                f"{wires.wire_name(from_name)} would create contention",
+                row=row,
+                col=col,
+                wire=wires.wire_name(to_name),
+                net=self.state.root_of(canon_to),
             )
         if self.state.is_ancestor(canon_to, canon_from):
             raise errors.RoutingLoopError(
@@ -181,8 +215,15 @@ class Device:
     # -- queries ------------------------------------------------------------------
 
     def is_on(self, row: int, col: int, name: int) -> bool:
-        """The paper's ``isOn(row, col, wire)``: is the wire in use?"""
-        return self.state.is_used(self.resolve(row, col, name))
+        """The paper's ``isOn(row, col, wire)``: is the wire in use?
+
+        Pre-driven wires (stuck-closed fabric defects) read as in use:
+        their signal really is asserted on the physical wire.
+        """
+        canon = self.resolve(row, col, name)
+        if self.faults is not None and self.faults.predriven[canon]:
+            return True
+        return self.state.is_used(canon)
 
     def pip_is_on(self, row: int, col: int, from_name: int, to_name: int) -> bool:
         canon_to = self.arch.canonicalize(row, col, to_name)

@@ -145,3 +145,64 @@ class RoutingState:
     def used_wires(self) -> np.ndarray:
         """Canonical ids of all wires currently in use (sorted)."""
         return np.flatnonzero(self.occupied)
+
+    # -- auditing ---------------------------------------------------------------
+
+    def check_invariants(self) -> list[str]:
+        """Audit ``driver``/``children``/``pip_of``/``occupied`` mutual
+        consistency.
+
+        Returns human-readable violations (empty when healthy).  Used by
+        :class:`repro.core.txn.RouteTransaction` after a rollback and by
+        the test suite; any violation means the forest is corrupt and the
+        device state can no longer be trusted.
+        """
+        problems: list[str] = []
+        if self.n_pips_on != len(self.pip_of):
+            problems.append(
+                f"n_pips_on={self.n_pips_on} but {len(self.pip_of)} PIP records"
+            )
+        for canon_to, rec in self.pip_of.items():
+            if rec.canon_to != canon_to:
+                problems.append(
+                    f"pip_of[{canon_to}] records target {rec.canon_to}"
+                )
+            if self.driver[canon_to] != rec.canon_from:
+                problems.append(
+                    f"driver[{canon_to}]={int(self.driver[canon_to])} but PIP "
+                    f"record says {rec.canon_from}"
+                )
+            if canon_to not in self.children.get(rec.canon_from, ()):
+                problems.append(
+                    f"{canon_to} missing from children[{rec.canon_from}]"
+                )
+        driven = np.flatnonzero(self.driver != -1)
+        for w in driven:
+            if int(w) not in self.pip_of:
+                problems.append(f"driver[{int(w)}] set but no PIP record")
+        for canon_from, kids in self.children.items():
+            if not kids:
+                problems.append(f"children[{canon_from}] is empty but present")
+            if len(set(kids)) != len(kids):
+                problems.append(f"children[{canon_from}] has duplicates")
+            for kid in kids:
+                rec = self.pip_of.get(kid)
+                if rec is None or rec.canon_from != canon_from:
+                    problems.append(
+                        f"children[{canon_from}] lists {kid} without a "
+                        f"matching PIP record"
+                    )
+        expected = np.zeros_like(self.occupied)
+        expected[driven] = True
+        for canon_from, kids in self.children.items():
+            if kids:
+                expected[canon_from] = True
+        bad = np.flatnonzero(expected != self.occupied)
+        for w in bad[:10]:
+            problems.append(
+                f"occupied[{int(w)}]={bool(self.occupied[w])} but forest "
+                f"says {bool(expected[w])}"
+            )
+        if len(bad) > 10:
+            problems.append(f"... and {len(bad) - 10} more occupancy mismatches")
+        return problems

@@ -5,6 +5,10 @@ thrown in cases where the user tries to make connections that create
 contention."  Route failures (template/auto-routing finding no free
 resources) are likewise surfaced as exceptions requiring user action
 ("The call would fail ... In this case a user action is required").
+
+Routing failures carry structured context — the tile, wire name and net
+involved — so retry logic (:mod:`repro.core.recovery`) and operator
+tooling can act on them programmatically instead of parsing messages.
 """
 
 from __future__ import annotations
@@ -13,9 +17,12 @@ __all__ = [
     "JRouteError",
     "InvalidResourceError",
     "InvalidPipError",
+    "RoutingFailure",
     "ContentionError",
     "RoutingLoopError",
     "UnroutableError",
+    "FaultError",
+    "TransactionError",
     "PortError",
     "PlacementError",
     "BitstreamError",
@@ -35,12 +42,67 @@ class InvalidPipError(JRouteError):
     """No programmable interconnect point exists between the two wires."""
 
 
-class ContentionError(JRouteError):
+class RoutingFailure(JRouteError):
+    """A routing request that could not be satisfied, with context.
+
+    Attributes
+    ----------
+    row, col:
+        Tile of the resource at the centre of the failure (or None).
+    wire:
+        Wire name string of that resource (or None).
+    net:
+        Canonical wire id of the net's source involved in the failure
+        (the blocking net for contention, the requested net for
+        unroutability), or None when unknown.
+    faults_avoided:
+        Faulty resources the failed search masked out before giving up
+        (not rendered in the message; reporting metadata only).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        row: int | None = None,
+        col: int | None = None,
+        wire: str | None = None,
+        net: int | None = None,
+        faults_avoided: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.row = row
+        self.col = col
+        self.wire = wire
+        self.net = net
+        self.faults_avoided = faults_avoided
+
+    def context(self) -> dict[str, int | str]:
+        """The non-empty structured fields, as a dict."""
+        out: dict[str, int | str] = {}
+        for key in ("row", "col", "wire", "net"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+    def __str__(self) -> str:
+        ctx = self.context()
+        if not ctx:
+            return self.message
+        rendered = ", ".join(f"{k}={v}" for k, v in ctx.items())
+        return f"{self.message} [{rendered}]"
+
+
+class ContentionError(RoutingFailure):
     """A connection would drive a wire that is already driven.
 
     Virtex has bi-directional routing resources which can be driven from
     either end; the router refuses configurations where a wire has two
-    drivers, protecting the (simulated) device.
+    drivers, protecting the (simulated) device.  ``row``/``col``/``wire``
+    locate the contended wire and ``net`` is the source of the net that
+    already drives it.
     """
 
 
@@ -48,8 +110,31 @@ class RoutingLoopError(JRouteError):
     """A connection would close a combinational loop of routing PIPs."""
 
 
-class UnroutableError(JRouteError):
-    """No combination of free resources realises the requested route."""
+class UnroutableError(RoutingFailure):
+    """No combination of free resources realises the requested route.
+
+    ``row``/``col``/``wire`` locate the unreached target and ``net`` the
+    source wire of the request, when known.
+    """
+
+
+class FaultError(JRouteError):
+    """A connection would use a physically defective resource.
+
+    The fault model (:mod:`repro.device.faults`) marks wires dead or
+    pre-driven and PIPs stuck open; the device refuses to configure them,
+    and fault-aware routers mask them out of their searches instead.
+    """
+
+
+class TransactionError(JRouteError):
+    """A routing transaction could not be rolled back consistently.
+
+    Raised by :class:`repro.core.txn.RouteTransaction` when the
+    post-rollback invariant audit finds the routing state, net database
+    and bitstream mirror out of sync — indicating state corruption that
+    user action must resolve.
+    """
 
 
 class PortError(JRouteError):

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .. import errors
+from ..arch import wires
 from ..arch.templates import TemplateValue as TV
 from ..arch.wires import WireClass
 from ..device.fabric import Device
@@ -30,6 +31,7 @@ class P2PResult:
     method: str               #: "template" or "maze"
     templates_tried: int      #: how many predefined templates were attempted
     template_used: object | None = None  #: set when method == "template"
+    faults_avoided: int = 0   #: faulty edges the maze search routed around
 
 
 def route_point_to_point(
@@ -52,8 +54,13 @@ def route_point_to_point(
     """
     arch = device.arch
     if device.state.occupied[sink]:
+        tr, tc, tn = arch.primary_name(sink)
         raise errors.ContentionError(
-            "sink wire is already in use; unroute it first"
+            "sink wire is already in use; unroute it first",
+            row=tr,
+            col=tc,
+            wire=wires.wire_name(tn),
+            net=device.state.root_of(sink),
         )
     templates_tried = 0
     if try_templates and not reuse:
@@ -88,4 +95,6 @@ def route_point_to_point(
         heuristic_weight=heuristic_weight,
         max_nodes=max_nodes,
     )
-    return P2PResult(result.plan, "maze", templates_tried, None)
+    return P2PResult(
+        result.plan, "maze", templates_tried, None, result.faults_avoided
+    )

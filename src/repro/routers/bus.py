@@ -29,6 +29,7 @@ class BusResult:
 
     results: list[P2PResult] = field(default_factory=list)
     pips_added: int = 0
+    faults_avoided: int = 0  #: faulty edges masked out across all bits
 
 
 def route_bus(
@@ -64,11 +65,21 @@ def route_bus(
                     max_nodes=max_nodes,
                 )
             except errors.JRouteError as e:
-                raise errors.UnroutableError(f"bus bit {bit}: {e}") from e
+                ctx = e.context() if isinstance(e, errors.RoutingFailure) else {}
+                raise errors.UnroutableError(
+                    f"bus bit {bit}: {e}",
+                    row=ctx.get("row"),
+                    col=ctx.get("col"),
+                    wire=ctx.get("wire"),
+                    net=src,
+                    faults_avoided=out.faults_avoided
+                    + getattr(e, "faults_avoided", 0),
+                ) from e
             apply_plan(device, res.plan)
             applied.extend(res.plan)
             out.results.append(res)
             out.pips_added += len(res.plan)
+            out.faults_avoided += res.faults_avoided
     except errors.JRouteError:
         for row, col, from_name, to_name in reversed(applied):
             device.turn_off(row, col, from_name, to_name)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from .. import errors
+from ..arch import wires
 from ..device.fabric import Device
 from .base import PlanPip, apply_plan
 from .maze import route_maze
@@ -35,6 +36,7 @@ class FanoutResult:
     order: list[int] = field(default_factory=list)   #: sinks, as routed
     plans: list[list[PlanPip]] = field(default_factory=list)
     pips_added: int = 0
+    faults_avoided: int = 0  #: faulty edges masked out across all searches
 
 
 def route_fanout(
@@ -84,9 +86,15 @@ def route_fanout(
                     max_nodes=max_nodes,
                 )
             except errors.UnroutableError as e:
+                r, c, n = arch.primary_name(sink)
                 raise errors.UnroutableError(
                     f"fanout sink {sink} unroutable after "
-                    f"{len(result.order)} sinks: {e}"
+                    f"{len(result.order)} sinks: {e.message}",
+                    row=r,
+                    col=c,
+                    wire=wires.wire_name(n),
+                    net=source,
+                    faults_avoided=result.faults_avoided + e.faults_avoided,
                 ) from e
             apply_plan(device, res.plan)
             applied.extend(res.plan)
@@ -97,6 +105,7 @@ def route_fanout(
             result.order.append(sink)
             result.plans.append(res.plan)
             result.pips_added += len(res.plan)
+            result.faults_avoided += res.faults_avoided
     except errors.JRouteError:
         for row, col, from_name, to_name in reversed(applied):
             device.turn_off(row, col, from_name, to_name)

@@ -29,13 +29,22 @@ __all__ = ["route_maze", "MazeResult"]
 class MazeResult:
     """Outcome of a maze search: the plan and the target it reached."""
 
-    __slots__ = ("plan", "target", "cost", "nodes_expanded")
+    __slots__ = ("plan", "target", "cost", "nodes_expanded", "faults_avoided")
 
-    def __init__(self, plan: list[PlanPip], target: int, cost: float, nodes: int):
+    def __init__(
+        self,
+        plan: list[PlanPip],
+        target: int,
+        cost: float,
+        nodes: int,
+        faults_avoided: int = 0,
+    ):
         self.plan = plan
         self.target = target
         self.cost = cost
         self.nodes_expanded = nodes
+        #: edges the search skipped because they touched a faulty resource
+        self.faults_avoided = faults_avoided
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return (
@@ -92,13 +101,26 @@ def route_maze(
     """
     arch = device.arch
     occupied = device.state.occupied
+    faults = device.faults
+    fault_mask = faults.unusable if faults is not None else None
     target_set = set(targets)
     if not target_set:
         raise errors.UnroutableError("no targets given")
     reuse_set = set(reuse)
-    start_set = set(sources) | reuse_set
+    source_set = set(sources)
+    start_set = source_set | reuse_set
     if not start_set:
         raise errors.UnroutableError("no sources given")
+    if fault_mask is not None:
+        for t in target_set:
+            if fault_mask[t]:
+                r, c, n = arch.primary_name(t)
+                raise errors.UnroutableError(
+                    "target wire is a faulty fabric resource",
+                    row=r,
+                    col=c,
+                    wire=wires.wire_name(n),
+                )
     hit = target_set & start_set
     if hit:
         return MazeResult([], hit.pop(), 0.0, 0)
@@ -156,6 +178,7 @@ def route_maze(
         heapq.heappush(heap, (h(s, n0, r0, c0), 0.0, s))
 
     expanded = 0
+    faults_avoided = 0
     goal: int | None = None
     goal_cost = 0.0
     long_lo = wires.LONG_H[0]
@@ -170,15 +193,26 @@ def route_maze(
             goal = canon
             goal_cost = g
             break
+        if fault_mask is not None and fault_mask[canon]:
+            # a dead/pre-driven start wire cannot launch the signal
+            faults_avoided += 1
+            continue
         expanded += 1
         if expanded > max_nodes:
             raise errors.UnroutableError(
-                f"maze search exceeded {max_nodes} node expansions"
+                f"maze search exceeded {max_nodes} node expansions",
+                net=min(source_set) if source_set else None,
+                faults_avoided=faults_avoided,
             )
         for row, col, from_name, to_name, canon_to in device.fanout_pips(canon):
             if not use_longs and long_lo <= to_name <= long_hi:
                 continue
             if avoid and wires.wire_info(to_name).wire_class in avoid:
+                continue
+            if fault_mask is not None and (
+                fault_mask[canon_to] or faults.pip_stuck_open(canon, canon_to)
+            ):
+                faults_avoided += 1
                 continue
             if occupied[canon_to] and canon_to not in reuse_set:
                 continue
@@ -191,9 +225,15 @@ def route_maze(
                 )
 
     if goal is None:
+        tr, tc, tn = arch.primary_name(next(iter(target_set)))
         raise errors.UnroutableError(
             "no free path from sources to targets"
-            + ("" if use_longs else " (long lines disabled)")
+            + ("" if use_longs else " (long lines disabled)"),
+            row=tr,
+            col=tc,
+            wire=wires.wire_name(tn),
+            net=min(source_set) if source_set else None,
+            faults_avoided=faults_avoided,
         )
 
     # Walk predecessors back to a start wire.
@@ -207,4 +247,4 @@ def route_maze(
         assert canon_from is not None
         w = canon_from
     plan.reverse()
-    return MazeResult(plan, goal, goal_cost, expanded)
+    return MazeResult(plan, goal, goal_cost, expanded, faults_avoided)

@@ -56,6 +56,8 @@ def route_template(
         raise errors.JRouteError("empty template")
 
     occupied = device.state.occupied
+    faults = device.faults
+    fault_mask = faults.unusable if faults is not None else None
     last = len(template_values) - 1
     budget = max_nodes
     # visited states (wire, depth, drive tile) that already failed
@@ -92,6 +94,10 @@ def route_template(
                 if end_canon is not None and canon_to != end_canon:
                     continue
             if occupied[canon_to]:
+                continue
+            if fault_mask is not None and (
+                fault_mask[canon_to] or faults.pip_stuck_open(canon, canon_to)
+            ):
                 continue
             if canon_to in in_plan:
                 blocked_by_plan = True

@@ -1,0 +1,148 @@
+"""Fault injection: FaultModel semantics and fault-aware routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.arch import wires
+from repro.core import JRouter, Pin
+from repro.device import Device, FaultModel
+from repro.routers import route_maze
+from repro.routers.base import apply_plan
+
+
+def _first_pip(device):
+    """Any real PIP on the fabric: (row, col, from_name, to_name, cf, ct)."""
+    src = device.resolve(5, 5, wires.OUT[0])
+    for row, col, fn, tn, ct in device.fanout_pips(src):
+        return row, col, fn, tn, src, ct
+    raise AssertionError("no fanout from OUT[0]")
+
+
+class TestFaultModel:
+    def test_explicit_faults(self, arch):
+        model = FaultModel(
+            arch,
+            dead_wires=(7,),
+            predriven_wires=(9,),
+            stuck_open_pips=((3, 4),),
+        )
+        assert model.wire_blocked(7) and model.wire_blocked(9)
+        assert not model.wire_blocked(8)
+        assert model.pip_stuck_open(3, 4)
+        assert not model.pip_stuck_open(4, 3)
+        assert model.pip_blocked(7, 8)   # dead endpoint
+        assert model.pip_blocked(8, 9)   # pre-driven endpoint
+        assert model.counts()["dead_wires"] == 1
+
+    def test_mutators_refresh_unusable(self, arch):
+        model = FaultModel(arch)
+        model.kill_wire(11)
+        model.predrive_wire(12)
+        model.break_pip(1, 2)
+        assert model.unusable[11] and model.unusable[12]
+        assert model.pip_stuck_open(1, 2)
+
+    def test_random_is_deterministic(self, arch):
+        a = FaultModel.random(arch, seed=42, stuck_open_rate=0.05,
+                              dead_wire_rate=0.01, stuck_closed_rate=0.01)
+        b = FaultModel.random(arch, seed=42, stuck_open_rate=0.05,
+                              dead_wire_rate=0.01, stuck_closed_rate=0.01)
+        assert (a.dead == b.dead).all()
+        assert (a.predriven == b.predriven).all()
+        pairs = [(i, i + 17) for i in range(0, 40_000, 37)]
+        assert [a.pip_stuck_open(f, t) for f, t in pairs] == \
+               [b.pip_stuck_open(f, t) for f, t in pairs]
+
+    def test_random_rate_is_approximate(self, arch):
+        model = FaultModel.random(arch, seed=1, stuck_open_rate=0.05)
+        pairs = [(i, (i * 131) % arch.n_wires) for i in range(20_000)]
+        hit = sum(model.pip_stuck_open(f, t) for f, t in pairs)
+        assert 0.03 < hit / len(pairs) < 0.07
+
+    def test_zero_rate_blocks_nothing(self, arch):
+        model = FaultModel.random(arch, seed=1)
+        assert not model.pip_stuck_open(10, 20)
+        assert not model.unusable.any()
+
+
+class TestDeviceFaults:
+    def test_turn_on_dead_wire_raises(self):
+        device = Device("XCV50")
+        row, col, fn, tn, cf, ct = _first_pip(device)
+        device.set_fault_model(FaultModel(device.arch, dead_wires=(ct,)))
+        with pytest.raises(errors.FaultError, match="dead"):
+            device.turn_on(row, col, fn, tn)
+        assert device.state.n_pips_on == 0
+
+    def test_turn_on_stuck_open_pip_raises(self):
+        device = Device("XCV50")
+        row, col, fn, tn, cf, ct = _first_pip(device)
+        device.set_fault_model(
+            FaultModel(device.arch, stuck_open_pips=((cf, ct),))
+        )
+        with pytest.raises(errors.FaultError, match="stuck open"):
+            device.turn_on(row, col, fn, tn)
+
+    def test_predriven_wire_reads_in_use(self):
+        device = Device("XCV50")
+        canon = device.resolve(4, 4, wires.SINGLE_E[0])
+        assert not device.is_on(4, 4, wires.SINGLE_E[0])
+        device.set_fault_model(
+            FaultModel(device.arch, predriven_wires=(canon,))
+        )
+        assert device.is_on(4, 4, wires.SINGLE_E[0])
+
+    def test_attach_model_keeps_routed_nets(self):
+        router = JRouter(part="XCV50")
+        src = Pin(5, 5, wires.S0_YQ)
+        sink = Pin(7, 7, wires.S0F[1])
+        router.route(src, sink)
+        pips_before = router.device.state.n_pips_on
+        router.device.set_fault_model(
+            FaultModel.random(router.device.arch, seed=3,
+                              stuck_open_rate=0.05)
+        )
+        assert router.device.state.n_pips_on == pips_before
+        assert router.trace(src).sinks
+
+
+class TestFaultAwareMaze:
+    def test_maze_routes_around_killed_fanin(self, arch):
+        device = Device("XCV50")
+        sink = device.resolve(7, 7, wires.S0F[2])
+        fanin = sorted({cf for *_rest, cf in device.fanin_pips(sink)})
+        assert len(fanin) > 1
+        keep = fanin[0]
+        model = FaultModel(device.arch, dead_wires=tuple(fanin[1:]))
+        device.set_fault_model(model)
+        src = device.resolve(6, 6, wires.S0_YQ)
+        res = route_maze(device, [src], {sink}, heuristic_weight=0.8)
+        apply_plan(device, res.plan)
+        assert device.state.pip_of[sink].canon_from == keep
+        assert res.faults_avoided > 0
+
+    def test_unroutable_when_every_fanin_dead(self):
+        device = Device("XCV50")
+        sink = device.resolve(7, 7, wires.S0F[2])
+        fanin = sorted({cf for *_rest, cf in device.fanin_pips(sink)})
+        device.set_fault_model(
+            FaultModel(device.arch, dead_wires=tuple(fanin))
+        )
+        src = device.resolve(6, 6, wires.S0_YQ)
+        with pytest.raises(errors.UnroutableError):
+            route_maze(device, [src], {sink}, heuristic_weight=0.8)
+
+    def test_faulty_target_error_has_context(self):
+        device = Device("XCV50")
+        sink = device.resolve(7, 7, wires.S0F[2])
+        device.set_fault_model(FaultModel(device.arch, dead_wires=(sink,)))
+        src = device.resolve(6, 6, wires.S0_YQ)
+        with pytest.raises(errors.UnroutableError) as ei:
+            route_maze(device, [src], {sink}, heuristic_weight=0.8)
+        err = ei.value
+        assert (err.row, err.col) == (7, 7)
+        assert err.wire == wires.wire_name(wires.S0F[2])
+        assert "row=7" in str(err) and "col=7" in str(err)
+        assert err.context()["wire"] == err.wire

@@ -49,6 +49,20 @@ class TestCli:
         rc = main(["route", "XCV50", "0", "23", "S1_YQ", "0", "23", "SingleEast[0]"])
         assert rc in (1, 2)
 
+    def test_route_with_faults_and_retry(self, capsys):
+        rc = main(["route", "XCV50", "5", "7", "S1_YQ", "10", "12", "S0F3",
+                   "--fault-rate", "0.05", "--fault-seed", "1", "--retry", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "injected faults" in out
+        assert "report: ok" in out
+
+    def test_route_bad_flag_value(self, capsys):
+        assert main(["route", "XCV50", "5", "7", "S1_YQ", "6", "8", "S0F3",
+                     "--fault-rate", "lots"]) == 2
+        assert main(["route", "XCV50", "5", "7", "S1_YQ", "6", "8", "S0F3",
+                     "--retry"]) == 2
+
     def test_pads(self, capsys):
         assert main(["pads", "XCV50"]) == 0
         out = capsys.readouterr().out

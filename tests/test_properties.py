@@ -167,6 +167,79 @@ class TestUnrouteRestoresState:
         assert audit_no_contention(router.device) == []
 
 
+class TestRollbackAtomicity:
+    """A failed level-5/6 route must leave routing state, net database
+    and the mirrored bitstream bit-identical to the pre-call snapshots."""
+
+    @staticmethod
+    def _snapshot(router):
+        state = router.device.state
+        return (
+            state.driver.copy(),
+            state.occupied.copy(),
+            dict(state.pip_of),
+            {s: set(v) for s, v in router.netdb.net_sinks.items()},
+            router.jbits.memory.bits.copy(),
+        )
+
+    @staticmethod
+    def _assert_rolled_back(router, snap):
+        driver, occupied, pip_of, net_sinks, bits = snap
+        state = router.device.state
+        assert (state.driver == driver).all()
+        assert (state.occupied == occupied).all()
+        assert state.pip_of == pip_of
+        assert {s: set(v)
+                for s, v in router.netdb.net_sinks.items()} == net_sinks
+        assert np.array_equal(router.jbits.memory.bits, bits)
+        assert state.check_invariants() == []
+
+    @given(src=source_pins,
+           sinks=st.lists(sink_pins, min_size=2, max_size=4,
+                          unique_by=lambda p: (p.row, p.col, p.wire)),
+           fault_seed=st.integers(0, 7),
+           retry=st.booleans())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_failed_fanout_rolls_back(self, src, sinks, fault_seed, retry):
+        from repro.core import RetryPolicy
+        from repro.device import FaultModel
+
+        router = JRouter(
+            part="XCV50",
+            faults=FaultModel.random(ARCH, seed=fault_seed,
+                                     dead_wire_rate=0.3),
+            retry=RetryPolicy(max_attempts=2) if retry else None,
+        )
+        snap = self._snapshot(router)
+        try:
+            router.route(src, sinks)
+        except errors.JRouteError:
+            self._assert_rolled_back(router, snap)
+
+    @given(cols=st.tuples(st.integers(2, 20), st.integers(2, 20)),
+           row_src=st.integers(0, ARCH.rows - 1),
+           row_dst=st.integers(0, ARCH.rows - 1),
+           fault_seed=st.integers(0, 7))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_failed_bus_rolls_back(self, cols, row_src, row_dst, fault_seed):
+        from repro.device import FaultModel
+
+        srcs = [Pin(row_src, cols[0], w) for w in SOURCE_WIRES[:3]]
+        dsts = [Pin(row_dst, cols[1], w) for w in SINK_WIRES[:3]]
+        router = JRouter(
+            part="XCV50",
+            faults=FaultModel.random(ARCH, seed=fault_seed,
+                                     dead_wire_rate=0.3),
+        )
+        snap = self._snapshot(router)
+        try:
+            router.route(srcs, dsts)
+        except errors.JRouteError:
+            self._assert_rolled_back(router, snap)
+
+
 class TestBitstreamRoundtrip:
     @given(bit_positions=st.lists(
         st.tuples(st.integers(0, ARCH.rows - 1), st.integers(0, ARCH.cols - 1),
