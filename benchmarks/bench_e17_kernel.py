@@ -1,0 +1,287 @@
+"""E17: search-kernel speedup over the pre-kernel reference routers.
+
+Measures the compiled-graph kernel (:mod:`repro.core.kernel` over
+:mod:`repro.arch.graph`) against the preserved dict-Dijkstra reference
+implementations (:mod:`repro.routers._reference`) on three workload
+families:
+
+* **E10-style point-to-point scaling** — cross-chip and medium-span A*
+  maze routes per part, XCV50 up to XCV800;
+* **E3-style fanout** — one high-fanout net routed sink-by-sink with
+  tree reuse;
+* **PathFinder** — negotiated congestion over a batch of random nets,
+  serial and with partitioned workers.
+
+Run as a script to (re)generate ``BENCH_routing.json`` at the repo
+root::
+
+    PYTHONPATH=src python benchmarks/bench_e17_kernel.py           # full
+    PYTHONPATH=src python benchmarks/bench_e17_kernel.py --smoke   # CI
+    PYTHONPATH=src python benchmarks/bench_e17_kernel.py --smoke --check
+
+``--check`` compares freshly measured speedups against the committed
+baseline instead of overwriting it, failing (exit 1) on a >25%
+regression; because it compares kernel-vs-reference *ratios* measured in
+the same process, it is largely insensitive to the absolute speed of the
+CI machine.  Under pytest only the (timing-free) parity shape tests run.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.workloads import high_fanout_net, random_p2p_nets
+from repro.device.fabric import Device
+from repro.routers import NetSpec, route_maze, route_pathfinder
+from repro.routers._reference import (
+    route_maze_reference,
+    route_pathfinder_reference,
+)
+
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_routing.json"
+
+#: speedups may drop to this fraction of the committed baseline before
+#: the --check mode fails (CI perf-smoke tolerance)
+TOLERANCE = 0.25
+
+
+def _canon_nets(device, workloads):
+    out = []
+    for net in workloads:
+        src = device.resolve(net.source.row, net.source.col, net.source.wire)
+        sinks = [device.resolve(p.row, p.col, p.wire) for p in net.sinks]
+        out.append(NetSpec.of(src, sinks))
+    return out
+
+
+def _median_time(fn, reps: int) -> float:
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def _route_batch(router_fn, device, pairs):
+    for src, sink in pairs:
+        router_fn(device, [src], {sink}, heuristic_weight=0.8)
+
+
+def _route_fanout(router_fn, device, arch, net):
+    """Sink-by-sink fanout with tree reuse (the greedy-router pattern)."""
+    tree: set[int] = set()
+    for sink in net.sinks:
+        res = router_fn(device, [net.source], {sink}, reuse=tree)
+        for row, col, _fn, to_name in res.plan:
+            w = arch.canonicalize(row, col, to_name)
+            tree.add(w)
+
+
+def e10_workload(part: str, spans):
+    """Point-to-point A* pairs: one cross-chip plus medium spans."""
+    device = Device(part)
+    arch = device.arch
+    from repro.arch import wires
+
+    pairs = [
+        (
+            device.resolve(1, 1, wires.S0_X),
+            device.resolve(arch.rows - 2, arch.cols - 2, wires.S1G[2]),
+        )
+    ]
+    for i, span in enumerate(spans):
+        r = 1 + (i * 3) % max(1, arch.rows - span - 2)
+        c = 1 + (i * 5) % max(1, arch.cols - span - 2)
+        pairs.append(
+            (
+                device.resolve(r, c, wires.S0_Y),
+                device.resolve(r + span, c + span, wires.S0F[1]),
+            )
+        )
+    return device, pairs
+
+
+def measure_e10(part: str, *, reps: int, spans) -> dict:
+    device, pairs = e10_workload(part, spans)
+    _route_batch(route_maze, device, pairs)  # warm shared graph + state
+    new = _median_time(lambda: _route_batch(route_maze, device, pairs), reps)
+    ref = _median_time(
+        lambda: _route_batch(route_maze_reference, device, pairs), reps
+    )
+    return {
+        "name": f"e10_p2p_{part}",
+        "kind": "maze_astar",
+        "part": part,
+        "routes": len(pairs),
+        "median_new_s": new,
+        "median_ref_s": ref,
+        "speedup": ref / new,
+    }
+
+
+def measure_fanout(part: str, fanout: int, *, reps: int) -> dict:
+    device = Device(part)
+    arch = device.arch
+    net_pins = high_fanout_net(arch, fanout, seed=7)
+    src = device.resolve(
+        net_pins.source.row, net_pins.source.col, net_pins.source.wire
+    )
+    sinks = [device.resolve(p.row, p.col, p.wire) for p in net_pins.sinks]
+    net = NetSpec.of(src, sinks)
+    _route_fanout(route_maze, device, arch, net)  # warm
+    new = _median_time(lambda: _route_fanout(route_maze, device, arch, net), reps)
+    ref = _median_time(
+        lambda: _route_fanout(route_maze_reference, device, arch, net), reps
+    )
+    return {
+        "name": f"e3_fanout{fanout}_{part}",
+        "kind": "maze_fanout",
+        "part": part,
+        "fanout": fanout,
+        "median_new_s": new,
+        "median_ref_s": ref,
+        "speedup": ref / new,
+    }
+
+
+def measure_pathfinder(part: str, n_nets: int, *, reps: int, workers=(1,)) -> list[dict]:
+    device = Device(part)
+    nets = _canon_nets(
+        device, random_p2p_nets(device.arch, n_nets, seed=3, min_span=2, max_span=10)
+    )
+    route_pathfinder(device, nets, apply=False)  # warm
+    results = []
+    ref = _median_time(
+        lambda: route_pathfinder_reference(device, nets, apply=False), reps
+    )
+    for w in workers:
+        new = _median_time(
+            lambda: route_pathfinder(device, nets, apply=False, workers=w), reps
+        )
+        results.append(
+            {
+                "name": f"pathfinder_{n_nets}nets_{part}"
+                + ("" if w == 1 else f"_w{w}"),
+                "kind": "pathfinder",
+                "part": part,
+                "nets": n_nets,
+                "workers": w,
+                "median_new_s": new,
+                "median_ref_s": ref,
+                "speedup": ref / new,
+            }
+        )
+    return results
+
+
+def run(smoke: bool) -> dict:
+    reps = 3 if smoke else 5
+    workloads: list[dict] = []
+    if smoke:
+        workloads.append(measure_e10("XCV50", reps=reps, spans=(6, 10)))
+        workloads.append(measure_fanout("XCV50", 6, reps=reps))
+        workloads.extend(
+            measure_pathfinder("XCV50", 6, reps=reps, workers=(1, 2))
+        )
+    else:
+        for part in ("XCV50", "XCV300", "XCV800"):
+            workloads.append(measure_e10(part, reps=reps, spans=(6, 10, 14)))
+        workloads.append(measure_fanout("XCV50", 8, reps=reps))
+        workloads.extend(
+            measure_pathfinder("XCV50", 12, reps=reps, workers=(1, 2, 4))
+        )
+    e10 = [w["speedup"] for w in workloads if w["kind"] == "maze_astar"]
+    return {
+        "mode": "smoke" if smoke else "full",
+        "reps": reps,
+        "workloads": workloads,
+        "e10_median_speedup": statistics.median(e10),
+    }
+
+
+def check(results: dict, baseline: dict) -> int:
+    """Compare measured speedups to the committed baseline section."""
+    base = {w["name"]: w["speedup"] for w in baseline["workloads"]}
+    failures = []
+    for w in results["workloads"]:
+        ref = base.get(w["name"])
+        if ref is None:
+            continue
+        floor = ref * (1.0 - TOLERANCE)
+        status = "ok" if w["speedup"] >= floor else "REGRESSED"
+        print(
+            f"{w['name']:32s} speedup {w['speedup']:5.2f}x "
+            f"(baseline {ref:5.2f}x, floor {floor:5.2f}x) {status}"
+        )
+        if status != "ok":
+            failures.append(w["name"])
+    if failures:
+        print(f"PERF REGRESSION in: {', '.join(failures)}")
+        return 1
+    print("perf check ok")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    checking = "--check" in argv
+    results = run(smoke)
+    for w in results["workloads"]:
+        print(
+            f"{w['name']:32s} new {w['median_new_s']*1e3:8.1f} ms   "
+            f"ref {w['median_ref_s']*1e3:8.1f} ms   {w['speedup']:5.2f}x"
+        )
+    print(f"E10 median speedup: {results['e10_median_speedup']:.2f}x")
+    if checking:
+        if not BASELINE.exists():
+            print(f"no baseline at {BASELINE}", file=sys.stderr)
+            return 2
+        committed = json.loads(BASELINE.read_text())
+        section = committed.get("smoke" if smoke else "full")
+        if section is None:
+            print("baseline lacks the required section", file=sys.stderr)
+            return 2
+        return check(results, section)
+    # (re)generate: keep the other mode's committed section if present
+    data = json.loads(BASELINE.read_text()) if BASELINE.exists() else {}
+    data["generated_by"] = "benchmarks/bench_e17_kernel.py"
+    data[results["mode"]] = results
+    BASELINE.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {BASELINE}")
+    return 0
+
+
+# ---------------------------------------------------------------- shape tests
+# Timing-free parity checks so the file stays green under pytest/CI.
+
+
+def test_shape_e10_workload_parity():
+    device, pairs = e10_workload("XCV50", (6,))
+    for src, sink in pairs:
+        a = route_maze(device, [src], {sink}, heuristic_weight=0.8)
+        b = route_maze_reference(device, [src], {sink}, heuristic_weight=0.8)
+        assert a.plan == b.plan
+        assert a.cost == b.cost
+
+
+def test_shape_pathfinder_parity():
+    d1, d2 = Device("XCV50"), Device("XCV50")
+    nets = _canon_nets(d1, random_p2p_nets(d1.arch, 5, seed=3, min_span=2, max_span=8))
+    a = route_pathfinder(d1, nets, apply=False)
+    b = route_pathfinder_reference(d2, nets, apply=False)
+    assert a.converged == b.converged
+    assert a.plans == b.plans
+
+
+def test_shape_smoke_run_reports_speedup():
+    res = measure_e10("XCV50", reps=1, spans=(4,))
+    assert res["speedup"] > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,341 @@
+"""Compiled routing graph: flat CSR adjacency over canonical wires.
+
+Every search level in this repro (maze, greedy fanout, bus, PathFinder)
+used to re-expand the wire graph through the per-node Python generator
+``Device.fanout_pips``, paying ``presences()`` + ``canonicalize()`` on
+every edge of every search.  :class:`RoutingGraph` precompiles that
+fanout relation once per device *geometry* into flat ``array``-backed
+CSR storage:
+
+* ``off[canon]`` / ``deg[canon]`` — index and length of the wire's edge
+  run (``off`` is -1 until the node is materialized);
+* ``e_to`` / ``e_src`` — canonical target / source wire per edge;
+* ``e_row`` / ``e_col`` / ``e_from`` / ``e_toname`` — the PIP metadata
+  (``(row, col, from_name, to_name)``) needed to apply a plan;
+* ``e_cost`` — the target wire's base router cost, pre-resolved.
+
+Nodes materialize lazily on first expansion (a one-shot cross-chip
+route on a large part pays no up-front compile) and are shared: graphs
+are cached per part name, so every ``Device("XCV50")`` in the process
+reuses the same adjacency.  :meth:`RoutingGraph.compile` forces a full
+build for steady-state benchmarking.
+
+Fault models are *not* baked into the adjacency (they are mutable and
+per-device); instead :meth:`RoutingGraph.fault_edge_mask` derives a flat
+per-edge blocked mask — vectorised over the fault model's wire masks and
+hashed stuck-open population — cached per (graph, fault-model version).
+"""
+
+from __future__ import annotations
+
+import threading
+from array import array
+
+import numpy as np
+
+from . import connectivity, wires
+from .virtex import _BASE_COST, VirtexArch
+from .wires import WireClass
+
+__all__ = [
+    "NAME_DRIVABLE",
+    "DRIVES_DRIVABLE",
+    "NAME_COST",
+    "RoutingGraph",
+    "routing_graph",
+]
+
+# Name-level drivability: pure sources, globals and the direct-connect
+# alias of a neighbour's OMUX can never be the target of a PIP; odd hexes
+# cannot be driven through their far-end (south/west) alias names.
+_HS0 = wires.HEX_S[0]
+
+
+def _name_drivable(name: int) -> bool:
+    info = wires.wire_info(name)
+    cls = info.wire_class
+    if cls in (
+        WireClass.SLICE_OUT,
+        WireClass.GCLK,
+        WireClass.DIRECT,
+        WireClass.IOB_IN,
+    ):
+        return False
+    if cls is WireClass.HEX and name >= _HS0 and info.index % 2 == 1:
+        return False
+    return True
+
+
+NAME_DRIVABLE: tuple[bool, ...] = tuple(
+    _name_drivable(n) for n in range(wires.N_NAMES)
+)
+
+#: Name-level fan-out restricted to drivable targets, precomputed once.
+DRIVES_DRIVABLE: tuple[tuple[int, ...], ...] = tuple(
+    tuple(t for t in connectivity.DRIVES[n] if NAME_DRIVABLE[t])
+    for n in range(wires.N_NAMES)
+)
+
+#: Base router cost per wire name (flat: no WireClass lookup in hot loops).
+NAME_COST: tuple[float, ...] = tuple(
+    _BASE_COST[wires.wire_info(n).wire_class] for n in range(wires.N_NAMES)
+)
+
+_M64 = (1 << 64) - 1
+
+
+def _splitmix64_np(x: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64, bit-identical to ``faults._splitmix64``."""
+    x = x + np.uint64(0x9E3779B97F4A7C15)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
+class FaultEdgeMask:
+    """Flat per-edge fault mask aligned with a graph's edge arrays.
+
+    ``mask[e]`` is 1 when edge ``e`` must be skipped by a fault-aware
+    search: its target wire is dead/pre-driven, or the PIP itself is
+    stuck open (explicitly or by the hashed random population).  The
+    bytearray grows in place via :meth:`sync` as the graph materializes
+    more nodes, so kernels may keep a direct reference to ``mask``.
+    """
+
+    __slots__ = ("graph", "faults", "version", "mask")
+
+    def __init__(self, graph: "RoutingGraph", faults) -> None:
+        self.graph = graph
+        self.faults = faults
+        self.version = getattr(faults, "version", 0)
+        self.mask = bytearray()
+        self.sync()
+
+    def sync(self) -> None:
+        """Extend the mask to cover all currently-materialized edges."""
+        g = self.graph
+        n = len(g.e_to)
+        lo = len(self.mask)
+        if n <= lo:
+            return
+        f = self.faults
+        dst = np.frombuffer(g.e_to, dtype=np.int64, count=n)[lo:]
+        bad = f.unusable[dst].copy()
+        threshold = f._stuck_open_threshold
+        if threshold:
+            if threshold > _M64:
+                bad[:] = True
+            else:
+                src = np.frombuffer(g.e_src, dtype=np.int64, count=n)[lo:]
+                inner = _splitmix64_np(
+                    (src.astype(np.uint64) << np.uint64(24))
+                    ^ dst.astype(np.uint64)
+                )
+                key = _splitmix64_np(
+                    np.uint64((f._stuck_open_seed << 1) & _M64) ^ inner
+                )
+                bad |= key < np.uint64(threshold)
+        self.mask += bad.astype(np.uint8).tobytes()
+        if f._stuck_open:
+            explicit = f._stuck_open
+            e_src, e_to = g.e_src, g.e_to
+            for e in range(lo, n):
+                if (e_src[e], e_to[e]) in explicit:
+                    self.mask[e] = 1
+
+
+class RoutingGraph:
+    """CSR adjacency of one architecture's fanout relation."""
+
+    def __init__(self, arch: VirtexArch) -> None:
+        self.arch = arch
+        n = arch.n_wires
+        self.n_nodes = n
+        #: edge-run start per node; -1 until the node is materialized
+        self.off = array("q", [-1]) * n
+        #: edge-run length per node (valid once ``off`` is set)
+        self.deg = array("i", bytes(4 * n))
+        self.e_to = array("q")
+        self.e_src = array("q")
+        self.e_row = array("i")
+        self.e_col = array("i")
+        self.e_from = array("i")
+        self.e_toname = array("i")
+        self.e_cost = array("d")
+        self._lock = threading.Lock()
+        self._n_materialized = 0
+        self._tiles: tuple[list[int], list[int], list[int]] | None = None
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.e_to)
+
+    @property
+    def n_materialized(self) -> int:
+        """Nodes whose adjacency has been compiled so far."""
+        return self._n_materialized
+
+    def _materialize(self, canon: int) -> int:
+        """Compile one node's edge run; returns its offset."""
+        with self._lock:
+            o = self.off[canon]
+            if o >= 0:
+                return o
+            arch = self.arch
+            e_to = self.e_to
+            e_src = self.e_src
+            e_row = self.e_row
+            e_col = self.e_col
+            e_from = self.e_from
+            e_toname = self.e_toname
+            e_cost = self.e_cost
+            canonicalize = arch.canonicalize
+            o = len(e_to)
+            cnt = 0
+            for row, col, name in arch.presences(canon):
+                for to_name in DRIVES_DRIVABLE[name]:
+                    canon_to = canonicalize(row, col, to_name)
+                    if canon_to is None:
+                        continue
+                    e_row.append(row)
+                    e_col.append(col)
+                    e_from.append(name)
+                    e_toname.append(to_name)
+                    e_to.append(canon_to)
+                    e_src.append(canon)
+                    e_cost.append(NAME_COST[to_name])
+                    cnt += 1
+            self.deg[canon] = cnt
+            self._n_materialized += 1
+            # publish the offset last: readers holding no lock see either
+            # -1 (and take the lock) or a fully-written edge run
+            self.off[canon] = o
+            return o
+
+    def compile(self) -> "RoutingGraph":
+        """Materialize every node (steady-state / benchmark mode)."""
+        off = self.off
+        for canon in range(self.n_nodes):
+            if off[canon] < 0:
+                self._materialize(canon)
+        return self
+
+    def neighbors(self, canon: int) -> list[tuple[int, int, int, int, int]]:
+        """``(row, col, from_name, to_name, canon_to)`` per edge of a node.
+
+        Convenience accessor mirroring ``Device.fanout_pips`` (and in the
+        same order); hot paths should index the flat arrays directly.
+        """
+        o = self.off[canon]
+        if o < 0:
+            o = self._materialize(canon)
+        return [
+            (
+                self.e_row[e],
+                self.e_col[e],
+                self.e_from[e],
+                self.e_toname[e],
+                self.e_to[e],
+            )
+            for e in range(o, o + self.deg[canon])
+        ]
+
+    # -- primary-tile arrays (vectorised arch.primary_name) -----------------
+
+    def tiles(self) -> tuple[list[int], list[int], list[int]]:
+        """``(row, col, name)`` of every canonical wire, as flat lists.
+
+        Computed vectorised on first use; replaces per-wire
+        ``arch.primary_name`` calls in heuristic hot paths.
+        """
+        if self._tiles is None:
+            self._tiles = self._compute_tiles()
+        return self._tiles
+
+    def _compute_tiles(self) -> tuple[list[int], list[int], list[int]]:
+        from .virtex import (
+            N_OWNED,
+            _SLOT_HEX_E,
+            _SLOT_HEX_N,
+            _SLOT_IOB_IN,
+            _SLOT_IOB_OUT,
+            _SLOT_SINGLE_E,
+            _SLOT_SINGLE_N,
+        )
+
+        arch = self.arch
+        n = arch.n_wires
+        rows = np.zeros(n, dtype=np.int64)
+        cols = np.zeros(n, dtype=np.int64)
+        names = np.zeros(n, dtype=np.int64)
+        te = arch._tile_wires_end
+        ids = np.arange(te, dtype=np.int64)
+        tile, slot = np.divmod(ids, N_OWNED)
+        rows[:te], cols[:te] = np.divmod(tile, arch.cols)
+        names[:te] = np.select(
+            [
+                slot < _SLOT_SINGLE_E,
+                slot < _SLOT_SINGLE_N,
+                slot < _SLOT_HEX_E,
+                slot < _SLOT_HEX_N,
+                slot < _SLOT_IOB_IN,
+                slot < _SLOT_IOB_OUT,
+            ],
+            [
+                slot,
+                wires.SINGLE_E[0] + slot - _SLOT_SINGLE_E,
+                wires.SINGLE_N[0] + slot - _SLOT_SINGLE_N,
+                wires.HEX_E[0] + slot - _SLOT_HEX_E,
+                wires.HEX_N[0] + slot - _SLOT_HEX_N,
+                wires.IOB_IN[0] + slot - _SLOT_IOB_IN,
+            ],
+            default=wires.IOB_OUT[0] + slot - _SLOT_IOB_OUT,
+        )
+        nl = wires.N_LONGS
+        lh = np.arange(arch._long_v_base - arch._long_h_base, dtype=np.int64)
+        r, i = np.divmod(lh, nl)
+        rows[arch._long_h_base : arch._long_v_base] = r
+        cols[arch._long_h_base : arch._long_v_base] = i % 6
+        names[arch._long_h_base : arch._long_v_base] = wires.LONG_H[0] + i
+        lv = np.arange(arch._gclk_base - arch._long_v_base, dtype=np.int64)
+        c, i = np.divmod(lv, nl)
+        rows[arch._long_v_base : arch._gclk_base] = i % 6
+        cols[arch._long_v_base : arch._gclk_base] = c
+        names[arch._long_v_base : arch._gclk_base] = wires.LONG_V[0] + i
+        names[arch._gclk_base :] = wires.GCLK[0] + np.arange(
+            n - arch._gclk_base, dtype=np.int64
+        )
+        return rows.tolist(), cols.tolist(), names.tolist()
+
+    # -- fault masking --------------------------------------------------------
+
+    def fault_edge_mask(self, faults) -> FaultEdgeMask:
+        """Per-edge blocked mask for a fault model, cached by version."""
+        cache = getattr(faults, "_edge_masks", None)
+        if cache is None:
+            cache = faults._edge_masks = {}
+        m = cache.get(id(self))
+        if m is None or m.version != getattr(faults, "version", 0):
+            m = FaultEdgeMask(self, faults)
+            cache[id(self)] = m
+        else:
+            m.sync()
+        return m
+
+
+#: Process-wide graph cache: one compiled graph per part geometry.
+_GRAPH_CACHE: dict[str, RoutingGraph] = {}
+_CACHE_LOCK = threading.Lock()
+
+
+def routing_graph(arch: VirtexArch) -> RoutingGraph:
+    """The shared :class:`RoutingGraph` of ``arch``'s part geometry."""
+    key = arch.part.name
+    g = _GRAPH_CACHE.get(key)
+    if g is None:
+        with _CACHE_LOCK:
+            g = _GRAPH_CACHE.get(key)
+            if g is None:
+                g = RoutingGraph(arch)
+                _GRAPH_CACHE[key] = g
+    return g

@@ -99,6 +99,8 @@ class VirtexArch:
         self._gclk_base = self._long_v_base + self.cols * _NL
         #: total size of the canonical wire-instance space
         self.n_wires = self._gclk_base + wires.N_GCLK
+        #: memoized ``primary_name(canon)[:2]`` (see :meth:`tile_coords`)
+        self._tile_coords_cache: dict[int, tuple[int, int]] = {}
 
     # -- basic geometry ----------------------------------------------------
 
@@ -276,6 +278,20 @@ class VirtexArch:
             col, i = divmod(canon - self._long_v_base, _NL)
             return i % 6, col, _LV0 + i
         return 0, 0, _GC0 + (canon - self._gclk_base)
+
+    def tile_coords(self, canon: int) -> tuple[int, int]:
+        """Memoized owning-tile ``(row, col)`` of a wire instance.
+
+        Equal to ``primary_name(canon)[:2]``; target-tile gathering and
+        PathFinder's sink-ordering distance keys call this per wire per
+        search, so the result is cached per instance.
+        """
+        cache = self._tile_coords_cache
+        v = cache.get(canon)
+        if v is None:
+            r, c, _ = self.primary_name(canon)
+            v = cache[canon] = (r, c)
+        return v
 
     def presences(self, canon: int) -> list[tuple[int, int, int]]:
         """All ``(row, col, name)`` through which this wire is visible.

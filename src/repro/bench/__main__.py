@@ -6,6 +6,7 @@ Usage::
     python -m repro.bench e3 e11               # a subset
     python -m repro.bench --experiment faults  # one, by name or alias
     python -m repro.bench --experiment faults --smoke   # CI smoke run
+    python -m repro.bench e10 --profile        # + search-kernel counters
 """
 
 from __future__ import annotations
@@ -18,10 +19,13 @@ from .experiments import EXPERIMENTS, run_all
 def main(argv: list[str]) -> int:
     names: list[str] = []
     smoke = False
+    profile = False
     it = iter(argv)
     for arg in it:
         if arg == "--smoke":
             smoke = True
+        elif arg == "--profile":
+            profile = True
         elif arg == "--experiment":
             name = next(it, None)
             if name is None:
@@ -40,6 +44,10 @@ def main(argv: list[str]) -> int:
         print(f"known: {', '.join(EXPERIMENTS)}")
         return 2
     run_all(tuple(names) or None, smoke=smoke)
+    if profile:
+        from ..core.kernel import GLOBAL_STATS
+
+        print(f"search kernel: {GLOBAL_STATS.summary()}")
     return 0
 
 

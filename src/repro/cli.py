@@ -11,13 +11,16 @@ Usage (``python -m repro <command> ...``)::
     parts                         list the Virtex family catalogue
     census [PART]                 fabric statistics of one part
     wires [SUBSTRING]             list wire names (optionally filtered)
-    route PART R1 C1 WIRE1 R2 C2 WIRE2 [--fault-rate R] [--fault-seed N]
-          [--retry N]
-                                  auto-route between two named pins and
-                                  print the resulting trace; --fault-rate
-                                  injects a seeded stuck-open PIP rate and
-                                  --retry enables rip-up/retry recovery
-                                  with N attempts
+    route PART R1 C1 WIRE1 R2 C2 WIRE2 [R3 C3 WIRE3 ...]
+          [--fault-rate R] [--fault-seed N] [--retry N] [--workers N]
+                                  auto-route from the first named pin to
+                                  the remaining pin(s) and print the
+                                  resulting trace; --fault-rate injects a
+                                  seeded stuck-open PIP rate, --retry
+                                  enables rip-up/retry recovery with N
+                                  attempts, and --workers > 1 routes via
+                                  the partitioned negotiated-congestion
+                                  router
     pads PART                     IOB ring inventory
     demo                          the paper's Section 3.1 walkthrough
     report                        markdown report of a small demo design
@@ -75,11 +78,12 @@ def _cmd_wires(args: list[str]) -> int:
 
 
 def _cmd_route(args: list[str]) -> int:
-    usage = ("usage: route PART R1 C1 WIRE1 R2 C2 WIRE2 "
-             "[--fault-rate R] [--fault-seed N] [--retry N]")
+    usage = ("usage: route PART R1 C1 WIRE1 R2 C2 WIRE2 [R3 C3 WIRE3 ...] "
+             "[--fault-rate R] [--fault-seed N] [--retry N] [--workers N]")
     fault_rate = 0.0
     fault_seed = 0
     retry_attempts = 0
+    workers = 1
     pos: list[str] = []
     it = iter(args)
     try:
@@ -90,24 +94,35 @@ def _cmd_route(args: list[str]) -> int:
                 fault_seed = int(next(it))
             elif a == "--retry":
                 retry_attempts = int(next(it))
+            elif a == "--workers":
+                workers = int(next(it))
             else:
                 pos.append(a)
     except (StopIteration, ValueError):
         print(usage, file=sys.stderr)
         return 2
-    if len(pos) != 7 or fault_rate < 0 or retry_attempts < 0:
+    if (
+        len(pos) < 7
+        or (len(pos) - 1) % 3 != 0
+        or fault_rate < 0
+        or retry_attempts < 0
+        or workers < 1
+    ):
         print(usage, file=sys.stderr)
         return 2
-    part, r1, c1, w1, r2, c2, w2 = pos
+    part = pos[0]
     try:
-        src = Pin(int(r1), int(c1), wires.parse_wire_name(w1))
-        sink = Pin(int(r2), int(c2), wires.parse_wire_name(w2))
+        pins = [
+            Pin(int(pos[i]), int(pos[i + 1]), wires.parse_wire_name(pos[i + 2]))
+            for i in range(1, len(pos), 3)
+        ]
     except KeyError as e:
         print(f"unknown wire name: {e}", file=sys.stderr)
         return 2
     except ValueError:
         print(usage, file=sys.stderr)
         return 2
+    src, sinks = pins[0], pins[1:]
     from .core import RetryPolicy
     from .device import FaultModel
 
@@ -118,9 +133,17 @@ def _cmd_route(args: list[str]) -> int:
         )
         print(f"injected faults: {faults}")
     retry = RetryPolicy(max_attempts=retry_attempts) if retry_attempts else None
-    router = JRouter(part=part, faults=faults, retry=retry)
+    router = JRouter(part=part, faults=faults, retry=retry, workers=workers)
     try:
-        n = router.route(src, sink)
+        if workers > 1:
+            # negotiated bulk routing (partitioned across workers)
+            result = router.route_nets([(src, sinks)])
+            if not result.converged:
+                print("unroutable: pathfinder did not converge", file=sys.stderr)
+                return 1
+            n = result.pips_added
+        else:
+            n = router.route(src, sinks if len(sinks) > 1 else sinks[0])
     except errors.JRouteError as e:
         print(f"unroutable: {e}", file=sys.stderr)
         if router.last_report is not None:
@@ -129,7 +152,7 @@ def _cmd_route(args: list[str]) -> int:
     print(f"routed with {n} PIPs "
           f"(template hits {router.p2p_template_hits}, "
           f"maze fallbacks {router.p2p_maze_fallbacks})")
-    if router.last_report is not None and (faults or retry):
+    if router.last_report is not None and (faults or retry or workers > 1):
         print(f"report: {router.last_report.summary()}")
     print(router.trace(src).describe(router.device))
     return 0

@@ -7,6 +7,7 @@ and the port-connection memory.
 """
 
 from .endpoints import EndPoint, Pin, Port, PortDirection, PortGroup
+from .kernel import GLOBAL_STATS, SearchState, SearchStats
 from .netdb import NetDB, PortMemory
 from .path import Path
 from .recovery import RetryPolicy, RoutingReport, select_victim
@@ -18,6 +19,9 @@ from .unroute import unroute_forward, unroute_reverse
 
 __all__ = [
     "EndPoint",
+    "GLOBAL_STATS",
+    "SearchState",
+    "SearchStats",
     "Pin",
     "Port",
     "PortDirection",

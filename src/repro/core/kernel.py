@@ -1,0 +1,330 @@
+"""Shared search kernel over the compiled routing graph.
+
+One Dijkstra/A* implementation serves every search level — maze,
+greedy fanout, bus and PathFinder — over the flat CSR adjacency of
+:class:`~repro.arch.graph.RoutingGraph`.  The run-time promise of the
+paper ("the router must be fast enough to use at run time") rests on
+three mechanics here:
+
+* **no graph re-expansion** — edges are flat-array reads, not
+  ``fanout_pips`` generator calls;
+* **epoch-stamped state** — ``dist``/``prev``/``stamp`` are preallocated
+  once per device and invalidated by bumping an epoch counter, so
+  nothing is reallocated or cleared between searches;
+* **pluggable costs** — an optional A* heuristic and PathFinder's
+  negotiated congestion (present + history) plug into the same loop.
+
+Instrumentation (node expansions, heap pushes, faulty edges avoided) is
+unified behind :class:`SearchStats`; every search also accumulates into
+the process-wide :data:`GLOBAL_STATS`, which ``repro bench --profile``
+prints.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Collection, Container, Iterable, Sequence
+
+from ..arch.graph import FaultEdgeMask, RoutingGraph
+
+__all__ = [
+    "SearchStats",
+    "SearchState",
+    "GLOBAL_STATS",
+    "dijkstra",
+    "extract_plan",
+]
+
+
+@dataclass(slots=True)
+class SearchStats:
+    """Unified instrumentation counters of one or more searches."""
+
+    searches: int = 0
+    nodes_expanded: int = 0
+    heap_pushes: int = 0
+    faults_avoided: int = 0
+
+    def merge(self, other: "SearchStats") -> "SearchStats":
+        self.searches += other.searches
+        self.nodes_expanded += other.nodes_expanded
+        self.heap_pushes += other.heap_pushes
+        self.faults_avoided += other.faults_avoided
+        return self
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "searches": self.searches,
+            "nodes_expanded": self.nodes_expanded,
+            "heap_pushes": self.heap_pushes,
+            "faults_avoided": self.faults_avoided,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.searches} search(es), "
+            f"{self.nodes_expanded} node(s) expanded, "
+            f"{self.heap_pushes} heap push(es), "
+            f"{self.faults_avoided} faulty edge(s) avoided"
+        )
+
+
+#: Process-wide accumulator, surfaced by ``repro bench --profile``.
+GLOBAL_STATS = SearchStats()
+
+
+class SearchState:
+    """Preallocated, epoch-stamped flat search state for one graph.
+
+    ``dist[w]``/``prev[w]`` are valid only when ``stamp[w]`` equals the
+    current epoch; a search begins by bumping :attr:`epoch`, which
+    invalidates all previous state in O(1).  One state serves one search
+    at a time — concurrent searches (parallel PathFinder workers) each
+    own a state.
+    """
+
+    __slots__ = ("n", "dist", "prev", "stamp", "epoch")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.dist: list[float] = [0.0] * n
+        #: edge id that relaxed the wire (-1 for search starts)
+        self.prev: list[int] = [-1] * n
+        self.stamp: list[int] = [0] * n
+        self.epoch = 0
+
+
+def dijkstra(
+    graph: RoutingGraph,
+    state: SearchState,
+    starts: Iterable[int],
+    targets: Collection[int],
+    *,
+    occupied: Sequence[bool] | None = None,
+    allow: Container[int] = frozenset(),
+    name_blocked: Sequence[int] | None = None,
+    h: Callable[[int, int, int, int], float] | None = None,
+    congestion: tuple[Sequence[float], Sequence[float], float] | None = None,
+    fault_node: Sequence[bool] | None = None,
+    fault_edge: FaultEdgeMask | None = None,
+    max_nodes: int = 200_000,
+    stats: SearchStats | None = None,
+) -> tuple[int, float, int, int, int, bool]:
+    """One lowest-cost search from ``starts`` to any of ``targets``.
+
+    Parameters
+    ----------
+    occupied:
+        Indexable truthiness per canonical wire; a truthy wire is
+        impassable unless listed in ``allow``.
+    name_blocked:
+        Optional per-*name* mask (longs disabled, avoided classes).
+    h:
+        Optional A* heuristic ``h(canon_to, to_name, row, col)``.
+    congestion:
+        Optional ``(use_count, history, present_factor)`` flat tables:
+        the edge cost becomes
+        ``base * (1 + pf * use_count[to]) + history[to]`` (PathFinder).
+    fault_node / fault_edge:
+        Fault masks; skipped resources are counted as faults avoided.
+
+    Returns ``(goal, cost, expanded, pushes, faults_avoided, exceeded)``
+    with ``goal == -1`` when no target was reached (``exceeded`` set when
+    the node budget ran out first).
+    """
+    epoch = state.epoch + 1
+    state.epoch = epoch
+    dist = state.dist
+    prev = state.prev
+    stamp = state.stamp
+    off = graph.off
+    deg = graph.deg
+    e_to = graph.e_to
+    e_toname = graph.e_toname
+    e_cost = graph.e_cost
+    e_row = graph.e_row
+    e_col = graph.e_col
+    materialize = graph._materialize
+    target_set = (
+        targets if isinstance(targets, (set, frozenset)) else set(targets)
+    )
+    femask = fault_edge.mask if fault_edge is not None else None
+    if congestion is not None:
+        use_count, history, pf = congestion
+    heap: list[tuple[float, float, int]] = []
+    push = heapq.heappush
+    pop = heapq.heappop
+    if h is None:
+        for s in starts:
+            dist[s] = 0.0
+            stamp[s] = epoch
+            prev[s] = -1
+            heap.append((0.0, 0.0, s))
+        heapq.heapify(heap)
+    else:
+        p_row, p_col, p_name = graph.tiles()
+        for s in starts:
+            dist[s] = 0.0
+            stamp[s] = epoch
+            prev[s] = -1
+            push(heap, (h(s, p_name[s], p_row[s], p_col[s]), 0.0, s))
+
+    expanded = 0
+    pushes = 0
+    faults_avoided = 0
+    goal = -1
+    goal_cost = 0.0
+    exceeded = False
+    # The hot maze configuration (no fault masks, no name filtering, no
+    # congestion pricing) runs specialized loops with every per-edge
+    # branch hoisted out; everything else takes the general loop below.
+    fast = (
+        name_blocked is None
+        and femask is None
+        and fault_node is None
+        and congestion is None
+        and occupied is not None
+    )
+    if occupied is not None and not isinstance(occupied, (list, memoryview)):
+        try:
+            occupied = memoryview(occupied)  # cheaper scalar indexing
+        except TypeError:
+            pass
+    if fast and h is None:
+        while heap:
+            f, g, canon = pop(heap)
+            if g > dist[canon]:
+                continue  # stale entry
+            if canon in target_set:
+                goal = canon
+                goal_cost = g
+                break
+            expanded += 1
+            if expanded > max_nodes:
+                exceeded = True
+                break
+            o = off[canon]
+            if o < 0:
+                o = materialize(canon)
+            for e in range(o, o + deg[canon]):
+                to = e_to[e]
+                if occupied[to] and to not in allow:
+                    continue
+                ng = g + e_cost[e]
+                if stamp[to] != epoch:
+                    stamp[to] = epoch
+                elif ng >= dist[to]:
+                    continue
+                dist[to] = ng
+                prev[to] = e
+                pushes += 1
+                push(heap, (ng, ng, to))
+    elif fast:
+        while heap:
+            f, g, canon = pop(heap)
+            if g > dist[canon]:
+                continue  # stale entry
+            if canon in target_set:
+                goal = canon
+                goal_cost = g
+                break
+            expanded += 1
+            if expanded > max_nodes:
+                exceeded = True
+                break
+            o = off[canon]
+            if o < 0:
+                o = materialize(canon)
+            for e in range(o, o + deg[canon]):
+                to = e_to[e]
+                if occupied[to] and to not in allow:
+                    continue
+                ng = g + e_cost[e]
+                if stamp[to] != epoch:
+                    stamp[to] = epoch
+                elif ng >= dist[to]:
+                    continue
+                dist[to] = ng
+                prev[to] = e
+                pushes += 1
+                push(heap, (ng + h(to, e_toname[e], e_row[e], e_col[e]), ng, to))
+    else:
+        while heap:
+            f, g, canon = pop(heap)
+            if g > dist[canon]:
+                continue  # stale entry
+            if canon in target_set:
+                goal = canon
+                goal_cost = g
+                break
+            if fault_node is not None and fault_node[canon]:
+                # a dead/pre-driven start wire cannot launch the signal
+                faults_avoided += 1
+                continue
+            expanded += 1
+            if expanded > max_nodes:
+                exceeded = True
+                break
+            o = off[canon]
+            if o < 0:
+                o = materialize(canon)
+                if femask is not None:
+                    fault_edge.sync()  # extends femask in place
+            for e in range(o, o + deg[canon]):
+                to = e_to[e]
+                if name_blocked is not None and name_blocked[e_toname[e]]:
+                    continue
+                if femask is not None and femask[e]:
+                    faults_avoided += 1
+                    continue
+                if occupied is not None and occupied[to] and to not in allow:
+                    continue
+                if congestion is None:
+                    ng = g + e_cost[e]
+                else:
+                    ng = g + e_cost[e] * (1.0 + pf * use_count[to]) + history[to]
+                if stamp[to] != epoch:
+                    stamp[to] = epoch
+                elif ng >= dist[to]:
+                    continue
+                dist[to] = ng
+                prev[to] = e
+                pushes += 1
+                if h is None:
+                    push(heap, (ng, ng, to))
+                else:
+                    push(
+                        heap,
+                        (ng + h(to, e_toname[e], e_row[e], e_col[e]), ng, to),
+                    )
+
+    if stats is not None:
+        stats.searches += 1
+        stats.nodes_expanded += expanded
+        stats.heap_pushes += pushes
+        stats.faults_avoided += faults_avoided
+    GLOBAL_STATS.searches += 1
+    GLOBAL_STATS.nodes_expanded += expanded
+    GLOBAL_STATS.heap_pushes += pushes
+    GLOBAL_STATS.faults_avoided += faults_avoided
+    return goal, goal_cost, expanded, pushes, faults_avoided, exceeded
+
+
+def extract_plan(
+    graph: RoutingGraph, state: SearchState, goal: int
+) -> list[tuple[int, int, int, int]]:
+    """Back-walk ``prev`` edges from ``goal`` into a source-to-sink plan."""
+    prev = state.prev
+    e_row = graph.e_row
+    e_col = graph.e_col
+    e_from = graph.e_from
+    e_toname = graph.e_toname
+    e_src = graph.e_src
+    plan: list[tuple[int, int, int, int]] = []
+    e = prev[goal]
+    while e != -1:
+        plan.append((e_row[e], e_col[e], e_from[e], e_toname[e]))
+        e = prev[e_src[e]]
+    plan.reverse()
+    return plan

@@ -68,16 +68,22 @@ class RoutingReport:
     success: bool = False
     #: stringified error of each failed attempt, in order
     failures: list[str] = field(default_factory=list)
+    #: unified kernel instrumentation of the request's searches
+    #: (:class:`repro.core.kernel.SearchStats`; None when no search ran)
+    search_stats: object | None = None
 
     def summary(self) -> str:
         """One-line operator-facing rendering."""
         state = "ok" if self.success else "FAILED"
-        return (
+        line = (
             f"{state}: {self.attempts} attempt(s), "
             f"{len(self.ripped_nets)} net(s) ripped, "
             f"{self.faults_avoided} fault(s) avoided, "
             f"{self.pips_added} PIPs added"
         )
+        if self.search_stats is not None:
+            line += f" [{self.search_stats.summary()}]"
+        return line
 
 
 def select_victim(

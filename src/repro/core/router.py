@@ -34,8 +34,10 @@ from ..jbits.jbits import JBits
 from ..routers.auto import route_point_to_point
 from ..routers.base import PlanPip, apply_plan
 from ..routers.maze import route_maze
+from ..routers.pathfinder import NetSpec, PathFinderResult, route_pathfinder
 from ..routers.template_router import route_template
 from .endpoints import EndPoint, Pin, Port, PortDirection
+from .kernel import SearchStats
 from .netdb import NetDB
 from .path import Path
 from .recovery import RetryPolicy, RoutingReport, select_victim
@@ -81,6 +83,10 @@ class JRouter:
         rip-up/retry loop on :class:`~repro.errors.UnroutableError` for
         the auto-routing levels (4, 5 and 6).  Each request's outcome is
         surfaced as :attr:`last_report`.
+    workers:
+        Default concurrency for :meth:`route_nets` bulk requests (the
+        negotiated-congestion router's per-iteration net loop is
+        partitioned spatially across this many workers).
     """
 
     def __init__(
@@ -96,6 +102,7 @@ class JRouter:
         max_nodes: int = 200_000,
         faults=None,
         retry: RetryPolicy | None = None,
+        workers: int = 1,
     ) -> None:
         self.device = device if device is not None else Device(part)
         if faults is not None:
@@ -108,6 +115,7 @@ class JRouter:
         self.heuristic_weight = heuristic_weight
         self.max_nodes = max_nodes
         self.retry = retry
+        self.workers = workers
         #: RoutingReport of the latest level-4/5/6 request (None before any)
         self.last_report: RoutingReport | None = None
         #: user-facing route() invocations (Section 4 comparison metric)
@@ -117,6 +125,8 @@ class JRouter:
         self.p2p_maze_fallbacks = 0
         # faulty edges masked out by searches, accumulated per request
         self._faults_avoided = 0
+        # kernel instrumentation accumulated per request (-> last_report)
+        self._search_stats = SearchStats()
 
     # ------------------------------------------------------------------ dispatch
 
@@ -225,6 +235,8 @@ class JRouter:
         report = RoutingReport(attempts=1)
         self.last_report = report
         self._faults_avoided = 0
+        self._search_stats = SearchStats()
+        report.search_stats = self._search_stats
         try:
             if len(sink_eps) > 1:
                 # multi-step fanout: journal + roll back atomically
@@ -256,6 +268,8 @@ class JRouter:
         report = RoutingReport(attempts=1)
         self.last_report = report
         self._faults_avoided = 0
+        self._search_stats = SearchStats()
+        report.search_stats = self._search_stats
         try:
             with RouteTransaction(self.device, netdb=self.netdb):
                 pips = self._route_bus(source_eps, sink_eps)
@@ -280,6 +294,8 @@ class JRouter:
         report = RoutingReport()
         self.last_report = report
         self._faults_avoided = 0
+        self._search_stats = SearchStats()
+        report.search_stats = self._search_stats
         exclude: set[int] = set()
         last_exc: errors.JRouteError | None = None
         for i in range(1, policy.max_attempts + 1):
@@ -406,6 +422,8 @@ class JRouter:
                     else:
                         self.p2p_maze_fallbacks += 1
                     self._faults_avoided += res.faults_avoided
+                    if res.stats is not None:
+                        self._search_stats.merge(res.stats)
                     plan = res.plan
                 else:
                     use_longs = self.fanout_use_longs if len(todo) > 1 else self.p2p_use_longs
@@ -419,6 +437,7 @@ class JRouter:
                         max_nodes=budget,
                     )
                     self._faults_avoided += maze_res.faults_avoided
+                    self._search_stats.merge(maze_res.stats)
                     plan = maze_res.plan
                 apply_plan(device, plan)
                 applied.extend(plan)
@@ -426,7 +445,10 @@ class JRouter:
                     w = device.arch.canonicalize(row, col, to_name)
                     assert w is not None
                     tree.add(w)
-        except errors.JRouteError:
+        except errors.JRouteError as exc:
+            failed_stats = getattr(exc, "search_stats", None)
+            if failed_stats is not None:
+                self._search_stats.merge(failed_stats)
             for row, col, from_name, to_name in reversed(applied):
                 device.turn_off(row, col, from_name, to_name)
             raise
@@ -471,6 +493,72 @@ class JRouter:
             self.netdb.record_net(source, src_ep, self._sink_canons(sink_ep))
             self.netdb.remember_connection(src_ep, sink_ep)
         return total
+
+    # ------------------------------------------------------------- bulk requests
+
+    def route_nets(
+        self,
+        nets: Sequence[tuple[EndPoint, EndPoint | Sequence[EndPoint]] | NetSpec],
+        *,
+        workers: int | None = None,
+        use_longs: bool = True,
+        max_iterations: int = 30,
+    ) -> PathFinderResult:
+        """Route many nets at once with negotiated congestion.
+
+        Each entry is either a ``(source, sink_or_sinks)`` endpoint pair
+        or a raw :class:`~repro.routers.pathfinder.NetSpec` of canonical
+        wire ids.  All nets are routed together by the PathFinder
+        baseline — sharing is negotiated away across the whole set, so
+        congestion that defeats greedy one-at-a-time ``route`` calls can
+        still converge.  ``workers`` (default: the router's ``workers``
+        knob) routes spatial partitions of the nets concurrently per
+        iteration; results are deterministic for any fixed value.
+
+        Converged plans are applied to the device and recorded in the
+        net database; a non-converged run leaves the device untouched
+        (inspect the returned result's ``converged`` flag).
+        """
+        self.call_count += 1
+        report = RoutingReport(attempts=1)
+        self.last_report = report
+        specs: list[NetSpec] = []
+        source_eps: list[EndPoint | None] = []
+        for item in nets:
+            if isinstance(item, NetSpec):
+                specs.append(item)
+                source_eps.append(None)
+                continue
+            src_ep, sink_part = item
+            sink_list = (
+                [sink_part] if isinstance(sink_part, EndPoint) else list(sink_part)
+            )
+            sinks: list[int] = []
+            for ep in sink_list:
+                sinks.extend(self._sink_canons(ep))
+            specs.append(NetSpec.of(self._source_canon(src_ep), sinks))
+            source_eps.append(src_ep)
+        result = route_pathfinder(
+            self.device,
+            specs,
+            use_longs=use_longs,
+            max_iterations=max_iterations,
+            workers=self.workers if workers is None else workers,
+        )
+        report.search_stats = result.stats
+        self._search_stats = result.stats
+        report.success = result.converged
+        report.pips_added = result.pips_added
+        if result.converged:
+            for spec, src_ep in zip(specs, source_eps):
+                if src_ep is None:
+                    src_ep = Pin(*self.device.arch.primary_name(spec.source))
+                self.netdb.record_net(spec.source, src_ep, list(spec.sinks))
+        else:
+            report.failures.append(
+                f"pathfinder did not converge in {result.iterations} iteration(s)"
+            )
+        return result
 
     # ------------------------------------------------------------------- globals
 

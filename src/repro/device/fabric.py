@@ -17,46 +17,19 @@ from typing import Callable, Iterator
 
 from .. import errors
 from ..arch import connectivity, wires
+
+# The name-level drivability tables moved to the compiled-graph module so
+# the CSR builder and the behavioural device share one definition.
+from ..arch.graph import DRIVES_DRIVABLE as _DRIVES_DRIVABLE
+from ..arch.graph import NAME_DRIVABLE as _NAME_DRIVABLE
+from ..arch.graph import routing_graph as _routing_graph
 from ..arch.virtex import VirtexArch
-from ..arch.wires import WireClass
 from .state import PipRecord, RoutingState
 
 __all__ = ["Device", "PipEvent"]
 
 #: (on: bool, record) passed to configuration listeners.
 PipEvent = tuple[bool, PipRecord]
-
-# Name-level drivability: pure sources, globals and the direct-connect
-# alias of a neighbour's OMUX can never be the target of a PIP; odd hexes
-# cannot be driven through their far-end (south/west) alias names.
-_HS0 = wires.HEX_S[0]
-_LH0 = wires.LONG_H[0]
-
-
-def _name_drivable(name: int) -> bool:
-    info = wires.wire_info(name)
-    cls = info.wire_class
-    if cls in (
-        WireClass.SLICE_OUT,
-        WireClass.GCLK,
-        WireClass.DIRECT,
-        WireClass.IOB_IN,
-    ):
-        return False
-    if cls is WireClass.HEX and name >= _HS0 and info.index % 2 == 1:
-        return False
-    return True
-
-
-_NAME_DRIVABLE: tuple[bool, ...] = tuple(
-    _name_drivable(n) for n in range(wires.N_NAMES)
-)
-
-#: Name-level fan-out restricted to drivable targets, precomputed once.
-_DRIVES_DRIVABLE: tuple[tuple[int, ...], ...] = tuple(
-    tuple(t for t in connectivity.DRIVES[n] if _NAME_DRIVABLE[t])
-    for n in range(wires.N_NAMES)
-)
 
 
 class Device:
@@ -79,6 +52,23 @@ class Device:
         self.state = RoutingState(self.arch)
         self.faults = faults
         self._listeners: list[Callable[[PipEvent], None]] = []
+        self._search_state = None
+
+    def routing_graph(self):
+        """The compiled CSR routing graph for this part (process-shared)."""
+        return _routing_graph(self.arch)
+
+    def search_state(self):
+        """This device's reusable epoch-stamped search state.
+
+        One state serves one search at a time; concurrent searches must
+        allocate their own (see parallel PathFinder).
+        """
+        if self._search_state is None:
+            from ..core.kernel import SearchState
+
+            self._search_state = SearchState(self.arch.n_wires)
+        return self._search_state
 
     def set_fault_model(self, faults) -> None:
         """Attach (or clear, with None) the device's fault model.

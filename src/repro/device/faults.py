@@ -77,6 +77,10 @@ class FaultModel:
         self._stuck_open_rate = 0.0
         self._stuck_open_seed = 0
         self._stuck_open_threshold = 0
+        #: bumped on every mutation; derived caches (per-edge fault masks
+        #: on compiled routing graphs) key off it
+        self.version = 0
+        self._edge_masks: dict[int, object] = {}
         for w in dead_wires:
             self.dead[w] = True
         for w in predriven_wires:
@@ -116,6 +120,7 @@ class FaultModel:
     def _refresh(self) -> None:
         #: unusable[w]: wire w cannot participate in any routed net
         self.unusable = self.dead | self.predriven
+        self.version += 1
 
     # -- explicit mutation ----------------------------------------------------
 
@@ -132,6 +137,7 @@ class FaultModel:
     def break_pip(self, canon_from: int, canon_to: int) -> None:
         """Mark the PIP between two canonical wires stuck open."""
         self._stuck_open.add((int(canon_from), int(canon_to)))
+        self.version += 1
 
     # -- queries ---------------------------------------------------------------
 

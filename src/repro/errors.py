@@ -69,6 +69,7 @@ class RoutingFailure(JRouteError):
         wire: str | None = None,
         net: int | None = None,
         faults_avoided: int = 0,
+        search_stats: object | None = None,
     ) -> None:
         super().__init__(message)
         self.message = message
@@ -77,6 +78,9 @@ class RoutingFailure(JRouteError):
         self.wire = wire
         self.net = net
         self.faults_avoided = faults_avoided
+        #: SearchStats of the failed search (reporting metadata only,
+        #: not rendered in the message), or None
+        self.search_stats = search_stats
 
     def context(self) -> dict[str, int | str]:
         """The non-empty structured fields, as a dict."""

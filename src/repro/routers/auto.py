@@ -32,6 +32,8 @@ class P2PResult:
     templates_tried: int      #: how many predefined templates were attempted
     template_used: object | None = None  #: set when method == "template"
     faults_avoided: int = 0   #: faulty edges the maze search routed around
+    #: kernel instrumentation of the maze search (None on template hits)
+    stats: object | None = None
 
 
 def route_point_to_point(
@@ -96,5 +98,10 @@ def route_point_to_point(
         max_nodes=max_nodes,
     )
     return P2PResult(
-        result.plan, "maze", templates_tried, None, result.faults_avoided
+        result.plan,
+        "maze",
+        templates_tried,
+        None,
+        result.faults_avoided,
+        result.stats,
     )

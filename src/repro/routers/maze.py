@@ -10,26 +10,44 @@ wires already in use by other nets are impassable.
 is how fanout routing reuses the already-routed tree of the same net
 ("for each sink, the router attempts to reuse the previous paths as much
 as possible").
+
+The search itself runs on the shared compiled-graph kernel
+(:mod:`repro.core.kernel`): flat CSR adjacency, epoch-stamped state and
+unified :class:`~repro.core.kernel.SearchStats` instrumentation.  The
+pre-kernel implementation survives as
+:func:`repro.routers._reference.route_maze_reference` (parity oracle and
+benchmark baseline).
 """
 
 from __future__ import annotations
 
-import heapq
+from functools import lru_cache
 from typing import Collection, Iterable
 
 from .. import errors
 from ..arch import wires
 from ..arch.wires import WireClass
+from ..core.kernel import SearchStats, dijkstra, extract_plan
 from ..device.fabric import Device
 from .base import PlanPip
 
 __all__ = ["route_maze", "MazeResult"]
 
+#: Wire class of every name, flat (avoids wire_info() in heuristics).
+_NAME_CLASS: tuple[WireClass, ...] = tuple(
+    wires.wire_info(n).wire_class for n in range(wires.N_NAMES)
+)
+_NAME_LENGTH: tuple[int, ...] = tuple(
+    wires.wire_info(n).length for n in range(wires.N_NAMES)
+)
+_LONG_LO = wires.LONG_H[0]
+_LONG_HI = wires.LONG_V[-1]
+
 
 class MazeResult:
     """Outcome of a maze search: the plan and the target it reached."""
 
-    __slots__ = ("plan", "target", "cost", "nodes_expanded", "faults_avoided")
+    __slots__ = ("plan", "target", "cost", "stats")
 
     def __init__(
         self,
@@ -38,13 +56,26 @@ class MazeResult:
         cost: float,
         nodes: int,
         faults_avoided: int = 0,
+        stats: SearchStats | None = None,
     ):
         self.plan = plan
         self.target = target
         self.cost = cost
-        self.nodes_expanded = nodes
-        #: edges the search skipped because they touched a faulty resource
-        self.faults_avoided = faults_avoided
+        if stats is None:
+            stats = SearchStats(
+                searches=1, nodes_expanded=nodes, faults_avoided=faults_avoided
+            )
+        #: unified search instrumentation (expansions, pushes, faults)
+        self.stats = stats
+
+    @property
+    def nodes_expanded(self) -> int:
+        return self.stats.nodes_expanded
+
+    @property
+    def faults_avoided(self) -> int:
+        """Edges the search skipped because they touched a faulty resource."""
+        return self.stats.faults_avoided
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return (
@@ -54,7 +85,24 @@ class MazeResult:
 
 
 def _target_tiles(device: Device, targets: Collection[int]) -> list[tuple[int, int]]:
-    return [device.arch.primary_name(t)[:2] for t in targets]
+    tile_coords = device.arch.tile_coords
+    return [tile_coords(t) for t in targets]
+
+
+@lru_cache(maxsize=32)
+def _name_block_table(
+    use_longs: bool, avoid: frozenset[WireClass]
+) -> bytes | None:
+    """Per-name skip mask for ``use_longs``/``avoid_classes`` filtering."""
+    if use_longs and not avoid:
+        return None
+    return bytes(
+        1
+        if ((not use_longs and _LONG_LO <= n <= _LONG_HI)
+            or _NAME_CLASS[n] in avoid)
+        else 0
+        for n in range(wires.N_NAMES)
+    )
 
 
 def route_maze(
@@ -100,7 +148,6 @@ def route_maze(
     free path exists.
     """
     arch = device.arch
-    occupied = device.state.occupied
     faults = device.faults
     fault_mask = faults.unusable if faults is not None else None
     target_set = set(targets)
@@ -125,6 +172,9 @@ def route_maze(
     if hit:
         return MazeResult([], hit.pop(), 0.0, 0)
 
+    graph = device.routing_graph()
+    state = device.search_state()
+
     if heuristic_weight > 0.0:
         goal_tiles = _target_tiles(device, target_set)
         # Cheapest possible per-CLB rate: hexes cover 6 CLBs at their cost;
@@ -135,96 +185,93 @@ def route_maze(
         )
         hex_n0 = wires.HEX_N[0]
         single_n0 = wires.SINGLE_N[0]
+        p_row, p_col, p_name = graph.tiles()
 
-        def h(canon: int, to_name: int, row: int, col: int) -> float:
-            # estimate from the point of the driven wire nearest a goal:
-            # a hex driven toward the goal should look 6 tiles closer
-            info = wires.wire_info(to_name)
-            cls = info.wire_class
-            if cls is WireClass.SINGLE or cls is WireClass.HEX:
-                r0, c0, n0 = arch.primary_name(canon)
-                length = info.length
-                vertical = n0 >= (hex_n0 if cls is WireClass.HEX else single_n0)
-                if vertical:
-                    ends = ((r0, c0), (r0 + length, c0))  # north-going
-                else:
-                    ends = ((r0, c0), (r0, c0 + length))  # east-going
+        if len(goal_tiles) == 1:
+            # dominant case (one sink pin): no min-over-goals machinery
+            tr, tc = goal_tiles[0]
+
+            def h(canon: int, to_name: int, row: int, col: int) -> float:
+                # estimate from the point of the driven wire nearest the
+                # goal: a hex driven toward it should look 6 tiles closer
+                cls = _NAME_CLASS[to_name]
+                if cls is WireClass.SINGLE or cls is WireClass.HEX:
+                    r0 = p_row[canon]
+                    c0 = p_col[canon]
+                    length = _NAME_LENGTH[to_name]
+                    a = abs(r0 - tr) + abs(c0 - tc)
+                    if p_name[canon] >= (
+                        hex_n0 if cls is WireClass.HEX else single_n0
+                    ):
+                        b = abs(r0 + length - tr) + abs(c0 - tc)
+                    else:
+                        b = abs(r0 - tr) + abs(c0 + length - tc)
+                    return rate * (a if a < b else b)
+                if cls is WireClass.LONG_H:
+                    return rate * abs(p_row[canon] - tr)
+                if cls is WireClass.LONG_V:
+                    return rate * abs(p_col[canon] - tc)
+                return rate * (abs(row - tr) + abs(col - tc))
+
+        else:
+
+            def h(canon: int, to_name: int, row: int, col: int) -> float:
+                # estimate from the point of the driven wire nearest a goal:
+                # a hex driven toward the goal should look 6 tiles closer
+                cls = _NAME_CLASS[to_name]
+                if cls is WireClass.SINGLE or cls is WireClass.HEX:
+                    r0 = p_row[canon]
+                    c0 = p_col[canon]
+                    length = _NAME_LENGTH[to_name]
+                    vertical = p_name[canon] >= (
+                        hex_n0 if cls is WireClass.HEX else single_n0
+                    )
+                    if vertical:
+                        ends = ((r0, c0), (r0 + length, c0))  # north-going
+                    else:
+                        ends = ((r0, c0), (r0, c0 + length))  # east-going
+                    return rate * min(
+                        abs(er - tr) + abs(ec - tc)
+                        for er, ec in ends
+                        for tr, tc in goal_tiles
+                    )
+                if cls is WireClass.LONG_H:
+                    r0 = p_row[canon]
+                    return rate * min(abs(r0 - tr) for tr, _ in goal_tiles)
+                if cls is WireClass.LONG_V:
+                    c0 = p_col[canon]
+                    return rate * min(abs(c0 - tc) for _, tc in goal_tiles)
                 return rate * min(
-                    abs(er - tr) + abs(ec - tc)
-                    for er, ec in ends
-                    for tr, tc in goal_tiles
+                    abs(row - tr) + abs(col - tc) for tr, tc in goal_tiles
                 )
-            if cls is WireClass.LONG_H:
-                r0, _, _ = arch.primary_name(canon)
-                return rate * min(abs(r0 - tr) for tr, _ in goal_tiles)
-            if cls is WireClass.LONG_V:
-                _, c0, _ = arch.primary_name(canon)
-                return rate * min(abs(c0 - tc) for _, tc in goal_tiles)
-            return rate * min(
-                abs(row - tr) + abs(col - tc) for tr, tc in goal_tiles
-            )
 
     else:
+        h = None
 
-        def h(canon: int, to_name: int, row: int, col: int) -> float:
-            return 0.0
+    stats = SearchStats()
+    goal, goal_cost, expanded, _pushes, faults_avoided, exceeded = dijkstra(
+        graph,
+        state,
+        start_set,
+        target_set,
+        occupied=device.state.occupied,
+        allow=reuse_set,
+        name_blocked=_name_block_table(use_longs, frozenset(avoid_classes)),
+        h=h,
+        fault_node=fault_mask,
+        fault_edge=graph.fault_edge_mask(faults) if faults is not None else None,
+        max_nodes=max_nodes,
+        stats=stats,
+    )
 
-    dist: dict[int, float] = {}
-    prev: dict[int, PlanPip] = {}
-    heap: list[tuple[float, float, int]] = []
-    for s in start_set:
-        dist[s] = 0.0
-        r0, c0, n0 = arch.primary_name(s)
-        heapq.heappush(heap, (h(s, n0, r0, c0), 0.0, s))
-
-    expanded = 0
-    faults_avoided = 0
-    goal: int | None = None
-    goal_cost = 0.0
-    long_lo = wires.LONG_H[0]
-    long_hi = wires.LONG_V[-1]
-    avoid = frozenset(avoid_classes)
-
-    while heap:
-        f, g, canon = heapq.heappop(heap)
-        if g > dist.get(canon, float("inf")):
-            continue
-        if canon in target_set:
-            goal = canon
-            goal_cost = g
-            break
-        if fault_mask is not None and fault_mask[canon]:
-            # a dead/pre-driven start wire cannot launch the signal
-            faults_avoided += 1
-            continue
-        expanded += 1
-        if expanded > max_nodes:
-            raise errors.UnroutableError(
-                f"maze search exceeded {max_nodes} node expansions",
-                net=min(source_set) if source_set else None,
-                faults_avoided=faults_avoided,
-            )
-        for row, col, from_name, to_name, canon_to in device.fanout_pips(canon):
-            if not use_longs and long_lo <= to_name <= long_hi:
-                continue
-            if avoid and wires.wire_info(to_name).wire_class in avoid:
-                continue
-            if fault_mask is not None and (
-                fault_mask[canon_to] or faults.pip_stuck_open(canon, canon_to)
-            ):
-                faults_avoided += 1
-                continue
-            if occupied[canon_to] and canon_to not in reuse_set:
-                continue
-            ng = g + arch.wire_cost(to_name)
-            if ng < dist.get(canon_to, float("inf")):
-                dist[canon_to] = ng
-                prev[canon_to] = (row, col, from_name, to_name)
-                heapq.heappush(
-                    heap, (ng + h(canon_to, to_name, row, col), ng, canon_to)
-                )
-
-    if goal is None:
+    if exceeded:
+        raise errors.UnroutableError(
+            f"maze search exceeded {max_nodes} node expansions",
+            net=min(source_set) if source_set else None,
+            faults_avoided=faults_avoided,
+            search_stats=stats,
+        )
+    if goal < 0:
         tr, tc, tn = arch.primary_name(next(iter(target_set)))
         raise errors.UnroutableError(
             "no free path from sources to targets"
@@ -234,17 +281,8 @@ def route_maze(
             wire=wires.wire_name(tn),
             net=min(source_set) if source_set else None,
             faults_avoided=faults_avoided,
+            search_stats=stats,
         )
 
-    # Walk predecessors back to a start wire.
-    plan: list[PlanPip] = []
-    w = goal
-    while w not in start_set:
-        pip = prev[w]
-        plan.append(pip)
-        row, col, from_name, _ = pip
-        canon_from = arch.canonicalize(row, col, from_name)
-        assert canon_from is not None
-        w = canon_from
-    plan.reverse()
-    return MazeResult(plan, goal, goal_cost, expanded, faults_avoided)
+    plan = extract_plan(graph, state, goal)
+    return MazeResult(plan, goal, goal_cost, expanded, faults_avoided, stats)

@@ -8,6 +8,17 @@ claim is about: a PathFinder negotiated-congestion router (the core of
 VPR and of ref [6]) — every net is routed allowing overuse, and present-
 and history-congestion costs are escalated until no wire is shared.
 
+Per-sink searches run on the shared compiled-graph kernel
+(:mod:`repro.core.kernel`) with flat present/history cost tables.  With
+``workers > 1`` the per-iteration net loop is parallelized in the style
+of the parallel-router literature (Zang et al., *An Open-Source Fast
+Parallel Routing Approach for Commercial FPGAs*): nets are spatially
+partitioned by bounding-box centre, partitions are routed concurrently
+against a snapshot of the congestion state (each worker owning a private
+use-count overlay and search state), and cross-partition conflicts are
+resolved by the ordinary negotiation loop.  Results are deterministic
+for any fixed ``workers`` value.
+
 It serves as the quality/time baseline for experiment E8: slower than
 JRoute's greedy one-shot calls, but able to resolve congestion that
 defeats greedy ordering.
@@ -15,13 +26,15 @@ defeats greedy ordering.
 
 from __future__ import annotations
 
-import heapq
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from .. import errors
+from ..core.kernel import SearchState, SearchStats, dijkstra, extract_plan
 from ..device.fabric import Device
 from .base import PlanPip, apply_plan
+from .maze import _name_block_table
 
 __all__ = ["NetSpec", "PathFinderResult", "route_pathfinder"]
 
@@ -46,6 +59,41 @@ class PathFinderResult:
     converged: bool
     plans: dict[int, list[PlanPip]] = field(default_factory=dict)  #: per net index
     pips_added: int = 0
+    #: unified search instrumentation across all iterations and workers
+    stats: SearchStats = field(default_factory=SearchStats)
+    #: concurrency the run was executed with
+    workers: int = 1
+
+
+def _partition(
+    device: Device, nets: Sequence[NetSpec], workers: int
+) -> list[list[int]]:
+    """Spatially partition net indices into ``workers`` stripes.
+
+    Nets are sorted by bounding-box centre (column-major, so stripes are
+    vertical slices of the chip) and split into contiguous, balanced
+    groups.  Deterministic for a fixed net list and worker count.
+    """
+    tile_coords = device.arch.tile_coords
+    centers: list[tuple[float, float, int]] = []
+    for i, net in enumerate(nets):
+        pts = [tile_coords(net.source)]
+        pts.extend(tile_coords(s) for s in net.sinks)
+        rows = [p[0] for p in pts]
+        cols = [p[1] for p in pts]
+        centers.append(
+            ((min(cols) + max(cols)) / 2.0, (min(rows) + max(rows)) / 2.0, i)
+        )
+    centers.sort()
+    k = max(1, min(workers, len(centers)))
+    groups: list[list[int]] = []
+    base, extra = divmod(len(centers), k)
+    pos = 0
+    for gi in range(k):
+        size = base + (1 if gi < extra else 0)
+        groups.append(sorted(i for _, _, i in centers[pos : pos + size]))
+        pos += size
+    return [g for g in groups if g]
 
 
 def route_pathfinder(
@@ -59,6 +107,7 @@ def route_pathfinder(
     history_increment: float = 0.4,
     max_nodes_per_net: int = 400_000,
     apply: bool = True,
+    workers: int = 1,
 ) -> PathFinderResult:
     """Route ``nets`` with negotiated congestion, then apply to the device.
 
@@ -67,120 +116,172 @@ def route_pathfinder(
     :class:`~repro.errors.UnroutableError` if any single net has no path
     at all, and reports ``converged=False`` when sharing remains after
     ``max_iterations`` (in which case nothing is applied).
+
+    ``workers > 1`` routes spatial partitions of the net list
+    concurrently per iteration; see the module docstring.  ``workers=1``
+    reproduces the serial algorithm exactly (plan-identical to the
+    pre-kernel implementation).
     """
     arch = device.arch
+    graph = device.routing_graph()
+    n_nodes = graph.n_nodes
     blocked = device.state.occupied
     endpoint_ok: set[int] = set()
     for net in nets:
         endpoint_ok.add(net.source)
         endpoint_ok.update(net.sinks)
 
-    from ..arch import wires as _w
+    name_blocked = _name_block_table(use_longs, frozenset())
+    tile_coords = arch.tile_coords
 
-    long_name_lo = _w.LONG_H[0]
-    long_name_hi = _w.LONG_V[-1]
-
-    history: dict[int, float] = {}
+    history: list[float] = [0.0] * n_nodes
     #: wire -> set of net indices using it in the current solution
     usage: dict[int, set[int]] = {}
+    #: use_count[w] == len(usage[w]); flat table for the kernel cost
+    use_count: list[int] = [0] * n_nodes
     #: per net: wires used and plan
     net_wires: list[set[int]] = [set() for _ in nets]
     plans: list[list[PlanPip]] = [[] for _ in nets]
     present_factor = present_factor_init
+    stats = SearchStats()
 
-    def wire_cost(canon: int, to_name: int, net_idx: int) -> float:
-        base = arch.wire_cost(to_name)
-        users = usage.get(canon)
-        others = len(users - {net_idx}) if users else 0
-        return base * (1.0 + present_factor * others) + history.get(canon, 0.0)
-
-    def route_net(idx: int, net: NetSpec) -> None:
-        """Fanout-route one net under current congestion costs."""
-        # rip up
-        for w in net_wires[idx]:
-            users = usage.get(w)
-            if users:
-                users.discard(idx)
-                if not users:
-                    del usage[w]
-        net_wires[idx] = set()
-        plans[idx] = []
-        tree: set[int] = {net.source}
-        sr, sc, _ = arch.primary_name(net.source)
-        order = sorted(
+    def sink_order(net: NetSpec) -> list[int]:
+        sr, sc = tile_coords(net.source)
+        return sorted(
             set(net.sinks),
             key=lambda s: (
-                abs(arch.primary_name(s)[0] - sr) + abs(arch.primary_name(s)[1] - sc),
+                abs(tile_coords(s)[0] - sr) + abs(tile_coords(s)[1] - sc),
                 s,
             ),
         )
-        for sink in order:
-            dist: dict[int, float] = {w: 0.0 for w in tree}
-            prev: dict[int, PlanPip] = {}
-            heap = [(0.0, w) for w in tree]
-            heapq.heapify(heap)
-            expanded = 0
-            found = False
-            while heap:
-                g, canon = heapq.heappop(heap)
-                if g > dist.get(canon, float("inf")):
-                    continue
-                if canon == sink:
-                    found = True
-                    break
-                expanded += 1
-                if expanded > max_nodes_per_net:
-                    raise errors.UnroutableError(
-                        f"pathfinder net {idx}: node budget exhausted"
-                    )
-                for row, col, from_name, to_name, canon_to in device.fanout_pips(canon):
-                    if not use_longs and long_name_lo <= to_name <= long_name_hi:
-                        continue
-                    if blocked[canon_to] and canon_to not in endpoint_ok:
-                        continue  # foreign net
-                    ng = g + wire_cost(canon_to, to_name, idx)
-                    if ng < dist.get(canon_to, float("inf")):
-                        dist[canon_to] = ng
-                        prev[canon_to] = (row, col, from_name, to_name)
-                        heapq.heappush(heap, (ng, canon_to))
-            if not found:
+
+    def route_net(
+        idx: int,
+        net: NetSpec,
+        counts: list[int],
+        state: SearchState,
+        pf: float,
+        local_stats: SearchStats,
+    ) -> None:
+        """Fanout-route one net under current congestion costs.
+
+        ``counts`` is the present-use table the search prices against
+        (the global one when serial, a worker-private overlay when
+        parallel); the net's previous wires must already be removed
+        from it by the caller.
+        """
+        tree: set[int] = {net.source}
+        plans[idx] = []
+        for sink in sink_order(net):
+            goal, _cost, _exp, _pushes, _fav, exceeded = dijkstra(
+                graph,
+                state,
+                tree,
+                (sink,),
+                occupied=blocked,
+                allow=endpoint_ok,
+                name_blocked=name_blocked,
+                congestion=(counts, history, pf),
+                max_nodes=max_nodes_per_net,
+                stats=local_stats,
+            )
+            if exceeded:
                 raise errors.UnroutableError(
-                    f"pathfinder net {idx}: sink {sink} unreachable"
+                    f"pathfinder net {idx}: node budget exhausted",
+                    search_stats=local_stats,
                 )
-            # back-walk, add to tree and plan
-            path: list[PlanPip] = []
-            w = sink
-            while w not in tree:
-                pip = prev[w]
-                path.append(pip)
-                cf = arch.canonicalize(pip[0], pip[1], pip[2])
-                assert cf is not None
-                w = cf
-            path.reverse()
+            if goal < 0:
+                raise errors.UnroutableError(
+                    f"pathfinder net {idx}: sink {sink} unreachable",
+                    search_stats=local_stats,
+                )
+            path = extract_plan(graph, state, goal)
             plans[idx].extend(path)
-            for row, col, from_name, to_name in path:
-                canon = arch.canonicalize(row, col, to_name)
+            canonicalize = arch.canonicalize
+            for row, col, _from_name, to_name in path:
+                canon = canonicalize(row, col, to_name)
                 assert canon is not None
                 tree.add(canon)
         # commit usage (sources are exempt from sharing accounting)
         net_wires[idx] = tree - {net.source}
-        for w in net_wires[idx]:
-            usage.setdefault(w, set()).add(idx)
+
+    def rebuild_usage() -> None:
+        usage.clear()
+        for w, c in enumerate(use_count):
+            if c:
+                use_count[w] = 0
+        for idx, wset in enumerate(net_wires):
+            for w in wset:
+                usage.setdefault(w, set()).add(idx)
+        for w, users in usage.items():
+            use_count[w] = len(users)
+
+    n_workers = max(1, min(workers, len(nets))) if nets else 1
+    serial_state = device.search_state()
+    worker_states = (
+        [SearchState(n_nodes) for _ in range(n_workers)] if n_workers > 1 else []
+    )
+    groups = _partition(device, nets, n_workers) if n_workers > 1 else []
+
+    def run_group(
+        gi: int, group: list[int], pf: float
+    ) -> SearchStats:
+        """Route one partition against a private use-count overlay."""
+        local_counts = list(use_count)
+        local_stats = SearchStats()
+        state = worker_states[gi]
+        for idx in group:
+            for w in net_wires[idx]:
+                local_counts[w] -= 1
+            route_net(idx, nets[idx], local_counts, state, pf, local_stats)
+            for w in net_wires[idx]:
+                local_counts[w] += 1
+        return local_stats
 
     converged = False
     iteration = 0
     for iteration in range(1, max_iterations + 1):
-        for idx, net in enumerate(nets):
-            route_net(idx, net)
+        if n_workers > 1:
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                futures = [
+                    pool.submit(run_group, gi, group, present_factor)
+                    for gi, group in enumerate(groups)
+                ]
+                for fut in futures:
+                    stats.merge(fut.result())
+            rebuild_usage()
+        else:
+            for idx, net in enumerate(nets):
+                # rip up before re-pricing this net's search
+                for w in net_wires[idx]:
+                    users = usage.get(w)
+                    if users:
+                        users.discard(idx)
+                        use_count[w] = len(users)
+                        if not users:
+                            del usage[w]
+                net_wires[idx] = set()
+                route_net(
+                    idx, net, use_count, serial_state, present_factor, stats
+                )
+                for w in net_wires[idx]:
+                    users = usage.setdefault(w, set())
+                    users.add(idx)
+                    use_count[w] = len(users)
         shared = [w for w, users in usage.items() if len(users) > 1]
         if not shared:
             converged = True
             break
         for w in shared:
-            history[w] = history.get(w, 0.0) + history_increment
+            history[w] += history_increment
         present_factor *= present_factor_mult
 
-    result = PathFinderResult(iterations=iteration, converged=converged)
+    result = PathFinderResult(
+        iterations=iteration,
+        converged=converged,
+        stats=stats,
+        workers=n_workers,
+    )
     if converged:
         for idx in range(len(nets)):
             result.plans[idx] = plans[idx]

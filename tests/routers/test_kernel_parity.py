@@ -1,0 +1,259 @@
+"""Kernel parity: the compiled-graph search must match the reference.
+
+The shared search kernel (:mod:`repro.core.kernel` over the CSR graph of
+:mod:`repro.arch.graph`) replaced the dict-Dijkstra implementations on
+the hot path of :func:`route_maze` and :func:`route_pathfinder`.  These
+tests pin the replacement to the preserved originals
+(:mod:`repro.routers._reference`) over randomized workloads:
+
+* identical plans and costs for point-to-point, A*, fanout-with-reuse
+  and negotiated-congestion routing, with and without fault models;
+* the partitioned parallel PathFinder is deterministic for any fixed
+  worker count and its plans are legal and contention-free;
+* the vectorised graph tables (primary-tile arrays, splitmix64 fault
+  hashing, memoized tile coords) agree with the scalar definitions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import errors
+from repro.arch import wires
+from repro.arch.graph import _splitmix64_np, routing_graph
+from repro.arch.virtex import VirtexArch
+from repro.bench.workloads import high_fanout_net, random_p2p_nets
+from repro.device.contention import audit_no_contention
+from repro.device.fabric import Device
+from repro.device.faults import FaultModel, _splitmix64
+from repro.routers import NetSpec, route_maze, route_pathfinder
+from repro.routers._reference import (
+    route_maze_reference,
+    route_pathfinder_reference,
+)
+from repro.routers.base import apply_plan
+
+common = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _specs(device, workloads):
+    out = []
+    for net in workloads:
+        src = device.resolve(net.source.row, net.source.col, net.source.wire)
+        sinks = [device.resolve(p.row, p.col, p.wire) for p in net.sinks]
+        out.append(NetSpec.of(src, sinks))
+    return out
+
+
+def _both_maze(device, src, sink, **kw):
+    """Run kernel and reference maze; both succeed or both raise alike."""
+    try:
+        a = route_maze(device, [src], {sink}, **kw)
+    except errors.UnroutableError as e:
+        with pytest.raises(errors.UnroutableError) as ei:
+            route_maze_reference(device, [src], {sink}, **kw)
+        assert str(ei.value) == str(e)
+        return None, None
+    b = route_maze_reference(device, [src], {sink}, **kw)
+    return a, b
+
+
+class TestMazeParity:
+    @given(seed=st.integers(0, 10_000), weight=st.sampled_from([0.0, 0.8]))
+    @common
+    def test_p2p_parity(self, seed, weight):
+        device = Device("XCV50")
+        net = random_p2p_nets(device.arch, 1, seed=seed, min_span=2, max_span=12)[0]
+        spec = _specs(device, [net])[0]
+        a, b = _both_maze(
+            device, spec.source, spec.sinks[0], heuristic_weight=weight
+        )
+        if a is None:
+            return
+        assert a.plan == b.plan
+        assert a.cost == b.cost
+        assert a.nodes_expanded == b.nodes_expanded
+        assert a.stats.heap_pushes > 0
+
+    @given(seed=st.integers(0, 10_000))
+    @common
+    def test_p2p_parity_with_faults(self, seed):
+        arch = VirtexArch("XCV50")
+        faults = FaultModel.random(
+            arch, seed=seed, stuck_open_rate=0.01, dead_wire_rate=0.002
+        )
+        d1 = Device("XCV50", faults=faults)
+        d2 = Device("XCV50", faults=faults)
+        net = random_p2p_nets(arch, 1, seed=seed, min_span=2, max_span=10)[0]
+        spec = _specs(d1, [net])[0]
+        try:
+            a = route_maze(d1, [spec.source], {spec.sinks[0]})
+        except errors.UnroutableError:
+            with pytest.raises(errors.UnroutableError):
+                route_maze_reference(d2, [spec.source], {spec.sinks[0]})
+            return
+        b = route_maze_reference(d2, [spec.source], {spec.sinks[0]})
+        assert a.plan == b.plan
+        assert a.cost == b.cost
+        assert a.faults_avoided == b.faults_avoided
+
+    @given(seed=st.integers(0, 10_000))
+    @common
+    def test_fanout_reuse_parity(self, seed):
+        device = Device("XCV50")
+        arch = device.arch
+        net_pins = high_fanout_net(arch, 4, seed=seed, radius=6)
+        spec = _specs(device, [net_pins])[0]
+        tree_a: set[int] = set()
+        tree_b: set[int] = set()
+        for sink in spec.sinks:
+            try:
+                a = route_maze(device, [spec.source], {sink}, reuse=tree_a)
+            except errors.UnroutableError:
+                with pytest.raises(errors.UnroutableError):
+                    route_maze_reference(
+                        device, [spec.source], {sink}, reuse=tree_b
+                    )
+                return
+            b = route_maze_reference(device, [spec.source], {sink}, reuse=tree_b)
+            assert a.plan == b.plan
+            assert a.cost == b.cost
+            for row, col, _fn, to_name in a.plan:
+                w = arch.canonicalize(row, col, to_name)
+                tree_a.add(w)
+                tree_b.add(w)
+
+    def test_mutating_fault_model_invalidates_edge_mask(self):
+        device = Device("XCV50", faults=FaultModel(VirtexArch("XCV50")))
+        net = random_p2p_nets(device.arch, 1, seed=5, min_span=3, max_span=6)[0]
+        spec = _specs(device, [net])[0]
+        first = route_maze(device, [spec.source], {spec.sinks[0]})
+        # break every pip of the found path; the re-route must avoid them
+        arch = device.arch
+        for row, col, from_name, to_name in first.plan:
+            a = arch.canonicalize(row, col, from_name)
+            b = arch.canonicalize(row, col, to_name)
+            device.faults.break_pip(a, b)
+        second = route_maze(device, [spec.source], {spec.sinks[0]})
+        assert second.plan != first.plan
+        ref = route_maze_reference(device, [spec.source], {spec.sinks[0]})
+        assert second.plan == ref.plan
+
+
+class TestPathFinderParity:
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 6))
+    @common
+    def test_serial_parity(self, seed, n):
+        d1, d2 = Device("XCV50"), Device("XCV50")
+        nets = _specs(
+            d1, random_p2p_nets(d1.arch, n, seed=seed, min_span=2, max_span=8)
+        )
+        try:
+            a = route_pathfinder(d1, nets, apply=False, max_iterations=8)
+        except errors.UnroutableError:
+            with pytest.raises(errors.UnroutableError):
+                route_pathfinder_reference(
+                    d2, nets, apply=False, max_iterations=8
+                )
+            return
+        b = route_pathfinder_reference(d2, nets, apply=False, max_iterations=8)
+        assert a.converged == b.converged
+        assert a.iterations == b.iterations
+        assert a.plans == b.plans
+
+    @given(seed=st.integers(0, 10_000), workers=st.sampled_from([2, 3, 4]))
+    @common
+    def test_workers_deterministic_and_contention_free(self, seed, workers):
+        arch = VirtexArch("XCV50")
+        workloads = random_p2p_nets(arch, 6, seed=seed, min_span=2, max_span=8)
+        plans = []
+        for _ in range(2):
+            device = Device("XCV50")
+            nets = _specs(device, workloads)
+            try:
+                res = route_pathfinder(
+                    device, nets, workers=workers, max_iterations=8
+                )
+            except errors.UnroutableError:
+                return
+            if not res.converged:
+                return
+            plans.append(res.plans)
+            audit_no_contention(device)
+            assert res.workers == workers
+            assert res.pips_added > 0
+        assert plans[0] == plans[1]
+
+    def test_stats_accumulate_across_workers(self):
+        device = Device("XCV50")
+        nets = _specs(
+            device,
+            random_p2p_nets(device.arch, 6, seed=11, min_span=2, max_span=8),
+        )
+        res = route_pathfinder(device, nets, apply=False, workers=3)
+        assert res.stats.searches >= len(nets)
+        assert res.stats.nodes_expanded > 0
+        assert res.stats.heap_pushes > 0
+
+
+class TestGraphTables:
+    def test_tiles_match_primary_name(self):
+        arch = VirtexArch("XCV50")
+        graph = routing_graph(arch)
+        p_row, p_col, p_name = graph.tiles()
+        for canon in range(arch.n_wires):
+            r, c, n = arch.primary_name(canon)
+            assert (p_row[canon], p_col[canon], p_name[canon]) == (r, c, n)
+
+    def test_tile_coords_memoized(self):
+        arch = VirtexArch("XCV50")
+        for canon in (0, 1234, arch.n_wires - 1):
+            assert arch.tile_coords(canon) == arch.primary_name(canon)[:2]
+            # second call hits the cache and returns the same object
+            assert arch.tile_coords(canon) is arch.tile_coords(canon)
+
+    def test_vectorized_splitmix64_matches_scalar(self):
+        xs = np.array(
+            [0, 1, 2, 12345, 2**32 - 1, 2**63, 2**64 - 1], dtype=np.uint64
+        )
+        out = _splitmix64_np(xs)
+        for x, got in zip(xs.tolist(), out.tolist()):
+            assert got == _splitmix64(int(x))
+
+    def test_graph_edges_match_fanout_pips(self):
+        device = Device("XCV50")
+        graph = device.routing_graph()
+        for canon in [7, 500, 12_000, 30_000]:
+            assert graph.neighbors(canon) == list(device.fanout_pips(canon))
+
+    def test_graph_shared_across_devices(self):
+        g1 = Device("XCV50").routing_graph()
+        g2 = Device("XCV50").routing_graph()
+        assert g1 is g2
+
+
+class TestAppliedPlansLegal:
+    def test_pathfinder_plans_apply_cleanly(self):
+        device = Device("XCV50")
+        nets = _specs(
+            device,
+            random_p2p_nets(device.arch, 5, seed=2, min_span=2, max_span=8),
+        )
+        res = route_pathfinder(device, nets, workers=2)
+        assert res.converged
+        audit_no_contention(device)
+
+    def test_maze_plan_applies_cleanly(self):
+        device = Device("XCV50")
+        net = random_p2p_nets(device.arch, 1, seed=9, min_span=3, max_span=9)[0]
+        spec = _specs(device, [net])[0]
+        res = route_maze(device, [spec.source], {spec.sinks[0]})
+        apply_plan(device, res.plan)
+        audit_no_contention(device)
