@@ -1,0 +1,236 @@
+"""E18: durable-session costs and the kill-and-replay recovery check.
+
+Measures what durability costs and proves what it buys:
+
+* **WAL overhead** — the same point-to-point workload routed bare vs
+  journaled through a :class:`~repro.core.wal.DurableSession`;
+* **recovery latency** — rebuilding a session from checkpoint + WAL;
+* **scrub throughput** — a full frame scan + repair pass over a seeded
+  SEU burst;
+* **kill-and-replay** (``--recovery-check``) — simulate a crash at
+  *every* record boundary of a real session's WAL, recover each
+  truncation, and require the recovered state to be byte-identical to an
+  uninterrupted run of the same event prefix.  This is the CI
+  recovery-smoke gate::
+
+      PYTHONPATH=src python benchmarks/bench_e18_durability.py --smoke --recovery-check
+
+Under pytest only the timing-free shape tests and pytest-benchmark
+timings run.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+
+from repro import errors
+from repro.bench.workloads import random_p2p_nets
+from repro.core import DurableSession, JRouter, Scrubber, inject_seu, recover
+from repro.jbits.readback import verify_against_device
+
+
+def _workload(arch, n=16, seed=23):
+    return [(net.source, net.sinks[0])
+            for net in random_p2p_nets(arch, n, seed=seed)]
+
+
+def _route_all(router, pairs):
+    ok = 0
+    for src, sink in pairs:
+        try:
+            router.route(src, sink)
+            ok += 1
+        except errors.JRouteError:
+            pass
+    return ok
+
+
+def _journaled_run(pairs, wal_path, *, checkpoint_every=None):
+    """Route ``pairs`` under a DurableSession; returns the live router."""
+    router = JRouter(part="XCV50")
+    with DurableSession(router, wal_path,
+                        checkpoint_every=checkpoint_every) as session:
+        _route_all(router, pairs)
+        session.checkpoint()
+    return router
+
+
+def kill_and_replay(pairs, *, checkpoint_every=None, stride=1) -> tuple[int, int]:
+    """Crash-at-every-offset recovery proof.
+
+    Runs one journaled session to produce a reference WAL, then for every
+    ``stride``-th record boundary: truncate a copy of the WAL there (the
+    simulated kill), recover it, and compare fingerprints with an
+    uninterrupted replay of the same prefix.  Returns
+    ``(crash_points_checked, mismatches)``.
+    """
+    tmp = tempfile.mkdtemp(prefix="e18-killreplay-")
+    wal_path = os.path.join(tmp, "ref.wal")
+    _journaled_run(pairs, wal_path, checkpoint_every=checkpoint_every)
+    with open(wal_path, "rb") as fh:
+        lines = fh.readlines()
+    header, records = lines[0], lines[1:]
+
+    # reference prefix states: replay the same records onto fresh devices
+    from repro.core.wal import WriteAheadLog, _apply_record
+
+    _part, parsed, _torn = WriteAheadLog.replay(wal_path)
+    assert len(parsed) == len(records)
+    reference = JRouter(part="XCV50")
+    prefix_fp = [reference.device.state.fingerprint()]
+    for rec in parsed:
+        _apply_record(reference.device, rec)
+        prefix_fp.append(reference.device.state.fingerprint())
+
+    checked = mismatches = 0
+    for cut in range(0, len(records) + 1, stride):
+        crash_wal = os.path.join(tmp, f"crash-{cut}.wal")
+        with open(crash_wal, "wb") as fh:
+            fh.write(header)
+            fh.writelines(records[:cut])
+        # the reference checkpoint postdates every crash point except the
+        # final one; recovery must cope both with and without it
+        ckpt = wal_path + ".ckpt"
+        use_ckpt = cut == len(records) and os.path.exists(ckpt)
+        recovered, _report = recover(
+            crash_wal,
+            checkpoint_path=ckpt if use_ckpt else crash_wal + ".none",
+        )
+        checked += 1
+        if recovered.device.state.fingerprint() != prefix_fp[cut]:
+            mismatches += 1
+    return checked, mismatches
+
+
+# ------------------------------------------------------------------ bench main
+
+
+def run(smoke: bool) -> int:
+    n = 16 if smoke else 40
+    router = JRouter(part="XCV50")
+    pairs = _workload(router.device.arch, n=n)
+
+    t0 = time.perf_counter()
+    _route_all(router, pairs)
+    dt_plain = time.perf_counter() - t0
+
+    tmp = tempfile.mkdtemp(prefix="e18-bench-")
+    wal_path = os.path.join(tmp, "session.wal")
+    t0 = time.perf_counter()
+    live = _journaled_run(pairs, wal_path, checkpoint_every=64)
+    dt_wal = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    recovered, report = recover(wal_path)
+    dt_rec = time.perf_counter() - t0
+    identical = (
+        recovered.device.state.fingerprint() == live.device.state.fingerprint()
+    )
+
+    scrubber = Scrubber(live.jbits.memory, device=live.device)
+    inject_seu(live.jbits.memory, n_flips=8, seed=23)
+    t0 = time.perf_counter()
+    scrub_report = scrubber.scrub()
+    dt_scrub = time.perf_counter() - t0
+
+    print(f"route {n} nets bare        {dt_plain * 1e3:8.1f} ms")
+    print(f"route {n} nets journaled   {dt_wal * 1e3:8.1f} ms "
+          f"({dt_wal / dt_plain:4.2f}x)")
+    print(f"recover ({report.summary()})")
+    print(f"recovery latency           {dt_rec * 1e3:8.1f} ms, "
+          f"state identical: {identical}")
+    print(f"scrub pass                 {dt_scrub * 1e3:8.1f} ms "
+          f"({scrub_report.summary()})")
+    return 0 if identical and not scrubber.scan().drifted_frames else 1
+
+
+def recovery_check(smoke: bool) -> int:
+    """The CI gate: every crash point must recover to the prefix state."""
+    router = JRouter(part="XCV50")
+    pairs = _workload(router.device.arch, n=8 if smoke else 20)
+    stride = 4 if smoke else 1
+    checked, mismatches = kill_and_replay(pairs, stride=stride)
+    print(f"kill-and-replay: {checked} crash point(s) checked, "
+          f"{mismatches} state mismatch(es)")
+    if mismatches:
+        print("RECOVERY REGRESSION: recovered state diverged from the "
+              "uninterrupted run")
+        return 1
+    print("recovery check ok")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    if "--recovery-check" in argv:
+        return recovery_check(smoke)
+    return run(smoke)
+
+
+# ---------------------------------------------------------------- shape tests
+# Timing-free durability guarantees, pinned under pytest/CI.
+
+
+def test_shape_recovered_state_is_identical(router):
+    pairs = _workload(router.device.arch, n=6)
+    tmp = tempfile.mkdtemp(prefix="e18-shape-")
+    wal_path = os.path.join(tmp, "s.wal")
+    live = _journaled_run(pairs, wal_path, checkpoint_every=16)
+    recovered, report = recover(wal_path)
+    assert recovered.device.state.fingerprint() == live.device.state.fingerprint()
+    assert recovered.jbits.memory == live.jbits.memory
+    assert report.fingerprint == live.device.state.fingerprint()
+
+
+def test_shape_kill_and_replay_every_fourth_offset(router):
+    pairs = _workload(router.device.arch, n=4)
+    checked, mismatches = kill_and_replay(pairs, stride=4)
+    assert checked > 1
+    assert mismatches == 0
+
+
+def test_shape_scrub_repairs_all_seeded_upsets(router):
+    pairs = _workload(router.device.arch, n=4)
+    _route_all(router, pairs)
+    scrubber = Scrubber(router.jbits.memory, device=router.device)
+    flipped = inject_seu(router.jbits.memory, n_flips=10, seed=99)
+    report = scrubber.scrub()
+    assert sorted(r.address for r in report.records) == flipped
+    assert report.frames_repaired == report.drifted_frames
+    assert scrubber.scan().clean
+    assert verify_against_device(router.jbits.memory, router.device) == []
+
+
+def test_wal_journaling_overhead(benchmark, router):
+    """Cost of the fsync-per-event WAL on a small routing batch."""
+    pairs = _workload(router.device.arch, n=6)
+    tmp = tempfile.mkdtemp(prefix="e18-perf-")
+    counter = iter(range(10_000))
+
+    def run_once():
+        r = JRouter(part="XCV50")
+        wal_path = os.path.join(tmp, f"w{next(counter)}.wal")
+        with DurableSession(r, wal_path):
+            return _route_all(r, pairs)
+
+    assert benchmark(run_once) == len(pairs)
+
+
+def test_scrub_pass_cost(benchmark, router):
+    """Full-device frame scan + repair of a seeded SEU burst."""
+    pairs = _workload(router.device.arch, n=4)
+    _route_all(router, pairs)
+    scrubber = Scrubber(router.jbits.memory, device=router.device)
+
+    def run_once():
+        inject_seu(router.jbits.memory, n_flips=6, seed=7)
+        return len(scrubber.scrub().frames_repaired)
+
+    assert benchmark(run_once) >= 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

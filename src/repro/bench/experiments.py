@@ -778,14 +778,110 @@ def run_e16(
     return t
 
 
+# ---------------------------------------------------------------------------
+# E18: durable sessions — WAL overhead, crash recovery, scrubbing, deadlines
+# ---------------------------------------------------------------------------
+
+def run_e18(
+    n_nets: int = 40,
+    seed: int = 23,
+    n_seu: int = 12,
+    smoke: bool = False,
+) -> Table:
+    """Durability costs and guarantees: WAL, recovery, scrub, deadlines."""
+    import os
+    import tempfile
+
+    from ..core import Deadline, DurableSession, Scrubber, inject_seu, recover
+    from ..jbits.readback import verify_against_device
+
+    if smoke:
+        n_nets = min(n_nets, 16)
+        n_seu = min(n_seu, 6)
+    t = Table(
+        "E18: durable routing sessions (XCV50)",
+        ["stage", "detail", "result", "time (ms)"],
+    )
+    arch = VirtexArch("XCV50")
+    nets = random_p2p_nets(arch, n_nets, seed=seed)
+
+    def route_all(router):
+        ok = 0
+        for net in nets:
+            try:
+                ok += bool(router.route(net.source, net.sinks[0]))
+            except errors.JRouteError:
+                pass
+        return ok
+
+    # baseline vs journaled session (WAL fsync-per-event overhead)
+    plain = JRouter(part="XCV50")
+    dt_plain, ok_plain = time_call(lambda: route_all(plain))
+    t.add("route, no WAL", f"{n_nets} p2p nets", f"{ok_plain} routed",
+          dt_plain * 1e3)
+    tmp = tempfile.mkdtemp(prefix="e18-")
+    wal_path = os.path.join(tmp, "session.wal")
+    live = JRouter(part="XCV50")
+    with DurableSession(live, wal_path, checkpoint_every=64) as session:
+        dt_wal, ok_wal = time_call(lambda: route_all(live))
+        events = session.seq
+    t.add("route, WAL + ckpt/64", f"{events} events journaled",
+          f"{ok_wal} routed "
+          f"(+{100 * (dt_wal - dt_plain) / dt_plain:.0f}% overhead)",
+          dt_wal * 1e3)
+
+    # crash recovery: rebuild from the log, prove state identity
+    dt_rec, (recovered, report) = time_call(lambda: recover(wal_path))
+    identical = (
+        recovered.device.state.fingerprint() == live.device.state.fingerprint()
+        and recovered.jbits.memory == live.jbits.memory
+    )
+    t.add("crash recovery", report.summary(),
+          f"state identical: {identical}", dt_rec * 1e3)
+
+    # scrubbing: seeded SEUs detected, classified, repaired
+    scrubber = Scrubber(live.jbits.memory, device=live.device)
+    inject_seu(live.jbits.memory, n_flips=n_seu, seed=seed)
+    dt_scrub, scrub_report = time_call(scrubber.scrub)
+    coherent = not verify_against_device(live.jbits.memory, live.device)
+    t.add("SEU scrub", scrub_report.summary(),
+          f"coherent after repair: {coherent}", dt_scrub * 1e3)
+
+    # deadline-bounded search: tiny budget => partial reports, no hangs
+    bounded = JRouter(part="XCV50", deadline_ms=0.05)
+    partial = full = 0
+    t0 = time.perf_counter()
+    for net in nets:
+        bounded.route(net.source, net.sinks[0])
+        rep = bounded.last_report
+        if rep is not None and (rep.timed_out or rep.breaker_open):
+            partial += 1
+        else:
+            full += 1
+    dt_deadline = (time.perf_counter() - t0) * 1e3
+    t.add("deadline 0.05 ms/net", f"{partial} partial, {full} completed",
+          "no hang, no exception escape", dt_deadline)
+    t.note("WAL overhead buys replayable sessions; scrub target: 100% of "
+           "seeded upsets repaired without touching clean frames")
+    return t
+
+
 EXPERIMENTS = {
     "e1": run_e1, "e2": run_e2, "e3": run_e3, "e4": run_e4,
     "e5": run_e5, "e6": run_e6, "e7": run_e7, "e8": run_e8,
     "e9": run_e9, "e10": run_e10, "e11": run_e11, "e12": run_e12,
     "e13": run_e13, "e14": run_e14, "e15": run_e15, "e16": run_e16,
+    "e18": run_e18,
     # aliases for the CLI's --experiment flag
     "faults": run_e16,
+    "durability": run_e18,
 }
+
+#: the experiments `--smoke` runs when none are named.  EXPLICIT so that
+#: adding an experiment forces a decision about CI coverage — a new entry
+#: either joins the matrix or is visibly absent from it, never silently
+#: dropped.
+SMOKE_MATRIX = ("e16", "e18")
 
 
 def run_all(
@@ -793,11 +889,14 @@ def run_all(
 ) -> list[Table]:
     """Run the requested experiments (all by default), printing each.
 
-    ``smoke=True`` asks each runner that supports it (currently E16) for
-    a reduced workload, for use as a CI smoke check.
+    ``smoke=True`` asks each runner that supports it for a reduced
+    workload, for use as a CI smoke check; with no explicit ``names`` it
+    runs exactly :data:`SMOKE_MATRIX`.
     """
     import inspect
 
+    if smoke and names is None:
+        names = SMOKE_MATRIX
     tables = []
     seen: set = set()
     for key in names if names is not None else tuple(EXPERIMENTS):

@@ -13,14 +13,26 @@ Usage (``python -m repro <command> ...``)::
     wires [SUBSTRING]             list wire names (optionally filtered)
     route PART R1 C1 WIRE1 R2 C2 WIRE2 [R3 C3 WIRE3 ...]
           [--fault-rate R] [--fault-seed N] [--retry N] [--workers N]
+          [--deadline-ms MS] [--wal FILE]
                                   auto-route from the first named pin to
                                   the remaining pin(s) and print the
                                   resulting trace; --fault-rate injects a
                                   seeded stuck-open PIP rate, --retry
                                   enables rip-up/retry recovery with N
-                                  attempts, and --workers > 1 routes via
+                                  attempts, --workers > 1 routes via
                                   the partitioned negotiated-congestion
-                                  router
+                                  router, --deadline-ms bounds each
+                                  request (a partial report instead of a
+                                  hang), and --wal journals every PIP
+                                  event to FILE for crash recovery
+    recover WAL [--checkpoint FILE]
+                                  rebuild a crashed session from its
+                                  write-ahead log (and checkpoint) and
+                                  print what was replayed/reconciled
+    scrub [PART] [--flips N] [--seed N]
+                                  demo the configuration scrubber: route
+                                  a small design, inject N seeded SEUs,
+                                  then detect, classify and repair them
     pads PART                     IOB ring inventory
     demo                          the paper's Section 3.1 walkthrough
     report                        markdown report of a small demo design
@@ -79,11 +91,14 @@ def _cmd_wires(args: list[str]) -> int:
 
 def _cmd_route(args: list[str]) -> int:
     usage = ("usage: route PART R1 C1 WIRE1 R2 C2 WIRE2 [R3 C3 WIRE3 ...] "
-             "[--fault-rate R] [--fault-seed N] [--retry N] [--workers N]")
+             "[--fault-rate R] [--fault-seed N] [--retry N] [--workers N] "
+             "[--deadline-ms MS] [--wal FILE]")
     fault_rate = 0.0
     fault_seed = 0
     retry_attempts = 0
     workers = 1
+    deadline_ms: float | None = None
+    wal_path: str | None = None
     pos: list[str] = []
     it = iter(args)
     try:
@@ -96,6 +111,10 @@ def _cmd_route(args: list[str]) -> int:
                 retry_attempts = int(next(it))
             elif a == "--workers":
                 workers = int(next(it))
+            elif a == "--deadline-ms":
+                deadline_ms = float(next(it))
+            elif a == "--wal":
+                wal_path = next(it)
             else:
                 pos.append(a)
     except (StopIteration, ValueError):
@@ -107,6 +126,7 @@ def _cmd_route(args: list[str]) -> int:
         or fault_rate < 0
         or retry_attempts < 0
         or workers < 1
+        or (deadline_ms is not None and deadline_ms <= 0)
     ):
         print(usage, file=sys.stderr)
         return 2
@@ -133,22 +153,50 @@ def _cmd_route(args: list[str]) -> int:
         )
         print(f"injected faults: {faults}")
     retry = RetryPolicy(max_attempts=retry_attempts) if retry_attempts else None
-    router = JRouter(part=part, faults=faults, retry=retry, workers=workers)
+    router = JRouter(
+        part=part,
+        faults=faults,
+        retry=retry,
+        workers=workers,
+        deadline_ms=deadline_ms,
+    )
+    session = None
+    if wal_path is not None:
+        from .core import DurableSession
+
+        session = DurableSession(router, wal_path)
+        session.__enter__()
     try:
         if workers > 1:
             # negotiated bulk routing (partitioned across workers)
             result = router.route_nets([(src, sinks)])
             if not result.converged:
-                print("unroutable: pathfinder did not converge", file=sys.stderr)
+                reason = (
+                    "deadline expired" if result.timed_out
+                    else "pathfinder did not converge"
+                )
+                print(f"unroutable: {reason}", file=sys.stderr)
                 return 1
             n = result.pips_added
         else:
             n = router.route(src, sinks if len(sinks) > 1 else sinks[0])
+            if n == 0 and router.last_report is not None and (
+                router.last_report.timed_out or router.last_report.breaker_open
+            ):
+                print(f"partial: {router.last_report.summary()}",
+                      file=sys.stderr)
+                return 1
     except errors.JRouteError as e:
         print(f"unroutable: {e}", file=sys.stderr)
         if router.last_report is not None:
             print(f"report: {router.last_report.summary()}", file=sys.stderr)
         return 1
+    finally:
+        if session is not None:
+            session.checkpoint()
+            session.close()
+            print(f"journal: {wal_path} (seq {session.seq}), "
+                  f"checkpoint written")
     print(f"routed with {n} PIPs "
           f"(template hits {router.p2p_template_hits}, "
           f"maze fallbacks {router.p2p_maze_fallbacks})")
@@ -216,6 +264,84 @@ def _cmd_run(args: list[str]) -> int:
     return 0
 
 
+def _cmd_recover(args: list[str]) -> int:
+    usage = "usage: recover WAL [--checkpoint FILE]"
+    checkpoint: str | None = None
+    pos: list[str] = []
+    it = iter(args)
+    try:
+        for a in it:
+            if a == "--checkpoint":
+                checkpoint = next(it)
+            else:
+                pos.append(a)
+    except StopIteration:
+        print(usage, file=sys.stderr)
+        return 2
+    if len(pos) != 1:
+        print(usage, file=sys.stderr)
+        return 2
+    from .core import recover
+    from .debug import BoardScope
+
+    try:
+        router, report = recover(pos[0], checkpoint_path=checkpoint)
+    except (OSError, errors.JRouteError) as e:
+        print(f"recovery failed: {e}", file=sys.stderr)
+        return 1
+    print(report.summary())
+    scope = BoardScope(router.device, router.jbits)
+    print(f"state: {scope.summary()}")
+    print(f"fingerprint: {report.fingerprint}")
+    problems = scope.crosscheck()
+    for p in problems:
+        print(f"problem: {p}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def _cmd_scrub(args: list[str]) -> int:
+    usage = "usage: scrub [PART] [--flips N] [--seed N]"
+    n_flips = 4
+    seed = 2026
+    pos: list[str] = []
+    it = iter(args)
+    try:
+        for a in it:
+            if a == "--flips":
+                n_flips = int(next(it))
+            elif a == "--seed":
+                seed = int(next(it))
+            else:
+                pos.append(a)
+    except (StopIteration, ValueError):
+        print(usage, file=sys.stderr)
+        return 2
+    if len(pos) > 1 or n_flips < 1:
+        print(usage, file=sys.stderr)
+        return 2
+    part = pos[0] if pos else "XCV50"
+    from .core import Scrubber, inject_seu
+    from .jbits.readback import verify_against_device
+
+    router = JRouter(part=part)
+    router.route(Pin(5, 5, wires.S0_YQ), Pin(7, 7, wires.S0F[1]))
+    router.route(
+        Pin(2, 2, wires.S1_YQ),
+        [Pin(4, 4, wires.S0F[2]), Pin(1, 5, wires.S1G[3])],
+    )
+    assert router.jbits is not None
+    scrubber = Scrubber(router.jbits.memory, device=router.device)
+    flipped = inject_seu(router.jbits.memory, n_flips=n_flips, seed=seed)
+    print(f"injected {len(flipped)} SEU(s) into {part} configuration")
+    report = scrubber.scrub()
+    print(report.summary())
+    for rec in report.records:
+        print(f"  {rec}")
+    coherent = not verify_against_device(router.jbits.memory, router.device)
+    print(f"bitstream/state coherent after scrub: {coherent}")
+    return 0 if coherent and not scrubber.scan().drifted_frames else 1
+
+
 def _cmd_experiments(args: list[str]) -> int:
     from .bench.__main__ import main as bench_main
 
@@ -231,6 +357,8 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "report": _cmd_report,
     "run": _cmd_run,
+    "recover": _cmd_recover,
+    "scrub": _cmd_scrub,
     "experiments": _cmd_experiments,
 }
 

@@ -6,23 +6,36 @@ Exposes the endpoint model (:class:`Pin`, :class:`Port`), the explicit
 and the port-connection memory.
 """
 
+from .deadline import Deadline
 from .endpoints import EndPoint, Pin, Port, PortDirection, PortGroup
 from .kernel import GLOBAL_STATS, SearchState, SearchStats
 from .netdb import NetDB, PortMemory
 from .path import Path
-from .recovery import RetryPolicy, RoutingReport, select_victim
+from .recovery import CircuitBreaker, RetryPolicy, RoutingReport, select_victim
 from .router import JRouter
+from .scrub import Scrubber, ScrubRecord, ScrubReport, inject_seu
 from .template import Template
 from .tracer import NetTrace, reverse_trace_net, trace_net
-from .txn import RouteTransaction
+from .txn import PipJournal, RouteTransaction
 from .unroute import unroute_forward, unroute_reverse
+from .wal import (
+    DurableSession,
+    RecoveryReport,
+    WriteAheadLog,
+    recover,
+    write_checkpoint,
+)
 
 __all__ = [
+    "CircuitBreaker",
+    "Deadline",
+    "DurableSession",
     "EndPoint",
     "GLOBAL_STATS",
     "SearchState",
     "SearchStats",
     "Pin",
+    "PipJournal",
     "Port",
     "PortDirection",
     "PortGroup",
@@ -30,14 +43,22 @@ __all__ = [
     "PortMemory",
     "Path",
     "JRouter",
+    "RecoveryReport",
     "RetryPolicy",
     "RouteTransaction",
     "RoutingReport",
+    "Scrubber",
+    "ScrubRecord",
+    "ScrubReport",
     "select_victim",
     "Template",
     "NetTrace",
+    "WriteAheadLog",
+    "inject_seu",
+    "recover",
     "trace_net",
     "reverse_trace_net",
     "unroute_forward",
     "unroute_reverse",
+    "write_checkpoint",
 ]

@@ -1,0 +1,109 @@
+"""Cooperative deadlines for run-time routing searches.
+
+The paper's promise is that routing is fast enough to happen *while the
+device runs*; a service built on the API therefore cannot afford a
+search that negotiates forever (the failure mode of unbounded
+negotiation in parallel routers, cf. Zang et al., *An Open-Source Fast
+Parallel Routing Approach for Commercial FPGAs*).  :class:`Deadline` is
+a cheap cancellation token threaded through the shared search kernel
+(:func:`repro.core.kernel.dijkstra`) and every level-4/5/6 router: a
+search that runs past its budget stops cooperatively and surfaces
+:class:`~repro.errors.DeadlineExceededError`, which the
+:class:`~repro.core.router.JRouter` converts into a *partial*
+:class:`~repro.core.recovery.RoutingReport` — the caller gets structure,
+not a hang and not an exception.
+
+The kernel checks the token only every :data:`CHECK_MASK` + 1 node
+expansions, and the deadline-free fast loops are untouched, so the
+existing perf gate (``benchmarks/bench_e17_kernel.py --check``) bounds
+the overhead.
+
+Nets that *repeatedly* trip their deadline are taken out of rotation by
+the per-net :class:`~repro.core.recovery.CircuitBreaker` so a pathological
+request cannot consume the whole service's budget on every retry.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from .. import errors
+
+__all__ = ["Deadline", "CHECK_MASK"]
+
+#: The kernel consults the deadline when ``expanded & CHECK_MASK == 0``:
+#: one clock read per 1024 expansions (a few microseconds of search).
+CHECK_MASK = 1023
+
+
+class Deadline:
+    """A monotonic-clock deadline plus an explicit cancellation flag.
+
+    Parameters
+    ----------
+    budget_ms:
+        Wall-clock budget in milliseconds from construction; ``None``
+        means unbounded (the token then only trips via :meth:`cancel`).
+    clock:
+        Seconds-returning monotonic clock, injectable for deterministic
+        tests.  Defaults to :func:`time.perf_counter`.
+    """
+
+    __slots__ = ("budget_ms", "_clock", "_expires_at", "_cancelled")
+
+    def __init__(
+        self,
+        budget_ms: float | None = None,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.budget_ms = budget_ms
+        self._clock = clock
+        self._cancelled = False
+        self._expires_at = (
+            None if budget_ms is None else clock() + budget_ms / 1e3
+        )
+
+    @classmethod
+    def after_ms(cls, budget_ms: float | None) -> "Deadline | None":
+        """Token for a budget, or ``None`` when no budget is configured.
+
+        The ``None`` passthrough lets callers write
+        ``Deadline.after_ms(self.deadline_ms)`` and keep the deadline-free
+        hot path entirely token-free.
+        """
+        return None if budget_ms is None else cls(budget_ms)
+
+    def cancel(self) -> None:
+        """Trip the token immediately (user-initiated cancellation)."""
+        self._cancelled = True
+
+    def expired(self) -> bool:
+        """Has the budget run out (or the token been cancelled)?"""
+        if self._cancelled:
+            return True
+        return self._expires_at is not None and self._clock() >= self._expires_at
+
+    def remaining_ms(self) -> float:
+        """Milliseconds left; ``inf`` when unbounded, 0 when tripped."""
+        if self._cancelled:
+            return 0.0
+        if self._expires_at is None:
+            return float("inf")
+        return max(0.0, (self._expires_at - self._clock()) * 1e3)
+
+    def check(self, what: str = "search") -> None:
+        """Raise :class:`~repro.errors.DeadlineExceededError` if tripped."""
+        if self.expired():
+            reason = "cancelled" if self._cancelled else (
+                f"deadline of {self.budget_ms:g} ms expired"
+            )
+            raise errors.DeadlineExceededError(f"{what} abandoned: {reason}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        state = "cancelled" if self._cancelled else (
+            f"{self.remaining_ms():.2f} ms left"
+            if self._expires_at is not None else "unbounded"
+        )
+        return f"Deadline({state})"

@@ -24,9 +24,15 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, Collection, Container, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Collection, Container, Iterable, Sequence
 
 from ..arch.graph import FaultEdgeMask, RoutingGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (deadline -> errors)
+    from .deadline import Deadline
+
+#: deadline poll period: one clock read per this-many+1 node expansions
+_DEADLINE_MASK = 1023
 
 __all__ = [
     "SearchStats",
@@ -110,7 +116,8 @@ def dijkstra(
     fault_edge: FaultEdgeMask | None = None,
     max_nodes: int = 200_000,
     stats: SearchStats | None = None,
-) -> tuple[int, float, int, int, int, bool]:
+    deadline: "Deadline | None" = None,
+) -> tuple[int, float, int, int, int, bool, bool]:
     """One lowest-cost search from ``starts`` to any of ``targets``.
 
     Parameters
@@ -128,10 +135,16 @@ def dijkstra(
         ``base * (1 + pf * use_count[to]) + history[to]`` (PathFinder).
     fault_node / fault_edge:
         Fault masks; skipped resources are counted as faults avoided.
+    deadline:
+        Optional cooperative :class:`~repro.core.deadline.Deadline`;
+        polled every 1024 expansions.  A tripped deadline abandons the
+        search with ``timed_out`` set (the deadline-free fast loops are
+        untouched, so a ``None`` deadline costs nothing).
 
-    Returns ``(goal, cost, expanded, pushes, faults_avoided, exceeded)``
-    with ``goal == -1`` when no target was reached (``exceeded`` set when
-    the node budget ran out first).
+    Returns ``(goal, cost, expanded, pushes, faults_avoided, exceeded,
+    timed_out)`` with ``goal == -1`` when no target was reached
+    (``exceeded`` set when the node budget ran out first, ``timed_out``
+    when the deadline tripped first).
     """
     epoch = state.epoch + 1
     state.epoch = epoch
@@ -176,15 +189,19 @@ def dijkstra(
     goal = -1
     goal_cost = 0.0
     exceeded = False
+    timed_out = False
     # The hot maze configuration (no fault masks, no name filtering, no
-    # congestion pricing) runs specialized loops with every per-edge
-    # branch hoisted out; everything else takes the general loop below.
+    # congestion pricing, no deadline) runs specialized loops with every
+    # per-edge branch hoisted out; everything else takes the general loop
+    # below.  Keeping deadline-bounded searches out of the fast loops is
+    # what makes a ``None`` deadline genuinely free.
     fast = (
         name_blocked is None
         and femask is None
         and fault_node is None
         and congestion is None
         and occupied is not None
+        and deadline is None
     )
     if occupied is not None and not isinstance(occupied, (list, memoryview)):
         try:
@@ -262,6 +279,13 @@ def dijkstra(
                 # a dead/pre-driven start wire cannot launch the signal
                 faults_avoided += 1
                 continue
+            if (
+                deadline is not None
+                and (expanded & _DEADLINE_MASK) == 0
+                and deadline.expired()
+            ):
+                timed_out = True
+                break
             expanded += 1
             if expanded > max_nodes:
                 exceeded = True
@@ -308,7 +332,7 @@ def dijkstra(
     GLOBAL_STATS.nodes_expanded += expanded
     GLOBAL_STATS.heap_pushes += pushes
     GLOBAL_STATS.faults_avoided += faults_avoided
-    return goal, goal_cost, expanded, pushes, faults_avoided, exceeded
+    return goal, goal_cost, expanded, pushes, faults_avoided, exceeded, timed_out
 
 
 def extract_plan(

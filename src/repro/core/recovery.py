@@ -11,7 +11,10 @@ round leaves the device untouched.
 
 :class:`RetryPolicy` bounds the effort (attempts and search-budget
 growth); :class:`RoutingReport` records what happened (attempts, ripped
-nets, faults avoided) for observability.
+nets, faults avoided) for observability.  :class:`CircuitBreaker` layers
+degradation on top: a net whose requests repeatedly trip their
+cooperative deadline (:mod:`repro.core.deadline`) is taken out of
+rotation so it cannot consume the service's whole budget on every retry.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ from dataclasses import dataclass, field
 
 from ..device.fabric import Device
 
-__all__ = ["RetryPolicy", "RoutingReport", "select_victim"]
+__all__ = ["RetryPolicy", "RoutingReport", "CircuitBreaker", "select_victim"]
 
 
 @dataclass(slots=True, frozen=True)
@@ -71,10 +74,21 @@ class RoutingReport:
     #: unified kernel instrumentation of the request's searches
     #: (:class:`repro.core.kernel.SearchStats`; None when no search ran)
     search_stats: object | None = None
+    #: the request was abandoned because its deadline expired; the report
+    #: is then *partial*: it describes the work done up to the trip
+    timed_out: bool = False
+    #: the request was refused without searching because its net's
+    #: circuit breaker is open (too many deadline trips)
+    breaker_open: bool = False
 
     def summary(self) -> str:
         """One-line operator-facing rendering."""
-        state = "ok" if self.success else "FAILED"
+        if self.breaker_open:
+            state = "REFUSED (circuit breaker open)"
+        elif self.timed_out:
+            state = "TIMED OUT"
+        else:
+            state = "ok" if self.success else "FAILED"
         line = (
             f"{state}: {self.attempts} attempt(s), "
             f"{len(self.ripped_nets)} net(s) ripped, "
@@ -84,6 +98,54 @@ class RoutingReport:
         if self.search_stats is not None:
             line += f" [{self.search_stats.summary()}]"
         return line
+
+
+class CircuitBreaker:
+    """Per-net trip counter that stops re-attempting hopeless requests.
+
+    A net "trips" when a routing request for it is abandoned on a
+    deadline.  After ``max_trips`` consecutive trips the breaker *opens*
+    for that net: further requests are refused immediately (a
+    :class:`RoutingReport` with ``breaker_open=True``) without spending
+    any search budget.  A successful route closes the breaker again, as
+    does an explicit :meth:`reset` (e.g. after the operator frees
+    congested resources).
+    """
+
+    __slots__ = ("max_trips", "_trips")
+
+    def __init__(self, max_trips: int = 3) -> None:
+        if max_trips < 1:
+            raise ValueError("max_trips must be >= 1")
+        self.max_trips = max_trips
+        self._trips: dict[int, int] = {}
+
+    def record_trip(self, net: int) -> None:
+        """Count one deadline trip against ``net``."""
+        self._trips[net] = self._trips.get(net, 0) + 1
+
+    def record_success(self, net: int) -> None:
+        """A successful route closes the net's breaker."""
+        self._trips.pop(net, None)
+
+    def is_open(self, net: int) -> bool:
+        """Should requests for ``net`` be refused without searching?"""
+        return self._trips.get(net, 0) >= self.max_trips
+
+    def trips(self, net: int) -> int:
+        """Consecutive deadline trips recorded against ``net``."""
+        return self._trips.get(net, 0)
+
+    def open_nets(self) -> list[int]:
+        """Canonical source ids whose breakers are currently open."""
+        return sorted(n for n, t in self._trips.items() if t >= self.max_trips)
+
+    def reset(self, net: int | None = None) -> None:
+        """Forget trips for ``net``, or for every net when None."""
+        if net is None:
+            self._trips.clear()
+        else:
+            self._trips.pop(net, None)
 
 
 def select_victim(

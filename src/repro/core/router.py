@@ -36,11 +36,12 @@ from ..routers.base import PlanPip, apply_plan
 from ..routers.maze import route_maze
 from ..routers.pathfinder import NetSpec, PathFinderResult, route_pathfinder
 from ..routers.template_router import route_template
+from .deadline import Deadline
 from .endpoints import EndPoint, Pin, Port, PortDirection
 from .kernel import SearchStats
 from .netdb import NetDB
 from .path import Path
-from .recovery import RetryPolicy, RoutingReport, select_victim
+from .recovery import CircuitBreaker, RetryPolicy, RoutingReport, select_victim
 from .template import Template
 from .tracer import NetTrace, reverse_trace_net, trace_net
 from .txn import RouteTransaction
@@ -87,6 +88,16 @@ class JRouter:
         Default concurrency for :meth:`route_nets` bulk requests (the
         negotiated-congestion router's per-iteration net loop is
         partitioned spatially across this many workers).
+    deadline_ms:
+        Optional per-request wall-clock budget for the auto-routing
+        levels (4, 5 and 6) and :meth:`route_nets`.  A request past its
+        budget is abandoned cooperatively: state is rolled back, the
+        call returns 0 and :attr:`last_report` comes back *partial*
+        (``timed_out=True``) — no exception escapes.
+    breaker:
+        Optional :class:`~repro.core.recovery.CircuitBreaker` refusing
+        nets that repeatedly trip their deadline.  When ``deadline_ms``
+        is set and no breaker is given, a default one is created.
     """
 
     def __init__(
@@ -103,6 +114,8 @@ class JRouter:
         faults=None,
         retry: RetryPolicy | None = None,
         workers: int = 1,
+        deadline_ms: float | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         self.device = device if device is not None else Device(part)
         if faults is not None:
@@ -116,6 +129,10 @@ class JRouter:
         self.max_nodes = max_nodes
         self.retry = retry
         self.workers = workers
+        self.deadline_ms = deadline_ms
+        if breaker is None and deadline_ms is not None:
+            breaker = CircuitBreaker()
+        self.breaker = breaker
         #: RoutingReport of the latest level-4/5/6 request (None before any)
         self.last_report: RoutingReport | None = None
         #: user-facing route() invocations (Section 4 comparison metric)
@@ -220,18 +237,63 @@ class JRouter:
                 tiles.extend((p.row, p.col) for p in ep.resolve_pins())
         return tiles
 
+    def _breaker_refusal(self, open_nets: list[int]) -> int:
+        """Refuse a request whose net(s) have an open circuit breaker."""
+        report = RoutingReport(breaker_open=True)
+        rendered = ", ".join(str(n) for n in open_nets)
+        report.failures.append(
+            f"circuit breaker open for net(s) {rendered}: refused without "
+            f"searching (reset the breaker or raise deadline_ms)"
+        )
+        self.last_report = report
+        return 0
+
+    def _deadline_tripped(
+        self, source: int | None, exc: errors.DeadlineExceededError
+    ) -> int:
+        """Turn a deadline trip into a partial report; returns 0 PIPs.
+
+        State has already been rolled back by the transaction machinery
+        before the exception reached the request entry.
+        """
+        report = self.last_report
+        assert report is not None
+        report.timed_out = True
+        report.success = False
+        report.failures.append(str(exc))
+        self._faults_avoided += exc.faults_avoided
+        report.faults_avoided = self._faults_avoided
+        if self.breaker is not None and source is not None:
+            self.breaker.record_trip(source)
+        return 0
+
+    def _note_success(self, source: int | None) -> None:
+        if self.breaker is not None and source is not None:
+            self.breaker.record_success(source)
+
     def _route_net_request(
         self, source_ep: EndPoint, sink_eps: list[EndPoint]
     ) -> int:
         """Level 4/5 entry: transactional, optionally with rip-up/retry."""
+        deadline = Deadline.after_ms(self.deadline_ms)
+        source = self._source_canon(source_ep)
+        if self.breaker is not None and self.breaker.is_open(source):
+            return self._breaker_refusal([source])
         if self.retry is not None:
             tiles = self._request_tiles([source_ep, *sink_eps])
 
             def attempt(budget: int) -> int:
-                applied, _ = self._route_net(source_ep, sink_eps, max_nodes=budget)
+                applied, _ = self._route_net(
+                    source_ep, sink_eps, max_nodes=budget, deadline=deadline
+                )
                 return len(applied)
 
-            return self._run_with_recovery(attempt, tiles)
+            try:
+                pips = self._run_with_recovery(attempt, tiles, deadline=deadline)
+            except errors.DeadlineExceededError as e:
+                return self._deadline_tripped(source, e)
+            self._note_success(source)
+            return pips
         report = RoutingReport(attempts=1)
         self.last_report = report
         self._faults_avoided = 0
@@ -241,9 +303,13 @@ class JRouter:
             if len(sink_eps) > 1:
                 # multi-step fanout: journal + roll back atomically
                 with RouteTransaction(self.device, netdb=self.netdb):
-                    applied, _ = self._route_net(source_ep, sink_eps)
+                    applied, _ = self._route_net(
+                        source_ep, sink_eps, deadline=deadline
+                    )
             else:
-                applied, _ = self._route_net(source_ep, sink_eps)
+                applied, _ = self._route_net(source_ep, sink_eps, deadline=deadline)
+        except errors.DeadlineExceededError as e:
+            return self._deadline_tripped(source, e)
         except errors.JRouteError as e:
             report.failures.append(str(e))
             self._faults_avoided += getattr(e, "faults_avoided", 0)
@@ -252,19 +318,35 @@ class JRouter:
         report.success = True
         report.pips_added = len(applied)
         report.faults_avoided = self._faults_avoided
+        self._note_success(source)
         return len(applied)
 
     def _route_bus_request(
         self, source_eps: list[EndPoint], sink_eps: list[EndPoint]
     ) -> int:
         """Level 6 entry: transactional, optionally with rip-up/retry."""
+        deadline = Deadline.after_ms(self.deadline_ms)
+        if self.breaker is not None:
+            open_nets = [
+                s
+                for s in (self._source_canon(ep) for ep in source_eps)
+                if self.breaker.is_open(s)
+            ]
+            if open_nets:
+                return self._breaker_refusal(open_nets)
         if self.retry is not None:
             tiles = self._request_tiles([*source_eps, *sink_eps])
 
             def attempt(budget: int) -> int:
-                return self._route_bus(source_eps, sink_eps, max_nodes=budget)
+                return self._route_bus(
+                    source_eps, sink_eps, max_nodes=budget, deadline=deadline
+                )
 
-            return self._run_with_recovery(attempt, tiles)
+            try:
+                return self._run_with_recovery(attempt, tiles, deadline=deadline)
+            except errors.DeadlineExceededError as e:
+                # bus trips are not charged to a single net's breaker
+                return self._deadline_tripped(None, e)
         report = RoutingReport(attempts=1)
         self.last_report = report
         self._faults_avoided = 0
@@ -272,7 +354,9 @@ class JRouter:
         report.search_stats = self._search_stats
         try:
             with RouteTransaction(self.device, netdb=self.netdb):
-                pips = self._route_bus(source_eps, sink_eps)
+                pips = self._route_bus(source_eps, sink_eps, deadline=deadline)
+        except errors.DeadlineExceededError as e:
+            return self._deadline_tripped(None, e)
         except errors.JRouteError as e:
             report.failures.append(str(e))
             self._faults_avoided += getattr(e, "faults_avoided", 0)
@@ -283,7 +367,9 @@ class JRouter:
         report.faults_avoided = self._faults_avoided
         return pips
 
-    def _run_with_recovery(self, attempt, tiles) -> int:
+    def _run_with_recovery(
+        self, attempt, tiles, *, deadline: Deadline | None = None
+    ) -> int:
         """Bounded rip-up/retry loop around one routing request.
 
         Every round runs inside a :class:`RouteTransaction`: ripping the
@@ -317,7 +403,9 @@ class JRouter:
                             exclude.add(victim)
                     pips = attempt(budget)
                     if victim_restore is not None:
-                        self._reroute_victim(*victim_restore, max_nodes=budget)
+                        self._reroute_victim(
+                            *victim_restore, max_nodes=budget, deadline=deadline
+                        )
             except (
                 errors.UnroutableError,
                 errors.ContentionError,
@@ -349,12 +437,14 @@ class JRouter:
 
     def _reroute_victim(
         self, src_ep: EndPoint, sink_canons: list[int], source_canon: int, *,
-        max_nodes: int,
+        max_nodes: int, deadline: Deadline | None = None,
     ) -> None:
         arch = self.device.arch
         sink_eps = [Pin(*arch.primary_name(c)) for c in sink_canons]
         if sink_eps:
-            self._route_net(src_ep, sink_eps, max_nodes=max_nodes)
+            self._route_net(
+                src_ep, sink_eps, max_nodes=max_nodes, deadline=deadline
+            )
 
     # --------------------------------------------------------------- levels 4, 5
 
@@ -365,6 +455,7 @@ class JRouter:
         record: bool = True,
         *,
         max_nodes: int | None = None,
+        deadline: Deadline | None = None,
     ) -> tuple[list[PlanPip], list[int]]:
         """Route one source endpoint to sink endpoints (fanout-aware).
 
@@ -416,6 +507,7 @@ class JRouter:
                         use_longs=self.p2p_use_longs,
                         heuristic_weight=self.heuristic_weight,
                         max_nodes=budget,
+                        deadline=deadline,
                     )
                     if res.method == "template":
                         self.p2p_template_hits += 1
@@ -435,6 +527,7 @@ class JRouter:
                         use_longs=use_longs,
                         heuristic_weight=self.heuristic_weight,
                         max_nodes=budget,
+                        deadline=deadline,
                     )
                     self._faults_avoided += maze_res.faults_avoided
                     self._search_stats.merge(maze_res.stats)
@@ -467,6 +560,7 @@ class JRouter:
         sink_eps: Sequence[EndPoint],
         *,
         max_nodes: int | None = None,
+        deadline: Deadline | None = None,
     ) -> int:
         """Bus routing: sources[i] -> sinks[i], atomic across the bus."""
         if len(source_eps) != len(sink_eps):
@@ -478,7 +572,8 @@ class JRouter:
         try:
             for src_ep, sink_ep in zip(source_eps, sink_eps):
                 applied, _ = self._route_net(
-                    src_ep, [sink_ep], record=False, max_nodes=max_nodes
+                    src_ep, [sink_ep], record=False, max_nodes=max_nodes,
+                    deadline=deadline,
                 )
                 done.append((src_ep, sink_ep, applied))
         except errors.JRouteError:
@@ -544,16 +639,23 @@ class JRouter:
             use_longs=use_longs,
             max_iterations=max_iterations,
             workers=self.workers if workers is None else workers,
+            deadline=Deadline.after_ms(self.deadline_ms),
         )
         report.search_stats = result.stats
         self._search_stats = result.stats
         report.success = result.converged
         report.pips_added = result.pips_added
+        report.timed_out = result.timed_out
         if result.converged:
             for spec, src_ep in zip(specs, source_eps):
                 if src_ep is None:
                     src_ep = Pin(*self.device.arch.primary_name(spec.source))
                 self.netdb.record_net(spec.source, src_ep, list(spec.sinks))
+        elif result.timed_out:
+            report.failures.append(
+                f"pathfinder abandoned on deadline after "
+                f"{result.iterations} iteration(s)"
+            )
         else:
             report.failures.append(
                 f"pathfinder did not converge in {result.iterations} iteration(s)"

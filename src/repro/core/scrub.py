@@ -1,0 +1,260 @@
+"""Configuration scrubbing: detect and repair bitstream upsets.
+
+On-orbit and high-radiation deployments of run-time reconfigurable
+fabrics pair the router with a *scrubber*: a background task that reads
+configuration frames back, compares them with a known-good image and
+rewrites any frame an SEU (single-event upset) has corrupted.  This
+module provides that loop over the simulated
+:class:`~repro.jbits.bitstream.ConfigMemory`:
+
+* :func:`inject_seu` — seeded fault injection that flips configuration
+  bits *silently* (directly on the bit array, bypassing the dirty-frame
+  tracking), the way a real upset would;
+* :class:`Scrubber` — holds a golden copy of the memory, scans
+  frame-by-frame (:meth:`Scrubber.scan`), classifies every drifted bit
+  (spurious PIP, dropped PIP, LUT/mode corruption, padding) and repairs
+  drifted frames transactionally (:meth:`Scrubber.scrub`) — only
+  corrupted frames are rewritten, so unaffected nets are never
+  disturbed.
+
+The scrubber guards the window *between* checkpoints: a
+:class:`~repro.core.wal.DurableSession` makes routing durable across
+process crashes, while the scrubber keeps the configuration itself
+honest while the process lives.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import errors
+from ..arch import connectivity, wires
+from ..device.fabric import Device
+from ..jbits.bitstream import LUT_BITS, PIP_BITS, ConfigMemory
+
+__all__ = [
+    "ScrubRecord",
+    "ScrubReport",
+    "Scrubber",
+    "inject_seu",
+]
+
+
+def inject_seu(
+    memory: ConfigMemory,
+    *,
+    n_flips: int = 1,
+    seed: int | None = None,
+    rng: random.Random | None = None,
+) -> list[int]:
+    """Flip ``n_flips`` distinct configuration bits, silently.
+
+    Writes the bit array directly — the dirty-frame tracking does NOT
+    see the change, exactly like a radiation upset that no write ever
+    announced.  Returns the flipped absolute bit addresses (sorted), so
+    tests can assert the scrubber found every one.
+    """
+    if rng is None:
+        rng = random.Random(seed)
+    n_bits = len(memory.bits)
+    if not 0 < n_flips <= n_bits:
+        raise errors.BitstreamError(f"cannot flip {n_flips} of {n_bits} bits")
+    addresses = rng.sample(range(n_bits), n_flips)
+    for addr in addresses:
+        memory.bits[addr] ^= 1  # bypasses set_bit: no dirty marking
+    return sorted(addresses)
+
+
+@dataclass(frozen=True, slots=True)
+class ScrubRecord:
+    """One drifted configuration bit, classified.
+
+    ``kind`` is one of:
+
+    ``"spurious-pip"``
+        a PIP bit flipped *on* — the bitstream routes a connection the
+        behavioural state never made;
+    ``"dropped-pip"``
+        a PIP bit flipped *off* — a live net lost a branch;
+    ``"lut"`` / ``"mode"``
+        logic configuration corrupted (truth tables / slice modes);
+    ``"global"`` / ``"padding"``
+        the global-buffer frame or inter-tile padding bits.
+    """
+
+    kind: str
+    frame: int
+    address: int
+    row: int = -1           #: -1 for global/padding bits
+    col: int = -1
+    from_wire: str = ""     #: PIP endpoints (names), for *-pip kinds
+    to_wire: str = ""
+    #: canonical source of the net using the PIP's destination, if any
+    net: int | None = None
+
+    def context(self) -> dict[str, int | str]:
+        """Structured fields, :meth:`RoutingFailure.context`-shaped."""
+        out: dict[str, int | str] = {"row": self.row, "col": self.col}
+        if self.to_wire:
+            out["wire"] = self.to_wire
+        if self.net is not None:
+            out["net"] = self.net
+        return out
+
+    def __str__(self) -> str:
+        where = f"frame {self.frame} bit {self.address}"
+        if self.kind == "spurious-pip":
+            return (
+                f"SEU set PIP {self.from_wire} -> {self.to_wire} at "
+                f"({self.row},{self.col}) [{where}]"
+            )
+        if self.kind == "dropped-pip":
+            tail = f" of net {self.net}" if self.net is not None else ""
+            return (
+                f"SEU cleared PIP {self.from_wire} -> {self.to_wire} at "
+                f"({self.row},{self.col}){tail} [{where}]"
+            )
+        if self.kind in ("lut", "mode"):
+            return (
+                f"SEU corrupted {self.kind} bits at ({self.row},{self.col}) "
+                f"[{where}]"
+            )
+        return f"SEU in {self.kind} region [{where}]"
+
+
+@dataclass(slots=True)
+class ScrubReport:
+    """Result of one scrub pass."""
+
+    frames_scanned: int = 0
+    #: frames whose contents differed from the golden image
+    drifted_frames: list[int] = field(default_factory=list)
+    #: every drifted bit, classified
+    records: list[ScrubRecord] = field(default_factory=list)
+    #: frames rewritten from the golden image
+    frames_repaired: list[int] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.drifted_frames
+
+    def by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for rec in self.records:
+            out[rec.kind] = out.get(rec.kind, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        if self.clean:
+            return f"scrub: {self.frames_scanned} frame(s) clean"
+        kinds = ", ".join(f"{k}={v}" for k, v in sorted(self.by_kind().items()))
+        return (
+            f"scrub: {len(self.drifted_frames)} of {self.frames_scanned} "
+            f"frame(s) drifted ({kinds}); "
+            f"{len(self.frames_repaired)} repaired"
+        )
+
+
+class Scrubber:
+    """Golden-image configuration scrubber for one memory.
+
+    The golden image is a full copy of the memory, taken at construction
+    and refreshed by :meth:`resync` (call it after *sanctioned* changes:
+    routing, LUT loads) or automatically by :meth:`scrub` once a pass
+    leaves live and golden identical.  Between resyncs, any divergence is
+    drift by definition.
+
+    ``device`` (optional) enriches PIP-bit classification with the net
+    that owns the destination wire, mirroring
+    :class:`~repro.jbits.readback.PipMismatch`.
+    """
+
+    def __init__(
+        self, memory: ConfigMemory, *, device: Device | None = None
+    ) -> None:
+        self.memory = memory
+        self.device = device
+        self.golden = memory.copy()
+
+    # -- golden image ----------------------------------------------------------
+
+    def resync(self) -> None:
+        """Adopt the live memory as the new golden image."""
+        self.golden = self.memory.copy()
+
+    # -- detection -------------------------------------------------------------
+
+    def _classify_bit(self, address: int) -> ScrubRecord:
+        frame = self.memory.frame_of_address(address)
+        live_on = bool(self.memory.bits[address])
+        located = self.memory.locate_bit(address)
+        if located is None:
+            kind = "global" if frame == self.memory.n_frames - 1 else "padding"
+            return ScrubRecord(kind, frame, address)
+        row, col, local = located
+        if local >= PIP_BITS:
+            kind = "lut" if local < PIP_BITS + LUT_BITS else "mode"
+            return ScrubRecord(kind, frame, address, row=row, col=col)
+        from_name, to_name = connectivity.PIP_LIST[local]
+        net: int | None = None
+        if self.device is not None:
+            canon = self.device.arch.canonicalize(row, col, to_name)
+            if canon is not None and self.device.state.is_driven(canon):
+                net = self.device.state.root_of(canon)
+        return ScrubRecord(
+            "spurious-pip" if live_on else "dropped-pip",
+            frame,
+            address,
+            row=row,
+            col=col,
+            from_wire=wires.wire_name(from_name),
+            to_wire=wires.wire_name(to_name),
+            net=net,
+        )
+
+    def scan(self) -> ScrubReport:
+        """Frame-by-frame drift detection; classifies but does not repair."""
+        report = ScrubReport(frames_scanned=self.memory.n_frames)
+        report.drifted_frames = self.memory.diff_frames(self.golden)
+        for frame in report.drifted_frames:
+            live = self.memory.get_frame(frame)
+            gold = self.golden.get_frame(frame)
+            base = frame * self.memory.frame_bits
+            for offset in np.flatnonzero(live != gold):
+                report.records.append(self._classify_bit(base + int(offset)))
+        return report
+
+    # -- repair ----------------------------------------------------------------
+
+    def scrub(self) -> ScrubReport:
+        """One detect-classify-repair pass.
+
+        Drifted frames are rewritten from the golden image
+        transactionally: if any rewrite fails to verify, every frame
+        already rewritten in this pass is restored to its pre-scrub
+        contents and :class:`~repro.errors.TransactionError` is raised.
+        Frames that match the golden image are never touched, so nets
+        confined to clean frames are not disturbed.
+        """
+        report = self.scan()
+        undo: list[tuple[int, np.ndarray]] = []
+        try:
+            for frame in report.drifted_frames:
+                before = self.memory.get_frame(frame)
+                self.memory.set_frame(frame, self.golden.get_frame(frame))
+                if not np.array_equal(
+                    self.memory.get_frame(frame), self.golden.get_frame(frame)
+                ):  # pragma: no cover - defensive
+                    raise errors.TransactionError(
+                        f"frame {frame} failed to verify after repair"
+                    )
+                undo.append((frame, before))
+                report.frames_repaired.append(frame)
+        except Exception:
+            for frame, before in reversed(undo):
+                self.memory.set_frame(frame, before)
+            raise
+        return report

@@ -28,7 +28,64 @@ from .. import errors
 from ..device.fabric import Device, PipEvent
 from .netdb import NetDB
 
-__all__ = ["RouteTransaction"]
+__all__ = ["PipJournal", "RouteTransaction"]
+
+
+class PipJournal:
+    """An ordered record of the PIP events a device emitted.
+
+    The journaling core shared by :class:`RouteTransaction` (which undoes
+    the journal on failure) and the write-ahead log
+    (:class:`repro.core.wal.DurableSession`, which persists it).  Attach
+    subscribes to the device's listener mechanism; every ``turn_on``/
+    ``turn_off`` is then appended until :meth:`detach`.
+    """
+
+    __slots__ = ("device", "events", "_attached")
+
+    def __init__(self, device: Device) -> None:
+        self.device = device
+        self.events: list[PipEvent] = []
+        self._attached = False
+
+    def attach(self) -> None:
+        if self._attached:
+            raise errors.TransactionError("journal already attached")
+        self.device.add_listener(self.record)
+        self._attached = True
+
+    def detach(self) -> None:
+        if self._attached:
+            self.device.remove_listener(self.record)
+            self._attached = False
+
+    @property
+    def attached(self) -> bool:
+        return self._attached
+
+    def record(self, event: PipEvent) -> None:
+        self.events.append(event)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def undo(self) -> None:
+        """Replay the journal in reverse, inverting every event.
+
+        The journal is cleared afterwards; the device's listeners (this
+        journal included, when attached) observe the inverse events as
+        ordinary PIP traffic — detach first when that is not wanted.
+        """
+        events = self.events
+        self.events = []
+        for on, rec in reversed(events):
+            if on:
+                self.device.turn_off(rec.row, rec.col, rec.from_name, rec.to_name)
+            else:
+                self.device.turn_on(rec.row, rec.col, rec.from_name, rec.to_name)
 
 
 class RouteTransaction:
@@ -58,7 +115,7 @@ class RouteTransaction:
         self.device = device
         self.netdb = netdb
         self.audit = audit
-        self._journal: list[PipEvent] = []
+        self._journal = PipJournal(device)
         self._net_sinks: dict | None = None
         self._net_source_ep: dict | None = None
         self._port_memory: dict | None = None
@@ -79,19 +136,19 @@ class RouteTransaction:
             }
             self._net_source_ep = dict(self.netdb.net_source_ep)
             self._port_memory = copy.deepcopy(self.netdb.port_memory)
-        self.device.add_listener(self._record)
+        self._journal.attach()
         self.active = True
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        self.device.remove_listener(self._record)
+        self._journal.detach()
         self.active = False
         if exc_type is not None and issubclass(exc_type, errors.JRouteError):
             self.rollback()
         return False
 
     def _record(self, event: PipEvent) -> None:
-        self._journal.append(event)
+        self._journal.record(event)
 
     # -- rollback -------------------------------------------------------------
 
@@ -103,11 +160,9 @@ class RouteTransaction:
     def rollback(self) -> None:
         """Undo every journaled PIP event in reverse and restore the
         net database, then audit state consistency."""
-        for on, rec in reversed(self._journal):
-            if on:
-                self.device.turn_off(rec.row, rec.col, rec.from_name, rec.to_name)
-            else:
-                self.device.turn_on(rec.row, rec.col, rec.from_name, rec.to_name)
+        self._journal.undo()
+        # a mid-transaction rollback journals its own inverse events
+        # (the listener is still attached); drop them too
         self._journal.clear()
         if self.netdb is not None and self._net_sinks is not None:
             self.netdb.net_sinks = self._net_sinks

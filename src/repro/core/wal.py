@@ -1,0 +1,571 @@
+"""Durable routing sessions: write-ahead log, checkpoints, recovery.
+
+The paper's run-time promise assumes the router process lives as long as
+the device it reconfigures.  A long-running routing service breaks that
+assumption: the process can die mid-session while the (simulated) device
+keeps its configuration.  This module makes routing state *durable*:
+
+* :class:`WriteAheadLog` — every :data:`~repro.device.fabric.PipEvent`
+  the device emits is appended, CRC-framed, to a JSON-lines log before
+  the session moves on.  The tail of a crashed write (a torn record) is
+  detected and ignored on replay.
+* checkpoints — :func:`write_checkpoint` snapshots the full session
+  (:class:`~repro.device.state.RoutingState` as a replay-legal PIP list,
+  the :class:`~repro.core.netdb.NetDB` net records, and the
+  :class:`~repro.jbits.bitstream.ConfigMemory` bits) atomically, bounding
+  replay cost; the WAL suffix past the checkpoint's sequence number is
+  all recovery needs to re-apply.
+* :class:`DurableSession` — the listener that does both, extending the
+  :class:`~repro.core.txn.PipJournal` journaling that transactions use.
+* :func:`recover` — rebuilds a :class:`~repro.core.router.JRouter` from
+  checkpoint + WAL, replaying idempotently (an on-event for an on-PIP
+  and an off-event for an off-PIP are no-ops), then reconciles the
+  behavioural state against the bitstream via
+  :func:`repro.jbits.readback.verify_against_device`.  Drift is repaired
+  by :func:`reconcile`: spurious bitstream PIPs are cleared, dropped
+  nets are unrouted (:func:`~repro.core.unroute.unroute_forward`) and
+  re-routed from the net database — only the affected nets are touched.
+
+The WAL records *routing* events only; LUT, slice-mode and global-buffer
+configuration is captured by checkpoints (cores configure those once at
+placement, and :mod:`repro.core.scrub` guards them between checkpoints).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .. import errors
+from ..device.fabric import Device, PipEvent
+from .endpoints import Pin
+from .netdb import NetDB
+from .txn import PipJournal
+from .unroute import unroute_forward
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..jbits.readback import PipMismatch
+    from .router import JRouter
+
+__all__ = [
+    "WalRecord",
+    "WriteAheadLog",
+    "write_checkpoint",
+    "load_checkpoint",
+    "DurableSession",
+    "RecoveryReport",
+    "recover",
+    "reconcile",
+]
+
+WAL_VERSION = 1
+CKPT_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class WalRecord:
+    """One intact, CRC-verified WAL entry."""
+
+    seq: int
+    on: bool
+    row: int
+    col: int
+    from_name: int
+    to_name: int
+
+
+def _crc(payload: dict) -> int:
+    return zlib.crc32(json.dumps(payload, sort_keys=True).encode("ascii"))
+
+
+class WriteAheadLog:
+    """Append-only, CRC-framed log of PIP events (JSON lines).
+
+    The first line is a header naming the part; every further line is one
+    event with a sequence number and a CRC over its own payload.  Opening
+    an existing log scans it to find the next sequence number, so a
+    session can resume appending after a restart.
+    """
+
+    def __init__(self, path: str, *, part: str) -> None:
+        self.path = path
+        self.part = part
+        self.next_seq = 0
+        if os.path.exists(path) and os.path.getsize(path) > 0:
+            header, records, _torn = self._scan(path)
+            if header.get("part") != part:
+                raise errors.TransactionError(
+                    f"WAL {path} is for part {header.get('part')!r}, "
+                    f"not {part!r}"
+                )
+            if records:
+                self.next_seq = records[-1].seq + 1
+            self._fh = open(path, "a", encoding="ascii")
+        else:
+            self._fh = open(path, "w", encoding="ascii")
+            self._fh.write(
+                json.dumps({"wal": WAL_VERSION, "part": part}) + "\n"
+            )
+            self._fh.flush()
+
+    # -- writing ---------------------------------------------------------------
+
+    def append(self, event: PipEvent) -> int:
+        """Durably append one PIP event; returns its sequence number."""
+        on, rec = event
+        seq = self.next_seq
+        payload = {
+            "seq": seq,
+            "on": bool(on),
+            "row": rec.row,
+            "col": rec.col,
+            "from": rec.from_name,
+            "to": rec.to_name,
+        }
+        payload["crc"] = _crc(payload)
+        self._fh.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._fh.flush()
+        self.next_seq = seq + 1
+        return seq
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reading ---------------------------------------------------------------
+
+    @staticmethod
+    def _scan(path: str) -> tuple[dict, list[WalRecord], bool]:
+        """Parse header + intact records; a torn/corrupt tail stops the
+        scan (everything after the first bad line is ignored)."""
+        records: list[WalRecord] = []
+        torn = False
+        with open(path, "r", encoding="ascii") as fh:
+            header_line = fh.readline()
+            try:
+                header = json.loads(header_line)
+            except ValueError:
+                raise errors.TransactionError(f"{path}: not a WAL (bad header)")
+            if not isinstance(header, dict) or header.get("wal") != WAL_VERSION:
+                raise errors.TransactionError(f"{path}: not a WAL (bad header)")
+            expect = 0
+            for line in fh:
+                try:
+                    payload = json.loads(line)
+                    crc = payload.pop("crc")
+                    ok = (
+                        crc == _crc(payload)
+                        and payload["seq"] == expect
+                    )
+                except (ValueError, KeyError, TypeError):
+                    ok = False
+                if not ok:
+                    torn = True
+                    break
+                records.append(
+                    WalRecord(
+                        payload["seq"],
+                        bool(payload["on"]),
+                        payload["row"],
+                        payload["col"],
+                        payload["from"],
+                        payload["to"],
+                    )
+                )
+                expect += 1
+        return header, records, torn
+
+    @classmethod
+    def replay(cls, path: str) -> tuple[str, list[WalRecord], bool]:
+        """Read a WAL for recovery.
+
+        Returns ``(part, records, torn)`` where ``records`` are the
+        intact prefix (a torn tail — the crash artifact — is dropped).
+        """
+        header, records, torn = cls._scan(path)
+        return header["part"], records, torn
+
+
+# -- checkpoints ---------------------------------------------------------------
+
+
+def _replay_legal_pips(device: Device) -> list[list[int]]:
+    """All on-PIPs as ``[row, col, from, to]``, drivers before driven.
+
+    Preorder per net tree, so replaying with ``turn_on`` in order can
+    never trip the contention or loop checks.
+    """
+    state = device.state
+    out: list[list[int]] = []
+    roots = sorted(
+        w for w in state.children if state.driver[w] == -1
+    )
+    for root in roots:
+        for rec in state.net_pips(root):
+            out.append([rec.row, rec.col, rec.from_name, rec.to_name])
+    return out
+
+
+def checkpoint_path_for(wal_path: str) -> str:
+    """Default checkpoint path alongside a WAL."""
+    return wal_path + ".ckpt"
+
+
+def write_checkpoint(
+    path: str,
+    device: Device,
+    *,
+    seq: int,
+    netdb: NetDB | None = None,
+    memory=None,
+) -> None:
+    """Atomically snapshot a session at WAL sequence ``seq``.
+
+    ``memory`` is the session's :class:`ConfigMemory` (usually
+    ``router.jbits.memory``); its bits capture LUT/mode/global state that
+    PIP events do not.  The file is written to a temporary name and
+    renamed into place, so a crash mid-checkpoint leaves the previous
+    checkpoint intact.
+    """
+    nets = {}
+    if netdb is not None:
+        for src, sinks in netdb.net_sinks.items():
+            ep = netdb.net_source_ep.get(src)
+            if isinstance(ep, Pin):
+                ep_ser = [ep.row, ep.col, ep.wire]
+            else:
+                # ports do not survive a process crash (no live core
+                # objects); fall back to the source wire's primary pin
+                ep_ser = None
+            nets[str(src)] = {"sinks": sorted(sinks), "ep": ep_ser}
+    body: dict = {
+        "ckpt": CKPT_VERSION,
+        "part": device.arch.part.name,
+        "seq": seq,
+        "pips": _replay_legal_pips(device),
+        "nets": nets,
+    }
+    if memory is not None:
+        packed = np.packbits(memory.bits)
+        body["memory"] = {
+            "n_bits": int(len(memory.bits)),
+            "b64": base64.b64encode(packed.tobytes()).decode("ascii"),
+            "dirty": sorted(memory.dirty_frames),
+        }
+    body["crc"] = _crc(body)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="ascii") as fh:
+        json.dump(body, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str) -> dict:
+    """Read and CRC-verify a checkpoint file."""
+    with open(path, "r", encoding="ascii") as fh:
+        body = json.load(fh)
+    crc = body.pop("crc", None)
+    if body.get("ckpt") != CKPT_VERSION or crc != _crc(body):
+        raise errors.TransactionError(f"{path}: corrupt checkpoint")
+    return body
+
+
+# -- the session listener ------------------------------------------------------
+
+
+class _WalJournal(PipJournal):
+    """A :class:`PipJournal` that also persists every event to a WAL."""
+
+    __slots__ = ("wal", "after")
+
+    def __init__(self, device: Device, wal: WriteAheadLog, after=None) -> None:
+        super().__init__(device)
+        self.wal = wal
+        #: called after each persisted event (auto-checkpoint hook)
+        self.after = after
+
+    def record(self, event: PipEvent) -> None:
+        super().record(event)
+        self.wal.append(event)
+        if self.after is not None:
+            self.after()
+
+
+class DurableSession:
+    """Write-ahead logging plus periodic checkpoints for one router.
+
+    Attach it around any stretch of routing work::
+
+        with DurableSession(router, "session.wal", checkpoint_every=256):
+            router.route(...)        # every PIP event hits the WAL first
+        # crash at ANY point: recover("session.wal") rebuilds the state
+
+    Parameters
+    ----------
+    router:
+        The :class:`~repro.core.router.JRouter` whose device to journal.
+    wal_path:
+        Log file; an existing compatible WAL is resumed, not truncated.
+    checkpoint_every:
+        Auto-checkpoint after this many logged events (None = manual
+        :meth:`checkpoint` only).  Checkpoints bound replay time and are
+        atomic — a crash mid-checkpoint falls back to the previous one.
+    """
+
+    def __init__(
+        self,
+        router: "JRouter",
+        wal_path: str,
+        *,
+        checkpoint_every: int | None = None,
+    ) -> None:
+        if router.jbits is None:
+            raise errors.TransactionError(
+                "DurableSession needs a JBits-attached router (the "
+                "checkpoint captures the configuration memory)"
+            )
+        self.router = router
+        self.wal = WriteAheadLog(wal_path, part=router.device.arch.part.name)
+        self.checkpoint_every = checkpoint_every
+        self._last_ckpt_seq = self.wal.next_seq
+        self._journal = _WalJournal(
+            router.device, self.wal, after=self._maybe_checkpoint
+        )
+
+    @property
+    def seq(self) -> int:
+        """Sequence number the next event will get."""
+        return self.wal.next_seq
+
+    def __enter__(self) -> "DurableSession":
+        self._journal.attach()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self._journal.detach()
+        self.wal.close()
+
+    def _maybe_checkpoint(self) -> None:
+        if (
+            self.checkpoint_every is not None
+            and self.wal.next_seq - self._last_ckpt_seq >= self.checkpoint_every
+        ):
+            self.checkpoint()
+
+    def checkpoint(self, path: str | None = None) -> str:
+        """Snapshot the session now; returns the checkpoint path."""
+        path = checkpoint_path_for(self.wal.path) if path is None else path
+        write_checkpoint(
+            path,
+            self.router.device,
+            seq=self.wal.next_seq,
+            netdb=self.router.netdb,
+            memory=self.router.jbits.memory,
+        )
+        self._last_ckpt_seq = self.wal.next_seq
+        return path
+
+
+# -- recovery ------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class RecoveryReport:
+    """What :func:`recover` did to rebuild a session."""
+
+    #: checkpoint sequence the replay started from (0 = no checkpoint)
+    checkpoint_seq: int = 0
+    #: WAL records re-applied after the checkpoint
+    replayed: int = 0
+    #: records skipped because their effect was already present
+    #: (idempotent replay of the checkpoint/WAL overlap)
+    skipped: int = 0
+    #: a torn record terminated the WAL (the crash artifact)
+    torn_tail: bool = False
+    #: bitstream/state drift found after replay (structured records)
+    mismatches: list = field(default_factory=list)
+    #: net sources unrouted + re-routed to repair drift
+    nets_rerouted: list[int] = field(default_factory=list)
+    #: nets routed after the checkpoint, rebuilt into the NetDB by
+    #: tracing the replayed routing state
+    nets_reconstructed: int = 0
+    #: post-recovery configuration digest (RoutingState.fingerprint)
+    fingerprint: str = ""
+
+    def summary(self) -> str:
+        line = (
+            f"recovered from seq {self.checkpoint_seq}: "
+            f"{self.replayed} event(s) replayed, {self.skipped} skipped"
+        )
+        if self.torn_tail:
+            line += ", torn tail dropped"
+        if self.nets_reconstructed:
+            line += f", {self.nets_reconstructed} net record(s) rebuilt"
+        if self.mismatches:
+            line += (
+                f", {len(self.mismatches)} drift record(s), "
+                f"{len(self.nets_rerouted)} net(s) re-routed"
+            )
+        return line
+
+
+def _apply_record(device: Device, rec: WalRecord) -> bool:
+    """Idempotently apply one WAL record; returns True when it changed
+    anything (False = skipped)."""
+    if rec.on:
+        if device.pip_is_on(rec.row, rec.col, rec.from_name, rec.to_name):
+            return False
+        device.turn_on(rec.row, rec.col, rec.from_name, rec.to_name)
+        return True
+    if not device.pip_is_on(rec.row, rec.col, rec.from_name, rec.to_name):
+        return False
+    device.turn_off(rec.row, rec.col, rec.from_name, rec.to_name)
+    return True
+
+
+def recover(
+    wal_path: str,
+    *,
+    checkpoint_path: str | None = None,
+    router_kwargs: dict | None = None,
+) -> tuple["JRouter", RecoveryReport]:
+    """Rebuild a router from a WAL (and checkpoint, when one exists).
+
+    The checkpoint restores the bulk state; the WAL suffix past its
+    sequence number is replayed idempotently; finally the behavioural
+    state is reconciled against the recovered bitstream
+    (:func:`reconcile`).  Returns the fresh
+    :class:`~repro.core.router.JRouter` and a :class:`RecoveryReport`.
+    """
+    from .router import JRouter  # local import: router imports this module's deps
+
+    part, records, torn = WriteAheadLog.replay(wal_path)
+    report = RecoveryReport(torn_tail=torn)
+    kwargs = dict(router_kwargs or {})
+    kwargs.setdefault("part", part)
+    kwargs["attach_jbits"] = True
+    router = JRouter(**kwargs)
+    device = router.device
+    assert router.jbits is not None
+
+    if checkpoint_path is None:
+        checkpoint_path = checkpoint_path_for(wal_path)
+    ckpt: dict | None = None
+    if os.path.exists(checkpoint_path):
+        ckpt = load_checkpoint(checkpoint_path)
+        if ckpt["part"] != part:
+            raise errors.TransactionError(
+                f"checkpoint part {ckpt['part']!r} != WAL part {part!r}"
+            )
+    if ckpt is not None:
+        report.checkpoint_seq = ckpt["seq"]
+        for row, col, from_name, to_name in ckpt["pips"]:
+            device.turn_on(row, col, from_name, to_name)
+        for src_str, net in ckpt["nets"].items():
+            src = int(src_str)
+            ep_ser = net["ep"]
+            if ep_ser is not None:
+                ep = Pin(ep_ser[0], ep_ser[1], ep_ser[2])
+            else:
+                ep = Pin(*device.arch.primary_name(src))
+            router.netdb.record_net(src, ep, net["sinks"])
+        mem_ser = ckpt.get("memory")
+        if mem_ser is not None:
+            packed = np.frombuffer(
+                base64.b64decode(mem_ser["b64"]), dtype=np.uint8
+            )
+            bits = np.unpackbits(packed)[: mem_ser["n_bits"]]
+            memory = router.jbits.memory
+            memory.bits = bits.astype(np.uint8).copy()
+            memory._dirty = set(mem_ser["dirty"])
+
+    for rec in records:
+        if rec.seq < report.checkpoint_seq:
+            continue
+        if _apply_record(device, rec):
+            report.replayed += 1
+        else:
+            report.skipped += 1
+
+    # Nets routed after the last checkpoint exist only as replayed PIP
+    # events; rebuild their NetDB records by tracing the state forest.
+    # Symmetrically, nets the checkpoint knew but the WAL suffix unrouted
+    # no longer drive anything: drop their stale records.
+    from .tracer import trace_net
+
+    state = device.state
+    for root in sorted(w for w in state.children if state.driver[w] == -1):
+        if root in router.netdb.net_sinks:
+            continue
+        trace = trace_net(device, root)
+        router.netdb.record_net(
+            root, Pin(*device.arch.primary_name(root)), trace.sinks
+        )
+        report.nets_reconstructed += 1
+    for src in list(router.netdb.net_sinks):
+        if not state.children_of(src):
+            router.netdb.drop_net(src)
+
+    report.mismatches, report.nets_rerouted = reconcile(router)
+    report.fingerprint = device.state.fingerprint()
+    return router, report
+
+
+def reconcile(router: "JRouter") -> tuple[list["PipMismatch"], list[int]]:
+    """Repair drift between behavioural state and the bitstream.
+
+    Spurious bitstream PIPs (bits with no behavioural backing) are
+    cleared; nets with dropped PIPs (behavioural branches the bitstream
+    lost) are unrouted with :func:`unroute_forward` and re-routed from
+    the net database — only the affected nets are disturbed.  Returns
+    ``(mismatches_found, net_sources_rerouted)``.
+    """
+    from ..arch import connectivity
+    from ..jbits.readback import verify_against_device
+
+    jbits = router.jbits
+    if jbits is None:
+        return [], []
+    device = router.device
+    mismatches = verify_against_device(jbits.memory, device)
+    if not mismatches:
+        return [], []
+    rerouted: list[int] = []
+    dropped_nets: set[int] = set()
+    for m in mismatches:
+        if m.kind == "spurious":
+            slot = connectivity.pip_slot(m.from_id, m.to_id)
+            addr = jbits.memory.tile_bit_address(m.row, m.col, slot)
+            jbits.memory.set_bit(addr, False)
+        elif m.net is not None:
+            dropped_nets.add(m.net)
+    for src in sorted(dropped_nets):
+        sinks = sorted(router.netdb.net_sinks.get(src, ()))
+        ep = router.netdb.net_source_ep.get(src)
+        unroute_forward(device, src)
+        router.netdb.drop_net(src)
+        if sinks:
+            if ep is None:
+                ep = Pin(*device.arch.primary_name(src))
+            sink_eps = [
+                Pin(*device.arch.primary_name(c)) for c in sinks
+            ]
+            router._route_net(ep, sink_eps)
+        rerouted.append(src)
+    return mismatches, rerouted

@@ -125,7 +125,10 @@ class BoardScope:
         """
         problems = list(audit_no_contention(self.device))
         if self.jbits is not None:
-            problems.extend(verify_against_device(self.jbits.memory, self.device))
+            problems.extend(
+                str(m)
+                for m in verify_against_device(self.jbits.memory, self.device)
+            )
         return problems
 
     # -- wire-level poking -----------------------------------------------------------------

@@ -12,6 +12,7 @@ availability checks (vectorised masking in the maze router).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -145,6 +146,21 @@ class RoutingState:
     def used_wires(self) -> np.ndarray:
         """Canonical ids of all wires currently in use (sorted)."""
         return np.flatnonzero(self.occupied)
+
+    def fingerprint(self) -> str:
+        """Order-independent digest of the full PIP configuration.
+
+        Two states fingerprint equal iff the same PIPs are on — the
+        cheap equality check crash-recovery uses to prove a recovered
+        state matches an uninterrupted run without comparing arrays.
+        """
+        h = hashlib.sha256()
+        for canon_to in sorted(self.pip_of):
+            rec = self.pip_of[canon_to]
+            h.update(
+                b"%d,%d,%d,%d;" % (rec.row, rec.col, rec.from_name, rec.to_name)
+            )
+        return h.hexdigest()
 
     # -- auditing ---------------------------------------------------------------
 

@@ -21,6 +21,7 @@ __all__ = [
     "ContentionError",
     "RoutingLoopError",
     "UnroutableError",
+    "DeadlineExceededError",
     "FaultError",
     "TransactionError",
     "PortError",
@@ -119,6 +120,20 @@ class UnroutableError(RoutingFailure):
 
     ``row``/``col``/``wire`` locate the unreached target and ``net`` the
     source wire of the request, when known.
+    """
+
+
+class DeadlineExceededError(RoutingFailure):
+    """A search ran past its cooperative deadline and was abandoned.
+
+    Raised by the deadline-aware routers (:mod:`repro.core.deadline`)
+    when a :class:`~repro.core.deadline.Deadline` expires or is
+    cancelled mid-search.  Everything applied before the trip is rolled
+    back by the usual transaction machinery; ``search_stats`` carries
+    the partial instrumentation of the abandoned search.  The
+    :class:`~repro.core.router.JRouter` converts this into a partial
+    :class:`~repro.core.recovery.RoutingReport` instead of letting it
+    escape to the caller.
     """
 
 

@@ -19,7 +19,12 @@ from .bitstream import (
 )
 from .jbits import LUT_S0F, LUT_S0G, LUT_S1F, LUT_S1G, JBits
 from .packets import apply_bitstream, parse_packets, write_bitstream
-from .readback import decode_global_buffers, decode_pips, verify_against_device
+from .readback import (
+    PipMismatch,
+    decode_global_buffers,
+    decode_pips,
+    verify_against_device,
+)
 
 __all__ = [
     "ConfigMemory",
@@ -39,4 +44,5 @@ __all__ = [
     "decode_pips",
     "decode_global_buffers",
     "verify_against_device",
+    "PipMismatch",
 ]

@@ -156,8 +156,29 @@ class ConfigMemory:
             self.bits, other.bits
         )
 
-    def __hash__(self) -> int:  # pragma: no cover - not hashable in practice
-        raise TypeError("ConfigMemory is mutable and unhashable")
+    # mutable container with value equality: explicitly unhashable (the
+    # standard way — ``hash(mem)`` raises TypeError, and tools that probe
+    # ``__hash__ is None`` see a consistent eq/hash contract)
+    __hash__ = None  # type: ignore[assignment]
+
+    def locate_bit(self, address: int) -> tuple[int, int, int] | None:
+        """Map an absolute bit address back to ``(row, col, local_bit)``.
+
+        The inverse of :meth:`tile_bit_address`, used by the scrubber to
+        classify configuration drift.  Returns None for addresses outside
+        any tile region (column padding or the global frame).
+        """
+        if not 0 <= address < len(self.bits):
+            raise errors.BitstreamError(f"bit address {address} out of range")
+        frame = address // self.frame_bits
+        if frame == self._global_frame:
+            return None
+        col, frame_in_col = divmod(frame, FRAMES_PER_COLUMN)
+        within_column = frame_in_col * self.frame_bits + address % self.frame_bits
+        row, local_bit = divmod(within_column, TILE_BITS)
+        if row >= self.rows:
+            return None  # padding past the last tile of the column
+        return row, col, local_bit
 
     def diff_frames(self, other: "ConfigMemory") -> list[int]:
         """Frames whose contents differ between two memories."""

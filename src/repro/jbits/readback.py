@@ -9,13 +9,68 @@ that the bit-level view and the behavioural routing state never diverge.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..arch import connectivity, wires
 from ..device.fabric import Device
 from .bitstream import FRAMES_PER_COLUMN, PIP_BITS, TILE_BITS, ConfigMemory
 
-__all__ = ["decode_pips", "decode_global_buffers", "verify_against_device"]
+__all__ = [
+    "PipMismatch",
+    "decode_pips",
+    "decode_global_buffers",
+    "verify_against_device",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PipMismatch:
+    """One PIP-level discrepancy between bitstream and device state.
+
+    ``kind`` is ``"spurious"`` when the bitstream has a PIP the device
+    state does not (the classification of an SEU *setting* a PIP bit) and
+    ``"dropped"`` when the device state has a PIP the bitstream lost.
+    The location fields mirror :meth:`repro.errors.RoutingFailure.context`
+    so scrub reports, E16 fault reports and readback verification share
+    one structured shape.
+    """
+
+    kind: str          #: "spurious" | "dropped"
+    row: int
+    col: int
+    from_wire: str     #: wire *names* (strings), ready for reports
+    to_wire: str
+    #: canonical source id of the net the device state drives through the
+    #: PIP's destination wire, when known (None for spurious PIPs that
+    #: touch no live net)
+    net: int | None = None
+    #: numeric wire-name ids, for machine repair (scrubber, reconcile)
+    from_id: int = -1
+    to_id: int = -1
+
+    def context(self) -> dict[str, int | str]:
+        """Structured fields, :meth:`RoutingFailure.context`-shaped."""
+        out: dict[str, int | str] = {
+            "row": self.row,
+            "col": self.col,
+            "wire": self.to_wire,
+        }
+        if self.net is not None:
+            out["net"] = self.net
+        return out
+
+    def __str__(self) -> str:
+        if self.kind == "spurious":
+            return (
+                f"bitstream has PIP {self.from_wire} -> {self.to_wire} "
+                f"at ({self.row},{self.col}) but the device state does not"
+            )
+        return (
+            f"device state has PIP {self.from_wire} -> {self.to_wire} "
+            f"at ({self.row},{self.col}) but the bitstream does not"
+        )
 
 
 def decode_pips(mem: ConfigMemory) -> set[tuple[int, int, int, int]]:
@@ -46,29 +101,43 @@ def decode_global_buffers(mem: ConfigMemory) -> tuple[bool, ...]:
     )
 
 
-def verify_against_device(mem: ConfigMemory, device: Device) -> list[str]:
+def verify_against_device(mem: ConfigMemory, device: Device) -> list[PipMismatch]:
     """Compare bit-level routing with the device's behavioural state.
 
-    Returns human-readable discrepancies (empty when coherent).  Used by
-    the test suite after every routing scenario and by the debug tools'
-    self-check.
+    Returns structured :class:`PipMismatch` records (empty when
+    coherent); ``str(mismatch)`` renders the human-readable line.  Used
+    by the test suite after every routing scenario, by the debug tools'
+    self-check and by the scrubber's drift classification.
     """
-    problems: list[str] = []
+    problems: list[PipMismatch] = []
     bit_pips = decode_pips(mem)
     state_pips = {
         (rec.row, rec.col, rec.from_name, rec.to_name)
         for rec in device.state.pip_of.values()
     }
-    for p in sorted(bit_pips - state_pips):
-        row, col, f, t = p
+
+    def net_of(row: int, col: int, to_name: int) -> int | None:
+        canon = device.arch.canonicalize(row, col, to_name)
+        if canon is None or not device.state.is_driven(canon):
+            return None
+        return device.state.root_of(canon)
+
+    for row, col, f, t in sorted(bit_pips - state_pips):
         problems.append(
-            f"bitstream has PIP {wires.wire_name(f)} -> {wires.wire_name(t)} "
-            f"at ({row},{col}) but the device state does not"
+            PipMismatch(
+                "spurious", row, col,
+                wires.wire_name(f), wires.wire_name(t),
+                net=net_of(row, col, t),
+                from_id=f, to_id=t,
+            )
         )
-    for p in sorted(state_pips - bit_pips):
-        row, col, f, t = p
+    for row, col, f, t in sorted(state_pips - bit_pips):
         problems.append(
-            f"device state has PIP {wires.wire_name(f)} -> {wires.wire_name(t)} "
-            f"at ({row},{col}) but the bitstream does not"
+            PipMismatch(
+                "dropped", row, col,
+                wires.wire_name(f), wires.wire_name(t),
+                net=net_of(row, col, t),
+                from_id=f, to_id=t,
+            )
         )
     return problems

@@ -14,6 +14,7 @@ from .. import errors
 from ..arch import wires
 from ..arch.templates import TemplateValue as TV
 from ..arch.wires import WireClass
+from ..core.deadline import Deadline
 from ..device.fabric import Device
 from .base import PlanPip
 from .maze import route_maze
@@ -47,12 +48,14 @@ def route_point_to_point(
     template_budget: int = 4_000,
     heuristic_weight: float = 0.0,
     max_nodes: int = 200_000,
+    deadline: Deadline | None = None,
 ) -> P2PResult:
     """Plan a route from wire ``source`` to wire ``sink``.
 
     Templates are only attempted for the common CLB-output to CLB-input
     case with no tree reuse; everything else (odd endpoint classes, net
-    extension) goes straight to the maze router.
+    extension) goes straight to the maze router.  A ``deadline`` is
+    checked between template attempts and bounds the maze fallback.
     """
     arch = device.arch
     if device.state.occupied[sink]:
@@ -76,6 +79,8 @@ def route_point_to_point(
             tr, tc, _ = arch.primary_name(sink)
             candidates = predefined_templates(tr - sr, tc - sc)
             for tmpl in candidates:
+                if deadline is not None:
+                    deadline.check("template attempt")
                 templates_tried += 1
                 try:
                     plan = route_template(
@@ -96,6 +101,7 @@ def route_point_to_point(
         use_longs=use_longs,
         heuristic_weight=heuristic_weight,
         max_nodes=max_nodes,
+        deadline=deadline,
     )
     return P2PResult(
         result.plan,

@@ -22,6 +22,7 @@ from typing import Sequence
 
 from .. import errors
 from ..arch import wires
+from ..core.deadline import Deadline
 from ..device.fabric import Device
 from .base import PlanPip, apply_plan
 from .maze import route_maze
@@ -47,6 +48,7 @@ def route_fanout(
     use_longs: bool = False,
     heuristic_weight: float = 0.0,
     max_nodes: int = 200_000,
+    deadline: Deadline | None = None,
 ) -> FanoutResult:
     """Route one source to many sinks, reusing the growing tree.
 
@@ -54,7 +56,9 @@ def route_fanout(
     see the previous sinks' wires as reusable tree); on failure for any
     sink the entire call is rolled back and
     :class:`~repro.errors.UnroutableError` is raised — the net is either
-    fully routed or untouched.
+    fully routed or untouched.  A ``deadline`` bounds every per-sink
+    search; a trip mid-fanout likewise rolls the whole call back before
+    :class:`~repro.errors.DeadlineExceededError` propagates.
     """
     arch = device.arch
     sr, sc, _ = arch.primary_name(source)
@@ -84,6 +88,7 @@ def route_fanout(
                     use_longs=use_longs,
                     heuristic_weight=heuristic_weight,
                     max_nodes=max_nodes,
+                    deadline=deadline,
                 )
             except errors.UnroutableError as e:
                 r, c, n = arch.primary_name(sink)

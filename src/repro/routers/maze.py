@@ -27,6 +27,7 @@ from typing import Collection, Iterable
 from .. import errors
 from ..arch import wires
 from ..arch.wires import WireClass
+from ..core.deadline import Deadline
 from ..core.kernel import SearchStats, dijkstra, extract_plan
 from ..device.fabric import Device
 from .base import PlanPip
@@ -115,6 +116,7 @@ def route_maze(
     avoid_classes: Collection[WireClass] = (),
     heuristic_weight: float = 0.0,
     max_nodes: int = 200_000,
+    deadline: Deadline | None = None,
 ) -> MazeResult:
     """Find a cheapest free path from any source wire to any target wire.
 
@@ -142,6 +144,10 @@ def route_maze(
     max_nodes:
         Expansion budget before giving up with
         :class:`~repro.errors.UnroutableError`.
+    deadline:
+        Optional cooperative :class:`~repro.core.deadline.Deadline`; a
+        search that runs past it raises
+        :class:`~repro.errors.DeadlineExceededError`.
 
     Returns a :class:`MazeResult` whose plan drives wires in source-to-
     sink order.  Raises :class:`~repro.errors.UnroutableError` when no
@@ -249,7 +255,7 @@ def route_maze(
         h = None
 
     stats = SearchStats()
-    goal, goal_cost, expanded, _pushes, faults_avoided, exceeded = dijkstra(
+    goal, goal_cost, expanded, _pushes, faults_avoided, exceeded, timed_out = dijkstra(
         graph,
         state,
         start_set,
@@ -262,8 +268,20 @@ def route_maze(
         fault_edge=graph.fault_edge_mask(faults) if faults is not None else None,
         max_nodes=max_nodes,
         stats=stats,
+        deadline=deadline,
     )
 
+    if timed_out:
+        tr, tc, tn = arch.primary_name(next(iter(target_set)))
+        raise errors.DeadlineExceededError(
+            "maze search abandoned: deadline expired",
+            row=tr,
+            col=tc,
+            wire=wires.wire_name(tn),
+            net=min(source_set) if source_set else None,
+            faults_avoided=faults_avoided,
+            search_stats=stats,
+        )
     if exceeded:
         raise errors.UnroutableError(
             f"maze search exceeded {max_nodes} node expansions",

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from .. import errors
+from ..core.deadline import Deadline
 from ..core.kernel import SearchState, SearchStats, dijkstra, extract_plan
 from ..device.fabric import Device
 from .base import PlanPip, apply_plan
@@ -63,6 +64,8 @@ class PathFinderResult:
     stats: SearchStats = field(default_factory=SearchStats)
     #: concurrency the run was executed with
     workers: int = 1
+    #: the run was abandoned because its deadline expired (nothing applied)
+    timed_out: bool = False
 
 
 def _partition(
@@ -108,6 +111,7 @@ def route_pathfinder(
     max_nodes_per_net: int = 400_000,
     apply: bool = True,
     workers: int = 1,
+    deadline: Deadline | None = None,
 ) -> PathFinderResult:
     """Route ``nets`` with negotiated congestion, then apply to the device.
 
@@ -121,6 +125,10 @@ def route_pathfinder(
     concurrently per iteration; see the module docstring.  ``workers=1``
     reproduces the serial algorithm exactly (plan-identical to the
     pre-kernel implementation).
+
+    A ``deadline`` bounds the whole negotiation: when it expires the run
+    is abandoned mid-iteration, nothing is applied, and the result comes
+    back with ``converged=False, timed_out=True`` (no exception escapes).
     """
     arch = device.arch
     graph = device.routing_graph()
@@ -173,7 +181,7 @@ def route_pathfinder(
         tree: set[int] = {net.source}
         plans[idx] = []
         for sink in sink_order(net):
-            goal, _cost, _exp, _pushes, _fav, exceeded = dijkstra(
+            goal, _cost, _exp, _pushes, _fav, exceeded, search_timed_out = dijkstra(
                 graph,
                 state,
                 tree,
@@ -184,7 +192,13 @@ def route_pathfinder(
                 congestion=(counts, history, pf),
                 max_nodes=max_nodes_per_net,
                 stats=local_stats,
+                deadline=deadline,
             )
+            if search_timed_out:
+                raise errors.DeadlineExceededError(
+                    f"pathfinder net {idx}: deadline expired at sink {sink}",
+                    search_stats=local_stats,
+                )
             if exceeded:
                 raise errors.UnroutableError(
                     f"pathfinder net {idx}: node budget exhausted",
@@ -239,35 +253,43 @@ def route_pathfinder(
         return local_stats
 
     converged = False
+    timed_out = False
     iteration = 0
     for iteration in range(1, max_iterations + 1):
-        if n_workers > 1:
-            with ThreadPoolExecutor(max_workers=n_workers) as pool:
-                futures = [
-                    pool.submit(run_group, gi, group, present_factor)
-                    for gi, group in enumerate(groups)
-                ]
-                for fut in futures:
-                    stats.merge(fut.result())
-            rebuild_usage()
-        else:
-            for idx, net in enumerate(nets):
-                # rip up before re-pricing this net's search
-                for w in net_wires[idx]:
-                    users = usage.get(w)
-                    if users:
-                        users.discard(idx)
+        try:
+            if n_workers > 1:
+                with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                    futures = [
+                        pool.submit(run_group, gi, group, present_factor)
+                        for gi, group in enumerate(groups)
+                    ]
+                    for fut in futures:
+                        stats.merge(fut.result())
+                rebuild_usage()
+            else:
+                for idx, net in enumerate(nets):
+                    # rip up before re-pricing this net's search
+                    for w in net_wires[idx]:
+                        users = usage.get(w)
+                        if users:
+                            users.discard(idx)
+                            use_count[w] = len(users)
+                            if not users:
+                                del usage[w]
+                    net_wires[idx] = set()
+                    route_net(
+                        idx, net, use_count, serial_state, present_factor, stats
+                    )
+                    for w in net_wires[idx]:
+                        users = usage.setdefault(w, set())
+                        users.add(idx)
                         use_count[w] = len(users)
-                        if not users:
-                            del usage[w]
-                net_wires[idx] = set()
-                route_net(
-                    idx, net, use_count, serial_state, present_factor, stats
-                )
-                for w in net_wires[idx]:
-                    users = usage.setdefault(w, set())
-                    users.add(idx)
-                    use_count[w] = len(users)
+        except errors.DeadlineExceededError:
+            # abandon the whole negotiation: nothing has been applied to
+            # the device yet, so the structured "partial" outcome is just
+            # the honest not-converged result
+            timed_out = True
+            break
         shared = [w for w, users in usage.items() if len(users) > 1]
         if not shared:
             converged = True
@@ -281,6 +303,7 @@ def route_pathfinder(
         converged=converged,
         stats=stats,
         workers=n_workers,
+        timed_out=timed_out,
     )
     if converged:
         for idx in range(len(nets)):

@@ -1,0 +1,183 @@
+"""Deadline tokens, bounded searches and the per-net circuit breaker."""
+
+import pytest
+
+from repro import errors
+from repro.arch import wires
+from repro.bench.workloads import random_p2p_nets
+from repro.core import CircuitBreaker, Deadline, JRouter, Pin
+from repro.core.deadline import CHECK_MASK
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestDeadlineToken:
+    def test_not_expired_within_budget(self):
+        clock = FakeClock()
+        d = Deadline(10.0, clock=clock)
+        assert not d.expired()
+        clock.advance(0.009)
+        assert not d.expired()
+
+    def test_expires_after_budget(self):
+        clock = FakeClock()
+        d = Deadline(10.0, clock=clock)
+        clock.advance(0.011)
+        assert d.expired()
+
+    def test_remaining_ms_counts_down(self):
+        clock = FakeClock()
+        d = Deadline(10.0, clock=clock)
+        assert d.remaining_ms() == pytest.approx(10.0)
+        clock.advance(0.004)
+        assert d.remaining_ms() == pytest.approx(6.0)
+        clock.advance(1.0)
+        assert d.remaining_ms() == 0.0
+
+    def test_unbounded_never_expires(self):
+        d = Deadline(None, clock=FakeClock())
+        assert not d.expired()
+        assert d.remaining_ms() == float("inf")
+
+    def test_cancel_expires_immediately(self):
+        d = Deadline(None, clock=FakeClock())
+        d.cancel()
+        assert d.expired()
+        with pytest.raises(errors.DeadlineExceededError):
+            d.check()
+
+    def test_check_raises_structured_failure(self):
+        clock = FakeClock()
+        d = Deadline(1.0, clock=clock)
+        d.check()  # within budget: no-op
+        clock.advance(0.002)
+        with pytest.raises(errors.DeadlineExceededError) as ei:
+            d.check("pathfinder iteration")
+        assert "pathfinder iteration" in str(ei.value)
+        assert isinstance(ei.value, errors.RoutingFailure)
+
+    def test_after_ms_none_passthrough(self):
+        assert Deadline.after_ms(None) is None
+        d = Deadline.after_ms(5.0)
+        assert d is not None and not d.expired()
+
+    def test_check_mask_is_power_of_two_minus_one(self):
+        assert CHECK_MASK & (CHECK_MASK + 1) == 0
+
+
+class TestCircuitBreaker:
+    def test_opens_at_max_trips(self):
+        br = CircuitBreaker(max_trips=3)
+        for _ in range(2):
+            br.record_trip(42)
+        assert not br.is_open(42)
+        br.record_trip(42)
+        assert br.is_open(42)
+        assert br.open_nets() == [42]
+
+    def test_success_closes(self):
+        br = CircuitBreaker(max_trips=2)
+        br.record_trip(7)
+        br.record_success(7)
+        br.record_trip(7)
+        assert not br.is_open(7)
+
+    def test_reset(self):
+        br = CircuitBreaker(max_trips=1)
+        br.record_trip(1)
+        br.record_trip(2)
+        br.reset(1)
+        assert not br.is_open(1) and br.is_open(2)
+        br.reset()
+        assert br.open_nets() == []
+
+    def test_rejects_silly_threshold(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(max_trips=0)
+
+
+class TestDeadlineBoundedRouting:
+    """A ~zero budget on an E10-style workload: partial reports, no hangs,
+    no exception escapes (the tentpole acceptance criterion)."""
+
+    def test_partial_reports_not_exceptions(self):
+        router = JRouter(part="XCV50", deadline_ms=0.0001)
+        nets = random_p2p_nets(router.device.arch, 8, seed=11)
+        for net in nets:
+            pips = router.route(net.source, net.sinks[0])
+            assert pips == 0
+            rep = router.last_report
+            assert rep is not None
+            assert not rep.success
+            assert rep.timed_out or rep.breaker_open
+        assert router.device.state.n_pips_on == 0  # nothing half-applied
+
+    def test_generous_budget_routes_normally(self):
+        router = JRouter(part="XCV50", deadline_ms=60_000.0)
+        assert router.route(Pin(5, 7, wires.S1_YQ), Pin(6, 8, wires.S0F[3])) > 0
+        assert router.last_report is None or router.last_report.success
+
+    def test_breaker_opens_after_repeated_trips(self):
+        router = JRouter(part="XCV50", deadline_ms=0.0001)
+        src, sink = Pin(5, 7, wires.S1_YQ), Pin(6, 8, wires.S0F[3])
+        canon = router.device.resolve(src.row, src.col, src.wire)
+        for _ in range(router.breaker.max_trips):
+            router.route(src, sink)
+            assert router.last_report.timed_out
+        assert router.breaker.is_open(canon)
+        router.route(src, sink)  # refused without searching
+        assert router.last_report.breaker_open
+        assert "circuit breaker open" in router.last_report.summary()
+
+    def test_breaker_reset_allows_retry(self):
+        router = JRouter(part="XCV50", deadline_ms=0.0001)
+        src, sink = Pin(5, 7, wires.S1_YQ), Pin(6, 8, wires.S0F[3])
+        canon = router.device.resolve(src.row, src.col, src.wire)
+        for _ in range(3):
+            router.route(src, sink)
+        assert router.breaker.is_open(canon)
+        router.breaker.reset(canon)
+        router.deadline_ms = 60_000.0
+        assert router.route(src, sink) > 0
+        assert not router.breaker.is_open(canon)  # success closed it
+
+    def test_fanout_deadline_partial(self):
+        router = JRouter(part="XCV50", deadline_ms=0.0001)
+        sinks = [Pin(6, 8, wires.S0F[3]), Pin(9, 12, wires.S0G[1])]
+        assert router.route(Pin(5, 7, wires.S1_YQ), sinks) == 0
+        assert router.last_report.timed_out
+        assert router.device.state.n_pips_on == 0
+
+    def test_pathfinder_deadline_partial(self):
+        router = JRouter(part="XCV50", deadline_ms=0.0001, workers=1)
+        nets = random_p2p_nets(router.device.arch, 4, seed=3)
+        result = router.route_nets(
+            [(n.source, n.sinks[0]) for n in nets]
+        )
+        assert result.timed_out
+        assert not result.converged
+        assert router.last_report.timed_out
+        assert router.device.state.n_pips_on == 0
+
+    def test_explicit_deadline_on_maze(self, device):
+        """The kernel-level contract: an expired token aborts the search
+        with a structured failure carrying search stats."""
+        from repro.routers import route_maze
+
+        clock = FakeClock()
+        d = Deadline(1.0, clock=clock)
+        clock.advance(1.0)  # expired before the search begins
+        src = device.resolve(5, 7, wires.S1_YQ)
+        sink = device.resolve(6, 8, wires.S0F[3])
+        with pytest.raises(errors.DeadlineExceededError) as ei:
+            route_maze(device, [src], {sink}, deadline=d)
+        assert ei.value.search_stats is not None

@@ -97,6 +97,70 @@ class TestReverseUnroute:
         assert gone not in router.netdb.net_sinks[src]
 
 
+class TestUnrouteUnderFaults:
+    """Reverse unroute with a FaultModel active (Section 3.3 + robustness).
+
+    A fault mask constrains *searches*, not teardown: removing a routed
+    branch must work identically on a defective fabric, and the freed
+    wires must come back as reusable under the same mask.
+    """
+
+    SINKS = [Pin(6, 8, wires.S0F[3]), Pin(9, 12, wires.S0G[1]),
+             Pin(3, 2, wires.S1F[2])]
+
+    @pytest.fixture()
+    def faulty_router(self):
+        from repro.arch.virtex import VirtexArch
+        from repro.core import JRouter, RetryPolicy
+        from repro.device import FaultModel
+
+        arch = VirtexArch("XCV50")
+        faults = FaultModel.random(arch, seed=5, stuck_open_rate=0.05)
+        return JRouter(part="XCV50", faults=faults,
+                       retry=RetryPolicy(max_attempts=4))
+
+    def test_branch_removal_under_faults(self, faulty_router):
+        router = faulty_router
+        router.route(SRC, self.SINKS)
+        before = router.device.state.n_pips_on
+        removed = router.reverse_unroute(self.SINKS[1])
+        assert 0 < removed < before
+        trace = router.trace(SRC)
+        remaining = {
+            router.device.resolve(p.row, p.col, p.wire)
+            for p in (self.SINKS[0], self.SINKS[2])
+        }
+        assert set(trace.sinks) == remaining
+        assert router.device.state.check_invariants() == []
+
+    def test_freed_resources_reusable_under_same_mask(self, faulty_router):
+        router = faulty_router
+        router.route(SRC, self.SINKS)
+        router.reverse_unroute(self.SINKS[0])
+        # the freed sink routes again from elsewhere, same fault mask on
+        router.route(Pin(7, 7, wires.S0_X), self.SINKS[0])
+        assert router.device.state.check_invariants() == []
+
+    def test_reverse_unroute_never_touches_fault_mask(self, faulty_router):
+        router = faulty_router
+        version = router.device.faults.version
+        router.route(SRC, self.SINKS)
+        router.reverse_unroute(self.SINKS[2])
+        assert router.device.faults.version == version
+
+    def test_full_unroute_then_reroute_under_faults(self, faulty_router):
+        router = faulty_router
+        router.route(SRC, self.SINKS)
+        assert router.unroute(SRC) > 0
+        assert router.device.state.n_pips_on == 0
+        router.route(SRC, self.SINKS)
+        assert {
+            s for s in router.trace(SRC).sinks
+        } == {
+            router.device.resolve(p.row, p.col, p.wire) for p in self.SINKS
+        }
+
+
 class TestUnrouteReRoute:
     def test_cycle(self, router):
         """Route / unroute / route again, many times, no leaks."""

@@ -1,0 +1,306 @@
+"""Durable sessions: WAL, checkpoints, crash recovery, reconciliation.
+
+The tentpole property: *crash at any WAL offset, recover, and the
+rebuilt RoutingState / NetDB / ConfigMemory are identical to an
+uninterrupted run of the same event prefix.*
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.arch import wires
+from repro.core import DurableSession, JRouter, Pin, recover, write_checkpoint
+from repro.core.wal import (
+    WriteAheadLog,
+    _apply_record,
+    checkpoint_path_for,
+    load_checkpoint,
+    reconcile,
+)
+
+SRC = Pin(5, 5, wires.S0_YQ)
+SINK = Pin(7, 7, wires.S0F[1])
+
+
+def _session_workload(router):
+    """A small mixed session: p2p, fanout, and an unroute."""
+    router.route(SRC, SINK)
+    router.route(Pin(2, 2, wires.S1_YQ),
+                 [Pin(4, 4, wires.S0F[2]), Pin(1, 5, wires.S1G[3])])
+    router.route(Pin(10, 10, wires.S0_XQ), Pin(12, 8, wires.S1F[1]))
+    router.unroute(SRC)
+
+
+@pytest.fixture()
+def wal_path(tmp_path):
+    return str(tmp_path / "session.wal")
+
+
+def _journal(wal_path, *, checkpoint_every=None, final_checkpoint=False):
+    router = JRouter(part="XCV50")
+    with DurableSession(router, wal_path,
+                        checkpoint_every=checkpoint_every) as session:
+        _session_workload(router)
+        if final_checkpoint:
+            session.checkpoint()
+    return router
+
+
+def _assert_equivalent(a, b):
+    """Byte-level equality of the three recovered stores."""
+    assert a.device.state.fingerprint() == b.device.state.fingerprint()
+    assert np.array_equal(a.device.state.driver, b.device.state.driver)
+    assert np.array_equal(a.device.state.occupied, b.device.state.occupied)
+    assert a.netdb.net_sinks == b.netdb.net_sinks
+    assert a.jbits.memory == b.jbits.memory
+
+
+class TestWriteAheadLog:
+    def test_append_and_replay(self, wal_path, device):
+        wal = WriteAheadLog(wal_path, part="XCV50")
+        listener = wal.append
+        device.add_listener(listener)
+        device.turn_on(5, 7, wires.S1_YQ, wires.OUT[1])
+        device.turn_off(5, 7, wires.S1_YQ, wires.OUT[1])
+        wal.close()
+        part, records, torn = WriteAheadLog.replay(wal_path)
+        assert part == "XCV50"
+        assert not torn
+        assert [(r.seq, r.on) for r in records] == [(0, True), (1, False)]
+
+    def test_resume_appending(self, wal_path, device):
+        wal = WriteAheadLog(wal_path, part="XCV50")
+        device.add_listener(wal.append)
+        device.turn_on(5, 7, wires.S1_YQ, wires.OUT[1])
+        device.remove_listener(wal.append)
+        wal.close()
+        wal2 = WriteAheadLog(wal_path, part="XCV50")
+        assert wal2.next_seq == 1
+        device.add_listener(wal2.append)
+        device.turn_on(5, 7, wires.OUT[1], wires.SINGLE_E[5])
+        wal2.close()
+        _, records, torn = WriteAheadLog.replay(wal_path)
+        assert len(records) == 2 and not torn
+
+    def test_part_mismatch_rejected(self, wal_path):
+        WriteAheadLog(wal_path, part="XCV50").close()
+        with pytest.raises(errors.TransactionError):
+            WriteAheadLog(wal_path, part="XCV100")
+
+    def test_torn_tail_detected(self, wal_path):
+        _journal(wal_path)
+        with open(wal_path, "rb") as fh:
+            data = fh.read()
+        with open(wal_path, "wb") as fh:
+            fh.write(data[:-9])  # torn mid-record
+        _, records, torn = WriteAheadLog.replay(wal_path)
+        assert torn
+        assert records  # the intact prefix survives
+
+    def test_corrupt_crc_stops_scan(self, wal_path):
+        _journal(wal_path)
+        lines = open(wal_path).read().splitlines()
+        victim = json.loads(lines[3])
+        victim["row"] += 1  # payload no longer matches its CRC
+        lines[3] = json.dumps(victim, sort_keys=True)
+        open(wal_path, "w").write("\n".join(lines) + "\n")
+        _, records, torn = WriteAheadLog.replay(wal_path)
+        assert torn
+        assert len(records) == 2  # header + 2 intact records before the hit
+
+    def test_not_a_wal(self, tmp_path):
+        p = str(tmp_path / "noise.txt")
+        open(p, "w").write("hello\n")
+        with pytest.raises(errors.TransactionError):
+            WriteAheadLog.replay(p)
+
+
+class TestCrashAtAnyOffset:
+    """The property test: every record boundary is a survivable crash."""
+
+    def test_recover_matches_prefix_run(self, wal_path, tmp_path):
+        _journal(wal_path)
+        with open(wal_path, "rb") as fh:
+            header, *records = fh.readlines()
+        _part, parsed, _ = WriteAheadLog.replay(wal_path)
+
+        # uninterrupted prefix states, replayed onto a fresh router
+        reference = JRouter(part="XCV50")
+        prefix_fps = [reference.device.state.fingerprint()]
+        for rec in parsed:
+            _apply_record(reference.device, rec)
+            prefix_fps.append(reference.device.state.fingerprint())
+
+        for cut in range(len(records) + 1):
+            crash = str(tmp_path / f"crash{cut}.wal")
+            with open(crash, "wb") as fh:
+                fh.write(header)
+                fh.writelines(records[:cut])
+            recovered, report = recover(crash)
+            assert recovered.device.state.fingerprint() == prefix_fps[cut], (
+                f"crash at record {cut} diverged"
+            )
+            assert report.replayed == cut
+
+    def test_crash_mid_record_recovers_prefix(self, wal_path):
+        _journal(wal_path)
+        with open(wal_path, "rb") as fh:
+            data = fh.read()
+        open(wal_path, "wb").write(data[: len(data) - 5])
+        recovered, report = recover(wal_path)
+        assert report.torn_tail
+        assert recovered.device.state.check_invariants() == []
+        assert recovered.jbits is not None
+
+
+class TestFullRecovery:
+    def test_recovery_is_byte_identical(self, wal_path):
+        live = _journal(wal_path, final_checkpoint=True)
+        recovered, report = recover(wal_path)
+        _assert_equivalent(recovered, live)
+        assert report.fingerprint == live.device.state.fingerprint()
+        assert report.mismatches == []
+
+    def test_recovery_without_checkpoint(self, wal_path):
+        live = _journal(wal_path)
+        assert not os.path.exists(checkpoint_path_for(wal_path))
+        recovered, report = recover(wal_path)
+        assert report.checkpoint_seq == 0
+        _assert_equivalent(recovered, live)
+
+    def test_recovery_with_periodic_checkpoints(self, wal_path):
+        live = _journal(wal_path, checkpoint_every=5)
+        recovered, report = recover(wal_path)
+        assert report.checkpoint_seq > 0  # a checkpoint bounded replay
+        _assert_equivalent(recovered, live)
+
+    def test_replay_is_idempotent(self, wal_path):
+        """Checkpoint at seq N + full WAL replay overlaps; the overlap
+        must be skipped, not re-applied."""
+        live = _journal(wal_path, checkpoint_every=3, final_checkpoint=True)
+        recovered, report = recover(wal_path)
+        assert report.replayed == 0  # checkpoint already covers the log
+        _assert_equivalent(recovered, live)
+        again, report2 = recover(wal_path)
+        _assert_equivalent(again, recovered)
+
+    def test_recovered_router_keeps_routing(self, wal_path):
+        _journal(wal_path)
+        recovered, _ = recover(wal_path)
+        assert recovered.route(SRC, SINK) > 0  # the freed region re-routes
+        assert recovered.device.state.check_invariants() == []
+
+    def test_recovered_router_can_unroute(self, wal_path):
+        live = _journal(wal_path)
+        recovered, _ = recover(wal_path)
+        src = Pin(2, 2, wires.S1_YQ)
+        assert recovered.unroute(src) == live.unroute(src) > 0
+
+
+class TestCheckpointFile:
+    def test_corrupt_checkpoint_rejected(self, wal_path):
+        _journal(wal_path, final_checkpoint=True)
+        ckpt = checkpoint_path_for(wal_path)
+        body = json.load(open(ckpt))
+        body["seq"] += 1  # stale CRC
+        json.dump(body, open(ckpt, "w"))
+        with pytest.raises(errors.TransactionError):
+            load_checkpoint(ckpt)
+
+    def test_part_mismatch_rejected(self, wal_path, tmp_path):
+        _journal(wal_path, final_checkpoint=True)
+        other = JRouter(part="XCV100")
+        wrong = str(tmp_path / "wrong.ckpt")
+        write_checkpoint(wrong, other.device, seq=0,
+                         netdb=other.netdb, memory=other.jbits.memory)
+        with pytest.raises(errors.TransactionError):
+            recover(wal_path, checkpoint_path=wrong)
+
+    def test_checkpoint_write_is_atomic(self, wal_path):
+        _journal(wal_path, final_checkpoint=True)
+        ckpt = checkpoint_path_for(wal_path)
+        assert os.path.exists(ckpt)
+        assert not os.path.exists(ckpt + ".tmp")  # renamed into place
+
+    def test_lut_bits_survive_via_checkpoint(self, wal_path):
+        router = JRouter(part="XCV50")
+        with DurableSession(router, wal_path) as session:
+            router.route(SRC, SINK)
+            router.jbits.set_lut(3, 3, 1, 0xBEEF)
+            session.checkpoint()
+        recovered, _ = recover(wal_path)
+        assert recovered.jbits.memory == router.jbits.memory
+
+
+class TestReconcile:
+    def test_spurious_bit_cleared(self, router):
+        from repro.arch import connectivity
+
+        router.route(SRC, SINK)
+        slot = connectivity.pip_slot(wires.S1_YQ, wires.OUT[7])
+        addr = router.jbits.memory.tile_bit_address(1, 1, slot)
+        router.jbits.memory.set_bit(addr, True)
+        mismatches, rerouted = reconcile(router)
+        assert [m.kind for m in mismatches] == ["spurious"]
+        assert rerouted == []
+        assert not router.jbits.memory.get_bit(addr)
+
+    def test_dropped_pip_reroutes_only_that_net(self, router):
+        from repro.arch import connectivity
+        from repro.jbits.readback import verify_against_device
+
+        router.route(SRC, SINK)
+        other_src = Pin(2, 2, wires.S1_YQ)
+        router.route(other_src, Pin(4, 4, wires.S0F[2]))
+        other_canon = router.device.resolve(2, 2, wires.S1_YQ)
+        other_pips = {
+            (r.row, r.col, r.from_name, r.to_name)
+            for r in router.device.state.net_pips(other_canon)
+        }
+        # drop one PIP of the first net from the bitstream
+        victim = router.device.state.net_pips(
+            router.device.resolve(SRC.row, SRC.col, SRC.wire)
+        )[0]
+        slot = connectivity.pip_slot(victim.from_name, victim.to_name)
+        addr = router.jbits.memory.tile_bit_address(victim.row, victim.col, slot)
+        router.jbits.memory.set_bit(addr, False)
+
+        mismatches, rerouted = reconcile(router)
+        assert any(m.kind == "dropped" for m in mismatches)
+        assert rerouted == [router.device.resolve(SRC.row, SRC.col, SRC.wire)]
+        # untouched net kept its exact PIPs
+        assert {
+            (r.row, r.col, r.from_name, r.to_name)
+            for r in router.device.state.net_pips(other_canon)
+        } == other_pips
+        # and the repaired fabric is coherent again
+        assert verify_against_device(router.jbits.memory, router.device) == []
+
+    def test_clean_session_is_noop(self, router):
+        router.route(SRC, SINK)
+        assert reconcile(router) == ([], [])
+
+
+class TestDurableSessionGuards:
+    def test_requires_jbits(self, wal_path):
+        router = JRouter(part="XCV50", attach_jbits=False)
+        with pytest.raises(errors.TransactionError):
+            DurableSession(router, wal_path)
+
+    def test_rollbacks_are_journaled(self, wal_path):
+        """A transaction rollback inside a session lands in the WAL as
+        inverse events, so replay reproduces the rollback too."""
+        from repro.core import RouteTransaction
+
+        router = JRouter(part="XCV50")
+        with DurableSession(router, wal_path):
+            with RouteTransaction(router.device, netdb=router.netdb) as txn:
+                router.route(SRC, SINK)
+                txn.rollback()
+        assert router.device.state.n_pips_on == 0
+        recovered, _ = recover(wal_path)
+        assert recovered.device.state.n_pips_on == 0

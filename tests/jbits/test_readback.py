@@ -66,7 +66,11 @@ class TestVerify:
         jb.memory.set_bit(jb.memory.tile_bit_address(1, 1, slot), True)
         problems = verify_against_device(jb.memory, device)
         assert len(problems) == 1
-        assert "bitstream has PIP" in problems[0]
+        assert problems[0].kind == "spurious"
+        assert (problems[0].row, problems[0].col) == (1, 1)
+        assert problems[0].to_wire == wires.wire_name(wires.OUT[7])
+        assert "bitstream has PIP" in str(problems[0])
+        assert problems[0].context()["wire"] == problems[0].to_wire
 
     def test_missing_bit_detected(self, jb, device):
         route_example(device)
@@ -76,4 +80,7 @@ class TestVerify:
         jb.memory.set_bit(jb.memory.tile_bit_address(5, 7, slot), False)
         problems = verify_against_device(jb.memory, device)
         assert len(problems) == 1
-        assert "device state has PIP" in problems[0]
+        assert problems[0].kind == "dropped"
+        assert (problems[0].row, problems[0].col) == (5, 7)
+        assert problems[0].net is not None  # the net losing the branch
+        assert "device state has PIP" in str(problems[0])
