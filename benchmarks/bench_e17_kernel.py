@@ -10,7 +10,11 @@ families:
 * **E3-style fanout** — one high-fanout net routed sink-by-sink with
   tree reuse;
 * **PathFinder** — negotiated congestion over a batch of random nets,
-  serial and with partitioned workers.
+  serial, with partitioned thread workers, and with the process backend
+  (OS workers over the shared-memory graph export); every measured
+  configuration is asserted plan-identical to the serial run, and
+  process rows also report ``speedup_vs_serial`` (wall-clock gain over
+  the serial kernel run on this machine).
 
 Run as a script to (re)generate ``BENCH_routing.json`` at the repo
 root::
@@ -29,6 +33,7 @@ CI machine.  Under pytest only the (timing-free) parity shape tests run.
 from __future__ import annotations
 
 import json
+import os
 import statistics
 import sys
 import time
@@ -47,6 +52,11 @@ BASELINE = Path(__file__).resolve().parent.parent / "BENCH_routing.json"
 #: speedups may drop to this fraction of the committed baseline before
 #: the --check mode fails (CI perf-smoke tolerance)
 TOLERANCE = 0.25
+
+#: minimum wall-clock speedup the process backend at >= 4 workers must
+#: show over the serial run — enforced by --check only on machines with
+#: at least 4 CPUs (a 1- or 2-core box cannot demonstrate it)
+PROCESS_SPEEDUP_FLOOR = 1.5
 
 
 def _canon_nets(device, workloads):
@@ -149,20 +159,27 @@ def measure_fanout(part: str, fanout: int, *, reps: int) -> dict:
     }
 
 
-def measure_pathfinder(part: str, n_nets: int, *, reps: int, workers=(1,)) -> list[dict]:
+def measure_pathfinder(
+    part: str, n_nets: int, *, reps: int, workers=(1,), process_workers=()
+) -> list[dict]:
     device = Device(part)
     nets = _canon_nets(
         device, random_p2p_nets(device.arch, n_nets, seed=3, min_span=2, max_span=10)
     )
-    route_pathfinder(device, nets, apply=False)  # warm
+    ref_plans = route_pathfinder(device, nets, apply=False).plans  # warm
     results = []
     ref = _median_time(
         lambda: route_pathfinder_reference(device, nets, apply=False), reps
     )
+    serial = None
     for w in workers:
+        res = route_pathfinder(device, nets, apply=False, workers=w)
+        assert res.plans == ref_plans, f"plans diverged at workers={w}"
         new = _median_time(
             lambda: route_pathfinder(device, nets, apply=False, workers=w), reps
         )
+        if w == 1:
+            serial = new
         results.append(
             {
                 "name": f"pathfinder_{n_nets}nets_{part}"
@@ -171,9 +188,38 @@ def measure_pathfinder(part: str, n_nets: int, *, reps: int, workers=(1,)) -> li
                 "part": part,
                 "nets": n_nets,
                 "workers": w,
+                "backend": "thread",
                 "median_new_s": new,
                 "median_ref_s": ref,
                 "speedup": ref / new,
+                "speedup_vs_serial": serial / new if serial else None,
+            }
+        )
+    for w in process_workers:
+        # warm run forks the worker pool and attaches the shm graph, so
+        # the measured reps see the cached steady state
+        res = route_pathfinder(
+            device, nets, apply=False, workers=w, backend="process"
+        )
+        assert res.plans == ref_plans, f"plans diverged at process workers={w}"
+        new = _median_time(
+            lambda: route_pathfinder(
+                device, nets, apply=False, workers=w, backend="process"
+            ),
+            reps,
+        )
+        results.append(
+            {
+                "name": f"pathfinder_{n_nets}nets_{part}_proc_w{w}",
+                "kind": "pathfinder",
+                "part": part,
+                "nets": n_nets,
+                "workers": w,
+                "backend": "process",
+                "median_new_s": new,
+                "median_ref_s": ref,
+                "speedup": ref / new,
+                "speedup_vs_serial": serial / new if serial else None,
             }
         )
     return results
@@ -186,19 +232,28 @@ def run(smoke: bool) -> dict:
         workloads.append(measure_e10("XCV50", reps=reps, spans=(6, 10)))
         workloads.append(measure_fanout("XCV50", 6, reps=reps))
         workloads.extend(
-            measure_pathfinder("XCV50", 6, reps=reps, workers=(1, 2))
+            measure_pathfinder(
+                "XCV50", 6, reps=reps, workers=(1, 2), process_workers=(2,)
+            )
         )
     else:
         for part in ("XCV50", "XCV300", "XCV800"):
             workloads.append(measure_e10(part, reps=reps, spans=(6, 10, 14)))
         workloads.append(measure_fanout("XCV50", 8, reps=reps))
         workloads.extend(
-            measure_pathfinder("XCV50", 12, reps=reps, workers=(1, 2, 4))
+            measure_pathfinder(
+                "XCV50",
+                12,
+                reps=reps,
+                workers=(1, 2, 4),
+                process_workers=(2, 4),
+            )
         )
     e10 = [w["speedup"] for w in workloads if w["kind"] == "maze_astar"]
     return {
         "mode": "smoke" if smoke else "full",
         "reps": reps,
+        "cpus": os.cpu_count(),
         "workloads": workloads,
         "e10_median_speedup": statistics.median(e10),
     }
@@ -220,6 +275,23 @@ def check(results: dict, baseline: dict) -> int:
         )
         if status != "ok":
             failures.append(w["name"])
+    # absolute gate: on a machine with real parallelism, the process
+    # backend at >= 4 workers must actually be faster than serial
+    if (results.get("cpus") or 0) >= 4:
+        for w in results["workloads"]:
+            gain = w.get("speedup_vs_serial")
+            if (
+                w.get("backend") == "process"
+                and w.get("workers", 0) >= 4
+                and gain is not None
+                and gain < PROCESS_SPEEDUP_FLOOR
+            ):
+                print(
+                    f"{w['name']:32s} only {gain:.2f}x over serial "
+                    f"(floor {PROCESS_SPEEDUP_FLOOR}x on "
+                    f"{results['cpus']}-cpu host) REGRESSED"
+                )
+                failures.append(w["name"])
     if failures:
         print(f"PERF REGRESSION in: {', '.join(failures)}")
         return 1
@@ -232,9 +304,12 @@ def main(argv: list[str]) -> int:
     checking = "--check" in argv
     results = run(smoke)
     for w in results["workloads"]:
+        vs = w.get("speedup_vs_serial")
+        extra = f"   {vs:5.2f}x vs serial" if vs is not None else ""
         print(
             f"{w['name']:32s} new {w['median_new_s']*1e3:8.1f} ms   "
             f"ref {w['median_ref_s']*1e3:8.1f} ms   {w['speedup']:5.2f}x"
+            + extra
         )
     print(f"E10 median speedup: {results['e10_median_speedup']:.2f}x")
     if checking:
@@ -276,6 +351,15 @@ def test_shape_pathfinder_parity():
     b = route_pathfinder_reference(d2, nets, apply=False)
     assert a.converged == b.converged
     assert a.plans == b.plans
+
+
+def test_shape_process_backend_parity():
+    d1, d2 = Device("XCV50"), Device("XCV50")
+    nets = _canon_nets(d1, random_p2p_nets(d1.arch, 4, seed=3, min_span=2, max_span=8))
+    a = route_pathfinder(d1, nets, apply=False, workers=2)
+    b = route_pathfinder(d2, nets, apply=False, workers=2, backend="process")
+    assert a.plans == b.plans
+    assert a.stats.as_dict() == b.stats.as_dict()
 
 
 def test_shape_smoke_run_reports_speedup():

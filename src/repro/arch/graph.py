@@ -23,13 +23,30 @@ build for steady-state benchmarking.
 Fault models are *not* baked into the adjacency (they are mutable and
 per-device); instead :meth:`RoutingGraph.fault_edge_mask` derives a flat
 per-edge blocked mask — vectorised over the fault model's wire masks and
-hashed stuck-open population — cached per (graph, fault-model version).
+hashed stuck-open population — cached per (graph token, fault-model
+version).  The token is a stable ``(part, generation)`` identity, so a
+garbage-collected graph whose ``id()`` CPython later reuses can never
+serve a stale mask to a fresh graph.
+
+For OS-level parallel routing (the process-backend PathFinder) a fully
+compiled graph can be **exported once into a POSIX shared-memory
+segment** (:func:`shared_graph_export`) and **attached zero-copy** by
+worker processes (:func:`attach_shared_graph`): the CSR columns become
+``memoryview`` casts straight into the mapped segment, so a spawn/fork
+worker pays neither a recompile nor a copy of the ~tens-of-MB adjacency.
+Exports are cached per part and unlinked at interpreter exit (or
+explicitly via :func:`release_shared_exports`).
 """
 
 from __future__ import annotations
 
+import atexit
+import itertools
+import os
 import threading
+import weakref
 from array import array
+from multiprocessing import shared_memory
 
 import numpy as np
 
@@ -43,6 +60,10 @@ __all__ = [
     "NAME_COST",
     "RoutingGraph",
     "routing_graph",
+    "SharedGraphExport",
+    "shared_graph_export",
+    "attach_shared_graph",
+    "release_shared_exports",
 ]
 
 # Name-level drivability: pure sources, globals and the direct-connect
@@ -100,20 +121,32 @@ class FaultEdgeMask:
     stuck open (explicitly or by the hashed random population).  The
     bytearray grows in place via :meth:`sync` as the graph materializes
     more nodes, so kernels may keep a direct reference to ``mask``.
+
+    The graph is held through a *weak* reference: a mask cached on a
+    long-lived :class:`~repro.device.faults.FaultModel` must not keep a
+    transient graph (and its multi-MB edge arrays) alive forever, and a
+    dead reference marks the cache entry for pruning.
     """
 
-    __slots__ = ("graph", "faults", "version", "mask")
+    __slots__ = ("_graph_ref", "faults", "version", "mask")
 
     def __init__(self, graph: "RoutingGraph", faults) -> None:
-        self.graph = graph
+        self._graph_ref = weakref.ref(graph)
         self.faults = faults
         self.version = getattr(faults, "version", 0)
         self.mask = bytearray()
         self.sync()
 
+    @property
+    def graph(self) -> "RoutingGraph | None":
+        """The graph this mask indexes, or None once it was collected."""
+        return self._graph_ref()
+
     def sync(self) -> None:
         """Extend the mask to cover all currently-materialized edges."""
-        g = self.graph
+        g = self._graph_ref()
+        if g is None:  # graph collected; the cache entry is dead
+            return
         n = len(g.e_to)
         lo = len(self.mask)
         if n <= lo:
@@ -144,11 +177,18 @@ class FaultEdgeMask:
                     self.mask[e] = 1
 
 
+#: Monotonic generation counter: together with the part name it forms a
+#: stable graph identity token (``id()`` values are reused by CPython).
+_GRAPH_GENERATION = itertools.count()
+
+
 class RoutingGraph:
     """CSR adjacency of one architecture's fanout relation."""
 
     def __init__(self, arch: VirtexArch) -> None:
         self.arch = arch
+        #: stable identity: survives ``id()`` reuse after garbage collection
+        self.token: tuple[str, int] = (arch.part.name, next(_GRAPH_GENERATION))
         n = arch.n_wires
         self.n_nodes = n
         #: edge-run start per node; -1 until the node is materialized
@@ -310,14 +350,23 @@ class RoutingGraph:
     # -- fault masking --------------------------------------------------------
 
     def fault_edge_mask(self, faults) -> FaultEdgeMask:
-        """Per-edge blocked mask for a fault model, cached by version."""
+        """Per-edge blocked mask for a fault model, cached by version.
+
+        Keyed by the graph's stable :attr:`token`, **not** by ``id()``:
+        CPython reuses object ids, so an id-keyed entry surviving a
+        collected graph could silently serve a stale mask to an
+        unrelated new graph.  Entries whose graph has been collected are
+        pruned on the way through.
+        """
         cache = getattr(faults, "_edge_masks", None)
         if cache is None:
             cache = faults._edge_masks = {}
-        m = cache.get(id(self))
+        m = cache.get(self.token)
         if m is None or m.version != getattr(faults, "version", 0):
+            for key in [k for k, v in cache.items() if v.graph is None]:
+                del cache[key]
             m = FaultEdgeMask(self, faults)
-            cache[id(self)] = m
+            cache[self.token] = m
         else:
             m.sync()
         return m
@@ -338,4 +387,144 @@ def routing_graph(arch: VirtexArch) -> RoutingGraph:
             if g is None:
                 g = RoutingGraph(arch)
                 _GRAPH_CACHE[key] = g
+    return g
+
+
+# -- shared-memory export (process-backend parallel routing) ------------------
+
+#: CSR columns shipped through shared memory, in layout order.
+_SHARED_COLUMNS = (
+    "off", "deg", "e_to", "e_src", "e_row", "e_col", "e_from", "e_toname",
+    "e_cost",
+)
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without taking lifecycle ownership.
+
+    On Python 3.13+ ``track=False`` skips resource-tracker registration
+    entirely.  Before that, attaching re-registers the name — harmless
+    inside one multiprocessing family, where parent and workers share a
+    single tracker whose cache is a set (the duplicate deduplicates, and
+    the owner's ``unlink`` performs the one unregister).  Explicitly
+    unregistering here would be *wrong* for exactly that reason: it
+    would race the owner's unlink into a double-unregister.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        return shared_memory.SharedMemory(name=name)
+
+
+class SharedGraphExport:
+    """Owner-side handle of one compiled graph image in shared memory.
+
+    The graph is force-compiled, then every CSR column is copied once
+    into a single segment (8-byte-aligned runs).  :attr:`meta` is a
+    small picklable description — segment name, part, column layout —
+    that worker processes feed to :func:`attach_shared_graph`.  The
+    owner must :meth:`close` (unlink) the segment; attached readers only
+    ever map it.
+    """
+
+    def __init__(self, graph: RoutingGraph) -> None:
+        graph.compile()
+        self.part = graph.arch.part.name
+        layout: list[tuple[str, str, int, int]] = []
+        pos = 0
+        cols = [(name, getattr(graph, name)) for name in _SHARED_COLUMNS]
+        for name, arr in cols:
+            layout.append((name, arr.typecode, pos, len(arr)))
+            pos += len(arr) * arr.itemsize
+            pos = (pos + 7) & ~7  # 8-byte-align the next column
+        while True:
+            try:
+                self.shm = shared_memory.SharedMemory(
+                    create=True,
+                    size=max(pos, 8),
+                    name=(
+                        f"jroute_{os.getpid()}_{self.part}_"
+                        f"{next(_GRAPH_GENERATION)}"
+                    ),
+                )
+                break
+            except FileExistsError:  # stale segment from a recycled pid
+                continue
+        for (name, tc, off, cnt), (_, arr) in zip(layout, cols):
+            dst = self.shm.buf[off : off + cnt * arr.itemsize]
+            dst[:] = memoryview(arr).cast("B")
+            dst.release()  # close() would refuse while views are exported
+        self.meta = {
+            "name": self.shm.name,
+            "part": self.part,
+            "n_nodes": graph.n_nodes,
+            "n_edges": graph.n_edges,
+            "layout": layout,
+        }
+        self._closed = False
+
+    def close(self) -> None:
+        """Unmap and unlink the segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.shm.close()
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+#: Process-wide export cache: one shared-memory image per part.
+_SHARED_EXPORTS: dict[str, SharedGraphExport] = {}
+
+
+def shared_graph_export(arch: VirtexArch) -> SharedGraphExport:
+    """The (cached) shared-memory export of ``arch``'s compiled graph.
+
+    Created on first use per part and unlinked at interpreter exit (the
+    ``atexit`` hook below), or earlier via
+    :func:`release_shared_exports`.
+    """
+    key = arch.part.name
+    exp = _SHARED_EXPORTS.get(key)
+    if exp is None or exp._closed:
+        graph = routing_graph(arch)  # before the lock: it locks too
+        with _CACHE_LOCK:
+            exp = _SHARED_EXPORTS.get(key)
+            if exp is None or exp._closed:
+                exp = SharedGraphExport(graph)
+                _SHARED_EXPORTS[key] = exp
+    return exp
+
+
+@atexit.register
+def release_shared_exports() -> None:
+    """Unlink every cached shared-memory graph export (idempotent)."""
+    while _SHARED_EXPORTS:
+        _, exp = _SHARED_EXPORTS.popitem()
+        exp.close()
+
+
+def attach_shared_graph(meta: dict) -> RoutingGraph:
+    """Zero-copy view of an exported graph inside a worker process.
+
+    Returns a :class:`RoutingGraph` whose CSR columns are ``memoryview``
+    casts straight into the mapped segment — no recompile, no copy; the
+    graph arrives fully materialized.  The columns are read-only by
+    construction on the worker side (workers never materialize).  The
+    mapping lives as long as the returned graph (process exit unmaps).
+    """
+    shm = _attach_segment(meta["name"])
+    g = RoutingGraph.__new__(RoutingGraph)
+    g.arch = VirtexArch(meta["part"])
+    g.token = (meta["part"], next(_GRAPH_GENERATION))
+    g.n_nodes = meta["n_nodes"]
+    itemsize = {"q": 8, "i": 4, "d": 8}
+    for name, tc, off, cnt in meta["layout"]:
+        setattr(g, name, shm.buf[off : off + cnt * itemsize[tc]].cast(tc))
+    g._lock = threading.Lock()
+    g._n_materialized = g.n_nodes
+    g._tiles = None
+    g._shm = shm  # keep the mapping alive alongside the views
     return g

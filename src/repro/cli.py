@@ -13,7 +13,7 @@ Usage (``python -m repro <command> ...``)::
     wires [SUBSTRING]             list wire names (optionally filtered)
     route PART R1 C1 WIRE1 R2 C2 WIRE2 [R3 C3 WIRE3 ...]
           [--fault-rate R] [--fault-seed N] [--retry N] [--workers N]
-          [--deadline-ms MS] [--wal FILE]
+          [--backend thread|process] [--deadline-ms MS] [--wal FILE]
                                   auto-route from the first named pin to
                                   the remaining pin(s) and print the
                                   resulting trace; --fault-rate injects a
@@ -21,7 +21,10 @@ Usage (``python -m repro <command> ...``)::
                                   enables rip-up/retry recovery with N
                                   attempts, --workers > 1 routes via
                                   the partitioned negotiated-congestion
-                                  router, --deadline-ms bounds each
+                                  router (--backend process runs the
+                                  workers as OS processes over a
+                                  shared-memory graph), --deadline-ms
+                                  bounds each
                                   request (a partial report instead of a
                                   hang), and --wal journals every PIP
                                   event to FILE for crash recovery
@@ -92,11 +95,12 @@ def _cmd_wires(args: list[str]) -> int:
 def _cmd_route(args: list[str]) -> int:
     usage = ("usage: route PART R1 C1 WIRE1 R2 C2 WIRE2 [R3 C3 WIRE3 ...] "
              "[--fault-rate R] [--fault-seed N] [--retry N] [--workers N] "
-             "[--deadline-ms MS] [--wal FILE]")
+             "[--backend thread|process] [--deadline-ms MS] [--wal FILE]")
     fault_rate = 0.0
     fault_seed = 0
     retry_attempts = 0
     workers = 1
+    backend = "thread"
     deadline_ms: float | None = None
     wal_path: str | None = None
     pos: list[str] = []
@@ -111,6 +115,8 @@ def _cmd_route(args: list[str]) -> int:
                 retry_attempts = int(next(it))
             elif a == "--workers":
                 workers = int(next(it))
+            elif a == "--backend":
+                backend = next(it)
             elif a == "--deadline-ms":
                 deadline_ms = float(next(it))
             elif a == "--wal":
@@ -126,6 +132,7 @@ def _cmd_route(args: list[str]) -> int:
         or fault_rate < 0
         or retry_attempts < 0
         or workers < 1
+        or backend not in ("thread", "process")
         or (deadline_ms is not None and deadline_ms <= 0)
     ):
         print(usage, file=sys.stderr)
@@ -158,6 +165,7 @@ def _cmd_route(args: list[str]) -> int:
         faults=faults,
         retry=retry,
         workers=workers,
+        backend=backend,
         deadline_ms=deadline_ms,
     )
     session = None

@@ -8,7 +8,7 @@ and the port-connection memory.
 
 from .deadline import Deadline
 from .endpoints import EndPoint, Pin, Port, PortDirection, PortGroup
-from .kernel import GLOBAL_STATS, SearchState, SearchStats
+from .kernel import GLOBAL_STATS, SearchState, SearchStats, record_global
 from .netdb import NetDB, PortMemory
 from .path import Path
 from .recovery import CircuitBreaker, RetryPolicy, RoutingReport, select_victim
@@ -32,6 +32,7 @@ __all__ = [
     "DurableSession",
     "EndPoint",
     "GLOBAL_STATS",
+    "record_global",
     "SearchState",
     "SearchStats",
     "Pin",

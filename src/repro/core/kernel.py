@@ -15,14 +15,21 @@ three mechanics here:
   negotiated congestion (present + history) plug into the same loop.
 
 Instrumentation (node expansions, heap pushes, faulty edges avoided) is
-unified behind :class:`SearchStats`; every search also accumulates into
-the process-wide :data:`GLOBAL_STATS`, which ``repro bench --profile``
-prints.
+unified behind :class:`SearchStats`.  The process-wide accumulator
+:data:`GLOBAL_STATS` (printed by ``repro bench --profile``) is fed by
+**explicit, lock-guarded publication**: searches accumulate into their
+caller's private :class:`SearchStats` and the owning router publishes
+the merged batch once via :func:`record_global`.  The kernel itself
+never performs an unsynchronized read-modify-write on the global — with
+parallel PathFinder workers (threads today, processes behind the
+``backend="process"`` knob) the old in-loop ``GLOBAL_STATS.x += y``
+updates silently lost counts.
 """
 
 from __future__ import annotations
 
 import heapq
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Collection, Container, Iterable, Sequence
 
@@ -38,6 +45,7 @@ __all__ = [
     "SearchStats",
     "SearchState",
     "GLOBAL_STATS",
+    "record_global",
     "dijkstra",
     "extract_plan",
 ]
@@ -77,7 +85,24 @@ class SearchStats:
 
 
 #: Process-wide accumulator, surfaced by ``repro bench --profile``.
+#: Mutated only under :data:`_GLOBAL_LOCK` (see :func:`record_global`).
 GLOBAL_STATS = SearchStats()
+
+_GLOBAL_LOCK = threading.Lock()
+
+
+def record_global(stats: SearchStats) -> None:
+    """Publish a completed batch of search stats into :data:`GLOBAL_STATS`.
+
+    Routers accumulate into a private :class:`SearchStats` (one per
+    worker when parallel), merge deterministically at their barrier, and
+    call this exactly once per batch.  The lock makes the publication a
+    single atomic read-modify-write, so concurrent routing calls — and
+    the process backend's merged worker stats — never lose updates the
+    way the kernel's old per-search ``GLOBAL_STATS.x += y`` did.
+    """
+    with _GLOBAL_LOCK:
+        GLOBAL_STATS.merge(stats)
 
 
 class SearchState:
@@ -324,14 +349,17 @@ def dijkstra(
                     )
 
     if stats is not None:
+        # Accumulate into the caller's private stats only; the owner
+        # publishes the merged batch via record_global() at its barrier.
         stats.searches += 1
         stats.nodes_expanded += expanded
         stats.heap_pushes += pushes
         stats.faults_avoided += faults_avoided
-    GLOBAL_STATS.searches += 1
-    GLOBAL_STATS.nodes_expanded += expanded
-    GLOBAL_STATS.heap_pushes += pushes
-    GLOBAL_STATS.faults_avoided += faults_avoided
+    else:
+        # Stats-less callers still count globally, atomically.
+        record_global(
+            SearchStats(1, expanded, pushes, faults_avoided)
+        )
     return goal, goal_cost, expanded, pushes, faults_avoided, exceeded, timed_out
 
 

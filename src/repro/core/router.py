@@ -88,6 +88,11 @@ class JRouter:
         Default concurrency for :meth:`route_nets` bulk requests (the
         negotiated-congestion router's per-iteration net loop is
         partitioned spatially across this many workers).
+    backend:
+        Default execution backend for those workers: ``"thread"`` (the
+        default; deterministic, GIL-bound) or ``"process"`` (OS-level
+        workers attached to a shared-memory export of the compiled
+        routing graph — wall-clock parallelism with identical results).
     deadline_ms:
         Optional per-request wall-clock budget for the auto-routing
         levels (4, 5 and 6) and :meth:`route_nets`.  A request past its
@@ -114,6 +119,7 @@ class JRouter:
         faults=None,
         retry: RetryPolicy | None = None,
         workers: int = 1,
+        backend: str = "thread",
         deadline_ms: float | None = None,
         breaker: CircuitBreaker | None = None,
     ) -> None:
@@ -129,6 +135,7 @@ class JRouter:
         self.max_nodes = max_nodes
         self.retry = retry
         self.workers = workers
+        self.backend = backend
         self.deadline_ms = deadline_ms
         if breaker is None and deadline_ms is not None:
             breaker = CircuitBreaker()
@@ -596,6 +603,7 @@ class JRouter:
         nets: Sequence[tuple[EndPoint, EndPoint | Sequence[EndPoint]] | NetSpec],
         *,
         workers: int | None = None,
+        backend: str | None = None,
         use_longs: bool = True,
         max_iterations: int = 30,
     ) -> PathFinderResult:
@@ -608,7 +616,9 @@ class JRouter:
         congestion that defeats greedy one-at-a-time ``route`` calls can
         still converge.  ``workers`` (default: the router's ``workers``
         knob) routes spatial partitions of the nets concurrently per
-        iteration; results are deterministic for any fixed value.
+        iteration on ``backend`` (default: the router's ``backend``
+        knob); results are deterministic for any fixed worker count and
+        identical across backends.
 
         Converged plans are applied to the device and recorded in the
         net database; a non-converged run leaves the device untouched
@@ -639,6 +649,7 @@ class JRouter:
             use_longs=use_longs,
             max_iterations=max_iterations,
             workers=self.workers if workers is None else workers,
+            backend=self.backend if backend is None else backend,
             deadline=Deadline.after_ms(self.deadline_ms),
         )
         report.search_stats = result.stats

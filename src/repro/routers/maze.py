@@ -28,7 +28,7 @@ from .. import errors
 from ..arch import wires
 from ..arch.wires import WireClass
 from ..core.deadline import Deadline
-from ..core.kernel import SearchStats, dijkstra, extract_plan
+from ..core.kernel import SearchStats, dijkstra, extract_plan, record_global
 from ..device.fabric import Device
 from .base import PlanPip
 
@@ -270,6 +270,8 @@ def route_maze(
         stats=stats,
         deadline=deadline,
     )
+    # publish before the outcome branches: failed searches count too
+    record_global(stats)
 
     if timed_out:
         tr, tc, tn = arch.primary_name(next(iter(target_set)))

@@ -16,8 +16,30 @@ Parallel Routing Approach for Commercial FPGAs*): nets are spatially
 partitioned by bounding-box centre, partitions are routed concurrently
 against a snapshot of the congestion state (each worker owning a private
 use-count overlay and search state), and cross-partition conflicts are
-resolved by the ordinary negotiation loop.  Results are deterministic
-for any fixed ``workers`` value.
+resolved by the ordinary negotiation loop.
+
+Two execution backends share that exact decomposition:
+
+* ``backend="thread"`` — a :class:`ThreadPoolExecutor`, created once per
+  routing call (not per iteration).  Under CPython's GIL this buys
+  determinism and the parallel contract, not wall-clock speedup.
+* ``backend="process"`` — OS-level workers on a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  The compiled CSR
+  graph is exported once per part into POSIX shared memory
+  (:func:`repro.arch.graph.shared_graph_export`) and attached zero-copy
+  by each worker, so neither fork nor spawn recompiles or copies the
+  adjacency.  Each iteration ships only the sparse congestion snapshot
+  (present counts, history, the group's previous wires) and receives
+  plans/wires/stats back, merged deterministically in group order at the
+  iteration barrier.  Worker pools are cached per ``(part, workers)``
+  and reused across calls; they are shut down at interpreter exit (or
+  via :func:`shutdown_process_pools`).
+
+For any fixed ``workers`` the result is deterministic and **identical
+across backends**: a worker group is a pure function of the
+iteration-start congestion state, so thread and process executions of
+the same groups produce bit-identical plans, costs and
+:class:`~repro.core.kernel.SearchStats`.
 
 It serves as the quality/time baseline for experiment E8: slower than
 JRoute's greedy one-shot calls, but able to resolve congestion that
@@ -26,18 +48,37 @@ defeats greedy ordering.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import atexit
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from .. import errors
+from ..arch.graph import attach_shared_graph, shared_graph_export
+from ..arch.virtex import VirtexArch
 from ..core.deadline import Deadline
-from ..core.kernel import SearchState, SearchStats, dijkstra, extract_plan
+from ..core.kernel import (
+    SearchState,
+    SearchStats,
+    dijkstra,
+    extract_plan,
+    record_global,
+)
 from ..device.fabric import Device
 from .base import PlanPip, apply_plan
 from .maze import _name_block_table
 
-__all__ = ["NetSpec", "PathFinderResult", "route_pathfinder"]
+__all__ = [
+    "NetSpec",
+    "PathFinderResult",
+    "route_pathfinder",
+    "shutdown_process_pools",
+]
+
+#: Recognized execution backends for ``workers > 1``.
+BACKENDS = ("thread", "process")
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,6 +105,8 @@ class PathFinderResult:
     stats: SearchStats = field(default_factory=SearchStats)
     #: concurrency the run was executed with
     workers: int = 1
+    #: execution backend the run was executed with
+    backend: str = "thread"
     #: the run was abandoned because its deadline expired (nothing applied)
     timed_out: bool = False
 
@@ -99,6 +142,280 @@ def _partition(
     return [g for g in groups if g]
 
 
+class _NetRouter:
+    """Per-call static routing context shared by every execution path.
+
+    Serial loop, thread workers and process workers all route nets
+    through the same two methods below, so backend parity is structural:
+    there is exactly one implementation of "route one net under these
+    congestion costs".
+    """
+
+    __slots__ = (
+        "graph",
+        "arch",
+        "blocked",
+        "endpoint_ok",
+        "name_blocked",
+        "history",
+        "max_nodes",
+        "deadline",
+    )
+
+    def __init__(
+        self,
+        graph,
+        arch,
+        blocked,
+        endpoint_ok,
+        name_blocked,
+        history: list[float],
+        max_nodes: int,
+        deadline: Deadline | None,
+    ) -> None:
+        self.graph = graph
+        self.arch = arch
+        self.blocked = blocked
+        self.endpoint_ok = endpoint_ok
+        self.name_blocked = name_blocked
+        self.history = history
+        self.max_nodes = max_nodes
+        self.deadline = deadline
+
+    def sink_order(self, net: NetSpec) -> list[int]:
+        tile_coords = self.arch.tile_coords
+        sr, sc = tile_coords(net.source)
+        return sorted(
+            set(net.sinks),
+            key=lambda s: (
+                abs(tile_coords(s)[0] - sr) + abs(tile_coords(s)[1] - sc),
+                s,
+            ),
+        )
+
+    def route_net(
+        self,
+        idx: int,
+        net: NetSpec,
+        counts: list[int],
+        state: SearchState,
+        pf: float,
+        stats: SearchStats,
+    ) -> tuple[list[PlanPip], set[int]]:
+        """Fanout-route one net under current congestion costs.
+
+        ``counts`` is the present-use table the search prices against;
+        the net's previous wires must already be removed from it by the
+        caller.  Returns ``(plan, wires)`` — sources are exempt from
+        sharing accounting, so ``wires`` excludes the source.
+        """
+        tree: set[int] = {net.source}
+        plan: list[PlanPip] = []
+        canonicalize = self.arch.canonicalize
+        for sink in self.sink_order(net):
+            goal, _cost, _exp, _pushes, _fav, exceeded, search_timed_out = dijkstra(
+                self.graph,
+                state,
+                tree,
+                (sink,),
+                occupied=self.blocked,
+                allow=self.endpoint_ok,
+                name_blocked=self.name_blocked,
+                congestion=(counts, self.history, pf),
+                max_nodes=self.max_nodes,
+                stats=stats,
+                deadline=self.deadline,
+            )
+            if search_timed_out:
+                raise errors.DeadlineExceededError(
+                    f"pathfinder net {idx}: deadline expired at sink {sink}",
+                    search_stats=stats,
+                )
+            if exceeded:
+                raise errors.UnroutableError(
+                    f"pathfinder net {idx}: node budget exhausted",
+                    search_stats=stats,
+                )
+            if goal < 0:
+                raise errors.UnroutableError(
+                    f"pathfinder net {idx}: sink {sink} unreachable",
+                    search_stats=stats,
+                )
+            path = extract_plan(self.graph, state, goal)
+            plan.extend(path)
+            for row, col, _from_name, to_name in path:
+                canon = canonicalize(row, col, to_name)
+                assert canon is not None
+                tree.add(canon)
+        return plan, tree - {net.source}
+
+    def route_group(
+        self,
+        group: Sequence[int],
+        nets,
+        old_wires,
+        counts: list[int],
+        state: SearchState,
+        pf: float,
+        stats: SearchStats,
+    ) -> dict[int, tuple[list[PlanPip], set[int]]]:
+        """Route one partition against a private use-count overlay.
+
+        ``counts`` is this worker's snapshot of the iteration-start
+        present-use table (it may be mutated freely); ``old_wires`` maps
+        each net index to the wires it used in the previous iteration.
+        Nets are processed in ascending index order: within a group,
+        later nets see earlier group-mates' fresh wires — exactly the
+        serial semantics when the group is the whole net list.
+        """
+        out: dict[int, tuple[list[PlanPip], set[int]]] = {}
+        for idx in group:
+            for w in old_wires[idx]:
+                counts[w] -= 1
+            plan, wires = self.route_net(idx, nets[idx], counts, state, pf, stats)
+            out[idx] = (plan, wires)
+            for w in wires:
+                counts[w] += 1
+        return out
+
+
+def _thread_group_task(
+    ctx: _NetRouter,
+    group: Sequence[int],
+    nets: Sequence[NetSpec],
+    old_wires: Sequence[set[int]],
+    use_count: list[int],
+    state: SearchState,
+    pf: float,
+) -> tuple[dict[int, tuple[list[PlanPip], set[int]]], SearchStats]:
+    counts = list(use_count)
+    stats = SearchStats()
+    out = ctx.route_group(group, nets, old_wires, counts, state, pf, stats)
+    return out, stats
+
+
+# -- process backend ----------------------------------------------------------
+#
+# Worker processes hold the attached shared-memory graph, the (cached)
+# architecture and one preallocated SearchState plus zeroed flat
+# congestion tables in module globals; tasks are otherwise stateless, so
+# it does not matter which worker executes which group.
+
+_W_GRAPH = None
+_W_ARCH = None
+_W_STATE = None
+_W_COUNTS: list[int] = []
+_W_HISTORY: list[float] = []
+_W_ZERO_I: list[int] = []
+_W_ZERO_F: list[float] = []
+
+
+def _process_worker_init(meta: dict, part: str) -> None:
+    """Pool initializer: attach the shared graph, preallocate state."""
+    global _W_GRAPH, _W_ARCH, _W_STATE, _W_COUNTS, _W_HISTORY
+    global _W_ZERO_I, _W_ZERO_F
+    _W_GRAPH = attach_shared_graph(meta)
+    _W_ARCH = VirtexArch(part)
+    n = _W_GRAPH.n_nodes
+    _W_STATE = SearchState(n)
+    _W_COUNTS = [0] * n
+    _W_HISTORY = [0.0] * n
+    _W_ZERO_I = [0] * n
+    _W_ZERO_F = [0.0] * n
+
+
+def _process_group_task(
+    config: tuple,
+    group: Sequence[int],
+    group_nets: Mapping[int, tuple[int, tuple[int, ...]]],
+    old_wires: Mapping[int, tuple[int, ...]],
+    counts_sparse: Mapping[int, int],
+    history_sparse: Mapping[int, float],
+    pf: float,
+    deadline_ms: float | None,
+) -> tuple:
+    """Route one partition inside a worker process.
+
+    Returns ``("ok", {idx: (plan, wires)}, stats_tuple)`` or an error
+    marker ``("unroutable" | "deadline", message, stats_tuple)`` — the
+    parent re-raises the matching exception with the identical message,
+    so failure behaviour is indistinguishable from the thread backend.
+    """
+    blocked, endpoint_ok, name_blocked, max_nodes = config
+    counts = _W_COUNTS
+    counts[:] = _W_ZERO_I
+    for w, c in counts_sparse.items():
+        counts[w] = c
+    history = _W_HISTORY
+    history[:] = _W_ZERO_F
+    for w, h in history_sparse.items():
+        history[w] = h
+    nets = {i: NetSpec.of(s, sk) for i, (s, sk) in group_nets.items()}
+    ctx = _NetRouter(
+        _W_GRAPH,
+        _W_ARCH,
+        blocked,
+        endpoint_ok,
+        name_blocked,
+        history,
+        max_nodes,
+        Deadline.after_ms(deadline_ms),
+    )
+    stats = SearchStats()
+    try:
+        out = ctx.route_group(group, nets, old_wires, counts, _W_STATE, pf, stats)
+    except errors.DeadlineExceededError as e:
+        return ("deadline", e.message, stats.as_dict())
+    except errors.UnroutableError as e:
+        return ("unroutable", e.message, stats.as_dict())
+    return (
+        "ok",
+        {idx: (plan, tuple(wires)) for idx, (plan, wires) in out.items()},
+        stats.as_dict(),
+    )
+
+
+#: Cached worker pools, keyed by (part name, worker count).  Reused
+#: across routing calls so steady-state requests pay no fork/attach
+#: cost; shut down at interpreter exit.
+_POOLS: dict[tuple[str, int], ProcessPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def _process_pool(arch: VirtexArch, workers: int) -> ProcessPoolExecutor:
+    key = (arch.part.name, workers)
+    pool = _POOLS.get(key)
+    if pool is None:
+        export = shared_graph_export(arch)  # before the lock: compiles
+        with _POOLS_LOCK:
+            pool = _POOLS.get(key)
+            if pool is None:
+                pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_process_worker_init,
+                    initargs=(export.meta, arch.part.name),
+                )
+                _POOLS[key] = pool
+    return pool
+
+
+def _drop_pool(arch: VirtexArch, workers: int) -> None:
+    with _POOLS_LOCK:
+        pool = _POOLS.pop((arch.part.name, workers), None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+@atexit.register
+def shutdown_process_pools() -> None:
+    """Shut down every cached process-backend worker pool (idempotent)."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
 def route_pathfinder(
     device: Device,
     nets: Sequence[NetSpec],
@@ -111,6 +428,7 @@ def route_pathfinder(
     max_nodes_per_net: int = 400_000,
     apply: bool = True,
     workers: int = 1,
+    backend: str = "thread",
     deadline: Deadline | None = None,
 ) -> PathFinderResult:
     """Route ``nets`` with negotiated congestion, then apply to the device.
@@ -122,14 +440,23 @@ def route_pathfinder(
     ``max_iterations`` (in which case nothing is applied).
 
     ``workers > 1`` routes spatial partitions of the net list
-    concurrently per iteration; see the module docstring.  ``workers=1``
-    reproduces the serial algorithm exactly (plan-identical to the
-    pre-kernel implementation).
+    concurrently per iteration; ``backend`` selects the execution vehicle
+    (``"thread"`` or ``"process"``, see the module docstring).  For a
+    fixed worker count, plans, costs and stats are identical across
+    backends; ``workers=1`` reproduces the serial algorithm exactly
+    (plan-identical to the pre-kernel implementation) on either backend.
 
     A ``deadline`` bounds the whole negotiation: when it expires the run
     is abandoned mid-iteration, nothing is applied, and the result comes
     back with ``converged=False, timed_out=True`` (no exception escapes).
+    For the process backend the remaining budget is re-shipped to the
+    workers at each iteration (explicit ``cancel()`` trips are honoured
+    at iteration barriers only).
     """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
     arch = device.arch
     graph = device.routing_graph()
     n_nodes = graph.n_nodes
@@ -140,9 +467,10 @@ def route_pathfinder(
         endpoint_ok.update(net.sinks)
 
     name_blocked = _name_block_table(use_longs, frozenset())
-    tile_coords = arch.tile_coords
 
     history: list[float] = [0.0] * n_nodes
+    #: sparse mirror of ``history`` (what the process backend ships)
+    history_sparse: dict[int, float] = {}
     #: wire -> set of net indices using it in the current solution
     usage: dict[int, set[int]] = {}
     #: use_count[w] == len(usage[w]); flat table for the kernel cost
@@ -153,71 +481,16 @@ def route_pathfinder(
     present_factor = present_factor_init
     stats = SearchStats()
 
-    def sink_order(net: NetSpec) -> list[int]:
-        sr, sc = tile_coords(net.source)
-        return sorted(
-            set(net.sinks),
-            key=lambda s: (
-                abs(tile_coords(s)[0] - sr) + abs(tile_coords(s)[1] - sc),
-                s,
-            ),
-        )
-
-    def route_net(
-        idx: int,
-        net: NetSpec,
-        counts: list[int],
-        state: SearchState,
-        pf: float,
-        local_stats: SearchStats,
-    ) -> None:
-        """Fanout-route one net under current congestion costs.
-
-        ``counts`` is the present-use table the search prices against
-        (the global one when serial, a worker-private overlay when
-        parallel); the net's previous wires must already be removed
-        from it by the caller.
-        """
-        tree: set[int] = {net.source}
-        plans[idx] = []
-        for sink in sink_order(net):
-            goal, _cost, _exp, _pushes, _fav, exceeded, search_timed_out = dijkstra(
-                graph,
-                state,
-                tree,
-                (sink,),
-                occupied=blocked,
-                allow=endpoint_ok,
-                name_blocked=name_blocked,
-                congestion=(counts, history, pf),
-                max_nodes=max_nodes_per_net,
-                stats=local_stats,
-                deadline=deadline,
-            )
-            if search_timed_out:
-                raise errors.DeadlineExceededError(
-                    f"pathfinder net {idx}: deadline expired at sink {sink}",
-                    search_stats=local_stats,
-                )
-            if exceeded:
-                raise errors.UnroutableError(
-                    f"pathfinder net {idx}: node budget exhausted",
-                    search_stats=local_stats,
-                )
-            if goal < 0:
-                raise errors.UnroutableError(
-                    f"pathfinder net {idx}: sink {sink} unreachable",
-                    search_stats=local_stats,
-                )
-            path = extract_plan(graph, state, goal)
-            plans[idx].extend(path)
-            canonicalize = arch.canonicalize
-            for row, col, _from_name, to_name in path:
-                canon = canonicalize(row, col, to_name)
-                assert canon is not None
-                tree.add(canon)
-        # commit usage (sources are exempt from sharing accounting)
-        net_wires[idx] = tree - {net.source}
+    ctx = _NetRouter(
+        graph,
+        arch,
+        blocked,
+        endpoint_ok,
+        name_blocked,
+        history,
+        max_nodes_per_net,
+        deadline,
+    )
 
     def rebuild_usage() -> None:
         usage.clear()
@@ -231,78 +504,154 @@ def route_pathfinder(
             use_count[w] = len(users)
 
     n_workers = max(1, min(workers, len(nets))) if nets else 1
-    serial_state = device.search_state()
-    worker_states = (
-        [SearchState(n_nodes) for _ in range(n_workers)] if n_workers > 1 else []
+    groups = (
+        _partition(device, nets, n_workers)
+        if n_workers > 1
+        else [list(range(len(nets)))]
     )
-    groups = _partition(device, nets, n_workers) if n_workers > 1 else []
 
-    def run_group(
-        gi: int, group: list[int], pf: float
-    ) -> SearchStats:
-        """Route one partition against a private use-count overlay."""
-        local_counts = list(use_count)
-        local_stats = SearchStats()
-        state = worker_states[gi]
-        for idx in group:
-            for w in net_wires[idx]:
-                local_counts[w] -= 1
-            route_net(idx, nets[idx], local_counts, state, pf, local_stats)
-            for w in net_wires[idx]:
-                local_counts[w] += 1
-        return local_stats
+    def merge_group(out: Mapping[int, tuple[list[PlanPip], Sequence[int]]]) -> None:
+        for idx, (plan, wires) in out.items():
+            plans[idx] = plan
+            net_wires[idx] = set(wires)
+
+    pool = None
+    proc_config = None
+    if n_workers > 1:
+        if backend == "thread":
+            # one pool per routing call (not per iteration)
+            pool = ThreadPoolExecutor(max_workers=n_workers)
+            worker_states = [SearchState(n_nodes) for _ in range(n_workers)]
+        else:
+            pool = _process_pool(arch, n_workers)
+            proc_config = (
+                blocked.tobytes(),
+                frozenset(endpoint_ok),
+                name_blocked,
+                max_nodes_per_net,
+            )
+    else:
+        serial_state = device.search_state()
 
     converged = False
     timed_out = False
     iteration = 0
-    for iteration in range(1, max_iterations + 1):
-        try:
-            if n_workers > 1:
-                with ThreadPoolExecutor(max_workers=n_workers) as pool:
+    try:
+        for iteration in range(1, max_iterations + 1):
+            try:
+                if n_workers == 1:
+                    counts = list(use_count)
+                    merge_group(
+                        ctx.route_group(
+                            groups[0],
+                            nets,
+                            net_wires,
+                            counts,
+                            serial_state,
+                            present_factor,
+                            stats,
+                        )
+                    )
+                elif backend == "thread":
                     futures = [
-                        pool.submit(run_group, gi, group, present_factor)
+                        pool.submit(
+                            _thread_group_task,
+                            ctx,
+                            group,
+                            nets,
+                            net_wires,
+                            use_count,
+                            worker_states[gi],
+                            present_factor,
+                        )
                         for gi, group in enumerate(groups)
                     ]
                     for fut in futures:
-                        stats.merge(fut.result())
+                        try:
+                            out, group_stats = fut.result()
+                        except errors.RoutingFailure as e:
+                            st = e.search_stats
+                            if st is not None and st is not stats:
+                                stats.merge(st)
+                            raise
+                        stats.merge(group_stats)
+                        merge_group(out)
+                else:
+                    remaining_ms = None
+                    if deadline is not None:
+                        # honour explicit cancel() at the iteration barrier
+                        # (workers only ever see a wall-clock budget)
+                        if deadline.expired():
+                            raise errors.DeadlineExceededError(
+                                "pathfinder abandoned: deadline expired",
+                                search_stats=stats,
+                            )
+                        rem = deadline.remaining_ms()
+                        remaining_ms = None if rem == float("inf") else rem
+                    counts_sparse = {
+                        w: len(users) for w, users in usage.items()
+                    }
+                    futures = [
+                        pool.submit(
+                            _process_group_task,
+                            proc_config,
+                            group,
+                            {
+                                idx: (nets[idx].source, nets[idx].sinks)
+                                for idx in group
+                            },
+                            {idx: tuple(net_wires[idx]) for idx in group},
+                            counts_sparse,
+                            history_sparse,
+                            present_factor,
+                            remaining_ms,
+                        )
+                        for group in groups
+                    ]
+                    for fut in futures:
+                        try:
+                            kind, payload, stats_dict = fut.result()
+                        except BrokenProcessPool:
+                            _drop_pool(arch, n_workers)
+                            raise
+                        group_stats = SearchStats(**stats_dict)
+                        stats.merge(group_stats)
+                        if kind == "deadline":
+                            raise errors.DeadlineExceededError(
+                                payload, search_stats=group_stats
+                            )
+                        if kind == "unroutable":
+                            raise errors.UnroutableError(
+                                payload, search_stats=group_stats
+                            )
+                        merge_group(payload)
                 rebuild_usage()
-            else:
-                for idx, net in enumerate(nets):
-                    # rip up before re-pricing this net's search
-                    for w in net_wires[idx]:
-                        users = usage.get(w)
-                        if users:
-                            users.discard(idx)
-                            use_count[w] = len(users)
-                            if not users:
-                                del usage[w]
-                    net_wires[idx] = set()
-                    route_net(
-                        idx, net, use_count, serial_state, present_factor, stats
-                    )
-                    for w in net_wires[idx]:
-                        users = usage.setdefault(w, set())
-                        users.add(idx)
-                        use_count[w] = len(users)
-        except errors.DeadlineExceededError:
-            # abandon the whole negotiation: nothing has been applied to
-            # the device yet, so the structured "partial" outcome is just
-            # the honest not-converged result
-            timed_out = True
-            break
-        shared = [w for w, users in usage.items() if len(users) > 1]
-        if not shared:
-            converged = True
-            break
-        for w in shared:
-            history[w] += history_increment
-        present_factor *= present_factor_mult
+            except errors.DeadlineExceededError:
+                # abandon the whole negotiation: nothing has been applied
+                # to the device yet, so the structured "partial" outcome
+                # is just the honest not-converged result
+                timed_out = True
+                break
+            shared = [w for w, users in usage.items() if len(users) > 1]
+            if not shared:
+                converged = True
+                break
+            for w in shared:
+                history[w] += history_increment
+                history_sparse[w] = history[w]
+            present_factor *= present_factor_mult
+    finally:
+        if backend == "thread" and pool is not None:
+            pool.shutdown(wait=True)
+        # the process pool is cached for reuse; shut down at exit
+        record_global(stats)
 
     result = PathFinderResult(
         iterations=iteration,
         converged=converged,
         stats=stats,
         workers=n_workers,
+        backend=backend,
         timed_out=timed_out,
     )
     if converged:

@@ -257,3 +257,68 @@ class TestAppliedPlansLegal:
         res = route_maze(device, [spec.source], {spec.sinks[0]})
         apply_plan(device, res.plan)
         audit_no_contention(device)
+
+
+class TestFaultMaskCacheToken:
+    """The per-fault-model edge-mask cache is keyed by a stable token.
+
+    The original cache was keyed by ``id(graph)``; CPython reuses
+    addresses, so a dead graph's entry could be served — stale mask,
+    wrong length — to an unrelated new graph allocated at the same id.
+    The token (part name + generation counter) can never collide.
+    """
+
+    def test_mask_always_belongs_to_the_live_graph(self):
+        import gc
+
+        from repro.arch.graph import RoutingGraph
+
+        arch = VirtexArch("XCV50")
+        faults = FaultModel.random(arch, seed=1, stuck_open_rate=0.01)
+        seen_tokens = set()
+        for _ in range(20):
+            g = RoutingGraph(arch)
+            g._materialize(0)
+            g._materialize(1)
+            m = g.fault_edge_mask(faults)
+            # an id-keyed cache would intermittently hand back the
+            # previous (collected) graph's mask here
+            assert m.graph is g
+            assert len(m.mask) == g.n_edges
+            assert g.token not in seen_tokens
+            seen_tokens.add(g.token)
+            del g, m
+            gc.collect()
+        # dead entries are pruned as new graphs come through
+        assert len(faults._edge_masks) <= 2
+
+    def test_distinct_graphs_same_part_get_distinct_masks(self):
+        from repro.arch.graph import RoutingGraph
+
+        arch = VirtexArch("XCV50")
+        faults = FaultModel.random(arch, seed=2, stuck_open_rate=0.01)
+        g1 = RoutingGraph(arch)
+        g2 = RoutingGraph(arch)
+        g1._materialize(0)
+        g2._materialize(0)
+        m1 = g1.fault_edge_mask(faults)
+        m2 = g2.fault_edge_mask(faults)
+        assert g1.token != g2.token
+        assert m1 is not m2
+        assert m1.graph is g1 and m2.graph is g2
+
+    def test_mask_does_not_keep_graph_alive(self):
+        import gc
+        import weakref
+
+        from repro.arch.graph import RoutingGraph
+
+        arch = VirtexArch("XCV50")
+        faults = FaultModel.random(arch, seed=3, stuck_open_rate=0.01)
+        g = RoutingGraph(arch)
+        g._materialize(0)
+        g.fault_edge_mask(faults)
+        ref = weakref.ref(g)
+        del g
+        gc.collect()
+        assert ref() is None  # the cached mask holds only a weakref
