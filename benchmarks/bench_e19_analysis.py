@@ -1,0 +1,214 @@
+"""E19: static-analysis throughput and the seeded-defect detection gate.
+
+Measures what ``repro analyze`` costs and proves what it catches:
+
+* **plan-lint throughput** — fabric-legality checking of a serialized
+  PIP-plan corpus, reported in pips/s;
+* **template-set lint** — reachability/dead-entry analysis of the
+  predefined template library;
+* **WAL + checkpoint lint** — replay-legality scan of a real
+  :class:`~repro.core.wal.DurableSession` journal;
+* **codelint sweep** — the full AST hazard pass over the ``repro``
+  package source;
+* **seeded-defect detection** (``--check``) — generate a corpus where
+  *every* plan carries a deliberate drive conflict and require the
+  linter to report each one, and none on the clean twin.  This is the
+  CI detection gate::
+
+      PYTHONPATH=src python benchmarks/bench_e19_analysis.py --smoke --check
+
+Under pytest only the timing-free shape tests and pytest-benchmark
+timings run.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+
+from repro.analysis import analyze_paths, default_target
+from repro.analysis.plans import load_plans, random_plan_corpus
+from repro.analysis import routelint
+from repro.arch.virtex import VirtexArch
+from repro.bench.workloads import random_p2p_nets
+from repro.core import DurableSession, JRouter
+from repro.core.wal import write_checkpoint
+from repro.routers.template_sets import predefined_templates
+
+DISPLACEMENTS = ((2, 3), (0, 4), (5, 0), (3, 3))
+
+
+def _corpus(n_plans: int, *, conflict_rate: float = 0.0, seed: int = 19):
+    """A named-plan list plus its total pip count."""
+    _, named = load_plans(
+        random_plan_corpus(
+            "XCV50", n_plans=n_plans, seed=seed, conflict_rate=conflict_rate
+        )
+    )
+    return named, sum(len(pips) for _, pips in named)
+
+
+def seeded_conflicts(named) -> int:
+    """How many drive conflicts ``random_plan_corpus`` planted."""
+    for name, pips in named:
+        if name == "conflict-seed":
+            return len(pips)
+    return 0
+
+
+def _session_artifacts(tmp: str, *, n_nets: int = 12):
+    """Route a real workload under a DurableSession; returns (wal, ckpt)."""
+    wal_path = os.path.join(tmp, "session.wal")
+    ckpt_path = os.path.join(tmp, "session.ckpt")
+    router = JRouter(part="XCV50")
+    pairs = [
+        (net.source, net.sinks[0])
+        for net in random_p2p_nets(router.device.arch, n_nets, seed=19)
+    ]
+    with DurableSession(router, wal_path) as session:
+        for src, sink in pairs:
+            router.route(src, sink)
+        write_checkpoint(
+            ckpt_path, router.device, seq=session.seq, netdb=router.netdb
+        )
+    return wal_path, ckpt_path
+
+
+def lint_template_library(arch) -> int:
+    """Lint every predefined template set; returns findings found."""
+    n = 0
+    for drow, dcol in DISPLACEMENTS:
+        values = [t.values for t in predefined_templates(drow, dcol)]
+        n += len(
+            routelint.lint_template_set(
+                arch, values, displacement=(drow, dcol), start=(5, 5)
+            )
+        )
+    return n
+
+
+# ------------------------------------------------------------------ bench main
+
+
+def run(smoke: bool) -> int:
+    arch = VirtexArch("XCV50")
+    n_plans = 32 if smoke else 256
+    named, n_pips = _corpus(n_plans)
+
+    t0 = time.perf_counter()
+    clean = routelint.lint_plans(arch, named)
+    dt_plans = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    tpl_findings = lint_template_library(arch)
+    dt_tpl = time.perf_counter() - t0
+
+    tmp = tempfile.mkdtemp(prefix="e19-bench-")
+    wal_path, ckpt_path = _session_artifacts(tmp, n_nets=8 if smoke else 24)
+    t0 = time.perf_counter()
+    wal_findings = routelint.lint_wal_file(wal_path)
+    ckpt_findings = routelint.lint_checkpoint_file(
+        ckpt_path, wal_path=wal_path
+    )
+    dt_wal = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    report = analyze_paths([default_target()])
+    dt_code = time.perf_counter() - t0
+
+    print(f"plan lint   {n_plans:4d} plans / {n_pips} pips "
+          f"{dt_plans * 1e3:8.1f} ms  ({n_pips / dt_plans:,.0f} pips/s)")
+    print(f"template lint  {len(DISPLACEMENTS)} sets          "
+          f"{dt_tpl * 1e3:8.1f} ms  ({tpl_findings} finding(s))")
+    print(f"wal+ckpt lint                 {dt_wal * 1e3:8.1f} ms  "
+          f"({len(wal_findings) + len(ckpt_findings)} finding(s))")
+    print(f"codelint    {len(report.inputs):4d} files         "
+          f"{dt_code * 1e3:8.1f} ms  ({len(report.findings)} finding(s), "
+          f"{len(report.suppressed)} suppressed)")
+    ok = (
+        not clean
+        and not tpl_findings
+        and not wal_findings
+        and not ckpt_findings
+        and not report.findings
+    )
+    return 0 if ok else 1
+
+
+def detection_check(smoke: bool) -> int:
+    """The CI gate: every seeded drive conflict must be reported."""
+    arch = VirtexArch("XCV50")
+    n_plans = 16 if smoke else 64
+
+    clean, _ = _corpus(n_plans)
+    false_alarms = routelint.lint_plans(arch, clean)
+
+    bad, _ = _corpus(n_plans, conflict_rate=1.0)
+    planted = seeded_conflicts(bad)
+    findings = routelint.lint_plans(arch, bad)
+    conflicts = [f for f in findings if f.rule == "RL004"]
+
+    print(f"seeded-defect detection: {planted} conflict(s) planted, "
+          f"{len(conflicts)} detected, {len(false_alarms)} false alarm(s)")
+    if len(conflicts) != planted or false_alarms or planted == 0:
+        print("DETECTION REGRESSION: the linter missed a planted conflict "
+              "or flagged a legal corpus")
+        return 1
+    print("detection check ok")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    if "--check" in argv:
+        return detection_check(smoke)
+    return run(smoke)
+
+
+# ---------------------------------------------------------------- shape tests
+# Timing-free detection guarantees, pinned under pytest/CI.
+
+
+def test_shape_clean_corpus_has_no_findings(device):
+    named, n_pips = _corpus(24)
+    assert n_pips > 0
+    assert routelint.lint_plans(device.arch, named) == []
+
+
+def test_shape_every_seeded_conflict_is_detected(device):
+    named, _ = _corpus(24, conflict_rate=1.0)
+    planted = seeded_conflicts(named)
+    assert planted > 0
+    findings = routelint.lint_plans(device.arch, named)
+    assert len([f for f in findings if f.rule == "RL004"]) == planted
+    assert all(f.rule == "RL004" for f in findings)
+
+
+def test_shape_template_library_is_clean(device):
+    assert lint_template_library(device.arch) == 0
+
+
+def test_shape_live_session_journal_lints_clean(tmp_path):
+    wal_path, ckpt_path = _session_artifacts(str(tmp_path), n_nets=4)
+    assert routelint.lint_wal_file(wal_path) == []
+    assert routelint.lint_checkpoint_file(ckpt_path, wal_path=wal_path) == []
+
+
+def test_plan_lint_cost(benchmark, device):
+    """Fabric-legality scan over a 64-plan corpus."""
+    named, n_pips = _corpus(64)
+    assert n_pips > 100
+    assert benchmark(lambda: routelint.lint_plans(device.arch, named)) == []
+
+
+def test_codelint_sweep_cost(benchmark):
+    """The full AST hazard pass over the repro package source."""
+    report = benchmark(lambda: analyze_paths([default_target()]))
+    assert report.findings == []
+    assert len(report.inputs) > 40
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,33 @@
+"""Static analysis for routing artifacts and for our own source.
+
+Two engines, one finding format (:mod:`repro.analysis.findings`):
+
+* :mod:`repro.analysis.routelint` — Layer 1, fabric-aware validation of
+  Paths, templates, port maps, serialized PIP plans, WALs and
+  checkpoints against the architecture model, with no routing runs;
+* :mod:`repro.analysis.codelint` — Layer 2, an AST pass over the source
+  tree detecting the concurrency-hazard bug classes previous PRs fixed.
+
+``repro analyze`` (see :mod:`repro.cli`) drives both; CI runs it with
+``--strict`` as a merge gate.  The catalog of rule ids lives in
+:mod:`repro.analysis.rules` and is documented in ``docs/ANALYSIS.md``.
+"""
+
+from .findings import SCHEMA_VERSION, Finding, Report, Severity
+from .rules import RULES, Rule, artifact_rules, code_rules, rule
+from .driver import analyze_paths, default_target, filter_rules
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Finding",
+    "Report",
+    "Severity",
+    "RULES",
+    "Rule",
+    "rule",
+    "artifact_rules",
+    "code_rules",
+    "analyze_paths",
+    "default_target",
+    "filter_rules",
+]

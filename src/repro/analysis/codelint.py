@@ -1,0 +1,470 @@
+"""Layer 2: AST-based concurrency-hazard detection over our own source.
+
+Every rule here (``RPR001``-``RPR006``) is a named, regression-proof
+form of a bug class a previous PR actually hit and fixed — ``id()``-keyed
+caches aliasing collected objects, module globals mutated off-lock from
+worker threads, executors constructed per loop iteration, search loops a
+deadline cannot bound, leaked shared-memory segments, and broad excepts
+that swallow :class:`~repro.errors.RoutingFailure` context.  The pass is
+purely syntactic (:mod:`ast`), needs no imports of the analysed code,
+and is fast enough to run on every commit.
+
+Suppression: a finding on a line containing ``# repro: noqa`` (all
+rules) or ``# repro: noqa RPR004`` (listed rules only) is moved to the
+report's ``suppressed`` list instead of dropped, so CI can still count
+justified exceptions.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from .findings import Finding, Severity
+
+__all__ = ["lint_source", "lint_file", "parse_noqa"]
+
+#: ``# repro: noqa`` / ``# repro: noqa RPR001,RPR004`` (ids optional)
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s*:?\s+(?P<ids>[A-Z]{2,3}\d{3}(?:[,\s]+[A-Z]{2,3}\d{3})*))?",
+)
+
+#: call names whose first positional argument is a mapping key
+_KEYED_METHODS = {"get", "setdefault", "pop"}
+
+#: attribute calls that mutate their receiver in place
+_MUTATORS = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "update",
+    "merge",
+    "clear",
+    "pop",
+    "popitem",
+    "remove",
+    "discard",
+    "setdefault",
+    "appendleft",
+}
+
+#: executor/pool constructors (RPR003)
+_POOLS = {"ThreadPoolExecutor", "ProcessPoolExecutor", "Pool"}
+
+#: broad exception classes (RPR006a)
+_BROAD = {"Exception", "BaseException"}
+
+#: project failure types whose silent discard loses structured context
+_FAILURES = {"JRouteError", "RoutingFailure"}
+
+
+def parse_noqa(source: str) -> dict[int, frozenset[str] | None]:
+    """Map 1-based line -> suppressed rule ids (None = all rules)."""
+    out: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if m is None:
+            continue
+        ids = m.group("ids")
+        if ids is None:
+            out[lineno] = None
+        else:
+            out[lineno] = frozenset(re.split(r"[,\s]+", ids.strip()))
+    return out
+
+
+def _is_id_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+    )
+
+
+def _contains_id_call(node: ast.AST) -> ast.Call | None:
+    """The first ``id(...)`` call anywhere inside ``node``, if any."""
+    for sub in ast.walk(node):
+        if _is_id_call(sub):
+            return sub  # type: ignore[return-value]
+    return None
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted-name text of an expression (for messages)."""
+    try:
+        return ast.unparse(node)
+    # message-rendering fallback: unparse failure must never abort a lint
+    except Exception:  # pragma: no cover  # repro: noqa RPR006
+        return "<expr>"
+
+
+def _call_name(node: ast.Call) -> str:
+    f = node.func
+    if isinstance(f, ast.Name):
+        return f.id
+    if isinstance(f, ast.Attribute):
+        return f.attr
+    return ""
+
+
+def _names_in(node: ast.AST) -> set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+class _CodeLinter(ast.NodeVisitor):
+    """One pass over a module, accumulating findings.
+
+    The visitor keeps three bits of scope context while descending:
+    the enclosing loop stack (RPR003/RPR004), the enclosing ``with``
+    items (RPR002's lock-guard exemption), and the enclosing function
+    (RPR004's deadline parameter).
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.findings: list[Finding] = []
+        # module-level names bound to mutable containers / objects
+        self.module_globals = self._collect_module_globals(tree)
+        self.module_text_has_unlink = ".unlink" in source or re.search(
+            r"\batexit\.register\b", source
+        ) is not None
+        self._loops: list[ast.For | ast.While] = []
+        self._withs: list[ast.With] = []
+        self._funcs: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+
+    # -- plumbing ----------------------------------------------------------
+
+    @staticmethod
+    def _collect_module_globals(tree: ast.Module) -> set[str]:
+        out: set[str] = set()
+        for node in tree.body:
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+            else:
+                continue
+            for t in targets:
+                if isinstance(t, ast.Name):
+                    out.add(t.id)
+        return out
+
+    def _emit(
+        self,
+        rule: str,
+        severity: Severity,
+        node: ast.AST,
+        message: str,
+        hint: str,
+    ) -> None:
+        self.findings.append(
+            Finding.make(
+                rule,
+                severity,
+                message,
+                hint=hint,
+                file=self.path,
+                line=getattr(node, "lineno", None),
+                col=getattr(node, "col_offset", None),
+            )
+        )
+
+    def _under_lock(self) -> bool:
+        """True inside a ``with`` whose context expression names a lock."""
+        for w in self._withs:
+            for item in w.items:
+                if "lock" in _dotted(item.context_expr).lower():
+                    return True
+        return False
+
+    def _is_module_global(self, name: str) -> bool:
+        return name in self.module_globals
+
+    # -- scope tracking ----------------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        self._withs.append(node)
+        self.generic_visit(node)
+        self._withs.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_deadline_loops(node)
+        self._funcs.append(node)
+        self.generic_visit(node)
+        self._funcs.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self.visit_FunctionDef(node)  # type: ignore[arg-type]
+
+    def visit_For(self, node: ast.For) -> None:
+        self._loops.append(node)
+        self.generic_visit(node)
+        self._loops.pop()
+
+    def visit_While(self, node: ast.While) -> None:
+        self._loops.append(node)
+        self.generic_visit(node)
+        self._loops.pop()
+
+    # -- RPR001: id()-keyed caches -----------------------------------------
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        bad = _contains_id_call(node.slice)
+        if bad is not None:
+            self._emit(
+                "RPR001",
+                Severity.ERROR,
+                bad,
+                f"id(...) used as a mapping key in "
+                f"{_dotted(node.value)}[...]",
+                "CPython reuses ids after collection; key on a stable "
+                "token (object field, weakref, or an explicit epoch)",
+            )
+        self.generic_visit(node)
+
+    # -- RPR001 (keyed methods) / RPR003 / RPR005 --------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and name in _KEYED_METHODS
+            and node.args
+        ):
+            bad = _contains_id_call(node.args[0])
+            if bad is not None:
+                self._emit(
+                    "RPR001",
+                    Severity.ERROR,
+                    bad,
+                    f"id(...) used as the key of "
+                    f"{_dotted(node.func)}(...)",
+                    "CPython reuses ids after collection; key on a "
+                    "stable token instead",
+                )
+        if name in _POOLS and self._loops:
+            self._emit(
+                "RPR003",
+                Severity.WARNING,
+                node,
+                f"{name} constructed inside a loop",
+                "hoist the pool out of the loop and reuse its workers "
+                "across iterations",
+            )
+        if name == "SharedMemory" and any(
+            isinstance(k, ast.keyword)
+            and k.arg == "create"
+            and isinstance(k.value, ast.Constant)
+            and k.value.value is True
+            for k in node.keywords
+        ):
+            if not self.module_text_has_unlink:
+                self._emit(
+                    "RPR005",
+                    Severity.ERROR,
+                    node,
+                    "SharedMemory(create=True) in a module that never "
+                    "unlinks a segment",
+                    "register cleanup (atexit.register or a finally "
+                    "calling .close()/.unlink()) or the segment "
+                    "outlives the process",
+                )
+        self.generic_visit(node)
+
+    # -- RPR002: unguarded module-global mutation --------------------------
+
+    def _flag_global_mutation(self, node: ast.AST, name: str, how: str) -> None:
+        if not self._funcs or self._under_lock():
+            return
+        self._emit(
+            "RPR002",
+            Severity.ERROR,
+            node,
+            f"module global {name!r} {how} outside a lock guard",
+            "wrap the mutation in the module's lock (e.g. `with "
+            "_LOCK:`) or confine the state to one thread",
+        )
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        t = node.target
+        if isinstance(t, ast.Name) and self._is_module_global(t.id):
+            self._flag_global_mutation(node, t.id, "is aug-assigned")
+        elif isinstance(t, ast.Subscript) and isinstance(t.value, ast.Name):
+            if self._is_module_global(t.value.id):
+                self._flag_global_mutation(
+                    node, t.value.id, "has an item aug-assigned"
+                )
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for t in node.targets:
+            if isinstance(t, ast.Subscript) and isinstance(t.value, ast.Name):
+                if self._is_module_global(t.value.id):
+                    self._flag_global_mutation(
+                        node, t.value.id, "has an item assigned"
+                    )
+        self.generic_visit(node)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        v = node.value
+        if (
+            isinstance(v, ast.Call)
+            and isinstance(v.func, ast.Attribute)
+            and v.func.attr in _MUTATORS
+            and isinstance(v.func.value, ast.Name)
+            and self._is_module_global(v.func.value.id)
+        ):
+            self._flag_global_mutation(
+                node, v.func.value.id, f"is mutated via .{v.func.attr}()"
+            )
+        self.generic_visit(node)
+
+    # -- RPR004: deadline-poll-missing -------------------------------------
+
+    def _check_deadline_loops(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        params = {
+            a.arg
+            for a in [
+                *func.args.posonlyargs,
+                *func.args.args,
+                *func.args.kwonlyargs,
+            ]
+        }
+        if "deadline" not in params:
+            return
+        for loop, guarded in self._unbounded_loops(func):
+            if guarded:
+                continue
+            if "deadline" in _names_in(loop):
+                continue
+            self._emit(
+                "RPR004",
+                Severity.WARNING,
+                loop,
+                f"unbounded loop in {func.name}() never polls the "
+                f"deadline parameter",
+                "call deadline.poll() (masked is fine) inside the "
+                "loop, or document why the loop is bounded and "
+                "suppress with `# repro: noqa RPR004`",
+            )
+
+    @staticmethod
+    def _unbounded_loops(
+        func: ast.AST,
+    ) -> Iterator[tuple[ast.While, bool]]:
+        """Yield ``(while_loop, deadline_guarded)`` for unbounded loops.
+
+        A loop is *unbounded* when its test is a constant true or a bare
+        name (``while heap:``) — the classic search-loop shapes.  It is
+        *guarded* when some ancestor ``if`` that dominates the loop
+        mentions ``deadline`` (the compiled-kernel fast path pattern).
+        """
+
+        def walk(node: ast.AST, guard: bool) -> Iterator[tuple[ast.While, bool]]:
+            for child in ast.iter_child_nodes(node):
+                g = guard
+                if isinstance(child, ast.If) and "deadline" in _names_in(
+                    child.test
+                ):
+                    g = True
+                if isinstance(child, ast.While):
+                    test = child.test
+                    unbounded = (
+                        isinstance(test, ast.Constant) and bool(test.value)
+                    ) or isinstance(test, ast.Name)
+                    if unbounded:
+                        yield child, g
+                if not isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    yield from walk(child, g)
+
+        yield from walk(func, False)
+
+    # -- RPR006: swallowed exceptions --------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        names: set[str] = set()
+        if node.type is not None:
+            for sub in ast.walk(node.type):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+                elif isinstance(sub, ast.Attribute):
+                    names.add(sub.attr)
+        has_raise = any(
+            isinstance(sub, ast.Raise) for sub in ast.walk(node)
+        )
+        if node.type is None or names & _BROAD:
+            if not has_raise:
+                what = "bare except" if node.type is None else (
+                    f"except {_dotted(node.type)}"
+                )
+                self._emit(
+                    "RPR006",
+                    Severity.WARNING,
+                    node,
+                    f"{what} swallows all failures (no re-raise in the "
+                    f"handler)",
+                    "catch the narrowest type that can actually occur, "
+                    "or re-raise after cleanup",
+                )
+        elif names & _FAILURES:
+            body = node.body
+            if all(isinstance(s, (ast.Pass, ast.Continue)) for s in body):
+                self._emit(
+                    "RPR006",
+                    Severity.WARNING,
+                    node,
+                    f"except {_dotted(node.type)} discards the failure "
+                    f"and its structured context",
+                    "log the failure (it carries row/col/wire context) "
+                    "or let it propagate",
+                )
+        self.generic_visit(node)
+
+
+def lint_source(
+    source: str, path: str = "<input>"
+) -> tuple[list[Finding], list[Finding]]:
+    """Lint Python source text; returns ``(findings, suppressed)``."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as e:
+        f = Finding.make(
+            "RPR006",
+            Severity.ERROR,
+            f"cannot parse: {e.msg}",
+            hint="the code linter needs syntactically valid Python",
+            file=path,
+            line=e.lineno,
+            col=(e.offset - 1) if e.offset else None,
+        )
+        return [f], []
+    linter = _CodeLinter(path, source, tree)
+    linter.visit(tree)
+    noqa = parse_noqa(source)
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for f in linter.findings:
+        ids = noqa.get(f.line or 0, "missing")
+        if ids == "missing":
+            kept.append(f)
+        elif ids is None or f.rule in ids:  # type: ignore[operator]
+            suppressed.append(f)
+        else:
+            kept.append(f)
+    kept.sort(key=lambda f: (f.line or 0, f.col or 0, f.rule))
+    return kept, suppressed
+
+
+def lint_file(path: str) -> tuple[list[Finding], list[Finding]]:
+    """Lint one Python file; returns ``(findings, suppressed)``."""
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        return lint_source(fh.read(), path)

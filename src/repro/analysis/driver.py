@@ -1,0 +1,106 @@
+"""Orchestration: sweep paths through both analysis engines.
+
+``analyze_paths`` is what the CLI and CI call: Python files go through
+the AST hazard detector (:mod:`repro.analysis.codelint`), everything
+else is sniffed and routed to the artifact linter
+(:mod:`repro.analysis.routelint`).  Directories are walked recursively;
+with no paths at all, the installed ``repro`` package source is analysed
+— the self-hosting default that CI gates on.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+from . import codelint, routelint
+from .findings import Finding, Report, Severity
+from .rules import RULES
+
+__all__ = ["analyze_paths", "default_target", "filter_rules"]
+
+#: directories never descended into during a sweep
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+#: artifact extensions worth sniffing (anything else non-.py is skipped
+#: during directory walks; explicit file arguments are always analysed)
+_ARTIFACT_EXTS = {".json", ".wal", ".ckpt", ".plan", ".tpl"}
+
+
+def default_target() -> str:
+    """The package's own source tree (self-hosting target)."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _walk(root: str) -> Iterable[tuple[str, bool]]:
+    """Yield ``(path, explicit)`` for files under ``root``."""
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+        for name in sorted(filenames):
+            yield os.path.join(dirpath, name), False
+
+
+def analyze_paths(
+    paths: Sequence[str] | None = None,
+    *,
+    part: str | None = None,
+    rules: frozenset[str] | None = None,
+) -> Report:
+    """Run both engines over ``paths`` (default: the repro package).
+
+    ``rules`` restricts the report to a rule-id subset; suppression
+    accounting is unaffected.  Unreadable paths become findings, not
+    exceptions, so a CI sweep always produces a report.
+    """
+    report = Report()
+    work: list[tuple[str, bool]] = []
+    for p in paths if paths else [default_target()]:
+        if os.path.isdir(p):
+            work.extend(_walk(p))
+        else:
+            work.append((p, True))
+    for path, explicit in work:
+        ext = os.path.splitext(path)[1].lower()
+        if ext == ".py":
+            report.inputs.append(path)
+            try:
+                kept, suppressed = codelint.lint_file(path)
+            except OSError as e:
+                report.add(_unreadable(path, e))
+                continue
+            report.extend(kept)
+            report.suppressed.extend(suppressed)
+        elif explicit or ext in _ARTIFACT_EXTS:
+            report.inputs.append(path)
+            try:
+                _, findings = routelint.lint_artifact_file(path, part=part)
+            except OSError as e:
+                report.add(_unreadable(path, e))
+                continue
+            report.extend(findings)
+    if rules is not None:
+        report.findings = [f for f in report.findings if f.rule in rules]
+    report.sort()
+    return report
+
+
+def _unreadable(path: str, err: OSError) -> Finding:
+    return Finding.make(
+        "RL007",
+        Severity.ERROR,
+        f"unreadable input: {err}",
+        hint="check the path and permissions",
+        file=path,
+    )
+
+
+def filter_rules(spec: str) -> frozenset[str]:
+    """Parse a ``--rules RPR001,RL004`` spec, validating ids."""
+    ids = frozenset(s.strip() for s in spec.split(",") if s.strip())
+    unknown = ids - set(RULES)
+    if unknown:
+        raise ValueError(
+            f"unknown rule ids: {', '.join(sorted(unknown))} "
+            f"(see `repro analyze --list-rules`)"
+        )
+    return ids

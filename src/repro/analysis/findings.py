@@ -1,0 +1,292 @@
+"""The one finding format shared by both static-analysis engines.
+
+Every defect either engine detects — an illegal template step in a route
+artifact, an ``id()``-keyed cache in our own source — is reported as a
+:class:`Finding`: rule id, severity, location, message, fix hint.  The
+location keys (``file``/``line``/``col`` for code, ``row``/``col``/
+``wire``/``frame``/``offset``/``seq``/``net`` for artifacts) are exactly
+the keys :meth:`repro.errors.RoutingFailure.context` and
+:class:`repro.errors.LocatedError` render at run time, so a lint report
+and a production stack trace point at a problem in the same vocabulary.
+
+The JSON form is versioned (:data:`SCHEMA_VERSION`) and round-trips
+losslessly (``Finding.from_dict(f.to_dict()) == f``); CI and editor
+integrations consume it via ``repro analyze --json``.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Severity",
+    "Finding",
+    "Report",
+]
+
+#: Version of the JSON finding schema (bump on incompatible change).
+SCHEMA_VERSION = 1
+
+#: Location keys permitted in :attr:`Finding.context`, in render order.
+#: Shared with the runtime error hierarchy — see module docstring.
+_CONTEXT_KEYS = (
+    "row",
+    "col",
+    "wire",
+    "net",
+    "frame",
+    "offset",
+    "seq",
+    "plan",
+    "step",
+    "template",
+)
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings describe artifacts that cannot work or code that
+    is wrong under concurrency; ``WARNING`` findings describe likely
+    defects that need a human judgement; ``INFO`` is advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One machine-readable static-analysis finding.
+
+    Attributes
+    ----------
+    rule:
+        Stable rule id (``"RPR001"``, ``"RL004"`` — see
+        :mod:`repro.analysis.rules`).  Ids never change meaning; retired
+        rules are not reused.
+    severity:
+        :class:`Severity` of this occurrence.
+    message:
+        One-line description of the defect.
+    hint:
+        Actionable fix suggestion ("guard the mutation with a lock",
+        "use a stable cache token"), or ``""``.
+    file:
+        Source file or artifact path the finding is located in, or
+        ``""`` for findings about in-memory objects.
+    line:
+        1-based line for code findings and line-oriented artifacts
+        (WAL), or ``None``.
+    col:
+        0-based column for code findings, or ``None``.
+    context:
+        Extra structured location (fabric coordinates, frame/offset,
+        plan/step indices) restricted to the shared location keys.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    hint: str = ""
+    file: str = ""
+    line: int | None = None
+    col: int | None = None
+    context: tuple[tuple[str, int | str], ...] = ()
+
+    @staticmethod
+    def make(
+        rule: str,
+        severity: Severity,
+        message: str,
+        *,
+        hint: str = "",
+        file: str = "",
+        line: int | None = None,
+        col: int | None = None,
+        at: tuple[int, int] | None = None,
+        **context: int | str | None,
+    ) -> "Finding":
+        """Build a finding, dropping ``None`` context values and pinning
+        context-key order so equal findings compare equal.
+
+        ``col`` is the 0-based *source-code* column; fabric tile
+        coordinates go through ``at=(row, col)``, which expands to the
+        ``row``/``col`` context keys (the keyword ``col`` cannot reach
+        ``**context`` because the code-column parameter shadows it).
+        """
+        if at is not None:
+            context["row"], context["col"] = at
+        items = tuple(
+            (k, v)
+            for k in _CONTEXT_KEYS
+            if (v := context.pop(k, None)) is not None
+        )
+        if context:
+            raise ValueError(
+                f"unknown finding context keys: {sorted(context)}"
+            )
+        return Finding(
+            rule=rule,
+            severity=severity,
+            message=message,
+            hint=hint,
+            file=file,
+            line=line,
+            col=col,
+            context=items,
+        )
+
+    # -- rendering ---------------------------------------------------------
+
+    def location(self) -> str:
+        """Human-readable ``file:line:col [k=v, ...]`` location string."""
+        loc = self.file or "<input>"
+        if self.line is not None:
+            loc += f":{self.line}"
+            if self.col is not None:
+                loc += f":{self.col + 1}"
+        if self.context:
+            rendered = ", ".join(f"{k}={v}" for k, v in self.context)
+            loc += f" [{rendered}]"
+        return loc
+
+    def render(self) -> str:
+        """One-line text form: ``location: SEVERITY RULE message (hint)``."""
+        out = f"{self.location()}: {self.severity} {self.rule} {self.message}"
+        if self.hint:
+            out += f" (hint: {self.hint})"
+        return out
+
+    # -- JSON round-trip ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "hint": self.hint,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "context": {k: v for k, v in self.context},
+        }
+        return out
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "Finding":
+        ctx: Mapping[str, Any] = data.get("context", {})
+        unknown = set(ctx) - set(_CONTEXT_KEYS)
+        if unknown:
+            raise ValueError(f"unknown finding context keys: {sorted(unknown)}")
+        return Finding(
+            rule=data["rule"],
+            severity=Severity(data["severity"]),
+            message=data["message"],
+            hint=data.get("hint", ""),
+            file=data.get("file", ""),
+            line=data.get("line"),
+            col=data.get("col"),
+            context=tuple(
+                (k, ctx[k])
+                for k in _CONTEXT_KEYS
+                if ctx.get(k) is not None
+            ),
+        )
+
+
+@dataclass(slots=True)
+class Report:
+    """A batch of findings plus suppression accounting."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: findings silenced by an inline ``# repro: noqa`` directive
+    suppressed: list[Finding] = field(default_factory=list)
+    #: files/artifacts examined
+    inputs: list[str] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def merge(self, other: "Report") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.inputs.extend(other.inputs)
+
+    def counts_by_rule(self) -> dict[str, int]:
+        """Per-rule finding counts (the CI job summary)."""
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return dict(sorted(out.items()))
+
+    def worst(self) -> Severity | None:
+        """Most severe finding present, or None when clean."""
+        order = (Severity.ERROR, Severity.WARNING, Severity.INFO)
+        present = {f.severity for f in self.findings}
+        for sev in order:
+            if sev in present:
+                return sev
+        return None
+
+    def sort(self) -> None:
+        """Stable order: by file, line, column, then rule id."""
+        self.findings.sort(
+            key=lambda f: (f.file, f.line or 0, f.col or 0, f.rule)
+        )
+
+    def to_json(self) -> str:
+        body = {
+            "version": SCHEMA_VERSION,
+            "inputs": list(self.inputs),
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "counts": self.counts_by_rule(),
+        }
+        return json.dumps(body, indent=2, sort_keys=False)
+
+    @staticmethod
+    def from_json(text: str) -> "Report":
+        body = json.loads(text)
+        if body.get("version") != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported findings schema {body.get('version')!r}"
+            )
+        report = Report(inputs=list(body.get("inputs", [])))
+        report.findings = [
+            Finding.from_dict(d) for d in body.get("findings", [])
+        ]
+        report.suppressed = [
+            Finding.from_dict(d) for d in body.get("suppressed", [])
+        ]
+        return report
+
+    def render_text(self) -> str:
+        """Full text report: findings, then the per-rule summary."""
+        lines = [f.render() for f in self.findings]
+        counts = self.counts_by_rule()
+        lines.append("")
+        if counts:
+            lines.append("findings by rule:")
+            for rule, n in counts.items():
+                lines.append(f"  {rule:8s} {n}")
+        else:
+            lines.append("no findings")
+        if self.suppressed:
+            lines.append(f"suppressed: {len(self.suppressed)}")
+        lines.append(
+            f"{len(self.findings)} finding(s) across "
+            f"{len(self.inputs)} input(s)"
+        )
+        return "\n".join(lines)

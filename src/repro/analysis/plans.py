@@ -1,0 +1,261 @@
+"""Serialized routing artifacts: PIP-plan and template-set files.
+
+Routers *plan* (ordered ``(row, col, from, to)`` PIP lists) and the
+template machinery *describes* (value sequences); persisting either lets
+a deployment review, diff and lint routes before anything touches a
+device.  This module defines the two JSON formats ``repro analyze``
+understands, plus a seeded random-walk corpus generator used by the E19
+analysis-throughput benchmark and the test fixtures.
+
+Plan file::
+
+    {"format": "repro-plan", "version": 1, "part": "XCV50",
+     "plans": [{"net": "n0", "start": [5, 7],
+                "pips": [[5, 7, "S1_YQ", "OUT1"], ...]}, ...]}
+
+Template-set file::
+
+    {"format": "repro-templates", "version": 1, "part": "XCV50",
+     "start": [5, 7], "displacement": [1, 2],
+     "templates": [["OUTMUX", "EAST1", "NORTH1", "CLBIN"], ...]}
+
+Wire and template values serialize as their stable display names; plain
+ints are accepted on load for compactness.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Any, Sequence
+
+from .. import errors
+from ..arch import wires
+from ..arch.templates import TemplateValue
+from ..arch.virtex import VirtexArch
+from ..device.fabric import Device
+from ..routers.base import PlanPip
+
+__all__ = [
+    "PLAN_FORMAT",
+    "TEMPLATE_FORMAT",
+    "dump_plans",
+    "load_plans",
+    "dump_template_set",
+    "load_template_set",
+    "random_plan_corpus",
+    "sniff_artifact",
+]
+
+PLAN_FORMAT = "repro-plan"
+TEMPLATE_FORMAT = "repro-templates"
+ARTIFACT_VERSION = 1
+
+
+def _wire_out(name: int) -> str:
+    return wires.wire_name(name)
+
+
+def _wire_in(value: Any) -> int:
+    """Accept a wire as display name or raw name int."""
+    if isinstance(value, bool):  # bool is an int subclass; reject it
+        raise errors.JRouteError(f"not a wire name: {value!r}")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        try:
+            return wires.parse_wire_name(value)
+        except KeyError:
+            raise errors.JRouteError(f"unknown wire name {value!r}") from None
+    raise errors.JRouteError(f"not a wire name: {value!r}")
+
+
+def dump_plans(
+    part: str,
+    plans: Sequence[tuple[str, Sequence[PlanPip]]],
+) -> str:
+    """Serialize named plans to the plan-file JSON text."""
+    body = {
+        "format": PLAN_FORMAT,
+        "version": ARTIFACT_VERSION,
+        "part": part,
+        "plans": [
+            {
+                "net": net,
+                "pips": [
+                    [r, c, _wire_out(f), _wire_out(t)] for r, c, f, t in plan
+                ],
+            }
+            for net, plan in plans
+        ],
+    }
+    return json.dumps(body, indent=1)
+
+
+def load_plans(text: str) -> tuple[str, list[tuple[str, list[PlanPip]]]]:
+    """Parse a plan file; returns ``(part, [(net, plan), ...])``."""
+    body = json.loads(text)
+    if not isinstance(body, dict) or body.get("format") != PLAN_FORMAT:
+        raise errors.JRouteError("not a repro-plan file")
+    if body.get("version") != ARTIFACT_VERSION:
+        raise errors.JRouteError(
+            f"unsupported plan-file version {body.get('version')!r}"
+        )
+    out: list[tuple[str, list[PlanPip]]] = []
+    for i, entry in enumerate(body.get("plans", [])):
+        net = str(entry.get("net", i))
+        plan: list[PlanPip] = []
+        for step in entry.get("pips", []):
+            r, c, f, t = step
+            plan.append((int(r), int(c), _wire_in(f), _wire_in(t)))
+        out.append((net, plan))
+    return str(body.get("part", "XCV50")), out
+
+
+def dump_template_set(
+    part: str,
+    templates: Sequence[Sequence[TemplateValue]],
+    *,
+    start: tuple[int, int] | None = None,
+    displacement: tuple[int, int] | None = None,
+) -> str:
+    """Serialize a candidate template set to JSON text."""
+    body: dict[str, Any] = {
+        "format": TEMPLATE_FORMAT,
+        "version": ARTIFACT_VERSION,
+        "part": part,
+        "templates": [
+            [TemplateValue(v).name for v in tpl] for tpl in templates
+        ],
+    }
+    if start is not None:
+        body["start"] = list(start)
+    if displacement is not None:
+        body["displacement"] = list(displacement)
+    return json.dumps(body, indent=1)
+
+
+def load_template_set(
+    text: str,
+) -> tuple[str, list[list[TemplateValue]], dict[str, Any]]:
+    """Parse a template-set file.
+
+    Returns ``(part, templates, extras)`` where ``extras`` holds the
+    optional ``start``/``displacement`` metadata.
+    """
+    body = json.loads(text)
+    if not isinstance(body, dict) or body.get("format") != TEMPLATE_FORMAT:
+        raise errors.JRouteError("not a repro-templates file")
+    if body.get("version") != ARTIFACT_VERSION:
+        raise errors.JRouteError(
+            f"unsupported template-file version {body.get('version')!r}"
+        )
+    templates: list[list[TemplateValue]] = []
+    for tpl in body.get("templates", []):
+        values: list[TemplateValue] = []
+        for v in tpl:
+            if isinstance(v, str):
+                try:
+                    values.append(TemplateValue[v])
+                except KeyError:
+                    raise errors.JRouteError(
+                        f"unknown template value {v!r}"
+                    ) from None
+            else:
+                values.append(TemplateValue(int(v)))
+        templates.append(values)
+    extras = {
+        k: tuple(body[k]) for k in ("start", "displacement") if k in body
+    }
+    return str(body.get("part", "XCV50")), templates, extras
+
+
+def sniff_artifact(text: str) -> str | None:
+    """Classify artifact text: "plan", "templates", "wal", "checkpoint".
+
+    Returns None when the text matches no known artifact format.  WALs
+    are line-oriented, so only the first line needs to parse.
+    """
+    head = text.lstrip()[:1]
+    if head != "{":
+        return None
+    first_line = text.splitlines()[0] if text else ""
+    for candidate in (first_line, text):
+        try:
+            body = json.loads(candidate)
+        except ValueError:
+            continue
+        if not isinstance(body, dict):
+            continue
+        if body.get("format") == PLAN_FORMAT:
+            return "plan"
+        if body.get("format") == TEMPLATE_FORMAT:
+            return "templates"
+        if "wal" in body and candidate is first_line:
+            return "wal"
+        if "ckpt" in body:
+            return "checkpoint"
+    return None
+
+
+# -- corpus generation ----------------------------------------------------------
+
+
+def random_plan_corpus(
+    part: str,
+    *,
+    n_plans: int,
+    steps: int = 12,
+    seed: int = 0,
+    conflict_rate: float = 0.0,
+) -> str:
+    """Generate a serialized corpus of fabric-legal random-walk plans.
+
+    Walks the real PIP graph (:meth:`Device.fanout_pips`) from random
+    slice outputs, never driving a wire twice, so the corpus is legal by
+    construction — except that a ``conflict_rate`` fraction of plans get
+    one step re-driven from a second source, seeding known
+    drive-conflicts for detector benchmarks.  Deterministic per seed.
+    """
+    rng = random.Random(seed)
+    device = Device(part)
+    arch = device.arch
+    driven: dict[int, int] = {}  # canon_to -> canon_from (corpus-wide)
+    plans: list[tuple[str, list[PlanPip]]] = []
+    conflict_pips: list[PlanPip] = []
+    for p in range(n_plans):
+        row = rng.randrange(arch.rows)
+        col = rng.randrange(arch.cols)
+        src = arch.canonicalize(
+            row, col, wires.OUT[rng.randrange(wires.N_OUT)]
+        )
+        assert src is not None  # OUT wires exist at every tile
+        plan: list[PlanPip] = []
+        cursor = src
+        for _ in range(steps):
+            options = [
+                pip
+                for pip in device.fanout_pips(cursor)
+                if pip[4] not in driven and pip[4] != src
+            ]
+            if not options:
+                break
+            r, c, f, t, canon_to = options[rng.randrange(len(options))]
+            plan.append((r, c, f, t))
+            driven[canon_to] = cursor
+            cursor = canon_to
+        if len(plan) >= 2 and rng.random() < conflict_rate:
+            # re-drive this plan's last wire from a different source:
+            # a deliberate, detectable drive conflict
+            r, c, f, t = plan[-1]
+            canon_to = arch.canonicalize(r, c, t)
+            assert canon_to is not None
+            prev_from = driven[canon_to]
+            for r2, c2, f2, t2, canon_from in device.fanin_pips(canon_to):
+                if canon_from != prev_from:
+                    conflict_pips.append((r2, c2, f2, t2))
+                    break
+        plans.append((f"n{p}", plan))
+    if conflict_pips:
+        plans.append(("conflict-seed", conflict_pips))
+    return dump_plans(part, plans)

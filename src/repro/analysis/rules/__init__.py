@@ -1,0 +1,144 @@
+"""Rule registry: every static-analysis rule, both layers, one catalog.
+
+Rule ids are *stable*: an id never changes meaning, and retired ids are
+never reused (tooling and suppression comments depend on this —
+``tests/analysis/test_findings.py`` pins the catalog).  Artifact rules
+(``RL...``) belong to the fabric-aware route linter
+(:mod:`repro.analysis.routelint`); code rules (``RPR...``) belong to the
+AST concurrency-hazard detector (:mod:`repro.analysis.codelint`) and
+each encodes a bug class a previous PR actually fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..findings import Severity
+
+__all__ = ["Rule", "RULES", "rule", "artifact_rules", "code_rules"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """One registered rule: identity, default severity, documentation."""
+
+    id: str
+    #: "artifact" (route lint) or "code" (AST pass)
+    layer: str
+    #: short kebab-case name, stable like the id
+    name: str
+    #: default severity of findings (occurrences may downgrade)
+    severity: Severity
+    #: one-line description for ``repro analyze --rules`` and the docs
+    summary: str
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def _register(rule: Rule) -> Rule:
+    if rule.id in _REGISTRY:  # pragma: no cover - registration bug guard
+        raise ValueError(f"duplicate rule id {rule.id}")
+    # import-time only: the catalog is built once under the import lock
+    _REGISTRY[rule.id] = rule  # repro: noqa RPR002
+    return rule
+
+
+# -- Layer 1: fabric-aware artifact rules --------------------------------------
+
+RL001 = _register(Rule(
+    "RL001", "artifact", "unknown-wire", Severity.ERROR,
+    "a referenced wire does not exist at the given tile on this part",
+))
+RL002 = _register(Rule(
+    "RL002", "artifact", "missing-pip", Severity.ERROR,
+    "no architecture PIP connects the two wires of a step",
+))
+RL003 = _register(Rule(
+    "RL003", "artifact", "undrivable-target", Severity.ERROR,
+    "the step's target wire cannot be driven at that tile "
+    "(direction legality: pure sources, odd-hex far ends)",
+))
+RL004 = _register(Rule(
+    "RL004", "artifact", "drive-conflict", Severity.ERROR,
+    "two steps drive the same physical wire from different sources "
+    "(the static form of the runtime isOn/contention check)",
+))
+RL005 = _register(Rule(
+    "RL005", "artifact", "illegal-template-step", Severity.ERROR,
+    "no fabric location can realise this template step "
+    "(impossible value transition, or the cursor leaves the device)",
+))
+RL006 = _register(Rule(
+    "RL006", "artifact", "dead-template-entry", Severity.WARNING,
+    "a template-set entry can never be chosen "
+    "(duplicate, or displacement disagrees with the declared target)",
+))
+RL007 = _register(Rule(
+    "RL007", "artifact", "wal-frame", Severity.ERROR,
+    "a WAL frame is malformed: bad header, CRC mismatch, sequence gap, "
+    "or a torn tail (torn tails are warnings — recovery tolerates them)",
+))
+RL008 = _register(Rule(
+    "RL008", "artifact", "replay-illegal", Severity.ERROR,
+    "replaying the journal in order would trip the device's contention "
+    "or loop protection (drive-before-driver, double drive, off-without-on)",
+))
+RL009 = _register(Rule(
+    "RL009", "artifact", "checkpoint-inconsistent", Severity.ERROR,
+    "a checkpoint's PIP preorder, net records or WAL linkage are "
+    "mutually inconsistent",
+))
+
+# -- Layer 2: code-level concurrency-hazard rules ------------------------------
+# Each of these is a named, regression-proof form of a bug class fixed in
+# PRs 1-4 (see docs/ANALYSIS.md for the history and a minimal trigger).
+
+RPR001 = _register(Rule(
+    "RPR001", "code", "id-keyed-cache", Severity.ERROR,
+    "id(...) used as a mapping key: CPython reuses ids after garbage "
+    "collection, so the cache aliases dead objects (PR 4's fault-mask bug)",
+))
+RPR002 = _register(Rule(
+    "RPR002", "code", "unguarded-global-mutation", Severity.ERROR,
+    "a module-level global is mutated outside any lock guard: data race "
+    "once worker threads share the module (PR 4's GLOBAL_STATS bug)",
+))
+RPR003 = _register(Rule(
+    "RPR003", "code", "pool-in-loop", Severity.WARNING,
+    "an executor/pool is constructed inside a loop: per-iteration "
+    "spawn/teardown cost, and workers never amortise (fixed in PR 4)",
+))
+RPR004 = _register(Rule(
+    "RPR004", "code", "deadline-poll-missing", Severity.WARNING,
+    "an unbounded search loop in a deadline-taking function never polls "
+    "the deadline token: the budget cannot bound this loop (PR 3's "
+    "contract)",
+))
+RPR005 = _register(Rule(
+    "RPR005", "code", "shm-create-without-unlink", Severity.ERROR,
+    "SharedMemory(create=True) in a module that never unlinks: the "
+    "segment leaks past process exit (PR 4's /dev/shm lifecycle)",
+))
+RPR006 = _register(Rule(
+    "RPR006", "code", "swallowed-exception", Severity.WARNING,
+    "a bare/broad except (or an except RoutingFailure whose body is only "
+    "pass/continue) silently discards failures and their structured "
+    "context",
+))
+
+#: The full catalog, id-sorted.
+RULES: dict[str, Rule] = dict(sorted(_REGISTRY.items()))
+
+
+def rule(rule_id: str) -> Rule:
+    """Look up a rule by id (raises KeyError for unknown ids)."""
+    return RULES[rule_id]
+
+
+def artifact_rules() -> list[Rule]:
+    return [r for r in RULES.values() if r.layer == "artifact"]
+
+
+def code_rules() -> list[Rule]:
+    return [r for r in RULES.values() if r.layer == "code"]

@@ -12,11 +12,19 @@ can be classified under*; that classification is :func:`template_value_of`.
 from __future__ import annotations
 
 import enum
+import functools
 
 from . import wires
 from .wires import Direction, WireClass
 
-__all__ = ["TemplateValue", "template_value_of", "names_with_template_value"]
+__all__ = [
+    "TemplateValue",
+    "template_value_of",
+    "names_with_template_value",
+    "presence_names",
+    "legal_transition",
+    "step_displacement",
+]
 
 
 class TemplateValue(enum.IntEnum):
@@ -94,3 +102,94 @@ for _n in range(wires.N_NAMES):
 def names_with_template_value(value: TemplateValue) -> tuple[int, ...]:
     """All wire names classified under ``value``."""
     return _BY_VALUE.get(value, ())
+
+
+# -- offline step legality ------------------------------------------------------
+#
+# A template step "drive a wire of value B" is only realisable when some
+# architecture PIP leads from a wire of the previous step's value A (seen
+# under any of its presence names — a directional wire carries the
+# opposite name at its far end) to a drivable wire classified under B.
+# The 17x17 matrix of such transitions is derivable once from the
+# connectivity tables; ``repro analyze`` uses it to reject templates that
+# no fabric location can ever realise (e.g. a hex directly before a CLB
+# input) without running a router.
+
+#: name-level far-end alias of each directional wire name (absent for
+#: wires that carry one name everywhere)
+_FAR_END: dict[int, int] = {}
+for _i in range(wires.N_SINGLES_PER_DIR):
+    _FAR_END[wires.SINGLE_E[_i]] = wires.SINGLE_W[_i]
+    _FAR_END[wires.SINGLE_W[_i]] = wires.SINGLE_E[_i]
+    _FAR_END[wires.SINGLE_N[_i]] = wires.SINGLE_S[_i]
+    _FAR_END[wires.SINGLE_S[_i]] = wires.SINGLE_N[_i]
+for _i in range(wires.N_HEXES_PER_DIR):
+    _FAR_END[wires.HEX_E[_i]] = wires.HEX_W[_i]
+    _FAR_END[wires.HEX_W[_i]] = wires.HEX_E[_i]
+    _FAR_END[wires.HEX_N[_i]] = wires.HEX_S[_i]
+    _FAR_END[wires.HEX_S[_i]] = wires.HEX_N[_i]
+for _i in range(wires.N_OUT):
+    # an OMUX output is visible at the east neighbour as a direct input
+    _FAR_END[wires.OUT[_i]] = wires.DIRECT_W_OUT[_i]
+
+
+@functools.lru_cache(maxsize=None)
+def presence_names(value: TemplateValue) -> tuple[int, ...]:
+    """All wire names under which a wire of ``value`` may be visible.
+
+    A signal driven onto a ``NORTH1`` single sits on a ``SingleSouth``
+    name at the far tile, so the presence set of NORTH1 includes the
+    SOUTH1 names; PIP fan-out must be considered from every presence
+    name, not just the classified ones.
+    """
+    seen: list[int] = []
+    for n in names_with_template_value(value):
+        for m in (n, _FAR_END.get(n)):
+            if m is not None and m not in seen:
+                seen.append(m)
+    return tuple(seen)
+
+
+@functools.lru_cache(maxsize=None)
+def legal_transition(a: TemplateValue, b: TemplateValue) -> bool:
+    """Does any architecture PIP realise step ``a`` → step ``b``?
+
+    True when some presence name of ``a`` drives some drivable wire name
+    classified under ``b``.  Necessary (not sufficient — geometry can
+    still refuse at a specific tile) for a template containing the
+    consecutive values ``a, b`` to be routable anywhere on the fabric.
+    """
+    from .connectivity import DRIVES
+    from .graph import NAME_DRIVABLE
+
+    return any(
+        template_value_of(t) is b and NAME_DRIVABLE[t]
+        for f in presence_names(a)
+        for t in DRIVES[f]
+    )
+
+#: per-step tile displacement of the fixed-displacement template values
+#: (data-dependent values — longs, globals — are absent)
+_STEP_DELTA: dict[TemplateValue, tuple[int, int]] = {
+    TemplateValue.NORTH1: (1, 0),
+    TemplateValue.SOUTH1: (-1, 0),
+    TemplateValue.NORTH6: (6, 0),
+    TemplateValue.SOUTH6: (-6, 0),
+    TemplateValue.EAST1: (0, 1),
+    TemplateValue.WEST1: (0, -1),
+    TemplateValue.EAST6: (0, 6),
+    TemplateValue.WEST6: (0, -6),
+    TemplateValue.DIRECT: (0, 1),
+}
+
+
+def step_displacement(value: TemplateValue) -> tuple[int, int] | None:
+    """Fixed ``(drow, dcol)`` of one template step, or None when the
+    displacement is data-dependent (long lines, globals)."""
+    if value in (
+        TemplateValue.LONGH,
+        TemplateValue.LONGV,
+        TemplateValue.GLOBAL,
+    ):
+        return None
+    return _STEP_DELTA.get(value, (0, 0))

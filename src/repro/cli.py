@@ -42,6 +42,16 @@ Usage (``python -m repro <command> ...``)::
     run FILE                      execute a routing script (see
                                   repro.tools.script for the grammar)
     experiments [E1 E2 ...]       regenerate EXPERIMENTS.md tables
+    analyze [PATH ...] [--json] [--strict] [--part PART]
+            [--rules IDS] [--list-rules]
+                                  static analysis: lint routing artifacts
+                                  (plans, template sets, WALs,
+                                  checkpoints) against the fabric and run
+                                  the AST concurrency-hazard detector
+                                  over Python sources; default target is
+                                  the installed repro package itself.
+                                  Exit 1 on error findings (--strict: on
+                                  any finding).  See docs/ANALYSIS.md.
 """
 
 from __future__ import annotations
@@ -350,6 +360,59 @@ def _cmd_scrub(args: list[str]) -> int:
     return 0 if coherent and not scrubber.scan().drifted_frames else 1
 
 
+def _cmd_analyze(args: list[str]) -> int:
+    usage = ("usage: analyze [PATH ...] [--json] [--strict] [--part PART] "
+             "[--rules RPR001,RL004,...] [--list-rules]")
+    from .analysis import RULES, Severity, analyze_paths, filter_rules
+
+    as_json = False
+    strict = False
+    list_rules = False
+    part: str | None = None
+    rules: "frozenset[str] | None" = None
+    paths: list[str] = []
+    it = iter(args)
+    try:
+        for a in it:
+            if a == "--json":
+                as_json = True
+            elif a == "--strict":
+                strict = True
+            elif a == "--list-rules":
+                list_rules = True
+            elif a == "--part":
+                part = next(it)
+            elif a == "--rules":
+                rules = filter_rules(next(it))
+            elif a.startswith("-"):
+                print(usage, file=sys.stderr)
+                return 2
+            else:
+                paths.append(a)
+    except StopIteration:
+        print(usage, file=sys.stderr)
+        return 2
+    except ValueError as e:
+        print(str(e), file=sys.stderr)
+        return 2
+    if list_rules:
+        for r in RULES.values():
+            print(f"{r.id}  {r.severity.value:7s} {r.layer:8s} "
+                  f"{r.name}: {r.summary}")
+        return 0
+    report = analyze_paths(paths or None, part=part, rules=rules)
+    if as_json:
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    worst = report.worst()
+    if worst is None:
+        return 0
+    if strict or worst is Severity.ERROR:
+        return 1
+    return 0
+
+
 def _cmd_experiments(args: list[str]) -> int:
     from .bench.__main__ import main as bench_main
 
@@ -368,6 +431,7 @@ _COMMANDS = {
     "recover": _cmd_recover,
     "scrub": _cmd_scrub,
     "experiments": _cmd_experiments,
+    "analyze": _cmd_analyze,
 }
 
 

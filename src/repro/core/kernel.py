@@ -234,7 +234,9 @@ def dijkstra(
         except TypeError:
             pass
     if fast and h is None:
-        while heap:
+        # `fast` requires deadline is None (checked above): this loop is
+        # intentionally poll-free — that is the point of the fast path
+        while heap:  # repro: noqa RPR004
             f, g, canon = pop(heap)
             if g > dist[canon]:
                 continue  # stale entry
@@ -263,7 +265,8 @@ def dijkstra(
                 pushes += 1
                 push(heap, (ng, ng, to))
     elif fast:
-        while heap:
+        # same contract: fast implies deadline is None
+        while heap:  # repro: noqa RPR004
             f, g, canon = pop(heap)
             if g > dist[canon]:
                 continue  # stale entry

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from .. import errors
-from ..arch.templates import TemplateValue
+from ..arch.templates import TemplateValue, step_displacement
 
 __all__ = ["Template"]
 
@@ -56,23 +56,9 @@ class Template:
         """
         dr = dc = 0
         for v in self.values:
-            if v in (TemplateValue.LONGH, TemplateValue.LONGV, TemplateValue.GLOBAL):
+            d = step_displacement(v)
+            if d is None:
                 raise ValueError(f"{v.name} has data-dependent displacement")
-            dr += _DROW.get(v, 0)
-            dc += _DCOL.get(v, 0)
+            dr += d[0]
+            dc += d[1]
         return dr, dc
-
-
-_DROW = {
-    TemplateValue.NORTH1: 1,
-    TemplateValue.SOUTH1: -1,
-    TemplateValue.NORTH6: 6,
-    TemplateValue.SOUTH6: -6,
-}
-_DCOL = {
-    TemplateValue.EAST1: 1,
-    TemplateValue.WEST1: -1,
-    TemplateValue.EAST6: 6,
-    TemplateValue.WEST6: -6,
-    TemplateValue.DIRECT: 1,
-}

@@ -55,7 +55,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "WalRecord",
+    "WalFrame",
     "WriteAheadLog",
+    "iter_wal_frames",
     "write_checkpoint",
     "load_checkpoint",
     "DurableSession",
@@ -80,8 +82,76 @@ class WalRecord:
     to_name: int
 
 
+@dataclass(frozen=True, slots=True)
+class WalFrame:
+    """One scanned WAL line, before replay-legality interpretation.
+
+    The introspection unit of :func:`iter_wal_frames`: recovery keeps the
+    intact prefix, while offline tooling (``repro analyze``) classifies
+    every frame — including the broken ones — into findings.
+    """
+
+    #: 1-based line number in the file (the header is line 1)
+    line: int
+    #: parsed JSON payload with the CRC field still present (None when
+    #: the line is not valid JSON — a torn or corrupt frame)
+    payload: dict | None
+    #: CRC field present and matching the payload
+    crc_ok: bool
+    #: the intact record (None for the header and for broken frames)
+    record: WalRecord | None
+
+
 def _crc(payload: dict) -> int:
     return zlib.crc32(json.dumps(payload, sort_keys=True).encode("ascii"))
+
+
+def iter_wal_frames(path: str) -> tuple[dict | None, list[WalFrame]]:
+    """Scan a WAL file frame by frame without judging it.
+
+    Returns ``(header, frames)`` where ``header`` is the parsed header
+    payload (None when line 1 is not a valid WAL header) and ``frames``
+    covers every subsequent line.  Nothing raises on malformed input;
+    this is the shared substrate of :meth:`WriteAheadLog._scan` (which
+    enforces recovery semantics) and the route-lint WAL rules (which
+    report every defect instead of stopping at the first).
+    """
+    frames: list[WalFrame] = []
+    with open(path, "r", encoding="ascii", errors="replace") as fh:
+        header_line = fh.readline()
+        try:
+            header = json.loads(header_line)
+        except ValueError:
+            header = None
+        if not isinstance(header, dict) or header.get("wal") != WAL_VERSION:
+            header = None
+        for lineno, raw in enumerate(fh, start=2):
+            payload: dict | None
+            try:
+                payload = json.loads(raw)
+            except ValueError:
+                payload = None
+            if not isinstance(payload, dict):
+                frames.append(WalFrame(lineno, None, False, None))
+                continue
+            body = dict(payload)
+            crc = body.pop("crc", None)
+            crc_ok = crc == _crc(body)
+            record: WalRecord | None = None
+            if crc_ok:
+                try:
+                    record = WalRecord(
+                        int(body["seq"]),
+                        bool(body["on"]),
+                        int(body["row"]),
+                        int(body["col"]),
+                        int(body["from"]),
+                        int(body["to"]),
+                    )
+                except (KeyError, TypeError, ValueError):
+                    record = None
+            frames.append(WalFrame(lineno, payload, crc_ok, record))
+    return header, frames
 
 
 class WriteAheadLog:
@@ -101,8 +171,9 @@ class WriteAheadLog:
             header, records, _torn = self._scan(path)
             if header.get("part") != part:
                 raise errors.TransactionError(
-                    f"WAL {path} is for part {header.get('part')!r}, "
-                    f"not {part!r}"
+                    f"WAL is for part {header.get('part')!r}, not {part!r}",
+                    path=path,
+                    line=1,
                 )
             if records:
                 self.next_seq = records[-1].seq + 1
@@ -150,41 +221,21 @@ class WriteAheadLog:
     def _scan(path: str) -> tuple[dict, list[WalRecord], bool]:
         """Parse header + intact records; a torn/corrupt tail stops the
         scan (everything after the first bad line is ignored)."""
+        header, frames = iter_wal_frames(path)
+        if header is None:
+            raise errors.TransactionError(
+                "not a WAL (bad header)", path=path, line=1
+            )
         records: list[WalRecord] = []
         torn = False
-        with open(path, "r", encoding="ascii") as fh:
-            header_line = fh.readline()
-            try:
-                header = json.loads(header_line)
-            except ValueError:
-                raise errors.TransactionError(f"{path}: not a WAL (bad header)")
-            if not isinstance(header, dict) or header.get("wal") != WAL_VERSION:
-                raise errors.TransactionError(f"{path}: not a WAL (bad header)")
-            expect = 0
-            for line in fh:
-                try:
-                    payload = json.loads(line)
-                    crc = payload.pop("crc")
-                    ok = (
-                        crc == _crc(payload)
-                        and payload["seq"] == expect
-                    )
-                except (ValueError, KeyError, TypeError):
-                    ok = False
-                if not ok:
-                    torn = True
-                    break
-                records.append(
-                    WalRecord(
-                        payload["seq"],
-                        bool(payload["on"]),
-                        payload["row"],
-                        payload["col"],
-                        payload["from"],
-                        payload["to"],
-                    )
-                )
-                expect += 1
+        expect = 0
+        for frame in frames:
+            rec = frame.record
+            if rec is None or rec.seq != expect:
+                torn = True
+                break
+            records.append(rec)
+            expect += 1
         return header, records, torn
 
     @classmethod
@@ -279,7 +330,7 @@ def load_checkpoint(path: str) -> dict:
         body = json.load(fh)
     crc = body.pop("crc", None)
     if body.get("ckpt") != CKPT_VERSION or crc != _crc(body):
-        raise errors.TransactionError(f"{path}: corrupt checkpoint")
+        raise errors.TransactionError("corrupt checkpoint", path=path)
     return body
 
 

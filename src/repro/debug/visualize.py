@@ -7,6 +7,8 @@ source, route and sinks of a traced net.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..arch.virtex import N_OWNED
@@ -69,6 +71,7 @@ def render_net(device: Device, trace: NetTrace) -> str:
 
 
 _TOTALS_CACHE: dict[str, dict[WireClass, int]] = {}
+_TOTALS_LOCK = threading.Lock()
 
 
 def _class_totals(device: Device) -> dict[WireClass, int]:
@@ -83,7 +86,8 @@ def _class_totals(device: Device) -> dict[WireClass, int]:
             continue
         cls = arch.wire_class_of(canon)
         totals[cls] = totals.get(cls, 0) + 1
-    _TOTALS_CACHE[arch.part.name] = totals
+    with _TOTALS_LOCK:
+        _TOTALS_CACHE[arch.part.name] = totals
     return totals
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 __all__ = [
     "JRouteError",
+    "LocatedError",
     "InvalidResourceError",
     "InvalidPipError",
     "RoutingFailure",
@@ -32,6 +33,55 @@ __all__ = [
 
 class JRouteError(Exception):
     """Base class for all errors raised by this library."""
+
+
+class LocatedError(JRouteError):
+    """A :class:`JRouteError` carrying a structured artifact location.
+
+    Bitstream and WAL/checkpoint errors locate the problem in a *file*
+    (frame/offset for configuration memory, path/line/seq for logs)
+    rather than on the fabric.  The fields render exactly like
+    :meth:`RoutingFailure.context` (``message [k=v, ...]``) and use the
+    same keys as static-analysis findings
+    (:mod:`repro.analysis.findings`), so runtime errors, recovery tooling
+    and ``repro analyze`` reports all share one location format.
+    """
+
+    _FIELDS = ("path", "frame", "offset", "line", "seq")
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | None = None,
+        frame: int | None = None,
+        offset: int | None = None,
+        line: int | None = None,
+        seq: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.path = path
+        self.frame = frame
+        self.offset = offset
+        self.line = line
+        self.seq = seq
+
+    def context(self) -> dict[str, int | str]:
+        """The non-empty structured fields, as a dict."""
+        out: dict[str, int | str] = {}
+        for key in self._FIELDS:
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+    def __str__(self) -> str:
+        ctx = self.context()
+        if not ctx:
+            return self.message
+        rendered = ", ".join(f"{k}={v}" for k, v in ctx.items())
+        return f"{self.message} [{rendered}]"
 
 
 class InvalidResourceError(JRouteError):
@@ -146,13 +196,15 @@ class FaultError(JRouteError):
     """
 
 
-class TransactionError(JRouteError):
-    """A routing transaction could not be rolled back consistently.
+class TransactionError(LocatedError):
+    """A routing transaction or durable-session artifact is inconsistent.
 
     Raised by :class:`repro.core.txn.RouteTransaction` when the
     post-rollback invariant audit finds the routing state, net database
     and bitstream mirror out of sync — indicating state corruption that
-    user action must resolve.
+    user action must resolve — and by the WAL/checkpoint machinery
+    (:mod:`repro.core.wal`) for malformed durability artifacts, with the
+    offending ``path``/``line``/``seq`` carried as structured context.
     """
 
 
@@ -164,5 +216,10 @@ class PlacementError(JRouteError):
     """A core does not fit at the requested location or overlaps another."""
 
 
-class BitstreamError(JRouteError):
-    """Malformed configuration packet or bad frame address."""
+class BitstreamError(LocatedError):
+    """Malformed configuration packet or bad frame address.
+
+    Carries the ``frame``/``offset`` of the offending bit as structured
+    context when the error concerns a specific configuration-memory
+    location (e.g. :meth:`repro.jbits.bitstream.ConfigMemory.locate_bit`).
+    """

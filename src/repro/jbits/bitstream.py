@@ -169,7 +169,11 @@ class ConfigMemory:
         any tile region (column padding or the global frame).
         """
         if not 0 <= address < len(self.bits):
-            raise errors.BitstreamError(f"bit address {address} out of range")
+            raise errors.BitstreamError(
+                f"bit address {address} out of range",
+                frame=address // self.frame_bits if address >= 0 else None,
+                offset=address % self.frame_bits if address >= 0 else None,
+            )
         frame = address // self.frame_bits
         if frame == self._global_frame:
             return None

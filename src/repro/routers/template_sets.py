@@ -19,7 +19,7 @@ from __future__ import annotations
 from ..arch.templates import TemplateValue as TV
 from ..core.template import Template
 
-__all__ = ["predefined_templates", "MAX_ALL_SINGLES"]
+__all__ = ["predefined_templates", "export_template_set", "MAX_ALL_SINGLES"]
 
 #: Nets at most this many CLBs long also get an all-singles variant.
 MAX_ALL_SINGLES = 10
@@ -100,3 +100,29 @@ def predefined_templates(
                 out.append(Template(values))
     out.sort(key=len)
     return out[:max_templates]
+
+
+def export_template_set(
+    drow: int,
+    dcol: int,
+    *,
+    part: str = "XCV50",
+    start: tuple[int, int] | None = None,
+    **kwargs,
+) -> str:
+    """The candidate set for ``(drow, dcol)`` as a repro-templates file.
+
+    The serialized form (see :mod:`repro.analysis.plans`) is what
+    ``repro analyze`` lints — duplicates, illegal steps and entries whose
+    movement cannot reach the declared displacement all become findings.
+    Extra keyword arguments pass through to :func:`predefined_templates`.
+    """
+    from ..analysis.plans import dump_template_set
+
+    templates = predefined_templates(drow, dcol, **kwargs)
+    return dump_template_set(
+        part,
+        [t.values for t in templates],
+        start=start,
+        displacement=(drow, dcol),
+    )

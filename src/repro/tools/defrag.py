@@ -140,7 +140,7 @@ def defrag(router: JRouter, cores: list[Core], *, max_passes: int = 3) -> Defrag
             old_pos = (core.row, core.col)
             try:
                 new_core = relocate_core(core, r, c)
-            except errors.JRouteError:
+            except errors.JRouteError:  # repro: noqa RPR006
                 continue  # restored in place by relocate_core
             live[new_core.instance_name] = new_core
             result.moves.append((new_core.instance_name, old_pos, (r, c)))

@@ -1,0 +1,111 @@
+"""Regenerate the committed analysis fixtures from repo code.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/analysis/fixtures/regen.py
+
+Every artifact is deterministic (seeded corpus generation, a scripted
+routing session), so a regeneration after a format change produces a
+reviewable diff.  The known-bad artifacts are derived from known-good
+ones by the same surgical edits the unit tests describe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.analysis.plans import dump_plans, dump_template_set, random_plan_corpus
+from repro.arch import wires
+from repro.arch.templates import TemplateValue as T
+from repro.core import DurableSession, JRouter, Pin
+from repro.core.wal import _crc, load_checkpoint, write_checkpoint
+from repro.routers.template_sets import export_template_set
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def _write(name: str, text: str) -> None:
+    with open(os.path.join(HERE, name), "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"wrote {name}")
+
+
+def main() -> None:
+    # -- plans ------------------------------------------------------------
+    _write("good_plans.json", random_plan_corpus("XCV50", n_plans=4, seed=7))
+    # a drive-conflicting plan pair (every plan's last wire re-driven)
+    _write(
+        "conflict_plans.json",
+        random_plan_corpus("XCV50", n_plans=4, seed=7, conflict_rate=1.0),
+    )
+    # a step with no architecture PIP (OMUX cannot drive OMUX)
+    _write(
+        "bad_pip_plan.json",
+        dump_plans("XCV50", [("n0", [(5, 7, wires.OUT[0], wires.OUT[1])])]),
+    )
+
+    # -- template sets ----------------------------------------------------
+    _write("good_templates.json", export_template_set(2, 3, start=(5, 5)))
+    # one illegal step (hexes cannot drive CLB inputs), one duplicate,
+    # one displacement mismatch vs the declared (1, 1)
+    _write(
+        "bad_templates.json",
+        dump_template_set(
+            "XCV50",
+            [
+                [T.OUTMUX, T.EAST6, T.CLBIN],             # illegal step
+                [T.OUTMUX, T.NORTH1, T.EAST1, T.CLBIN],   # ok, travels (1,1)
+                [T.OUTMUX, T.NORTH1, T.EAST1, T.CLBIN],   # duplicate
+                [T.OUTMUX, T.EAST1, T.CLBIN],             # travels (0,1)
+            ],
+            start=(5, 5),
+            displacement=(1, 1),
+        ),
+    )
+
+    # -- WAL + checkpoint -------------------------------------------------
+    wal = os.path.join(HERE, "good.wal")
+    if os.path.exists(wal):
+        os.unlink(wal)
+    router = JRouter(part="XCV50")
+    with DurableSession(router, wal) as session:
+        router.route(Pin(5, 5, wires.S0_YQ), Pin(7, 7, wires.S0F[1]))
+        router.route(
+            Pin(2, 2, wires.S1_YQ),
+            [Pin(4, 4, wires.S0F[2]), Pin(1, 5, wires.S1G[3])],
+        )
+        router.unroute(Pin(5, 5, wires.S0_YQ))
+        # memory=None keeps the committed fixture small; the lint checks
+        # pips/nets/seq, not the configuration bits
+        write_checkpoint(
+            os.path.join(HERE, "good.ckpt"),
+            router.device,
+            seq=session.seq,
+            netdb=router.netdb,
+        )
+    print("wrote good.wal / good.ckpt")
+
+    data = open(wal, "r", encoding="ascii").read()
+    # a torn tail: a record the crash cut short (recovery tolerates it)
+    _write("torn.wal", data + '{"seq": 99, "torn')
+    # corruption before intact frames: flip a CRC mid-file
+    lines = data.splitlines(True)
+    mid = len(lines) // 2
+    rec = json.loads(lines[mid])
+    rec["crc"] ^= 1
+    lines[mid] = json.dumps(rec) + "\n"
+    _write("corrupt_mid.wal", "".join(lines))
+
+    # a checkpoint whose PIP list is reversed (breaks replay preorder)
+    body = load_checkpoint(os.path.join(HERE, "good.ckpt"))
+    body["pips"] = body["pips"][::-1]
+    body["crc"] = _crc(body)
+    _write("bad_preorder.ckpt", json.dumps(body))
+    # a checkpoint that fails its own CRC
+    body["crc"] ^= 1
+    _write("corrupt.ckpt", json.dumps(body))
+
+
+if __name__ == "__main__":
+    main()

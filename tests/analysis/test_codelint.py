@@ -1,0 +1,380 @@
+"""The AST hazard detector: each rule fires on bad and stays silent on
+good, and ``# repro: noqa`` suppression is honoured and accounted."""
+
+import textwrap
+
+from repro.analysis.codelint import lint_source, parse_noqa
+
+
+def _lint(src: str):
+    return lint_source(textwrap.dedent(src), "snippet.py")
+
+
+def rules_of(src: str) -> list[str]:
+    kept, _ = _lint(src)
+    return [f.rule for f in kept]
+
+
+class TestRPR001IdKeyedCache:
+    def test_fires_on_subscript_store(self):
+        assert "RPR001" in rules_of(
+            """
+            cache = {}
+            def f(g):
+                cache[id(g)] = 1
+            """
+        )
+
+    def test_fires_on_subscript_load(self):
+        assert "RPR001" in rules_of(
+            """
+            def f(cache, g):
+                return cache[id(g)]
+            """
+        )
+
+    def test_fires_on_get_and_setdefault_keys(self):
+        assert rules_of(
+            """
+            def f(cache, g):
+                cache.setdefault(id(g), []).append(1)
+                return cache.get(id(g))
+            """
+        ).count("RPR001") == 2
+
+    def test_fires_on_tuple_key_containing_id(self):
+        assert "RPR001" in rules_of(
+            """
+            def f(cache, g, n):
+                return cache[(id(g), n)]
+            """
+        )
+
+    def test_silent_on_visited_sets(self):
+        # identity sets over live objects are legitimate (traversal guards)
+        assert rules_of(
+            """
+            def f(ep):
+                seen = {id(ep)}
+                return id(ep) in seen
+            """
+        ) == []
+
+    def test_silent_on_stable_keys(self):
+        assert rules_of(
+            """
+            def f(cache, g):
+                return cache[g.token]
+            """
+        ) == []
+
+
+class TestRPR002GlobalMutation:
+    def test_fires_on_item_assign_update_and_pop(self):
+        found = rules_of(
+            """
+            STATS = {}
+            def f():
+                STATS['x'] = 1
+                STATS.update(a=1)
+                STATS.pop('x')
+            """
+        )
+        assert found.count("RPR002") == 3
+
+    def test_fires_on_aug_assign(self):
+        assert "RPR002" in rules_of(
+            """
+            COUNT = 0
+            def f():
+                global COUNT
+                COUNT += 1
+            """
+        )
+
+    def test_silent_under_a_lock_guard(self):
+        assert rules_of(
+            """
+            import threading
+            _LOCK = threading.Lock()
+            STATS = {}
+            def f():
+                with _LOCK:
+                    STATS['x'] = 1
+            """
+        ) == []
+
+    def test_silent_on_locals_and_module_level_init(self):
+        assert rules_of(
+            """
+            TABLE = {}
+            TABLE['seed'] = 1
+            def f():
+                local = {}
+                local['x'] = 1
+            """
+        ) == []
+
+
+class TestRPR003PoolInLoop:
+    def test_fires_inside_for_loop(self):
+        assert "RPR003" in rules_of(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+            def f(items):
+                for i in items:
+                    with ProcessPoolExecutor() as ex:
+                        ex.submit(print, i)
+            """
+        )
+
+    def test_fires_inside_while_loop(self):
+        assert "RPR003" in rules_of(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+            def f():
+                while True:
+                    ex = ThreadPoolExecutor()
+            """
+        )
+
+    def test_silent_when_hoisted(self):
+        assert rules_of(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+            def f(items):
+                with ProcessPoolExecutor() as ex:
+                    for i in items:
+                        ex.submit(print, i)
+            """
+        ) == []
+
+
+class TestRPR004DeadlinePoll:
+    def test_fires_on_unpolled_search_loop(self):
+        assert "RPR004" in rules_of(
+            """
+            def search(heap, deadline):
+                while heap:
+                    heap.pop()
+            """
+        )
+
+    def test_silent_when_loop_polls(self):
+        assert rules_of(
+            """
+            def search(heap, deadline):
+                n = 0
+                while heap:
+                    n += 1
+                    if deadline is not None and not n & 1023:
+                        deadline.poll()
+                    heap.pop()
+            """
+        ) == []
+
+    def test_silent_when_guarded_by_deadline_is_none(self):
+        # the compiled-kernel fast-path shape
+        assert rules_of(
+            """
+            def search(heap, deadline):
+                if deadline is None:
+                    while heap:
+                        heap.pop()
+            """
+        ) == []
+
+    def test_silent_without_a_deadline_parameter(self):
+        assert rules_of(
+            """
+            def search(heap):
+                while heap:
+                    heap.pop()
+            """
+        ) == []
+
+    def test_bounded_loops_are_not_flagged(self):
+        assert rules_of(
+            """
+            def search(items, deadline):
+                for i in items:
+                    pass
+                while len(items) > 2:
+                    items.pop()
+            """
+        ) == []
+
+
+class TestRPR005SharedMemory:
+    def test_fires_without_unlink_anywhere(self):
+        assert "RPR005" in rules_of(
+            """
+            from multiprocessing import shared_memory
+            def f():
+                return shared_memory.SharedMemory(create=True, size=64)
+            """
+        )
+
+    def test_silent_when_module_unlinks(self):
+        assert rules_of(
+            """
+            import atexit
+            from multiprocessing import shared_memory
+            def f():
+                shm = shared_memory.SharedMemory(create=True, size=64)
+                atexit.register(shm.unlink)
+                return shm
+            """
+        ) == []
+
+    def test_silent_on_attach(self):
+        assert rules_of(
+            """
+            from multiprocessing import shared_memory
+            def f(name):
+                return shared_memory.SharedMemory(name=name)
+            """
+        ) == []
+
+
+class TestRPR006SwallowedException:
+    def test_fires_on_bare_except(self):
+        assert "RPR006" in rules_of(
+            """
+            def f():
+                try:
+                    g()
+                except:
+                    pass
+            """
+        )
+
+    def test_fires_on_broad_except_without_reraise(self):
+        assert "RPR006" in rules_of(
+            """
+            def f():
+                try:
+                    g()
+                except Exception as e:
+                    log(e)
+            """
+        )
+
+    def test_silent_on_broad_except_with_reraise(self):
+        assert rules_of(
+            """
+            def f():
+                try:
+                    g()
+                except Exception:
+                    cleanup()
+                    raise
+            """
+        ) == []
+
+    def test_fires_on_silently_dropped_routing_failure(self):
+        assert "RPR006" in rules_of(
+            """
+            from repro import errors
+            def f(nets):
+                for n in nets:
+                    try:
+                        route(n)
+                    except errors.RoutingFailure:
+                        continue
+            """
+        )
+
+    def test_silent_when_failure_is_handled(self):
+        assert rules_of(
+            """
+            from repro import errors
+            def f():
+                try:
+                    g()
+                except errors.RoutingFailure as e:
+                    log(e.context())
+            """
+        ) == []
+
+    def test_silent_on_narrow_exceptions(self):
+        assert rules_of(
+            """
+            def f(d):
+                try:
+                    return d['k']
+                except KeyError:
+                    return None
+            """
+        ) == []
+
+
+class TestNoqaSuppression:
+    def test_bare_noqa_suppresses_all_rules_on_the_line(self):
+        kept, suppressed = _lint(
+            """
+            cache = {}
+            def f(g):
+                cache[id(g)] = 1  # repro: noqa
+            """
+        )
+        assert kept == []
+        assert sorted(f.rule for f in suppressed) == ["RPR001", "RPR002"]
+
+    def test_listed_ids_suppress_only_those_rules(self):
+        kept, suppressed = _lint(
+            """
+            cache = {}
+            def f(g):
+                cache[id(g)] = 1  # repro: noqa RPR001
+            """
+        )
+        assert [f.rule for f in kept] == ["RPR002"]
+        assert [f.rule for f in suppressed] == ["RPR001"]
+
+    def test_non_matching_id_keeps_the_finding(self):
+        kept, suppressed = _lint(
+            """
+            def search(heap, deadline):
+                while heap:  # repro: noqa RPR006
+                    heap.pop()
+            """
+        )
+        assert [f.rule for f in kept] == ["RPR004"]
+        assert suppressed == []
+
+    def test_comma_separated_id_list(self):
+        noqa = parse_noqa("x = 1  # repro: noqa RPR001, RPR004\n")
+        assert noqa == {1: frozenset({"RPR001", "RPR004"})}
+
+    def test_plain_flake8_noqa_is_ignored(self):
+        # only the repro-namespaced directive counts
+        kept, suppressed = _lint(
+            """
+            def search(heap, deadline):
+                while heap:  # noqa
+                    heap.pop()
+            """
+        )
+        assert [f.rule for f in kept] == ["RPR004"]
+        assert suppressed == []
+
+
+class TestDiagnostics:
+    def test_syntax_error_becomes_a_finding(self):
+        kept, suppressed = lint_source("def broken(:\n", "bad.py")
+        assert len(kept) == 1
+        assert kept[0].severity.value == "error"
+        assert kept[0].file == "bad.py"
+
+    def test_findings_carry_file_line_and_column(self):
+        kept, _ = _lint(
+            """
+            def f(cache, g):
+                return cache[id(g)]
+            """
+        )
+        (f,) = kept
+        assert f.file == "snippet.py"
+        assert f.line == 3
+        assert f.col is not None
