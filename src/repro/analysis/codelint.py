@@ -1,11 +1,13 @@
 """Layer 2: AST-based concurrency-hazard detection over our own source.
 
-Every rule here (``RPR001``-``RPR006``) is a named, regression-proof
+Every rule here (``RPR001``-``RPR007``) is a named, regression-proof
 form of a bug class a previous PR actually hit and fixed — ``id()``-keyed
 caches aliasing collected objects, module globals mutated off-lock from
 worker threads, executors constructed per loop iteration, search loops a
-deadline cannot bound, leaked shared-memory segments, and broad excepts
-that swallow :class:`~repro.errors.RoutingFailure` context.  The pass is
+deadline cannot bound, leaked shared-memory segments, broad excepts
+that swallow :class:`~repro.errors.RoutingFailure` context, and
+per-element Python loops over numpy arrays in paths the vectorized
+batch kernel exists to keep scalar-free.  The pass is
 purely syntactic (:mod:`ast`), needs no imports of the analysed code,
 and is fast enough to run on every commit.
 
@@ -55,6 +57,15 @@ _POOLS = {"ThreadPoolExecutor", "ProcessPoolExecutor", "Pool"}
 
 #: broad exception classes (RPR006a)
 _BROAD = {"Exception", "BaseException"}
+
+#: module aliases whose calls produce numpy arrays (RPR007)
+_NP_MODULES = {"np", "numpy"}
+
+#: repo calls returning bundles of numpy columns (RPR007 tuple-assign)
+_NP_BUNDLES = {"np_columns"}
+
+#: struct-of-arrays state attributes holding numpy columns (RPR007)
+_SOA_ATTRS = {"cost", "backptr", "node_epoch"}
 
 #: project failure types whose silent discard loses structured context
 _FAILURES = {"JRouteError", "RoutingFailure"}
@@ -113,6 +124,17 @@ def _names_in(node: ast.AST) -> set[str]:
     return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
 
 
+def _np_rooted(call: ast.Call) -> bool:
+    """True for calls rooted at the numpy module (``np.zeros(...)``,
+    ``np.frombuffer(...).reshape(...)``, ...)."""
+    f = call.func
+    while isinstance(f, ast.Attribute):
+        f = f.value
+    if isinstance(f, ast.Call):
+        return _np_rooted(f)
+    return isinstance(f, ast.Name) and f.id in _NP_MODULES
+
+
 class _CodeLinter(ast.NodeVisitor):
     """One pass over a module, accumulating findings.
 
@@ -135,6 +157,9 @@ class _CodeLinter(ast.NodeVisitor):
         self._loops: list[ast.For | ast.While] = []
         self._withs: list[ast.With] = []
         self._funcs: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+        # names bound to numpy arrays, one frame per scope; nested
+        # functions see enclosing frames (closures over SoA columns)
+        self._arrays: list[set[str]] = [set()]
 
     # -- plumbing ----------------------------------------------------------
 
@@ -195,13 +220,16 @@ class _CodeLinter(ast.NodeVisitor):
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_deadline_loops(node)
         self._funcs.append(node)
+        self._arrays.append(set())
         self.generic_visit(node)
+        self._arrays.pop()
         self._funcs.pop()
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self.visit_FunctionDef(node)  # type: ignore[arg-type]
 
     def visit_For(self, node: ast.For) -> None:
+        self._check_array_loop(node)
         self._loops.append(node)
         self.generic_visit(node)
         self._loops.pop()
@@ -308,7 +336,89 @@ class _CodeLinter(ast.NodeVisitor):
                     self._flag_global_mutation(
                         node, t.value.id, "has an item assigned"
                     )
+        self._track_arrays(node)
         self.generic_visit(node)
+
+    # -- RPR007: per-element loops over numpy arrays -----------------------
+
+    def _is_array_name(self, name: str) -> bool:
+        return any(name in frame for frame in self._arrays)
+
+    def _track_arrays(self, node: ast.Assign) -> None:
+        """Record names bound to numpy arrays by this assignment.
+
+        Purely syntactic provenance: direct ``np.*`` construction,
+        tuple-unpacking an SoA column bundle (``graph.np_columns()``),
+        reading a struct-of-arrays state attribute, or slicing/viewing
+        a name already known to be an array.
+        """
+        v = node.value
+        arrayish = False
+        if isinstance(v, ast.Call):
+            arrayish = _np_rooted(v) or _call_name(v) in _NP_BUNDLES
+        elif isinstance(v, ast.Attribute):
+            arrayish = v.attr in _SOA_ATTRS
+        elif isinstance(v, ast.Subscript):
+            arrayish = isinstance(v.value, ast.Name) and self._is_array_name(
+                v.value.id
+            )
+        if not arrayish:
+            return
+        frame = self._arrays[-1]
+        for t in node.targets:
+            if isinstance(t, ast.Name):
+                frame.add(t.id)
+            elif isinstance(t, (ast.Tuple, ast.List)):
+                for elt in t.elts:
+                    if isinstance(elt, ast.Name):
+                        frame.add(elt.id)
+
+    def _check_array_loop(self, node: ast.For) -> None:
+        """Flag ``for`` loops that touch a numpy array one element at
+        a time — directly iterating it, or indexing it through a
+        ``range(...)`` loop variable.  ``zip``/``enumerate``/
+        ``.tolist()`` iterations and ``while`` loops are out of scope
+        (the scalar oracle uses ``# repro: noqa RPR007`` instead)."""
+        it = node.iter
+        if isinstance(it, ast.Name) and self._is_array_name(it.id):
+            self._emit(
+                "RPR007",
+                Severity.WARNING,
+                node,
+                f"per-element for loop over numpy array {it.id!r}",
+                "vectorize with numpy ufuncs/fancy indexing (see the "
+                "batched SoA kernel), or mark a deliberate scalar "
+                "oracle with `# repro: noqa RPR007`",
+            )
+            return
+        if not (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Name)
+            and it.func.id == "range"
+            and isinstance(node.target, ast.Name)
+        ):
+            return
+        var = node.target.id
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Subscript)
+                    and isinstance(sub.value, ast.Name)
+                    and self._is_array_name(sub.value.id)
+                    and var in _names_in(sub.slice)
+                ):
+                    self._emit(
+                        "RPR007",
+                        Severity.WARNING,
+                        node,
+                        f"range loop indexes numpy array "
+                        f"{sub.value.id!r} one element at a time",
+                        "vectorize with numpy ufuncs/fancy indexing "
+                        "(see the batched SoA kernel), or mark a "
+                        "deliberate scalar oracle with "
+                        "`# repro: noqa RPR007`",
+                    )
+                    return
 
     def visit_Expr(self, node: ast.Expr) -> None:
         v = node.value

@@ -126,6 +126,13 @@ RPR006 = _register(Rule(
     "pass/continue) silently discards failures and their structured "
     "context",
 ))
+RPR007 = _register(Rule(
+    "RPR007", "code", "per-element-array-loop", Severity.WARNING,
+    "a Python for loop iterates per element over a numpy array (or "
+    "indexes one through range(len)): hot-path scalar fallback that the "
+    "vectorized SoA kernel exists to avoid (PR 7's batched search); "
+    "justified scalar oracles carry `# repro: noqa RPR007`",
+))
 
 #: The full catalog, id-sorted.
 RULES: dict[str, Rule] = dict(sorted(_REGISTRY.items()))

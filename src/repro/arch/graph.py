@@ -205,6 +205,8 @@ class RoutingGraph:
         self._lock = threading.Lock()
         self._n_materialized = 0
         self._tiles: tuple[list[int], list[int], list[int]] | None = None
+        self._np_cols: tuple[int, tuple] | None = None
+        self._min_edge_cost: float | None = None
 
     @property
     def n_edges(self) -> int:
@@ -346,6 +348,52 @@ class RoutingGraph:
             n - arch._gclk_base, dtype=np.int64
         )
         return rows.tolist(), cols.tolist(), names.tolist()
+
+    # -- flat numpy views (batched kernel) -----------------------------------
+
+    def np_columns(self) -> tuple:
+        """Zero-copy numpy views of the CSR columns, for vectorized search.
+
+        Returns ``(off, deg, e_to, e_cost, e_toname, e_row, e_col)``.
+        Forces a full :meth:`compile` first — the views alias the backing
+        buffers, and an ``array`` reallocating mid-batch under a lazy
+        materialization would leave them dangling.  Cached per edge
+        count, so a graph grown since the last call re-derives fresh
+        views (compiled graphs never grow again).
+        """
+        if self._n_materialized < self.n_nodes:
+            self.compile()
+        n_edges = len(self.e_to)
+        cached = self._np_cols
+        if cached is not None and cached[0] == n_edges:
+            return cached[1]
+        cols = (
+            np.asarray(self.off),
+            np.asarray(self.deg),
+            np.asarray(self.e_to),
+            np.asarray(self.e_cost),
+            np.asarray(self.e_toname),
+            np.asarray(self.e_row),
+            np.asarray(self.e_col),
+        )
+        self._np_cols = (n_edges, cols)
+        return cols
+
+    def min_edge_cost(self) -> float:
+        """Smallest edge cost in the compiled graph.
+
+        The batched kernel's level-synchronous engine rests on this: in
+        a Dijkstra search (no A* bias), every frontier entry cheaper
+        than ``frontier_min + min_edge_cost`` can be expanded in the
+        same vectorized round, because no relaxation this round can
+        produce a cost below that bound — the safe-prefix property.
+        Cached per compiled graph (costs are static fabric data).
+        """
+        if self._min_edge_cost is None:
+            cols = self.np_columns()  # force-compile; costs cover all edges
+            e_cost = cols[3]
+            self._min_edge_cost = float(e_cost.min()) if len(e_cost) else 0.0
+        return self._min_edge_cost
 
     # -- fault masking --------------------------------------------------------
 
@@ -526,5 +574,7 @@ def attach_shared_graph(meta: dict) -> RoutingGraph:
     g._lock = threading.Lock()
     g._n_materialized = g.n_nodes
     g._tiles = None
+    g._np_cols = None
+    g._min_edge_cost = None
     g._shm = shm  # keep the mapping alive alongside the views
     return g

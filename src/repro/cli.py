@@ -12,11 +12,18 @@ Usage (``python -m repro <command> ...``)::
     census [PART]                 fabric statistics of one part
     wires [SUBSTRING]             list wire names (optionally filtered)
     route PART R1 C1 WIRE1 R2 C2 WIRE2 [R3 C3 WIRE3 ...]
-          [--fault-rate R] [--fault-seed N] [--retry N] [--workers N]
-          [--backend thread|process] [--deadline-ms MS] [--wal FILE]
+          [--batch] [--fault-rate R] [--fault-seed N] [--retry N]
+          [--workers N] [--backend thread|process] [--deadline-ms MS]
+          [--wal FILE]
                                   auto-route from the first named pin to
                                   the remaining pin(s) and print the
-                                  resulting trace; --fault-rate injects a
+                                  resulting trace; --batch instead pairs
+                                  the pins up (SRC1 SINK1 SRC2 SINK2 ...)
+                                  and routes all pairs as one batched
+                                  point-to-point request on the
+                                  vectorized SoA kernel
+                                  (JRouter.route_p2p_batch);
+                                  --fault-rate injects a
                                   seeded stuck-open PIP rate, --retry
                                   enables rip-up/retry recovery with N
                                   attempts, --workers > 1 routes via
@@ -104,8 +111,10 @@ def _cmd_wires(args: list[str]) -> int:
 
 def _cmd_route(args: list[str]) -> int:
     usage = ("usage: route PART R1 C1 WIRE1 R2 C2 WIRE2 [R3 C3 WIRE3 ...] "
-             "[--fault-rate R] [--fault-seed N] [--retry N] [--workers N] "
-             "[--backend thread|process] [--deadline-ms MS] [--wal FILE]")
+             "[--batch] [--fault-rate R] [--fault-seed N] [--retry N] "
+             "[--workers N] [--backend thread|process] [--deadline-ms MS] "
+             "[--wal FILE]")
+    batch = False
     fault_rate = 0.0
     fault_seed = 0
     retry_attempts = 0
@@ -117,7 +126,9 @@ def _cmd_route(args: list[str]) -> int:
     it = iter(args)
     try:
         for a in it:
-            if a == "--fault-rate":
+            if a == "--batch":
+                batch = True
+            elif a == "--fault-rate":
                 fault_rate = float(next(it))
             elif a == "--fault-seed":
                 fault_seed = int(next(it))
@@ -146,6 +157,10 @@ def _cmd_route(args: list[str]) -> int:
         or (deadline_ms is not None and deadline_ms <= 0)
     ):
         print(usage, file=sys.stderr)
+        return 2
+    if batch and (len(pos) - 1) % 6 != 0:
+        print("--batch pairs pins up: need an even number of pins "
+              "(SRC1 SINK1 SRC2 SINK2 ...)", file=sys.stderr)
         return 2
     part = pos[0]
     try:
@@ -185,6 +200,33 @@ def _cmd_route(args: list[str]) -> int:
         session = DurableSession(router, wal_path)
         session.__enter__()
     try:
+        if batch:
+            # consecutive pin pairs ride one lockstepped batch search
+            pairs = list(zip(pins[0::2], pins[1::2]))
+            outcomes = router.route_p2p_batch(
+                pairs, workers=workers, backend=backend
+            )
+            n = 0
+            failed = 0
+            for o in outcomes:
+                if o.success:
+                    n += o.pips_added
+                    tag = o.method or "reused"
+                    if o.rerouted:
+                        tag += ", rerouted"
+                    print(f"  pair {o.index}: {o.source} -> {o.sink} "
+                          f"ok ({o.pips_added} PIPs, {tag})")
+                else:
+                    failed += 1
+                    print(f"  pair {o.index}: {o.source} -> {o.sink} "
+                          f"FAILED: {o.error}", file=sys.stderr)
+            print(f"batch: {len(outcomes) - failed}/{len(outcomes)} pairs "
+                  f"routed with {n} PIPs "
+                  f"(template hits {router.p2p_template_hits}, "
+                  f"maze fallbacks {router.p2p_maze_fallbacks})")
+            if router.last_report is not None:
+                print(f"report: {router.last_report.summary()}")
+            return 1 if failed else 0
         if workers > 1:
             # negotiated bulk routing (partitioned across workers)
             result = router.route_nets([(src, sinks)])

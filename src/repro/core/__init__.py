@@ -12,7 +12,7 @@ from .kernel import GLOBAL_STATS, SearchState, SearchStats, record_global
 from .netdb import NetDB, PortMemory
 from .path import Path
 from .recovery import CircuitBreaker, RetryPolicy, RoutingReport, select_victim
-from .router import JRouter
+from .router import JRouter, P2PRouteOutcome
 from .scrub import Scrubber, ScrubRecord, ScrubReport, inject_seu
 from .template import Template
 from .tracer import NetTrace, reverse_trace_net, trace_net
@@ -44,6 +44,7 @@ __all__ = [
     "PortMemory",
     "Path",
     "JRouter",
+    "P2PRouteOutcome",
     "RecoveryReport",
     "RetryPolicy",
     "RouteTransaction",

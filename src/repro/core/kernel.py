@@ -33,6 +33,8 @@ import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Collection, Container, Iterable, Sequence
 
+import numpy as np
+
 from ..arch.graph import FaultEdgeMask, RoutingGraph
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (deadline -> errors)
@@ -41,13 +43,29 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (deadline -> errors)
 #: deadline poll period: one clock read per this-many+1 node expansions
 _DEADLINE_MASK = 1023
 
+#: shared read-only index ramp for the batch relax phase; grown on
+#: demand, never mutated (threads may race the rebind — both winners
+#: are correct, and old views stay alive for their holders)
+_ARANGE = np.arange(0, dtype=np.int64)
+
+
+def _arange(m: int):
+    """A length-``m`` ascending index view without a per-call alloc."""
+    global _ARANGE
+    if _ARANGE.size < m:
+        _ARANGE = np.arange(max(m, 2 * _ARANGE.size), dtype=np.int64)
+    return _ARANGE[:m]
+
 __all__ = [
     "SearchStats",
     "SearchState",
+    "BatchSearchState",
     "GLOBAL_STATS",
     "record_global",
     "dijkstra",
+    "dijkstra_batch",
     "extract_plan",
+    "extract_plan_lane",
 ]
 
 
@@ -108,6 +126,15 @@ def record_global(stats: SearchStats) -> None:
 class SearchState:
     """Preallocated, epoch-stamped flat search state for one graph.
 
+    The columns are numpy struct-of-arrays storage — :attr:`cost`,
+    :attr:`backptr` and :attr:`node_epoch` are parallel float64/int64
+    vectors over canonical wires — so batched kernels
+    (:func:`dijkstra_batch`) and future C inner loops can address them
+    as flat buffers.  The scalar loop still indexes them element-wise;
+    :attr:`dist`/:attr:`prev`/:attr:`stamp` are cached ``memoryview``
+    aliases of the same buffers, because CPython scalar indexing of a
+    memoryview is ~25% faster than indexing the ndarray itself.
+
     ``dist[w]``/``prev[w]`` are valid only when ``stamp[w]`` equals the
     current epoch; a search begins by bumping :attr:`epoch`, which
     invalidates all previous state in O(1).  One state serves one search
@@ -115,15 +142,69 @@ class SearchState:
     own a state.
     """
 
-    __slots__ = ("n", "dist", "prev", "stamp", "epoch")
+    __slots__ = (
+        "n", "cost", "backptr", "node_epoch", "dist", "prev", "stamp", "epoch"
+    )
 
     def __init__(self, n: int) -> None:
         self.n = n
-        self.dist: list[float] = [0.0] * n
-        #: edge id that relaxed the wire (-1 for search starts)
-        self.prev: list[int] = [-1] * n
-        self.stamp: list[int] = [0] * n
+        #: SoA column: tentative path cost per wire (float64)
+        self.cost = np.zeros(n, dtype=np.float64)
+        #: SoA column: edge id that relaxed the wire (-1 for search starts)
+        self.backptr = np.full(n, -1, dtype=np.int64)
+        #: SoA column: epoch stamp per wire (cost/backptr validity)
+        self.node_epoch = np.zeros(n, dtype=np.int64)
+        # memoryview aliases for the scalar loop's element-wise access
+        self.dist = memoryview(self.cost)
+        self.prev = memoryview(self.backptr)
+        self.stamp = memoryview(self.node_epoch)
         self.epoch = 0
+
+
+class BatchSearchState:
+    """Epoch-stamped state of ``k`` lockstepped searches over one graph.
+
+    The 2-D struct-of-arrays twin of :class:`SearchState`: row ``i`` of
+    :attr:`cost`/:attr:`backptr`/:attr:`node_epoch` is lane ``i``'s flat
+    search state, and :attr:`heaps` holds the per-lane frontier heaps
+    (parallel arrays of ``(f, g, node)`` entries, one list per lane).
+    Vectorized relax steps scatter into the 2-D columns with fancy
+    indexing; the per-lane pop phase reads them through the cached row
+    memoryviews in :attr:`cost_rows` (C-speed scalar indexing).
+
+    Lanes are invalidated in O(1) by bumping their :attr:`epoch` entry;
+    :meth:`ensure` grows the state for larger batches while reusing the
+    allocation for anything smaller.  One state serves one batch at a
+    time — concurrent batches each own a state.
+    """
+
+    __slots__ = ("n", "k", "cost", "backptr", "node_epoch", "epoch", "heaps",
+                 "cost_rows", "stamp_rows", "back_rows", "scratch")
+
+    def __init__(self, n: int, k: int = 1) -> None:
+        self.n = n
+        self.k = 0
+        self.ensure(max(1, k))
+
+    def ensure(self, k: int) -> None:
+        """Grow to at least ``k`` lanes (no-op when already large enough)."""
+        if k <= self.k:
+            return
+        n = self.n
+        self.cost = np.zeros((k, n), dtype=np.float64)
+        self.backptr = np.full((k, n), -1, dtype=np.int32)
+        self.node_epoch = np.zeros((k, n), dtype=np.int32)
+        #: per-lane current epoch (fresh columns start all-stale at 0)
+        self.epoch = np.zeros(k, dtype=np.int64)
+        self.heaps: list[list[tuple[float, float, int]]] = [[] for _ in range(k)]
+        self.cost_rows = [memoryview(row) for row in self.cost]
+        self.stamp_rows = [memoryview(row) for row in self.node_epoch]
+        self.back_rows = [memoryview(row) for row in self.backptr]
+        #: per-(lane, node) slot for the relax phase's duplicate-target
+        #: resolution; every slot read was written the same pass, so the
+        #: contents never need clearing between rounds or batches
+        self.scratch = np.empty(k * n, dtype=np.int64)
+        self.k = k
 
 
 def dijkstra(
@@ -383,3 +464,559 @@ def extract_plan(
         e = prev[e_src[e]]
     plan.reverse()
     return plan
+
+
+def extract_plan_lane(
+    graph: RoutingGraph, bstate: BatchSearchState, lane: int, goal: int
+) -> list[tuple[int, int, int, int]]:
+    """:func:`extract_plan` over one lane of a :class:`BatchSearchState`."""
+    prev = bstate.backptr[lane]
+    e_row = graph.e_row
+    e_col = graph.e_col
+    e_from = graph.e_from
+    e_toname = graph.e_toname
+    e_src = graph.e_src
+    plan: list[tuple[int, int, int, int]] = []
+    e = int(prev[goal])
+    while e != -1:
+        plan.append((e_row[e], e_col[e], e_from[e], e_toname[e]))
+        e = int(prev[e_src[e]])
+    plan.reverse()
+    return plan
+
+# -- batched search ------------------------------------------------------------
+
+
+def dijkstra_batch(
+    graph: RoutingGraph,
+    bstate: BatchSearchState,
+    requests: Sequence[tuple[Collection[int], Collection[int]]],
+    *,
+    occupied: Sequence[bool] | None = None,
+    allows: Sequence[Collection[int]] | None = None,
+    name_blocked: Sequence[int] | None = None,
+    hs: Sequence[Callable[[int, int, int, int], float] | None] | None = None,
+    congestion: tuple[Sequence[float], Sequence[float], float] | None = None,
+    fault_node: Sequence[bool] | None = None,
+    fault_edge: "FaultEdgeMask | Sequence[int] | None" = None,
+    max_nodes: int = 200_000,
+    stats: SearchStats | None = None,
+    deadline: "Deadline | None" = None,
+) -> list[tuple[int, float, int, int, int, bool, bool]]:
+    """``k`` independent searches, level-synchronous over the CSR arrays.
+
+    Each entry of ``requests`` is one ``(starts, targets)`` search.  The
+    engine is a vectorized wavefront: per round, every lane expands its
+    whole *safe prefix* — all frontier entries cheaper than
+    ``frontier_min + min_edge_cost`` — then one numpy relax pass runs
+    over the union of all expanded nodes' edge runs (gather / mask /
+    congestion-priced compare / scatter on the CSR columns).  The safe
+    prefix is what makes batching exact: any cost produced this round is
+    at least the prefix bound, so no same-round relaxation can improve,
+    reorder, or tie with a prefix member, and expanding the prefix
+    together replays the scalar heap's pop order (ascending ``(cost,
+    node)``) exactly.  Results — plans, costs, and every
+    :class:`SearchStats` counter — are **bit-identical** to ``k``
+    sequential :func:`dijkstra` calls:
+
+    * masks apply in the scalar loop's order (name filter, fault edges
+      counted, occupancy with per-lane allow lists);
+    * parallel edges onto one target relax one scan-order occurrence at
+      a time, so every strict improvement is counted (and its frontier
+      entry pushed) exactly as the scalar loop would, superseded entries
+      dying later as stale pops;
+    * per-entry outcome checks (target hit, ``max_nodes`` budget,
+      deadline poll points every ``_DEADLINE_MASK + 1`` expansions)
+      replay the scalar loop's per-pop precedence inside each prefix.
+
+    Lanes given an A* heuristic (``hs[lane]``) cannot be
+    level-decomposed — biased keys do not guarantee the safe-prefix
+    property — so they run the scalar loop per lane over their slice of
+    the batch state instead: exact by construction, and still sharing
+    the batch's single fault-mask sync and stats publication.
+
+    Parameters mirror :func:`dijkstra`, with three batch extensions:
+    ``allows`` is an optional per-lane collection of allowed occupied
+    wires; ``hs`` is an optional per-lane sequence of scalar A*
+    heuristics ``h(canon_to, to_name, row, col)``; ``fault_edge`` may be
+    a raw per-edge mask buffer (process workers ship bytes) as well as a
+    :class:`~repro.arch.graph.FaultEdgeMask`, which is synced **once for
+    the whole batch** — the graph is force-compiled up front, so no
+    mid-search materialization can invalidate any flat view.
+
+    Returns one ``(goal, cost, expanded, pushes, faults_avoided,
+    exceeded, timed_out)`` tuple per request.  With ``stats=None`` the
+    whole batch is published to :data:`GLOBAL_STATS` as a single
+    :func:`record_global` call.
+    """
+    k = len(requests)
+    if k == 0:
+        return []
+    off_v, deg_v, e_to_v, e_cost_v, e_toname_v, e_row_v, e_col_v = (
+        graph.np_columns()  # force-compiles the graph
+    )
+    n = graph.n_nodes
+    c_min = graph.min_edge_cost()
+    # scalar columns for the per-lane scalar loop (A* lanes)
+    e_to = graph.e_to
+    e_toname = graph.e_toname
+    e_cost = graph.e_cost
+    e_row = graph.e_row
+    e_col = graph.e_col
+    off = graph.off
+    deg = graph.deg
+
+    if fault_edge is None:
+        femask_sc = None
+        femask_np = None
+    else:
+        if isinstance(fault_edge, FaultEdgeMask):
+            fault_edge.sync()  # the one mask application for the batch
+            femask_sc = fault_edge.mask
+        else:
+            femask_sc = fault_edge
+        femask_np = np.frombuffer(femask_sc, dtype=np.uint8)
+    nb_v = (
+        None
+        if name_blocked is None
+        else np.frombuffer(name_blocked, dtype=np.uint8)
+    )
+    if occupied is None:
+        occ_v = occ_sc = None
+    else:
+        occ_v = np.asarray(occupied, dtype=bool)
+        occ_sc = occupied
+        if not isinstance(occ_sc, (list, memoryview)):
+            try:
+                occ_sc = memoryview(occ_sc)  # cheaper scalar indexing
+            except TypeError:
+                pass
+    fault_np = (
+        np.asarray(fault_node, dtype=bool) if fault_node is not None else None
+    )
+    fault_mv = fault_node
+    if isinstance(fault_mv, np.ndarray):
+        fault_mv = memoryview(fault_mv)  # cheaper scalar indexing
+    if congestion is not None:
+        use_count, history, pf = congestion
+        use_v = np.asarray(use_count, dtype=np.float64)
+        hist_v = np.asarray(history, dtype=np.float64)
+    allow_sets: list[Collection[int]] = (
+        [a if a else frozenset() for a in allows]
+        if allows is not None
+        else [frozenset()] * k
+    )
+    allow_np: list[np.ndarray | None] = [
+        np.fromiter(a, dtype=np.int64, count=len(a)) if a else None
+        for a in allow_sets
+    ]
+    if hs is None:
+        hs = [None] * k
+    # an all-clear mask is semantically identical to no mask at all;
+    # eliding it up front spares every round its per-edge gathers
+    if nb_v is not None and not nb_v.any():
+        nb_v = None
+    if femask_np is not None and not femask_np.any():
+        femask_np = None
+        femask_sc = None
+    if occ_v is not None and not occ_v.any():
+        occ_v = None
+        occ_sc = None
+    if fault_np is not None and not fault_np.any():
+        fault_np = None
+        fault_mv = None
+
+    bstate.ensure(k)
+    cost2d = bstate.cost
+    back2d = bstate.backptr
+    stamp2d = bstate.node_epoch
+    epochs = bstate.epoch
+    heaps = bstate.heaps
+    cost_rows = bstate.cost_rows
+    stamp_rows = bstate.stamp_rows
+    back_rows = bstate.back_rows
+    # flat views: one (lane * n + node) index serves gather and scatter
+    cost_flat = cost2d.reshape(-1)
+    back_flat = back2d.reshape(-1)
+    scratch = bstate.scratch
+
+    push = heapq.heappush
+    pop = heapq.heappop
+    p_tiles = graph.tiles() if any(h is not None for h in hs) else None
+
+    target_sets: list[Collection[int]] = []
+    targ_np: list[np.ndarray | None] = [None] * k
+    fr_g: list[np.ndarray | None] = [None] * k
+    fr_node: list[np.ndarray | None] = [None] * k
+    expanded = [0] * k
+    pushes = [0] * k
+    fav = [0] * k
+    goal = [-1] * k
+    goal_cost = [0.0] * k
+    exceeded = [False] * k
+    timed_out = [False] * k
+    fast: list[int] = []
+    slow: list[int] = []
+    for lane, (starts, targets) in enumerate(requests):
+        epochs[lane] += 1
+        ep = int(epochs[lane])
+        heap = heaps[lane]
+        heap.clear()
+        tset = targets if isinstance(targets, (set, frozenset)) else set(targets)
+        target_sets.append(tset)
+        hl = hs[lane]
+        if hl is None and c_min > 0.0:
+            ss = np.fromiter(starts, dtype=np.int64, count=len(starts))
+            if ss.size == 0:
+                continue
+            # fast lanes trade the epoch-stamp protocol for an up-front
+            # +inf fill: "unvisited always loses" becomes a plain cost
+            # compare, sparing every relax round its stamp gathers
+            row = cost2d[lane]
+            row.fill(np.inf)
+            row[ss] = 0.0
+            back2d[lane, ss] = -1
+            fr_g[lane] = np.zeros(ss.size, dtype=np.float64)
+            fr_node[lane] = ss
+            targ_np[lane] = np.fromiter(
+                tset, dtype=np.int64, count=len(tset)
+            )
+            fast.append(lane)
+        else:
+            crow = cost_rows[lane]
+            srow = stamp_rows[lane]
+            brow = back_rows[lane]
+            any_start = False
+            if hl is None:
+                for s in starts:
+                    crow[s] = 0.0
+                    srow[s] = ep
+                    brow[s] = -1
+                    heap.append((0.0, 0.0, s))
+                    any_start = True
+                heapq.heapify(heap)
+            else:
+                p_row, p_col, p_name = p_tiles
+                for s in starts:
+                    crow[s] = 0.0
+                    srow[s] = ep
+                    brow[s] = -1
+                    push(heap, (hl(s, p_name[s], p_row[s], p_col[s]), 0.0, s))
+                    any_start = True
+            if any_start:
+                slow.append(lane)
+
+    def drain(lane: int) -> None:
+        # One lane on the scalar loop (the exact op order of
+        # :func:`dijkstra`'s general loop, over this lane's row state) —
+        # for lanes whose A* keys rule out safe-prefix vectorization.
+        heap = heaps[lane]
+        crow = cost_rows[lane]
+        srow = stamp_rows[lane]
+        brow = back_rows[lane]
+        ep = int(epochs[lane])
+        tset = target_sets[lane]
+        allow = allow_sets[lane]
+        hl = hs[lane]
+        e_l = expanded[lane]
+        p_l = pushes[lane]
+        f_l = fav[lane]
+        while heap:
+            f, g, canon = pop(heap)
+            if g > crow[canon]:
+                continue  # stale entry
+            if canon in tset:
+                goal[lane] = canon
+                goal_cost[lane] = g
+                break
+            if fault_mv is not None and fault_mv[canon]:
+                f_l += 1
+                continue
+            if (
+                deadline is not None
+                and (e_l & _DEADLINE_MASK) == 0
+                and deadline.expired()
+            ):
+                timed_out[lane] = True
+                break
+            e_l += 1
+            if e_l > max_nodes:
+                exceeded[lane] = True
+                break
+            o = off[canon]
+            for e in range(o, o + deg[canon]):  # repro: noqa RPR007
+                to = e_to[e]
+                if nb_v is not None and name_blocked[e_toname[e]]:
+                    continue
+                if femask_sc is not None and femask_sc[e]:
+                    f_l += 1
+                    continue
+                if occ_sc is not None and occ_sc[to] and to not in allow:
+                    continue
+                if congestion is None:
+                    ng = g + e_cost[e]
+                else:
+                    ng = g + e_cost[e] * (1.0 + pf * use_count[to]) + history[to]
+                if srow[to] != ep:
+                    srow[to] = ep
+                elif ng >= crow[to]:
+                    continue
+                crow[to] = ng
+                brow[to] = e
+                p_l += 1
+                if hl is None:
+                    push(heap, (ng, ng, to))
+                else:
+                    push(
+                        heap,
+                        (ng + hl(to, e_toname[e], e_row[e], e_col[e]), ng, to),
+                    )
+        expanded[lane] = e_l
+        pushes[lane] = p_l
+        fav[lane] = f_l
+
+    for lane in slow:
+        drain(lane)
+
+    active = fast
+    while active:
+        expired = deadline is not None and deadline.expired()
+        still: list[int] = []
+        rl_lane: list[np.ndarray] = []
+        rl_node: list[np.ndarray] = []
+        rl_g: list[np.ndarray] = []
+        round_lanes: list[int] = []
+        # -- pop phase: per lane, expand the whole safe prefix
+        for lane in active:
+            fg = fr_g[lane]
+            fn = fr_node[lane]
+            if fg.size == 0:
+                continue  # frontier exhausted: goal stays -1
+            bound = fg.min() + c_min
+            m = fg < bound
+            pg = fg[m]
+            pn = fn[m]
+            inv = ~m
+            fr_g[lane] = fg[inv]
+            fr_node[lane] = fn[inv]
+            # lazy deletion, exactly like the scalar heap's stale check
+            fresh = pg <= cost2d[lane, pn]
+            if not fresh.all():
+                pg = pg[fresh]
+                pn = pn[fresh]
+            if pg.size == 0:
+                still.append(lane)
+                continue
+            order = np.lexsort((pn, pg))  # the heap's (cost, node) order
+            pg = pg[order]
+            pn = pn[order]
+            ta = targ_np[lane]
+            is_t = (pn == ta[0]) if ta.size == 1 else np.isin(pn, ta)
+            if fault_np is not None:
+                is_f = fault_np[pn]
+                normal = ~(is_t | is_f)
+            else:
+                is_f = None
+                normal = ~is_t
+            e0 = expanded[lane]
+            seg = pg.size
+            # per-entry precedence within the prefix, as the scalar pop
+            # loop would apply it: target, then deadline poll, then the
+            # expansion-budget crossing
+            cut = seg
+            outcome = 0
+            if is_t.any():
+                cut = int(np.argmax(is_t))
+                outcome = 1
+            nrank = None
+            if expired:
+                nrank = np.cumsum(normal) - 1
+                pollable = normal & (((e0 + nrank) & _DEADLINE_MASK) == 0)
+                cand = np.flatnonzero(pollable)
+                if cand.size and cand[0] < cut:
+                    cut = int(cand[0])
+                    outcome = 2
+            if e0 + seg > max_nodes:
+                if nrank is None:
+                    nrank = np.cumsum(normal) - 1
+                capc = np.flatnonzero(normal & (nrank == max_nodes - e0))
+                if capc.size and capc[0] < cut:
+                    cut = int(capc[0])
+                    outcome = 3
+            if is_f is not None and cut:
+                fav[lane] += int(is_f[:cut].sum())
+            sel = normal[:cut]
+            n_exp = int(sel.sum())
+            expanded[lane] = e0 + n_exp
+            if outcome == 1:
+                goal[lane] = int(pn[cut])
+                goal_cost[lane] = float(pg[cut])
+            elif outcome == 2:
+                timed_out[lane] = True
+            elif outcome == 3:
+                expanded[lane] = e0 + n_exp + 1  # the crossing pop counts
+                exceeded[lane] = True
+            else:
+                still.append(lane)
+            if n_exp:
+                rl_lane.append(np.full(n_exp, lane, dtype=np.int64))
+                rl_node.append(pn[:cut][sel])
+                rl_g.append(pg[:cut][sel])
+                round_lanes.append(lane)
+        active = still
+        if not rl_node:
+            continue
+
+        # -- relax phase: one vectorized sweep over the union of the
+        #    expanded nodes' edge runs
+        nodes_a = np.concatenate(rl_node)
+        lanes_a = np.concatenate(rl_lane)
+        g_a = np.concatenate(rl_g)
+        degs = deg_v[nodes_a]
+        total = int(degs.sum())
+        if total == 0:
+            continue
+        ends = np.cumsum(degs)
+        e_idx = np.repeat(off_v[nodes_a] - (ends - degs), degs) + _arange(total)
+        to_e = e_to_v[e_idx]
+        lane_e = np.repeat(lanes_a, degs)
+        # masks in the scalar loop's order: name filter, fault edges
+        # (counted), occupancy (with per-lane allow-list correction)
+        keep = None
+        if nb_v is not None:
+            keep = nb_v[e_toname_v[e_idx]] == 0
+        if femask_np is not None:
+            hit = femask_np[e_idx] != 0
+            if keep is not None:
+                hit &= keep
+            if hit.any():
+                lane_hits = np.bincount(lane_e[hit], minlength=k)
+                for lane, c in enumerate(lane_hits.tolist()):
+                    if c:
+                        fav[lane] += c
+            keep = ~hit if keep is None else keep & ~hit
+        if occ_v is not None:
+            occ = occ_v[to_e]
+            for lane in round_lanes:
+                al = allow_np[lane]
+                if al is not None:
+                    lm = lane_e == lane
+                    occ[lm] &= ~np.isin(to_e[lm], al)
+            keep = ~occ if keep is None else keep & ~occ
+        if keep is None:
+            e_k = e_idx
+            lane_k = lane_e
+            to_k = to_e
+            g_k = np.repeat(g_a, degs)
+        else:
+            kidx = np.flatnonzero(keep)
+            if kidx.size == 0:
+                continue
+            e_k = e_idx[kidx]
+            lane_k = lane_e[kidx]
+            to_k = to_e[kidx]
+            g_k = np.repeat(g_a, degs)[kidx]
+        if congestion is None:
+            ng_k = g_k + e_cost_v[e_k]
+        else:
+            ng_k = (
+                g_k
+                + e_cost_v[e_k] * (1.0 + pf * use_v[to_k])
+                + hist_v[to_k]
+            )
+        # an edge that cannot beat the pre-round cost can never win
+        # mid-round either (costs only decrease), so filter early;
+        # unvisited rows hold +inf, so one gather doubles as the
+        # scalar protocol's "unvisited always loses" rule
+        flat_k = lane_k * n + to_k
+        ci = np.flatnonzero(ng_k < cost_flat[flat_k])
+        if ci.size == 0:
+            continue
+        flat_c = flat_k[ci]
+        to_c = to_k[ci]
+        ng_c = ng_k[ci]
+        e_c = e_k[ci]
+        lane_c = lane_k[ci]
+
+        # several expanded nodes (or parallel edges of one node) can
+        # target the same (lane, wire) this round; the scalar loop
+        # relaxes them in scan order, pushing every running-cost
+        # improvement.  Replay that order one occurrence at a time
+        # without sorting: pass r scatters the standing candidates'
+        # positions into each key's scratch slot *reversed*, so the
+        # last write — the key's earliest remaining candidate — wins;
+        # those scan-order winners are peeled off and the pass repeats
+        # on the rest.  Every slot read was written the same pass, so
+        # the scratch carries no state between rounds.
+        pos = _arange(flat_c.size)
+        first_pass = True
+        while pos.size:
+            keys = flat_c if first_pass else flat_c[pos]
+            scratch[keys[::-1]] = pos[::-1]
+            firsts = scratch[keys] == pos
+            if firsts.all():
+                wsel = pos
+                pos = pos[:0]
+            else:
+                wsel = pos[firsts]
+                pos = pos[~firsts]
+            if first_pass and wsel.size == flat_c.size:
+                wl, wt, wv, we, wf = lane_c, to_c, ng_c, e_c, flat_c
+            else:
+                wl = lane_c[wsel]
+                wt = to_c[wsel]
+                wv = ng_c[wsel]
+                we = e_c[wsel]
+                wf = flat_c[wsel]
+            if not first_pass:
+                # later occurrences must also beat what the earlier
+                # passes just wrote (first occurrences always win: the
+                # pre-round filter already vouched for them)
+                ii = np.flatnonzero(wv < cost_flat[wf])
+                if ii.size == 0:
+                    continue
+                wl = wl[ii]
+                wt = wt[ii]
+                wv = wv[ii]
+                we = we[ii]
+                wf = wf[ii]
+            first_pass = False
+            cost_flat[wf] = wv
+            back_flat[wf] = we
+            # every improvement becomes a frontier entry (and a counted
+            # push), exactly as the scalar loop pushes; superseded ones
+            # die later as stale pops, matching the heap's lazy
+            # deletion.  The pop phase walked lanes in ascending order,
+            # so `wl` is non-decreasing and splits without a sort.
+            fw = np.empty(wl.size, dtype=bool)
+            fw[0] = True
+            fw[1:] = wl[1:] != wl[:-1]
+            ui = np.flatnonzero(fw)
+            splits = np.append(ui, wl.size)
+            # O(lanes) bookkeeping, not O(elements)
+            for j in range(ui.size):  # repro: noqa RPR007
+                a = int(splits[j])
+                b = int(splits[j + 1])
+                lane = int(wl[a])
+                pushes[lane] += b - a
+                fr_g[lane] = np.concatenate((fr_g[lane], wv[a:b]))
+                fr_node[lane] = np.concatenate((fr_node[lane], wt[a:b]))
+
+    batch = SearchStats(k, sum(expanded), sum(pushes), sum(fav))
+    if stats is not None:
+        stats.merge(batch)
+    else:
+        # one lock-guarded publication for the whole batch
+        record_global(batch)
+    return [
+        (
+            goal[i],
+            goal_cost[i],
+            expanded[i],
+            pushes[i],
+            fav[i],
+            exceeded[i],
+            timed_out[i],
+        )
+        for i in range(k)
+    ]

@@ -23,6 +23,7 @@ reconnection after core replacement).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from .. import errors
@@ -31,7 +32,7 @@ from ..arch.wires import WireClass
 from ..device.fabric import Device
 from ..device.state import PipRecord
 from ..jbits.jbits import JBits
-from ..routers.auto import route_point_to_point
+from ..routers.auto import route_point_to_point, route_point_to_point_batch
 from ..routers.base import PlanPip, apply_plan
 from ..routers.maze import route_maze
 from ..routers.pathfinder import NetSpec, PathFinderResult, route_pathfinder
@@ -47,7 +48,27 @@ from .tracer import NetTrace, reverse_trace_net, trace_net
 from .txn import RouteTransaction
 from .unroute import unroute_forward, unroute_reverse
 
-__all__ = ["JRouter"]
+__all__ = ["JRouter", "P2PRouteOutcome"]
+
+
+@dataclass(slots=True)
+class P2PRouteOutcome:
+    """Per-pair outcome of one :meth:`JRouter.route_p2p_batch` call.
+
+    Outcomes come back **in request order**; a failed pair never hides
+    the rest of the batch.  ``rerouted`` marks pairs whose batch-planned
+    path conflicted with an earlier pair's applied plan and were re-run
+    against the updated device state.
+    """
+
+    index: int
+    source: object            #: the request's source endpoint
+    sink: object              #: the request's sink endpoint
+    success: bool
+    pips_added: int = 0
+    method: str | None = None  #: "template" or "maze" (None when no search ran)
+    rerouted: bool = False
+    error: errors.JRouteError | None = None
 
 
 class JRouter:
@@ -672,6 +693,182 @@ class JRouter:
                 f"pathfinder did not converge in {result.iterations} iteration(s)"
             )
         return result
+
+    def route_p2p_batch(
+        self,
+        pairs: Sequence[tuple[EndPoint, EndPoint]],
+        *,
+        workers: int | None = None,
+        backend: str | None = None,
+    ) -> list[P2PRouteOutcome]:
+        """Route many independent point-to-point pairs in one batched search.
+
+        Each entry is a ``(source, sink)`` endpoint pair routed with
+        level-4 semantics.  Template attempts stay scalar (they are
+        lookup-bound); every template miss rides a single lockstepped
+        maze batch over the compiled graph, so the per-search fixed
+        costs (fault-mask sync, stats publication, graph traversal
+        setup) are paid once per batch instead of once per net.
+
+        All searches see the device state as of the call; plans are
+        applied in request order, and a pair whose plan lost a wire to
+        an earlier pair is transparently re-routed against the updated
+        state (``rerouted=True`` in its outcome).  Per-pair failures —
+        breaker refusals, driven sinks, unroutable or timed-out
+        searches — are returned in place as outcomes, never raised.
+        :attr:`last_report` aggregates the whole batch.
+        """
+        self.call_count += 1
+        deadline = Deadline.after_ms(self.deadline_ms)
+        report = RoutingReport(attempts=1)
+        self.last_report = report
+        self._faults_avoided = 0
+        self._search_stats = SearchStats()
+        report.search_stats = self._search_stats
+        device = self.device
+        state = device.state
+        arch = device.arch
+        k = len(pairs)
+        outcomes: list[P2PRouteOutcome | None] = [None] * k
+        canons: list[tuple[int, int] | None] = [None] * k
+        lanes: list[int] = []
+        lane_pairs: list[tuple[int, int]] = []
+        for i, (src_ep, sink_ep) in enumerate(pairs):
+            try:
+                source = self._source_canon(src_ep)
+                sink_list = self._sink_canons(sink_ep)
+                if len(sink_list) != 1:
+                    raise errors.PortError(
+                        "route_p2p_batch needs single-pin sink endpoints; "
+                        "route multi-pin ports with route()"
+                    )
+                sink = sink_list[0]
+            except errors.JRouteError as e:
+                report.failures.append(str(e))
+                outcomes[i] = P2PRouteOutcome(i, src_ep, sink_ep, False, error=e)
+                continue
+            if self.breaker is not None and self.breaker.is_open(source):
+                e = errors.UnroutableError(
+                    f"circuit breaker open for net {source}: refused without "
+                    f"searching (reset the breaker or raise deadline_ms)"
+                )
+                report.breaker_open = True
+                report.failures.append(str(e))
+                outcomes[i] = P2PRouteOutcome(i, src_ep, sink_ep, False, error=e)
+                continue
+            if sink in state.subtree(source):
+                # already part of this net: nothing to add
+                outcomes[i] = P2PRouteOutcome(i, src_ep, sink_ep, True)
+                continue
+            if state.is_driven(sink):
+                r, c, n = arch.primary_name(sink)
+                e = errors.ContentionError(
+                    f"sink wire {wires.wire_name(n)} is already driven by "
+                    f"another net",
+                    row=r,
+                    col=c,
+                    wire=wires.wire_name(n),
+                    net=state.root_of(sink),
+                )
+                report.failures.append(str(e))
+                outcomes[i] = P2PRouteOutcome(i, src_ep, sink_ep, False, error=e)
+                continue
+            canons[i] = (source, sink)
+            lanes.append(i)
+            lane_pairs.append((source, sink))
+        results: list = []
+        if lanes:
+            results = route_point_to_point_batch(
+                device,
+                lane_pairs,
+                try_templates=self.try_templates,
+                use_longs=self.p2p_use_longs,
+                heuristic_weight=self.heuristic_weight,
+                max_nodes=self.max_nodes,
+                deadline=deadline,
+                workers=self.workers if workers is None else workers,
+                backend=self.backend if backend is None else backend,
+            )
+        for i, res in zip(lanes, results):
+            src_ep, sink_ep = pairs[i]
+            source, sink = canons[i]
+            if isinstance(res, errors.JRouteError):
+                outcomes[i] = self._p2p_batch_failure(
+                    i, src_ep, sink_ep, source, res
+                )
+                continue
+            plan = res.plan
+            method = res.method
+            rerouted = False
+            self._faults_avoided += res.faults_avoided
+            if res.stats is not None:
+                self._search_stats.merge(res.stats)
+            try:
+                pips = apply_plan(device, plan)
+            except errors.JRouteError:
+                # an earlier pair claimed a wire of this plan: re-plan
+                # against the device state as it stands now
+                rerouted = True
+                try:
+                    res = route_point_to_point(
+                        device,
+                        source,
+                        sink,
+                        try_templates=self.try_templates,
+                        use_longs=self.p2p_use_longs,
+                        heuristic_weight=self.heuristic_weight,
+                        max_nodes=self.max_nodes,
+                        deadline=deadline,
+                    )
+                except errors.JRouteError as e:
+                    outcomes[i] = self._p2p_batch_failure(
+                        i, src_ep, sink_ep, source, e
+                    )
+                    continue
+                plan = res.plan
+                method = res.method
+                self._faults_avoided += res.faults_avoided
+                if res.stats is not None:
+                    self._search_stats.merge(res.stats)
+                pips = apply_plan(device, plan)
+            if method == "template":
+                self.p2p_template_hits += 1
+            else:
+                self.p2p_maze_fallbacks += 1
+            self.netdb.record_net(source, src_ep, [sink])
+            self.netdb.remember_connection(src_ep, sink_ep)
+            self._note_success(source)
+            outcomes[i] = P2PRouteOutcome(
+                i, src_ep, sink_ep, True, pips, method, rerouted
+            )
+        done = [o for o in outcomes if o is not None]
+        assert len(done) == k
+        report.pips_added = sum(o.pips_added for o in done)
+        report.success = all(o.success for o in done)
+        report.faults_avoided = self._faults_avoided
+        return done
+
+    def _p2p_batch_failure(
+        self,
+        index: int,
+        src_ep: EndPoint,
+        sink_ep: EndPoint,
+        source: int,
+        exc: errors.JRouteError,
+    ) -> P2PRouteOutcome:
+        """Fold one failed batch pair into the aggregate report."""
+        report = self.last_report
+        assert report is not None
+        report.failures.append(str(exc))
+        self._faults_avoided += getattr(exc, "faults_avoided", 0)
+        failed_stats = getattr(exc, "search_stats", None)
+        if failed_stats is not None:
+            self._search_stats.merge(failed_stats)
+        if isinstance(exc, errors.DeadlineExceededError):
+            report.timed_out = True
+            if self.breaker is not None:
+                self.breaker.record_trip(source)
+        return P2PRouteOutcome(index, src_ep, sink_ep, False, error=exc)
 
     # ------------------------------------------------------------------- globals
 

@@ -53,6 +53,7 @@ class Device:
         self.faults = faults
         self._listeners: list[Callable[[PipEvent], None]] = []
         self._search_state = None
+        self._batch_search_state = None
 
     def routing_graph(self):
         """The compiled CSR routing graph for this part (process-shared)."""
@@ -69,6 +70,21 @@ class Device:
 
             self._search_state = SearchState(self.arch.n_wires)
         return self._search_state
+
+    def batch_search_state(self, k: int):
+        """This device's reusable ``k``-lane batched search state.
+
+        Grown on demand (lanes are reused across batches); one state
+        serves one batch at a time — concurrent batches (thread-backend
+        chunks) must allocate their own.
+        """
+        if self._batch_search_state is None:
+            from ..core.kernel import BatchSearchState
+
+            self._batch_search_state = BatchSearchState(self.arch.n_wires, k)
+        else:
+            self._batch_search_state.ensure(k)
+        return self._batch_search_state
 
     def set_fault_model(self, faults) -> None:
         """Attach (or clear, with None) the device's fault model.

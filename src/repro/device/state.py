@@ -193,7 +193,8 @@ class RoutingState:
                     f"{canon_to} missing from children[{rec.canon_from}]"
                 )
         driven = np.flatnonzero(self.driver != -1)
-        for w in driven:
+        # dict-membership audit of a cold invariant checker
+        for w in driven:  # repro: noqa RPR007
             if int(w) not in self.pip_of:
                 problems.append(f"driver[{int(w)}] set but no PIP record")
         for canon_from, kids in self.children.items():

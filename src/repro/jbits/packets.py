@@ -75,11 +75,9 @@ def _pack_frame(frame_bits: np.ndarray) -> list[int]:
 
 
 def _unpack_frame(words: Sequence[int], frame_bits: int) -> np.ndarray:
-    arr = np.zeros(len(words) * 32, dtype=np.uint8)
-    for i, w in enumerate(words):
-        for b in range(32):
-            arr[i * 32 + b] = (w >> b) & 1
-    return arr[:frame_bits]
+    lanes = np.asarray(list(words), dtype=np.uint64)
+    bits = (lanes[:, None] >> np.arange(32, dtype=np.uint64)) & 1
+    return bits.astype(np.uint8).reshape(-1)[:frame_bits]
 
 
 class Packet:

@@ -11,12 +11,12 @@ fanout router (:mod:`~repro.routers.greedy_fanout`), pairwise bus routing
 baseline (:mod:`~repro.routers.pathfinder`).
 """
 
-from .auto import P2PResult, route_point_to_point
+from .auto import P2PResult, route_point_to_point, route_point_to_point_batch
 from .bidir import route_bidirectional
 from .base import PlanPip, apply_plan, plan_cost, plan_wirelength
 from .bus import BusResult, route_bus
 from .greedy_fanout import FanoutResult, route_fanout
-from .maze import MazeResult, route_maze
+from .maze import MazeBatchResult, MazeResult, route_maze, route_maze_batch
 from .pathfinder import NetSpec, PathFinderResult, route_pathfinder
 from .template_router import route_template
 from .template_sets import predefined_templates
@@ -24,6 +24,7 @@ from .template_sets import predefined_templates
 __all__ = [
     "P2PResult",
     "route_point_to_point",
+    "route_point_to_point_batch",
     "route_bidirectional",
     "PlanPip",
     "apply_plan",
@@ -33,8 +34,10 @@ __all__ = [
     "route_bus",
     "FanoutResult",
     "route_fanout",
+    "MazeBatchResult",
     "MazeResult",
     "route_maze",
+    "route_maze_batch",
     "NetSpec",
     "PathFinderResult",
     "route_pathfinder",

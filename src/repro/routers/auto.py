@@ -17,11 +17,11 @@ from ..arch.wires import WireClass
 from ..core.deadline import Deadline
 from ..device.fabric import Device
 from .base import PlanPip
-from .maze import route_maze
+from .maze import route_maze, route_maze_batch
 from .template_router import route_template
 from .template_sets import predefined_templates
 
-__all__ = ["route_point_to_point", "P2PResult"]
+__all__ = ["route_point_to_point", "route_point_to_point_batch", "P2PResult"]
 
 
 @dataclass(slots=True)
@@ -69,30 +69,11 @@ def route_point_to_point(
         )
     templates_tried = 0
     if try_templates and not reuse:
-        src_cls = arch.wire_class_of(source)
-        sink_cls = arch.wire_class_of(sink)
-        if src_cls is WireClass.SLICE_OUT and sink_cls in (
-            WireClass.SLICE_IN,
-            WireClass.CTL_IN,
-        ):
-            sr, sc, _ = arch.primary_name(source)
-            tr, tc, _ = arch.primary_name(sink)
-            candidates = predefined_templates(tr - sr, tc - sc)
-            for tmpl in candidates:
-                if deadline is not None:
-                    deadline.check("template attempt")
-                templates_tried += 1
-                try:
-                    plan = route_template(
-                        device,
-                        source,
-                        tmpl.values,
-                        end_canon=sink,
-                        max_nodes=template_budget,
-                    )
-                except errors.UnroutableError:
-                    continue
-                return P2PResult(plan, "template", templates_tried, tmpl)
+        hit, templates_tried = _template_phase(
+            device, source, sink, template_budget, deadline
+        )
+        if hit is not None:
+            return hit
     result = route_maze(
         device,
         [source],
@@ -111,3 +92,131 @@ def route_point_to_point(
         result.faults_avoided,
         result.stats,
     )
+
+
+def _template_phase(
+    device: Device,
+    source: int,
+    sink: int,
+    template_budget: int,
+    deadline: Deadline | None,
+) -> tuple[P2PResult | None, int]:
+    """Attempt the predefined templates for one source/sink pair.
+
+    Returns ``(result, templates_tried)`` where ``result`` is a
+    template-method :class:`P2PResult` on a hit and ``None`` when the
+    pair either does not qualify (non-CLB endpoint classes) or every
+    candidate template failed.
+    """
+    arch = device.arch
+    src_cls = arch.wire_class_of(source)
+    sink_cls = arch.wire_class_of(sink)
+    if src_cls is not WireClass.SLICE_OUT or sink_cls not in (
+        WireClass.SLICE_IN,
+        WireClass.CTL_IN,
+    ):
+        return None, 0
+    sr, sc, _ = arch.primary_name(source)
+    tr, tc, _ = arch.primary_name(sink)
+    templates_tried = 0
+    for tmpl in predefined_templates(tr - sr, tc - sc):
+        if deadline is not None:
+            deadline.check("template attempt")
+        templates_tried += 1
+        try:
+            plan = route_template(
+                device,
+                source,
+                tmpl.values,
+                end_canon=sink,
+                max_nodes=template_budget,
+            )
+        except errors.UnroutableError:
+            continue
+        return P2PResult(plan, "template", templates_tried, tmpl), templates_tried
+    return None, templates_tried
+
+
+def route_point_to_point_batch(
+    device: Device,
+    pairs: "list[tuple[int, int]]",
+    *,
+    try_templates: bool = True,
+    use_longs: bool = True,
+    template_budget: int = 4_000,
+    heuristic_weight: float = 0.0,
+    max_nodes: int = 200_000,
+    deadline: Deadline | None = None,
+    workers: int = 1,
+    backend: str = "thread",
+) -> "list[P2PResult | errors.JRouteError]":
+    """Plan ``K`` independent point-to-point routes as one batch.
+
+    ``pairs`` is a sequence of ``(source, sink)`` wire pairs.  Each pair
+    goes through the same two phases as :func:`route_point_to_point`:
+    the (cheap, scalar) predefined-template attempts first, then every
+    template miss rides a single :func:`route_maze_batch` call — the
+    lockstepped SoA kernel amortizes graph traversal, fault-mask sync
+    and the global-stats publication across the whole fallback set.
+
+    Returns one entry per pair **in request order**: a
+    :class:`P2PResult` on success, or the :class:`~repro.errors.JRouteError`
+    instance the scalar call would have raised (a failure never hides
+    the remaining results).  Plans, costs and kernel stats are
+    bit-identical to ``K`` sequential :func:`route_point_to_point`
+    calls against the same device state.
+    """
+    arch = device.arch
+    k = len(pairs)
+    out: "list[P2PResult | errors.JRouteError | None]" = [None] * k
+    tried: list[int] = [0] * k
+    maze_lanes: list[int] = []
+    maze_reqs: list[tuple[list[int], set[int]]] = []
+    for i, (source, sink) in enumerate(pairs):
+        if device.state.occupied[sink]:
+            tr, tc, tn = arch.primary_name(sink)
+            out[i] = errors.ContentionError(
+                "sink wire is already in use; unroute it first",
+                row=tr,
+                col=tc,
+                wire=wires.wire_name(tn),
+                net=device.state.root_of(sink),
+            )
+            continue
+        if try_templates:
+            try:
+                hit, tried[i] = _template_phase(
+                    device, source, sink, template_budget, deadline
+                )
+            except errors.DeadlineExceededError as exc:
+                out[i] = exc
+                continue
+            if hit is not None:
+                out[i] = hit
+                continue
+        maze_lanes.append(i)
+        maze_reqs.append(([source], {sink}))
+    if maze_lanes:
+        batch = route_maze_batch(
+            device,
+            maze_reqs,
+            use_longs=use_longs,
+            heuristic_weight=heuristic_weight,
+            max_nodes=max_nodes,
+            deadline=deadline,
+            workers=workers,
+            backend=backend,
+        )
+        for lane, res in zip(maze_lanes, batch.results):
+            if isinstance(res, errors.JRouteError):
+                out[lane] = res
+            else:
+                out[lane] = P2PResult(
+                    res.plan,
+                    "maze",
+                    tried[lane],
+                    None,
+                    res.faults_avoided,
+                    res.stats,
+                )
+    return out

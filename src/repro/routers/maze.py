@@ -21,18 +21,29 @@ benchmark baseline).
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from functools import lru_cache
-from typing import Collection, Iterable
+from typing import Callable, Collection, Iterable, Sequence
+
+import numpy as np
 
 from .. import errors
 from ..arch import wires
 from ..arch.wires import WireClass
 from ..core.deadline import Deadline
-from ..core.kernel import SearchStats, dijkstra, extract_plan, record_global
+from ..core.kernel import (
+    BatchSearchState,
+    SearchStats,
+    dijkstra,
+    dijkstra_batch,
+    extract_plan,
+    extract_plan_lane,
+    record_global,
+)
 from ..device.fabric import Device
 from .base import PlanPip
 
-__all__ = ["route_maze", "MazeResult"]
+__all__ = ["route_maze", "route_maze_batch", "MazeResult", "MazeBatchResult"]
 
 #: Wire class of every name, flat (avoids wire_info() in heuristics).
 _NAME_CLASS: tuple[WireClass, ...] = tuple(
@@ -43,7 +54,6 @@ _NAME_LENGTH: tuple[int, ...] = tuple(
 )
 _LONG_LO = wires.LONG_H[0]
 _LONG_HI = wires.LONG_V[-1]
-
 
 class MazeResult:
     """Outcome of a maze search: the plan and the target it reached."""
@@ -182,75 +192,11 @@ def route_maze(
     state = device.search_state()
 
     if heuristic_weight > 0.0:
-        goal_tiles = _target_tiles(device, target_set)
-        # Cheapest possible per-CLB rate: hexes cover 6 CLBs at their cost;
-        # long lines can beat that on big spans, so the bias is scaled down.
-        rate = heuristic_weight * min(
-            arch.wire_cost(wires.HEX_E[0]) / 6.0,
-            1.0,
+        h = _make_heuristic(
+            graph,
+            _target_tiles(device, target_set),
+            _heuristic_rate(arch, heuristic_weight),
         )
-        hex_n0 = wires.HEX_N[0]
-        single_n0 = wires.SINGLE_N[0]
-        p_row, p_col, p_name = graph.tiles()
-
-        if len(goal_tiles) == 1:
-            # dominant case (one sink pin): no min-over-goals machinery
-            tr, tc = goal_tiles[0]
-
-            def h(canon: int, to_name: int, row: int, col: int) -> float:
-                # estimate from the point of the driven wire nearest the
-                # goal: a hex driven toward it should look 6 tiles closer
-                cls = _NAME_CLASS[to_name]
-                if cls is WireClass.SINGLE or cls is WireClass.HEX:
-                    r0 = p_row[canon]
-                    c0 = p_col[canon]
-                    length = _NAME_LENGTH[to_name]
-                    a = abs(r0 - tr) + abs(c0 - tc)
-                    if p_name[canon] >= (
-                        hex_n0 if cls is WireClass.HEX else single_n0
-                    ):
-                        b = abs(r0 + length - tr) + abs(c0 - tc)
-                    else:
-                        b = abs(r0 - tr) + abs(c0 + length - tc)
-                    return rate * (a if a < b else b)
-                if cls is WireClass.LONG_H:
-                    return rate * abs(p_row[canon] - tr)
-                if cls is WireClass.LONG_V:
-                    return rate * abs(p_col[canon] - tc)
-                return rate * (abs(row - tr) + abs(col - tc))
-
-        else:
-
-            def h(canon: int, to_name: int, row: int, col: int) -> float:
-                # estimate from the point of the driven wire nearest a goal:
-                # a hex driven toward the goal should look 6 tiles closer
-                cls = _NAME_CLASS[to_name]
-                if cls is WireClass.SINGLE or cls is WireClass.HEX:
-                    r0 = p_row[canon]
-                    c0 = p_col[canon]
-                    length = _NAME_LENGTH[to_name]
-                    vertical = p_name[canon] >= (
-                        hex_n0 if cls is WireClass.HEX else single_n0
-                    )
-                    if vertical:
-                        ends = ((r0, c0), (r0 + length, c0))  # north-going
-                    else:
-                        ends = ((r0, c0), (r0, c0 + length))  # east-going
-                    return rate * min(
-                        abs(er - tr) + abs(ec - tc)
-                        for er, ec in ends
-                        for tr, tc in goal_tiles
-                    )
-                if cls is WireClass.LONG_H:
-                    r0 = p_row[canon]
-                    return rate * min(abs(r0 - tr) for tr, _ in goal_tiles)
-                if cls is WireClass.LONG_V:
-                    c0 = p_col[canon]
-                    return rate * min(abs(c0 - tc) for _, tc in goal_tiles)
-                return rate * min(
-                    abs(row - tr) + abs(col - tc) for tr, tc in goal_tiles
-                )
-
     else:
         h = None
 
@@ -306,3 +252,454 @@ def route_maze(
 
     plan = extract_plan(graph, state, goal)
     return MazeResult(plan, goal, goal_cost, expanded, faults_avoided, stats)
+
+
+# -- batched maze routing ------------------------------------------------------
+
+
+class MazeBatchResult:
+    """Per-request outcomes of one batched maze run.
+
+    :attr:`results` holds one entry per request, **in request order**:
+    a :class:`MazeResult` on success or the same
+    :class:`~repro.errors.JRouteError` instance :func:`route_maze` would
+    have raised for that request (unroutable, faulty target, deadline —
+    a failure mid-batch never hides the remaining results).
+    :attr:`stats` is the merged instrumentation of the whole batch,
+    published to the global accumulator exactly once.
+    """
+
+    __slots__ = ("results", "stats")
+
+    def __init__(
+        self,
+        results: "list[MazeResult | errors.JRouteError]",
+        stats: SearchStats,
+    ) -> None:
+        self.results = results
+        self.stats = stats
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, i: int):
+        return self.results[i]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        ok = sum(1 for r in self.results if isinstance(r, MazeResult))
+        return f"MazeBatchResult({ok}/{len(self.results)} routed)"
+
+
+def _heuristic_rate(arch, heuristic_weight: float) -> float:
+    """Per-CLB A* rate.
+
+    Cheapest possible per-CLB rate: hexes cover 6 CLBs at their cost;
+    long lines can beat that on big spans, so the bias is scaled down.
+    """
+    return heuristic_weight * min(arch.wire_cost(wires.HEX_E[0]) / 6.0, 1.0)
+
+
+def _make_heuristic(
+    graph, goal_tiles: Sequence[tuple[int, int]], rate: float
+) -> Callable[[int, int, int, int], float]:
+    """Build the A* distance-to-target closure for one goal set.
+
+    Shared by the scalar :func:`route_maze` and (per lane) the batched
+    path — one definition, so batch estimates are the scalar estimates.
+    Batch lanes call it per winner push; winner sets per lockstep round
+    are small, so scalar calls beat tiny-array vectorization.
+    """
+    hex_n0 = wires.HEX_N[0]
+    single_n0 = wires.SINGLE_N[0]
+    p_row, p_col, p_name = graph.tiles()
+
+    if len(goal_tiles) == 1:
+        # dominant case (one sink pin): no min-over-goals machinery
+        tr, tc = goal_tiles[0]
+
+        def h(canon: int, to_name: int, row: int, col: int) -> float:
+            # estimate from the point of the driven wire nearest the
+            # goal: a hex driven toward it should look 6 tiles closer
+            cls = _NAME_CLASS[to_name]
+            if cls is WireClass.SINGLE or cls is WireClass.HEX:
+                r0 = p_row[canon]
+                c0 = p_col[canon]
+                length = _NAME_LENGTH[to_name]
+                a = abs(r0 - tr) + abs(c0 - tc)
+                if p_name[canon] >= (
+                    hex_n0 if cls is WireClass.HEX else single_n0
+                ):
+                    b = abs(r0 + length - tr) + abs(c0 - tc)
+                else:
+                    b = abs(r0 - tr) + abs(c0 + length - tc)
+                return rate * (a if a < b else b)
+            if cls is WireClass.LONG_H:
+                return rate * abs(p_row[canon] - tr)
+            if cls is WireClass.LONG_V:
+                return rate * abs(p_col[canon] - tc)
+            return rate * (abs(row - tr) + abs(col - tc))
+
+    else:
+
+        def h(canon: int, to_name: int, row: int, col: int) -> float:
+            # estimate from the point of the driven wire nearest a goal:
+            # a hex driven toward the goal should look 6 tiles closer
+            cls = _NAME_CLASS[to_name]
+            if cls is WireClass.SINGLE or cls is WireClass.HEX:
+                r0 = p_row[canon]
+                c0 = p_col[canon]
+                length = _NAME_LENGTH[to_name]
+                vertical = p_name[canon] >= (
+                    hex_n0 if cls is WireClass.HEX else single_n0
+                )
+                if vertical:
+                    ends = ((r0, c0), (r0 + length, c0))  # north-going
+                else:
+                    ends = ((r0, c0), (r0, c0 + length))  # east-going
+                return rate * min(
+                    abs(er - tr) + abs(ec - tc)
+                    for er, ec in ends
+                    for tr, tc in goal_tiles
+                )
+            if cls is WireClass.LONG_H:
+                r0 = p_row[canon]
+                return rate * min(abs(r0 - tr) for tr, _ in goal_tiles)
+            if cls is WireClass.LONG_V:
+                c0 = p_col[canon]
+                return rate * min(abs(c0 - tc) for _, tc in goal_tiles)
+            return rate * min(
+                abs(row - tr) + abs(col - tc) for tr, tc in goal_tiles
+            )
+
+    return h
+
+
+def _dispatch_batch(
+    graph,
+    lane_req: Sequence[tuple[set[int], set[int], set[int], set[int]]],
+    occupied,
+    name_blocked,
+    femask_buf,
+    fault_mask,
+    lane_goals,
+    rate: float | None,
+    max_nodes: int,
+    deadline: Deadline | None,
+    bstate: BatchSearchState,
+    stats: SearchStats,
+) -> list[tuple]:
+    """Run one lane chunk through the batched kernel; plans extracted here.
+
+    Returns one ``(goal, cost, expanded, pushes, faults_avoided,
+    exceeded, timed_out, plan)`` tuple per lane.  Runs identically
+    inline, in a thread, or inside a process-backend worker.
+    """
+    reqs = [(sr[0], sr[1]) for sr in lane_req]
+    allows = [sr[2] for sr in lane_req]
+    hs = (
+        [_make_heuristic(graph, goals, rate) for goals in lane_goals]
+        if rate is not None
+        else None
+    )
+    res = dijkstra_batch(
+        graph,
+        bstate,
+        reqs,
+        occupied=occupied,
+        allows=allows,
+        name_blocked=name_blocked,
+        hs=hs,
+        fault_node=fault_mask,
+        fault_edge=femask_buf,
+        max_nodes=max_nodes,
+        stats=stats,
+        deadline=deadline,
+    )
+    out = []
+    for lane, r in enumerate(res):
+        plan = (
+            extract_plan_lane(graph, bstate, lane, r[0]) if r[0] >= 0 else []
+        )
+        out.append((*r, plan))
+    return out
+
+
+#: Worker-process cached batch state (lives beside pathfinder's _W_STATE).
+_W_BATCH_STATE: BatchSearchState | None = None
+
+
+def _worker_batch_state(n: int, k: int) -> BatchSearchState:
+    global _W_BATCH_STATE
+    if _W_BATCH_STATE is None or _W_BATCH_STATE.n != n:
+        _W_BATCH_STATE = BatchSearchState(n, k)
+    else:
+        _W_BATCH_STATE.ensure(k)
+    return _W_BATCH_STATE
+
+
+def _process_batch_task(payload: tuple) -> tuple[list[tuple], dict]:
+    """Route one lane chunk inside a process-backend worker.
+
+    The whole chunk ships as one task (amortized IPC) and runs on the
+    worker's attached shared-memory graph; the parent merges the
+    returned stats and publishes once for the batch.
+    """
+    from . import pathfinder  # lazy: pathfinder imports maze at load time
+
+    (
+        lane_req,
+        occupied_b,
+        name_blocked,
+        femask_b,
+        fault_b,
+        lane_goals,
+        rate,
+        max_nodes,
+        deadline_ms,
+    ) = payload
+    g = pathfinder._W_GRAPH
+    occupied = np.frombuffer(occupied_b, dtype=bool)
+    fault_mask = (
+        np.frombuffer(fault_b, dtype=bool) if fault_b is not None else None
+    )
+    stats = SearchStats()
+    out = _dispatch_batch(
+        g,
+        lane_req,
+        occupied,
+        name_blocked,
+        femask_b,
+        fault_mask,
+        lane_goals,
+        rate,
+        max_nodes,
+        Deadline.after_ms(deadline_ms),
+        _worker_batch_state(g.n_nodes, len(lane_req)),
+        stats,
+    )
+    return out, stats.as_dict()
+
+
+def route_maze_batch(
+    device: Device,
+    requests: Sequence[tuple],
+    *,
+    use_longs: bool = True,
+    avoid_classes: Collection[WireClass] = (),
+    heuristic_weight: float = 0.0,
+    max_nodes: int = 200_000,
+    deadline: Deadline | None = None,
+    workers: int = 1,
+    backend: str = "thread",
+) -> MazeBatchResult:
+    """Route ``K`` independent maze requests as one lockstepped batch.
+
+    Each request is ``(sources, targets)`` or ``(sources, targets,
+    reuse)`` with :func:`route_maze` semantics; the keyword knobs apply
+    to every request.  All searches run against the device state as of
+    the call — requests do not see each other's (unapplied) plans.
+
+    Results are **bit-identical** to calling :func:`route_maze` once per
+    request: per-request plans, costs and stats match exactly, failures
+    are returned in place (as the exception instances the scalar call
+    would raise) without aborting the rest of the batch, and the merged
+    batch stats are published to the global accumulator via a single
+    ``record_global`` call.  The versioned fault-edge mask is synced at
+    most once per batch.
+
+    ``workers`` > 1 splits the batch into contiguous lane chunks routed
+    concurrently — in threads, or on the shared-memory process pool with
+    ``backend="process"`` (whole chunks per task, so IPC is amortized
+    across the batch).
+    """
+    arch = device.arch
+    faults = device.faults
+    fault_mask = faults.unusable if faults is not None else None
+    k = len(requests)
+    results: list[MazeResult | errors.JRouteError | None] = [None] * k
+    live: list[int] = []
+    lane_req: list[tuple[set[int], set[int], set[int], set[int]]] = []
+    for i, req in enumerate(requests):
+        sources, targets = req[0], req[1]
+        reuse = req[2] if len(req) > 2 else ()
+        target_set = set(targets)
+        if not target_set:
+            results[i] = errors.UnroutableError("no targets given")
+            continue
+        reuse_set = set(reuse)
+        source_set = set(sources)
+        start_set = source_set | reuse_set
+        if not start_set:
+            results[i] = errors.UnroutableError("no sources given")
+            continue
+        if fault_mask is not None:
+            faulty = next((t for t in target_set if fault_mask[t]), None)
+            if faulty is not None:
+                r, c, n = arch.primary_name(faulty)
+                results[i] = errors.UnroutableError(
+                    "target wire is a faulty fabric resource",
+                    row=r,
+                    col=c,
+                    wire=wires.wire_name(n),
+                )
+                continue
+        hit = target_set & start_set
+        if hit:
+            results[i] = MazeResult([], hit.pop(), 0.0, 0)
+            continue
+        live.append(i)
+        lane_req.append((start_set, target_set, reuse_set, source_set))
+
+    merged = SearchStats()
+    if not live:
+        return MazeBatchResult(results, merged)
+
+    graph = device.routing_graph()
+    graph.np_columns()  # force-compile before masks/threads touch the CSR
+    name_blocked = _name_block_table(use_longs, frozenset(avoid_classes))
+    # the one fault-mask application for the whole batch: the kernel(s)
+    # receive the raw buffer, not the mask object, so nothing re-syncs
+    femask_buf = (
+        bytes(graph.fault_edge_mask(faults).mask) if faults is not None else None
+    )
+    occupied = device.state.occupied
+    rate = (
+        _heuristic_rate(arch, heuristic_weight)
+        if heuristic_weight > 0.0
+        else None
+    )
+    lane_goals = (
+        [_target_tiles(device, sr[1]) for sr in lane_req]
+        if rate is not None
+        else [() for _ in lane_req]
+    )
+
+    n_lanes = len(live)
+    workers = max(1, min(workers, n_lanes))
+    if workers == 1:
+        out = _dispatch_batch(
+            graph,
+            lane_req,
+            occupied,
+            name_blocked,
+            femask_buf,
+            fault_mask,
+            lane_goals,
+            rate,
+            max_nodes,
+            deadline,
+            device.batch_search_state(n_lanes),
+            merged,
+        )
+    else:
+        # contiguous lane chunks, one per worker; chunk stats merge in
+        # lane order so totals match the sequential scalar sweep
+        bounds = [
+            (n_lanes * w // workers, n_lanes * (w + 1) // workers)
+            for w in range(workers)
+        ]
+        out = []
+        if backend == "process":
+            from . import pathfinder
+
+            pool = pathfinder._process_pool(arch, workers)
+            fault_b = (
+                np.asarray(fault_mask, dtype=bool).tobytes()
+                if fault_mask is not None
+                else None
+            )
+            occ_b = np.asarray(occupied, dtype=bool).tobytes()
+            futs = [
+                pool.submit(
+                    _process_batch_task,
+                    (
+                        lane_req[a:b],
+                        occ_b,
+                        name_blocked,
+                        femask_buf,
+                        fault_b,
+                        lane_goals[a:b],
+                        rate,
+                        max_nodes,
+                        deadline.remaining_ms() if deadline else None,
+                    ),
+                )
+                for a, b in bounds
+            ]
+            for fut in futs:
+                chunk_out, chunk_stats = fut.result()
+                out.extend(chunk_out)
+                merged.merge(SearchStats(**chunk_stats))
+        else:
+            n = graph.n_nodes
+            chunk_stats = [SearchStats() for _ in bounds]
+            with ThreadPoolExecutor(max_workers=workers) as ex:
+                futs = [
+                    ex.submit(
+                        _dispatch_batch,
+                        graph,
+                        lane_req[a:b],
+                        occupied,
+                        name_blocked,
+                        femask_buf,
+                        fault_mask,
+                        lane_goals[a:b],
+                        rate,
+                        max_nodes,
+                        deadline,
+                        BatchSearchState(n, b - a),
+                        chunk_stats[w],
+                    )
+                    for w, (a, b) in enumerate(bounds)
+                ]
+                for fut, cs in zip(futs, chunk_stats):
+                    out.extend(fut.result())
+                    merged.merge(cs)
+
+    # single lock-guarded publication for the whole batch (failures too)
+    record_global(merged)
+
+    for lane, i in enumerate(live):
+        goal, goal_cost, expanded, pushes, fav, exceeded, timed_out, plan = out[
+            lane
+        ]
+        lane_stats = SearchStats(1, expanded, pushes, fav)
+        start_set, target_set, _reuse_set, source_set = lane_req[lane]
+        if timed_out:
+            tr, tc, tn = arch.primary_name(next(iter(target_set)))
+            results[i] = errors.DeadlineExceededError(
+                "maze search abandoned: deadline expired",
+                row=tr,
+                col=tc,
+                wire=wires.wire_name(tn),
+                net=min(source_set) if source_set else None,
+                faults_avoided=fav,
+                search_stats=lane_stats,
+            )
+        elif exceeded:
+            results[i] = errors.UnroutableError(
+                f"maze search exceeded {max_nodes} node expansions",
+                net=min(source_set) if source_set else None,
+                faults_avoided=fav,
+                search_stats=lane_stats,
+            )
+        elif goal < 0:
+            tr, tc, tn = arch.primary_name(next(iter(target_set)))
+            results[i] = errors.UnroutableError(
+                "no free path from sources to targets"
+                + ("" if use_longs else " (long lines disabled)"),
+                row=tr,
+                col=tc,
+                wire=wires.wire_name(tn),
+                net=min(source_set) if source_set else None,
+                faults_avoided=fav,
+                search_stats=lane_stats,
+            )
+        else:
+            results[i] = MazeResult(
+                plan, goal, goal_cost, expanded, fav, lane_stats
+            )
+    return MazeBatchResult(results, merged)

@@ -51,7 +51,8 @@ def largest_free_rect(floorplan: Floorplan) -> Rect:
         heights = np.where(free[r], heights + 1, 0)
         # classic largest-rectangle-in-histogram stack sweep
         stack: list[int] = []
-        for c in range(cols + 1):
+        # the stack carries a loop-borne dependency no ufunc expresses
+        for c in range(cols + 1):  # repro: noqa RPR007
             h = int(heights[c]) if c < cols else 0
             while stack and int(heights[stack[-1]]) >= h:
                 top = stack.pop()
@@ -76,16 +77,18 @@ def find_fit(floorplan: Floorplan, height: int, width: int) -> tuple[int, int] |
     # 2D summed-area over the free map for O(1) window checks
     cum = np.zeros((rows + 1, cols + 1), dtype=np.int64)
     cum[1:, 1:] = np.cumsum(np.cumsum(free, axis=0), axis=1)
-    for r in range(rows - height + 1):
-        for c in range(cols - width + 1):
-            total = (
-                cum[r + height, c + width]
-                - cum[r, c + width]
-                - cum[r + height, c]
-                + cum[r, c]
-            )
-            if total == height * width:
-                return r, c
+    hi_r, hi_c = rows - height + 1, cols - width + 1
+    totals = (
+        cum[height:, width:]
+        - cum[:hi_r, width:]
+        - cum[height:, :hi_c]
+        + cum[:hi_r, :hi_c]
+    )
+    # argwhere is row-major: first hit is the south-west-most position
+    hits = np.argwhere(totals == height * width)
+    if len(hits):
+        r, c = hits[0]
+        return int(r), int(c)
     return None
 
 

@@ -309,6 +309,123 @@ class TestRPR006SwallowedException:
         ) == []
 
 
+class TestRPR007PerElementArrayLoop:
+    def test_fires_on_direct_iteration(self):
+        assert "RPR007" in rules_of(
+            """
+            import numpy as np
+            def f(xs):
+                arr = np.asarray(xs)
+                total = 0.0
+                for x in arr:
+                    total += x
+                return total
+            """
+        )
+
+    def test_fires_on_range_indexing(self):
+        assert "RPR007" in rules_of(
+            """
+            import numpy as np
+            def f(n):
+                cost = np.zeros(n)
+                for i in range(n):
+                    cost[i] = i * 2.0
+                return cost
+            """
+        )
+
+    def test_fires_on_soa_column_bundles(self):
+        # tuple-unpacking graph.np_columns() marks every column
+        assert "RPR007" in rules_of(
+            """
+            def f(graph, o, n):
+                off, deg, e_to, e_cost = graph.np_columns()
+                acc = 0.0
+                for e in range(o, o + n):
+                    acc += e_cost[e]
+                return acc
+            """
+        )
+
+    def test_fires_on_array_views(self):
+        # a row view of a tracked 2-D array is still an array
+        assert "RPR007" in rules_of(
+            """
+            import numpy as np
+            def f(k, n, lane):
+                cost2d = np.zeros((k, n))
+                row = cost2d[lane]
+                for i in range(n):
+                    row[i] = 0.0
+            """
+        )
+
+    def test_fires_in_nested_function_over_enclosing_array(self):
+        assert "RPR007" in rules_of(
+            """
+            import numpy as np
+            def outer(n):
+                dist = np.zeros(n)
+                def drain():
+                    for i in range(n):
+                        dist[i] += 1.0
+                return drain
+            """
+        )
+
+    def test_silent_on_vectorized_code(self):
+        assert rules_of(
+            """
+            import numpy as np
+            def f(xs, idx):
+                arr = np.asarray(xs)
+                arr[idx] = arr[idx] * 2.0
+                return float(arr.sum())
+            """
+        ) == []
+
+    def test_silent_on_plain_lists_and_tolist(self):
+        assert rules_of(
+            """
+            import numpy as np
+            def f(items):
+                arr = np.asarray(items)
+                out = []
+                for x in items:
+                    out.append(x)
+                for y in arr.tolist():
+                    out.append(y)
+                return out
+            """
+        ) == []
+
+    def test_silent_on_zip_and_enumerate(self):
+        assert rules_of(
+            """
+            import numpy as np
+            def f(xs, ys):
+                a = np.asarray(xs)
+                b = np.asarray(ys)
+                return [i * x for i, x in enumerate(zip(a, b))]
+            """
+        ) == []
+
+    def test_noqa_marks_the_scalar_oracle(self):
+        kept, suppressed = _lint(
+            """
+            import numpy as np
+            def oracle(n):
+                dist = np.zeros(n)
+                for i in range(n):  # repro: noqa RPR007
+                    dist[i] = i
+                return dist
+            """
+        )
+        assert kept == []
+        assert [f.rule for f in suppressed] == ["RPR007"]
+
+
 class TestNoqaSuppression:
     def test_bare_noqa_suppresses_all_rules_on_the_line(self):
         kept, suppressed = _lint(

@@ -26,6 +26,7 @@ EXPECTED_RULES = {
     "RPR004": ("code", "deadline-poll-missing", Severity.WARNING),
     "RPR005": ("code", "shm-create-without-unlink", Severity.ERROR),
     "RPR006": ("code", "swallowed-exception", Severity.WARNING),
+    "RPR007": ("code", "per-element-array-loop", Severity.WARNING),
 }
 
 

@@ -1,0 +1,391 @@
+"""Batched-search parity: the SoA batch kernel vs K sequential calls.
+
+``route_maze_batch`` locksteps K independent searches over the compiled
+CSR graph (PR 7's vectorized struct-of-arrays kernel).  The scalar
+kernel stays on as the oracle: every batch must be **bit-identical** to
+calling :func:`route_maze` once per request — plans, costs, per-request
+``SearchStats``, fault accounting and failure messages — across both
+execution backends and worker counts, with failures reported in place
+rather than aborting the rest of the batch.
+
+The batch also changes *accounting shape*, which these tests pin:
+
+* ``GLOBAL_STATS`` receives exactly one ``record_global`` per batch and
+  its delta equals the merged batch stats;
+* the versioned fault-edge mask is synced at most once per batch;
+* ``JRouter.route_p2p_batch`` applies plans in request order and
+  transparently re-routes pairs whose plan lost a wire to an earlier
+  pair.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.core.router as router_mod
+import repro.routers.maze as maze_mod
+from repro import errors
+from repro.arch.graph import FaultEdgeMask
+from repro.bench.workloads import random_p2p_nets
+from repro.cli import main
+from repro.core import JRouter
+from repro.core.deadline import Deadline
+from repro.core.kernel import GLOBAL_STATS, SearchStats
+from repro.device.fabric import Device
+from repro.device.faults import FaultModel
+from repro.routers import (
+    route_maze,
+    route_maze_batch,
+    route_point_to_point,
+    route_point_to_point_batch,
+)
+
+PART = "XCV50"
+
+common = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _maze_requests(device, k, seed, *, min_span=2, max_span=8):
+    reqs = []
+    nets = random_p2p_nets(
+        device.arch, k, seed=seed, min_span=min_span, max_span=max_span
+    )
+    for net in nets:
+        src = device.resolve(net.source.row, net.source.col, net.source.wire)
+        sink = device.resolve(
+            net.sinks[0].row, net.sinks[0].col, net.sinks[0].wire
+        )
+        reqs.append(([src], {sink}))
+    return reqs
+
+
+def _sequential(device, reqs, **kw):
+    """The oracle: one scalar route_maze call per request, in order."""
+    out = []
+    for sources, targets in reqs:
+        try:
+            out.append(route_maze(device, sources, targets, **kw))
+        except errors.JRouteError as e:
+            out.append(e)
+    return out
+
+
+def _assert_batch_matches(batch, scalar):
+    assert len(batch.results) == len(scalar)
+    for got, want in zip(batch.results, scalar):
+        if isinstance(want, errors.JRouteError):
+            assert type(got) is type(want)
+            assert str(got) == str(want)
+            want_stats = getattr(want, "search_stats", None)
+            if want_stats is not None:
+                assert got.search_stats.as_dict() == want_stats.as_dict()
+        else:
+            assert not isinstance(got, errors.JRouteError), got
+            assert got.plan == want.plan
+            assert got.cost == want.cost
+            assert got.target == want.target
+            assert got.stats.as_dict() == want.stats.as_dict()
+            assert got.faults_avoided == want.faults_avoided
+
+
+class TestMazeBatchParity:
+    """route_maze_batch == K x route_maze, bit for bit."""
+
+    @given(
+        seed=st.integers(0, 10_000),
+        k=st.integers(1, 6),
+        weight=st.sampled_from([0.0, 0.8]),
+    )
+    @common
+    def test_bit_identical_to_sequential(self, seed, k, weight):
+        device = Device(PART)
+        reqs = _maze_requests(device, k, seed)
+        batch = route_maze_batch(device, reqs, heuristic_weight=weight)
+        scalar = _sequential(device, reqs, heuristic_weight=weight)
+        _assert_batch_matches(batch, scalar)
+
+    @pytest.mark.parametrize(
+        "backend,workers",
+        [("thread", 1), ("thread", 4), ("process", 1), ("process", 4)],
+    )
+    def test_backends_and_workers_with_faults(self, backend, workers):
+        faults = FaultModel.random(
+            Device(PART).arch, seed=5, stuck_open_rate=0.02, dead_wire_rate=0.004
+        )
+        device = Device(PART, faults=faults)
+        reqs = _maze_requests(device, 8, 21, max_span=10)
+        batch = route_maze_batch(
+            device, reqs, workers=workers, backend=backend
+        )
+        scalar = _sequential(device, reqs)
+        _assert_batch_matches(batch, scalar)
+        ok = [r for r in batch.results if not isinstance(r, errors.JRouteError)]
+        assert ok, "fault workload routed nothing — workload too hostile"
+        assert any(r.faults_avoided for r in ok) or batch.stats.faults_avoided
+
+    def test_merged_stats_equal_sum_of_sequential(self):
+        device = Device(PART)
+        reqs = _maze_requests(device, 6, 33)
+        before = GLOBAL_STATS.as_dict()
+        batch = route_maze_batch(device, reqs)
+        mid = GLOBAL_STATS.as_dict()
+        _sequential(device, reqs)
+        after = GLOBAL_STATS.as_dict()
+        batch_delta = {k: mid[k] - before[k] for k in before}
+        scalar_delta = {k: after[k] - mid[k] for k in after}
+        # same global accounting whether published once or K times
+        assert batch_delta == scalar_delta
+        assert batch_delta == batch.stats.as_dict()
+
+    def test_global_stats_published_once_per_batch(self, monkeypatch):
+        device = Device(PART)
+        reqs = _maze_requests(device, 5, 4)
+        published = []
+        real = maze_mod.record_global
+
+        def counting(stats):
+            published.append(stats)
+            real(stats)
+
+        monkeypatch.setattr(maze_mod, "record_global", counting)
+        batch = route_maze_batch(device, reqs)
+        assert len(published) == 1
+        assert published[0].as_dict() == batch.stats.as_dict()
+
+    def test_fault_mask_synced_at_most_once_per_batch(self, monkeypatch):
+        faults = FaultModel.random(
+            Device(PART).arch, seed=7, stuck_open_rate=0.02, dead_wire_rate=0.002
+        )
+        device = Device(PART, faults=faults)
+        reqs = _maze_requests(device, 6, 9)
+        syncs = []
+        real = FaultEdgeMask.sync
+
+        def counting(self):
+            syncs.append(1)
+            return real(self)
+
+        monkeypatch.setattr(FaultEdgeMask, "sync", counting)
+        route_maze_batch(device, reqs)
+        assert len(syncs) <= 1
+
+    def test_expired_deadline_reported_per_lane(self):
+        device = Device(PART)
+        reqs = _maze_requests(device, 4, 6)
+        batch = route_maze_batch(device, reqs, deadline=Deadline.after_ms(0.0))
+        scalar = _sequential(device, reqs, deadline=Deadline.after_ms(0.0))
+        _assert_batch_matches(batch, scalar)
+        assert all(
+            isinstance(r, errors.DeadlineExceededError) for r in batch.results
+        )
+
+    def test_failures_mid_batch_do_not_hide_results(self):
+        device = Device(PART)
+        reqs = _maze_requests(device, 4, 8)
+        # a lane with no targets fails during validation, before the
+        # kernel runs; the rest of the batch must still route
+        reqs.insert(1, (reqs[0][0], set()))
+        batch = route_maze_batch(device, reqs)
+        scalar = _sequential(device, reqs)
+        _assert_batch_matches(batch, scalar)
+        assert isinstance(batch.results[1], errors.UnroutableError)
+        ok = sum(
+            not isinstance(r, errors.JRouteError) for r in batch.results
+        )
+        assert ok == 4
+
+    def test_exhausted_budget_parity(self):
+        device = Device(PART)
+        reqs = _maze_requests(device, 5, 15, min_span=4, max_span=14)
+        batch = route_maze_batch(device, reqs, max_nodes=300)
+        scalar = _sequential(device, reqs, max_nodes=300)
+        _assert_batch_matches(batch, scalar)
+        assert any(
+            isinstance(r, errors.UnroutableError) for r in batch.results
+        ), "budget of 300 nodes should exhaust at least one span-4+ search"
+
+    def test_trivial_and_empty_batches(self):
+        device = Device(PART)
+        assert len(route_maze_batch(device, [])) == 0
+        ((srcs, targets),) = _maze_requests(device, 1, 2)
+        hit = route_maze_batch(device, [(srcs, set(srcs))]).results[0]
+        assert hit.plan == [] and hit.cost == 0.0
+
+
+class TestAutoBatchParity:
+    """route_point_to_point_batch == K x route_point_to_point."""
+
+    def _pairs(self, device, k, seed, **kw):
+        return [
+            (s[0], next(iter(t)))
+            for s, t in _maze_requests(device, k, seed, **kw)
+        ]
+
+    def _check(self, device, pairs, **kw):
+        out = route_point_to_point_batch(device, pairs, **kw)
+        assert len(out) == len(pairs)
+        for (src, sink), got in zip(pairs, out):
+            try:
+                want = route_point_to_point(device, src, sink, **kw)
+            except errors.JRouteError as e:
+                assert type(got) is type(e)
+                assert str(got) == str(e)
+                continue
+            assert not isinstance(got, errors.JRouteError), got
+            assert got.plan == want.plan
+            assert got.method == want.method
+            assert got.templates_tried == want.templates_tried
+        return out
+
+    def test_matches_scalar_including_template_phase(self):
+        device = Device(PART)
+        out = self._check(device, self._pairs(device, 8, 12, max_span=6))
+        assert any(not isinstance(o, errors.JRouteError) for o in out)
+
+    def test_template_misses_ride_one_maze_batch(self):
+        device = Device(PART)
+        pairs = self._pairs(device, 6, 18)
+        out = self._check(device, pairs, try_templates=False)
+        methods = {
+            o.method for o in out if not isinstance(o, errors.JRouteError)
+        }
+        assert methods == {"maze"}
+
+
+class TestRouterP2PBatch:
+    """JRouter.route_p2p_batch: apply order, reroute, report shape."""
+
+    def _nets(self, router, k, seed, **kw):
+        kw.setdefault("min_span", 2)
+        kw.setdefault("max_span", 8)
+        return random_p2p_nets(router.device.arch, k, seed=seed, **kw)
+
+    def test_applies_the_same_pips_as_sequential_route(self):
+        r1 = JRouter(part=PART, attach_jbits=False)
+        r2 = JRouter(part=PART, attach_jbits=False)
+        nets = self._nets(r1, 6, seed=3)
+        pairs = [(n.source, n.sinks[0]) for n in nets]
+        out = r1.route_p2p_batch(pairs)
+        assert [o.success for o in out] == [True] * len(pairs)
+        assert [o.index for o in out] == list(range(len(pairs)))
+        total = sum(r2.route(n.source, n.sinks[0]) for n in nets)
+        assert sum(o.pips_added for o in out) == total
+        assert r1.last_report is not None
+        assert r1.last_report.success
+        assert r1.last_report.pips_added == total
+        assert r1.last_report.search_stats is not None
+        # every sink is now driven, and the nets are traceable
+        for n in nets:
+            sink = r1.device.resolve(
+                n.sinks[0].row, n.sinks[0].col, n.sinks[0].wire
+            )
+            assert r1.device.state.is_driven(sink)
+            assert r1.trace(n.source).sinks
+
+    def test_method_counters_match_outcomes(self):
+        r = JRouter(part=PART, attach_jbits=False)
+        pairs = [(n.source, n.sinks[0]) for n in self._nets(r, 5, seed=14)]
+        out = r.route_p2p_batch(pairs)
+        hits = sum(o.method == "template" for o in out)
+        mazes = sum(o.method == "maze" for o in out)
+        assert r.p2p_template_hits == hits
+        assert r.p2p_maze_fallbacks == mazes
+
+    def test_conflicting_plan_is_rerouted_in_order(self, monkeypatch):
+        r = JRouter(part=PART, attach_jbits=False, try_templates=False)
+        pairs = [(n.source, n.sinks[0]) for n in self._nets(r, 3, seed=6)]
+        real = router_mod.apply_plan
+        tripped = []
+
+        def flaky(device, plan):
+            # simulate pair 0's plan losing a wire to an earlier pair:
+            # first application conflicts, the re-planned one succeeds
+            if not tripped:
+                tripped.append(True)
+                raise errors.ContentionError("wire claimed by earlier pair")
+            return real(device, plan)
+
+        monkeypatch.setattr(router_mod, "apply_plan", flaky)
+        out = r.route_p2p_batch(pairs)
+        assert [o.success for o in out] == [True] * len(pairs)
+        assert [o.rerouted for o in out] == [True, False, False]
+        assert r.last_report.success
+
+    def test_driven_sink_and_already_routed_pair_short_circuit(self):
+        r = JRouter(part=PART, attach_jbits=False)
+        nets = self._nets(r, 2, seed=3)
+        assert r.route(nets[0].source, nets[0].sinks[0]) > 0
+        out = r.route_p2p_batch(
+            [
+                # same net again: sink already in the source's subtree
+                (nets[0].source, nets[0].sinks[0]),
+                # another net asking for the now-driven sink
+                (nets[1].source, nets[0].sinks[0]),
+                # untouched pair: must still route normally
+                (nets[1].source, nets[1].sinks[0]),
+            ]
+        )
+        assert out[0].success and out[0].pips_added == 0
+        assert not out[1].success
+        assert isinstance(out[1].error, errors.ContentionError)
+        assert out[2].success and out[2].pips_added > 0
+        assert not r.last_report.success
+        assert r.last_report.failures
+
+    def test_open_breaker_refuses_without_searching(self):
+        r = JRouter(part=PART, attach_jbits=False, deadline_ms=60_000)
+        nets = self._nets(r, 2, seed=11)
+        pairs = [(n.source, n.sinks[0]) for n in nets]
+        src = r._source_canon(nets[0].source)
+        for _ in range(r.breaker.max_trips):
+            r.breaker.record_trip(src)
+        out = r.route_p2p_batch(pairs)
+        assert not out[0].success
+        assert isinstance(out[0].error, errors.UnroutableError)
+        assert "circuit breaker open" in str(out[0].error)
+        assert out[1].success
+        assert r.last_report.breaker_open
+
+    def test_expired_deadline_times_out_whole_batch(self):
+        r = JRouter(part=PART, attach_jbits=False, deadline_ms=0.0)
+        pairs = [(n.source, n.sinks[0]) for n in self._nets(r, 3, seed=5)]
+        out = r.route_p2p_batch(pairs)
+        assert all(not o.success for o in out)
+        assert all(
+            isinstance(o.error, errors.DeadlineExceededError) for o in out
+        )
+        assert r.last_report.timed_out
+        assert len(r.last_report.failures) == len(pairs)
+
+
+class TestCliBatch:
+    def test_route_batch_routes_pairs(self, capsys):
+        rc = main(
+            [
+                "route", PART,
+                "5", "7", "S1_YQ", "6", "8", "S0F3",
+                "10", "12", "S0_YQ", "11", "13", "S1F2",
+                "--batch",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("ok (") == 2
+        assert "batch:" in out
+
+    def test_route_batch_needs_pin_pairs(self, capsys):
+        rc = main(
+            [
+                "route", PART,
+                "5", "7", "S1_YQ", "6", "8", "S0F3", "10", "12", "S0_YQ",
+                "--batch",
+            ]
+        )
+        assert rc != 0
+        assert "even number" in capsys.readouterr().err
