@@ -70,6 +70,19 @@ _SOA_ATTRS = {"cost", "backptr", "node_epoch"}
 #: project failure types whose silent discard loses structured context
 _FAILURES = {"JRouteError", "RoutingFailure"}
 
+#: dotted blocking calls that stall an event loop (RPR008)
+_BLOCKING_DOTTED = {
+    "time.sleep",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+}
+
+#: bare names that block: builtin file I/O (RPR008)
+_BLOCKING_BARE = {"open"}
+
 
 def parse_noqa(source: str) -> dict[int, frozenset[str] | None]:
     """Map 1-based line -> suppressed rule ids (None = all rules)."""
@@ -284,6 +297,7 @@ class _CodeLinter(ast.NodeVisitor):
                 "hoist the pool out of the loop and reuse its workers "
                 "across iterations",
             )
+        self._check_blocking_in_async(node)
         if name == "SharedMemory" and any(
             isinstance(k, ast.keyword)
             and k.arg == "create"
@@ -303,6 +317,39 @@ class _CodeLinter(ast.NodeVisitor):
                     "outlives the process",
                 )
         self.generic_visit(node)
+
+    # -- RPR008: blocking calls inside async def ---------------------------
+
+    def _check_blocking_in_async(self, node: ast.Call) -> None:
+        """A synchronous stall inside a coroutine freezes the whole loop.
+
+        Only the *innermost* enclosing function matters: a blocking call
+        inside a nested sync ``def`` is fine (that function presumably
+        runs on a worker thread via ``asyncio.to_thread`` or an
+        executor); the same call directly in an ``async def`` body
+        stalls every connection the event loop is serving.
+        """
+        if not self._funcs or not isinstance(
+            self._funcs[-1], ast.AsyncFunctionDef
+        ):
+            return
+        dotted = _dotted(node.func)
+        blocking = dotted in _BLOCKING_DOTTED or (
+            isinstance(node.func, ast.Name) and node.func.id in _BLOCKING_BARE
+        )
+        if not blocking:
+            return
+        self._emit(
+            "RPR008",
+            Severity.ERROR,
+            node,
+            f"blocking call {dotted}(...) inside async def "
+            f"{self._funcs[-1].name!r}",
+            "the event loop stalls for every connection while this "
+            "runs; use the async equivalent (asyncio.sleep, "
+            "asyncio.to_thread, loop.run_in_executor, a subprocess "
+            "via asyncio.create_subprocess_exec)",
+        )
 
     # -- RPR002: unguarded module-global mutation --------------------------
 

@@ -133,6 +133,13 @@ RPR007 = _register(Rule(
     "vectorized SoA kernel exists to avoid (PR 7's batched search); "
     "justified scalar oracles carry `# repro: noqa RPR007`",
 ))
+RPR008 = _register(Rule(
+    "RPR008", "code", "blocking-call-in-async", Severity.ERROR,
+    "a blocking call (time.sleep, builtin open, subprocess.run/…) sits "
+    "directly inside an async def body: it stalls the event loop for "
+    "every connection the daemon is serving; hop to a worker thread "
+    "(asyncio.to_thread) or use the async equivalent",
+))
 
 #: The full catalog, id-sorted.
 RULES: dict[str, Rule] = dict(sorted(_REGISTRY.items()))

@@ -45,8 +45,8 @@ from .workloads import (
 __all__ = [
     "run_e1", "run_e2", "run_e3", "run_e4", "run_e5", "run_e6",
     "run_e7", "run_e8", "run_e9", "run_e10", "run_e11", "run_e12", "run_e13", "run_e14",
-    "run_e15", "run_e16",
-    "run_all", "EXPERIMENTS",
+    "run_e15", "run_e16", "run_e18", "run_e19", "run_e20",
+    "run_all", "EXPERIMENTS", "SMOKE_MATRIX",
 ]
 
 _US = 1e6
@@ -941,6 +941,110 @@ def run_e19(
     return t
 
 
+def run_e20(
+    n_jobs: int = 200,
+    seed: int = 20,
+    smoke: bool = False,
+) -> Table:
+    """Service-level robustness: the daemon under load, overload & chaos.
+
+    Boots a real ``repro serve`` stack (HTTP front door, admission
+    queue, spawned process workers with WAL shards) and drives it
+    through four phases: steady concurrent load, an overload burst that
+    must shed, a chaos window (worker SIGKILL + WAL truncation during
+    live traffic), and a graceful drain — then audits the job journal
+    for the zero-lost-jobs / exactly-once invariant.
+    """
+    import os
+    import tempfile
+
+    from ..service import ChaosMonkey, ServiceConfig
+    from ..service.loadgen import (
+        audit_journal, await_terminal, burst, drive_load, running_service,
+    )
+
+    if smoke:
+        n_jobs = min(n_jobs, 48)
+    t = Table(
+        "E20: routing-as-a-service — load, overload shedding, chaos",
+        ["phase", "detail", "result", "time (ms)"],
+    )
+    arch = VirtexArch("XCV50")
+    nets = random_p2p_nets(arch, n_jobs + 96, seed=seed, min_span=2,
+                           max_span=8)
+    pairs = [
+        (
+            (net.source.row, net.source.col, net.source.wire),
+            (net.sinks[0].row, net.sinks[0].col, net.sinks[0].wire),
+        )
+        for net in nets
+    ]
+    data_dir = tempfile.mkdtemp(prefix="e20-")
+    config = ServiceConfig(
+        workers=2,
+        queue_depth=32,
+        tenant_quota=24,
+        heartbeat_s=0.2,
+        heartbeat_misses=8,
+        default_deadline_ms=30_000.0,
+        job_max_attempts=4,
+    )
+    with running_service(config, data_dir) as svc:
+        host, port = svc.host, svc.port
+
+        dt, load = time_call(lambda: drive_load(
+            host, port, pairs[:n_jobs], threads=4,
+        ))
+        t.add("load", f"{n_jobs} jobs, 4 clients", load.row(), dt * 1e3)
+
+        # stall both workers through their next batch so the burst hits
+        # a queue that cannot drain: depth past the bound must shed 429
+        for wid in range(config.workers):
+            svc.supervisor.send_chaos(wid, {"stall_s": 1.0})
+        dt, (accepted, rejected) = time_call(lambda: burst(
+            host, port, pairs[: config.queue_depth * 2],
+        ))
+        await_terminal(host, port, accepted)
+        t.add(
+            "overload", f"{config.queue_depth * 2} job burst "
+            f"(queue bound {config.queue_depth}, workers stalled)",
+            f"{rejected} shed with retry-after, "
+            f"{len(accepted)} accepted, all terminal",
+            dt * 1e3,
+        )
+
+        monkey = ChaosMonkey(
+            svc.supervisor, seed=seed, period_s=0.25,
+            kill=True, stall_s=2.5, truncate_bytes=256,
+        )
+        monkey.inject_kill(0)  # scripted: one guaranteed mid-load kill
+        monkey.start()
+        dt, chaos = time_call(lambda: drive_load(
+            host, port, pairs[n_jobs:n_jobs + 48], threads=4,
+        ))
+        monkey.stop()
+        kills = sum(1 for e in monkey.events if e["action"] == "kill")
+        t.add(
+            "chaos", f"48 jobs under {len(monkey.events)} injections "
+            f"({kills} kills)",
+            chaos.row(), dt * 1e3,
+        )
+    audit = audit_journal(os.path.join(data_dir, "jobs.journal"))
+    restarts = sum(
+        w["restarts"] for w in svc.supervisor.stats()["workers"]
+    )
+    t.add(
+        "audit", f"{audit['accepted']} accepted, {restarts} worker "
+        f"restart(s)",
+        f"lost={len(audit['lost'])} dup={len(audit['duplicates'])} "
+        f"drained={audit['drained']}",
+        0.0,
+    )
+    assert not audit["lost"], f"jobs lost: {audit['lost']}"
+    assert not audit["duplicates"], f"dup terminals: {audit['duplicates']}"
+    return t
+
+
 EXPERIMENTS = {
     "e1": run_e1, "e2": run_e2, "e3": run_e3, "e4": run_e4,
     "e5": run_e5, "e6": run_e6, "e7": run_e7, "e8": run_e8,
@@ -948,17 +1052,19 @@ EXPERIMENTS = {
     "e13": run_e13, "e14": run_e14, "e15": run_e15, "e16": run_e16,
     "e18": run_e18,
     "e19": run_e19,
+    "e20": run_e20,
     # aliases for the CLI's --experiment flag
     "faults": run_e16,
     "durability": run_e18,
     "analysis": run_e19,
+    "service": run_e20,
 }
 
 #: the experiments `--smoke` runs when none are named.  EXPLICIT so that
 #: adding an experiment forces a decision about CI coverage — a new entry
 #: either joins the matrix or is visibly absent from it, never silently
 #: dropped.
-SMOKE_MATRIX = ("e16", "e18", "e19")
+SMOKE_MATRIX = ("e16", "e18", "e19", "e20")
 
 
 def run_all(

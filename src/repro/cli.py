@@ -49,6 +49,21 @@ Usage (``python -m repro <command> ...``)::
     run FILE                      execute a routing script (see
                                   repro.tools.script for the grammar)
     experiments [E1 E2 ...]       regenerate EXPERIMENTS.md tables
+    serve [--part PART] [--workers N] [--host H] [--port P]
+          [--data-dir DIR] [--queue-depth N] [--tenant-quota N]
+          [--deadline-ms MS]
+                                  run the routing daemon: an asyncio
+                                  HTTP/JSON front door over a pool of
+                                  supervised worker processes, each
+                                  owning a durable device session (WAL
+                                  shard + recovery).  Overload is shed
+                                  with 429 + Retry-After; SIGTERM drains
+                                  gracefully.  See docs/ROBUSTNESS.md §5
+    submit R1 C1 WIRE1 R2 C2 WIRE2 [--host H] [--port P]
+           [--tenant T] [--priority N] [--deadline-ms MS] [--no-wait]
+                                  submit one point-to-point route job to
+                                  a running daemon and (by default) wait
+                                  for its terminal state
     analyze [PATH ...] [--json] [--strict] [--part PART]
             [--rules IDS] [--list-rules]
                                   static analysis: lint routing artifacts
@@ -461,6 +476,115 @@ def _cmd_experiments(args: list[str]) -> int:
     return bench_main(args)
 
 
+def _cmd_serve(args: list[str]) -> int:
+    usage = (
+        "usage: serve [--part PART] [--workers N] [--host H] [--port P] "
+        "[--data-dir DIR] [--queue-depth N] [--tenant-quota N] "
+        "[--deadline-ms MS]"
+    )
+    opts = {
+        "--part": "XCV50", "--workers": "2", "--host": "127.0.0.1",
+        "--port": "8787", "--data-dir": "./repro-service",
+        "--queue-depth": "256", "--tenant-quota": "64",
+        "--deadline-ms": "5000",
+    }
+    it = iter(args)
+    try:
+        for a in it:
+            if a in opts:
+                opts[a] = next(it)
+            else:
+                print(usage, file=sys.stderr)
+                return 2
+    except StopIteration:
+        print(usage, file=sys.stderr)
+        return 2
+
+    import asyncio
+
+    from .service import RoutingService, ServiceConfig
+
+    config = ServiceConfig(
+        part=opts["--part"],
+        workers=int(opts["--workers"]),
+        queue_depth=int(opts["--queue-depth"]),
+        tenant_quota=int(opts["--tenant-quota"]),
+        default_deadline_ms=float(opts["--deadline-ms"]),
+    )
+    svc = RoutingService(
+        config, opts["--data-dir"],
+        host=opts["--host"], port=int(opts["--port"]),
+    )
+
+    async def _serve() -> None:
+        await svc.start()
+        svc.install_signal_handlers()
+        print(
+            f"repro serve: {config.part} x{config.workers} workers on "
+            f"http://{svc.host}:{svc.port} (data: {opts['--data-dir']})"
+        )
+        await svc.serve_forever()
+
+    asyncio.run(_serve())
+    return 0
+
+
+def _cmd_submit(args: list[str]) -> int:
+    usage = (
+        "usage: submit R1 C1 WIRE1 R2 C2 WIRE2 [--host H] [--port P] "
+        "[--tenant T] [--priority N] [--deadline-ms MS] [--no-wait]"
+    )
+    opts = {
+        "--host": "127.0.0.1", "--port": "8787",
+        "--tenant": "default", "--priority": "0", "--deadline-ms": None,
+    }
+    wait = True
+    pos: list[str] = []
+    it = iter(args)
+    try:
+        for a in it:
+            if a == "--no-wait":
+                wait = False
+            elif a in opts:
+                opts[a] = next(it)
+            else:
+                pos.append(a)
+    except StopIteration:
+        print(usage, file=sys.stderr)
+        return 2
+    if len(pos) != 6:
+        print(usage, file=sys.stderr)
+        return 2
+
+    import json as _json
+
+    from .service import ServiceClient
+    from .service.client import ServiceError
+
+    def pin(r, c, w):
+        return [int(r), int(c), w if not w.isdigit() else int(w)]
+
+    client = ServiceClient(opts["--host"], int(opts["--port"]))
+    deadline = opts["--deadline-ms"]
+    try:
+        status, doc = client.submit(
+            pin(*pos[0:3]), pin(*pos[3:6]),
+            tenant=opts["--tenant"],
+            priority=int(opts["--priority"]),
+            deadline_ms=None if deadline is None else float(deadline),
+            wait=wait,
+        )
+    except ServiceError as e:
+        print(f"submit failed: {e}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    print(_json.dumps(doc, indent=2))
+    if status in (200, 202):
+        return 0 if doc.get("state") != "failed" else 1
+    return 1
+
+
 _COMMANDS = {
     "parts": _cmd_parts,
     "census": _cmd_census,
@@ -474,6 +598,8 @@ _COMMANDS = {
     "scrub": _cmd_scrub,
     "experiments": _cmd_experiments,
     "analyze": _cmd_analyze,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

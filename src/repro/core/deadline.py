@@ -43,11 +43,15 @@ class Deadline:
     Parameters
     ----------
     budget_ms:
-        Wall-clock budget in milliseconds from construction; ``None``
+        Elapsed-time budget in milliseconds from construction; ``None``
         means unbounded (the token then only trips via :meth:`cancel`).
     clock:
         Seconds-returning monotonic clock, injectable for deterministic
-        tests.  Defaults to :func:`time.perf_counter`.
+        tests.  Defaults to :func:`time.monotonic` — never a wall clock
+        like ``time.time()``, whose NTP steps would fire (or extend)
+        deadlines spuriously in a long-lived daemon, and never
+        :func:`time.perf_counter`, whose epoch is unspecified and may
+        exclude time the machine spends suspended.
     """
 
     __slots__ = ("budget_ms", "_clock", "_expires_at", "_cancelled")
@@ -56,7 +60,7 @@ class Deadline:
         self,
         budget_ms: float | None = None,
         *,
-        clock: Callable[[], float] = time.perf_counter,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.budget_ms = budget_ms
         self._clock = clock

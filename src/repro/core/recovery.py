@@ -19,11 +19,24 @@ rotation so it cannot consume the service's whole budget on every retry.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from threading import Lock
+from typing import Callable, Hashable
 
 from ..device.fabric import Device
 
 __all__ = ["RetryPolicy", "RoutingReport", "CircuitBreaker", "select_victim"]
+
+_M64 = (1 << 64) - 1
+
+
+def _mix64(x: int) -> int:
+    """splitmix64 finalizer: a cheap, stateless 64-bit hash."""
+    x = (x + 0x9E3779B97F4A7C15) & _M64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+    return (x ^ (x >> 31)) & _M64
 
 
 @dataclass(slots=True, frozen=True)
@@ -40,15 +53,48 @@ class RetryPolicy:
     bbox_margin:
         CLBs added around the failed request's bounding box when looking
         for blocking victim nets.
+    backoff_base:
+        Seconds of the *first* retry's backoff window.  The default 0.0
+        keeps the historical behaviour: retries run back to back with no
+        pause.  A service retrying many clients' requests should set
+        this so simultaneous failures do not re-arrive in lockstep.
+    backoff_cap:
+        Upper bound on any single backoff window, whatever the attempt
+        number (the exponential growth saturates here).
+    jitter_seed:
+        Seed of the deterministic jitter stream.  Two policies with the
+        same seed produce the same delays for the same ``(token,
+        attempt)`` — reproducible tests — while different tokens (e.g.
+        per-job sequence numbers) decorrelate concurrent retriers.
     """
 
     max_attempts: int = 3
     expansion_factor: float = 2.0
     bbox_margin: int = 2
+    backoff_base: float = 0.0
+    backoff_cap: float = 2.0
+    jitter_seed: int = 0
 
     def budget_for(self, attempt: int, base_nodes: int) -> int:
         """Maze expansion budget for 1-based ``attempt``."""
         return int(base_nodes * self.expansion_factor ** (attempt - 1))
+
+    def backoff_for(self, attempt: int, *, token: int = 0) -> float:
+        """Seconds to wait before 1-based ``attempt`` (0 for the first).
+
+        Full jitter over an exponentially growing window: the delay is
+        drawn uniformly from ``[0, min(backoff_cap, backoff_base *
+        2**(attempt - 2)))`` by a splitmix64 hash of ``(jitter_seed,
+        token, attempt)``.  Stateless and deterministic, so simultaneous
+        retriers with distinct tokens spread out instead of thundering
+        back in phase — and a test can pin the exact schedule.
+        """
+        if attempt <= 1 or self.backoff_base <= 0.0:
+            return 0.0
+        window = min(self.backoff_cap, self.backoff_base * 2.0 ** (attempt - 2))
+        h = _mix64(_mix64(self.jitter_seed & _M64) ^ (token & _M64))
+        h = _mix64(h ^ attempt)
+        return window * (h / float(1 << 64))
 
 
 @dataclass(slots=True)
@@ -100,52 +146,173 @@ class RoutingReport:
         return line
 
 
-class CircuitBreaker:
-    """Per-net trip counter that stops re-attempting hopeless requests.
+@dataclass(slots=True)
+class _BreakerEntry:
+    """Per-key breaker bookkeeping (guarded by the breaker's lock)."""
 
-    A net "trips" when a routing request for it is abandoned on a
-    deadline.  After ``max_trips`` consecutive trips the breaker *opens*
-    for that net: further requests are refused immediately (a
+    trips: int = 0
+    #: monotonic instant the breaker opened (None while closed, or in
+    #: latched mode where the open state has no clock)
+    opened_at: float | None = None
+    #: current cooldown window in seconds (escalates on probe failure)
+    cooldown: float = 0.0
+    #: a half-open probe has been admitted and has not yet resolved
+    probing: bool = False
+
+
+class CircuitBreaker:
+    """Per-key trip counter that stops re-attempting hopeless requests.
+
+    A key — a net's canonical source id, or a service tenant name —
+    "trips" when a routing request for it is abandoned on a deadline.
+    After ``max_trips`` consecutive trips the breaker *opens* for that
+    key: further requests are refused immediately (a
     :class:`RoutingReport` with ``breaker_open=True``) without spending
     any search budget.  A successful route closes the breaker again, as
     does an explicit :meth:`reset` (e.g. after the operator frees
     congested resources).
+
+    Two operating modes:
+
+    * **latched** (``cooldown_s=None``, the default): an open breaker
+      stays open until a success or a reset — the original behaviour.
+    * **half-open probing** (``cooldown_s`` set): an open breaker
+      refuses requests for the cooldown window, then goes *half-open*
+      and admits exactly one probe (:meth:`is_open` returns False once;
+      concurrent callers keep seeing True until the probe resolves).  A
+      probe success closes the breaker; a probe failure
+      (:meth:`record_trip`) re-opens it with the cooldown multiplied by
+      ``escalation``, capped at ``max_cooldown_s``.
+
+    All methods are thread-safe: a service's admission path and its
+    result collector may hit the same key concurrently.
     """
 
-    __slots__ = ("max_trips", "_trips")
+    __slots__ = (
+        "max_trips", "cooldown_s", "escalation", "max_cooldown_s",
+        "_clock", "_lock", "_entries",
+    )
 
-    def __init__(self, max_trips: int = 3) -> None:
+    def __init__(
+        self,
+        max_trips: int = 3,
+        *,
+        cooldown_s: float | None = None,
+        escalation: float = 2.0,
+        max_cooldown_s: float = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if max_trips < 1:
             raise ValueError("max_trips must be >= 1")
+        if cooldown_s is not None and cooldown_s <= 0:
+            raise ValueError("cooldown_s must be positive (or None)")
+        if escalation < 1.0:
+            raise ValueError("escalation must be >= 1.0")
         self.max_trips = max_trips
-        self._trips: dict[int, int] = {}
+        self.cooldown_s = cooldown_s
+        self.escalation = escalation
+        self.max_cooldown_s = max_cooldown_s
+        self._clock = clock
+        self._lock = Lock()
+        self._entries: dict[Hashable, _BreakerEntry] = {}
 
-    def record_trip(self, net: int) -> None:
+    def record_trip(self, net: Hashable) -> None:
         """Count one deadline trip against ``net``."""
-        self._trips[net] = self._trips.get(net, 0) + 1
+        with self._lock:
+            e = self._entries.setdefault(net, _BreakerEntry())
+            e.trips += 1
+            if self.cooldown_s is None:
+                return
+            if e.probing:
+                # the half-open probe failed: re-open, escalated
+                e.probing = False
+                e.cooldown = min(
+                    e.cooldown * self.escalation, self.max_cooldown_s
+                )
+                e.opened_at = self._clock()
+            elif e.trips >= self.max_trips and e.opened_at is None:
+                e.cooldown = self.cooldown_s
+                e.opened_at = self._clock()
 
-    def record_success(self, net: int) -> None:
+    def record_success(self, net: Hashable) -> None:
         """A successful route closes the net's breaker."""
-        self._trips.pop(net, None)
+        with self._lock:
+            self._entries.pop(net, None)
 
-    def is_open(self, net: int) -> bool:
-        """Should requests for ``net`` be refused without searching?"""
-        return self._trips.get(net, 0) >= self.max_trips
+    def is_open(self, net: Hashable) -> bool:
+        """Should requests for ``net`` be refused without searching?
 
-    def trips(self, net: int) -> int:
+        In half-open-probing mode this call *admits* the probe: the
+        first caller after the cooldown elapses sees False (and is
+        expected to follow up with :meth:`record_success` or
+        :meth:`record_trip`); everyone else keeps seeing True.
+        """
+        with self._lock:
+            e = self._entries.get(net)
+            if e is None or e.trips < self.max_trips:
+                return False
+            if self.cooldown_s is None or e.opened_at is None:
+                return True  # latched open
+            if e.probing:
+                return True  # one probe is already out
+            if self._clock() - e.opened_at >= e.cooldown:
+                e.probing = True  # half-open: admit exactly one probe
+                return False
+            return True
+
+    def state(self, net: Hashable) -> str:
+        """``"closed"``, ``"open"`` or ``"half_open"`` (observability)."""
+        with self._lock:
+            e = self._entries.get(net)
+            if e is None or e.trips < self.max_trips:
+                return "closed"
+            if (
+                self.cooldown_s is not None
+                and e.opened_at is not None
+                and (
+                    e.probing
+                    or self._clock() - e.opened_at >= e.cooldown
+                )
+            ):
+                return "half_open"
+            return "open"
+
+    def retry_after(self, net: Hashable) -> float:
+        """Seconds until the key's breaker will admit a probe (0 when
+        closed, half-open, or latched without a cooldown clock)."""
+        with self._lock:
+            e = self._entries.get(net)
+            if (
+                e is None
+                or e.trips < self.max_trips
+                or self.cooldown_s is None
+                or e.opened_at is None
+                or e.probing
+            ):
+                return 0.0
+            return max(0.0, e.opened_at + e.cooldown - self._clock())
+
+    def trips(self, net: Hashable) -> int:
         """Consecutive deadline trips recorded against ``net``."""
-        return self._trips.get(net, 0)
+        with self._lock:
+            e = self._entries.get(net)
+            return 0 if e is None else e.trips
 
-    def open_nets(self) -> list[int]:
-        """Canonical source ids whose breakers are currently open."""
-        return sorted(n for n, t in self._trips.items() if t >= self.max_trips)
+    def open_nets(self) -> list:
+        """Keys whose breakers are currently open (or half-open)."""
+        with self._lock:
+            return sorted(
+                n for n, e in self._entries.items()
+                if e.trips >= self.max_trips
+            )
 
-    def reset(self, net: int | None = None) -> None:
-        """Forget trips for ``net``, or for every net when None."""
-        if net is None:
-            self._trips.clear()
-        else:
-            self._trips.pop(net, None)
+    def reset(self, net: Hashable | None = None) -> None:
+        """Forget trips for ``net``, or for every key when None."""
+        with self._lock:
+            if net is None:
+                self._entries.clear()
+            else:
+                self._entries.pop(net, None)
 
 
 def select_victim(

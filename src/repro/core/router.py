@@ -23,6 +23,7 @@ reconnection after core replacement).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -442,6 +443,22 @@ class JRouter:
                 report.failures.append(str(e))
                 self._faults_avoided += getattr(e, "faults_avoided", 0)
                 last_exc = e
+                if i < policy.max_attempts:
+                    # De-synchronize concurrent retriers (service clients
+                    # hammering the same congested region) with seeded
+                    # full-jitter backoff; token folds in the request's
+                    # tile footprint so distinct requests draw distinct
+                    # delays from the same policy.  Default policy has
+                    # backoff_base=0.0 → no sleep, the legacy behavior.
+                    tok = 0
+                    for row, col in tiles:
+                        tok = (tok * 1000003 + row * 4096 + col) & ((1 << 64) - 1)
+                    delay = policy.backoff_for(i + 1, token=tok)
+                    if delay > 0.0:
+                        if deadline is not None:
+                            delay = min(delay, deadline.remaining_ms() / 1e3)
+                        if delay > 0.0:
+                            time.sleep(delay)
                 continue
             if victim_restore is not None:
                 report.ripped_nets.append(victim_restore[2])

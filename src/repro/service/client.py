@@ -1,0 +1,145 @@
+"""A small blocking client for ``repro submit``, tests and the E20 bench.
+
+Deliberately synchronous (``http.client`` over a keep-alive connection):
+the bench drives concurrency with a thread pool of these, which is also
+how real tenants — scripts, CI jobs, cores requesting reroutes — would
+hit the daemon.  Retries honour the server's ``Retry-After`` hint plus
+seeded full-jitter backoff from
+:meth:`~repro.core.recovery.RetryPolicy.backoff_for`, so a thousand
+rejected clients do not come back as one synchronized herd.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+from ..core.recovery import RetryPolicy
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """Transport-level failure talking to the daemon."""
+
+
+class ServiceClient:
+    """One keep-alive connection to a :class:`RoutingService`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retry = retry or RetryPolicy(
+            max_attempts=4, backoff_base=0.05, backoff_cap=1.0,
+            jitter_seed=0xC11E47,
+        )
+        self._conn: http.client.HTTPConnection | None = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def request(self, method: str, path: str, payload: dict | None = None):
+        """One HTTP exchange → (status, json_doc, headers)."""
+        body = None if payload is None else json.dumps(payload)
+        try:
+            conn = self._connection()
+            conn.request(
+                method, path, body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            doc = json.loads(resp.read() or b"{}")
+            return resp.status, doc, dict(resp.getheaders())
+        except (OSError, http.client.HTTPException) as e:
+            self.close()
+            raise ServiceError(f"{method} {path}: {e}") from e
+
+    # -- verbs ---------------------------------------------------------------
+
+    def submit(
+        self,
+        source,
+        sink,
+        *,
+        tenant: str = "default",
+        priority: int = 0,
+        deadline_ms: float | None = None,
+        wait: bool = False,
+    ) -> tuple[int, dict]:
+        """Submit one p2p route job; no client-side retry."""
+        payload = {
+            "tenant": tenant,
+            "source": list(source),
+            "sink": list(sink),
+            "priority": priority,
+            "wait": wait,
+        }
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        status, doc, _ = self.request("POST", "/route", payload)
+        return status, doc
+
+    def submit_with_retry(self, source, sink, **kw) -> tuple[int, dict]:
+        """Submit, honouring 429 Retry-After with jittered backoff.
+
+        Returns the final ``(status, doc)`` — still 429 if the service
+        stayed overloaded through every attempt (that is the *correct*
+        client-visible outcome of sustained overload, not an error).
+        """
+        policy = self.retry
+        token = hash((source, sink, kw.get("tenant", "default")))
+        status, doc = 429, {}
+        for attempt in range(1, policy.max_attempts + 1):
+            payload = dict(kw)
+            payload_wait = payload.pop("retry_sleep_cap", None)
+            status, doc = self.submit(source, sink, **payload)
+            if status not in (429, 503):
+                return status, doc
+            delay = policy.backoff_for(attempt + 1, token=token)
+            if payload_wait is not None:
+                delay = min(delay, payload_wait)
+            time.sleep(delay)
+        return status, doc
+
+    def job(self, job_id: str) -> tuple[int, dict]:
+        return self.request("GET", f"/jobs/{job_id}")[:2]
+
+    def wait_job(self, job_id: str, timeout: float = 30.0) -> dict:
+        """Poll a job to a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status, doc = self.job(job_id)
+            if status == 200 and doc.get("state") in (
+                "succeeded", "failed", "rejected"
+            ):
+                return doc
+            if time.monotonic() >= deadline:
+                raise ServiceError(f"job {job_id} not terminal in {timeout}s")
+            time.sleep(0.05)
+
+    def stats(self) -> dict:
+        return self.request("GET", "/stats")[1]
+
+    def healthz(self) -> tuple[int, dict]:
+        return self.request("GET", "/healthz")[:2]
+
+    def drain(self) -> dict:
+        return self.request("POST", "/drain")[1]

@@ -1,0 +1,173 @@
+"""The service job lifecycle: a tiny state machine with one hard rule.
+
+Every *accepted* job reaches a terminal state **exactly once**.  That is
+the invariant the whole daemon is built around (and what the E20 chaos
+gate measures): workers may die mid-route, the same job may be executed
+twice after a respawn (safe — re-routing an already-routed sink is a
+0-PIP no-op in :meth:`~repro.core.router.JRouter.route_p2p_batch`), a
+late result may race a worker-lost re-enqueue, but the *accounting*
+converges because :meth:`Job.finish` is the single, locked door into a
+terminal state and every later attempt to walk through it is ignored.
+
+States::
+
+    QUEUED ──→ DISPATCHED ──→ SUCCEEDED | FAILED
+       │            │
+       │            └──(worker lost)──→ QUEUED   (attempts += 1)
+       └──(shed / quota / breaker at admission)──→ REJECTED
+
+``REJECTED`` is terminal but *pre-acceptance*: shed jobs are never
+journaled as accepted, so they do not count against the zero-lost-jobs
+invariant — the client got a fast 429 with a retry-after instead of a
+promise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from threading import Lock
+from typing import Callable
+
+from ..core.deadline import Deadline
+
+__all__ = ["Job", "JobState"]
+
+_ids = itertools.count(1)
+
+
+class JobState(str, Enum):
+    """Lifecycle states; the str base keeps JSON serialization trivial."""
+
+    QUEUED = "queued"
+    DISPATCHED = "dispatched"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    REJECTED = "rejected"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.SUCCEEDED, JobState.FAILED, JobState.REJECTED)
+
+
+@dataclass
+class Job:
+    """One accepted point-to-point route request.
+
+    ``source`` / ``sink`` are ``(row, col, wire)`` triples with the wire
+    as a canonical int (the HTTP layer parses wire *names* before a job
+    is built, so bad requests fail fast at admission).
+    """
+
+    tenant: str
+    source: tuple[int, int, int]
+    sink: tuple[int, int, int]
+    priority: int = 0
+    deadline_ms: float | None = None
+    job_id: str = field(default_factory=lambda: f"job-{next(_ids)}")
+    state: JobState = JobState.QUEUED
+    attempts: int = 0
+    result: dict = field(default_factory=dict)
+    #: cooperative per-job deadline token, armed at acceptance
+    deadline: Deadline | None = None
+    _lock: Lock = field(default_factory=Lock, repr=False)
+    _done_cbs: list[Callable[["Job"], None]] = field(
+        default_factory=list, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.deadline is None and self.deadline_ms is not None:
+            self.deadline = Deadline(self.deadline_ms)
+
+    # -- state transitions ---------------------------------------------------
+
+    def mark_dispatched(self) -> bool:
+        """QUEUED → DISPATCHED; False if the job already went terminal."""
+        with self._lock:
+            if self.state.terminal:
+                return False
+            self.state = JobState.DISPATCHED
+            self.attempts += 1
+            return True
+
+    def mark_requeued(self) -> bool:
+        """DISPATCHED → QUEUED after a worker loss; False when terminal."""
+        with self._lock:
+            if self.state.terminal:
+                return False
+            self.state = JobState.QUEUED
+            return True
+
+    def finish(self, state: JobState, **result) -> bool:
+        """Move to a terminal state exactly once.
+
+        Returns True for the one caller that performed the transition;
+        every later call (a duplicate result from a respawned worker, a
+        worker-lost sweep racing a late success) returns False and
+        changes nothing.  Done-callbacks fire outside the lock, once.
+        """
+        if not state.terminal:
+            raise ValueError(f"finish() needs a terminal state, got {state}")
+        with self._lock:
+            if self.state.terminal:
+                return False
+            self.state = state
+            self.result = result
+            cbs, self._done_cbs = self._done_cbs, []
+        for cb in cbs:
+            cb(self)
+        return True
+
+    def add_done_callback(self, cb: Callable[["Job"], None]) -> None:
+        """Run ``cb(job)`` at the terminal transition (or now, if past it)."""
+        with self._lock:
+            if not self.state.terminal:
+                self._done_cbs.append(cb)
+                return
+        cb(self)
+
+    # -- views ---------------------------------------------------------------
+
+    def expired(self) -> bool:
+        return self.deadline is not None and self.deadline.expired()
+
+    def remaining_ms(self) -> float | None:
+        if self.deadline is None:
+            return None
+        return self.deadline.remaining_ms()
+
+    def to_wire(self) -> dict:
+        """Picklable/JSON description shipped to workers and the journal."""
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "source": list(self.source),
+            "sink": list(self.sink),
+            "priority": self.priority,
+            "deadline_ms": self.deadline_ms,
+            "remaining_ms": self.remaining_ms(),
+        }
+
+    @classmethod
+    def from_wire(cls, d: dict) -> "Job":
+        """Rebuild an accepted job from its journaled description."""
+        return cls(
+            tenant=d["tenant"],
+            source=tuple(d["source"]),
+            sink=tuple(d["sink"]),
+            priority=int(d.get("priority", 0)),
+            deadline_ms=d.get("deadline_ms"),
+            job_id=d["job_id"],
+        )
+
+    def describe(self) -> dict:
+        """Client-facing status document."""
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "state": self.state.value,
+            "priority": self.priority,
+            "attempts": self.attempts,
+            "result": self.result,
+        }

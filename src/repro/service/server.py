@@ -1,0 +1,204 @@
+"""The asyncio HTTP/1.1 front door (``repro serve``).
+
+A deliberately small, dependency-free HTTP layer: parse a request line,
+headers and a ``Content-Length`` body; answer JSON; keep-alive until the
+client closes.  The interesting part is what it does *not* do:
+
+* **No blocking work on the event loop.**  Admission journals to disk,
+  so every submit hops to a worker thread via :func:`asyncio.to_thread`;
+  waiting for a job rides the job's done-callback through
+  ``loop.call_soon_threadsafe`` into a future, so ten thousand waiters
+  cost ten thousand futures, not ten thousand blocked threads.
+  Codelint rule ``RPR008`` (blocking-call-in-async) keeps it that way.
+* **No unbounded buffering.**  Overload answers ``429`` with a
+  ``Retry-After`` header the moment admission refuses — the queue's
+  depth bound is the only buffer.
+
+Routes::
+
+    POST /route    {tenant, source, sink, priority?, deadline_ms?, wait?}
+                   → 202 {job_id} | 200 (wait=true, terminal doc)
+                   → 429 + Retry-After (shed/quota/breaker/draining)
+    GET  /jobs/ID  → job status document (404 unknown)
+    GET  /stats    → counters, queue depth, worker liveness
+    GET  /healthz  → 200 while serving, 503 while draining
+    POST /drain    → graceful drain (also wired to SIGTERM)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+
+from ..arch import wires
+from .jobs import Job
+from .supervisor import RoutingSupervisor, ServiceConfig
+
+__all__ = ["RoutingService"]
+
+_REASON_STATUS = {"shed": 429, "quota": 429, "breaker": 429, "draining": 503}
+
+
+def _parse_pin(raw) -> tuple[int, int, int]:
+    """``[row, col, wire]`` with the wire as canonical int or name."""
+    if not isinstance(raw, (list, tuple)) or len(raw) != 3:
+        raise ValueError(f"pin must be [row, col, wire], got {raw!r}")
+    row, col, wire = raw
+    if isinstance(wire, str):
+        wire = wires.parse_wire_name(wire)
+    return int(row), int(col), int(wire)
+
+
+class RoutingService:
+    """One supervisor behind one listening socket."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        data_dir: str,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.config = config
+        self.host = host
+        self.port = port
+        self.supervisor = RoutingSupervisor(config, data_dir)
+        self._server: asyncio.AbstractServer | None = None
+        self._draining = False
+        self._drained = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self.supervisor.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                sig, lambda: asyncio.ensure_future(self.drain())
+            )
+
+    async def drain(self, timeout: float = 30.0) -> bool:
+        """Stop admitting, finish in-flight work, close the socket."""
+        if self._draining:
+            await self._drained.wait()
+            return True
+        self._draining = True
+        clean = await asyncio.to_thread(self.supervisor.drain, timeout)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._drained.set()
+        return clean
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        try:
+            async with self._server:
+                await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    # -- HTTP plumbing -------------------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                request, _, header_blob = head.partition(b"\r\n")
+                method, _, rest = request.decode("ascii").partition(" ")
+                path = rest.split(" ", 1)[0]
+                length = 0
+                for line in header_blob.decode("ascii").split("\r\n"):
+                    name, _, value = line.partition(":")
+                    if name.strip().lower() == "content-length":
+                        length = int(value.strip())
+                body = await reader.readexactly(length) if length else b""
+                status, payload, extra = await self._route(method, path, body)
+                blob = json.dumps(payload).encode()
+                headers = [
+                    f"HTTP/1.1 {status} X",
+                    "Content-Type: application/json",
+                    f"Content-Length: {len(blob)}",
+                ]
+                headers += [f"{k}: {v}" for k, v in extra.items()]
+                writer.write(
+                    "\r\n".join(headers).encode() + b"\r\n\r\n" + blob
+                )
+                await writer.drain()
+        finally:
+            writer.close()
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict, dict]:
+        try:
+            if method == "POST" and path == "/route":
+                return await self._post_route(body)
+            if method == "GET" and path.startswith("/jobs/"):
+                job = self.supervisor.get_job(path[len("/jobs/"):])
+                if job is None:
+                    return 404, {"error": "unknown job"}, {}
+                return 200, job.describe(), {}
+            if method == "GET" and path == "/stats":
+                stats = await asyncio.to_thread(self.supervisor.stats)
+                return 200, stats, {}
+            if method == "GET" and path == "/healthz":
+                if self._draining:
+                    return 503, {"status": "draining"}, {}
+                return 200, {"status": "ok"}, {}
+            if method == "POST" and path == "/drain":
+                asyncio.ensure_future(self.drain())
+                return 202, {"status": "draining"}, {}
+            return 404, {"error": f"no route for {method} {path}"}, {}
+        except ValueError as e:
+            return 400, {"error": str(e)}, {}
+
+    async def _post_route(self, body: bytes) -> tuple[int, dict, dict]:
+        try:
+            req = json.loads(body or b"{}")
+            tenant = str(req.get("tenant", "default"))
+            source = _parse_pin(req["source"])
+            sink = _parse_pin(req["sink"])
+        except (KeyError, ValueError, TypeError) as e:
+            return 400, {"error": f"bad request: {e}"}, {}
+        adm, job = await asyncio.to_thread(
+            self.supervisor.submit,
+            tenant,
+            source,
+            sink,
+            priority=int(req.get("priority", 0)),
+            deadline_ms=req.get("deadline_ms"),
+        )
+        if not adm.accepted:
+            status = _REASON_STATUS.get(adm.reason, 429)
+            doc = {"job_id": job.job_id, "rejected": adm.reason}
+            return status, doc, {"Retry-After": f"{adm.retry_after:.3f}"}
+        if req.get("wait"):
+            await self._wait_terminal(job)
+            return 200, job.describe(), {}
+        return 202, {"job_id": job.job_id, "state": job.state.value}, {}
+
+    @staticmethod
+    async def _wait_terminal(job: Job) -> None:
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+
+        def _done(_job: Job) -> None:
+            # fires on a supervisor thread; hop back to the loop
+            loop.call_soon_threadsafe(
+                lambda: fut.done() or fut.set_result(None)
+            )
+
+        job.add_done_callback(_done)
+        await fut

@@ -1,0 +1,154 @@
+"""Process-worker entry point: one durable device session per worker.
+
+Each worker owns a full :class:`~repro.core.router.JRouter` with its own
+simulated device and a private WAL shard (``worker<N>.wal``).  On start
+it *recovers* that shard if one exists — so a SIGKILL'd worker's respawn
+resumes the same device state and re-executing its in-flight jobs is
+idempotent (an already-routed sink is a 0-PIP no-op).
+
+The control protocol is deliberately dumb — picklable tuples over two
+``multiprocessing`` queues:
+
+request queue (supervisor → worker)
+    ``("batch", [job_wire, ...])`` — route the jobs, one
+    :meth:`~repro.core.router.JRouter.route_p2p_batch` call.
+    ``("chaos", {"stall_s": .., "fault_rate": ..})`` — test hooks.
+    ``("stop",)`` — checkpoint and exit 0.
+
+response queue (worker → supervisor)
+    ``("ready", wid, pid)`` once at boot (after recovery),
+    ``("hb", wid)`` heartbeats — emitted when the request queue is idle
+    *and* before starting a batch, so a stalled batch is indistinguishable
+    from a dead process and the monitor treats both the same way,
+    ``("done", wid, [(job_id, ok, pips, method, error), ...])`` results.
+
+Liveness is judged by the *supervisor's* clock on message arrival, never
+by comparing timestamps across processes.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as _queue
+import time
+
+from ..core.recovery import RetryPolicy
+from ..core.router import JRouter
+from ..core.wal import DurableSession, recover
+from ..device.faults import FaultModel
+from .jobs import Job
+
+__all__ = ["worker_main", "execute_batch"]
+
+
+def _pin(triple) -> "object":
+    from ..core.endpoints import Pin
+
+    row, col, wire = triple
+    return Pin(int(row), int(col), int(wire))
+
+
+def execute_batch(router: JRouter, jobs: list[dict]) -> list[tuple]:
+    """Route one coalesced batch of job descriptions on ``router``.
+
+    The per-job deadline budget that survived queueing bounds the whole
+    batch: the batch deadline is the *minimum* remaining budget, so no
+    job inside the batch can overstay its own promise.  Returns one
+    ``(job_id, ok, pips, method, error)`` tuple per job, request order.
+    """
+    remaining = [
+        j["remaining_ms"] for j in jobs if j.get("remaining_ms") is not None
+    ]
+    saved = router.deadline_ms
+    if remaining:
+        router.deadline_ms = max(1.0, min(remaining))
+    try:
+        pairs = [(_pin(j["source"]), _pin(j["sink"])) for j in jobs]
+        outcomes = router.route_p2p_batch(pairs)
+    finally:
+        router.deadline_ms = saved
+    results = []
+    for j, out in zip(jobs, outcomes):
+        err = None if out.error is None else str(out.error)
+        results.append(
+            (j["job_id"], out.success, out.pips_added, out.method, err)
+        )
+    return results
+
+
+def build_worker_router(
+    wal_path: str,
+    *,
+    part: str,
+    deadline_ms: float | None,
+    max_nodes: int = 50_000,
+) -> tuple[JRouter, bool]:
+    """Recover the shard's router if a WAL exists, else build it fresh."""
+    kwargs = dict(
+        part=part,
+        deadline_ms=deadline_ms,
+        max_nodes=max_nodes,
+        retry=RetryPolicy(max_attempts=2),
+    )
+    if os.path.exists(wal_path) and os.path.getsize(wal_path) > 0:
+        router, _report = recover(wal_path, router_kwargs=kwargs)
+        return router, True
+    return JRouter(**kwargs), False
+
+
+def worker_main(
+    wid: int,
+    req_q,
+    res_q,
+    *,
+    part: str = "XCV50",
+    wal_path: str,
+    heartbeat_s: float = 0.25,
+    deadline_ms: float | None = 2000.0,
+    checkpoint_every: int | None = 256,
+) -> None:
+    """Top of the worker process (``multiprocessing.Process`` target)."""
+    router, recovered = build_worker_router(
+        wal_path, part=part, deadline_ms=deadline_ms
+    )
+    stall_s = 0.0
+    with DurableSession(router, wal_path, checkpoint_every=checkpoint_every):
+        res_q.put(("ready", wid, os.getpid(), recovered))
+        while True:
+            try:
+                msg = req_q.get(timeout=heartbeat_s)
+            except _queue.Empty:
+                res_q.put(("hb", wid))
+                continue
+            kind = msg[0]
+            if kind == "stop":
+                return
+            if kind == "chaos":
+                knobs = msg[1]
+                stall_s = float(knobs.get("stall_s", stall_s))
+                rate = knobs.get("fault_rate")
+                if rate is not None:
+                    # flip the device's fault model mid-flight: searches
+                    # must re-mask and routes must keep succeeding
+                    router.device.set_fault_model(
+                        FaultModel.random(
+                            router.device.arch,
+                            seed=int(knobs.get("fault_seed", wid)),
+                            stuck_open_rate=float(rate),
+                        )
+                    )
+                continue
+            if kind != "batch":  # pragma: no cover - protocol guard
+                continue
+            res_q.put(("hb", wid))
+            if stall_s > 0.0:
+                # injected hang: no heartbeats while sleeping, so the
+                # monitor's miss window fires and SIGKILLs this process
+                time.sleep(stall_s)
+            results = execute_batch(router, msg[1])
+            res_q.put(("done", wid, results))
+
+
+def make_job(d: dict) -> Job:
+    """Convenience for tests: wire dict → Job (mirrors Job.from_wire)."""
+    return Job.from_wire(d)

@@ -426,6 +426,75 @@ class TestRPR007PerElementArrayLoop:
         assert [f.rule for f in suppressed] == ["RPR007"]
 
 
+class TestRPR008BlockingCallInAsync:
+    def test_fires_on_time_sleep_in_async_def(self):
+        assert "RPR008" in rules_of(
+            """
+            import time
+            async def handler():
+                time.sleep(0.1)
+            """
+        )
+
+    def test_fires_on_open_and_subprocess_in_async_def(self):
+        found = rules_of(
+            """
+            import subprocess
+            async def handler(path):
+                with open(path) as fh:
+                    data = fh.read()
+                subprocess.run(["ls"])
+                return data
+            """
+        )
+        assert found.count("RPR008") == 2
+
+    def test_fires_in_async_method_bodies(self):
+        assert "RPR008" in rules_of(
+            """
+            import time
+            class Service:
+                async def drain(self):
+                    time.sleep(1.0)
+            """
+        )
+
+    def test_silent_on_sync_def(self):
+        assert "RPR008" not in rules_of(
+            """
+            import time
+            def worker():
+                time.sleep(0.1)
+                return open("/dev/null")
+            """
+        )
+
+    def test_silent_on_nested_sync_def_inside_async(self):
+        # the nested def presumably runs via to_thread/run_in_executor;
+        # only the innermost enclosing function's kind matters
+        assert "RPR008" not in rules_of(
+            """
+            import time
+            async def handler():
+                def blocking_part():
+                    time.sleep(0.1)
+                    return open("/dev/null")
+                return blocking_part
+            """
+        )
+
+    def test_silent_on_async_equivalents(self):
+        assert "RPR008" not in rules_of(
+            """
+            import asyncio
+            async def handler():
+                await asyncio.sleep(0.1)
+                data = await asyncio.to_thread(load_blob)
+                return data
+            """
+        )
+
+
 class TestNoqaSuppression:
     def test_bare_noqa_suppresses_all_rules_on_the_line(self):
         kept, suppressed = _lint(

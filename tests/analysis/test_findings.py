@@ -27,6 +27,7 @@ EXPECTED_RULES = {
     "RPR005": ("code", "shm-create-without-unlink", Severity.ERROR),
     "RPR006": ("code", "swallowed-exception", Severity.WARNING),
     "RPR007": ("code", "per-element-array-loop", Severity.WARNING),
+    "RPR008": ("code", "blocking-call-in-async", Severity.ERROR),
 }
 
 

@@ -1,0 +1,172 @@
+"""Retry backoff jitter and the half-open circuit breaker lifecycle."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.deadline import Deadline
+from repro.core.recovery import CircuitBreaker, RetryPolicy
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestDeadlineClockDefault:
+    def test_default_clock_is_monotonic(self):
+        # wall-clock steps (NTP, DST) must not expire or extend budgets
+        assert Deadline(10.0)._clock is time.monotonic
+
+    def test_error_message_unchanged(self):
+        from repro import errors
+
+        clock = FakeClock()
+        d = Deadline(1.0, clock=clock)
+        clock.advance(1.0)
+        with pytest.raises(errors.DeadlineExceededError) as ei:
+            d.check("probe")
+        assert "abandoned" in str(ei.value)
+
+
+class TestBackoffJitter:
+    def test_default_policy_never_sleeps(self):
+        p = RetryPolicy()
+        assert all(p.backoff_for(a) == 0.0 for a in range(1, 8))
+
+    def test_first_attempt_is_always_free(self):
+        p = RetryPolicy(backoff_base=0.5)
+        assert p.backoff_for(1) == 0.0
+        assert p.backoff_for(1, token=99) == 0.0
+
+    def test_window_grows_exponentially_and_saturates(self):
+        p = RetryPolicy(backoff_base=0.1, backoff_cap=0.4, jitter_seed=7)
+        for attempt in range(2, 10):
+            window = min(0.4, 0.1 * 2.0 ** (attempt - 2))
+            for token in (0, 1, 12345):
+                d = p.backoff_for(attempt, token=token)
+                assert 0.0 <= d < window
+
+    def test_deterministic_for_same_seed_token_attempt(self):
+        a = RetryPolicy(backoff_base=0.1, jitter_seed=42)
+        b = RetryPolicy(backoff_base=0.1, jitter_seed=42)
+        assert a.backoff_for(3, token=9) == b.backoff_for(3, token=9)
+
+    def test_tokens_decorrelate_concurrent_retriers(self):
+        p = RetryPolicy(backoff_base=0.1, jitter_seed=1)
+        delays = {p.backoff_for(2, token=t) for t in range(16)}
+        assert len(delays) > 8  # not in lockstep
+
+    def test_seed_changes_the_schedule(self):
+        a = RetryPolicy(backoff_base=0.1, jitter_seed=1)
+        b = RetryPolicy(backoff_base=0.1, jitter_seed=2)
+        assert [a.backoff_for(2, token=t) for t in range(4)] != [
+            b.backoff_for(2, token=t) for t in range(4)
+        ]
+
+
+class TestBreakerHalfOpen:
+    """closed → open → half-open → closed, plus probe-failure escalation."""
+
+    def _tripped(self, clock, **kw) -> CircuitBreaker:
+        br = CircuitBreaker(max_trips=2, cooldown_s=1.0, clock=clock, **kw)
+        br.record_trip("t")
+        br.record_trip("t")
+        return br
+
+    def test_full_lifecycle(self):
+        clock = FakeClock()
+        br = self._tripped(clock)
+        assert br.state("t") == "open" and br.is_open("t")
+        assert br.retry_after("t") == pytest.approx(1.0)
+
+        clock.advance(1.0)  # cooldown elapsed: half-open
+        assert br.state("t") == "half_open"
+        assert not br.is_open("t")      # the probe is admitted...
+        assert br.is_open("t")          # ...exactly once
+        assert br.retry_after("t") == 0.0
+
+        br.record_success("t")          # probe succeeded: closed
+        assert br.state("t") == "closed"
+        assert not br.is_open("t")
+
+    def test_probe_failure_reopens_with_escalated_cooldown(self):
+        clock = FakeClock()
+        br = self._tripped(clock, escalation=3.0, max_cooldown_s=5.0)
+        clock.advance(1.0)
+        assert not br.is_open("t")      # probe out
+        br.record_trip("t")             # probe failed
+        assert br.state("t") == "open"
+        assert br.retry_after("t") == pytest.approx(3.0)  # 1.0 * 3
+        clock.advance(3.0)
+        assert not br.is_open("t")
+        br.record_trip("t")
+        assert br.retry_after("t") == pytest.approx(5.0)  # capped
+
+    def test_latched_mode_has_no_clock(self):
+        br = CircuitBreaker(max_trips=1)  # cooldown_s=None: PR 6 behaviour
+        br.record_trip("t")
+        assert br.state("t") == "open"
+        assert br.retry_after("t") == 0.0
+        assert br.is_open("t") and br.is_open("t")  # never half-opens
+        br.record_success("t")
+        assert not br.is_open("t")
+
+    def test_concurrent_trips_open_exactly_once(self):
+        clock = FakeClock()
+        br = CircuitBreaker(max_trips=8, cooldown_s=1.0, clock=clock)
+        start = threading.Barrier(8)
+
+        def trip() -> None:
+            start.wait()
+            br.record_trip("t")
+
+        threads = [threading.Thread(target=trip) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert br.trips("t") == 8
+        assert br.state("t") == "open"
+        assert br.retry_after("t") == pytest.approx(1.0)  # base, unescalated
+
+    def test_concurrent_half_open_admits_one_probe(self):
+        clock = FakeClock()
+        br = self._tripped(clock)
+        clock.advance(1.0)
+        start = threading.Barrier(8)
+        admitted = []
+        lock = threading.Lock()
+
+        def probe() -> None:
+            start.wait()
+            if not br.is_open("t"):
+                with lock:
+                    admitted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=probe) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(admitted) == 1
+
+    def test_string_keys_for_tenants(self):
+        br = CircuitBreaker(max_trips=1, cooldown_s=1.0, clock=FakeClock())
+        br.record_trip("tenant-a")
+        assert br.is_open("tenant-a")
+        assert not br.is_open("tenant-b")
+        assert br.open_nets() == ["tenant-a"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(max_trips=1, cooldown_s=0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(max_trips=1, escalation=0.5)

@@ -1,0 +1,100 @@
+"""Supervisor end-to-end: real spawned workers, a real SIGKILL, a drain.
+
+Slower than the unit files (each test boots process workers) but still
+small; the full HTTP stack and the chaos cadence are exercised by
+``benchmarks/bench_e20_service.py`` and the E20 experiment.
+"""
+
+import time
+
+import pytest
+
+from repro.arch.virtex import VirtexArch
+from repro.bench.workloads import random_p2p_nets
+from repro.service import RoutingSupervisor, ServiceConfig
+from repro.service.jobs import JobState
+from repro.service.journal import JobJournal
+from repro.service.loadgen import audit_journal
+
+
+def _pairs(n: int, seed: int = 5):
+    arch = VirtexArch("XCV50")
+    return [
+        (
+            (net.source.row, net.source.col, net.source.wire),
+            (net.sinks[0].row, net.sinks[0].col, net.sinks[0].wire),
+        )
+        for net in random_p2p_nets(arch, n, seed=seed, min_span=2, max_span=8)
+    ]
+
+
+def _config(**kw) -> ServiceConfig:
+    defaults = dict(
+        workers=1,
+        queue_depth=32,
+        heartbeat_s=0.2,
+        heartbeat_misses=8,
+        default_deadline_ms=60_000.0,
+        job_max_attempts=4,
+    )
+    defaults.update(kw)
+    return ServiceConfig(**defaults)
+
+
+def _await_terminal(jobs, timeout: float = 60.0) -> None:
+    deadline = time.monotonic() + timeout
+    for job in jobs:
+        while not job.state.terminal:
+            if time.monotonic() > deadline:
+                pytest.fail(f"{job.job_id} never went terminal")
+            time.sleep(0.02)
+
+
+def test_kill_midstream_loses_no_accepted_job(tmp_path):
+    sup = RoutingSupervisor(_config(), str(tmp_path))
+    sup.start()
+    try:
+        jobs = []
+        for i, (src, sink) in enumerate(_pairs(8)):
+            adm, job = sup.submit(f"tenant-{i % 2}", src, sink)
+            assert adm.accepted
+            jobs.append(job)
+            if i == 3:  # SIGKILL the only worker with work in flight
+                sup.kill_worker(0, reason="test-kill")
+        _await_terminal(jobs)
+        assert all(j.state is JobState.SUCCEEDED for j in jobs)
+        stats = sup.stats()
+        assert stats["workers"][0]["restarts"] >= 1
+        assert stats["succeeded"] == 8
+        assert sup.drain(timeout=30.0)
+    finally:
+        sup.stop()
+    audit = audit_journal(str(tmp_path / "jobs.journal"))
+    assert audit["accepted"] == 8
+    assert audit["lost"] == [] and audit["duplicates"] == []
+    assert audit["drained"]
+
+
+def test_restart_recovers_journaled_orphans(tmp_path):
+    # forge the journal a kill -9'd daemon would leave behind: a job
+    # accepted (promised to the client) with no terminal record
+    (src, sink), = _pairs(1)
+    from repro.service.jobs import Job
+
+    orphan = Job(tenant="t", source=src, sink=sink, deadline_ms=60_000.0)
+    with JobJournal(str(tmp_path / "jobs.journal")) as journal:
+        journal.accepted(orphan)
+
+    sup = RoutingSupervisor(_config(), str(tmp_path))
+    report = sup.start()
+    try:
+        assert report["orphans"] == 1
+        recovered = sup.get_job(orphan.job_id)
+        assert recovered is not None
+        _await_terminal([recovered])
+        assert recovered.state is JobState.SUCCEEDED
+        assert sup.drain(timeout=30.0)
+    finally:
+        sup.stop()
+    audit = audit_journal(str(tmp_path / "jobs.journal"))
+    assert audit["lost"] == [] and audit["duplicates"] == []

@@ -1,0 +1,109 @@
+"""The exactly-once terminal transition, under every race we could find."""
+
+import threading
+
+from repro.service.jobs import Job, JobState
+
+
+def _job(**kw) -> Job:
+    return Job(tenant="t", source=(0, 0, 0), sink=(1, 1, 1), **kw)
+
+
+class TestLifecycle:
+    def test_dispatch_counts_attempts(self):
+        job = _job()
+        assert job.mark_dispatched()
+        assert job.state is JobState.DISPATCHED and job.attempts == 1
+        assert job.mark_requeued()
+        assert job.state is JobState.QUEUED
+        assert job.mark_dispatched()
+        assert job.attempts == 2
+
+    def test_finish_is_exactly_once(self):
+        job = _job()
+        assert job.finish(JobState.SUCCEEDED, pips=4)
+        assert not job.finish(JobState.FAILED, error="late duplicate")
+        assert job.state is JobState.SUCCEEDED
+        assert job.result == {"pips": 4}
+
+    def test_no_transitions_out_of_terminal(self):
+        job = _job()
+        job.finish(JobState.FAILED, error="x")
+        assert not job.mark_dispatched()
+        assert not job.mark_requeued()
+        assert job.state is JobState.FAILED
+
+    def test_finish_requires_terminal_state(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            _job().finish(JobState.QUEUED)
+
+    def test_concurrent_finishers_one_winner(self):
+        # a late worker result racing the worker-lost sweep: whatever the
+        # interleaving, exactly one transition happens
+        for _ in range(20):
+            job = _job()
+            wins: list[JobState] = []
+            start = threading.Barrier(4)
+
+            def finisher(state: JobState) -> None:
+                start.wait()
+                if job.finish(state, who=state.value):
+                    wins.append(state)
+
+            threads = [
+                threading.Thread(
+                    target=finisher,
+                    args=(JobState.SUCCEEDED if i % 2 else JobState.FAILED,),
+                )
+                for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(wins) == 1
+            assert job.state is wins[0]
+
+
+class TestCallbacks:
+    def test_callback_fires_once_at_terminal(self):
+        job = _job()
+        seen: list[str] = []
+        job.add_done_callback(lambda j: seen.append(j.state.value))
+        job.finish(JobState.SUCCEEDED)
+        job.finish(JobState.FAILED)  # ignored duplicate
+        assert seen == ["succeeded"]
+
+    def test_callback_added_after_terminal_fires_immediately(self):
+        job = _job()
+        job.finish(JobState.FAILED, error="x")
+        seen: list[Job] = []
+        job.add_done_callback(seen.append)
+        assert seen == [job]
+
+
+class TestWire:
+    def test_round_trip_preserves_identity_and_pins(self):
+        job = _job(priority=3, deadline_ms=500.0)
+        clone = Job.from_wire(job.to_wire())
+        assert clone.job_id == job.job_id
+        assert clone.source == job.source and clone.sink == job.sink
+        assert clone.priority == 3
+        assert clone.deadline_ms == 500.0
+        assert clone.state is JobState.QUEUED
+
+    def test_deadline_armed_at_construction(self):
+        job = _job(deadline_ms=60_000.0)
+        assert not job.expired()
+        assert 0.0 < job.remaining_ms() <= 60_000.0
+        assert _job().remaining_ms() is None
+
+    def test_describe_is_client_facing(self):
+        job = _job()
+        job.finish(JobState.SUCCEEDED, pips=7)
+        doc = job.describe()
+        assert doc["state"] == "succeeded"
+        assert doc["result"] == {"pips": 7}
+        assert doc["job_id"] == job.job_id
