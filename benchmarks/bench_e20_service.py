@@ -77,6 +77,8 @@ def run_phases(smoke: bool, seed: int = 20) -> dict:
         heartbeat_misses=8,
         default_deadline_ms=60_000.0,
         job_max_attempts=5,
+        # the post-run audit needs the full accepted/terminal trail
+        journal_max_bytes=None,
     )
     pairs = _pairs(n_load + n_chaos + config.queue_depth * 2, seed)
     data_dir = tempfile.mkdtemp(prefix="e20-bench-")

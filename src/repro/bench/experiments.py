@@ -988,6 +988,8 @@ def run_e20(
         heartbeat_misses=8,
         default_deadline_ms=30_000.0,
         job_max_attempts=4,
+        # the post-run audit needs the full accepted/terminal trail
+        journal_max_bytes=None,
     )
     with running_service(config, data_dir) as svc:
         host, port = svc.host, svc.port

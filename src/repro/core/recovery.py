@@ -239,6 +239,23 @@ class CircuitBreaker:
         with self._lock:
             self._entries.pop(net, None)
 
+    def probe_abort(self, net: Hashable) -> None:
+        """The admitted half-open probe never ran (or proved nothing).
+
+        :meth:`is_open` hands out exactly one probe and then answers
+        True until it resolves — so a probe that is shed at admission,
+        refused by a quota, or fails for a reason unrelated to the trips
+        that opened the breaker must be *returned*, or the key is locked
+        out forever.  Re-opens for the current (un-escalated) cooldown;
+        a no-op unless a probe is actually outstanding.
+        """
+        with self._lock:
+            e = self._entries.get(net)
+            if e is None or not e.probing:
+                return
+            e.probing = False
+            e.opened_at = self._clock()
+
     def is_open(self, net: Hashable) -> bool:
         """Should requests for ``net`` be refused without searching?
 

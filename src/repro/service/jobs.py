@@ -24,7 +24,8 @@ promise.
 
 from __future__ import annotations
 
-import itertools
+import time
+import uuid
 from dataclasses import dataclass, field
 from enum import Enum
 from threading import Lock
@@ -34,7 +35,12 @@ from ..core.deadline import Deadline
 
 __all__ = ["Job", "JobState"]
 
-_ids = itertools.count(1)
+
+def _new_job_id() -> str:
+    # globally unique, never a counter: the journal outlives the process,
+    # so a restart reusing ids would let old terminal records shadow new
+    # jobs in recover_jobs() — a silently lost accepted job
+    return f"job-{uuid.uuid4().hex}"
 
 
 class JobState(str, Enum):
@@ -65,10 +71,13 @@ class Job:
     sink: tuple[int, int, int]
     priority: int = 0
     deadline_ms: float | None = None
-    job_id: str = field(default_factory=lambda: f"job-{next(_ids)}")
+    job_id: str = field(default_factory=_new_job_id)
     state: JobState = JobState.QUEUED
     attempts: int = 0
     result: dict = field(default_factory=dict)
+    #: monotonic instant of the terminal transition (drives TTL eviction
+    #: of settled jobs so a long-lived daemon's job table stays bounded)
+    finished_at: float | None = None
     #: cooperative per-job deadline token, armed at acceptance
     deadline: Deadline | None = None
     _lock: Lock = field(default_factory=Lock, repr=False)
@@ -114,6 +123,7 @@ class Job:
                 return False
             self.state = state
             self.result = result
+            self.finished_at = time.monotonic()
             cbs, self._done_cbs = self._done_cbs, []
         for cb in cbs:
             cb(self)

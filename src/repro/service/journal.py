@@ -32,22 +32,58 @@ def _crc(payload: dict) -> int:
     return zlib.crc32(json.dumps(payload, sort_keys=True).encode("ascii"))
 
 
+def _frame(payload: dict) -> str:
+    frame = dict(payload)
+    frame["crc"] = _crc(payload)
+    return json.dumps(frame, sort_keys=True) + "\n"
+
+
+def _trim_torn_tail(path: str) -> None:
+    """Drop an unterminated last line before resume-appending.
+
+    A crash mid-append leaves a partial line with no newline; appending
+    after it would weld the next record onto the torn one, turning a
+    tolerated torn *tail* into mid-file corruption that the scanner
+    correctly refuses as tampering.
+    """
+    if not os.path.exists(path) or os.path.getsize(path) == 0:
+        return
+    with open(path, "rb+") as fh:
+        fh.seek(0, os.SEEK_END)
+        size = fh.tell()
+        fh.seek(size - 1)
+        if fh.read(1) == b"\n":
+            return
+        fh.seek(0)
+        data = fh.read()
+        keep = data.rfind(b"\n") + 1  # 0 when no newline at all
+        fh.truncate(keep)
+
+
 class JobJournal:
-    """Append-only accepted/terminal log; resume-appends, never truncates."""
+    """Append-only accepted/terminal log with size-triggered compaction.
+
+    Normal operation only ever appends; :meth:`compact` (driven by the
+    supervisor when :meth:`size` crosses a threshold) atomically
+    rewrites the file keeping just the open promises, so a long-lived
+    daemon's journal stays bounded instead of growing forever.
+    """
 
     def __init__(self, path: str) -> None:
         self.path = path
         self._lock = Lock()
+        _trim_torn_tail(path)
         fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+        self._bytes = 0 if fresh else os.path.getsize(path)
         self._fh = open(path, "a", encoding="ascii")
         if fresh:
             self._write({"jobwal": JOURNAL_VERSION})
 
     def _write(self, payload: dict) -> None:
-        frame = dict(payload)
-        frame["crc"] = _crc(payload)
-        self._fh.write(json.dumps(frame, sort_keys=True) + "\n")
+        line = _frame(payload)
+        self._fh.write(line)
         self._fh.flush()
+        self._bytes += len(line)
 
     def accepted(self, job: Job) -> None:
         with self._lock:
@@ -67,6 +103,55 @@ class JobJournal:
         """Mark a graceful drain: everything accepted has gone terminal."""
         with self._lock:
             self._write({"ev": "drain"})
+
+    def size(self) -> int:
+        """Bytes appended so far (compaction trigger input)."""
+        with self._lock:
+            return self._bytes
+
+    def compact(self) -> dict:
+        """Atomically rewrite the journal keeping only open promises.
+
+        Replays the file under the lock (writers are quiescent), keeps
+        the ``accepted`` frames of jobs with no terminal record — the
+        only records :func:`recover_jobs` needs — plus any drain
+        marker, writes them to a temp file (flush + fsync + rename) and
+        resumes appending.  Settled jobs' accepted/terminal history is
+        dropped: bounded disk beats a full audit trail for a long-lived
+        daemon (audits that need the full history run with compaction
+        disabled).  Returns ``{"kept": .., "dropped": ..}``.
+        """
+        with self._lock:
+            self._fh.flush()
+            events, _torn = iter_journal(self.path)
+            accepted: dict[str, dict] = {}
+            terminal: set[str] = set()
+            drained = False
+            for ev in events:
+                kind = ev.get("ev")
+                if kind == "accepted":
+                    accepted[ev["job"]["job_id"]] = ev
+                elif kind == "terminal":
+                    terminal.add(ev["job_id"])
+                elif kind == "drain":
+                    drained = True
+            live = [
+                ev for jid, ev in accepted.items() if jid not in terminal
+            ]
+            lines = [_frame({"jobwal": JOURNAL_VERSION})]
+            lines += [_frame(ev) for ev in live]
+            if drained:
+                lines.append(_frame({"ev": "drain"}))
+            tmp = self.path + ".compact"
+            with open(tmp, "w", encoding="ascii") as fh:
+                fh.write("".join(lines))
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._fh.close()
+            os.replace(tmp, self.path)
+            self._fh = open(self.path, "a", encoding="ascii")
+            self._bytes = os.path.getsize(self.path)
+            return {"kept": len(live), "dropped": len(terminal)}
 
     def close(self) -> None:
         self._fh.close()

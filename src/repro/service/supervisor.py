@@ -80,6 +80,12 @@ class ServiceConfig:
     default_deadline_ms: float | None = 5000.0
     worker_max_nodes: int = 50_000
     checkpoint_every: int | None = 256
+    #: terminal jobs stay queryable (GET /jobs/ID) this long, then are
+    #: evicted from the in-memory table; None retains them forever
+    job_ttl_s: float | None = 300.0
+    #: compact the job journal when it outgrows this; None disables
+    #: (e.g. for audits that need the full accepted/terminal history)
+    journal_max_bytes: int | None = 16 << 20
 
     @property
     def liveness_timeout_s(self) -> float:
@@ -91,7 +97,7 @@ class _Worker:
 
     __slots__ = (
         "wid", "proc", "req_q", "ready", "busy", "last_seen",
-        "in_flight", "restarts", "wal_path",
+        "in_flight", "restarts", "restarting", "wal_path",
     )
 
     def __init__(self, wid: int, wal_path: str) -> None:
@@ -104,6 +110,9 @@ class _Worker:
         self.last_seen = 0.0
         self.in_flight: dict[str, Job] = {}
         self.restarts = 0
+        #: a kill/respawn cycle is in progress; concurrent kill_worker
+        #: calls for this wid become no-ops instead of double-respawning
+        self.restarting = False
 
 
 class RoutingSupervisor:
@@ -139,7 +148,8 @@ class RoutingSupervisor:
         self.counters = {
             "accepted": 0, "succeeded": 0, "failed": 0, "rejected": 0,
             "requeued": 0, "worker_restarts": 0, "recovered_orphans": 0,
-            "timeouts": 0, "batches": 0,
+            "timeouts": 0, "batches": 0, "evicted": 0, "compactions": 0,
+            "compaction_errors": 0,
         }
         self._clock = Lock()  # counters guard
 
@@ -217,6 +227,12 @@ class RoutingSupervisor:
         else:
             adm = self.queue.offer(job)
         if not adm.accepted:
+            if adm.reason != "breaker":
+                # if this job was the tenant's half-open probe, admission
+                # refused it before it could prove anything — return the
+                # probe or the breaker stays half-open forever (no-op
+                # when no probe is out)
+                self.breaker.probe_abort(tenant)
             self._bump("rejected")
             job.finish(
                 JobState.REJECTED, reason=adm.reason,
@@ -237,6 +253,15 @@ class RoutingSupervisor:
     def _on_terminal(self, job: Job) -> None:
         self.journal.terminal(job)
         self.queue.release(job.tenant)
+        if (
+            job.state is JobState.FAILED
+            and job.result.get("error_class") != "timeout"
+        ):
+            # permanent / retry-exhausted failures say nothing about the
+            # congestion that opened the breaker, but they must still
+            # resolve an outstanding half-open probe (timeouts resolve
+            # theirs via record_trip, successes via record_success)
+            self.breaker.probe_abort(job.tenant)
         self._bump(
             "succeeded" if job.state is JobState.SUCCEEDED else "failed"
         )
@@ -324,7 +349,14 @@ class RoutingSupervisor:
                 ):
                     self.breaker.record_success(job.tenant)
             elif err is not None and "abandoned" in err:
-                self._fail_timeout(job, err)
+                if job.expired():
+                    self._fail_timeout(job, err)
+                else:
+                    # the shared (grouped) batch clamp ran out, not this
+                    # job's own deadline — the promise still stands:
+                    # re-enqueue with backoff instead of charging the
+                    # tenant's breaker for a timeout it never earned
+                    self._requeue_lost(job)
             else:
                 job.finish(
                     JobState.FAILED, error=err or "routing failed",
@@ -341,12 +373,43 @@ class RoutingSupervisor:
         while not self._stop.wait(cfg.heartbeat_s):
             now = time.monotonic()
             for w in self._workers:
-                if w.proc is None:
+                if w.proc is None or w.restarting:
                     continue
                 dead = w.proc.exitcode is not None
                 stale = now - w.last_seen > cfg.liveness_timeout_s
                 if dead or stale:
                     self.kill_worker(w.wid, reason="dead" if dead else "hung")
+            self._enforce_bounds(now)
+
+    def _enforce_bounds(self, now: float) -> None:
+        """Keep the job table and the journal from growing forever."""
+        cfg = self.config
+        if cfg.job_ttl_s is not None:
+            cutoff = now - cfg.job_ttl_s
+            evicted = 0
+            for jid, job in list(self.jobs.items()):
+                if (
+                    job.state.terminal
+                    and job.finished_at is not None
+                    and job.finished_at <= cutoff
+                ):
+                    self.jobs.pop(jid, None)
+                    evicted += 1
+            if evicted:
+                self._bump("evicted", evicted)
+        if (
+            cfg.journal_max_bytes is not None
+            and self.journal.size() > cfg.journal_max_bytes
+        ):
+            try:
+                self.journal.compact()
+            except (OSError, ValueError):
+                # a damaged or unwritable journal: appends still work (or
+                # fail loudly in submit); surface via the stats counter
+                # and retry on the next monitor tick
+                self._bump("compaction_errors")
+            else:
+                self._bump("compactions")
 
     def kill_worker(
         self,
@@ -360,26 +423,43 @@ class RoutingSupervisor:
         ``mutate`` runs between the kill and the respawn with the
         worker's WAL shard path — the chaos harness uses it to truncate
         the WAL tail and prove recovery shrugs off torn writes.
+
+        Reentrancy-safe: the monitor (which sees ``exitcode`` flip the
+        instant anyone SIGKILLs the process) can race a chaos or drain
+        caller on the same wid.  Only the first caller kills and
+        respawns; a concurrent second call is a no-op — two respawns
+        would leave two live processes appending to one WAL shard, and
+        the recovery scanner rejects their interleaved frames as
+        tampering.
         """
         w = self._workers[wid]
         with self._wlock:
+            if w.restarting:
+                return
+            w.restarting = True
             proc, w.ready, w.busy = w.proc, False, True
             in_flight, w.in_flight = w.in_flight, {}
-        if proc is not None and proc.exitcode is None:
-            os.kill(proc.pid, signal.SIGKILL)
-        if proc is not None:
-            proc.join(timeout=10.0)
-        for job in in_flight.values():
-            self._requeue_lost(job)
-        if mutate is not None:
-            mutate(w.wal_path)
-        if not self._stop.is_set():
-            w.restarts += 1
-            self._bump("worker_restarts")
-            self._spawn(w)
+        try:
+            if proc is not None and proc.exitcode is None:
+                os.kill(proc.pid, signal.SIGKILL)
+            if proc is not None:
+                proc.join(timeout=10.0)
+            for job in in_flight.values():
+                self._requeue_lost(job)
+            if mutate is not None:
+                mutate(w.wal_path)
+            if not self._stop.is_set():
+                w.restarts += 1
+                self._bump("worker_restarts")
+                self._spawn(w)
+        finally:
+            with self._wlock:
+                w.restarting = False
 
     def _requeue_lost(self, job: Job) -> None:
-        """Idempotent re-enqueue of a job lost with its worker."""
+        """Idempotent re-enqueue of a job whose attempt went nowhere
+        (worker lost, or abandoned by a shared clamp before its own
+        deadline)."""
         if job.expired():
             self._fail_timeout(job, "deadline expired during worker loss")
             return
@@ -457,6 +537,8 @@ class RoutingSupervisor:
         counters["queue_shed"] = self.queue.shed
         counters["quota_refused"] = self.queue.quota_refused
         counters["open_jobs"] = self._open_jobs
+        counters["jobs_tracked"] = len(self.jobs)
+        counters["journal_bytes"] = self.journal.size()
         counters["workers"] = [
             {
                 "wid": w.wid,

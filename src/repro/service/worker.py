@@ -48,23 +48,71 @@ def _pin(triple) -> "object":
     return Pin(int(row), int(col), int(wire))
 
 
+#: jobs whose remaining budgets differ by more than this factor never
+#: share a sub-batch: the group deadline is the group *minimum*, and
+#: letting one nearly-expired job clamp batchmates with generous budgets
+#: would fail them as timeouts their own deadlines never justified
+BUDGET_SPREAD = 4.0
+
+
+def _budget_groups(jobs: list[dict]) -> list[list[int]]:
+    """Partition batch indices into deadline-compatible groups.
+
+    Bounded jobs are bucketed so every member's remaining budget is
+    within ``BUDGET_SPREAD``x of its group's minimum (a member can lose
+    at most ``1 - 1/BUDGET_SPREAD`` of its budget to the shared clamp);
+    unbounded jobs form their own group and keep the router's default.
+    """
+    bounded = sorted(
+        (i for i, j in enumerate(jobs) if j.get("remaining_ms") is not None),
+        key=lambda i: jobs[i]["remaining_ms"],
+    )
+    groups: list[list[int]] = []
+    for i in bounded:
+        if (
+            groups
+            and jobs[i]["remaining_ms"]
+            <= jobs[groups[-1][0]]["remaining_ms"] * BUDGET_SPREAD
+        ):
+            groups[-1].append(i)
+        else:
+            groups.append([i])
+    unbounded = [
+        i for i, j in enumerate(jobs) if j.get("remaining_ms") is None
+    ]
+    if unbounded:
+        groups.append(unbounded)
+    return groups
+
+
 def execute_batch(router: JRouter, jobs: list[dict]) -> list[tuple]:
     """Route one coalesced batch of job descriptions on ``router``.
 
-    The per-job deadline budget that survived queueing bounds the whole
-    batch: the batch deadline is the *minimum* remaining budget, so no
-    job inside the batch can overstay its own promise.  Returns one
+    The per-job deadline budget that survived queueing bounds each
+    *budget-compatible sub-batch* (see :func:`_budget_groups`): within a
+    group the deadline is the minimum remaining budget, so no job can
+    overstay its own promise, and a job on the edge of its deadline
+    cannot starve batchmates whose deadlines are far away.  Returns one
     ``(job_id, ok, pips, method, error)`` tuple per job, request order.
     """
-    remaining = [
-        j["remaining_ms"] for j in jobs if j.get("remaining_ms") is not None
-    ]
     saved = router.deadline_ms
-    if remaining:
-        router.deadline_ms = max(1.0, min(remaining))
+    outcomes: list = [None] * len(jobs)
     try:
-        pairs = [(_pin(j["source"]), _pin(j["sink"])) for j in jobs]
-        outcomes = router.route_p2p_batch(pairs)
+        for group in _budget_groups(jobs):
+            remaining = [
+                jobs[i]["remaining_ms"]
+                for i in group
+                if jobs[i].get("remaining_ms") is not None
+            ]
+            router.deadline_ms = (
+                max(1.0, min(remaining)) if remaining else saved
+            )
+            pairs = [
+                (_pin(jobs[i]["source"]), _pin(jobs[i]["sink"]))
+                for i in group
+            ]
+            for i, out in zip(group, router.route_p2p_batch(pairs)):
+                outcomes[i] = out
     finally:
         router.deadline_ms = saved
     results = []

@@ -158,6 +158,37 @@ class TestBreakerHalfOpen:
             t.join()
         assert len(admitted) == 1
 
+    def test_probe_abort_returns_the_probe_without_escalation(self):
+        # a probe shed at admission (or failed for an unrelated,
+        # permanent reason) proved nothing: the breaker must re-open at
+        # the *current* cooldown and hand out another probe later —
+        # never stay half-open-with-a-phantom-probe forever
+        clock = FakeClock()
+        br = self._tripped(clock, escalation=3.0)
+        clock.advance(1.0)
+        assert not br.is_open("t")       # probe admitted
+        br.probe_abort("t")              # ...but it never ran
+        assert br.state("t") == "open"
+        assert br.is_open("t")
+        assert br.retry_after("t") == pytest.approx(1.0)  # unescalated
+        clock.advance(1.0)
+        assert not br.is_open("t")       # a fresh probe is handed out
+        br.record_success("t")
+        assert br.state("t") == "closed"
+
+    def test_probe_abort_is_a_noop_without_an_outstanding_probe(self):
+        clock = FakeClock()
+        br = CircuitBreaker(max_trips=2, cooldown_s=1.0, clock=clock)
+        br.probe_abort("unknown")        # no entry at all
+        assert br.state("unknown") == "closed"
+        br.record_trip("t")
+        br.probe_abort("t")              # closed: nothing to return
+        assert br.trips("t") == 1
+        br.record_trip("t")              # now open, no probe out yet
+        br.probe_abort("t")
+        assert br.state("t") == "open"
+        assert br.retry_after("t") == pytest.approx(1.0)
+
     def test_string_keys_for_tenants(self):
         br = CircuitBreaker(max_trips=1, cooldown_s=1.0, clock=FakeClock())
         br.record_trip("tenant-a")

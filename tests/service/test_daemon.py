@@ -2,9 +2,12 @@
 
 Slower than the unit files (each test boots process workers) but still
 small; the full HTTP stack and the chaos cadence are exercised by
-``benchmarks/bench_e20_service.py`` and the E20 experiment.
+``benchmarks/bench_e20_service.py`` and the E20 experiment.  The
+``TestSupervisorUnits`` class at the bottom exercises supervisor logic
+that needs no worker pool (probe accounting, kill reentrancy, bounds).
 """
 
+import threading
 import time
 
 import pytest
@@ -73,6 +76,211 @@ def test_kill_midstream_loses_no_accepted_job(tmp_path):
     assert audit["accepted"] == 8
     assert audit["lost"] == [] and audit["duplicates"] == []
     assert audit["drained"]
+
+
+class _FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestSupervisorUnits:
+    """Supervisor logic that needs no spawned workers (never start())."""
+
+    def _sup(self, tmp_path, **kw):
+        from repro.service import RoutingSupervisor
+
+        return RoutingSupervisor(_config(**kw), str(tmp_path))
+
+    def _open_probe(self, sup, tenant: str, clock: _FakeClock):
+        """Force the tenant's breaker open and admit its half-open probe."""
+        from repro.core.recovery import CircuitBreaker
+
+        sup.breaker = CircuitBreaker(1, cooldown_s=1.0, clock=clock)
+        sup.breaker.record_trip(tenant)
+        assert sup.breaker.state(tenant) == "open"
+        clock.t += 1.0
+        # half-open: the NEXT submit() for the tenant admits the probe
+        # (state() observes without consuming it)
+        assert sup.breaker.state(tenant) == "half_open"
+
+    def test_probe_refused_at_admission_is_returned(self, tmp_path):
+        # the probe job gets shed by the bounded queue: the breaker must
+        # get the probe back, or the tenant is locked out forever
+        sup = self._sup(tmp_path, queue_depth=1)
+        try:
+            clock = _FakeClock()
+            adm, _ = sup.submit("other", (0, 0, 0), (1, 1, 0))
+            assert adm.accepted  # fills the queue
+            self._open_probe(sup, "hot", clock)
+            adm, _job = sup.submit("hot", (0, 0, 0), (1, 1, 0))
+            assert not adm.accepted and adm.reason == "shed"
+            assert sup.breaker.state("hot") == "open"  # probe returned
+            clock.t += 1.0
+            assert not sup.breaker.is_open("hot")  # a fresh probe flows
+        finally:
+            sup.journal.close()
+
+    def test_permanent_failure_resolves_the_probe(self, tmp_path):
+        from repro.service.jobs import JobState
+
+        sup = self._sup(tmp_path)
+        try:
+            clock = _FakeClock()
+            self._open_probe(sup, "hot", clock)
+            adm, job = sup.submit("hot", (0, 0, 0), (1, 1, 0))
+            assert adm.accepted  # this job IS the probe
+            job.finish(
+                JobState.FAILED, error="unroutable", error_class="permanent"
+            )
+            assert sup.breaker.state("hot") == "open"  # not stuck probing
+            clock.t += 1.0
+            assert not sup.breaker.is_open("hot")
+        finally:
+            sup.journal.close()
+
+    def test_timeout_failure_still_escalates_not_aborts(self, tmp_path):
+        sup = self._sup(tmp_path)
+        try:
+            clock = _FakeClock()
+            self._open_probe(sup, "hot", clock)
+            adm, job = sup.submit("hot", (0, 0, 0), (1, 1, 0))
+            assert adm.accepted
+            sup._fail_timeout(job, "deadline expired in queue")
+            # record_trip resolved the probe (escalated), probe_abort in
+            # _on_terminal must not have touched it first
+            assert sup.breaker.state("hot") == "open"
+            assert sup.breaker.retry_after("hot") == pytest.approx(2.0)
+        finally:
+            sup.journal.close()
+
+    def test_abandoned_with_live_deadline_requeues_not_times_out(
+        self, tmp_path
+    ):
+        # a grouped-batch clamp ran out but the job's OWN deadline is
+        # far away: the promise stands — retry, and never charge the
+        # tenant's breaker for a timeout it did not earn
+        sup = self._sup(tmp_path)
+        try:
+            adm, job = sup.submit(
+                "t", (0, 0, 0), (1, 1, 0), deadline_ms=60_000.0
+            )
+            assert adm.accepted and job.mark_dispatched()
+            w = sup._workers[0]
+            w.in_flight = {job.job_id: job}
+            sup._absorb_results(
+                w, [(job.job_id, False, 0, "maze", "search abandoned")]
+            )
+            assert job.state is JobState.QUEUED
+            assert sup.counters["requeued"] == 1
+            assert sup.counters["timeouts"] == 0
+            assert sup.breaker.trips("t") == 0
+        finally:
+            sup.journal.close()
+
+    def test_abandoned_past_own_deadline_is_a_timeout(self, tmp_path):
+        sup = self._sup(tmp_path)
+        try:
+            adm, job = sup.submit(
+                "t", (0, 0, 0), (1, 1, 0), deadline_ms=0.001
+            )
+            assert adm.accepted and job.mark_dispatched()
+            time.sleep(0.01)
+            w = sup._workers[0]
+            w.in_flight = {job.job_id: job}
+            sup._absorb_results(
+                w, [(job.job_id, False, 0, "maze", "search abandoned")]
+            )
+            assert job.state is JobState.FAILED
+            assert job.result["error_class"] == "timeout"
+            assert sup.counters["timeouts"] == 1
+            assert sup.breaker.trips("t") == 1
+        finally:
+            sup.journal.close()
+
+    def test_kill_worker_concurrent_call_is_noop(self, tmp_path):
+        sup = self._sup(tmp_path)
+        try:
+            w = sup._workers[0]
+
+            class _DeadProc:
+                exitcode = 0
+                pid = 0
+
+                def join(self, timeout=None):
+                    pass
+
+            w.proc = _DeadProc()
+            spawned: list[int] = []
+            entered, hold = threading.Event(), threading.Event()
+
+            def fake_spawn(worker):
+                spawned.append(worker.wid)
+                entered.set()
+                hold.wait(5.0)
+
+            sup._spawn = fake_spawn
+            t = threading.Thread(
+                target=lambda: sup.kill_worker(0, reason="monitor")
+            )
+            t.start()
+            assert entered.wait(5.0)
+            sup.kill_worker(0, reason="chaos")  # concurrent: must no-op
+            hold.set()
+            t.join(5.0)
+            assert spawned == [0]
+            assert sup.counters["worker_restarts"] == 1
+            sup.kill_worker(0, reason="later")  # cycle done: works again
+            assert spawned == [0, 0]
+        finally:
+            sup.journal.close()
+
+    def test_terminal_jobs_evicted_after_ttl(self, tmp_path):
+        from repro.service.jobs import JobState
+
+        sup = self._sup(tmp_path, job_ttl_s=5.0)
+        try:
+            adm, job = sup.submit("t", (0, 0, 0), (1, 1, 0))
+            assert adm.accepted
+            job.finish(JobState.SUCCEEDED, pips_added=1)
+            sup._enforce_bounds(time.monotonic())
+            assert sup.get_job(job.job_id) is job  # inside the TTL
+            job.finished_at -= 10.0
+            sup._enforce_bounds(time.monotonic())
+            assert sup.get_job(job.job_id) is None
+            assert sup.stats()["evicted"] == 1
+        finally:
+            sup.journal.close()
+
+    def test_open_jobs_survive_eviction_pass(self, tmp_path):
+        sup = self._sup(tmp_path, job_ttl_s=0.0)
+        try:
+            adm, job = sup.submit("t", (0, 0, 0), (1, 1, 0))
+            assert adm.accepted
+            sup._enforce_bounds(time.monotonic() + 100.0)
+            assert sup.get_job(job.job_id) is job  # never evict open jobs
+        finally:
+            sup.journal.close()
+
+    def test_journal_compacts_past_size_threshold(self, tmp_path):
+        from repro.service.jobs import JobState
+        from repro.service.journal import recover_jobs
+
+        sup = self._sup(tmp_path, journal_max_bytes=1)
+        try:
+            _, done = sup.submit("t", (0, 0, 0), (1, 1, 0))
+            _, still_open = sup.submit("t", (0, 0, 0), (1, 1, 0))
+            done.finish(JobState.SUCCEEDED)
+            before = sup.journal.size()
+            sup._enforce_bounds(time.monotonic())
+            assert sup.stats()["compactions"] == 1
+            assert sup.journal.size() < before
+            orphans, _ = recover_jobs(sup.journal.path)
+            assert [j.job_id for j in orphans] == [still_open.job_id]
+        finally:
+            sup.journal.close()
 
 
 def test_restart_recovers_journaled_orphans(tmp_path):

@@ -96,6 +96,23 @@ class TestRecoverJobs:
         assert orphans == []
         assert stats["drained"]
 
+    def test_restart_ids_never_collide_with_journal_history(self, tmp_path):
+        # the journal outlives the process: jobs created after a restart
+        # must never reuse an id that already has a terminal record, or
+        # recovery silently drops a crashed new job as "already done"
+        path = str(tmp_path / "jobs.journal")
+        with JobJournal(path) as journal:
+            old = _job()
+            journal.accepted(old)
+            old.state = JobState.SUCCEEDED
+            journal.terminal(old)
+        with JobJournal(path) as journal:  # daemon restart
+            fresh = _job()
+            assert fresh.job_id != old.job_id
+            journal.accepted(fresh)
+        orphans, _stats = recover_jobs(path)
+        assert [j.job_id for j in orphans] == [fresh.job_id]
+
     def test_kill9_between_accept_and_terminal_loses_nothing(self, tmp_path):
         # the durable-promise ordering: accepted is on disk before the
         # client response, so a crash at ANY later byte leaves the job
@@ -111,3 +128,74 @@ class TestRecoverJobs:
         orphans, stats = recover_jobs(path)
         assert [j.job_id for j in orphans] == [job.job_id]
         assert stats["torn"]
+
+
+class TestTornTailResume:
+    def test_resume_append_after_torn_tail_stays_scannable(self, tmp_path):
+        # a crash leaves an unterminated partial line; the reopened
+        # journal must not weld its next append onto it (that would turn
+        # a tolerated torn tail into mid-file "tampering")
+        path = str(tmp_path / "jobs.journal")
+        a = _job()
+        with JobJournal(path) as journal:
+            journal.accepted(a)
+        with open(path, "a", encoding="ascii") as fh:
+            fh.write('{"ev": "accepted", "job":')  # torn, no newline
+        with JobJournal(path) as journal:
+            b = _job()
+            journal.accepted(b)
+        events, torn = iter_journal(path)
+        assert not torn
+        ids = [e["job"]["job_id"] for e in events if e.get("ev") == "accepted"]
+        assert ids == [a.job_id, b.job_id]
+
+
+class TestCompaction:
+    def test_compact_keeps_open_promises_drops_settled(self, tmp_path):
+        path = str(tmp_path / "jobs.journal")
+        journal = JobJournal(path)
+        done, open_a, open_b = _job(), _job(priority=7), _job()
+        for j in (done, open_a, open_b):
+            journal.accepted(j)
+        done.state = JobState.SUCCEEDED
+        journal.terminal(done)
+        before = journal.size()
+        report = journal.compact()
+        assert report == {"kept": 2, "dropped": 1}
+        assert journal.size() < before
+        orphans, stats = recover_jobs(path)
+        assert sorted(j.job_id for j in orphans) == sorted(
+            [open_a.job_id, open_b.job_id]
+        )
+        assert {j.job_id: j.priority for j in orphans}[open_a.job_id] == 7
+        assert not stats["torn"]
+        journal.close()
+
+    def test_appends_resume_after_compact(self, tmp_path):
+        path = str(tmp_path / "jobs.journal")
+        journal = JobJournal(path)
+        a = _job()
+        journal.accepted(a)
+        a.state = JobState.SUCCEEDED
+        journal.terminal(a)
+        journal.compact()
+        b = _job()
+        journal.accepted(b)
+        journal.close()
+        orphans, stats = recover_jobs(path)
+        assert [j.job_id for j in orphans] == [b.job_id]
+        assert stats["accepted"] == 1  # a's history is gone
+
+    def test_compact_preserves_drain_marker(self, tmp_path):
+        path = str(tmp_path / "jobs.journal")
+        journal = JobJournal(path)
+        a = _job()
+        journal.accepted(a)
+        a.state = JobState.SUCCEEDED
+        journal.terminal(a)
+        journal.drained()
+        journal.compact()
+        journal.close()
+        _orphans, stats = recover_jobs(path)
+        assert stats["drained"]
+        assert stats["orphans"] == 0

@@ -1,0 +1,100 @@
+"""Batch execution on the worker: deadline grouping and result order.
+
+Regression coverage for the min-deadline starvation hazard: one
+nearly-expired job in a coalesced batch must not clamp the whole
+batch's budget to ~1 ms and fail batchmates whose own deadlines were
+far away.
+"""
+
+from repro.service.worker import BUDGET_SPREAD, _budget_groups, execute_batch
+
+
+def _wire(job_id: str, remaining_ms):
+    return {
+        "job_id": job_id,
+        "source": (0, 0, 0),
+        "sink": (1, 1, 0),
+        "remaining_ms": remaining_ms,
+    }
+
+
+class _Outcome:
+    def __init__(self, tag: str) -> None:
+        self.success = True
+        self.pips_added = 1
+        self.method = tag
+        self.error = None
+
+
+class StubRouter:
+    """Records the deadline each route_p2p_batch call ran under."""
+
+    def __init__(self) -> None:
+        self.deadline_ms = 7_777.0
+        self.calls: list[tuple[float, int]] = []
+
+    def route_p2p_batch(self, pairs):
+        self.calls.append((self.deadline_ms, len(pairs)))
+        tag = f"call{len(self.calls)}"
+        return [_Outcome(tag) for _ in pairs]
+
+
+class TestBudgetGroups:
+    def test_empty_and_single(self):
+        assert _budget_groups([]) == []
+        assert _budget_groups([_wire("a", 100.0)]) == [[0]]
+
+    def test_compatible_budgets_share_a_group(self):
+        jobs = [_wire("a", 900.0), _wire("b", 1000.0), _wire("c", 3000.0)]
+        assert _budget_groups(jobs) == [[0, 1, 2]]
+
+    def test_tight_deadline_is_isolated(self):
+        jobs = [_wire("a", 5000.0), _wire("b", 1.0), _wire("c", 4800.0)]
+        groups = _budget_groups(jobs)
+        assert [1] in groups  # the nearly-expired job rides alone
+        assert sorted(sum(groups, [])) == [0, 1, 2]
+
+    def test_unbounded_jobs_form_their_own_group(self):
+        jobs = [_wire("a", None), _wire("b", 10.0), _wire("c", None)]
+        groups = _budget_groups(jobs)
+        assert groups == [[1], [0, 2]]
+
+    def test_every_member_within_spread_of_group_min(self):
+        budgets = [1.0, 3.0, 12.0, 50.0, 51.0, 900.0, 1e6]
+        jobs = [_wire(str(i), b) for i, b in enumerate(budgets)]
+        for group in _budget_groups(jobs):
+            lo = min(budgets[i] for i in group)
+            assert all(budgets[i] <= lo * BUDGET_SPREAD for i in group)
+
+
+class TestExecuteBatch:
+    def test_tight_job_does_not_clamp_batchmates(self):
+        router = StubRouter()
+        jobs = [_wire("slow", 5000.0), _wire("urgent", 1.0)]
+        results = execute_batch(router, jobs)
+        deadlines = sorted(d for d, _n in router.calls)
+        assert deadlines == [1.0, 5000.0]  # two dispatches, own budgets
+        assert [r[0] for r in results] == ["slow", "urgent"]
+        assert router.deadline_ms == 7_777.0  # restored
+
+    def test_results_stay_in_request_order_across_groups(self):
+        router = StubRouter()
+        jobs = [
+            _wire("a", 5000.0),
+            _wire("b", 1.0),
+            _wire("c", None),
+            _wire("d", 4000.0),
+        ]
+        results = execute_batch(router, jobs)
+        assert [r[0] for r in results] == ["a", "b", "c", "d"]
+        assert all(ok for _jid, ok, _p, _m, _e in results)
+
+    def test_unbounded_group_keeps_router_default(self):
+        router = StubRouter()
+        execute_batch(router, [_wire("a", None), _wire("b", None)])
+        assert router.calls == [(7_777.0, 2)]
+
+    def test_single_group_single_dispatch(self):
+        router = StubRouter()
+        execute_batch(router, [_wire("a", 800.0), _wire("b", 1000.0)])
+        assert router.calls == [(800.0, 2)]
