@@ -10,11 +10,16 @@ families:
 * **E3-style fanout** — one high-fanout net routed sink-by-sink with
   tree reuse;
 * **PathFinder** — negotiated congestion over a batch of random nets,
-  serial, with partitioned thread workers, and with the process backend
-  (OS workers over the shared-memory graph export); every measured
-  configuration is asserted plan-identical to the serial run, and
-  process rows also report ``speedup_vs_serial`` (wall-clock gain over
-  the serial kernel run on this machine);
+  serial, with partition-tree thread workers, and with the process
+  backend (OS workers over the shared-memory graph export); the
+  ``workers=1`` run is asserted plan-identical to the serial oracle and
+  every process row is asserted bit-identical (plans *and* stats) to
+  the thread backend at the same worker count — across *different*
+  worker counts the partition tree legitimately negotiates along a
+  different trajectory, so only convergence is asserted there.
+  Process/tree rows also report ``speedup_vs_serial`` (wall-clock gain
+  over the serial kernel run on this machine) and the tree's effective
+  leaf concurrency (``workers_effective``);
 * **Batched p2p** — ``route_maze_batch`` lockstepping 64 independent
   point-to-point searches through the vectorized SoA kernel against the
   same 64 searches run one scalar kernel call at a time; reports
@@ -68,6 +73,11 @@ PROCESS_SPEEDUP_FLOOR = 1.5
 #: scalar kernel loop on the 64-request p2p workload — an absolute
 #: same-process ratio, so --check enforces it on any machine
 BATCH_SPEEDUP_FLOOR = 3.0
+
+#: minimum wall-clock speedup the partition-tree scaling row (process
+#: backend, 8 workers) must show over serial — enforced by --check only
+#: on machines with at least 8 CPUs
+TREE_SPEEDUP_FLOOR = 3.0
 
 
 def _canon_nets(device, workloads):
@@ -191,7 +201,13 @@ def measure_fanout(part: str, fanout: int, *, reps: int) -> dict:
 
 
 def measure_pathfinder(
-    part: str, n_nets: int, *, reps: int, workers=(1,), process_workers=()
+    part: str,
+    n_nets: int,
+    *,
+    reps: int,
+    workers=(1,),
+    process_workers=(),
+    tree_workers=(),
 ) -> list[dict]:
     device = Device(part)
     nets = _canon_nets(
@@ -203,9 +219,14 @@ def measure_pathfinder(
         lambda: route_pathfinder_reference(device, nets, apply=False), reps
     )
     serial = None
+    thread_runs: dict[int, object] = {}
     for w in workers:
         res = route_pathfinder(device, nets, apply=False, workers=w)
-        assert res.plans == ref_plans, f"plans diverged at workers={w}"
+        if w == 1:
+            assert res.plans == ref_plans, "workers=1 diverged from serial"
+        else:
+            assert res.converged, f"workers={w} failed to converge"
+        thread_runs[w] = res
         new = _median_time(
             lambda: route_pathfinder(device, nets, apply=False, workers=w), reps
         )
@@ -219,6 +240,7 @@ def measure_pathfinder(
                 "part": part,
                 "nets": n_nets,
                 "workers": w,
+                "workers_effective": res.workers,
                 "backend": "thread",
                 "median_new_s": new,
                 "median_ref_s": ref,
@@ -226,13 +248,21 @@ def measure_pathfinder(
                 "speedup_vs_serial": serial / new if serial else None,
             }
         )
-    for w in process_workers:
+
+    def proc_row(w: int, name: str) -> None:
         # warm run forks the worker pool and attaches the shm graph, so
-        # the measured reps see the cached steady state
+        # the measured reps see the cached steady state; it doubles as
+        # the cross-backend parity oracle at this worker count
         res = route_pathfinder(
             device, nets, apply=False, workers=w, backend="process"
         )
-        assert res.plans == ref_plans, f"plans diverged at process workers={w}"
+        twin = thread_runs.get(w)
+        if twin is None:
+            twin = route_pathfinder(device, nets, apply=False, workers=w)
+            thread_runs[w] = twin
+        assert res.plans == twin.plans and (
+            res.stats.as_dict() == twin.stats.as_dict()
+        ), f"process backend diverged from thread at workers={w}"
         new = _median_time(
             lambda: route_pathfinder(
                 device, nets, apply=False, workers=w, backend="process"
@@ -241,11 +271,12 @@ def measure_pathfinder(
         )
         results.append(
             {
-                "name": f"pathfinder_{n_nets}nets_{part}_proc_w{w}",
+                "name": name,
                 "kind": "pathfinder",
                 "part": part,
                 "nets": n_nets,
                 "workers": w,
+                "workers_effective": res.workers,
                 "backend": "process",
                 "median_new_s": new,
                 "median_ref_s": ref,
@@ -253,6 +284,13 @@ def measure_pathfinder(
                 "speedup_vs_serial": serial / new if serial else None,
             }
         )
+
+    for w in process_workers:
+        proc_row(w, f"pathfinder_{n_nets}nets_{part}_proc_w{w}")
+    for w in tree_workers:
+        # the partition-tree scaling row: same vehicle as proc_w*, named
+        # apart so --check can gate its absolute floor on big hosts
+        proc_row(w, f"pathfinder_{n_nets}nets_{part}_tree_w{w}")
     return results
 
 
@@ -325,6 +363,7 @@ def run(smoke: bool) -> dict:
                 reps=reps,
                 workers=(1, 2, 4),
                 process_workers=(2, 4),
+                tree_workers=(8,),
             )
         )
         workloads.append(measure_batched_p2p("XCV50", 64, reps=reps))
@@ -368,6 +407,22 @@ def check(results: dict, baseline: dict) -> int:
                 print(
                     f"{w['name']:32s} only {gain:.2f}x over serial "
                     f"(floor {PROCESS_SPEEDUP_FLOOR}x on "
+                    f"{results['cpus']}-cpu host) REGRESSED"
+                )
+                failures.append(w["name"])
+    # absolute gate: the partition-tree scaling row must show real gain
+    # on a host wide enough to run its 8 leaves concurrently
+    if (results.get("cpus") or 0) >= 8:
+        for w in results["workloads"]:
+            gain = w.get("speedup_vs_serial")
+            if (
+                "_tree_w" in w.get("name", "")
+                and gain is not None
+                and gain < TREE_SPEEDUP_FLOOR
+            ):
+                print(
+                    f"{w['name']:32s} only {gain:.2f}x over serial "
+                    f"(tree floor {TREE_SPEEDUP_FLOOR}x on "
                     f"{results['cpus']}-cpu host) REGRESSED"
                 )
                 failures.append(w["name"])

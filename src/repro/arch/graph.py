@@ -47,6 +47,7 @@ import threading
 import weakref
 from array import array
 from multiprocessing import shared_memory
+from typing import Sequence
 
 import numpy as np
 
@@ -205,6 +206,7 @@ class RoutingGraph:
         self._lock = threading.Lock()
         self._n_materialized = 0
         self._tiles: tuple[list[int], list[int], list[int]] | None = None
+        self._coords: tuple[np.ndarray, np.ndarray] | None = None
         self._np_cols: tuple[int, tuple] | None = None
         self._min_edge_cost: float | None = None
 
@@ -348,6 +350,42 @@ class RoutingGraph:
             n - arch._gclk_base, dtype=np.int64
         )
         return rows.tolist(), cols.tolist(), names.tolist()
+
+    def coords(self) -> tuple[np.ndarray, np.ndarray]:
+        """Primary-tile ``(rows, cols)`` int64 arrays per canonical wire.
+
+        The vectorised companion of :meth:`tiles` for geometric sweeps
+        (net bounding boxes, spatial partition cuts): one fancy-indexed
+        gather replaces a ``tile_coords`` call per wire.  Derived from
+        the same table as :meth:`tiles`, so the two can never disagree;
+        needs no edge materialization.  Cached per graph.
+        """
+        if self._coords is None:
+            rows, cols, _ = self.tiles()
+            self._coords = (
+                np.asarray(rows, dtype=np.int64),
+                np.asarray(cols, dtype=np.int64),
+            )
+        return self._coords
+
+    def bbox_map(
+        self, wire_groups: Sequence[Sequence[int]]
+    ) -> list[tuple[int, int, int, int]]:
+        """Tile bounding box ``(r0, c0, r1, c1)`` per group of wires.
+
+        The node-range mapping a spatial partitioner cuts against: each
+        group (typically one net's source + sinks) maps to the smallest
+        tile rectangle containing all of its wires.  Groups must be
+        non-empty.
+        """
+        rows, cols = self.coords()
+        out: list[tuple[int, int, int, int]] = []
+        for ws in wire_groups:
+            ids = np.fromiter(ws, dtype=np.int64, count=len(ws))
+            r = rows[ids]
+            c = cols[ids]
+            out.append((int(r.min()), int(c.min()), int(r.max()), int(c.max())))
+        return out
 
     # -- flat numpy views (batched kernel) -----------------------------------
 
@@ -575,6 +613,7 @@ def attach_shared_graph(meta: dict) -> RoutingGraph:
     g._n_materialized = g.n_nodes
     g._tiles = None
     g._np_cols = None
+    g._coords = None
     g._min_edge_cost = None
     g._shm = shm  # keep the mapping alive alongside the views
     return g

@@ -60,6 +60,7 @@ __all__ = [
     "SearchStats",
     "SearchState",
     "BatchSearchState",
+    "CongestionLedger",
     "GLOBAL_STATS",
     "record_global",
     "dijkstra",
@@ -159,6 +160,92 @@ class SearchState:
         self.prev = memoryview(self.backptr)
         self.stamp = memoryview(self.node_epoch)
         self.epoch = 0
+
+
+class CongestionLedger:
+    """Versioned per-partition view of PathFinder's flat congestion tables.
+
+    A parallel negotiated-congestion router gives each worker its own
+    present-use/history tables.  Rebuilding them from scratch (or
+    shipping full snapshots) every iteration costs O(n_nodes) per worker
+    per iteration — device-size work even when almost nothing changed.
+    A ledger instead holds the flat tables *plus a version number*, and
+    advances by applying **sparse absolute deltas**: per iteration, only
+    the wires whose use-count or history actually changed, with their new
+    values.  Absolute values (not increments) make re-application
+    idempotent, so a worker that already holds an intermediate version
+    can safely replay a delta suffix that overlaps what it has.
+
+    Within one iteration a worker layers *revertible overlays* on top of
+    the synced base state (a subtree's fresh wires, a net's rip-up):
+    every mutation appends its inverse to a journal, and
+    :meth:`revert` unwinds the journal so the ledger lands back exactly
+    on its version's state — O(touched), never O(n_nodes).
+
+    Synchronisation is hybrid, per the parallel-router literature:
+    *synchronous* within a partition (a worker sees its own and its
+    descendants' updates immediately via overlays) and *asynchronous*
+    across partitions (peers' changes arrive as the next iteration's
+    delta).  The ledger is used identically by thread workers (synced
+    in-memory) and process workers (deltas arrive pickled), which is what
+    keeps the two backends bit-identical.
+    """
+
+    __slots__ = ("counts", "history", "version")
+
+    def __init__(self, n_nodes: int) -> None:
+        #: present-use count per canonical wire (version-consistent base)
+        self.counts: list[int] = [0] * n_nodes
+        #: accumulated history cost per canonical wire
+        self.history: list[float] = [0.0] * n_nodes
+        #: index of the last applied delta (0 == pristine tables)
+        self.version = 0
+
+    def sync(
+        self,
+        deltas: Sequence[tuple[dict[int, int], dict[int, float]]],
+        base_version: int,
+        target_version: int,
+    ) -> None:
+        """Advance to ``target_version`` by replaying absolute deltas.
+
+        ``deltas[i]`` is the ``(counts, history)`` assignment dict pair
+        moving version ``base_version + i`` to ``base_version + i + 1``.
+        The ledger's own version may sit anywhere in
+        ``[base_version, target_version]``; already-applied entries are
+        replayed harmlessly because assignments are absolute.
+        """
+        if self.version >= target_version:
+            return
+        if self.version < base_version:
+            raise ValueError(
+                f"ledger at version {self.version} cannot sync from "
+                f"base {base_version}"
+            )
+        counts = self.counts
+        history = self.history
+        for counts_d, history_d in deltas[: target_version - base_version]:
+            for w, c in counts_d.items():
+                counts[w] = c
+            for w, h in history_d.items():
+                history[w] = h
+        self.version = target_version
+
+    def overlay(
+        self, updates: Iterable[tuple[int, int]], journal: list[tuple[int, int]]
+    ) -> None:
+        """Apply sparse count adjustments, journaling their inverses."""
+        counts = self.counts
+        for w, d in updates:
+            counts[w] += d
+            journal.append((w, -d))
+
+    def revert(self, journal: list[tuple[int, int]]) -> None:
+        """Unwind a journal of inverse adjustments (newest first)."""
+        counts = self.counts
+        while journal:
+            w, d = journal.pop()
+            counts[w] += d
 
 
 class BatchSearchState:

@@ -17,7 +17,13 @@ from .base import PlanPip, apply_plan, plan_cost, plan_wirelength
 from .bus import BusResult, route_bus
 from .greedy_fanout import FanoutResult, route_fanout
 from .maze import MazeBatchResult, MazeResult, route_maze, route_maze_batch
-from .pathfinder import NetSpec, PathFinderResult, route_pathfinder
+from .pathfinder import (
+    NetSpec,
+    PartitionNode,
+    PathFinderResult,
+    build_partition_tree,
+    route_pathfinder,
+)
 from .template_router import route_template
 from .template_sets import predefined_templates
 
@@ -39,7 +45,9 @@ __all__ = [
     "route_maze",
     "route_maze_batch",
     "NetSpec",
+    "PartitionNode",
     "PathFinderResult",
+    "build_partition_tree",
     "route_pathfinder",
     "route_template",
     "predefined_templates",

@@ -10,13 +10,29 @@ and history-congestion costs are escalated until no wire is shared.
 
 Per-sink searches run on the shared compiled-graph kernel
 (:mod:`repro.core.kernel`) with flat present/history cost tables.  With
-``workers > 1`` the per-iteration net loop is parallelized in the style
-of the parallel-router literature (Zang et al., *An Open-Source Fast
-Parallel Routing Approach for Commercial FPGAs*): nets are spatially
-partitioned by bounding-box centre, partitions are routed concurrently
-against a snapshot of the congestion state (each worker owning a private
-use-count overlay and search state), and cross-partition conflicts are
-resolved by the ordinary negotiation loop.
+``workers > 1`` the per-iteration net loop is parallelized with the
+recursive spatial bipartition scheme of the parallel-router literature
+(Zang et al., *An Open-Source Fast Parallel Routing Approach for
+Commercial FPGAs*):
+
+* a **partition tree** is built over the nets' bounding boxes
+  (:func:`build_partition_tree`): the region is alternately split at a
+  work-balanced median of bbox centers, nets whose bbox crosses the cut
+  line land on the internal (cut) node, the rest recurse into the two
+  sides.  Cut choice balances *estimated work* (bbox area × fanout),
+  not net count, so one stripe full of high-fanout nets can no longer
+  stall the rest of the pool;
+* per iteration the tree is executed **bottom-up**: leaf partitions
+  route concurrently, and a cut node routes only after its children so
+  its boundary-crossing nets price against the subtree's fresh wires
+  (synchronous updates within a subtree).  Disjoint subtrees never
+  wait for each other — conflicts across them are resolved by the next
+  negotiation iteration (asynchronous updates across partitions);
+* congestion state is held in versioned
+  :class:`~repro.core.kernel.CongestionLedger` tables advanced by
+  **sparse absolute deltas** — only the wires whose use-count or
+  history changed last iteration — instead of per-iteration full
+  snapshots.
 
 Two execution backends share that exact decomposition:
 
@@ -27,19 +43,21 @@ Two execution backends share that exact decomposition:
   :class:`~concurrent.futures.ProcessPoolExecutor`.  The compiled CSR
   graph is exported once per part into POSIX shared memory
   (:func:`repro.arch.graph.shared_graph_export`) and attached zero-copy
-  by each worker, so neither fork nor spawn recompiles or copies the
-  adjacency.  Each iteration ships only the sparse congestion snapshot
-  (present counts, history, the group's previous wires) and receives
-  plans/wires/stats back, merged deterministically in group order at the
-  iteration barrier.  Worker pools are cached per ``(part, workers)``
-  and reused across calls; they are shut down at interpreter exit (or
-  via :func:`shutdown_process_pools`).
+  by each worker.  The call-static configuration (blocked bitmap,
+  endpoint set, name filter) is shipped **once per worker** and cached
+  under the call's graph-derived token; per-iteration tasks then carry
+  only the sparse congestion deltas, the node's nets/overlay and the
+  scalar knobs, so bytes shipped per iteration scale with the *change*,
+  not with the device.  Per-iteration IPC payload sizes are reported in
+  :attr:`PathFinderResult.ipc_bytes`.
 
 For any fixed ``workers`` the result is deterministic and **identical
-across backends**: a worker group is a pure function of the
-iteration-start congestion state, so thread and process executions of
-the same groups produce bit-identical plans, costs and
-:class:`~repro.core.kernel.SearchStats`.
+across backends**: a partition-tree node is a pure function of the
+iteration-start congestion state plus its descendants' results, so
+thread and process executions produce bit-identical plans, costs and
+:class:`~repro.core.kernel.SearchStats`.  ``workers=1`` bypasses the
+tree entirely and reproduces the serial algorithm exactly (the
+bit-identical parity oracle against ``routers._reference``).
 
 It serves as the quality/time baseline for experiment E8: slower than
 JRoute's greedy one-shot calls, but able to resolve congestion that
@@ -49,10 +67,21 @@ defeats greedy ordering.
 from __future__ import annotations
 
 import atexit
+import itertools
+import os
+import pickle
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from collections import OrderedDict
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from queue import SimpleQueue
 from typing import Mapping, Sequence
 
 from .. import errors
@@ -60,6 +89,7 @@ from ..arch.graph import attach_shared_graph, shared_graph_export
 from ..arch.virtex import VirtexArch
 from ..core.deadline import Deadline
 from ..core.kernel import (
+    CongestionLedger,
     SearchState,
     SearchStats,
     dijkstra,
@@ -72,7 +102,9 @@ from .maze import _name_block_table
 
 __all__ = [
     "NetSpec",
+    "PartitionNode",
     "PathFinderResult",
+    "build_partition_tree",
     "route_pathfinder",
     "shutdown_process_pools",
 ]
@@ -103,43 +135,137 @@ class PathFinderResult:
     pips_added: int = 0
     #: unified search instrumentation across all iterations and workers
     stats: SearchStats = field(default_factory=SearchStats)
-    #: concurrency the run was executed with
+    #: *effective* concurrency: the number of partition-tree leaves the
+    #: run actually routed concurrently.  May be lower than the
+    #: requested ``workers`` when the workload cannot be split that
+    #: finely (few nets, or nets stacked on one tile) — never silently.
     workers: int = 1
     #: execution backend the run was executed with
     backend: str = "thread"
     #: the run was abandoned because its deadline expired (nothing applied)
     timed_out: bool = False
+    #: process backend only: pickled task-payload bytes shipped to the
+    #: worker pool, one total per iteration.  After the warm-up
+    #: iterations (which ship each worker its one-time config) these
+    #: scale with the sparse congestion delta, not with the device.
+    ipc_bytes: list[int] = field(default_factory=list)
 
 
-def _partition(
-    device: Device, nets: Sequence[NetSpec], workers: int
-) -> list[list[int]]:
-    """Spatially partition net indices into ``workers`` stripes.
+# -- recursive spatial bipartition tree ---------------------------------------
 
-    Nets are sorted by bounding-box centre (column-major, so stripes are
-    vertical slices of the chip) and split into contiguous, balanced
-    groups.  Deterministic for a fixed net list and worker count.
+
+@dataclass(slots=True)
+class PartitionNode:
+    """One node of the spatial bipartition tree over net bounding boxes.
+
+    Internal nodes carry the *cut nets* — nets whose bounding box
+    crosses the node's cut line — and exactly two children; leaves carry
+    every net of their region.  ``index`` is the node's preorder
+    position, the deterministic order used for stats merging and
+    failure selection.
     """
-    tile_coords = device.arch.tile_coords
-    centers: list[tuple[float, float, int]] = []
-    for i, net in enumerate(nets):
-        pts = [tile_coords(net.source)]
-        pts.extend(tile_coords(s) for s in net.sinks)
-        rows = [p[0] for p in pts]
-        cols = [p[1] for p in pts]
-        centers.append(
-            ((min(cols) + max(cols)) / 2.0, (min(rows) + max(rows)) / 2.0, i)
-        )
-    centers.sort()
-    k = max(1, min(workers, len(centers)))
-    groups: list[list[int]] = []
-    base, extra = divmod(len(centers), k)
-    pos = 0
-    for gi in range(k):
-        size = base + (1 if gi < extra else 0)
-        groups.append(sorted(i for _, _, i in centers[pos : pos + size]))
-        pos += size
-    return [g for g in groups if g]
+
+    index: int
+    nets: tuple[int, ...] = ()
+    children: tuple["PartitionNode", ...] = ()
+    #: cut axis: 0 = rows, 1 = columns (-1 for leaves)
+    axis: int = -1
+    #: cut coordinate along :attr:`axis`
+    cut: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+def _net_work(bbox: tuple[int, int, int, int], net: NetSpec) -> float:
+    """Estimated routing work of one net: bbox area × fanout.
+
+    The balancing weight for tree cuts — a proxy for search effort that
+    keeps a few 64-sink nets from landing in one partition while the
+    others idle (the failure mode of count-balanced stripes).
+    """
+    r0, c0, r1, c1 = bbox
+    return float((r1 - r0 + 1) * (c1 - c0 + 1) * max(1, len(net.sinks)))
+
+
+def build_partition_tree(
+    device: Device, nets: Sequence[NetSpec], workers: int
+) -> tuple[PartitionNode, list[PartitionNode], int]:
+    """Build the recursive bipartition tree over net bounding boxes.
+
+    The region is split at a work-balanced median of bbox centers along
+    alternating axes (columns first, then rows, …): nets entirely on one
+    side of the cut recurse into that child, nets whose bbox crosses the
+    cut line stay on the internal node and are routed *after* both
+    children.  Splitting stops when the leaf budget (``workers``) is
+    exhausted, a region holds fewer than two nets, or no cut separates
+    anything along either axis (degenerate stacks).  Deterministic for a
+    fixed net list and worker count.
+
+    Returns ``(root, preorder, n_leaves)`` — ``preorder`` lists every
+    node in preorder (``preorder[i].index == i``) and ``n_leaves`` is
+    the tree's effective concurrency.
+    """
+    graph = device.routing_graph()
+    bboxes = graph.bbox_map([(net.source, *net.sinks) for net in nets])
+    works = [_net_work(bbox, net) for bbox, net in zip(bboxes, nets)]
+    centers = [
+        ((r0 + r1) / 2.0, (c0 + c1) / 2.0) for r0, c0, r1, c1 in bboxes
+    ]
+
+    def axis_cut(idxs: list[int], axis: int) -> float | None:
+        """Work-balanced cut between two distinct center values."""
+        pairs = sorted((centers[i][axis], works[i]) for i in idxs)
+        total = sum(w for _, w in pairs)
+        best: tuple[float, float] | None = None
+        acc = 0.0
+        for pos in range(len(pairs) - 1):
+            acc += pairs[pos][1]
+            lo, hi = pairs[pos][0], pairs[pos + 1][0]
+            if hi > lo:
+                imbalance = abs(total - 2.0 * acc)
+                if best is None or imbalance < best[0]:
+                    best = (imbalance, (lo + hi) / 2.0)
+        return None if best is None else best[1]
+
+    nodes: list[PartitionNode] = []
+
+    def split(idxs: list[int], budget: int, axis0: int) -> PartitionNode:
+        node = PartitionNode(index=len(nodes))
+        nodes.append(node)
+        if budget > 1 and len(idxs) > 1:
+            for axis in (axis0, 1 - axis0):
+                cut = axis_cut(idxs, axis)
+                if cut is None:
+                    continue
+                left = [i for i in idxs if bboxes[i][axis + 2] < cut]
+                right = [i for i in idxs if bboxes[i][axis] > cut]
+                if not left or not right:
+                    continue
+                crossing = tuple(
+                    i
+                    for i in idxs
+                    if not (bboxes[i][axis + 2] < cut or bboxes[i][axis] > cut)
+                )
+                wl = sum(works[i] for i in left)
+                wr = sum(works[i] for i in right)
+                bl = int(round(budget * wl / (wl + wr))) if wl + wr else 1
+                bl = max(1, min(budget - 1, bl))
+                node.axis = axis
+                node.cut = cut
+                node.nets = crossing
+                node.children = (
+                    split(left, bl, 1 - axis),
+                    split(right, budget - bl, 1 - axis),
+                )
+                return node
+        node.nets = tuple(idxs)
+        return node
+
+    root = split(sorted(range(len(nets))), max(1, workers), 1)
+    n_leaves = sum(1 for n in nodes if n.is_leaf)
+    return root, nodes, n_leaves
 
 
 class _NetRouter:
@@ -258,121 +384,275 @@ class _NetRouter:
         state: SearchState,
         pf: float,
         stats: SearchStats,
+        journal: list[tuple[int, int]] | None = None,
     ) -> dict[int, tuple[list[PlanPip], set[int]]]:
-        """Route one partition against a private use-count overlay.
+        """Route one partition against a present-use table.
 
-        ``counts`` is this worker's snapshot of the iteration-start
-        present-use table (it may be mutated freely); ``old_wires`` maps
-        each net index to the wires it used in the previous iteration.
-        Nets are processed in ascending index order: within a group,
-        later nets see earlier group-mates' fresh wires — exactly the
-        serial semantics when the group is the whole net list.
+        ``counts`` is the iteration-start present-use table (plus any
+        subtree overlay); ``old_wires`` maps each net index to the wires
+        it used in the previous iteration.  Nets are processed in
+        ascending index order: within a group, later nets see earlier
+        group-mates' fresh wires — exactly the serial semantics when the
+        group is the whole net list.  When ``journal`` is given, every
+        count mutation appends its inverse so the caller can revert the
+        table to its pre-call state (partition workers reuse one ledger
+        across tasks); serial callers pass a throwaway copy instead.
         """
         out: dict[int, tuple[list[PlanPip], set[int]]] = {}
         for idx in group:
             for w in old_wires[idx]:
                 counts[w] -= 1
+                if journal is not None:
+                    journal.append((w, 1))
             plan, wires = self.route_net(idx, nets[idx], counts, state, pf, stats)
             out[idx] = (plan, wires)
             for w in wires:
                 counts[w] += 1
+                if journal is not None:
+                    journal.append((w, -1))
         return out
 
 
-def _thread_group_task(
+# -- thread backend -----------------------------------------------------------
+#
+# Worker contexts (search state + congestion ledger) live in a queue;
+# any pool thread executing a node task borrows one, syncs its ledger to
+# the iteration-start version from the in-memory delta log, applies the
+# node's subtree overlay, routes, and reverts.  Contexts outnumber
+# concurrently-runnable nodes (at most one per tree leaf), so the
+# borrow never blocks.
+
+
+class _ThreadWorkerContext:
+    __slots__ = ("state", "ledger")
+
+    def __init__(self, n_nodes: int) -> None:
+        self.state = SearchState(n_nodes)
+        self.ledger = CongestionLedger(n_nodes)
+
+
+def _thread_node_task(
     ctx: _NetRouter,
+    contexts: "SimpleQueue[_ThreadWorkerContext]",
+    delta_log: Sequence[tuple[dict[int, int], dict[int, float]]],
+    v_target: int,
     group: Sequence[int],
     nets: Sequence[NetSpec],
     old_wires: Sequence[set[int]],
-    use_count: list[int],
-    state: SearchState,
+    overlay: Sequence[tuple[int, int]],
     pf: float,
-) -> tuple[dict[int, tuple[list[PlanPip], set[int]]], SearchStats]:
-    counts = list(use_count)
-    stats = SearchStats()
-    out = ctx.route_group(group, nets, old_wires, counts, state, pf, stats)
-    return out, stats
+) -> tuple:
+    wctx = contexts.get()
+    try:
+        ledger = wctx.ledger
+        ledger.sync(delta_log, 0, v_target)
+        router = _NetRouter(
+            ctx.graph,
+            ctx.arch,
+            ctx.blocked,
+            ctx.endpoint_ok,
+            ctx.name_blocked,
+            ledger.history,
+            ctx.max_nodes,
+            ctx.deadline,
+        )
+        stats = SearchStats()
+        journal: list[tuple[int, int]] = []
+        try:
+            ledger.overlay(overlay, journal)
+            out = router.route_group(
+                group, nets, old_wires, ledger.counts, wctx.state, pf, stats,
+                journal,
+            )
+        except errors.DeadlineExceededError as e:
+            return ("deadline", e.message, stats)
+        except errors.UnroutableError as e:
+            return ("unroutable", e.message, stats)
+        finally:
+            ledger.revert(journal)
+        return ("ok", out, stats)
+    finally:
+        contexts.put(wctx)
 
 
 # -- process backend ----------------------------------------------------------
 #
 # Worker processes hold the attached shared-memory graph, the (cached)
-# architecture and one preallocated SearchState plus zeroed flat
-# congestion tables in module globals; tasks are otherwise stateless, so
-# it does not matter which worker executes which group.
+# architecture and one preallocated SearchState in module globals, plus
+# an LRU of per-call congestion ledgers keyed by the parent's call
+# token.  A task carries the token, a sparse delta suffix and (until
+# every worker has been seen once) the call-static config; everything
+# else about the worker is stateless, so it does not matter which
+# worker executes which partition node.
 
 _W_GRAPH = None
 _W_ARCH = None
 _W_STATE = None
-_W_COUNTS: list[int] = []
-_W_HISTORY: list[float] = []
-_W_ZERO_I: list[int] = []
-_W_ZERO_F: list[float] = []
+#: per-call worker state: call token -> (ledger, config); bounded LRU
+_W_CALLS: "OrderedDict[tuple, _WorkerCall]" = OrderedDict()
+_W_CALL_CAP = 4
+
+
+class _WorkerCall:
+    __slots__ = ("ledger", "config")
+
+    def __init__(self, ledger: CongestionLedger, config: tuple) -> None:
+        self.ledger = ledger
+        self.config = config
 
 
 def _process_worker_init(meta: dict, part: str) -> None:
     """Pool initializer: attach the shared graph, preallocate state."""
-    global _W_GRAPH, _W_ARCH, _W_STATE, _W_COUNTS, _W_HISTORY
-    global _W_ZERO_I, _W_ZERO_F
+    global _W_GRAPH, _W_ARCH, _W_STATE
     _W_GRAPH = attach_shared_graph(meta)
     _W_ARCH = VirtexArch(part)
-    n = _W_GRAPH.n_nodes
-    _W_STATE = SearchState(n)
-    _W_COUNTS = [0] * n
-    _W_HISTORY = [0.0] * n
-    _W_ZERO_I = [0] * n
-    _W_ZERO_F = [0.0] * n
+    _W_STATE = SearchState(_W_GRAPH.n_nodes)
 
 
-def _process_group_task(
-    config: tuple,
+def _process_node_task(
+    token: tuple,
+    v_from: int,
+    v_target: int,
+    config: tuple | None,
+    deltas: Sequence[tuple[dict[int, int], dict[int, float]]],
     group: Sequence[int],
     group_nets: Mapping[int, tuple[int, tuple[int, ...]]],
     old_wires: Mapping[int, tuple[int, ...]],
-    counts_sparse: Mapping[int, int],
-    history_sparse: Mapping[int, float],
+    overlay: Sequence[tuple[int, int]],
     pf: float,
     deadline_ms: float | None,
 ) -> tuple:
-    """Route one partition inside a worker process.
+    """Route one partition node inside a worker process.
 
-    Returns ``("ok", {idx: (plan, wires)}, stats_tuple)`` or an error
-    marker ``("unroutable" | "deadline", message, stats_tuple)`` — the
-    parent re-raises the matching exception with the identical message,
-    so failure behaviour is indistinguishable from the thread backend.
+    Returns ``("ok", {idx: (plan, wires)}, stats_dict, pid)`` or an
+    error marker ``("unroutable" | "deadline", message, stats_dict,
+    pid)`` — the parent re-raises the matching exception with the
+    identical message, so failure behaviour is indistinguishable from
+    the thread backend.  ``("stale", pid)`` asks the parent to resend
+    with the full delta history and config (a worker this call has not
+    seen yet received a suffix-only payload); results never depend on
+    which path delivered the state.
     """
-    blocked, endpoint_ok, name_blocked, max_nodes = config
-    counts = _W_COUNTS
-    counts[:] = _W_ZERO_I
-    for w, c in counts_sparse.items():
-        counts[w] = c
-    history = _W_HISTORY
-    history[:] = _W_ZERO_F
-    for w, h in history_sparse.items():
-        history[w] = h
+    cs = _W_CALLS.get(token)
+    if cs is None:
+        if config is None or v_from != 0:
+            return ("stale", os.getpid())
+        cs = _WorkerCall(CongestionLedger(_W_GRAPH.n_nodes), config)
+        # single-threaded pool worker: this process runs one task at a
+        # time, so the call cache needs no lock
+        _W_CALLS[token] = cs  # repro: noqa RPR002
+        while len(_W_CALLS) > _W_CALL_CAP:
+            _W_CALLS.popitem(last=False)  # repro: noqa RPR002
+    else:
+        _W_CALLS.move_to_end(token)
+        if cs.ledger.version < v_from:
+            return ("stale", os.getpid())
+    ledger = cs.ledger
+    ledger.sync(deltas, v_from, v_target)
+    blocked, endpoint_ok, name_blocked, max_nodes = cs.config
     nets = {i: NetSpec.of(s, sk) for i, (s, sk) in group_nets.items()}
-    ctx = _NetRouter(
+    router = _NetRouter(
         _W_GRAPH,
         _W_ARCH,
         blocked,
         endpoint_ok,
         name_blocked,
-        history,
+        ledger.history,
         max_nodes,
         Deadline.after_ms(deadline_ms),
     )
     stats = SearchStats()
+    journal: list[tuple[int, int]] = []
     try:
-        out = ctx.route_group(group, nets, old_wires, counts, _W_STATE, pf, stats)
+        ledger.overlay(overlay, journal)
+        out = router.route_group(
+            group, nets, old_wires, ledger.counts, _W_STATE, pf, stats, journal
+        )
     except errors.DeadlineExceededError as e:
-        return ("deadline", e.message, stats.as_dict())
+        return ("deadline", e.message, stats.as_dict(), os.getpid())
     except errors.UnroutableError as e:
-        return ("unroutable", e.message, stats.as_dict())
+        return ("unroutable", e.message, stats.as_dict(), os.getpid())
+    finally:
+        ledger.revert(journal)
     return (
         "ok",
         {idx: (plan, tuple(wires)) for idx, (plan, wires) in out.items()},
         stats.as_dict(),
+        os.getpid(),
     )
+
+
+#: Monotonic call-token counter; with the graph token it names one
+#: routing call's worker-side congestion state uniquely process-wide.
+_CALL_SEQ = itertools.count()
+
+
+class _DeltaShipper:
+    """Parent-side sparse-delta shipping for one process-backend call.
+
+    Tracks which worker pids have been seen (and at which congestion
+    version) so per-iteration payloads carry only the delta suffix the
+    stalest pool member might need.  Until every pool worker has
+    reported in, payloads conservatively include the full history and
+    the call-static config — after that, a task ships config-free and
+    delta-only.  Also meters the pickled payload size per iteration
+    (:attr:`ipc_bytes`), the quantity the regression tests pin against
+    device-size shipping.
+    """
+
+    __slots__ = (
+        "token", "config", "delta_log", "pid_versions", "pool_size",
+        "ipc_bytes",
+    )
+
+    def __init__(
+        self,
+        token: tuple,
+        config: tuple,
+        delta_log: list,
+        pool_size: int,
+    ) -> None:
+        self.token = token
+        self.config = config
+        self.delta_log = delta_log
+        self.pid_versions: dict[int, int] = {}
+        self.pool_size = pool_size
+        self.ipc_bytes: list[int] = []
+
+    def payload(
+        self,
+        v_target: int,
+        group,
+        group_nets,
+        old_wires,
+        overlay,
+        pf: float,
+        deadline_ms: float | None,
+        *,
+        full: bool = False,
+    ) -> tuple:
+        if full or len(self.pid_versions) < self.pool_size:
+            v_from, config = 0, self.config
+        else:
+            v_from, config = min(self.pid_versions.values()), None
+        args = (
+            self.token,
+            v_from,
+            v_target,
+            config,
+            self.delta_log[v_from:v_target],
+            group,
+            group_nets,
+            old_wires,
+            overlay,
+            pf,
+            deadline_ms,
+        )
+        self.ipc_bytes[-1] += len(pickle.dumps(args, pickle.HIGHEST_PROTOCOL))
+        return args
+
+    def seen(self, pid: int, version: int) -> None:
+        self.pid_versions[pid] = version
 
 
 #: Cached worker pools, keyed by (part name, worker count).  Reused
@@ -439,19 +719,24 @@ def route_pathfinder(
     at all, and reports ``converged=False`` when sharing remains after
     ``max_iterations`` (in which case nothing is applied).
 
-    ``workers > 1`` routes spatial partitions of the net list
-    concurrently per iteration; ``backend`` selects the execution vehicle
-    (``"thread"`` or ``"process"``, see the module docstring).  For a
-    fixed worker count, plans, costs and stats are identical across
-    backends; ``workers=1`` reproduces the serial algorithm exactly
-    (plan-identical to the pre-kernel implementation) on either backend.
+    ``workers > 1`` routes the leaves of a recursive spatial partition
+    tree concurrently per iteration, with cut nodes following their
+    children (see the module docstring); ``backend`` selects the
+    execution vehicle (``"thread"`` or ``"process"``).  For a fixed
+    worker count, plans, costs and stats are identical across backends;
+    the *effective* concurrency (tree leaves) is reported in
+    :attr:`PathFinderResult.workers` and may be lower than requested
+    when the workload cannot be split that finely.  ``workers=1``
+    reproduces the serial algorithm exactly (plan-identical to the
+    pre-kernel implementation) on either backend.
 
     A ``deadline`` bounds the whole negotiation: when it expires the run
-    is abandoned mid-iteration, nothing is applied, and the result comes
-    back with ``converged=False, timed_out=True`` (no exception escapes).
-    For the process backend the remaining budget is re-shipped to the
-    workers at each iteration (explicit ``cancel()`` trips are honoured
-    at iteration barriers only).
+    is abandoned mid-iteration (mid-subtree included: unfinished
+    partition nodes are simply never scheduled), nothing is applied,
+    and the result comes back with ``converged=False, timed_out=True``
+    (no exception escapes).  For the process backend the remaining
+    budget is re-shipped to the workers at each iteration (explicit
+    ``cancel()`` trips are honoured at iteration boundaries only).
     """
     if backend not in BACKENDS:
         raise ValueError(
@@ -469,8 +754,6 @@ def route_pathfinder(
     name_blocked = _name_block_table(use_longs, frozenset())
 
     history: list[float] = [0.0] * n_nodes
-    #: sparse mirror of ``history`` (what the process backend ships)
-    history_sparse: dict[int, float] = {}
     #: wire -> set of net indices using it in the current solution
     usage: dict[int, set[int]] = {}
     #: use_count[w] == len(usage[w]); flat table for the kernel cost
@@ -480,6 +763,9 @@ def route_pathfinder(
     plans: list[list[PlanPip]] = [[] for _ in nets]
     present_factor = present_factor_init
     stats = SearchStats()
+    #: sparse absolute congestion deltas, one entry per finished
+    #: iteration (the hybrid-update log both backends sync from)
+    delta_log: list[tuple[dict[int, int], dict[int, float]]] = []
 
     ctx = _NetRouter(
         graph,
@@ -492,46 +778,182 @@ def route_pathfinder(
         deadline,
     )
 
-    def rebuild_usage() -> None:
-        usage.clear()
-        for w, c in enumerate(use_count):
-            if c:
-                use_count[w] = 0
-        for idx, wset in enumerate(net_wires):
-            for w in wset:
-                usage.setdefault(w, set()).add(idx)
-        for w, users in usage.items():
-            use_count[w] = len(users)
-
     n_workers = max(1, min(workers, len(nets))) if nets else 1
-    groups = (
-        _partition(device, nets, n_workers)
-        if n_workers > 1
-        else [list(range(len(nets)))]
-    )
-
-    def merge_group(out: Mapping[int, tuple[list[PlanPip], Sequence[int]]]) -> None:
-        for idx, (plan, wires) in out.items():
-            plans[idx] = plan
-            net_wires[idx] = set(wires)
+    tree_nodes: list[PartitionNode] | None = None
+    if n_workers > 1:
+        _root, tree_nodes, n_leaves = build_partition_tree(
+            device, nets, n_workers
+        )
+        if n_leaves <= 1:
+            n_workers = 1  # degenerate geometry: serial is the tree
+            tree_nodes = None
+        else:
+            n_workers = n_leaves
 
     pool = None
-    proc_config = None
+    shipper: _DeltaShipper | None = None
     if n_workers > 1:
         if backend == "thread":
             # one pool per routing call (not per iteration)
             pool = ThreadPoolExecutor(max_workers=n_workers)
-            worker_states = [SearchState(n_nodes) for _ in range(n_workers)]
+            contexts: "SimpleQueue[_ThreadWorkerContext]" = SimpleQueue()
+            for _ in range(n_workers):
+                contexts.put(_ThreadWorkerContext(n_nodes))
         else:
             pool = _process_pool(arch, n_workers)
-            proc_config = (
-                blocked.tobytes(),
-                frozenset(endpoint_ok),
-                name_blocked,
-                max_nodes_per_net,
+            shipper = _DeltaShipper(
+                token=(graph.token, next(_CALL_SEQ)),
+                config=(
+                    blocked.tobytes(),
+                    frozenset(endpoint_ok),
+                    name_blocked,
+                    max_nodes_per_net,
+                ),
+                delta_log=delta_log,
+                pool_size=n_workers,
             )
     else:
         serial_state = device.search_state()
+
+    def run_tree(v_target: int, remaining_ms: float | None) -> dict:
+        """Execute one iteration's partition tree on the worker pool.
+
+        Leaves launch immediately; an internal node launches once both
+        children finished cleanly, with an overlay replaying its
+        subtree's rip-ups and fresh wires on the iteration-start state.
+        Results, stats and failures are folded in deterministic preorder
+        regardless of completion timing, so a fixed worker count gives
+        bit-identical outcomes on either backend.
+        """
+        assert tree_nodes is not None
+        parent_of: dict[int, PartitionNode] = {}
+        pending: dict[int, int] = {}
+        for node in tree_nodes:
+            pending[node.index] = len(node.children)
+            for child in node.children:
+                parent_of[child.index] = node
+        merged: dict[int, tuple[list[PlanPip], set[int]]] = {}
+        node_stats: dict[int, SearchStats] = {}
+        failures: dict[int, tuple[str, str, SearchStats]] = {}
+        child_failed: set[int] = set()
+        #: per completed node: net-count deltas of its whole subtree
+        updates: dict[int, dict[int, int]] = {}
+        futs: dict[Future, PartitionNode] = {}
+        payloads: dict[int, tuple] = {}  # node payload params, for resends
+        ready: list[PartitionNode] = [n for n in tree_nodes if n.is_leaf]
+
+        def overlay_of(node: PartitionNode) -> list[tuple[int, int]]:
+            ov: dict[int, int] = {}
+            for child in node.children:
+                for w, d in updates[child.index].items():
+                    ov[w] = ov.get(w, 0) + d
+            return sorted((w, d) for w, d in ov.items() if d)
+
+        def submit(node: PartitionNode, overlay) -> Future:
+            group = list(node.nets)
+            if backend == "thread":
+                return pool.submit(
+                    _thread_node_task,
+                    ctx,
+                    contexts,
+                    delta_log,
+                    v_target,
+                    group,
+                    nets,
+                    net_wires,
+                    overlay,
+                    present_factor,
+                )
+            params = (
+                group,
+                {idx: (nets[idx].source, nets[idx].sinks) for idx in group},
+                {idx: tuple(net_wires[idx]) for idx in group},
+                overlay,
+                present_factor,
+                remaining_ms,
+            )
+            payloads[node.index] = params
+            return pool.submit(
+                _process_node_task, *shipper.payload(v_target, *params)
+            )
+
+        def decode(node: PartitionNode, fut: Future) -> tuple:
+            try:
+                raw = fut.result()
+            except BrokenProcessPool:
+                _drop_pool(arch, n_workers)
+                raise
+            if backend == "thread":
+                return raw
+            if raw[0] == "stale":
+                # an unseen worker got a suffix-only payload: resend the
+                # same node with the full log and config (result is the
+                # same either way; only the shipping path differs)
+                raw = pool.submit(
+                    _process_node_task,
+                    *shipper.payload(v_target, *payloads[node.index], full=True),
+                ).result()
+            kind, payload, stats_dict, pid = raw
+            shipper.seen(pid, v_target)
+            if kind == "ok":
+                payload = {
+                    idx: (plan, set(wires)) for idx, (plan, wires) in payload.items()
+                }
+            return (kind, payload, SearchStats(**stats_dict))
+
+        def complete(node: PartitionNode, out: dict, nstats: SearchStats) -> None:
+            upd: dict[int, int] = {}
+            for child in node.children:
+                for w, d in updates.pop(child.index).items():
+                    upd[w] = upd.get(w, 0) + d
+            for idx, (_plan, wires) in out.items():
+                for w in net_wires[idx]:
+                    upd[w] = upd.get(w, 0) - 1
+                for w in wires:
+                    upd[w] = upd.get(w, 0) + 1
+            updates[node.index] = upd
+            merged.update(out)
+            node_stats[node.index] = nstats
+            parent = parent_of.get(node.index)
+            if parent is not None:
+                pending[parent.index] -= 1
+                if pending[parent.index] == 0 and parent.index not in child_failed:
+                    ready.append(parent)
+
+        while True:
+            while ready:
+                node = ready.pop(0)
+                if not node.nets:
+                    complete(node, {}, SearchStats())
+                    continue
+                futs[submit(node, overlay_of(node))] = node
+            if not futs:
+                break
+            done, _ = wait(list(futs), return_when=FIRST_COMPLETED)
+            for fut in sorted(done, key=lambda f: futs[f].index):
+                node = futs.pop(fut)
+                kind, payload, nstats = decode(node, fut)
+                if kind == "ok":
+                    complete(node, payload, nstats)
+                else:
+                    failures[node.index] = (kind, payload, nstats)
+                    node_stats[node.index] = nstats
+                    parent = parent_of.get(node.index)
+                    while parent is not None:  # no ancestor may launch
+                        child_failed.add(parent.index)
+                        parent = parent_of.get(parent.index)
+
+        for i in sorted(node_stats):
+            stats.merge(node_stats[i])
+        if failures:
+            kind, message, fstats = failures[min(failures)]
+            exc = (
+                errors.DeadlineExceededError
+                if kind == "deadline"
+                else errors.UnroutableError
+            )
+            raise exc(message, search_stats=fstats)
+        return merged
 
     converged = False
     timed_out = False
@@ -541,104 +963,72 @@ def route_pathfinder(
             try:
                 if n_workers == 1:
                     counts = list(use_count)
-                    merge_group(
-                        ctx.route_group(
-                            groups[0],
-                            nets,
-                            net_wires,
-                            counts,
-                            serial_state,
-                            present_factor,
-                            stats,
-                        )
+                    merged = ctx.route_group(
+                        list(range(len(nets))),
+                        nets,
+                        net_wires,
+                        counts,
+                        serial_state,
+                        present_factor,
+                        stats,
                     )
-                elif backend == "thread":
-                    futures = [
-                        pool.submit(
-                            _thread_group_task,
-                            ctx,
-                            group,
-                            nets,
-                            net_wires,
-                            use_count,
-                            worker_states[gi],
-                            present_factor,
-                        )
-                        for gi, group in enumerate(groups)
-                    ]
-                    for fut in futures:
-                        try:
-                            out, group_stats = fut.result()
-                        except errors.RoutingFailure as e:
-                            st = e.search_stats
-                            if st is not None and st is not stats:
-                                stats.merge(st)
-                            raise
-                        stats.merge(group_stats)
-                        merge_group(out)
                 else:
                     remaining_ms = None
-                    if deadline is not None:
-                        # honour explicit cancel() at the iteration barrier
-                        # (workers only ever see a wall-clock budget)
-                        if deadline.expired():
-                            raise errors.DeadlineExceededError(
-                                "pathfinder abandoned: deadline expired",
-                                search_stats=stats,
+                    if backend == "process":
+                        if deadline is not None:
+                            # honour explicit cancel() at the iteration
+                            # boundary (workers only ever see a
+                            # wall-clock budget)
+                            if deadline.expired():
+                                raise errors.DeadlineExceededError(
+                                    "pathfinder abandoned: deadline expired",
+                                    search_stats=stats,
+                                )
+                            rem = deadline.remaining_ms()
+                            remaining_ms = (
+                                None if rem == float("inf") else rem
                             )
-                        rem = deadline.remaining_ms()
-                        remaining_ms = None if rem == float("inf") else rem
-                    counts_sparse = {
-                        w: len(users) for w, users in usage.items()
-                    }
-                    futures = [
-                        pool.submit(
-                            _process_group_task,
-                            proc_config,
-                            group,
-                            {
-                                idx: (nets[idx].source, nets[idx].sinks)
-                                for idx in group
-                            },
-                            {idx: tuple(net_wires[idx]) for idx in group},
-                            counts_sparse,
-                            history_sparse,
-                            present_factor,
-                            remaining_ms,
-                        )
-                        for group in groups
-                    ]
-                    for fut in futures:
-                        try:
-                            kind, payload, stats_dict = fut.result()
-                        except BrokenProcessPool:
-                            _drop_pool(arch, n_workers)
-                            raise
-                        group_stats = SearchStats(**stats_dict)
-                        stats.merge(group_stats)
-                        if kind == "deadline":
-                            raise errors.DeadlineExceededError(
-                                payload, search_stats=group_stats
-                            )
-                        if kind == "unroutable":
-                            raise errors.UnroutableError(
-                                payload, search_stats=group_stats
-                            )
-                        merge_group(payload)
-                rebuild_usage()
+                        shipper.ipc_bytes.append(0)
+                    merged = run_tree(iteration - 1, remaining_ms)
             except errors.DeadlineExceededError:
                 # abandon the whole negotiation: nothing has been applied
                 # to the device yet, so the structured "partial" outcome
                 # is just the honest not-converged result
                 timed_out = True
                 break
+            # iteration barrier: fold results into the usage index and
+            # derive the sparse absolute delta for the hybrid-update log
+            counts_assign: dict[int, int] = {}
+            touched: set[int] = set()
+            for idx, (plan, wires) in merged.items():
+                plans[idx] = plan
+                old = net_wires[idx]
+                touched.update(old)
+                touched.update(wires)
+                for w in old - wires:
+                    users = usage.get(w)
+                    if users is not None:
+                        users.discard(idx)
+                for w in wires - old:
+                    usage.setdefault(w, set()).add(idx)
+                net_wires[idx] = wires
+            for w in touched:
+                users = usage.get(w)
+                c = len(users) if users else 0
+                if c == 0:
+                    usage.pop(w, None)
+                if c != use_count[w]:
+                    use_count[w] = c
+                    counts_assign[w] = c
             shared = [w for w, users in usage.items() if len(users) > 1]
             if not shared:
                 converged = True
                 break
+            history_assign: dict[int, float] = {}
             for w in shared:
                 history[w] += history_increment
-                history_sparse[w] = history[w]
+                history_assign[w] = history[w]
+            delta_log.append((counts_assign, history_assign))
             present_factor *= present_factor_mult
     finally:
         if backend == "thread" and pool is not None:
@@ -653,6 +1043,7 @@ def route_pathfinder(
         workers=n_workers,
         backend=backend,
         timed_out=timed_out,
+        ipc_bytes=shipper.ipc_bytes if shipper is not None else [],
     )
     if converged:
         for idx in range(len(nets)):

@@ -187,7 +187,10 @@ class TestPathFinderParity:
                 return
             plans.append(res.plans)
             audit_no_contention(device)
-            assert res.workers == workers
+            # effective concurrency: the partition tree may not split
+            # the workload as finely as requested, but never exceeds it
+            # and is never silently reported as the request
+            assert 1 <= res.workers <= workers
             assert res.pips_added > 0
         assert plans[0] == plans[1]
 

@@ -29,6 +29,7 @@ from repro.core.deadline import Deadline
 from repro.core.kernel import GLOBAL_STATS
 from repro.device.fabric import Device
 from repro.routers import NetSpec, route_pathfinder
+from repro.routers.pathfinder import build_partition_tree
 
 PART = "XCV50"
 
@@ -74,7 +75,17 @@ def _disjoint_workload(device):
 class TestBackendParity:
     """backend="process" must replicate backend="thread" exactly."""
 
-    def test_plans_identical_across_backends_and_worker_counts(self):
+    def test_identical_across_backends_at_fixed_worker_count(self):
+        """For any fixed worker count the two backends are bit-identical.
+
+        A partition-tree node is a pure function of the iteration-start
+        congestion state plus its descendants' results, so the execution
+        vehicle must not leak into plans, convergence or stats.  Across
+        *different* worker counts the tree shape (and therefore the
+        negotiation trajectory) legitimately differs — the contract
+        there is convergence plus the ``workers=1`` serial oracle, not
+        plan identity.
+        """
         results = {}
         for backend in ("thread", "process"):
             for w in (1, 2, 4):
@@ -83,29 +94,33 @@ class TestBackendParity:
                 results[(backend, w)] = route_pathfinder(
                     device, nets, workers=w, backend=backend, apply=False
                 )
-        ref = results[("thread", 1)]
-        assert ref.converged
-        for key, res in results.items():
-            assert res.converged == ref.converged, key
-            assert res.iterations == ref.iterations, key
-            assert res.plans == ref.plans, key
-        # stats are identical across backends at the same worker count
         for w in (1, 2, 4):
-            assert (
-                results[("thread", w)].stats.as_dict()
-                == results[("process", w)].stats.as_dict()
-            )
+            t, p = results[("thread", w)], results[("process", w)]
+            assert t.converged and p.converged, w
+            assert t.iterations == p.iterations, w
+            assert t.plans == p.plans, w
+            assert t.stats.as_dict() == p.stats.as_dict(), w
+            assert t.workers == p.workers, w
+        # workers=1 bypasses the tree on either backend: bit-identical
+        # to the serial algorithm regardless of the requested vehicle
+        assert results[("process", 1)].plans == results[("thread", 1)].plans
+        assert results[("process", 1)].workers == 1
 
-    def test_result_records_backend_and_workers(self):
+    def test_result_records_backend_and_effective_workers(self):
         device = Device(PART)
         nets = _random_workload(device, n=3)
         res = route_pathfinder(
             device, nets, workers=2, backend="process", apply=False
         )
         assert res.backend == "process"
-        assert res.workers == 2
+        # the reported count is the tree's actual leaf concurrency —
+        # never a silent echo of the request
+        _root, tree, n_leaves = build_partition_tree(Device(PART), nets, 2)
+        assert res.workers == (n_leaves if n_leaves > 1 else 1)
+        assert 1 <= res.workers <= 2
         res = route_pathfinder(device, nets, workers=1, apply=False)
         assert res.backend == "thread"
+        assert res.workers == 1
 
     def test_unknown_backend_rejected(self):
         device = Device(PART)
@@ -151,6 +166,71 @@ class TestBackendParity:
             assert not res.converged
             assert res.plans == {}
             assert res.pips_added == 0
+
+
+class TestDeltaShipping:
+    """Per-iteration IPC payloads must scale with the congestion delta,
+    not with the device."""
+
+    def test_bytes_shipped_scale_with_delta_not_device(self):
+        """PR 8's process backend re-shipped ``blocked.tobytes()`` plus
+        full use-count/history snapshots to every worker every
+        iteration.  The delta protocol ships the call-static config once
+        per worker and sparse per-iteration deltas after that, so after
+        warm-up an iteration's total payload must be a small fraction of
+        the device's wire count — not a multiple of it."""
+        device = Device(PART)
+
+        def cluster(r0, c0):
+            # five nets funnelled into the *same two* sink wires: the
+            # sharing can never resolve, so every iteration reroutes
+            # and ships a fresh (small) delta
+            out = []
+            for dr, src_w in [
+                (0, wires.S0_YQ),
+                (1, wires.S0_YQ),
+                (2, wires.S0_YQ),
+                (0, wires.S1_YQ),
+                (1, wires.S1_YQ),
+            ]:
+                src = device.resolve(r0 + dr, c0, src_w)
+                sinks = (
+                    device.resolve(r0 + 1, c0 + 2, wires.S0F[1]),
+                    device.resolve(r0 + 1, c0 + 2, wires.S0F[2]),
+                )
+                out.append(NetSpec.of(src, sinks))
+            return out
+
+        nets = cluster(2, 2) + cluster(9, 16)  # two separable clusters
+        n_nodes = device.routing_graph().n_nodes
+        res = route_pathfinder(
+            device,
+            nets,
+            workers=2,
+            backend="process",
+            apply=False,
+            max_iterations=6,
+        )
+        assert res.workers == 2
+        assert len(res.ipc_bytes) == res.iterations == 6
+        # warm-up carries each worker's one-time config (dominated by
+        # the blocked bitmap: one byte per wire per worker)
+        assert res.ipc_bytes[0] > n_nodes
+        # steady state ships sparse deltas only: orders of magnitude
+        # below the device size PR 8 shipped every iteration
+        assert min(res.ipc_bytes[2:]) < n_nodes // 8
+        # thread backend does no IPC at all
+        rt = route_pathfinder(
+            device,
+            nets,
+            workers=2,
+            backend="thread",
+            apply=False,
+            max_iterations=6,
+        )
+        assert rt.ipc_bytes == []
+        # and the two vehicles still agree bit-for-bit on the outcome
+        assert rt.stats.as_dict() == res.stats.as_dict()
 
 
 class TestStatsAccounting:
