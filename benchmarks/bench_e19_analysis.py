@@ -8,11 +8,17 @@ Measures what ``repro analyze`` costs and proves what it catches:
   predefined template library;
 * **WAL + checkpoint lint** — replay-legality scan of a real
   :class:`~repro.core.wal.DurableSession` journal;
-* **codelint sweep** — the full AST hazard pass over the ``repro``
+* **codelint sweep** — the per-file AST hazard pass over the ``repro``
   package source;
+* **interprocedural sweep** — the whole-program layer on top (call
+  graph + CFG dataflow: RPR009-RPR012), reported as LoC/s and as
+  overhead versus the syntactic-only sweep;
 * **seeded-defect detection** (``--check``) — generate a corpus where
   *every* plan carries a deliberate drive conflict and require the
-  linter to report each one, and none on the clean twin.  This is the
+  linter to report each one, and none on the clean twin; plus the
+  concurrency twin: the seeded defect corpus under
+  ``tests/analysis/fixtures/code`` must be detected at 100% per rule
+  (RPR009-RPR012) with zero findings on the good twins.  This is the
   CI detection gate::
 
       PYTHONPATH=src python benchmarks/bench_e19_analysis.py --smoke --check
@@ -23,10 +29,12 @@ timings run.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 import tempfile
 import time
+from pathlib import Path
 
 from repro.analysis import analyze_paths, default_target
 from repro.analysis.plans import load_plans, random_plan_corpus
@@ -38,6 +46,34 @@ from repro.core.wal import write_checkpoint
 from repro.routers.template_sets import predefined_templates
 
 DISPLACEMENTS = ((2, 3), (0, 4), (5, 0), (3, 3))
+
+BASELINE = Path(__file__).resolve().parent.parent / "BENCH_routing.json"
+
+#: the seeded concurrency-defect corpus (written by fixtures/regen.py)
+CODE_CORPUS_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    os.pardir, "tests", "analysis", "fixtures", "code",
+)
+#: per-file (rule, seeded-count) contract — keep in sync with
+#: tests/analysis/fixtures/regen.py::CODE_CORPUS_SEEDED
+CODE_CORPUS_SEEDED = {
+    "bad_rpr009.py": ("RPR009", 2),
+    "bad_rpr010.py": ("RPR010", 1),
+    "bad_rpr011.py": ("RPR011", 1),
+    "bad_rpr012.py": ("RPR012", 2),
+}
+
+
+def _package_loc(report) -> int:
+    n = 0
+    for path in report.inputs:
+        if path.endswith(".py"):
+            try:
+                with open(path, "rb") as fh:
+                    n += sum(1 for _ in fh)
+            except OSError:
+                pass
+    return n
 
 
 def _corpus(n_plans: int, *, conflict_rate: float = 0.0, seed: int = 19):
@@ -115,8 +151,13 @@ def run(smoke: bool) -> int:
     dt_wal = time.perf_counter() - t0
 
     t0 = time.perf_counter()
+    syntactic = analyze_paths([default_target()], interprocedural=False)
+    dt_syn = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
     report = analyze_paths([default_target()])
     dt_code = time.perf_counter() - t0
+    loc = _package_loc(report)
 
     print(f"plan lint   {n_plans:4d} plans / {n_pips} pips "
           f"{dt_plans * 1e3:8.1f} ms  ({n_pips / dt_plans:,.0f} pips/s)")
@@ -124,8 +165,12 @@ def run(smoke: bool) -> int:
           f"{dt_tpl * 1e3:8.1f} ms  ({tpl_findings} finding(s))")
     print(f"wal+ckpt lint                 {dt_wal * 1e3:8.1f} ms  "
           f"({len(wal_findings) + len(ckpt_findings)} finding(s))")
-    print(f"codelint    {len(report.inputs):4d} files         "
-          f"{dt_code * 1e3:8.1f} ms  ({len(report.findings)} finding(s), "
+    print(f"codelint    {len(syntactic.inputs):4d} files         "
+          f"{dt_syn * 1e3:8.1f} ms  (syntactic only)")
+    print(f"interproc   {len(report.inputs):4d} files / {loc} LoC "
+          f"{dt_code * 1e3:8.1f} ms  ({loc / dt_code:,.0f} LoC/s, "
+          f"{(dt_code - dt_syn) * 1e3:+.1f} ms over syntactic, "
+          f"{len(report.findings)} finding(s), "
           f"{len(report.suppressed)} suppressed)")
     ok = (
         not clean
@@ -134,6 +179,28 @@ def run(smoke: bool) -> int:
         and not ckpt_findings
         and not report.findings
     )
+    if ok:
+        missed, noise, detected = concurrency_corpus_check()
+        seeded = sum(n for _, n in CODE_CORPUS_SEEDED.values())
+        data = json.loads(BASELINE.read_text()) if BASELINE.exists() else {}
+        data["analysis"] = {
+            "mode": "smoke" if smoke else "full",
+            "plan_pips_per_s": round(n_pips / dt_plans),
+            "codelint_files": len(report.inputs),
+            "codelint_loc": loc,
+            "syntactic_ms": round(dt_syn * 1e3, 1),
+            "interproc_ms": round(dt_code * 1e3, 1),
+            "interproc_loc_per_s": round(loc / dt_code),
+            "findings": len(report.findings),
+            "suppressed": len(report.suppressed),
+            "seeded_corpus": {
+                "planted": seeded,
+                "detected": detected,
+                "false_alarms": len(noise),
+            },
+        }
+        BASELINE.write_text(json.dumps(data, indent=2) + "\n")
+        print(f"wrote {BASELINE} (analysis section)")
     return 0 if ok else 1
 
 
@@ -156,8 +223,48 @@ def detection_check(smoke: bool) -> int:
         print("DETECTION REGRESSION: the linter missed a planted conflict "
               "or flagged a legal corpus")
         return 1
+
+    missed, noise, _ = concurrency_corpus_check()
+    if missed or noise:
+        for line in missed:
+            print(f"DETECTION REGRESSION: {line}")
+        for line in noise:
+            print(f"FALSE ALARM: {line}")
+        return 1
     print("detection check ok")
     return 0
+
+
+def concurrency_corpus_check() -> tuple[list[str], list[str], int]:
+    """Detection rate over the seeded concurrency corpus.
+
+    Returns (missed, noise, detected): rules under 100% on the bad
+    files, any finding at all on the good twins, and the number of
+    seeded defects actually reported.
+    """
+    report = analyze_paths([CODE_CORPUS_DIR])
+    per_file: dict[str, dict[str, int]] = {}
+    for f in report.findings:
+        name = os.path.basename(f.file)
+        per_file.setdefault(name, {}).setdefault(f.rule, 0)
+        per_file[name][f.rule] += 1
+    missed: list[str] = []
+    noise: list[str] = []
+    detected = 0
+    for name, (rule, planted) in sorted(CODE_CORPUS_SEEDED.items()):
+        got = per_file.get(name, {}).get(rule, 0)
+        detected += min(got, planted)
+        print(f"concurrency corpus: {name} {rule} "
+              f"{got}/{planted} detected")
+        if got != planted:
+            missed.append(f"{name}: {got}/{planted} {rule}")
+    for f in report.findings:
+        name = os.path.basename(f.file)
+        if name.startswith("good_"):
+            noise.append(f"{name}:{f.line} {f.rule}")
+        elif name in CODE_CORPUS_SEEDED and f.rule != CODE_CORPUS_SEEDED[name][0]:
+            noise.append(f"{name}:{f.line} {f.rule} (off-target)")
+    return missed, noise, detected
 
 
 def main(argv: list[str]) -> int:
@@ -194,6 +301,13 @@ def test_shape_live_session_journal_lints_clean(tmp_path):
     wal_path, ckpt_path = _session_artifacts(str(tmp_path), n_nets=4)
     assert routelint.lint_wal_file(wal_path) == []
     assert routelint.lint_checkpoint_file(ckpt_path, wal_path=wal_path) == []
+
+
+def test_shape_seeded_concurrency_corpus_detected():
+    missed, noise, detected = concurrency_corpus_check()
+    assert missed == []
+    assert noise == []
+    assert detected == sum(n for _, n in CODE_CORPUS_SEEDED.values())
 
 
 def test_plan_lint_cost(benchmark, device):

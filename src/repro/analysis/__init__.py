@@ -6,11 +6,17 @@ Two engines, one finding format (:mod:`repro.analysis.findings`):
   Paths, templates, port maps, serialized PIP plans, WALs and
   checkpoints against the architecture model, with no routing runs;
 * :mod:`repro.analysis.codelint` — Layer 2, an AST pass over the source
-  tree detecting the concurrency-hazard bug classes previous PRs fixed.
+  tree detecting the concurrency-hazard bug classes previous PRs fixed;
+* :mod:`repro.analysis.callgraph` / :mod:`repro.analysis.cfg` /
+  :mod:`repro.analysis.dataflow` — Layer 3, whole-program call graph,
+  per-function control-flow graphs and the interprocedural dataflow
+  passes (transitive blocking, lock ordering, spawn reachability,
+  resource paths) behind rules RPR009-RPR012.
 
-``repro analyze`` (see :mod:`repro.cli`) drives both; CI runs it with
-``--strict`` as a merge gate.  The catalog of rule ids lives in
-:mod:`repro.analysis.rules` and is documented in ``docs/ANALYSIS.md``.
+``repro analyze`` (see :mod:`repro.cli`) drives all of them; CI runs it
+with ``--strict`` as a merge gate and ``--diff`` on pull requests.  The
+catalog of rule ids lives in :mod:`repro.analysis.rules` and is
+documented in ``docs/ANALYSIS.md``.
 """
 
 from .findings import SCHEMA_VERSION, Finding, Report, Severity

@@ -1,0 +1,280 @@
+"""Per-function control-flow graphs for the dataflow passes.
+
+A :class:`CFG` is statement-granular: every simple statement, loop/if
+test, and ``with`` header is one node; virtual ``entry``/``exit`` nodes
+bracket the function.  That granularity is all the passes need (lockset,
+resource-release paths) while keeping construction simple enough to be
+obviously correct — the routing analogy is deliberate: a CFG is just a
+routing graph over statements, and a leak is an unreachable "release"
+target on some path to the exit.
+
+Shapes handled: ``if``/``elif``/``else``, ``while``/``for`` (+
+``break``/``continue``/loop-``else``), ``with``, ``try``/``except``/
+``else``/``finally`` (every try-body node may branch to every handler;
+``return``/``raise``/``break``/``continue`` inside a ``try`` route
+*through* enclosing ``finally`` blocks before leaving), ``match``,
+``return``/``raise``, and the async variants.
+
+Known unsoundness (documented in ``docs/ANALYSIS.md``): implicit
+exceptions (a ``KeyError`` from any expression) only create edges to
+handlers when the statement is lexically inside a ``try`` body — a call
+outside any ``try`` is assumed to return.  This keeps path-based rules
+like RPR012 actionable instead of flagging every statement pair.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["CFG", "Node"]
+
+
+@dataclass(slots=True)
+class Node:
+    """One CFG node: a statement (or virtual marker) plus successors."""
+
+    id: int
+    stmt: ast.stmt | None  # None for entry/exit/join markers
+    label: str = ""
+    succs: set[int] = field(default_factory=set)
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self) -> None:
+        self.nodes: list[Node] = []
+        self.entry = self._new(None, "entry")
+        self.exit = self._new(None, "exit")
+
+    # -- construction ------------------------------------------------------
+
+    def _new(self, stmt: ast.stmt | None, label: str = "") -> int:
+        n = Node(id=len(self.nodes), stmt=stmt, label=label)
+        self.nodes.append(n)
+        return n.id
+
+    def _edge(self, a: int, b: int) -> None:
+        self.nodes[a].succs.add(b)
+
+    @classmethod
+    def build(
+        cls, func: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda
+    ) -> "CFG":
+        cfg = cls()
+        if isinstance(func, ast.Lambda):
+            n = cfg._new(None, "lambda-body")
+            cfg._edge(cfg.entry, n)
+            cfg._edge(n, cfg.exit)
+            return cfg
+        builder = _Builder(cfg)
+        first = builder.seq(func.body, cfg.exit)
+        cfg._edge(cfg.entry, first)
+        return cfg
+
+    # -- queries -----------------------------------------------------------
+
+    def statements(self) -> list[Node]:
+        return [n for n in self.nodes if n.stmt is not None]
+
+    def node_for(self, stmt: ast.stmt) -> int | None:
+        for n in self.nodes:
+            if n.stmt is stmt:
+                return n.id
+        return None
+
+    def paths_escape(
+        self,
+        start: int,
+        *,
+        stops: "set[int]",
+    ) -> bool:
+        """True when some path from ``start``'s successors reaches
+        ``exit`` without passing through a node in ``stops``."""
+        seen: set[int] = set()
+        stack = [s for s in self.nodes[start].succs]
+        while stack:
+            n = stack.pop()
+            if n in seen or n in stops:
+                continue
+            if n == self.exit:
+                return True
+            seen.add(n)
+            stack.extend(self.nodes[n].succs)
+        return False
+
+
+class _Builder:
+    """Recursive-descent CFG builder.
+
+    ``seq(stmts, succ)`` wires a statement list so its last statement
+    falls through to ``succ`` and returns the entry node id.  Loop and
+    finally context is carried on explicit stacks so ``break``/
+    ``continue``/``return`` resolve to the right targets, routed through
+    any enclosing ``finally`` bodies first.
+    """
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        #: (break_target, continue_target) per enclosing loop
+        self.loops: list[tuple[int, int]] = []
+        #: entry of each enclosing finally body (innermost last), plus
+        #: the join node collecting its continuations
+        self.finallys: list[tuple[list[ast.stmt], int]] = []
+
+    # A jump (return/raise/break/continue) must execute enclosing
+    # finally bodies innermost-out before reaching its target.  Each
+    # finally body is rebuilt per jump target — statement nodes are
+    # duplicated, which over-counts nodes slightly but keeps every path
+    # explicit (the passes match statements by AST identity, and
+    # `node_for` returning the first copy is fine because every copy
+    # has the same successors modulo continuation).
+    def _through_finallys(self, target: int, depth: int | None = None) -> int:
+        d = len(self.finallys) if depth is None else depth
+        for body, _join in reversed(self.finallys[:d]):
+            target = self.seq(body, target)
+        return target
+
+    def seq(self, stmts: list[ast.stmt], succ: int) -> int:
+        entry = succ
+        for stmt in reversed(stmts):
+            entry = self.stmt(stmt, entry)
+        return entry
+
+    def stmt(self, s: ast.stmt, succ: int) -> int:
+        cfg = self.cfg
+        if isinstance(s, (ast.If,)):
+            test = cfg._new(s, "if")
+            then_entry = self.seq(s.body, succ)
+            cfg._edge(test, then_entry)
+            if s.orelse:
+                cfg._edge(test, self.seq(s.orelse, succ))
+            else:
+                cfg._edge(test, succ)
+            return test
+        if isinstance(s, (ast.While,)):
+            test = cfg._new(s, "while")
+            self.loops.append((succ, test))
+            body_entry = self.seq(s.body, test)
+            self.loops.pop()
+            cfg._edge(test, body_entry)
+            if s.orelse:
+                cfg._edge(test, self.seq(s.orelse, succ))
+            else:
+                cfg._edge(test, succ)
+            return test
+        if isinstance(s, (ast.For, ast.AsyncFor)):
+            head = cfg._new(s, "for")
+            self.loops.append((succ, head))
+            body_entry = self.seq(s.body, head)
+            self.loops.pop()
+            cfg._edge(head, body_entry)
+            if s.orelse:
+                cfg._edge(head, self.seq(s.orelse, succ))
+            else:
+                cfg._edge(head, succ)
+            return head
+        if isinstance(s, (ast.With, ast.AsyncWith)):
+            head = cfg._new(s, "with")
+            cfg._edge(head, self.seq(s.body, succ))
+            return head
+        if isinstance(s, ast.Try):
+            return self._try(s, succ)
+        if isinstance(s, ast.Match):
+            head = cfg._new(s, "match")
+            matched = False
+            for case in s.cases:
+                cfg._edge(head, self.seq(case.body, succ))
+                if _irrefutable(case):
+                    matched = True
+            if not matched:
+                cfg._edge(head, succ)
+            return head
+        if isinstance(s, ast.Return):
+            n = cfg._new(s, "return")
+            cfg._edge(n, self._through_finallys(cfg.exit))
+            return n
+        if isinstance(s, ast.Raise):
+            n = cfg._new(s, "raise")
+            cfg._edge(n, self._through_finallys(cfg.exit))
+            return n
+        if isinstance(s, ast.Break):
+            n = cfg._new(s, "break")
+            if self.loops:
+                cfg._edge(n, self._through_finallys(self.loops[-1][0]))
+            else:  # malformed code; fall through
+                cfg._edge(n, succ)
+            return n
+        if isinstance(s, ast.Continue):
+            n = cfg._new(s, "continue")
+            if self.loops:
+                cfg._edge(n, self._through_finallys(self.loops[-1][1]))
+            else:
+                cfg._edge(n, succ)
+            return n
+        if isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # a nested definition is one opaque statement here
+            n = cfg._new(s, "def")
+            cfg._edge(n, succ)
+            return n
+        n = cfg._new(s, type(s).__name__.lower())
+        cfg._edge(n, succ)
+        return n
+
+    def _try(self, s: ast.Try, succ: int) -> int:
+        cfg = self.cfg
+        if s.finalbody:
+            # the normal continuation runs the finally body first
+            normal_succ = self.seq(s.finalbody, succ)
+            # jumps out of the try body replay the finally too: push it
+            self.finallys.append((s.finalbody, normal_succ))
+        else:
+            normal_succ = succ
+
+        handler_entries: list[int] = []
+        for handler in s.handlers:
+            handler_entries.append(self.seq(handler.body, normal_succ))
+
+        else_entry = (
+            self.seq(s.orelse, normal_succ) if s.orelse else normal_succ
+        )
+        body_entry = self.seq(s.body, else_entry)
+
+        if s.finalbody:
+            self.finallys.pop()
+
+        # every node lexically in the try body may raise into every
+        # handler (and, with no handler, through finally to the exit)
+        body_nodes = self._nodes_of(s.body)
+        for nid in body_nodes:
+            for h in handler_entries:
+                cfg._edge(nid, h)
+            if not handler_entries and s.finalbody:
+                # exception propagates, but finally still runs
+                exc_path = self.seq(s.finalbody, cfg.exit)
+                cfg._edge(nid, exc_path)
+        return body_entry
+
+    def _nodes_of(self, stmts: list[ast.stmt]) -> list[int]:
+        """CFG node ids whose statement is lexically one of ``stmts``
+        or nested under one (loops/ifs inside the try body)."""
+        wanted: set[ast.stmt] = set()
+        for top in stmts:
+            for sub in ast.walk(top):
+                if isinstance(sub, ast.stmt):
+                    wanted.add(sub)
+        return [
+            n.id
+            for n in self.cfg.nodes
+            if n.stmt is not None and n.stmt in wanted
+        ]
+
+
+def _irrefutable(case: "ast.match_case") -> bool:
+    """True when a match case always matches (bare ``case _:``)."""
+    return (
+        case.guard is None
+        and isinstance(case.pattern, ast.MatchAs)
+        and case.pattern.pattern is None
+    )

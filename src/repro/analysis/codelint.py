@@ -20,16 +20,24 @@ justified exceptions.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from typing import Iterator
 
 from .findings import Finding, Severity
 
-__all__ = ["lint_source", "lint_file", "parse_noqa"]
+__all__ = ["lint_source", "lint_parsed", "lint_file", "parse_noqa", "apply_noqa"]
 
-#: ``# repro: noqa`` / ``# repro: noqa RPR001,RPR004`` (ids optional)
+#: ``# repro: noqa`` / ``# repro: noqa RPR001,RPR004`` (ids optional).
+#: Matched only inside a comment *token* (never a string literal), and a
+#: back-quoted mention in documentation prose — ``# repro: noqa`` — is
+#: not a suppression either (the unused-suppression rule RPR013 depends
+#: on this); the directive may be stacked after another comment
+#: section (after a coverage pragma, say).
 _NOQA_RE = re.compile(
-    r"#\s*repro:\s*noqa(?:\s*:?\s+(?P<ids>[A-Z]{2,3}\d{3}(?:[,\s]+[A-Z]{2,3}\d{3})*))?",
+    r"(?<!`)#\s*repro:\s*noqa(?!`)"
+    r"(?:\s*:?\s+(?P<ids>[A-Z]{2,3}\d{3}(?:[,\s]+[A-Z]{2,3}\d{3})*))?",
 )
 
 #: call names whose first positional argument is a mapping key
@@ -85,17 +93,32 @@ _BLOCKING_BARE = {"open"}
 
 
 def parse_noqa(source: str) -> dict[int, frozenset[str] | None]:
-    """Map 1-based line -> suppressed rule ids (None = all rules)."""
+    """Map 1-based line -> suppressed rule ids (None = all rules).
+
+    Directives are recognised only where Python sees a *comment*
+    containing ``# repro: noqa`` as its own ``#`` section — a
+    back-quoted mention in a doc comment or a string literal does not
+    suppress anything, while a directive stacked after another comment
+    (``# pragma: no cover  # repro: noqa RPR006``) does.
+    """
     out: dict[int, frozenset[str] | None] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        m = _NOQA_RE.search(line)
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, SyntaxError, ValueError, IndentationError):
+        return out
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        m = _NOQA_RE.search(tok.string)
         if m is None:
             continue
         ids = m.group("ids")
         if ids is None:
-            out[lineno] = None
+            out[tok.start[0]] = None
         else:
-            out[lineno] = frozenset(re.split(r"[,\s]+", ids.strip()))
+            out[tok.start[0]] = frozenset(re.split(r"[,\s]+", ids.strip()))
     return out
 
 
@@ -496,10 +519,11 @@ class _CodeLinter(ast.NodeVisitor):
         }
         if "deadline" not in params:
             return
-        for loop, guarded in self._unbounded_loops(func):
+        tracked = self._deadline_derived_names(func)
+        for loop, guarded in self._unbounded_loops(func, tracked):
             if guarded:
                 continue
-            if "deadline" in _names_in(loop):
+            if _names_in(loop) & tracked:
                 continue
             self._emit(
                 "RPR004",
@@ -513,23 +537,49 @@ class _CodeLinter(ast.NodeVisitor):
             )
 
     @staticmethod
+    def _deadline_derived_names(func: ast.AST) -> set[str]:
+        """``deadline`` plus every local name whose value is computed
+        from it (``fast = ... and deadline is None``): a branch on a
+        derived flag is a branch on the deadline.  The propagation is a
+        tiny intra-function dataflow fixpoint over assignments.
+        """
+        tracked = {"deadline"}
+        changed = True
+        while changed:
+            changed = False
+            for node in ast.walk(func):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if node is not func:
+                        continue
+                if not isinstance(node, ast.Assign):
+                    continue
+                if not _names_in(node.value) & tracked:
+                    continue
+                for t in node.targets:
+                    if isinstance(t, ast.Name) and t.id not in tracked:
+                        tracked.add(t.id)
+                        changed = True
+        return tracked
+
+    @staticmethod
     def _unbounded_loops(
-        func: ast.AST,
+        func: ast.AST, tracked: set[str] | None = None
     ) -> Iterator[tuple[ast.While, bool]]:
         """Yield ``(while_loop, deadline_guarded)`` for unbounded loops.
 
         A loop is *unbounded* when its test is a constant true or a bare
         name (``while heap:``) — the classic search-loop shapes.  It is
         *guarded* when some ancestor ``if`` that dominates the loop
-        mentions ``deadline`` (the compiled-kernel fast path pattern).
+        mentions ``deadline`` or a name derived from it (the compiled
+        kernel's ``fast`` flag), because the branch already encodes the
+        budget decision.
         """
+        names = tracked if tracked is not None else {"deadline"}
 
         def walk(node: ast.AST, guard: bool) -> Iterator[tuple[ast.While, bool]]:
             for child in ast.iter_child_nodes(node):
                 g = guard
-                if isinstance(child, ast.If) and "deadline" in _names_in(
-                    child.test
-                ):
+                if isinstance(child, ast.If) and _names_in(child.test) & names:
                     g = True
                 if isinstance(child, ast.While):
                     test = child.test
@@ -587,6 +637,41 @@ class _CodeLinter(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def lint_parsed(
+    path: str, source: str, tree: ast.Module
+) -> list[Finding]:
+    """Raw syntactic findings for an already-parsed module.
+
+    No suppression is applied: the whole-program driver merges these
+    with the interprocedural findings first, *then* resolves
+    ``# repro: noqa`` once over the union (so a directive suppressing
+    only an interprocedural rule still counts as used).
+    """
+    linter = _CodeLinter(path, source, tree)
+    linter.visit(tree)
+    return linter.findings
+
+
+def apply_noqa(
+    findings: list[Finding], noqa: dict[int, frozenset[str] | None]
+) -> tuple[list[Finding], list[Finding], set[int]]:
+    """Split findings into ``(kept, suppressed, used_directive_lines)``."""
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    used: set[int] = set()
+    for f in findings:
+        line = f.line or 0
+        if line in noqa:
+            ids = noqa[line]
+            if ids is None or f.rule in ids:
+                suppressed.append(f)
+                used.add(line)
+                continue
+        kept.append(f)
+    kept.sort(key=lambda f: (f.line or 0, f.col or 0, f.rule))
+    return kept, suppressed, used
+
+
 def lint_source(
     source: str, path: str = "<input>"
 ) -> tuple[list[Finding], list[Finding]]:
@@ -604,20 +689,9 @@ def lint_source(
             col=(e.offset - 1) if e.offset else None,
         )
         return [f], []
-    linter = _CodeLinter(path, source, tree)
-    linter.visit(tree)
-    noqa = parse_noqa(source)
-    kept: list[Finding] = []
-    suppressed: list[Finding] = []
-    for f in linter.findings:
-        ids = noqa.get(f.line or 0, "missing")
-        if ids == "missing":
-            kept.append(f)
-        elif ids is None or f.rule in ids:  # type: ignore[operator]
-            suppressed.append(f)
-        else:
-            kept.append(f)
-    kept.sort(key=lambda f: (f.line or 0, f.col or 0, f.rule))
+    kept, suppressed, _ = apply_noqa(
+        lint_parsed(path, source, tree), parse_noqa(source)
+    )
     return kept, suppressed
 
 

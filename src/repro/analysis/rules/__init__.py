@@ -138,7 +138,47 @@ RPR008 = _register(Rule(
     "a blocking call (time.sleep, builtin open, subprocess.run/…) sits "
     "directly inside an async def body: it stalls the event loop for "
     "every connection the daemon is serving; hop to a worker thread "
-    "(asyncio.to_thread) or use the async equivalent",
+    "(asyncio.to_thread) or use the async equivalent; since the "
+    "interprocedural upgrade, import-alias forms (from time import "
+    "sleep) resolve too",
+))
+
+# -- Interprocedural rules (call graph + CFG dataflow, this PR) ----------------
+# These need the whole program: the hazards they encode crossed function
+# boundaries every time this repo hit them (PRs 4, 8, 9).
+
+RPR009 = _register(Rule(
+    "RPR009", "code", "transitive-blocking-in-async", Severity.ERROR,
+    "an async def reaches a blocking primitive through a chain of "
+    "synchronous helpers (call-graph closure): the loop stalls exactly "
+    "as with RPR008, but no single file shows it; the finding prints "
+    "the call chain",
+))
+RPR010 = _register(Rule(
+    "RPR010", "code", "lock-order-inversion", Severity.ERROR,
+    "two locks are acquired in opposite orders on different call paths "
+    "(lockset cycle over the lock-order graph, including locks held "
+    "across call edges): two threads can deadlock",
+))
+RPR011 = _register(Rule(
+    "RPR011", "code", "spawn-lost-global-mutation", Severity.WARNING,
+    "a module global mutated in code reachable from a process-pool "
+    "entry point while parent-side code reads the same global: under "
+    "spawn the child mutates a copy, so the update silently never "
+    "reaches the parent (ship it back in the worker result instead)",
+))
+RPR012 = _register(Rule(
+    "RPR012", "code", "resource-path-leak", Severity.WARNING,
+    "a resource (SharedMemory(create=True), an executor, a bare open) "
+    "is created but some CFG path reaches the function exit without "
+    "releasing or handing it off — the path-sensitive generalisation "
+    "of RPR005",
+))
+RPR013 = _register(Rule(
+    "RPR013", "code", "unused-suppression", Severity.INFO,
+    "a `# repro: noqa` directive suppresses nothing on its line: the "
+    "hazard it justified is gone, so the comment is dead and should be "
+    "deleted (stale suppressions hide future regressions)",
 ))
 
 #: The full catalog, id-sorted.

@@ -932,12 +932,18 @@ def run_e19(
     t.add("wal+ckpt lint", f"{len(pairs)}-net session journal",
           f"{len(findings)} findings", dt * 1e3)
 
+    dt_syn, syntactic = time_call(
+        lambda: analyze_paths([default_target()], interprocedural=False)
+    )
+    t.add("codelint sweep", f"{len(syntactic.inputs)} source files",
+          "syntactic layers only", dt_syn * 1e3)
     dt, report = time_call(lambda: analyze_paths([default_target()]))
-    t.add("codelint sweep", f"{len(report.inputs)} source files",
+    t.add("interproc sweep", f"{len(report.inputs)} source files",
           f"{len(report.findings)} findings, "
           f"{len(report.suppressed)} suppressed", dt * 1e3)
     t.note("merge gate: `repro analyze --strict` requires 0 findings on "
-           "the package source; suppressions stay visible, never silent")
+           "the package source (call-graph/CFG passes included); "
+           "suppressions stay visible, never silent")
     return t
 
 

@@ -65,15 +65,23 @@ Usage (``python -m repro <command> ...``)::
                                   a running daemon and (by default) wait
                                   for its terminal state
     analyze [PATH ...] [--json] [--strict] [--part PART]
-            [--rules IDS] [--list-rules]
+            [--rules IDS] [--list-rules] [--diff GIT_REF]
+            [--baseline FILE] [--write-baseline FILE]
                                   static analysis: lint routing artifacts
                                   (plans, template sets, WALs,
-                                  checkpoints) against the fabric and run
+                                  checkpoints) against the fabric, run
                                   the AST concurrency-hazard detector
-                                  over Python sources; default target is
-                                  the installed repro package itself.
-                                  Exit 1 on error findings (--strict: on
-                                  any finding).  See docs/ANALYSIS.md.
+                                  over Python sources, and run the
+                                  interprocedural call-graph/CFG passes
+                                  (transitive blocking, lock ordering,
+                                  spawn-lost globals, resource paths);
+                                  default target is the installed repro
+                                  package itself.  --diff reports only
+                                  files changed vs a git ref (the call
+                                  graph stays whole-program); --baseline
+                                  suppresses known findings.  Exit 1 on
+                                  error findings (--strict: on any
+                                  finding).  See docs/ANALYSIS.md.
 """
 
 from __future__ import annotations
@@ -419,14 +427,19 @@ def _cmd_scrub(args: list[str]) -> int:
 
 def _cmd_analyze(args: list[str]) -> int:
     usage = ("usage: analyze [PATH ...] [--json] [--strict] [--part PART] "
-             "[--rules RPR001,RL004,...] [--list-rules]")
+             "[--rules RPR001,RL004,...] [--list-rules] [--diff GIT_REF] "
+             "[--baseline FILE] [--write-baseline FILE]")
     from .analysis import RULES, Severity, analyze_paths, filter_rules
+    from .analysis.driver import changed_files, load_baseline, write_baseline
 
     as_json = False
     strict = False
     list_rules = False
     part: str | None = None
     rules: "frozenset[str] | None" = None
+    diff_ref: str | None = None
+    baseline_path: str | None = None
+    write_baseline_path: str | None = None
     paths: list[str] = []
     it = iter(args)
     try:
@@ -441,6 +454,12 @@ def _cmd_analyze(args: list[str]) -> int:
                 part = next(it)
             elif a == "--rules":
                 rules = filter_rules(next(it))
+            elif a == "--diff":
+                diff_ref = next(it)
+            elif a == "--baseline":
+                baseline_path = next(it)
+            elif a == "--write-baseline":
+                write_baseline_path = next(it)
             elif a.startswith("-"):
                 print(usage, file=sys.stderr)
                 return 2
@@ -457,7 +476,22 @@ def _cmd_analyze(args: list[str]) -> int:
             print(f"{r.id}  {r.severity.value:7s} {r.layer:8s} "
                   f"{r.name}: {r.summary}")
         return 0
-    report = analyze_paths(paths or None, part=part, rules=rules)
+    changed: "set[str] | None" = None
+    baseline = None
+    try:
+        if diff_ref is not None:
+            changed = changed_files(diff_ref)
+        if baseline_path is not None:
+            baseline = load_baseline(baseline_path)
+    except (ValueError, OSError) as e:
+        print(str(e), file=sys.stderr)
+        return 2
+    report = analyze_paths(paths or None, part=part, rules=rules,
+                           changed_only=changed, baseline=baseline)
+    if write_baseline_path is not None:
+        n = write_baseline(report, write_baseline_path)
+        print(f"wrote {n} baseline entries to {write_baseline_path}",
+              file=sys.stderr)
     if as_json:
         print(report.to_json())
     else:

@@ -404,7 +404,7 @@ def dijkstra(
     if fast and h is None:
         # `fast` requires deadline is None (checked above): this loop is
         # intentionally poll-free — that is the point of the fast path
-        while heap:  # repro: noqa RPR004
+        while heap:
             f, g, canon = pop(heap)
             if g > dist[canon]:
                 continue  # stale entry
@@ -434,7 +434,7 @@ def dijkstra(
                 push(heap, (ng, ng, to))
     elif fast:
         # same contract: fast implies deadline is None
-        while heap:  # repro: noqa RPR004
+        while heap:
             f, g, canon = pop(heap)
             if g > dist[canon]:
                 continue  # stale entry
@@ -831,7 +831,7 @@ def dijkstra_batch(
                 exceeded[lane] = True
                 break
             o = off[canon]
-            for e in range(o, o + deg[canon]):  # repro: noqa RPR007
+            for e in range(o, o + deg[canon]):
                 to = e_to[e]
                 if nb_v is not None and name_blocked[e_toname[e]]:
                     continue

@@ -1,0 +1,27 @@
+"""Seeded RPR009: async defs reaching blocking calls through helpers."""
+
+import subprocess
+import time
+
+
+def _flush(path):
+    time.sleep(0.05)
+    return path
+
+
+def _persist(path):
+    return _flush(path)
+
+
+async def handler(path):
+    # seeded 1: handler -> _persist -> _flush -> time.sleep
+    return _persist(path)
+
+
+def _snapshot(args):
+    return subprocess.run(args)
+
+
+async def rotate(args):
+    # seeded 2: rotate -> _snapshot -> subprocess.run
+    return _snapshot(args)

@@ -1,0 +1,19 @@
+"""Seeded RPR010: the two queue locks taken in opposite orders."""
+
+import threading
+
+_HEAD = threading.Lock()
+_TAIL = threading.Lock()
+
+
+def push(q, item):
+    with _HEAD:
+        with _TAIL:
+            q.append(item)
+
+
+def steal(q):
+    # seeded 1: steal orders TAIL -> HEAD against push's HEAD -> TAIL
+    with _TAIL:
+        with _HEAD:
+            return q.pop()

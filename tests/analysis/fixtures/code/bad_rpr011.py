@@ -1,0 +1,27 @@
+"""Seeded RPR011: a pool worker mutates a module global the parent reads."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+_LOCK = threading.Lock()
+_COMPLETED = {}
+
+
+def _work(key):
+    # seeded 1: under spawn this lands in the child's copy only
+    with _LOCK:
+        _COMPLETED[key] = True
+    return key
+
+
+def run(keys):
+    pool = ProcessPoolExecutor(max_workers=2)
+    try:
+        return list(pool.map(_work, keys))
+    finally:
+        pool.shutdown()
+
+
+def report():
+    with _LOCK:
+        return dict(_COMPLETED)

@@ -1,0 +1,28 @@
+"""Seeded RPR012: resources that leak on some control-flow path."""
+
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import shared_memory
+
+
+def burst(jobs, fast):
+    # seeded 1: the fast path returns without shutting the pool down
+    pool = ThreadPoolExecutor(max_workers=4)
+    if fast:
+        return [j() for j in jobs]
+    try:
+        return [f.result() for f in [pool.submit(j) for j in jobs]]
+    finally:
+        pool.shutdown(wait=True)
+
+
+def scratch(n, publish):
+    # seeded 2: the unpublished path drops the segment unreleased
+    seg = shared_memory.SharedMemory(create=True, size=n)
+    if publish:
+        return seg
+    return None
+
+
+def cleanup(seg):
+    seg.close()
+    seg.unlink()

@@ -1,0 +1,17 @@
+"""Twin of bad_rpr009: the same work hopped off the event loop."""
+
+import asyncio
+import time
+
+
+def _flush(path):
+    time.sleep(0.05)
+    return path
+
+
+async def handler(path):
+    return await asyncio.to_thread(_flush, path)
+
+
+async def tick():
+    await asyncio.sleep(0.05)

@@ -1,0 +1,18 @@
+"""Twin of bad_rpr010: one global order, no inversion."""
+
+import threading
+
+_HEAD = threading.Lock()
+_TAIL = threading.Lock()
+
+
+def push(q, item):
+    with _HEAD:
+        with _TAIL:
+            q.append(item)
+
+
+def steal(q):
+    with _HEAD:
+        with _TAIL:
+            return q.pop()

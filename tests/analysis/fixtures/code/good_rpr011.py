@@ -1,0 +1,15 @@
+"""Twin of bad_rpr011: completion ships back in the worker result."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _work(key):
+    return (key, True)
+
+
+def run(keys):
+    pool = ProcessPoolExecutor(max_workers=2)
+    try:
+        return dict(pool.map(_work, keys))
+    finally:
+        pool.shutdown()

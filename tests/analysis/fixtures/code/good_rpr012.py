@@ -1,0 +1,18 @@
+"""Twin of bad_rpr012: every path releases or hands the resource off."""
+
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import shared_memory
+
+
+def burst(jobs):
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        return [f.result() for f in [pool.submit(j) for j in jobs]]
+
+
+def scratch(n):
+    seg = shared_memory.SharedMemory(create=True, size=n)
+    try:
+        return bytes(seg.buf[:n])
+    finally:
+        seg.close()
+        seg.unlink()

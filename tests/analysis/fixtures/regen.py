@@ -26,12 +26,222 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 
 
 def _write(name: str, text: str) -> None:
-    with open(os.path.join(HERE, name), "w", encoding="utf-8") as fh:
+    path = os.path.join(HERE, name)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
         fh.write(text)
     print(f"wrote {name}")
 
 
+# -- seeded concurrency-defect corpus (interprocedural rules) -----------------
+# Each bad_*.py seeds a known number of defects for exactly one rule and
+# nothing else; each good_*.py is the idiomatic twin and must stay
+# finding-free.  benchmarks/bench_e19_analysis.py --check gates on 100%
+# detection over this table, and tests/analysis/test_interproc.py pins
+# the per-file counts.
+
+CODE_CORPUS: dict[str, str] = {
+    "code/bad_rpr009.py": '''\
+"""Seeded RPR009: async defs reaching blocking calls through helpers."""
+
+import subprocess
+import time
+
+
+def _flush(path):
+    time.sleep(0.05)
+    return path
+
+
+def _persist(path):
+    return _flush(path)
+
+
+async def handler(path):
+    # seeded 1: handler -> _persist -> _flush -> time.sleep
+    return _persist(path)
+
+
+def _snapshot(args):
+    return subprocess.run(args)
+
+
+async def rotate(args):
+    # seeded 2: rotate -> _snapshot -> subprocess.run
+    return _snapshot(args)
+''',
+    "code/good_rpr009.py": '''\
+"""Twin of bad_rpr009: the same work hopped off the event loop."""
+
+import asyncio
+import time
+
+
+def _flush(path):
+    time.sleep(0.05)
+    return path
+
+
+async def handler(path):
+    return await asyncio.to_thread(_flush, path)
+
+
+async def tick():
+    await asyncio.sleep(0.05)
+''',
+    "code/bad_rpr010.py": '''\
+"""Seeded RPR010: the two queue locks taken in opposite orders."""
+
+import threading
+
+_HEAD = threading.Lock()
+_TAIL = threading.Lock()
+
+
+def push(q, item):
+    with _HEAD:
+        with _TAIL:
+            q.append(item)
+
+
+def steal(q):
+    # seeded 1: steal orders TAIL -> HEAD against push's HEAD -> TAIL
+    with _TAIL:
+        with _HEAD:
+            return q.pop()
+''',
+    "code/good_rpr010.py": '''\
+"""Twin of bad_rpr010: one global order, no inversion."""
+
+import threading
+
+_HEAD = threading.Lock()
+_TAIL = threading.Lock()
+
+
+def push(q, item):
+    with _HEAD:
+        with _TAIL:
+            q.append(item)
+
+
+def steal(q):
+    with _HEAD:
+        with _TAIL:
+            return q.pop()
+''',
+    "code/bad_rpr011.py": '''\
+"""Seeded RPR011: a pool worker mutates a module global the parent reads."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+_LOCK = threading.Lock()
+_COMPLETED = {}
+
+
+def _work(key):
+    # seeded 1: under spawn this lands in the child's copy only
+    with _LOCK:
+        _COMPLETED[key] = True
+    return key
+
+
+def run(keys):
+    pool = ProcessPoolExecutor(max_workers=2)
+    try:
+        return list(pool.map(_work, keys))
+    finally:
+        pool.shutdown()
+
+
+def report():
+    with _LOCK:
+        return dict(_COMPLETED)
+''',
+    "code/good_rpr011.py": '''\
+"""Twin of bad_rpr011: completion ships back in the worker result."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _work(key):
+    return (key, True)
+
+
+def run(keys):
+    pool = ProcessPoolExecutor(max_workers=2)
+    try:
+        return dict(pool.map(_work, keys))
+    finally:
+        pool.shutdown()
+''',
+    "code/bad_rpr012.py": '''\
+"""Seeded RPR012: resources that leak on some control-flow path."""
+
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import shared_memory
+
+
+def burst(jobs, fast):
+    # seeded 1: the fast path returns without shutting the pool down
+    pool = ThreadPoolExecutor(max_workers=4)
+    if fast:
+        return [j() for j in jobs]
+    try:
+        return [f.result() for f in [pool.submit(j) for j in jobs]]
+    finally:
+        pool.shutdown(wait=True)
+
+
+def scratch(n, publish):
+    # seeded 2: the unpublished path drops the segment unreleased
+    seg = shared_memory.SharedMemory(create=True, size=n)
+    if publish:
+        return seg
+    return None
+
+
+def cleanup(seg):
+    seg.close()
+    seg.unlink()
+''',
+    "code/good_rpr012.py": '''\
+"""Twin of bad_rpr012: every path releases or hands the resource off."""
+
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import shared_memory
+
+
+def burst(jobs):
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        return [f.result() for f in [pool.submit(j) for j in jobs]]
+
+
+def scratch(n):
+    seg = shared_memory.SharedMemory(create=True, size=n)
+    try:
+        return bytes(seg.buf[:n])
+    finally:
+        seg.close()
+        seg.unlink()
+''',
+}
+
+#: per-file seeded-defect counts the detection gate and tests pin on
+CODE_CORPUS_SEEDED: dict[str, tuple[str, int]] = {
+    "code/bad_rpr009.py": ("RPR009", 2),
+    "code/bad_rpr010.py": ("RPR010", 1),
+    "code/bad_rpr011.py": ("RPR011", 1),
+    "code/bad_rpr012.py": ("RPR012", 2),
+}
+
+
 def main() -> None:
+    # -- seeded concurrency-defect corpus ---------------------------------
+    for name, text in CODE_CORPUS.items():
+        _write(name, text)
+
     # -- plans ------------------------------------------------------------
     _write("good_plans.json", random_plan_corpus("XCV50", n_plans=4, seed=7))
     # a drive-conflicting plan pair (every plan's last wire re-driven)

@@ -1,0 +1,275 @@
+"""Call-graph construction: name resolution, edge kinds, lock capture."""
+
+import ast
+
+from repro.analysis.callgraph import CallGraph, ProjectIndex
+
+
+def build(*mods: tuple[str, str]) -> tuple[ProjectIndex, CallGraph]:
+    items = [(path, src, ast.parse(src)) for path, src in mods]
+    index = ProjectIndex.build(items)
+    return index, CallGraph.build(index)
+
+
+def edges_between(graph: CallGraph, caller_tail: str, callee_tail: str):
+    return [
+        cs
+        for cs in graph.edges
+        if cs.caller.endswith(caller_tail)
+        and (cs.target or "").endswith(callee_tail)
+    ]
+
+
+class TestResolution:
+    def test_module_function_call(self):
+        _, g = build(
+            ("a.py", "def f():\n    return g()\n\ndef g():\n    return 1\n")
+        )
+        (cs,) = edges_between(g, "a.f", "a.g")
+        assert cs.kind == "call"
+
+    def test_cross_module_import(self):
+        _, g = build(
+            ("pkg/__init__.py", ""),
+            ("pkg/util.py", "def helper():\n    return 1\n"),
+            (
+                "pkg/app.py",
+                "from pkg.util import helper\n\n"
+                "def run():\n    return helper()\n",
+            ),
+        )
+        assert edges_between(g, "pkg.app.run", "pkg.util.helper")
+
+    def test_import_alias(self):
+        _, g = build(
+            ("one.py", "def work():\n    return 2\n"),
+            (
+                "two.py",
+                "import one as o\n\ndef go():\n    return o.work()\n",
+            ),
+        )
+        assert edges_between(g, "two.go", "one.work")
+
+    def test_self_method_resolution(self):
+        _, g = build(
+            (
+                "c.py",
+                "class Box:\n"
+                "    def outer(self):\n"
+                "        return self.inner()\n"
+                "    def inner(self):\n"
+                "        return 0\n",
+            )
+        )
+        assert edges_between(g, "c.Box.outer", "c.Box.inner")
+
+    def test_inherited_method_resolves_to_base(self):
+        _, g = build(
+            (
+                "d.py",
+                "class Base:\n"
+                "    def step(self):\n"
+                "        return 1\n"
+                "class Child(Base):\n"
+                "    def run(self):\n"
+                "        return self.step()\n",
+            )
+        )
+        assert edges_between(g, "d.Child.run", "d.Base.step")
+
+    def test_typed_local_from_constructor(self):
+        _, g = build(
+            (
+                "e.py",
+                "class Engine:\n"
+                "    def fire(self):\n"
+                "        return 1\n"
+                "def main():\n"
+                "    e = Engine()\n"
+                "    return e.fire()\n",
+            )
+        )
+        assert edges_between(g, "e.main", "e.Engine.fire")
+
+    def test_functools_partial_target(self):
+        _, g = build(
+            (
+                "f.py",
+                "import functools\n"
+                "def work(x):\n    return x\n"
+                "def main():\n"
+                "    p = functools.partial(work, 1)\n"
+                "    return p()\n",
+            )
+        )
+        assert edges_between(g, "f.main", "f.work")
+
+    def test_decorated_function_still_indexed(self):
+        idx, g = build(
+            (
+                "g.py",
+                "import functools\n"
+                "def deco(fn):\n    return fn\n"
+                "@deco\n"
+                "@functools.lru_cache\n"
+                "def cached():\n    return 3\n"
+                "def use():\n    return cached()\n",
+            )
+        )
+        assert "g.cached" in idx.functions
+        assert edges_between(g, "g.use", "g.cached")
+
+
+class TestSpawnEdges:
+    def test_executor_submit_is_a_spawn_edge(self):
+        _, g = build(
+            (
+                "s.py",
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "def work(x):\n    return x\n"
+                "def main(xs):\n"
+                "    pool = ProcessPoolExecutor(2)\n"
+                "    return [pool.submit(work, x) for x in xs]\n",
+            )
+        )
+        (cs,) = edges_between(g, "s.main", "s.work")
+        assert cs.kind == "spawn-process"
+        assert "s.work" in g.spawn_process_roots()
+
+    def test_thread_pool_submit_is_spawn_thread(self):
+        _, g = build(
+            (
+                "t.py",
+                "from concurrent.futures import ThreadPoolExecutor\n"
+                "def work(x):\n    return x\n"
+                "def main(xs):\n"
+                "    pool = ThreadPoolExecutor(2)\n"
+                "    return [pool.submit(work, x) for x in xs]\n",
+            )
+        )
+        (cs,) = edges_between(g, "t.main", "t.work")
+        assert cs.kind == "spawn-thread"
+        assert "t.work" not in g.spawn_process_roots()
+
+    def test_pool_initializer_is_a_spawn_process_root(self):
+        _, g = build(
+            (
+                "u.py",
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "def init():\n    pass\n"
+                "def main():\n"
+                "    return ProcessPoolExecutor(2, initializer=init)\n",
+            )
+        )
+        assert "u.init" in g.spawn_process_roots()
+
+    def test_create_task_is_a_task_edge(self):
+        _, g = build(
+            (
+                "v.py",
+                "import asyncio\n"
+                "async def job():\n    pass\n"
+                "async def main():\n"
+                "    asyncio.create_task(job())\n",
+            )
+        )
+        kinds = {cs.kind for cs in edges_between(g, "v.main", "v.job")}
+        assert "task" in kinds
+
+    def test_lambda_to_executor_becomes_a_node(self):
+        idx, g = build(
+            (
+                "w.py",
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "import time\n"
+                "def main():\n"
+                "    pool = ProcessPoolExecutor(1)\n"
+                "    return pool.submit(lambda: time.sleep(1))\n",
+            )
+        )
+        lam = [q for q in idx.functions if "<lambda" in q]
+        assert lam, "lambda submitted to a pool must become a node"
+        assert any(
+            (cs.target or "") == lam[0] and cs.kind == "spawn-process"
+            for cs in g.edges
+        )
+
+
+class TestLocks:
+    def test_with_lock_records_acquisition_and_held_set(self):
+        _, g = build(
+            (
+                "l.py",
+                "import threading\n"
+                "_A = threading.Lock()\n"
+                "_B = threading.Lock()\n"
+                "def f():\n"
+                "    with _A:\n"
+                "        with _B:\n"
+                "            pass\n",
+            )
+        )
+        accs = g.acquisitions["l.f"]
+        assert [(a.lock, a.held) for a in accs] == [
+            ("l._A", ()),
+            ("l._B", ("l._A",)),
+        ]
+
+    def test_lock_named_without_the_word_lock_is_still_a_lock(self):
+        # identity comes from the module-level Lock() binding, not the name
+        _, g = build(
+            (
+                "m.py",
+                "import threading\n"
+                "_HEAD = threading.Lock()\n"
+                "def f():\n"
+                "    with _HEAD:\n"
+                "        pass\n",
+            )
+        )
+        assert [a.lock for a in g.acquisitions["m.f"]] == ["m._HEAD"]
+
+    def test_call_made_under_a_lock_carries_it(self):
+        _, g = build(
+            (
+                "n.py",
+                "import threading\n"
+                "_L = threading.Lock()\n"
+                "def g():\n    pass\n"
+                "def f():\n"
+                "    with _L:\n"
+                "        g()\n",
+            )
+        )
+        (cs,) = edges_between(g, "n.f", "n.g")
+        assert cs.locks == ("n._L",)
+
+
+class TestReachability:
+    def test_reachable_follows_spawn_and_call_edges(self):
+        _, g = build(
+            (
+                "r.py",
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "def leaf():\n    pass\n"
+                "def work():\n    leaf()\n"
+                "def main(xs):\n"
+                "    pool = ProcessPoolExecutor(2)\n"
+                "    pool.submit(work)\n",
+            )
+        )
+        reach = g.reachable(g.spawn_process_roots())
+        assert {"r.work", "r.leaf"} <= reach
+
+    def test_shortest_chain_renders_the_path(self):
+        _, g = build(
+            (
+                "p.py",
+                "def c():\n    pass\n"
+                "def b():\n    c()\n"
+                "def a():\n    b()\n",
+            )
+        )
+        chain = g.shortest_chain("p.a", {"p.c"})
+        assert chain is not None
+        assert [cs.target for cs in chain] == ["p.b", "p.c"]

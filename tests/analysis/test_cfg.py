@@ -1,0 +1,169 @@
+"""Per-function CFGs: branch/loop wiring, try/finally routing, escapes."""
+
+import ast
+
+from repro.analysis.cfg import CFG
+
+
+def cfg_of(src: str) -> tuple[CFG, ast.FunctionDef]:
+    tree = ast.parse(src)
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return CFG.build(func), func
+
+
+def node_matching(cfg: CFG, pred) -> int:
+    ids = [n.id for n in cfg.nodes if n.stmt is not None and pred(n.stmt)]
+    assert ids, "no CFG node matches"
+    return ids[0]
+
+
+def is_call_to(stmt: ast.stmt, name: str) -> bool:
+    # compound statements (if/while/try...) own their bodies in the AST
+    # but not in the CFG: only match the simple statement itself
+    if not isinstance(stmt, (ast.Expr, ast.Return, ast.Assign)):
+        return False
+    for sub in ast.walk(stmt):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id == name
+        ):
+            return True
+    return False
+
+
+class TestStructure:
+    def test_straight_line_reaches_exit(self):
+        cfg, f = cfg_of("def f():\n    a()\n    b()\n")
+        start = node_matching(cfg, lambda s: is_call_to(s, "a"))
+        assert cfg.paths_escape(start, stops=set())
+
+    def test_stop_on_the_only_path_blocks_escape(self):
+        cfg, f = cfg_of("def f():\n    a()\n    b()\n")
+        start = node_matching(cfg, lambda s: is_call_to(s, "a"))
+        stop = node_matching(cfg, lambda s: is_call_to(s, "b"))
+        assert not cfg.paths_escape(start, stops={stop})
+
+    def test_if_else_creates_a_bypass(self):
+        cfg, f = cfg_of(
+            "def f(c):\n"
+            "    a()\n"
+            "    if c:\n"
+            "        b()\n"
+            "    d()\n"
+        )
+        start = node_matching(cfg, lambda s: is_call_to(s, "a"))
+        b = node_matching(cfg, lambda s: is_call_to(s, "b"))
+        d = node_matching(cfg, lambda s: is_call_to(s, "d"))
+        assert cfg.paths_escape(start, stops={b})  # the else edge
+        assert not cfg.paths_escape(start, stops={d})  # both arms rejoin
+
+    def test_return_skips_later_statements(self):
+        cfg, f = cfg_of(
+            "def f(c):\n"
+            "    a()\n"
+            "    if c:\n"
+            "        return 1\n"
+            "    b()\n"
+        )
+        start = node_matching(cfg, lambda s: is_call_to(s, "a"))
+        b = node_matching(cfg, lambda s: is_call_to(s, "b"))
+        # the return path escapes without passing through b()
+        assert cfg.paths_escape(start, stops={b})
+
+    def test_while_loop_exit_edge(self):
+        cfg, f = cfg_of(
+            "def f(c):\n"
+            "    a()\n"
+            "    while c:\n"
+            "        b()\n"
+            "    d()\n"
+        )
+        start = node_matching(cfg, lambda s: is_call_to(s, "a"))
+        d = node_matching(cfg, lambda s: is_call_to(s, "d"))
+        b = node_matching(cfg, lambda s: is_call_to(s, "b"))
+        assert not cfg.paths_escape(start, stops={d})
+        assert cfg.paths_escape(start, stops={b})  # zero-iteration path
+
+
+class TestTryFinally:
+    def test_normal_exit_routes_through_finally(self):
+        cfg, f = cfg_of(
+            "def f():\n"
+            "    a()\n"
+            "    try:\n"
+            "        b()\n"
+            "    finally:\n"
+            "        c()\n"
+        )
+        start = node_matching(cfg, lambda s: is_call_to(s, "a"))
+        stops = {
+            n.id
+            for n in cfg.nodes
+            if n.stmt is not None and is_call_to(n.stmt, "c")
+        }
+        assert not cfg.paths_escape(start, stops=stops)
+
+    def test_return_inside_try_still_passes_finally(self):
+        cfg, f = cfg_of(
+            "def f():\n"
+            "    a()\n"
+            "    try:\n"
+            "        return b()\n"
+            "    finally:\n"
+            "        c()\n"
+        )
+        start = node_matching(cfg, lambda s: is_call_to(s, "a"))
+        stops = {
+            n.id
+            for n in cfg.nodes
+            if n.stmt is not None and is_call_to(n.stmt, "c")
+        }
+        assert not cfg.paths_escape(start, stops=stops)
+
+    def test_exception_edge_reaches_handler(self):
+        cfg, f = cfg_of(
+            "def f():\n"
+            "    try:\n"
+            "        a()\n"
+            "        b()\n"
+            "    except ValueError:\n"
+            "        h()\n"
+        )
+        start = node_matching(cfg, lambda s: is_call_to(s, "a"))
+        b = node_matching(cfg, lambda s: is_call_to(s, "b"))
+        # a() may raise: a path reaches exit via the handler, skipping b()
+        assert cfg.paths_escape(start, stops={b})
+
+    def test_raise_does_not_fall_through(self):
+        cfg, f = cfg_of(
+            "def f(c):\n"
+            "    a()\n"
+            "    if c:\n"
+            "        raise ValueError\n"
+            "    b()\n"
+        )
+        start = node_matching(cfg, lambda s: is_call_to(s, "a"))
+        b = node_matching(cfg, lambda s: is_call_to(s, "b"))
+        # raising still escapes the function (propagates), bypassing b()
+        assert cfg.paths_escape(start, stops={b})
+
+
+class TestNodeLookup:
+    def test_node_for_finds_statement_by_identity(self):
+        cfg, f = cfg_of("def f():\n    x = 1\n    y = 2\n")
+        stmt = f.body[1]
+        nid = cfg.node_for(stmt)
+        assert nid is not None
+        assert cfg.nodes[nid].stmt is stmt
+
+    def test_nested_function_statements_are_not_in_the_outer_cfg(self):
+        cfg, f = cfg_of(
+            "def f():\n"
+            "    def g():\n"
+            "        h()\n"
+            "    return g\n"
+        )
+        inner = f.body[0].body[0]
+        assert cfg.node_for(inner) is None

@@ -65,6 +65,48 @@ class TestOutput:
         assert {f.rule for f in report.findings} == {"RL006"}
 
 
+class TestDiffAndBaselineFlags:
+    BAD_SRC = (
+        "def f(heap, deadline):\n"
+        "    while heap:\n"
+        "        heap.pop()\n"
+    )
+
+    def test_unknown_diff_ref_exits_two(self, capsys, tmp_path):
+        p = tmp_path / "m.py"
+        p.write_text(self.BAD_SRC)
+        rc = main(["analyze", "--diff", "no-such-ref-xyz", str(p)])
+        assert rc == 2
+        assert capsys.readouterr().err
+
+    def test_write_then_apply_baseline_gates_clean(self, capsys, tmp_path):
+        p = tmp_path / "m.py"
+        p.write_text(self.BAD_SRC)
+        bl = tmp_path / "findings.json"
+        # the un-baselined sweep fails strict
+        assert main(["analyze", "--strict", str(p)]) == 1
+        capsys.readouterr()
+        main(["analyze", "--write-baseline", str(bl), str(p)])
+        capsys.readouterr()
+        assert json.loads(bl.read_text())["findings"]
+        # with the baseline applied the same tree gates clean...
+        assert main(
+            ["analyze", "--strict", "--baseline", str(bl), str(p)]
+        ) == 0
+        capsys.readouterr()
+        # ...and the known finding is accounted as suppressed, not hidden
+        main(["analyze", "--json", "--baseline", str(bl), str(p)])
+        report = Report.from_json(capsys.readouterr().out)
+        assert [f.rule for f in report.suppressed] == ["RPR004"]
+
+    def test_missing_baseline_file_exits_two(self, capsys, tmp_path):
+        p = tmp_path / "m.py"
+        p.write_text(self.BAD_SRC)
+        rc = main(["analyze", "--baseline", str(tmp_path / "nope.json"), str(p)])
+        assert rc == 2
+        capsys.readouterr()
+
+
 class TestSelfHosting:
     def test_repo_source_is_strict_clean(self, capsys):
         # the merge gate: our own tree must produce zero findings

@@ -28,6 +28,11 @@ EXPECTED_RULES = {
     "RPR006": ("code", "swallowed-exception", Severity.WARNING),
     "RPR007": ("code", "per-element-array-loop", Severity.WARNING),
     "RPR008": ("code", "blocking-call-in-async", Severity.ERROR),
+    "RPR009": ("code", "transitive-blocking-in-async", Severity.ERROR),
+    "RPR010": ("code", "lock-order-inversion", Severity.ERROR),
+    "RPR011": ("code", "spawn-lost-global-mutation", Severity.WARNING),
+    "RPR012": ("code", "resource-path-leak", Severity.WARNING),
+    "RPR013": ("code", "unused-suppression", Severity.INFO),
 }
 
 
